@@ -1,0 +1,95 @@
+"""Ablation: threshold-raise policy choices (paper Section 3.1).
+
+The paper raises by 10% per eviction round and sketches two smarter
+alternatives (binary search on the expected footprint decrease, and a
+singleton-count lower bound).  This bench compares raise factors and
+policies on the same streams along the axes the paper discusses:
+final sample-size (bigger is better), number of raise rounds, and coin
+flips per insert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import print_series, profile
+from repro.core import ConciseSample
+from repro.core.thresholds import (
+    BinarySearchRaise,
+    MultiplicativeRaise,
+    SingletonBoundRaise,
+)
+from repro.randkit import spawn_seeds
+from repro.streams import zipf_stream
+
+FOOTPRINT = 1_000
+DOMAIN = 5_000
+SKEW = 1.0
+
+POLICIES = {
+    "mult x1.01": lambda: MultiplicativeRaise(1.01),
+    "mult x1.1 (paper)": lambda: MultiplicativeRaise(1.1),
+    "mult x1.5": lambda: MultiplicativeRaise(1.5),
+    "mult x4.0": lambda: MultiplicativeRaise(4.0),
+    "binary search": lambda: BinarySearchRaise(),
+    "singleton bound": lambda: SingletonBoundRaise(),
+}
+
+
+def _measure(active):
+    rows = {}
+    for name, make_policy in POLICIES.items():
+        sizes, raises, flips = [], [], []
+        for seed in spawn_seeds(9000, active.trials):
+            stream = zipf_stream(active.inserts, DOMAIN, SKEW, seed)
+            sample = ConciseSample(
+                FOOTPRINT, seed=seed + 1, policy=make_policy()
+            )
+            sample.insert_array(stream)
+            sizes.append(sample.sample_size)
+            raises.append(sample.counters.threshold_raises)
+            flips.append(sample.counters.flips_per_insert())
+        rows[name] = (
+            float(np.mean(sizes)),
+            float(np.mean(raises)),
+            float(np.mean(flips)),
+        )
+    return rows
+
+
+def test_threshold_policy_ablation(benchmark):
+    active = profile()
+    rows = benchmark.pedantic(_measure, args=(active,), rounds=1,
+                              iterations=1)
+    print_series(
+        f"Threshold-policy ablation: {active.inserts:,} values in "
+        f"[1,{DOMAIN}], zipf {SKEW}, footprint {FOOTPRINT} "
+        f"({active.name} profile)",
+        ["policy", "sample-size", "raises", "flips/insert"],
+        [
+            [name, round(size, 0), round(raise_count, 1), round(f, 4)]
+            for name, (size, raise_count, f) in rows.items()
+        ],
+        widths=[20, 14, 10, 14],
+    )
+
+    sizes = {name: row[0] for name, row in rows.items()}
+    raises = {name: row[1] for name, row in rows.items()}
+
+    # Larger raises evict more aggressively: fewer rounds ...
+    assert raises["mult x4.0"] < raises["mult x1.1 (paper)"]
+    assert raises["mult x1.1 (paper)"] < raises["mult x1.01"]
+    # ... without a sample-size payoff: the final size is governed by
+    # n / final-threshold, so the aggressive policy never *gains*
+    # sample-size, it only saves raise rounds (the trade-off is in
+    # time spent under-full right after each overshoot).
+    assert sizes["mult x4.0"] <= sizes["mult x1.1 (paper)"] * 1.15
+    # The gentle and smart policies all keep the sample within ~15% of
+    # the best observed size.
+    best = max(sizes.values())
+    for name in ("mult x1.1 (paper)", "binary search", "singleton bound"):
+        assert sizes[name] > 0.8 * best, f"{name} lost too much sample"
+    # Smart policies don't explode the raise count relative to the
+    # over-eager x1.01 policy.
+    assert raises["binary search"] < raises["mult x1.01"]
+    assert raises["singleton bound"] < raises["mult x1.01"]

@@ -1,0 +1,98 @@
+"""Concise samples as backing samples for histograms (paper Section 2).
+
+"A concise sample could be used as a backing sample, for more sample
+points for the same footprint."  This bench quantifies that: build
+equi-depth, Compressed, and V-optimal histograms from a traditional
+reservoir backing sample and from a concise backing sample of the same
+footprint, and compare range-selectivity errors against exact answers.
+Concise backing should win on skewed data -- that is the claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import print_series, profile
+from repro.core import ConciseSample, ReservoirSample
+from repro.randkit import spawn_seeds
+from repro.streams import zipf_stream
+from repro.synopses import (
+    CompressedHistogram,
+    EquiDepthHistogram,
+    VOptimalHistogram,
+)
+
+FOOTPRINT = 500
+DOMAIN = 20_000
+SKEW = 1.25
+BUCKETS = 32
+
+RANGES = [(1, 10), (1, 100), (50, 500), (500, 5_000), (5_000, 20_000)]
+
+BUILDERS = {
+    "equi-depth": EquiDepthHistogram.from_sample,
+    "Compressed": CompressedHistogram.from_sample,
+    "V-optimal": VOptimalHistogram.from_sample,
+}
+
+
+def _mean_error(points, stream, builder):
+    histogram = builder(points, BUCKETS, len(stream))
+    errors = []
+    for low, high in RANGES:
+        truth = float(np.count_nonzero((stream >= low) & (stream <= high)))
+        estimate = histogram.estimate_range(low, high)
+        errors.append(
+            abs(estimate - truth) / truth if truth else abs(estimate)
+        )
+    return float(np.mean(errors))
+
+
+def _measure(active):
+    rows = {name: {"traditional": [], "concise": []} for name in BUILDERS}
+    gains = []
+    for seed in spawn_seeds(8000, active.trials):
+        stream = zipf_stream(active.inserts, DOMAIN, SKEW, seed)
+        traditional = ReservoirSample(FOOTPRINT, seed=seed + 1)
+        concise = ConciseSample(FOOTPRINT, seed=seed + 2)
+        traditional.insert_array(stream)
+        concise.insert_array(stream)
+        gains.append(concise.sample_size / traditional.sample_size)
+        for name, builder in BUILDERS.items():
+            rows[name]["traditional"].append(
+                _mean_error(traditional.as_array(), stream, builder)
+            )
+            rows[name]["concise"].append(
+                _mean_error(concise.sample_points(), stream, builder)
+            )
+    return rows, float(np.mean(gains))
+
+
+def test_backing_sample_histograms(benchmark):
+    active = profile()
+    rows, gain = benchmark.pedantic(
+        _measure, args=(active,), rounds=1, iterations=1
+    )
+    print_series(
+        f"Backing-sample comparison: zipf {SKEW} over [1,{DOMAIN}], "
+        f"footprint {FOOTPRINT}, {BUCKETS} buckets; concise backing "
+        f"holds {gain:.1f}x the points ({active.name} profile)",
+        ["histogram", "traditional err", "concise err"],
+        [
+            [
+                name,
+                round(float(np.mean(errors["traditional"])), 4),
+                round(float(np.mean(errors["concise"])), 4),
+            ]
+            for name, errors in rows.items()
+        ],
+        widths=[14, 18, 14],
+    )
+    assert gain > 1.5
+    for name, errors in rows.items():
+        traditional_error = float(np.mean(errors["traditional"]))
+        concise_error = float(np.mean(errors["concise"]))
+        # The Section-2 claim: more backing points, better histograms.
+        assert concise_error <= traditional_error * 1.05, (
+            f"{name}: concise backing did not help"
+        )

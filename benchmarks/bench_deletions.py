@@ -1,0 +1,83 @@
+"""Counting samples under deletions (paper Section 4.1).
+
+Concise samples cannot be maintained under deletions; counting samples
+can, with O(1) expected update time per delete.  This bench replays
+mixed insert/delete streams at increasing delete fractions and
+reports hot-list accuracy against the *live* data plus per-operation
+overheads, asserting that accuracy holds up and the footprint bound is
+never violated.
+"""
+
+from __future__ import annotations
+
+from common import print_series, profile
+from repro.hotlist import CountingHotList, evaluate_hotlist
+from repro.randkit import spawn_seeds
+from repro.stats.frequency import FrequencyTable
+from repro.streams import insert_delete_stream, zipf_stream
+from repro.streams.operations import Insert
+
+FOOTPRINT = 500
+DOMAIN = 5_000
+SKEW = 1.25
+K = 20
+DELETE_FRACTIONS = [0.0, 0.2, 0.4]
+
+
+def _measure(active):
+    rows = []
+    seed = spawn_seeds(7000, 1)[0]
+    values = zipf_stream(active.inserts, DOMAIN, SKEW, seed)
+    for fraction in DELETE_FRACTIONS:
+        operations = insert_delete_stream(values, fraction, seed + 1)
+        reporter = CountingHotList(FOOTPRINT, seed=seed + 2)
+        live = FrequencyTable()
+        for operation in operations:
+            if isinstance(operation, Insert):
+                reporter.insert(operation.value)
+                live.insert(operation.value)
+            else:
+                reporter.delete(operation.value)
+                live.delete(operation.value)
+        assert reporter.footprint <= FOOTPRINT
+        reporter.sample.check_invariants()
+        evaluation = evaluate_hotlist(reporter.report(K), live, K)
+        counters = reporter.counters
+        total_ops = counters.inserts + counters.deletes
+        rows.append(
+            [
+                fraction,
+                total_ops,
+                evaluation.true_positives,
+                round(evaluation.mean_count_error, 4),
+                round(counters.flips / total_ops, 4),
+                round(counters.lookups / total_ops, 4),
+            ]
+        )
+    return rows
+
+
+def test_deletion_workloads(benchmark):
+    active = profile()
+    rows = benchmark.pedantic(_measure, args=(active,), rounds=1,
+                              iterations=1)
+    print_series(
+        f"Counting samples under deletions: zipf {SKEW} over "
+        f"[1,{DOMAIN}], footprint {FOOTPRINT}, top-{K} vs live data "
+        f"({active.name} profile)",
+        [
+            "del frac",
+            "ops",
+            f"hits/{K}",
+            "mean err",
+            "flips/op",
+            "lookups/op",
+        ],
+        rows,
+        widths=[10, 12, 10, 12, 12, 13],
+    )
+    for fraction, _, hits, mean_error, flips, lookups in rows:
+        assert hits >= K - 4, f"fraction {fraction}: too many misses"
+        assert mean_error < 0.2
+        assert flips < 0.5
+        assert lookups == 1.0  # one per operation, insert or delete

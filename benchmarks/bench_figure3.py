@@ -1,0 +1,111 @@
+"""Figure 3: sample-size of concise vs traditional samples vs skew.
+
+Regenerates the four panels of the paper's Figure 3:
+
+* (a) footprint 100,  D = 5,000  (D/m = 50), zipf 0..3
+* (b) footprint 1000, D = 5,000  (D/m = 5),  zipf 0..3
+* (c) footprint 1000, D = 50,000 (D/m = 50), zipf 0..1.5
+* (d) footprint 1000, D = 5,000  (D/m = 5),  zipf 0..1.5 (detail of b)
+
+Each benchmark prints the (zipf -> sample-size) series for the three
+algorithms and asserts the paper's qualitative claims: concise >=
+traditional everywhere, gains grow with skew (orders of magnitude at
+high skew), online within the paper's band of offline, and the
+D/m-dependent onset of the gains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import figure3_scenario, print_series, profile
+
+
+def _sweep(footprint: int, domain: int, zipf_values: list[float],
+           master_seed: int):
+    active = profile()
+    series = {
+        "traditional": [],
+        "concise online": [],
+        "concise offline": [],
+    }
+    for skew in zipf_values:
+        point = figure3_scenario(
+            footprint, domain, skew, active, master_seed
+        )
+        for name in series:
+            series[name].append(point[name].sample_size)
+    return series
+
+
+def _zipf_range(stop: float) -> list[float]:
+    step = profile().zipf_step
+    return [round(z, 2) for z in np.arange(0.0, stop + 1e-9, step)]
+
+
+def _report(panel: str, footprint: int, domain: int, series, zipfs):
+    active = profile()
+    print_series(
+        f"Figure 3({panel}): {active.inserts:,} values in [1,{domain}], "
+        f"footprint {footprint} ({active.name} profile)",
+        ["zipf", "traditional", "concise online", "concise offline"],
+        [
+            [
+                zipfs[i],
+                series["traditional"][i],
+                series["concise online"][i],
+                series["concise offline"][i],
+            ]
+            for i in range(len(zipfs))
+        ],
+    )
+
+
+def _assert_shapes(series, zipfs, footprint):
+    online = np.array(series["concise online"])
+    offline = np.array(series["concise offline"])
+    traditional = np.array(series["traditional"])
+    # Concise is never (meaningfully) worse than traditional.
+    assert np.all(online >= traditional * 0.85)
+    # Sample-size grows with skew.
+    assert online[-1] > online[0]
+    # Online never beats offline by more than noise.
+    assert np.all(online <= offline * 1.1 + footprint)
+
+
+@pytest.mark.parametrize(
+    "panel,footprint,domain,z_stop",
+    [
+        ("a", 100, 5_000, 3.0),
+        ("b", 1_000, 5_000, 3.0),
+        ("c", 1_000, 50_000, 1.5),
+        ("d", 1_000, 5_000, 1.5),
+    ],
+    ids=["fig3a", "fig3b", "fig3c", "fig3d"],
+)
+def test_figure3(benchmark, panel, footprint, domain, z_stop):
+    zipfs = _zipf_range(z_stop)
+    series = benchmark.pedantic(
+        _sweep,
+        args=(footprint, domain, zipfs, 1000 + ord(panel)),
+        rounds=1,
+        iterations=1,
+    )
+    _report(panel, footprint, domain, series, zipfs)
+    _assert_shapes(series, zipfs, footprint)
+
+    online = np.array(series["concise online"])
+    traditional = np.array(series["traditional"])
+    if z_stop >= 3.0:
+        # Paper: "for high skew the sample-size for concise samples
+        # grows up to 3 orders of magnitude larger than traditional".
+        assert online[-1] > 50 * traditional[-1]
+    if panel == "d":
+        # D/m = 5: noticeable gains appear beyond zipf ~0.5.
+        half = online[np.isclose(zipfs, 0.5)][0]
+        assert half < 3 * footprint
+    if panel == "c":
+        # D/m = 50: no noticeable gains until zipf ~0.75.
+        half = online[np.isclose(zipfs, 0.5)][0]
+        assert half < 2 * footprint

@@ -1,0 +1,109 @@
+"""Figure 4: hot-list algorithms on a small footprint, high skew.
+
+Scenario: 500K values in [1, 500], zipf 1.5, footprint 100 (quick
+profile scales the stream).  The paper's headline observations, all
+asserted here:
+
+* counting samples accurately report the most frequent values with at
+  most a few false positives/negatives;
+* concise samples do almost as well;
+* traditional samples are far worse (false negatives high in the
+  ranking);
+* the count of the most frequent value is estimated to a fraction of a
+  percent by counting samples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import hotlist_scenario, print_series, profile
+
+FOOTPRINT = 100
+DOMAIN = 500
+SKEW = 1.5
+K = 20
+
+
+def test_figure4(benchmark):
+    active = profile()
+    runs, truth = benchmark.pedantic(
+        hotlist_scenario,
+        args=(FOOTPRINT, DOMAIN, SKEW, K, active, 4000),
+        rounds=1,
+        iterations=1,
+    )
+
+    exact_top = truth.top_k(K)
+    rows = []
+    answers = {
+        name: dict(run.reported)
+        for name, run in runs.items()
+    }
+    for rank, (value, count) in enumerate(exact_top, start=1):
+        rows.append(
+            [
+                rank,
+                value,
+                count,
+                round(answers["counting samples"].get(value, float("nan")), 1),
+                round(answers["concise samples"].get(value, float("nan")), 1),
+                round(
+                    answers["traditional samples"].get(value, float("nan")),
+                    1,
+                ),
+            ]
+        )
+    print_series(
+        f"Figure 4: {active.inserts:,} values in [1,{DOMAIN}], zipf "
+        f"{SKEW}, footprint {FOOTPRINT} ({active.name} profile) -- "
+        "exact count and per-algorithm estimates by true rank "
+        "(nan = false negative)",
+        ["rank", "value", "exact", "counting", "concise", "traditional"],
+        rows,
+        widths=[6, 8, 10, 12, 12, 14],
+    )
+    for name, run in runs.items():
+        e = run.evaluation
+        print(
+            f"  {name:<22} reported={e.reported:>3} "
+            f"prefix={e.top_prefix_correct:>3} false+={e.false_positives}"
+            f" false-={e.false_negatives} mean_err={e.mean_count_error:.2%}"
+        )
+
+    counting = runs["counting samples"].evaluation
+    concise = runs["concise samples"].evaluation
+    traditional = runs["traditional samples"].evaluation
+    exact = runs["full histogram"].evaluation
+
+    # Full histogram is exact.
+    assert exact.recall == 1.0 and exact.mean_count_error == 0.0
+    # Paper: counting accurately reported the ~15 most frequent and 18
+    # of the first 20; demand a strong prefix and recall.
+    assert counting.top_prefix_correct >= 10
+    assert counting.true_positives >= 15
+    # Counting's most-frequent-value estimate within 2% (paper: .14%).
+    top_value, top_count = truth.top_k(1)[0]
+    counting_estimate = dict(runs["counting samples"].reported)[top_value]
+    assert counting_estimate == pytest.approx(top_count, rel=0.02)
+    # Ordering: counting ~ concise (the paper: "concise ... did almost
+    # as well as counting" at this stressed footprint) and both far
+    # better than traditional, judged over the head of the ranking.
+    # A 30% band absorbs single-run noise in which of the deep top-20
+    # values each sample happens to hold.
+    assert counting.true_positives >= concise.true_positives - 2
+    assert concise.true_positives > traditional.true_positives
+    assert (
+        runs["counting samples"].head_error
+        <= runs["concise samples"].head_error * 1.3
+    )
+    assert (
+        runs["concise samples"].head_error
+        < runs["traditional samples"].head_error
+    )
+    assert (
+        runs["counting samples"].head_error
+        < runs["traditional samples"].head_error
+    )
+    # Paper: concise sample-size over 3.8x the traditional one.
+    assert runs["concise samples"].sample_size > 2.5 * FOOTPRINT

@@ -1,0 +1,87 @@
+"""Ablation: accuracy as a function of the footprint budget.
+
+The paper evaluates synopses "as a function of its footprint"
+(Section 1) and contrasts footprints 100 and 1000.  This bench sweeps
+the footprint over a wider range on one fixed workload and reports,
+per algorithm, the hot-list recall and head count error -- showing how
+much memory each method needs for a given accuracy, the practical
+question a deployment faces.
+"""
+
+from __future__ import annotations
+
+from common import hotlist_scenario, print_series, profile
+
+DOMAIN = 5_000
+SKEW = 1.25
+K = 20
+FOOTPRINTS = [50, 100, 200, 400, 800, 1_600]
+
+
+def _measure(active):
+    rows = []
+    per_algorithm: dict[str, list[float]] = {}
+    for footprint in FOOTPRINTS:
+        runs, _ = hotlist_scenario(
+            footprint, DOMAIN, SKEW, K, active, 7000 + footprint
+        )
+        row = [footprint]
+        for name in (
+            "counting samples",
+            "concise samples",
+            "traditional samples",
+        ):
+            run = runs[name]
+            row += [
+                round(run.evaluation.recall, 3),
+                round(run.head_error, 3),
+            ]
+            per_algorithm.setdefault(name, []).append(
+                run.evaluation.recall
+            )
+        rows.append(row)
+    return rows, per_algorithm
+
+
+def test_footprint_sweep(benchmark):
+    active = profile()
+    rows, recalls = benchmark.pedantic(
+        _measure, args=(active,), rounds=1, iterations=1
+    )
+    print_series(
+        f"Accuracy vs footprint: zipf {SKEW} over [1,{DOMAIN}], "
+        f"top-{K} ({active.name} profile)",
+        [
+            "footprint",
+            "count recall",
+            "head err",
+            "conc recall",
+            "head err",
+            "trad recall",
+            "head err",
+        ],
+        rows,
+        widths=[10, 14, 10, 13, 10, 13, 10],
+    )
+    for name, series in recalls.items():
+        # Recall must not systematically degrade with more memory:
+        # the largest footprint should be at least as good as the
+        # smallest one.
+        assert series[-1] >= series[0] - 0.05, f"{name} regressed"
+    # At every footprint the sampling-aware methods dominate
+    # traditional sampling (up to single-run noise in the regime where
+    # all methods are near-perfect).
+    for row in rows:
+        counting_recall, concise_recall, traditional_recall = (
+            row[1],
+            row[3],
+            row[5],
+        )
+        assert counting_recall >= traditional_recall - 0.05
+        assert concise_recall >= traditional_recall - 0.1
+    # In the memory-starved regime the advantage is strict.
+    small = rows[0]
+    assert small[1] > small[5]
+    assert small[3] > small[5]
+    # Counting samples reach near-perfect recall within the sweep.
+    assert max(recalls["counting samples"]) > 0.9

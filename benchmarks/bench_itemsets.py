@@ -1,0 +1,87 @@
+"""Hot k-itemsets from bounded-footprint synopses (paper Section 1.2).
+
+Streams market baskets with planted frequent pairs through the
+itemset hot list and measures (a) whether the planted pairs surface
+in the top-k, (b) support-estimate accuracy, and (c) the newly-popular
+detection scenario: an itemset planted only in the second half of the
+stream must still be detected -- the precise difficulty the paper's
+probabilistic counting scheme addresses.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+
+from common import print_series, profile
+from repro.itemsets import BasketGenerator, ItemsetHotList
+
+CATALOGUE = 2_000
+FOOTPRINT = 2_000
+PLANTED = [((11, 22), 0.15), ((33, 44), 0.08), ((55, 66), 0.05)]
+LATE_PAIR = (77, 88)
+LATE_SUPPORT = 0.20
+
+
+def _measure(active):
+    baskets_total = max(20_000, active.inserts // 5)
+    first = BasketGenerator(
+        CATALOGUE, planted=PLANTED, basket_size_mean=3.0, seed=31
+    ).baskets(baskets_total // 2)
+    second = BasketGenerator(
+        CATALOGUE,
+        planted=PLANTED + [(LATE_PAIR, LATE_SUPPORT)],
+        basket_size_mean=3.0,
+        seed=32,
+    ).baskets(baskets_total - baskets_total // 2)
+
+    hotlist = ItemsetHotList(2, FOOTPRINT, seed=33)
+    hotlist.observe_many(chain(first, second))
+
+    top = hotlist.report_itemsets(10)
+    rows = []
+    for itemset, probability in PLANTED:
+        estimated = hotlist.support(itemset)
+        rows.append(
+            [str(itemset), probability, round(estimated, 4)]
+        )
+    rows.append(
+        [
+            f"{LATE_PAIR} (late)",
+            LATE_SUPPORT / 2,  # planted in half the stream
+            round(hotlist.support(LATE_PAIR), 4),
+        ]
+    )
+    return hotlist, top, rows, baskets_total
+
+
+def test_itemset_hotlist(benchmark):
+    active = profile()
+    hotlist, top, rows, baskets_total = benchmark.pedantic(
+        _measure, args=(active,), rounds=1, iterations=1
+    )
+    print_series(
+        f"Hot pairs over {baskets_total:,} baskets, footprint "
+        f"{FOOTPRINT} words, {hotlist.itemsets_observed:,} pair "
+        f"occurrences ({active.name} profile)",
+        ["itemset", "planted support", "estimated support"],
+        rows,
+        widths=[18, 18, 20],
+    )
+    print("  top pairs:", [itemset for itemset, _ in top[:6]])
+
+    top_itemsets = [itemset for itemset, _ in top]
+    # The two strongest planted pairs must surface.
+    assert (11, 22) in top_itemsets
+    assert (33, 44) in top_itemsets
+    # Newly-popular detection: the late pair must be found even though
+    # it did not exist in the first half of the stream.
+    assert LATE_PAIR in top_itemsets
+    # Support estimates within a factor band (planted probability is a
+    # lower bound; background co-occurrence adds a little).
+    for label, planted, estimated in rows:
+        assert estimated >= planted * 0.5, f"{label} under-estimated"
+        assert estimated <= planted * 2.0 + 0.02, (
+            f"{label} over-estimated"
+        )
+    # Footprint bounded throughout.
+    assert hotlist.footprint <= FOOTPRINT

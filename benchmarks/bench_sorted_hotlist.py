@@ -1,0 +1,75 @@
+"""The update-time vs response-time trade-off (paper Section 5.1).
+
+"The response time for reporting is O(m).  Alternatively, we can
+trade-off update time vs response time by keeping the concise sample
+sorted by counts.  This allows for reporting in O(k) time."
+
+This bench measures both sides of the trade: report latency of the
+plain O(m) reporter vs the sorted O(k) reporter, and the (slightly
+higher) ingestion cost the sorted index incurs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.hotlist import ConciseHotList, SortedConciseHotList
+from repro.streams import zipf_stream
+
+FOOTPRINT = 2_000
+DOMAIN = 20_000
+SKEW = 1.2
+K = 10
+N = 100_000
+
+
+@pytest.fixture(scope="module")
+def loaded_reporters():
+    stream = zipf_stream(N, DOMAIN, SKEW, seed=42)
+    plain = ConciseHotList(FOOTPRINT, seed=1)
+    sorted_reporter = SortedConciseHotList(FOOTPRINT, seed=1)
+    plain.insert_array(stream)
+    for value in stream.tolist():
+        sorted_reporter.insert(value)
+    # Same seed, same sample: the comparison isolates reporting.
+    assert plain.sample.as_dict() == sorted_reporter.sample.as_dict()
+    return plain, sorted_reporter
+
+
+def test_plain_report_latency(benchmark, loaded_reporters):
+    plain, _ = loaded_reporters
+    result = benchmark(plain.report, K)
+    assert len(result) <= K
+
+
+def test_sorted_report_latency(benchmark, loaded_reporters):
+    _, sorted_reporter = loaded_reporters
+    result = benchmark(sorted_reporter.report, K)
+    assert len(result) <= K
+
+
+def test_sorted_reporting_wins_at_large_m(benchmark, loaded_reporters):
+    """The O(k) reporter must beat the O(m) reporter at this m/k
+    ratio (m ~ 2000 entries, k = 10)."""
+    plain, sorted_reporter = loaded_reporters
+
+    def measure(reporter, repetitions=200):
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            reporter.report(K)
+        return (time.perf_counter() - start) / repetitions
+
+    def run():
+        return measure(plain), measure(sorted_reporter)
+
+    plain_latency, sorted_latency = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(
+        f"\nreport({K}) latency: plain {plain_latency * 1e6:.1f} us, "
+        f"sorted {sorted_latency * 1e6:.1f} us "
+        f"({plain_latency / sorted_latency:.1f}x)"
+    )
+    assert sorted_latency < plain_latency

@@ -1,0 +1,91 @@
+"""Table 1: coin flips and lookups per insert for the Figure-3 runs.
+
+The paper's cost model: "the number of instructions executed by the
+algorithm is directly proportional to the number of coin flips and
+lookups".  This benchmark regenerates the three columns of Table 1
+(the Figure 3(a), 3(b)/(d), and 3(c) scenarios) and asserts the
+paper's observations:
+
+* overheads are smallest for small zipf parameters,
+* an order-of-magnitude smaller footprint gives roughly an order of
+  magnitude smaller overheads (below zipf ~2), and
+* once every value fits in the footprint, flips drop to zero and
+  lookups rise to exactly one per insert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import figure3_scenario, print_series, profile
+
+
+def _sweep(footprint: int, domain: int, zipfs, master_seed: int):
+    active = profile()
+    flips, lookups = [], []
+    for skew in zipfs:
+        point = figure3_scenario(
+            footprint, domain, skew, active, master_seed
+        )["concise online"]
+        flips.append(point.flips_per_insert)
+        lookups.append(point.lookups_per_insert)
+    return flips, lookups
+
+
+def test_table1(benchmark):
+    active = profile()
+    zipfs = [
+        round(z, 2)
+        for z in np.arange(0.0, 3.0 + 1e-9, active.zipf_step)
+    ]
+    scenarios = {
+        "Fig. 3(a)": (100, 5_000),
+        "Figs. 3(b)(d)": (1_000, 5_000),
+        "Fig. 3(c)": (1_000, 50_000),
+    }
+
+    def run():
+        return {
+            name: _sweep(footprint, domain, zipfs, 2000)
+            for name, (footprint, domain) in scenarios.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    header = ["zipf"]
+    for name in scenarios:
+        header += [f"{name} flips", "lookups"]
+    rows = []
+    for i, z in enumerate(zipfs):
+        row = [z]
+        for name in scenarios:
+            flips, lookups = results[name]
+            row += [round(flips[i], 4), round(lookups[i], 4)]
+        rows.append(row)
+    print_series(
+        f"Table 1: concise-sample overheads per insert "
+        f"({active.name} profile)",
+        header,
+        rows,
+        widths=[8] + [21, 10] * len(scenarios),
+    )
+
+    flips_a, lookups_a = results["Fig. 3(a)"]
+    flips_b, lookups_b = results["Figs. 3(b)(d)"]
+    flips_c, lookups_c = results["Fig. 3(c)"]
+
+    # Overheads smallest at low skew.
+    assert flips_b[0] == min(flips_b[: len(flips_b) // 2])
+    # Footprint 100 costs ~10x less than footprint 1000 at low skew.
+    assert flips_a[0] < flips_b[0] / 3
+    # Little dependence on D/m at low skew (paper: "very little
+    # dependence on the D/m ratio").
+    assert flips_b[0] == pytest.approx(flips_c[0], rel=0.5)
+    # All-fits regime at zipf >= 2.5 for footprint 1000, D=5000:
+    # zero flips, exactly one lookup per insert.
+    high = next(i for i, z in enumerate(zipfs) if z >= 2.5)
+    assert flips_b[high] == 0.0
+    assert lookups_b[high] == 1.0
+    # Everything stays far below one flip per insert before that.
+    assert max(flips_b[:high]) < 1.0

@@ -1,0 +1,107 @@
+"""Table 2: measured overheads of the hot-list algorithms.
+
+Regenerates the paper's Table 2 -- flips and lookups per insert,
+threshold raises, final sample-size, final threshold, and the number
+of values reported -- for the three scenarios of Figures 4-6, and
+asserts the paper's conclusions:
+
+* traditional < concise < counting in update overheads;
+* counting lookups are exactly 1.000 per insert, traditional 0;
+* counting samples raise the threshold more often and end with a
+  higher threshold than concise samples.
+"""
+
+from __future__ import annotations
+
+from common import hotlist_scenario, print_series, profile
+
+SCENARIOS = {
+    "Figure 4": (100, 500, 1.5, 20, 4000),
+    "Figure 5": (1_000, 5_000, 1.0, 100, 5000),
+    "Figure 6": (1_000, 50_000, 1.25, 120, 6000),
+}
+
+
+def test_table2(benchmark):
+    active = profile()
+
+    def run():
+        return {
+            name: hotlist_scenario(
+                footprint, domain, skew, k, active, seed
+            )[0]
+            for name, (footprint, domain, skew, k, seed) in (
+                SCENARIOS.items()
+            )
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for scenario, runs in results.items():
+        rows = []
+        for name in (
+            "concise samples",
+            "counting samples",
+            "traditional samples",
+        ):
+            run_stats = runs[name]
+            rows.append(
+                [
+                    name,
+                    round(run_stats.flips_per_insert, 3),
+                    round(run_stats.lookups_per_insert, 3),
+                    run_stats.threshold_raises or "n/a",
+                    run_stats.sample_size
+                    if name != "counting samples"
+                    else "n/a",
+                    round(run_stats.final_threshold or 0, 0)
+                    if name != "traditional samples"
+                    else "n/a",
+                    run_stats.evaluation.reported,
+                ]
+            )
+        print_series(
+            f"Table 2 -- {scenario} scenario ({active.name} profile)",
+            [
+                "algorithm",
+                "flips",
+                "lookups",
+                "raises",
+                "sample-size",
+                "threshold",
+                "reported",
+            ],
+            rows,
+            widths=[22, 9, 9, 8, 13, 11, 10],
+        )
+
+    for scenario, runs in results.items():
+        concise = runs["concise samples"]
+        counting = runs["counting samples"]
+        traditional = runs["traditional samples"]
+        # Lookup structure: traditional never looks up, counting looks
+        # up every insert, concise in between.
+        assert traditional.lookups_per_insert == 0.0
+        assert counting.lookups_per_insert == 1.0
+        assert 0.0 < concise.lookups_per_insert < 1.0
+        # Total overhead ordering (flips + lookups).
+        assert (
+            traditional.flips_per_insert + traditional.lookups_per_insert
+            < concise.flips_per_insert + concise.lookups_per_insert
+            < counting.flips_per_insert + counting.lookups_per_insert
+        )
+        # Counting ends with more raises and a higher threshold
+        # (its counts grow deterministically, so it holds fewer
+        # values and must evict more).
+        assert counting.threshold_raises >= concise.threshold_raises
+        assert counting.final_threshold > concise.final_threshold
+        # Reporting volume: the sampling-aware methods report more
+        # values than the traditional sample.
+        assert (
+            counting.evaluation.reported
+            >= traditional.evaluation.reported
+        )
+        assert (
+            concise.evaluation.reported
+            >= traditional.evaluation.reported
+        )

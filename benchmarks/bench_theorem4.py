@@ -1,0 +1,65 @@
+"""Theorem 4 validation: the expected concise-sample gain formula.
+
+``E[gain] = sum_{k=2..m} (-1)^k C(m,k) F_k / n^k`` -- equivalently
+``m - E[#distinct in an m-point sample]``.  This bench draws many
+independent m-point samples from Zipf streams of varying skew,
+measures the average gain of the concise representation, and compares
+against the closed form evaluated on the stream's exact frequency
+moments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import print_series, profile
+from repro.stats.frequency import FrequencyTable
+from repro.stats.theory import concise_gain_expected
+from repro.streams import zipf_stream
+
+SAMPLE_POINTS = 200
+TRIALS = 300
+SKEWS = [0.0, 0.5, 1.0, 1.5, 2.0]
+DOMAIN = 2_000
+
+
+def _measure(active):
+    rows = []
+    for skew in SKEWS:
+        stream = zipf_stream(
+            active.inserts, DOMAIN, skew, seed=int(skew * 100) + 7
+        )
+        frequencies = [
+            count for _, count in FrequencyTable(stream).items()
+        ]
+        predicted = concise_gain_expected(frequencies, SAMPLE_POINTS)
+        rng = np.random.default_rng(int(skew * 100) + 8)
+        gains = []
+        for _ in range(TRIALS):
+            sample = rng.choice(stream, size=SAMPLE_POINTS, replace=True)
+            gains.append(SAMPLE_POINTS - len(np.unique(sample)))
+        measured = float(np.mean(gains))
+        rows.append([skew, round(predicted, 2), round(measured, 2)])
+    return rows
+
+
+def test_theorem4(benchmark):
+    active = profile()
+    rows = benchmark.pedantic(_measure, args=(active,), rounds=1,
+                              iterations=1)
+    print_series(
+        f"Theorem 4: expected gain of a {SAMPLE_POINTS}-point concise "
+        f"sample, predicted vs measured over {TRIALS} trials "
+        f"({active.name} profile)",
+        ["zipf", "predicted gain", "measured gain"],
+        rows,
+        widths=[8, 16, 16],
+    )
+    for skew, predicted, measured in rows:
+        tolerance = max(0.5, 0.1 * predicted)
+        assert abs(measured - predicted) < tolerance, (
+            f"zipf={skew}: measured {measured} vs predicted {predicted}"
+        )
+    # Gain increases with skew.
+    predictions = [row[1] for row in rows]
+    assert predictions == sorted(predictions)

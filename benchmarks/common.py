@@ -1,0 +1,36 @@
+"""Shared experiment plumbing for the benchmark suite.
+
+The actual drivers live in :mod:`repro.experiments` (they are part of
+the library so the ``python -m repro.experiments`` CLI can reuse
+them); this module adapts their names to what the benchmark files use
+and pins the profile selection.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    FULL_PROFILE,
+    HotListRun,
+    Profile,
+    ScenarioStats,
+    active_profile,
+    figure3_scenario,
+    figure3_sweep,
+    hotlist_scenario,
+    print_series,
+)
+
+__all__ = [
+    "FULL_PROFILE",
+    "HotListRun",
+    "Profile",
+    "ScenarioStats",
+    "figure3_scenario",
+    "figure3_sweep",
+    "hotlist_scenario",
+    "print_series",
+    "profile",
+]
+
+# Benchmark files historically call this `profile()`.
+profile = active_profile

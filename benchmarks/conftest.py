@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the sibling `common` module importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

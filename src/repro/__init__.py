@@ -1,0 +1,70 @@
+"""repro -- concise samples, counting samples, and approximate query answers.
+
+A production-quality reproduction of Gibbons & Matias, "New
+Sampling-Based Summary Statistics for Improving Approximate Query
+Answers" (SIGMOD 1998): the concise-sample and counting-sample synopsis
+data structures with their incremental maintenance algorithms, the four
+approximate hot-list algorithms, and the approximate-answer-engine
+set-up they plug into -- plus the classical companion synopses,
+sampling-based estimators, and workload generators needed to reproduce
+every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import ConciseSample
+    from repro.streams import zipf_stream
+
+    sample = ConciseSample(footprint_bound=1000, seed=0)
+    sample.insert_array(zipf_stream(500_000, 5000, 1.5, seed=1))
+    print(sample.sample_size, "points in", sample.footprint, "words")
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.core import (
+    BackingSample,
+    BinarySearchRaise,
+    ConciseSample,
+    CountingSample,
+    MultiplicativeRaise,
+    ReservoirSample,
+    SingletonBoundRaise,
+    ThresholdPolicy,
+    counting_to_concise,
+    offline_concise_sample,
+)
+from repro.hotlist import (
+    ConciseHotList,
+    CountingHotList,
+    FullHistogramHotList,
+    HotListAnswer,
+    SortedConciseHotList,
+    TraditionalHotList,
+    evaluate_hotlist,
+)
+from repro.randkit import CostCounters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BackingSample",
+    "BinarySearchRaise",
+    "ConciseHotList",
+    "ConciseSample",
+    "CostCounters",
+    "CountingHotList",
+    "CountingSample",
+    "FullHistogramHotList",
+    "HotListAnswer",
+    "MultiplicativeRaise",
+    "ReservoirSample",
+    "SingletonBoundRaise",
+    "SortedConciseHotList",
+    "ThresholdPolicy",
+    "TraditionalHotList",
+    "counting_to_concise",
+    "evaluate_hotlist",
+    "offline_concise_sample",
+    "__version__",
+]

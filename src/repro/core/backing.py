@@ -1,0 +1,212 @@
+"""Backing samples maintained under insertions and deletions [GMP97b].
+
+The paper's Section 2 recalls the *backing sample* of its companion
+paper: "a random sample of a relation that is kept up-to-date", used
+there for the incremental maintenance of equi-depth and Compressed
+histograms.  Deletions are the hard part -- removing a deleted tuple
+from the sample keeps it uniform, but shrinks it, so the sample is
+kept between a lower and upper size bound and a rescan of base data is
+requested when it falls below the lower bound.
+
+Tuples are identified by caller-supplied ids (row ids in the
+warehouse), which is what makes correct deletion possible; the paper's
+concise samples trade this away for footprint, which is exactly why
+they are hard to maintain under deletes and counting samples exist.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.base import StreamSynopsis, SynopsisError
+from repro.randkit.coins import CostCounters
+from repro.randkit.rng import ReproRandom
+
+__all__ = ["BackingSample"]
+
+
+class BackingSample(StreamSynopsis):
+    """A uniform (id, value) sample maintained under inserts/deletes.
+
+    Parameters
+    ----------
+    capacity:
+        Upper bound ``U`` on the sample size.
+    min_size:
+        Lower bound ``L``; when deletions push the sample below ``L``
+        while the relation holds at least ``L`` tuples,
+        :attr:`needs_rescan` turns on and estimates should not be
+        trusted until :meth:`rebuild` is called with a fresh scan.
+    seed, counters:
+        As elsewhere.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        min_size: int | None = None,
+        *,
+        seed: int | None = None,
+        counters: CostCounters | None = None,
+    ) -> None:
+        super().__init__(counters)
+        if capacity < 1:
+            raise SynopsisError("capacity must be at least 1")
+        if min_size is None:
+            min_size = max(1, capacity // 2)
+        if not 1 <= min_size <= capacity:
+            raise SynopsisError("need 1 <= min_size <= capacity")
+        self.capacity = capacity
+        self.min_size = min_size
+        self._rng = ReproRandom(seed)
+        self._members: dict[int, int] = {}  # id -> value
+        self._order: list[int] = []  # ids, for O(1) random eviction
+        self._relation_size = 0
+        self.needs_rescan = False
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def footprint(self) -> int:
+        """Words used: an id and a value per sample member."""
+        return 2 * len(self._members)
+
+    @property
+    def sample_size(self) -> int:
+        """Current number of sampled tuples."""
+        return len(self._members)
+
+    @property
+    def relation_size(self) -> int:
+        """Live tuples in the underlying relation."""
+        return self._relation_size
+
+    def __contains__(self, row_id: int) -> bool:
+        return row_id in self._members
+
+    def values(self) -> np.ndarray:
+        """The sampled attribute values as an array."""
+        if not self._members:
+            return np.empty(0, dtype=np.int64)
+        return np.fromiter(
+            self._members.values(), dtype=np.int64, count=len(self._members)
+        )
+
+    def items(self) -> Iterable[tuple[int, int]]:
+        """Iterate sampled ``(row id, value)`` pairs."""
+        return self._members.items()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, value: int) -> None:
+        """Stream-interface insert with an auto-assigned id.
+
+        Auto ids are the running relation size; callers that also
+        delete must use :meth:`insert_row` with their own ids instead.
+        """
+        self.insert_row(self._relation_size, value)
+
+    def insert_row(self, row_id: int, value: int) -> None:
+        """Observe the insertion of one identified tuple.
+
+        Three regimes, each preserving the per-tuple inclusion
+        probability ``sample_size / relation_size``:
+
+        * the sample still holds the *whole* relation and is below
+          capacity -- take the new tuple unconditionally;
+        * otherwise -- accept the new tuple with probability
+          ``sample_size / (relation_size + 1)`` and evict a uniformly
+          random member, keeping the size constant.  Growing the
+          sample from inserts would bias it toward new tuples, which
+          is why a deletion-shrunk sample can only be regrown by a
+          base-data rescan ([GMP97b]).
+        """
+        if row_id in self._members:
+            raise SynopsisError(f"duplicate row id {row_id}")
+        self.counters.inserts += 1
+        holds_whole_relation = (
+            len(self._members) == self._relation_size
+        )
+        self._relation_size += 1
+        if holds_whole_relation and len(self._members) < self.capacity:
+            self._members[row_id] = value
+            self._order.append(row_id)
+            return
+        if not self._order:
+            return
+        self.counters.flips += 1
+        accept_probability = len(self._order) / self._relation_size
+        if not self._rng.bernoulli(accept_probability):
+            return
+        victim_index = self._rng.choice_index(len(self._order))
+        victim_id = self._order[victim_index]
+        del self._members[victim_id]
+        self._order[victim_index] = row_id
+        self._members[row_id] = value
+
+    def delete_row(self, row_id: int) -> None:
+        """Observe the deletion of one identified tuple.
+
+        If the tuple is in the sample it is removed (the remaining
+        members stay a uniform sample of the remaining relation).
+        Falling below ``min_size`` raises :attr:`needs_rescan`.
+        """
+        self.counters.deletes += 1
+        if self._relation_size <= 0:
+            raise SynopsisError("delete from an empty relation")
+        self._relation_size -= 1
+        member_value = self._members.pop(row_id, None)
+        if member_value is None:
+            return
+        # Swap-remove from the order list.
+        index = self._order.index(row_id)
+        self._order[index] = self._order[-1]
+        self._order.pop()
+        if (
+            len(self._members) < self.min_size
+            and self._relation_size >= self.min_size
+        ):
+            self.needs_rescan = True
+
+    def rebuild(self, rows: Iterable[tuple[int, int]]) -> None:
+        """Recompute the sample from a full scan of ``(id, value)`` rows.
+
+        Charges one disk access per scanned row and clears
+        :attr:`needs_rescan`.  The scan must reflect the current
+        relation contents.
+        """
+        members: dict[int, int] = {}
+        order: list[int] = []
+        scanned = 0
+        for row_id, value in rows:
+            scanned += 1
+            self.counters.disk_accesses += 1
+            if len(order) < self.capacity:
+                members[row_id] = value
+                order.append(row_id)
+                continue
+            self.counters.flips += 1
+            if self._rng.bernoulli(self.capacity / scanned):
+                victim_index = self._rng.choice_index(len(order))
+                del members[order[victim_index]]
+                order[victim_index] = row_id
+                members[row_id] = value
+        self._members = members
+        self._order = order
+        self._relation_size = scanned
+        self.needs_rescan = False
+
+    def check_invariants(self) -> None:
+        """Validate sample-size bounds and internal consistency."""
+        if set(self._order) != set(self._members):
+            raise SynopsisError("order list out of sync with members")
+        if len(self._members) > self.capacity:
+            raise SynopsisError("sample exceeds capacity")
+        if len(self._members) > self._relation_size:
+            raise SynopsisError("sample larger than relation")

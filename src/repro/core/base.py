@@ -1,0 +1,66 @@
+"""Shared interface for incrementally-maintained stream synopses.
+
+Every synopsis in this library -- the paper's three sample types, the
+companion sketches, and the histograms -- observes a stream of inserted
+attribute values and answers questions from a bounded memory footprint.
+The footprint unit follows the paper's model (footnote 3): one "word"
+per stored value and one per stored count.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+import numpy as np
+
+from repro.randkit.coins import CostCounters
+
+__all__ = ["StreamSynopsis", "SynopsisError"]
+
+
+class SynopsisError(RuntimeError):
+    """Raised when a synopsis is configured or used inconsistently."""
+
+
+class StreamSynopsis(ABC):
+    """Base class for synopses maintained under stream insertions.
+
+    Subclasses implement :meth:`insert`; the bulk entry points default
+    to per-element loops and may be overridden with faster paths (the
+    concise sample, for instance, jumps over skipped inserts in blocks).
+    """
+
+    def __init__(self, counters: CostCounters | None = None) -> None:
+        self.counters = counters if counters is not None else CostCounters()
+
+    @abstractmethod
+    def insert(self, value: int) -> None:
+        """Observe one inserted attribute value."""
+
+    def insert_many(self, values: Iterable[int]) -> None:
+        """Observe a sequence of inserted values, in order."""
+        for value in values:
+            self.insert(int(value))
+
+    def insert_array(self, values: np.ndarray) -> None:
+        """Observe a numpy array of inserted values, in order.
+
+        The default delegates to :meth:`insert`; subclasses override
+        this when a vectorised or skip-ahead path exists.
+        """
+        for value in values.tolist():
+            self.insert(value)
+
+    @property
+    @abstractmethod
+    def footprint(self) -> int:
+        """Current memory footprint in words."""
+
+    def check_invariants(self) -> None:
+        """Validate internal bookkeeping; raises on inconsistency.
+
+        The default does nothing; stateful subclasses recompute their
+        incremental counters from first principles.  Tests call this
+        after every scenario.
+        """

@@ -1,0 +1,322 @@
+"""Concise samples with incremental maintenance (paper Section 3).
+
+A concise sample (Definition 1) is a uniform random sample of an
+attribute in which values appearing more than once are represented as a
+``(value, count)`` pair.  With *sample-size* the number of represented
+sample points and *footprint* the number of memory words used
+(Definition 2), the sample-size is never smaller than the footprint and
+can be arbitrarily larger on skewed data.
+
+The maintenance algorithm (Section 3.1) keeps an entry threshold
+``tau`` (initially 1).  Each warehouse insert enters the sample with
+probability ``1/tau``; when the footprint would exceed its bound, the
+threshold is raised to some ``tau' > tau`` and every current sample
+point survives independently with probability ``tau/tau'`` (Theorem 2
+proves the result is a uniform sample at threshold ``tau'``).  Geometric
+skip counters make the amortised cost O(1) per insert.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.core.base import StreamSynopsis, SynopsisError
+from repro.core.thresholds import MultiplicativeRaise, ThresholdPolicy
+from repro.randkit.coins import CostCounters, EvictionSkipper, GeometricSkipper
+from repro.randkit.rng import ReproRandom
+
+__all__ = ["ConciseSample"]
+
+
+class ConciseSample(StreamSynopsis):
+    """A concise sample maintained within a fixed footprint bound.
+
+    Parameters
+    ----------
+    footprint_bound:
+        Maximum number of memory words (``m`` in the paper); at least 2
+        so one ``(value, count)`` pair always fits.
+    seed:
+        Seed for all randomness of this sample instance.
+    policy:
+        Threshold-raise policy; defaults to the paper's 10%
+        multiplicative raise.
+    counters:
+        Optional shared cost ledger (one is created if omitted).
+
+    Examples
+    --------
+    >>> sample = ConciseSample(footprint_bound=8, seed=7)
+    >>> for value in [3, 3, 3, 5, 9]:
+    ...     sample.insert(value)
+    >>> sample.sample_size
+    5
+    >>> sample.footprint <= 8
+    True
+    """
+
+    def __init__(
+        self,
+        footprint_bound: int,
+        *,
+        seed: int | None = None,
+        policy: ThresholdPolicy | None = None,
+        counters: CostCounters | None = None,
+    ) -> None:
+        super().__init__(counters)
+        if footprint_bound < 2:
+            raise SynopsisError("footprint_bound must be at least 2")
+        self.footprint_bound = footprint_bound
+        self.policy = policy if policy is not None else MultiplicativeRaise()
+        self._rng = ReproRandom(seed)
+        self._counts: dict[int, int] = {}
+        self._footprint = 0
+        self._sample_size = 0
+        self._threshold = 1.0
+        self._admission = GeometricSkipper(self._rng, self.counters, 1.0)
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def threshold(self) -> float:
+        """Current entry threshold ``tau`` (admission probability 1/tau)."""
+        return self._threshold
+
+    @property
+    def footprint(self) -> int:
+        """Words used: one per singleton, two per ``(value, count)`` pair."""
+        return self._footprint
+
+    @property
+    def sample_size(self) -> int:
+        """Number of sample points represented (``m'`` in the paper)."""
+        return self._sample_size
+
+    @property
+    def distinct_in_sample(self) -> int:
+        """Number of distinct values currently in the sample."""
+        return len(self._counts)
+
+    @property
+    def total_inserted(self) -> int:
+        """Warehouse inserts observed so far (the relation size ``n``)."""
+        return self.counters.inserts
+
+    def __contains__(self, value: int) -> bool:
+        return value in self._counts
+
+    def __len__(self) -> int:
+        return self._sample_size
+
+    def __repr__(self) -> str:
+        return (
+            f"ConciseSample(footprint={self._footprint}/"
+            f"{self.footprint_bound}, sample_size={self._sample_size}, "
+            f"threshold={self._threshold:.3f})"
+        )
+
+    def count_of(self, value: int) -> int:
+        """How many sample points equal ``value`` (0 if absent)."""
+        return self._counts.get(value, 0)
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Iterate ``(value, sample count)`` for every value present."""
+        return iter(self._counts.items())
+
+    def as_dict(self) -> dict[int, int]:
+        """A copy of the sample as ``{value: sample count}``."""
+        return dict(self._counts)
+
+    def count_histogram(self) -> Mapping[int, int]:
+        """Map from sample count to the number of values with it."""
+        return Counter(self._counts.values())
+
+    def bit_footprint(self, value_bits: int = 32) -> int:
+        """Footprint in bits under variable-length count encoding
+        (paper footnote 3)."""
+        from repro.core.footprint import bit_footprint
+
+        return bit_footprint(self._counts, value_bits)
+
+    def sample_points(self) -> np.ndarray:
+        """The sample expanded to individual points, as an array.
+
+        The result is a uniform random sample (with the threshold
+        semantics of Theorem 2) of all values inserted so far, and can
+        be fed to any conventional sampling-based estimator.
+        """
+        if not self._counts:
+            return np.empty(0, dtype=np.int64)
+        values = np.fromiter(
+            self._counts.keys(), dtype=np.int64, count=len(self._counts)
+        )
+        counts = np.fromiter(
+            self._counts.values(), dtype=np.int64, count=len(self._counts)
+        )
+        return np.repeat(values, counts)
+
+    def estimate_frequency(self, value: int) -> float:
+        """Estimated occurrence count of ``value`` in the full relation.
+
+        Scales the sample count by ``n / m'`` as in Section 5.1.
+        Returns 0.0 for values not in the sample (which is also the
+        estimate an empty sample gives).
+        """
+        if self._sample_size == 0:
+            return 0.0
+        scale = self.counters.inserts / self._sample_size
+        return self._counts.get(value, 0) * scale
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, value: int) -> bool:
+        """Observe one warehouse insert; returns ``True`` if sampled."""
+        self.counters.inserts += 1
+        if not self._admission.offer():
+            return False
+        self._add_sample_point(value)
+        if self._footprint > self.footprint_bound:
+            self._shrink()
+        return True
+
+    def insert_array(self, values: np.ndarray) -> None:
+        """Skip-ahead bulk insertion.
+
+        Jumps directly between admitted stream positions, so the cost
+        is proportional to the number of *admitted* inserts plus
+        threshold raises -- not the stream length -- once the threshold
+        exceeds 1.
+        """
+        position = 0
+        n = len(values)
+        while position < n:
+            offset = self._admission.next_admission_within(n - position)
+            if offset is None:
+                self.counters.inserts += n - position
+                return
+            self.counters.inserts += offset + 1
+            position += offset
+            self._add_sample_point(int(values[position]))
+            position += 1
+            if self._footprint > self.footprint_bound:
+                self._shrink()
+
+    def _add_sample_point(self, value: int) -> None:
+        """Place an admitted value into the concise representation."""
+        self.counters.lookups += 1
+        count = self._counts.get(value, 0)
+        if count <= 1:
+            # New singleton, or singleton converting to a pair: either
+            # way the footprint grows by one word.
+            self._footprint += 1
+        self._counts[value] = count + 1
+        self._sample_size += 1
+
+    def _shrink(self) -> None:
+        """Raise the threshold until the footprint is within bound."""
+        while self._footprint > self.footprint_bound:
+            new_threshold = self.policy.next_threshold(self)
+            if new_threshold <= self._threshold:
+                raise SynopsisError(
+                    "threshold policy failed to raise the threshold"
+                )
+            self._evict_to(new_threshold)
+
+    def _evict_to(self, new_threshold: float) -> None:
+        """Subject every sample point to the stricter threshold.
+
+        Each point survives with probability ``tau / tau'``; the sweep
+        uses geometric skips so the flip count is proportional to the
+        number of evictions, not the sample-size.
+        """
+        self.counters.threshold_raises += 1
+        eviction_probability = 1.0 - self._threshold / new_threshold
+        sweeper = EvictionSkipper(
+            self._rng, self.counters, eviction_probability
+        )
+        for value in list(self._counts):
+            count = self._counts[value]
+            evicted = sweeper.evictions_within(count)
+            if not evicted:
+                continue
+            remaining = count - evicted
+            self._sample_size -= evicted
+            if remaining == 0:
+                del self._counts[value]
+                self._footprint -= 2 if count >= 2 else 1
+            else:
+                self._counts[value] = remaining
+                if remaining == 1 and count >= 2:
+                    self._footprint -= 1
+        self._threshold = new_threshold
+        self._admission.raise_threshold(new_threshold)
+
+    # ------------------------------------------------------------------
+    # Construction from existing state / validation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_state(
+        cls,
+        counts: Mapping[int, int],
+        threshold: float,
+        footprint_bound: int,
+        *,
+        total_inserted: int = 0,
+        seed: int | None = None,
+        policy: ThresholdPolicy | None = None,
+        counters: CostCounters | None = None,
+    ) -> "ConciseSample":
+        """Build a concise sample from an explicit ``{value: count}`` state.
+
+        Used by the offline construction and the counting-to-concise
+        conversion.  The state must already respect the footprint
+        bound.
+        """
+        sample = cls(
+            footprint_bound,
+            seed=seed,
+            policy=policy,
+            counters=counters,
+        )
+        for value, count in counts.items():
+            if count <= 0:
+                raise SynopsisError("counts must be positive")
+            sample._counts[int(value)] = int(count)
+            sample._footprint += 1 if count == 1 else 2
+            sample._sample_size += count
+        if sample._footprint > footprint_bound:
+            raise SynopsisError("state exceeds the footprint bound")
+        if threshold < 1.0:
+            raise SynopsisError("threshold must be at least 1")
+        sample._threshold = float(threshold)
+        sample.counters.inserts += total_inserted
+        if threshold > 1.0:
+            sample._admission.raise_threshold(float(threshold))
+        return sample
+
+    def check_invariants(self) -> None:
+        """Recompute bookkeeping from the raw state; raise on drift."""
+        footprint = sum(1 if c == 1 else 2 for c in self._counts.values())
+        sample_size = sum(self._counts.values())
+        if footprint != self._footprint:
+            raise SynopsisError(
+                f"footprint drift: stored {self._footprint}, "
+                f"actual {footprint}"
+            )
+        if sample_size != self._sample_size:
+            raise SynopsisError(
+                f"sample-size drift: stored {self._sample_size}, "
+                f"actual {sample_size}"
+            )
+        if self._footprint > self.footprint_bound:
+            raise SynopsisError("footprint exceeds its bound")
+        if any(c <= 0 for c in self._counts.values()):
+            raise SynopsisError("non-positive sample count")

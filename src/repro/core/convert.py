@@ -1,0 +1,68 @@
+"""Conversion of a counting sample into a concise sample (Section 4).
+
+A counting sample is not a uniform random sample -- counts after
+admission are exact, not sampled -- but it can be turned into one
+without touching the base data: for each ``(value, count)`` pair, flip
+``count - 1`` coins with heads probability ``1/tau`` and keep one point
+per heads, plus the one point that earned admission.  The result is
+distributed exactly as a concise sample at threshold ``tau``.
+"""
+
+from __future__ import annotations
+
+from repro.core.concise import ConciseSample
+from repro.core.counting import CountingSample
+from repro.randkit.coins import CostCounters, EvictionSkipper
+from repro.randkit.rng import ReproRandom
+
+__all__ = ["counting_to_concise"]
+
+
+def counting_to_concise(
+    counting: CountingSample,
+    seed: int,
+    *,
+    counters: CostCounters | None = None,
+) -> ConciseSample:
+    """Derive a concise sample from a counting sample.
+
+    The counting sample is left untouched.  The returned concise
+    sample inherits the footprint bound, threshold, and relation size;
+    its footprint can only be equal or smaller (counts shrink, and a
+    pair whose resampled count reaches 1 reverts to a singleton).
+
+    Parameters
+    ----------
+    counting:
+        The source counting sample.
+    seed:
+        Randomness for the resampling coin flips.
+    counters:
+        Optional ledger for the conversion cost (flips are charged with
+        skip-based accounting: one per retained extra point).
+    """
+    rng = ReproRandom(seed)
+    ledger = counters if counters is not None else CostCounters()
+    threshold = counting.threshold
+    keep_probability = 1.0 / threshold
+    counts: dict[int, int] = {}
+    if threshold <= 1.0:
+        # Every occurrence was counted from the start; the counting
+        # sample already is an exact (and hence uniform) sample.
+        counts = counting.as_dict()
+    else:
+        # One skip-sweeper treats "heads" as the rare event across the
+        # concatenated runs of subsequent occurrences.
+        sweeper = EvictionSkipper(rng, ledger, keep_probability)
+        for value, count in counting.pairs():
+            kept_extra = sweeper.evictions_within(count - 1)
+            counts[value] = 1 + kept_extra
+
+    return ConciseSample.from_state(
+        counts,
+        threshold=threshold,
+        footprint_bound=counting.footprint_bound,
+        total_inserted=counting.total_inserted,
+        counters=ledger,
+        seed=rng.fork().seed,
+    )

@@ -1,0 +1,259 @@
+"""Counting samples with insert/delete maintenance (paper Section 4).
+
+A counting sample (Definition 3) is the variation of a concise sample
+in which, once a value wins an admission coin flip, **all** of its
+subsequent occurrences are counted exactly.  The count is therefore not
+a sample count but an observed tail count of the value's occurrences,
+which is why Section 5's hot-list reporter adds the compensation
+constant ``c-hat`` rather than scaling.
+
+Maintenance (Section 4.1): every insert looks up its value; a present
+value has its count incremented (no randomness), an absent value is
+admitted with probability ``1/tau``.  When the footprint overflows,
+the threshold is raised to ``tau'`` and every value re-runs its
+admission tail: a first coin with heads probability ``tau/tau'``, then
+further coins at ``1/tau'``, decrementing the count on each tails until
+a heads or zero (Theorem 5 proves correctness).  Deletions simply
+decrement (Theorem 5 again), which is the decisive advantage over
+concise samples.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.core.base import StreamSynopsis, SynopsisError
+from repro.core.thresholds import MultiplicativeRaise, ThresholdPolicy
+from repro.randkit.coins import CostCounters, GeometricSkipper
+from repro.randkit.rng import ReproRandom
+
+__all__ = ["CountingSample"]
+
+
+class CountingSample(StreamSynopsis):
+    """A counting sample maintained within a fixed footprint bound.
+
+    Parameters mirror :class:`~repro.core.concise.ConciseSample`.
+
+    Examples
+    --------
+    >>> sample = CountingSample(footprint_bound=8, seed=7)
+    >>> for value in [3, 3, 3, 5]:
+    ...     sample.insert(value)
+    >>> sample.count_of(3)   # all occurrences counted once admitted
+    3
+    >>> sample.delete(3)
+    >>> sample.count_of(3)
+    2
+    """
+
+    def __init__(
+        self,
+        footprint_bound: int,
+        *,
+        seed: int | None = None,
+        policy: ThresholdPolicy | None = None,
+        counters: CostCounters | None = None,
+    ) -> None:
+        super().__init__(counters)
+        if footprint_bound < 2:
+            raise SynopsisError("footprint_bound must be at least 2")
+        self.footprint_bound = footprint_bound
+        self.policy = policy if policy is not None else MultiplicativeRaise()
+        self._rng = ReproRandom(seed)
+        self._counts: dict[int, int] = {}
+        self._footprint = 0
+        self._threshold = 1.0
+        # The admission skipper advances one step per *absent-value*
+        # insert event; each such event is an independent 1/tau coin.
+        self._admission = GeometricSkipper(self._rng, self.counters, 1.0)
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def threshold(self) -> float:
+        """Current entry threshold ``tau``."""
+        return self._threshold
+
+    @property
+    def footprint(self) -> int:
+        """Words used: one per singleton, two per ``(value, count)`` pair."""
+        return self._footprint
+
+    @property
+    def distinct_in_sample(self) -> int:
+        """Number of distinct values currently in the sample."""
+        return len(self._counts)
+
+    @property
+    def total_count(self) -> int:
+        """Sum of all observed counts in the sample."""
+        return sum(self._counts.values())
+
+    @property
+    def total_inserted(self) -> int:
+        """Net relation size ``n`` implied by the observed stream."""
+        return self.counters.inserts - self.counters.deletes
+
+    def __contains__(self, value: int) -> bool:
+        return value in self._counts
+
+    def __repr__(self) -> str:
+        return (
+            f"CountingSample(footprint={self._footprint}/"
+            f"{self.footprint_bound}, distinct={len(self._counts)}, "
+            f"threshold={self._threshold:.3f})"
+        )
+
+    def count_of(self, value: int) -> int:
+        """The observed count of ``value`` (0 if absent)."""
+        return self._counts.get(value, 0)
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Iterate ``(value, observed count)`` for every value present."""
+        return iter(self._counts.items())
+
+    def as_dict(self) -> dict[int, int]:
+        """A copy of the sample as ``{value: observed count}``."""
+        return dict(self._counts)
+
+    def count_histogram(self) -> Mapping[int, int]:
+        """Map from observed count to the number of values with it."""
+        return Counter(self._counts.values())
+
+    def bit_footprint(self, value_bits: int = 32) -> int:
+        """Footprint in bits under variable-length count encoding
+        (paper footnote 3)."""
+        from repro.core.footprint import bit_footprint
+
+        return bit_footprint(self._counts, value_bits)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, value: int) -> None:
+        """Observe one warehouse insert of ``value``."""
+        self.counters.inserts += 1
+        self.counters.lookups += 1
+        count = self._counts.get(value, 0)
+        if count > 0:
+            self._counts[value] = count + 1
+            if count == 1:
+                # Singleton becomes a (value, count) pair.
+                self._footprint += 1
+                if self._footprint > self.footprint_bound:
+                    self._shrink()
+            return
+        if not self._admission.offer():
+            return
+        self._counts[value] = 1
+        self._footprint += 1
+        if self._footprint > self.footprint_bound:
+            self._shrink()
+
+    def insert_array(self, values: np.ndarray) -> None:
+        """Bulk insertion (per-element: every insert needs a lookup)."""
+        # Unlike concise samples, a counting sample cannot skip stream
+        # elements -- present values must be counted -- so the bulk path
+        # is a tight loop over a Python list (tolist() avoids repeated
+        # numpy scalar boxing).
+        for value in values.tolist():
+            self.insert(value)
+
+    def delete(self, value: int) -> None:
+        """Observe one warehouse delete of ``value``.
+
+        If the value is in the sample its count is decremented (and the
+        value removed on reaching zero); otherwise nothing changes.
+        Theorem 5 shows this preserves the counting-sample property.
+        """
+        self.counters.deletes += 1
+        self.counters.lookups += 1
+        count = self._counts.get(value, 0)
+        if count == 0:
+            return
+        if count == 1:
+            del self._counts[value]
+            self._footprint -= 1
+        else:
+            self._counts[value] = count - 1
+            if count == 2:
+                # Pair reverts to a singleton.
+                self._footprint -= 1
+
+    def _shrink(self) -> None:
+        """Raise the threshold until the footprint is within bound."""
+        while self._footprint > self.footprint_bound:
+            new_threshold = self.policy.next_threshold(self)
+            if new_threshold <= self._threshold:
+                raise SynopsisError(
+                    "threshold policy failed to raise the threshold"
+                )
+            self._evict_to(new_threshold)
+
+    def _evict_to(self, new_threshold: float) -> None:
+        """Re-run every value's admission tail at the stricter threshold.
+
+        For each value: first coin heads with probability
+        ``tau / tau'`` (keep the full count); on tails decrement and
+        keep flipping at ``1/tau'`` until a heads or the count reaches
+        zero.  The tails run is drawn in closed form (a geometric),
+        so the cost is O(1) flips per value.
+        """
+        self.counters.threshold_raises += 1
+        keep_probability = self._threshold / new_threshold
+        tail_log = math.log1p(-1.0 / new_threshold)
+        for value in list(self._counts):
+            # One uniform drives the whole per-value decision: its
+            # position below/above keep_probability is the first coin,
+            # and conditioned on tails, the renormalised remainder is a
+            # fresh uniform that inverts the geometric tails run.
+            self.counters.flips += 1
+            u = self._rng.uniform()
+            if u < keep_probability:
+                continue
+            count = self._counts[value]
+            removed = 1
+            remaining = count - 1
+            if remaining > 0:
+                conditional = (u - keep_probability) / (
+                    1.0 - keep_probability
+                )
+                # Inverse-CDF of the further-tails geometric; guard the
+                # degenerate endpoint where the uniform renormalises
+                # to exactly 0.
+                if conditional <= 0.0:
+                    tails = remaining
+                else:
+                    tails = int(math.log(conditional) / tail_log)
+                removed += min(tails, remaining)
+            new_count = count - removed
+            if new_count == 0:
+                del self._counts[value]
+                self._footprint -= 2 if count >= 2 else 1
+            else:
+                self._counts[value] = new_count
+                if new_count == 1 and count >= 2:
+                    self._footprint -= 1
+        self._threshold = new_threshold
+        self._admission.raise_threshold(new_threshold)
+
+    def check_invariants(self) -> None:
+        """Recompute bookkeeping from the raw state; raise on drift."""
+        footprint = sum(1 if c == 1 else 2 for c in self._counts.values())
+        if footprint != self._footprint:
+            raise SynopsisError(
+                f"footprint drift: stored {self._footprint}, "
+                f"actual {footprint}"
+            )
+        if self._footprint > self.footprint_bound:
+            raise SynopsisError("footprint exceeds its bound")
+        if any(c <= 0 for c in self._counts.values()):
+            raise SynopsisError("non-positive observed count")

@@ -1,0 +1,49 @@
+"""Footprint accounting helpers.
+
+The paper's default cost model (footnote 3) charges one memory word
+per stored value and one per stored count.  The same footnote notes
+that "variable-length encoding could be used for the counts, so that
+only ceil(lg x) bits are needed to store x as a count; this reduces
+the footprint but complicates the memory management."  These helpers
+compute both accountings from a ``{value: count}`` state so the
+word-model and bit-model footprints can be compared (see the
+``examples`` and the footprint tests).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["bit_footprint", "word_footprint"]
+
+
+def word_footprint(counts: Mapping[int, int]) -> int:
+    """Words used by the concise representation: one per singleton,
+    two per ``(value, count)`` pair."""
+    return sum(1 if count == 1 else 2 for count in counts.values())
+
+
+def bit_footprint(
+    counts: Mapping[int, int],
+    value_bits: int = 32,
+) -> int:
+    """Bits used with variable-length count encoding.
+
+    Each entry stores its value in ``value_bits`` bits plus one flag
+    bit marking whether a count follows; a pair's count ``x`` is
+    stored in ``max(1, ceil(lg(x + 1)))`` bits.  (A real implementation
+    would also need a length prefix or self-delimiting code for the
+    counts; the flag-plus-minimal-bits model matches the footnote's
+    accounting.)
+    """
+    if value_bits < 1:
+        raise ValueError("value_bits must be positive")
+    total = 0
+    for count in counts.values():
+        if count < 1:
+            raise ValueError("counts must be positive")
+        total += value_bits + 1
+        if count > 1:
+            # ceil(lg(count + 1)) == count.bit_length() for count >= 1.
+            total += count.bit_length()
+    return total

@@ -1,0 +1,194 @@
+"""Traditional samples via reservoir sampling (Vitter [Vit85]).
+
+This is the baseline synopsis the paper compares against: a uniform
+random sample of fixed size ``m`` whose footprint equals its
+sample-size.  Maintenance uses Algorithm X's skip technique -- one
+uniform draw determines how many stream records to skip before the
+next reservoir replacement -- so a full pass costs roughly
+``2 m ln(n/m)`` counted flips (one skip draw plus one victim-slot draw
+per replacement), matching the "traditional" rows of Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.base import StreamSynopsis, SynopsisError
+from repro.randkit.coins import CostCounters
+from repro.randkit.rng import ReproRandom
+
+__all__ = ["ReservoirSample"]
+
+
+class ReservoirSample(StreamSynopsis):
+    """A uniform reservoir sample of fixed capacity.
+
+    Parameters
+    ----------
+    capacity:
+        The sample size ``m`` (equal to the footprint for a
+        traditional sample).
+    seed:
+        Seed for all randomness of this sample instance.
+    counters:
+        Optional shared cost ledger.
+
+    Examples
+    --------
+    >>> sample = ReservoirSample(capacity=3, seed=1)
+    >>> sample.insert_many(range(100))
+    >>> len(sample.points()) == 3
+    True
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        seed: int | None = None,
+        counters: CostCounters | None = None,
+    ) -> None:
+        super().__init__(counters)
+        if capacity < 1:
+            raise SynopsisError("capacity must be at least 1")
+        self.capacity = capacity
+        self._rng = ReproRandom(seed)
+        self._reservoir: list[int] = []
+        self._seen = 0
+        self._pending_skip = -1  # -1: no skip drawn yet (filling phase)
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def footprint(self) -> int:
+        """Words used -- identical to the current sample size."""
+        return len(self._reservoir)
+
+    @property
+    def sample_size(self) -> int:
+        """Number of sample points (at most ``capacity``)."""
+        return len(self._reservoir)
+
+    @property
+    def total_inserted(self) -> int:
+        """Stream records observed so far."""
+        return self._seen
+
+    def points(self) -> list[int]:
+        """A copy of the current sample points."""
+        return list(self._reservoir)
+
+    def as_array(self) -> np.ndarray:
+        """The current sample points as an ``int64`` array."""
+        return np.asarray(self._reservoir, dtype=np.int64)
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Semi-sort the sample into ``(value, count)`` pairs.
+
+        This is the first step of the traditional hot-list reporter
+        (Section 5.1): collapse repeated sample points into pairs.
+        """
+        return iter(Counter(self._reservoir).items())
+
+    def estimate_frequency(self, value: int) -> float:
+        """Estimated relation count of ``value``: sample count times
+        ``n / m``."""
+        if not self._reservoir:
+            return 0.0
+        scale = self._seen / len(self._reservoir)
+        return sum(1 for point in self._reservoir if point == value) * scale
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, value: int) -> None:
+        """Observe one stream record (Algorithm X skip technique).
+
+        The skip is drawn lazily from the number of records already
+        processed; a pending skip invalidated by :meth:`insert_array`
+        is simply redrawn, which is distributionally exact because the
+        per-record acceptance events are independent.
+        """
+        self.counters.inserts += 1
+        if len(self._reservoir) < self.capacity:
+            self._seen += 1
+            self._reservoir.append(value)
+            return
+        if self._pending_skip < 0:
+            self._pending_skip = self._draw_skip()
+        self._seen += 1
+        if self._pending_skip == 0:
+            self._replace(value)
+            self._pending_skip = -1
+        else:
+            self._pending_skip -= 1
+
+    def insert_array(self, values: np.ndarray) -> None:
+        """Vectorised bulk insertion.
+
+        Statistically identical to repeated :meth:`insert` (record
+        ``t`` enters with probability ``m/t`` and replaces a uniform
+        slot); flips are charged with the same skip-based accounting
+        (two per replacement).
+        """
+        position = 0
+        n = len(values)
+        self.counters.inserts += n
+        # Fill phase.
+        while position < n and len(self._reservoir) < self.capacity:
+            self._reservoir.append(int(values[position]))
+            self._seen += 1
+            position += 1
+        if position >= n:
+            return
+        remaining = np.asarray(values[position:])
+        count = len(remaining)
+        record_numbers = self._seen + 1 + np.arange(count, dtype=np.float64)
+        bulk_rng = np.random.default_rng(self._rng.fork().seed)
+        accepted = (
+            bulk_rng.random(count) * record_numbers < self.capacity
+        ).nonzero()[0]
+        slots = bulk_rng.integers(self.capacity, size=len(accepted))
+        for offset, slot in zip(accepted.tolist(), slots.tolist()):
+            self._reservoir[slot] = int(remaining[offset])
+        self.counters.flips += 2 * len(accepted)
+        self._seen += count
+        # Invalidate any pending per-record skip; it will be redrawn.
+        self._pending_skip = -1
+
+    def _draw_skip(self) -> int:
+        """Records to skip before the next replacement.
+
+        Sequential-search inversion of the skip distribution:
+        ``P(skip > s) = prod_{i=1..s+1} (1 - m/(seen+i))``.  One
+        counted flip consumes the single uniform driving the search.
+        """
+        self.counters.flips += 1
+        u = self._rng.uniform()
+        skip = 0
+        tail = 1.0 - self.capacity / (self._seen + 1)
+        while tail > u:
+            skip += 1
+            tail *= 1.0 - self.capacity / (self._seen + skip + 1)
+        return skip
+
+    def _replace(self, value: int) -> None:
+        """Replace a uniformly chosen reservoir slot with ``value``."""
+        self.counters.flips += 1
+        slot = self._rng.choice_index(self.capacity)
+        self._reservoir[slot] = value
+
+    def check_invariants(self) -> None:
+        """Validate the reservoir never exceeds its capacity."""
+        if len(self._reservoir) > self.capacity:
+            raise SynopsisError("reservoir exceeds capacity")
+        if self._seen >= self.capacity and len(self._reservoir) != min(
+            self._seen, self.capacity
+        ):
+            raise SynopsisError("reservoir under-filled")

@@ -1,0 +1,196 @@
+"""Threshold-raise policies for concise and counting samples.
+
+When a sample's footprint exceeds its bound, the maintenance algorithms
+raise the entry threshold from ``tau`` to some ``tau'`` and subject the
+current sample to the stricter threshold (Sections 3.1 and 4.1).  The
+paper notes "complete flexibility in deciding ... what the new
+threshold should be" and discusses the trade-off:
+
+* a large raise evicts more than necessary (smaller sample-size, fewer
+  raises),
+* a small raise risks not decreasing the footprint at all (the raise
+  procedure repeats), and
+* smarter selection -- binary search on the expected footprint
+  decrease, or a bound via the singleton count -- costs a more
+  elaborate algorithm.
+
+The paper's experiments raise by 10% each time
+(:class:`MultiplicativeRaise` with factor 1.1, the default everywhere
+in this library); the alternatives here feed the threshold-policy
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Mapping, Protocol
+
+__all__ = [
+    "BinarySearchRaise",
+    "MultiplicativeRaise",
+    "SingletonBoundRaise",
+    "ThresholdPolicy",
+]
+
+
+class _SampleState(Protocol):
+    """The view of a sample a policy may inspect."""
+
+    @property
+    def threshold(self) -> float: ...
+
+    @property
+    def footprint(self) -> int: ...
+
+    @property
+    def footprint_bound(self) -> int: ...
+
+    def count_histogram(self) -> Mapping[int, int]:
+        """Map from per-value count to how many values have that count."""
+
+
+class ThresholdPolicy(ABC):
+    """Strategy for choosing the next, strictly higher threshold."""
+
+    @abstractmethod
+    def next_threshold(self, sample: _SampleState) -> float:
+        """The new threshold ``tau' > tau`` to evict under."""
+
+
+class MultiplicativeRaise(ThresholdPolicy):
+    """Raise the threshold by a constant factor (paper default 1.1)."""
+
+    def __init__(self, factor: float = 1.1) -> None:
+        if factor <= 1.0:
+            raise ValueError("factor must exceed 1")
+        self.factor = factor
+
+    def next_threshold(self, sample: _SampleState) -> float:
+        return sample.threshold * self.factor
+
+    def __repr__(self) -> str:
+        return f"MultiplicativeRaise(factor={self.factor})"
+
+
+def expected_footprint_decrease(
+    count_histogram: Mapping[int, int], keep_probability: float
+) -> float:
+    """Expected footprint decrease of a concise-sample eviction sweep.
+
+    Each sample point survives independently with ``keep_probability``
+    (= ``tau / tau'``).  A singleton frees one word when evicted; a
+    ``(value, count)`` pair frees one word when exactly one point
+    survives and two when none do.
+    """
+    if not 0.0 <= keep_probability <= 1.0:
+        raise ValueError("keep probability must be in [0, 1]")
+    q = keep_probability
+    decrease = 0.0
+    for count, how_many in count_histogram.items():
+        if count <= 0:
+            continue
+        p_zero = (1.0 - q) ** count
+        if count == 1:
+            decrease += how_many * p_zero
+        else:
+            p_one = count * q * (1.0 - q) ** (count - 1)
+            decrease += how_many * (p_one + 2.0 * p_zero)
+    return decrease
+
+
+class SingletonBoundRaise(ThresholdPolicy):
+    """Set ``tau'`` so the singleton evictions alone suffice.
+
+    The paper sketches "setting the threshold so that ``(1 - tau/tau')``
+    times the number of singletons is a lower bound on the desired
+    decrease in the footprint".  Each evicted singleton frees exactly
+    one word, so ``tau' = tau / (1 - desired / singletons)`` guarantees
+    the expected decrease.  Falls back to a multiplicative raise when
+    there are too few singletons for the bound to be usable.
+    """
+
+    def __init__(
+        self,
+        decrease_fraction: float = 0.05,
+        fallback_factor: float = 2.0,
+    ) -> None:
+        if not 0.0 < decrease_fraction < 1.0:
+            raise ValueError("decrease_fraction must be in (0, 1)")
+        if fallback_factor <= 1.0:
+            raise ValueError("fallback_factor must exceed 1")
+        self.decrease_fraction = decrease_fraction
+        self.fallback_factor = fallback_factor
+
+    def next_threshold(self, sample: _SampleState) -> float:
+        desired = max(
+            1.0,
+            self.decrease_fraction * sample.footprint,
+            sample.footprint - sample.footprint_bound,
+        )
+        singletons = sample.count_histogram().get(1, 0)
+        if singletons <= desired:
+            return sample.threshold * self.fallback_factor
+        return sample.threshold / (1.0 - desired / singletons)
+
+    def __repr__(self) -> str:
+        return (
+            f"SingletonBoundRaise(decrease_fraction={self.decrease_fraction},"
+            f" fallback_factor={self.fallback_factor})"
+        )
+
+
+class BinarySearchRaise(ThresholdPolicy):
+    """Binary-search ``tau'`` for a target expected footprint decrease.
+
+    The paper's "binary search to find a threshold that will create the
+    desired decrease in the footprint".  Searches the raise factor in
+    ``(1, max_factor]`` for the smallest factor whose expected decrease
+    (under the concise eviction model) meets the target; the same model
+    is a close upper bound for counting samples, whose eviction is at
+    least as aggressive.
+    """
+
+    def __init__(
+        self,
+        decrease_fraction: float = 0.05,
+        max_factor: float = 64.0,
+        iterations: int = 40,
+    ) -> None:
+        if not 0.0 < decrease_fraction < 1.0:
+            raise ValueError("decrease_fraction must be in (0, 1)")
+        if max_factor <= 1.0:
+            raise ValueError("max_factor must exceed 1")
+        if iterations < 1:
+            raise ValueError("iterations must be positive")
+        self.decrease_fraction = decrease_fraction
+        self.max_factor = max_factor
+        self.iterations = iterations
+
+    def next_threshold(self, sample: _SampleState) -> float:
+        histogram = sample.count_histogram()
+        desired = max(
+            1.0,
+            self.decrease_fraction * sample.footprint,
+            sample.footprint - sample.footprint_bound,
+        )
+        low, high = 1.0, self.max_factor
+        max_decrease = expected_footprint_decrease(histogram, 1.0 / high)
+        if max_decrease < desired:
+            # Even the strongest allowed raise falls short in
+            # expectation; take it and let the caller re-raise.
+            return sample.threshold * self.max_factor
+        for _ in range(self.iterations):
+            middle = math.sqrt(low * high)  # geometric bisection
+            decrease = expected_footprint_decrease(histogram, 1.0 / middle)
+            if decrease >= desired:
+                high = middle
+            else:
+                low = middle
+        return sample.threshold * high
+
+    def __repr__(self) -> str:
+        return (
+            f"BinarySearchRaise(decrease_fraction={self.decrease_fraction},"
+            f" max_factor={self.max_factor})"
+        )

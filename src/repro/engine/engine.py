@@ -1,0 +1,534 @@
+"""The approximate answer engine (paper Figures 1-2).
+
+The engine subscribes to a warehouse's load stream, forwards attribute
+values to registered synopses, and answers queries from those synopses
+alone -- zero base-data accesses -- returning a
+:class:`~repro.engine.responses.QueryResponse` with an accuracy
+measure.  Callers can demand exactness (``exact=True``) to model the
+user's follow-up decision; the exact path scans base data and is
+charged accordingly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.concise import ConciseSample
+from repro.core.reservoir import ReservoirSample
+from repro.engine.queries import (
+    AverageQuery,
+    CountQuery,
+    DistinctCountQuery,
+    FrequencyQuery,
+    HotListQuery,
+    JoinSizeQuery,
+    Query,
+    SelectivityQuery,
+    SumQuery,
+)
+from repro.engine.registry import (
+    DISTINCT,
+    HISTOGRAM,
+    HOTLIST,
+    SAMPLE,
+    SynopsisRegistry,
+)
+from repro.engine.responses import QueryResponse
+from repro.engine.warehouse import DataWarehouse
+from repro.estimators.aggregates import (
+    estimate_average,
+    estimate_count,
+    estimate_sum,
+)
+from repro.estimators.selectivity import Predicate, estimate_selectivity
+from repro.hotlist.base import HotListAnswer, HotListReporter
+from repro.stats.frequency import FrequencyTable
+
+__all__ = ["ApproximateAnswerEngine", "NoSynopsisError"]
+
+
+class NoSynopsisError(RuntimeError):
+    """Raised when no registered synopsis can answer a query
+    approximately and exact fallback was not allowed."""
+
+
+class ApproximateAnswerEngine:
+    """Routes queries to synopses maintained over the load stream.
+
+    Parameters
+    ----------
+    warehouse:
+        The warehouse whose load stream the engine observes.
+    budget_words:
+        Optional total memory budget for all registered synopses.
+    """
+
+    def __init__(
+        self,
+        warehouse: DataWarehouse,
+        budget_words: int | None = None,
+    ) -> None:
+        self.warehouse = warehouse
+        self.registry = SynopsisRegistry(budget_words)
+        self._row_counts: dict[str, int] = {}
+        self._composites: dict[str, list[tuple[str, ...]]] = {}
+        warehouse.add_observer(self._observe)
+
+    # ------------------------------------------------------------------
+    # Load-stream observation
+    # ------------------------------------------------------------------
+
+    def _observe(self, relation_name: str, row: tuple, is_insert: bool) -> None:
+        """Forward one load event to every synopsis on that relation."""
+        delta = 1 if is_insert else -1
+        self._row_counts[relation_name] = (
+            self._row_counts.get(relation_name, 0) + delta
+        )
+        relation = self.warehouse.relation(relation_name)
+        for attribute_index, attribute in enumerate(relation.attributes):
+            value = row[attribute_index]
+            self._forward(relation_name, attribute, int(value), is_insert)
+        for attributes in self._composites.get(relation_name, []):
+            from repro.engine.composite import (
+                composite_name,
+                encode_composite,
+            )
+
+            encoded = encode_composite(
+                tuple(
+                    int(row[relation.attribute_index(attribute)])
+                    for attribute in attributes
+                )
+            )
+            self._forward(
+                relation_name,
+                composite_name(attributes),
+                encoded,
+                is_insert,
+            )
+
+    def _forward(
+        self,
+        relation_name: str,
+        attribute: str,
+        value: int,
+        is_insert: bool,
+    ) -> None:
+        """Deliver one attribute value to the synopses registered on it."""
+        for _, synopsis in self.registry.for_attribute(
+            relation_name, attribute
+        ):
+            if not hasattr(synopsis, "insert"):
+                # Statically built synopses (histograms) do not observe
+                # the load stream; they are rebuilt on demand.
+                continue
+            if is_insert:
+                synopsis.insert(value)
+            else:
+                delete = getattr(synopsis, "delete", None)
+                if delete is None:
+                    raise RuntimeError(
+                        f"synopsis {synopsis!r} cannot handle deletes; "
+                        "use a counting sample or remove it before "
+                        "deleting from the warehouse"
+                    )
+                delete(value)
+
+    def rows_loaded(self, relation_name: str) -> int:
+        """Net rows the engine has observed for a relation."""
+        return self._row_counts.get(relation_name, 0)
+
+    # ------------------------------------------------------------------
+    # Registration conveniences
+    # ------------------------------------------------------------------
+
+    def register_sample(
+        self,
+        relation: str,
+        attribute: str,
+        sample: ConciseSample | ReservoirSample,
+    ) -> None:
+        """Register a uniform-sample synopsis for aggregates."""
+        self.registry.register(relation, attribute, SAMPLE, sample)
+
+    def register_hotlist(
+        self, relation: str, attribute: str, reporter: HotListReporter
+    ) -> None:
+        """Register a hot-list reporter."""
+        self.registry.register(relation, attribute, HOTLIST, reporter)
+
+    def register_distinct(
+        self, relation: str, attribute: str, sketch
+    ) -> None:
+        """Register a distinct-count sketch."""
+        self.registry.register(relation, attribute, DISTINCT, sketch)
+
+    def register_histogram(
+        self, relation: str, attribute: str, histogram
+    ) -> None:
+        """Register a statically built histogram synopsis.
+
+        Histograms do not observe the load stream (they are rebuilt on
+        demand from a backing sample); the engine uses them to answer
+        range COUNT and SELECTIVITY queries when no uniform sample is
+        registered, or via :meth:`refresh_histogram` after loads.
+        """
+        self.registry.register(relation, attribute, HISTOGRAM, histogram)
+
+    def refresh_histogram(
+        self, relation: str, attribute: str, histogram
+    ) -> None:
+        """Swap in a freshly rebuilt histogram for an attribute."""
+        self.registry.unregister(relation, attribute, HISTOGRAM)
+        self.registry.register(relation, attribute, HISTOGRAM, histogram)
+
+    def register_composite_hotlist(
+        self,
+        relation: str,
+        attributes: tuple[str, ...],
+        reporter: HotListReporter,
+    ) -> str:
+        """Register a hot list over an ordered attribute tuple.
+
+        Returns the canonical attribute name under which the composite
+        is addressable in queries, e.g. ``"store_id+product_id"``.
+        Answers carry encoded values; decode them with
+        :func:`repro.engine.composite.decode_composite_answer`.
+        """
+        from repro.engine.composite import composite_name
+
+        table = self.warehouse.relation(relation)
+        for attribute in attributes:
+            table.attribute_index(attribute)  # validates existence
+        name = composite_name(attributes)
+        self.registry.register(relation, name, HOTLIST, reporter)
+        self._composites.setdefault(relation, [])
+        if attributes not in self._composites[relation]:
+            self._composites[relation].append(tuple(attributes))
+        return name
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+
+    def answer(self, query: Query, exact: bool = False) -> QueryResponse:
+        """Answer a query, approximately by default.
+
+        With ``exact=True`` the base data is scanned (and the response
+        carries the disk cost); otherwise the engine answers purely
+        from synopses and raises :class:`NoSynopsisError` when none is
+        registered for the query.
+        """
+        if exact:
+            return self._answer_exact(query)
+        return self._answer_approximate(query)
+
+    # -- approximate paths ---------------------------------------------
+
+    def _sample_points(self, relation: str, attribute: str) -> np.ndarray:
+        sample = self.registry.lookup(relation, attribute, SAMPLE)
+        if sample is None:
+            raise NoSynopsisError(
+                f"no sample registered for {relation}.{attribute}"
+            )
+        if isinstance(sample, ConciseSample):
+            return sample.sample_points()
+        if isinstance(sample, ReservoirSample):
+            return sample.as_array()
+        raise NoSynopsisError(
+            f"registered sample for {relation}.{attribute} has an "
+            "unsupported type"
+        )
+
+    def _estimate_distinct(self, relation: str, attribute: str) -> float:
+        """Best-available distinct-count estimate for a join column."""
+        sketch = self.registry.lookup(relation, attribute, DISTINCT)
+        if sketch is not None:
+            return float(sketch.estimate())
+        sample = self.registry.lookup(relation, attribute, SAMPLE)
+        if sample is not None:
+            from repro.estimators.distinct import (
+                frequency_profile,
+                guaranteed_error_estimator,
+            )
+
+            points = self._sample_points(relation, attribute)
+            if len(points):
+                return guaranteed_error_estimator(
+                    frequency_profile(points),
+                    max(self.rows_loaded(relation), len(points)),
+                )
+        # Fall back to the hot list's own support (a lower bound).
+        reporter = self.registry.lookup(relation, attribute, HOTLIST)
+        if reporter is not None:
+            return float(len(reporter.report(10**6)))
+        raise NoSynopsisError(
+            f"no synopsis can estimate distinct({relation}.{attribute})"
+        )
+
+    def _answer_join_size(self, query: JoinSizeQuery) -> QueryResponse:
+        from repro.estimators.joins import join_size_from_hotlists
+
+        sides = []
+        for relation, attribute in (
+            (query.left_relation, query.left_attribute),
+            (query.right_relation, query.right_attribute),
+        ):
+            reporter = self.registry.lookup(relation, attribute, HOTLIST)
+            if reporter is None:
+                raise NoSynopsisError(
+                    f"no hot-list synopsis for {relation}.{attribute}"
+                )
+            sides.append(
+                (
+                    reporter.report(
+                        max(2, reporter.footprint_bound // 2)
+                    ),
+                    self.rows_loaded(relation),
+                    self._estimate_distinct(relation, attribute),
+                )
+            )
+        (left_answer, left_total, left_distinct) = sides[0]
+        (right_answer, right_total, right_distinct) = sides[1]
+        estimate = join_size_from_hotlists(
+            left_answer,
+            right_answer,
+            left_total,
+            right_total,
+            left_distinct,
+            right_distinct,
+        )
+        exact_cost = self.warehouse.scan_cost(
+            query.left_relation
+        ) + self.warehouse.scan_cost(query.right_relation)
+        return QueryResponse(
+            answer=estimate,
+            interval=None,
+            method="hotlist-join",
+            is_exact=False,
+            exact_cost_estimate=exact_cost,
+        )
+
+    def _answer_join_size_exact(
+        self, query: JoinSizeQuery
+    ) -> QueryResponse:
+        from repro.stats.frequency import FrequencyTable
+
+        before = self.warehouse.counters.disk_accesses
+        left = self.warehouse.exact_column(
+            query.left_relation, query.left_attribute
+        )
+        right = self.warehouse.exact_column(
+            query.right_relation, query.right_attribute
+        )
+        cost = self.warehouse.counters.disk_accesses - before
+        right_table = FrequencyTable(right)
+        size = float(
+            sum(
+                count * right_table.count(value)
+                for value, count in FrequencyTable(left).items()
+            )
+        )
+        return QueryResponse(
+            answer=size,
+            interval=None,
+            method="exact-scan",
+            is_exact=True,
+            disk_accesses=cost,
+            exact_cost_estimate=cost,
+        )
+
+    def _answer_approximate(self, query: Query) -> QueryResponse:
+        if isinstance(query, JoinSizeQuery):
+            return self._answer_join_size(query)
+        scan_cost = self.warehouse.scan_cost(query.relation)
+        population = self.rows_loaded(query.relation)
+
+        if isinstance(query, HotListQuery):
+            reporter = self.registry.lookup(
+                query.relation, query.attribute, HOTLIST
+            )
+            if reporter is None:
+                raise NoSynopsisError(
+                    f"no hot-list synopsis for "
+                    f"{query.relation}.{query.attribute}"
+                )
+            answer = reporter.report(query.k)
+            return QueryResponse(
+                answer=answer,
+                interval=None,
+                method=type(reporter).__name__,
+                is_exact=False,
+                exact_cost_estimate=scan_cost,
+            )
+
+        if isinstance(query, DistinctCountQuery):
+            sketch = self.registry.lookup(
+                query.relation, query.attribute, DISTINCT
+            )
+            if sketch is None:
+                raise NoSynopsisError(
+                    f"no distinct-count synopsis for "
+                    f"{query.relation}.{query.attribute}"
+                )
+            return QueryResponse(
+                answer=float(sketch.estimate()),
+                interval=None,
+                method=type(sketch).__name__,
+                is_exact=False,
+                exact_cost_estimate=scan_cost,
+            )
+
+        if isinstance(query, (CountQuery, SelectivityQuery)):
+            has_sample = (
+                self.registry.lookup(
+                    query.relation, query.attribute, SAMPLE
+                )
+                is not None
+            )
+            histogram = self.registry.lookup(
+                query.relation, query.attribute, HISTOGRAM
+            )
+            if not has_sample and histogram is not None:
+                return self._answer_from_histogram(
+                    query, histogram, population, scan_cost
+                )
+
+        points = self._sample_points(query.relation, query.attribute)
+        if isinstance(query, FrequencyQuery):
+            predicate = Predicate(equals=query.value)
+            estimate = estimate_count(points, population, predicate.mask)
+        elif isinstance(query, CountQuery):
+            mask = query.predicate.mask if query.predicate else None
+            estimate = estimate_count(points, population, mask)
+        elif isinstance(query, SumQuery):
+            mask = query.predicate.mask if query.predicate else None
+            estimate = estimate_sum(points, population, mask)
+        elif isinstance(query, AverageQuery):
+            mask = query.predicate.mask if query.predicate else None
+            estimate = estimate_average(points, mask)
+        elif isinstance(query, SelectivityQuery):
+            if query.predicate is None:
+                raise ValueError("selectivity query needs a predicate")
+            selectivity = estimate_selectivity(points, query.predicate)
+            return QueryResponse(
+                answer=selectivity.selectivity,
+                interval=selectivity.interval,
+                method="sample",
+                is_exact=False,
+                exact_cost_estimate=scan_cost,
+            )
+        else:  # pragma: no cover - exhaustive routing guard
+            raise TypeError(f"unsupported query {query!r}")
+
+        return QueryResponse(
+            answer=estimate.value,
+            interval=estimate.interval,
+            method="sample",
+            is_exact=False,
+            exact_cost_estimate=scan_cost,
+        )
+
+    def _answer_from_histogram(
+        self,
+        query: "CountQuery | SelectivityQuery",
+        histogram,
+        population: int,
+        scan_cost: int,
+    ) -> QueryResponse:
+        """Answer a count/selectivity query from a histogram synopsis."""
+        predicate = query.predicate
+        if predicate is None:
+            count = float(population)
+        elif predicate.equals is not None:
+            count = float(histogram.estimate_equality(predicate.equals))
+        else:
+            low = (
+                predicate.low
+                if predicate.low is not None
+                else -float("inf")
+            )
+            high = (
+                predicate.high
+                if predicate.high is not None
+                else float("inf")
+            )
+            count = float(histogram.estimate_range(low, high))
+        if isinstance(query, SelectivityQuery):
+            answer = count / population if population else 0.0
+        else:
+            answer = count
+        return QueryResponse(
+            answer=answer,
+            interval=None,
+            method=type(histogram).__name__,
+            is_exact=False,
+            exact_cost_estimate=scan_cost,
+        )
+
+    # -- exact path ------------------------------------------------------
+
+    def _answer_exact(self, query: Query) -> QueryResponse:
+        if isinstance(query, JoinSizeQuery):
+            return self._answer_join_size_exact(query)
+        before = self.warehouse.counters.disk_accesses
+        column = self.warehouse.exact_column(query.relation, query.attribute)
+        cost = self.warehouse.counters.disk_accesses - before
+
+        if isinstance(query, HotListQuery):
+            table = FrequencyTable(column)
+            from repro.hotlist.base import HotListEntry
+
+            entries = tuple(
+                HotListEntry(value, float(count))
+                for value, count in table.top_k(query.k)
+            )
+            answer: float | HotListAnswer = HotListAnswer(
+                k=query.k, entries=entries
+            )
+        elif isinstance(query, FrequencyQuery):
+            answer = float(np.count_nonzero(column == query.value))
+        elif isinstance(query, CountQuery):
+            mask = (
+                query.predicate.mask(column)
+                if query.predicate
+                else np.ones(len(column), dtype=bool)
+            )
+            answer = float(mask.sum())
+        elif isinstance(query, SumQuery):
+            mask = (
+                query.predicate.mask(column)
+                if query.predicate
+                else np.ones(len(column), dtype=bool)
+            )
+            answer = float(column[mask].sum())
+        elif isinstance(query, AverageQuery):
+            mask = (
+                query.predicate.mask(column)
+                if query.predicate
+                else np.ones(len(column), dtype=bool)
+            )
+            matching = column[mask]
+            if len(matching) == 0:
+                raise ValueError("no row matches the predicate")
+            answer = float(matching.mean())
+        elif isinstance(query, DistinctCountQuery):
+            answer = float(len(np.unique(column)))
+        elif isinstance(query, SelectivityQuery):
+            if query.predicate is None:
+                raise ValueError("selectivity query needs a predicate")
+            if len(column) == 0:
+                answer = 0.0
+            else:
+                answer = float(query.predicate.mask(column).mean())
+        else:  # pragma: no cover - exhaustive routing guard
+            raise TypeError(f"unsupported query {query!r}")
+
+        return QueryResponse(
+            answer=answer,
+            interval=None,
+            method="exact-scan",
+            is_exact=True,
+            disk_accesses=cost,
+            exact_cost_estimate=cost,
+        )

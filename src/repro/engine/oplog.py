@@ -1,0 +1,146 @@
+"""Operation logs: the recovery complement to snapshots (footnote 2).
+
+"For persistence and recovery, combinations of snapshots and/or logs
+can be stored on disk."  :class:`OperationLog` records the warehouse
+load stream (as an observer) so a synopsis can be recovered as
+*snapshot + replay of the log suffix* -- the standard checkpointing
+recipe.  The log is an in-memory list with JSON-lines export, which is
+all the simulation needs; a real deployment would append to stable
+storage.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["LoggedOperation", "OperationLog"]
+
+
+@dataclass(frozen=True)
+class LoggedOperation:
+    """One logged load event."""
+
+    sequence: int
+    relation: str
+    row: tuple
+    is_insert: bool
+
+
+class OperationLog:
+    """An append-only log of warehouse load events.
+
+    Attach with ``warehouse.add_observer(log.observe)``.  Recovery:
+    restore a synopsis from a snapshot taken at sequence ``s``, then
+    :meth:`replay_since` ``s`` into it.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[LoggedOperation] = []
+        self._base = 0  # sequence number of the first retained entry
+
+    def observe(self, relation: str, row: tuple, is_insert: bool) -> None:
+        """Warehouse-observer entry point."""
+        self._entries.append(
+            LoggedOperation(
+                sequence=self._base + len(self._entries),
+                relation=relation,
+                row=tuple(row),
+                is_insert=is_insert,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def next_sequence(self) -> int:
+        """The sequence number the next logged event will get.
+
+        Take a snapshot *after* reading this and replay from it to
+        recover exactly.
+        """
+        return self._base + len(self._entries)
+
+    def entries_since(self, sequence: int) -> Iterator[LoggedOperation]:
+        """Iterate entries with ``entry.sequence >= sequence``."""
+        if sequence < 0:
+            raise ValueError("sequence must be non-negative")
+        start = max(0, sequence - self._base)
+        return iter(self._entries[start:])
+
+    def replay_since(
+        self,
+        sequence: int,
+        relation: str,
+        attribute_index: int,
+        synopsis,
+    ) -> int:
+        """Replay one relation's logged suffix into a synopsis.
+
+        ``attribute_index`` selects which row component feeds the
+        synopsis.  Returns the number of events applied.  Deletes
+        require the synopsis to support them (counting samples do).
+        """
+        applied = 0
+        for entry in self.entries_since(sequence):
+            if entry.relation != relation:
+                continue
+            value = int(entry.row[attribute_index])
+            if entry.is_insert:
+                synopsis.insert(value)
+            else:
+                synopsis.delete(value)
+            applied += 1
+        return applied
+
+    def dump_jsonl(self) -> str:
+        """The whole log as JSON lines (one event per line)."""
+        return "\n".join(
+            json.dumps(
+                {
+                    "sequence": entry.sequence,
+                    "relation": entry.relation,
+                    "row": list(entry.row),
+                    "is_insert": entry.is_insert,
+                }
+            )
+            for entry in self._entries
+        )
+
+    @classmethod
+    def load_jsonl(cls, payload: str) -> "OperationLog":
+        """Rebuild a log from :meth:`dump_jsonl` output."""
+        log = cls()
+        for line in payload.splitlines():
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            log._entries.append(
+                LoggedOperation(
+                    sequence=int(record["sequence"]),
+                    relation=record["relation"],
+                    row=tuple(record["row"]),
+                    is_insert=bool(record["is_insert"]),
+                )
+            )
+        if log._entries:
+            log._base = log._entries[0].sequence
+        return log
+
+    def truncate_before(self, sequence: int) -> int:
+        """Drop entries older than ``sequence`` (post-checkpoint GC).
+
+        Returns how many entries were dropped.  Sequence numbers of
+        surviving entries are preserved.
+        """
+        keep_from = len(self._entries)
+        for index, entry in enumerate(self._entries):
+            if entry.sequence >= sequence:
+                keep_from = index
+                break
+        dropped = keep_from
+        self._entries = self._entries[keep_from:]
+        self._base += dropped
+        return dropped

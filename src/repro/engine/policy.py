@@ -1,0 +1,108 @@
+"""Answer policies: automating the approximate-vs-exact decision.
+
+Paper Section 1: "The user can then decide whether or not to have an
+exact answer computed from the base data, based on the user's desire
+for the exact answer and the estimated time for computing an exact
+answer."  :class:`AnswerPolicy` encodes that decision rule so a client
+can make it programmatically: accept the approximate answer when its
+confidence interval is tight enough, escalate to the exact computation
+only when it is both needed and affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.engine import ApproximateAnswerEngine
+from repro.engine.queries import Query
+from repro.engine.responses import QueryResponse
+
+__all__ = ["AnswerPolicy", "PolicyDecision", "answer_with_policy"]
+
+
+@dataclass(frozen=True)
+class AnswerPolicy:
+    """The client's tolerance for approximation and for exact cost.
+
+    Attributes
+    ----------
+    max_relative_width:
+        Accept an approximate answer whose confidence interval's width
+        relative to the estimate is at most this (e.g. 0.1 = ±5%).
+        Answers without an interval (hot lists, sketches) are treated
+        as acceptable -- they carry their own guarantees.
+    max_exact_cost:
+        Escalate to the exact computation only if its estimated disk
+        cost is at most this; ``None`` means cost is no object.
+    """
+
+    max_relative_width: float = 0.1
+    max_exact_cost: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_relative_width < 0:
+            raise ValueError("max_relative_width must be non-negative")
+        if self.max_exact_cost is not None and self.max_exact_cost < 0:
+            raise ValueError("max_exact_cost must be non-negative")
+
+    def accepts(self, response: QueryResponse) -> bool:
+        """Whether the approximate response meets the tolerance."""
+        if response.is_exact:
+            return True
+        if response.interval is None:
+            return True
+        reference = max(abs(float(response.answer)), 1e-12)
+        return response.interval.width / reference <= (
+            self.max_relative_width
+        )
+
+    def can_afford_exact(self, response: QueryResponse) -> bool:
+        """Whether escalating to exact is within the cost budget."""
+        if self.max_exact_cost is None:
+            return True
+        return response.exact_cost_estimate <= self.max_exact_cost
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """The outcome of a policy-driven answer."""
+
+    response: QueryResponse
+    escalated: bool
+    reason: str
+
+
+def answer_with_policy(
+    engine: ApproximateAnswerEngine,
+    query: Query,
+    policy: AnswerPolicy,
+) -> PolicyDecision:
+    """Answer a query under a policy.
+
+    First gets the approximate answer; if its interval is too wide and
+    the exact recomputation is affordable, escalates.  Returns the
+    chosen response together with the decision trail.
+    """
+    approximate = engine.answer(query)
+    if policy.accepts(approximate):
+        return PolicyDecision(
+            response=approximate,
+            escalated=False,
+            reason="approximate answer within tolerance",
+        )
+    if not policy.can_afford_exact(approximate):
+        return PolicyDecision(
+            response=approximate,
+            escalated=False,
+            reason=(
+                "approximate answer too wide but exact recomputation "
+                f"({approximate.exact_cost_estimate:,} accesses) "
+                "exceeds the cost budget"
+            ),
+        )
+    exact = engine.answer(query, exact=True)
+    return PolicyDecision(
+        response=exact,
+        escalated=True,
+        reason="approximate answer too wide; recomputed exactly",
+    )

@@ -1,0 +1,101 @@
+"""Query types the approximate answer engine understands."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.estimators.selectivity import Predicate
+
+__all__ = [
+    "AverageQuery",
+    "CountQuery",
+    "DistinctCountQuery",
+    "FrequencyQuery",
+    "HotListQuery",
+    "JoinSizeQuery",
+    "Query",
+    "SelectivityQuery",
+    "SumQuery",
+]
+
+
+@dataclass(frozen=True)
+class _AttributeQuery:
+    """Base fields: which relation/attribute the query targets."""
+
+    relation: str
+    attribute: str
+
+
+@dataclass(frozen=True)
+class HotListQuery(_AttributeQuery):
+    """The ``k`` most frequent values with (approximate) counts."""
+
+    k: int = 10
+
+
+@dataclass(frozen=True)
+class FrequencyQuery(_AttributeQuery):
+    """How many rows carry a specific value."""
+
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class CountQuery(_AttributeQuery):
+    """How many rows match the predicate (all rows when ``None``)."""
+
+    predicate: Predicate | None = None
+
+
+@dataclass(frozen=True)
+class SumQuery(_AttributeQuery):
+    """Sum of the attribute over rows matching the predicate."""
+
+    predicate: Predicate | None = None
+
+
+@dataclass(frozen=True)
+class AverageQuery(_AttributeQuery):
+    """Average attribute value over rows matching the predicate."""
+
+    predicate: Predicate | None = None
+
+
+@dataclass(frozen=True)
+class DistinctCountQuery(_AttributeQuery):
+    """Number of distinct values of the attribute."""
+
+
+@dataclass(frozen=True)
+class SelectivityQuery(_AttributeQuery):
+    """Fraction of rows matching the predicate."""
+
+    predicate: Predicate | None = None
+
+
+@dataclass(frozen=True)
+class JoinSizeQuery:
+    """Size of the equi-join of two relation attributes.
+
+    Answered approximately from the hot lists registered on both join
+    columns (plus distinct-count synopses where available) -- the
+    Section 1.2 join-size use case of hot lists.
+    """
+
+    left_relation: str
+    left_attribute: str
+    right_relation: str
+    right_attribute: str
+
+
+Query = (
+    HotListQuery
+    | FrequencyQuery
+    | CountQuery
+    | SumQuery
+    | AverageQuery
+    | DistinctCountQuery
+    | SelectivityQuery
+    | JoinSizeQuery
+)

@@ -1,0 +1,163 @@
+"""Synopsis registration and memory budgeting.
+
+"To handle many base tables and many types of queries, a large number
+of synopses may be needed ... synopses that are frequently used to
+respond to queries should be memory-resident.  Thus we evaluate the
+effectiveness of a synopsis as a function of its footprint" (Section 1).
+
+The registry tracks every synopsis the engine maintains, keyed by
+(relation, attribute, role), and enforces a total footprint budget in
+words at registration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Protocol
+
+__all__ = ["BudgetExceeded", "SynopsisRegistry", "SynopsisRole"]
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised when registering a synopsis would exceed the budget."""
+
+
+class _HasFootprint(Protocol):
+    @property
+    def footprint(self) -> int: ...
+
+
+# The roles the engine routes queries by.  A single synopsis object may
+# be registered under several roles (a ConciseHotList's sample also
+# serves as the uniform sample for aggregates, for example).
+SynopsisRole = str
+
+SAMPLE: SynopsisRole = "sample"
+HOTLIST: SynopsisRole = "hotlist"
+DISTINCT: SynopsisRole = "distinct"
+HISTOGRAM: SynopsisRole = "histogram"
+
+_KNOWN_ROLES = frozenset({SAMPLE, HOTLIST, DISTINCT, HISTOGRAM})
+
+
+@dataclass(frozen=True)
+class _Registration:
+    relation: str
+    attribute: str
+    role: SynopsisRole
+    synopsis: object
+    reserved_words: int
+
+
+class SynopsisRegistry:
+    """Keyed synopsis store with a words-of-memory budget.
+
+    Parameters
+    ----------
+    budget_words:
+        Total words the registered synopses may reserve; ``None``
+        disables budgeting.
+
+    Budget accounting is by *reserved* words -- a synopsis's footprint
+    bound -- rather than its instantaneous footprint, because the
+    engine must guarantee the memory even at the synopsis's fullest.
+    """
+
+    def __init__(self, budget_words: int | None = None) -> None:
+        if budget_words is not None and budget_words < 0:
+            raise ValueError("budget must be non-negative")
+        self.budget_words = budget_words
+        self._entries: dict[tuple[str, str, SynopsisRole], _Registration] = {}
+
+    def register(
+        self,
+        relation: str,
+        attribute: str,
+        role: SynopsisRole,
+        synopsis: _HasFootprint,
+        reserved_words: int | None = None,
+    ) -> None:
+        """Register a synopsis under a (relation, attribute, role) key.
+
+        ``reserved_words`` defaults to the synopsis's ``footprint_bound``
+        when it has one, else its current footprint.
+        """
+        if role not in _KNOWN_ROLES:
+            raise ValueError(f"unknown role {role!r}")
+        key = (relation, attribute, role)
+        if key in self._entries:
+            raise ValueError(f"synopsis already registered for {key}")
+        if reserved_words is None:
+            reserved_words = getattr(
+                synopsis, "footprint_bound", None
+            ) or synopsis.footprint
+        if reserved_words < 0:
+            raise ValueError("reserved_words must be non-negative")
+        already_reserved = any(
+            entry.synopsis is synopsis for entry in self._entries.values()
+        )
+        if already_reserved:
+            # The same object under another role shares its reservation.
+            reserved_words = 0
+        if self.budget_words is not None:
+            if self.reserved_total() + reserved_words > self.budget_words:
+                raise BudgetExceeded(
+                    f"registering {reserved_words} words would exceed the "
+                    f"{self.budget_words}-word budget "
+                    f"(already reserved: {self.reserved_total()})"
+                )
+        self._entries[key] = _Registration(
+            relation, attribute, role, synopsis, reserved_words
+        )
+
+    def unregister(
+        self, relation: str, attribute: str, role: SynopsisRole
+    ) -> None:
+        """Remove a registration, freeing its reservation."""
+        key = (relation, attribute, role)
+        if key not in self._entries:
+            raise KeyError(f"no synopsis registered for {key}")
+        del self._entries[key]
+
+    def lookup(
+        self, relation: str, attribute: str, role: SynopsisRole
+    ) -> object | None:
+        """The synopsis for a key, or ``None``."""
+        entry = self._entries.get((relation, attribute, role))
+        return entry.synopsis if entry else None
+
+    def for_attribute(
+        self, relation: str, attribute: str
+    ) -> Iterator[tuple[SynopsisRole, object]]:
+        """All (role, synopsis) registered for one attribute."""
+        for key, entry in self._entries.items():
+            if key[0] == relation and key[1] == attribute:
+                yield key[2], entry.synopsis
+
+    def all_synopses(self) -> Iterator[object]:
+        """Every distinct registered synopsis object."""
+        seen: set[int] = set()
+        for entry in self._entries.values():
+            if id(entry.synopsis) not in seen:
+                seen.add(id(entry.synopsis))
+                yield entry.synopsis
+
+    def reserved_total(self) -> int:
+        """Words currently reserved (distinct synopses counted once)."""
+        seen: set[int] = set()
+        total = 0
+        for entry in self._entries.values():
+            if id(entry.synopsis) not in seen:
+                seen.add(id(entry.synopsis))
+                total += entry.reserved_words
+        return total
+
+    def footprint_total(self) -> int:
+        """Instantaneous words used by all registered synopses."""
+        return sum(
+            synopsis.footprint  # type: ignore[attr-defined]
+            for synopsis in self.all_synopses()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,117 @@
+"""In-memory relations standing in for warehouse base data.
+
+The paper's algorithms never read base data on the update path, so an
+in-memory relation preserves every measured quantity; what matters is
+that *exact* query answers are visibly expensive, which the warehouse
+models by charging disk accesses per scanned row.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["Relation", "RelationError"]
+
+
+class RelationError(RuntimeError):
+    """Raised on schema violations or inconsistent updates."""
+
+
+class Relation:
+    """A multiset of rows over a fixed list of attributes.
+
+    Rows are mappings from attribute name to integer/float values;
+    internally they are normalised to tuples in schema order.  Deletes
+    are by full row value (the common warehouse case of retracting a
+    previously loaded fact).
+    """
+
+    def __init__(self, name: str, attributes: list[str]) -> None:
+        if not attributes:
+            raise RelationError("a relation needs at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise RelationError("duplicate attribute names")
+        self.name = name
+        self.attributes = list(attributes)
+        self._rows: Counter[tuple] = Counter()
+        self._size = 0
+
+    def _normalise(self, row: Mapping[str, int] | tuple) -> tuple:
+        if isinstance(row, tuple):
+            if len(row) != len(self.attributes):
+                raise RelationError(
+                    f"row arity {len(row)} != schema arity "
+                    f"{len(self.attributes)}"
+                )
+            return row
+        try:
+            return tuple(row[attribute] for attribute in self.attributes)
+        except KeyError as missing:
+            raise RelationError(f"row missing attribute {missing}") from None
+
+    def insert(self, row: Mapping[str, int] | tuple) -> tuple:
+        """Insert one row; returns the normalised tuple."""
+        normalised = self._normalise(row)
+        self._rows[normalised] += 1
+        self._size += 1
+        return normalised
+
+    def delete(self, row: Mapping[str, int] | tuple) -> tuple:
+        """Delete one occurrence of a row; raises if absent."""
+        normalised = self._normalise(row)
+        current = self._rows.get(normalised, 0)
+        if current <= 0:
+            raise RelationError(f"delete of absent row {normalised}")
+        if current == 1:
+            del self._rows[normalised]
+        else:
+            self._rows[normalised] = current - 1
+        self._size -= 1
+        return normalised
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def size(self) -> int:
+        """Number of live rows."""
+        return self._size
+
+    def attribute_index(self, attribute: str) -> int:
+        """Schema position of an attribute."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise RelationError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def column(self, attribute: str) -> np.ndarray:
+        """All live values of one attribute (a full scan).
+
+        Row order is not meaningful for a multiset; values are grouped
+        by row identity.
+        """
+        index = self.attribute_index(attribute)
+        if self._size == 0:
+            return np.empty(0, dtype=np.int64)
+        values = np.empty(self._size, dtype=np.float64)
+        cursor = 0
+        all_integral = True
+        for row, count in self._rows.items():
+            value = row[index]
+            values[cursor : cursor + count] = value
+            cursor += count
+            all_integral = all_integral and float(value).is_integer()
+        if all_integral:
+            return values.astype(np.int64)
+        return values
+
+    def rows(self) -> Iterable[tuple]:
+        """Iterate live rows (each repeated by its multiplicity)."""
+        for row, count in self._rows.items():
+            for _ in range(count):
+                yield row

@@ -1,0 +1,65 @@
+"""Response type returned by the approximate answer engine.
+
+A response carries the approximate answer, the accuracy measure the
+paper calls for (a confidence interval where the estimator provides
+one), and enough provenance for the user to decide "whether or not to
+have an exact answer computed from the base data": which method
+produced it, whether it is exact, and the estimated base-data cost an
+exact answer would incur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.estimators.intervals import ConfidenceInterval
+from repro.hotlist.base import HotListAnswer
+
+__all__ = ["QueryResponse"]
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One answer from the engine.
+
+    Attributes
+    ----------
+    answer:
+        The scalar estimate, or a :class:`HotListAnswer` for hot-list
+        queries.
+    interval:
+        Confidence interval where applicable, else ``None``.
+    method:
+        Which synopsis or path produced the answer (e.g.
+        ``"concise-sample"``, ``"fm-sketch"``, ``"exact-scan"``).
+    is_exact:
+        ``True`` when the answer came from base data (or a synopsis
+        that happens to be exact, like an unsaturated full histogram).
+    disk_accesses:
+        Simulated base-data accesses this answer itself cost (0 for
+        synopsis answers).
+    exact_cost_estimate:
+        Estimated disk accesses an exact recomputation would cost --
+        the number the user weighs against the approximation.
+    """
+
+    answer: float | HotListAnswer
+    interval: ConfidenceInterval | None
+    method: str
+    is_exact: bool
+    disk_accesses: int = 0
+    exact_cost_estimate: int = 0
+
+    def __str__(self) -> str:
+        if isinstance(self.answer, HotListAnswer):
+            body = f"hot list of {len(self.answer)} values"
+        elif self.interval is not None:
+            body = (
+                f"{self.answer:.4g} "
+                f"[{self.interval.low:.4g}, {self.interval.high:.4g}] "
+                f"@{self.interval.confidence:.0%}"
+            )
+        else:
+            body = f"{self.answer:.6g}"
+        kind = "exact" if self.is_exact else "approximate"
+        return f"{body} ({kind}, via {self.method})"

@@ -1,0 +1,139 @@
+"""Synopsis snapshots: serialise and restore engine state.
+
+The paper's footnote 2: "Various synopses can be swapped in and out of
+memory as needed.  For persistence and recovery, combinations of
+snapshots and/or logs can be stored on disk."  This module implements
+the snapshot half for the sample synopses: each supported synopsis can
+be dumped to a plain-JSON-able dict and restored to an equivalent
+object.
+
+Restoring is *statistically* equivalent, not bitwise: a restored
+sample carries the same sample contents, threshold, and counters, but
+a fresh RNG stream (the paper's algorithms only require the invariant
+state -- sample + threshold -- to continue correctly; Theorem 2's
+induction is over that state, not the generator).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.concise import ConciseSample
+from repro.core.counting import CountingSample
+from repro.core.reservoir import ReservoirSample
+from repro.randkit.coins import CostCounters
+
+__all__ = ["restore_synopsis", "snapshot_synopsis", "dumps", "loads"]
+
+_KIND_CONCISE = "concise-sample"
+_KIND_COUNTING = "counting-sample"
+_KIND_RESERVOIR = "reservoir-sample"
+
+
+def _counters_state(counters: CostCounters) -> dict[str, int]:
+    return {
+        "flips": counters.flips,
+        "lookups": counters.lookups,
+        "threshold_raises": counters.threshold_raises,
+        "inserts": counters.inserts,
+        "deletes": counters.deletes,
+        "disk_accesses": counters.disk_accesses,
+    }
+
+
+def _restore_counters(state: dict[str, int]) -> CostCounters:
+    return CostCounters(**state)
+
+
+def snapshot_synopsis(synopsis: Any) -> dict:
+    """Dump a supported synopsis to a JSON-able dict.
+
+    Supported: :class:`ConciseSample`, :class:`CountingSample`,
+    :class:`ReservoirSample`.  Raises :class:`TypeError` otherwise.
+    """
+    if isinstance(synopsis, ConciseSample):
+        return {
+            "kind": _KIND_CONCISE,
+            "footprint_bound": synopsis.footprint_bound,
+            "threshold": synopsis.threshold,
+            "counts": [
+                [value, count] for value, count in synopsis.pairs()
+            ],
+            "counters": _counters_state(synopsis.counters),
+        }
+    if isinstance(synopsis, CountingSample):
+        return {
+            "kind": _KIND_COUNTING,
+            "footprint_bound": synopsis.footprint_bound,
+            "threshold": synopsis.threshold,
+            "counts": [
+                [value, count] for value, count in synopsis.pairs()
+            ],
+            "counters": _counters_state(synopsis.counters),
+        }
+    if isinstance(synopsis, ReservoirSample):
+        return {
+            "kind": _KIND_RESERVOIR,
+            "capacity": synopsis.capacity,
+            "points": synopsis.points(),
+            "seen": synopsis.total_inserted,
+            "counters": _counters_state(synopsis.counters),
+        }
+    raise TypeError(
+        f"cannot snapshot synopsis of type {type(synopsis).__name__}"
+    )
+
+
+def restore_synopsis(state: dict, *, seed: int | None = None) -> Any:
+    """Rebuild a synopsis from a snapshot dict.
+
+    ``seed`` re-seeds the restored object's randomness (continuation
+    runs should pass a fresh seed; tests may pin one).
+    """
+    kind = state.get("kind")
+    counters = _restore_counters(state["counters"])
+    if kind == _KIND_CONCISE:
+        sample = ConciseSample.from_state(
+            {int(v): int(c) for v, c in state["counts"]},
+            threshold=float(state["threshold"]),
+            footprint_bound=int(state["footprint_bound"]),
+            seed=seed,
+        )
+        sample.counters = counters
+        # from_state starts a fresh admission skipper; re-point it at
+        # the restored ledger so future flips are charged correctly.
+        sample._admission._counters = counters
+        return sample
+    if kind == _KIND_COUNTING:
+        sample = CountingSample(
+            int(state["footprint_bound"]), seed=seed, counters=counters
+        )
+        for value, count in state["counts"]:
+            sample._counts[int(value)] = int(count)
+            sample._footprint += 1 if count == 1 else 2
+        threshold = float(state["threshold"])
+        sample._threshold = threshold
+        if threshold > 1.0:
+            sample._admission.raise_threshold(threshold)
+        sample.check_invariants()
+        return sample
+    if kind == _KIND_RESERVOIR:
+        sample = ReservoirSample(
+            int(state["capacity"]), seed=seed, counters=counters
+        )
+        sample._reservoir = [int(v) for v in state["points"]]
+        sample._seen = int(state["seen"])
+        sample.check_invariants()
+        return sample
+    raise ValueError(f"unknown snapshot kind {kind!r}")
+
+
+def dumps(synopsis: Any) -> str:
+    """Snapshot to a JSON string."""
+    return json.dumps(snapshot_synopsis(synopsis))
+
+
+def loads(payload: str, *, seed: int | None = None) -> Any:
+    """Restore from a JSON string."""
+    return restore_synopsis(json.loads(payload), seed=seed)

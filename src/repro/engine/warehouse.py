@@ -1,0 +1,99 @@
+"""The data warehouse: base data plus load-stream observers.
+
+Implements the data flow of the paper's Figure 2: new data loaded into
+the warehouse is *also* observed by the approximate answer engine,
+which updates its synopses without ever reading base data back.  Exact
+computations scan the base data and are charged one simulated disk
+access per row scanned, making the cost asymmetry the paper motivates
+visible in the counters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.engine.relation import Relation, RelationError
+from repro.randkit.coins import CostCounters
+
+__all__ = ["DataWarehouse"]
+
+# (relation name, normalised row, is_insert)
+LoadObserver = Callable[[str, tuple, bool], None]
+
+
+class DataWarehouse:
+    """Relations plus an observer hook for streaming loads."""
+
+    def __init__(self, counters: CostCounters | None = None) -> None:
+        self._relations: dict[str, Relation] = {}
+        self._observers: list[LoadObserver] = []
+        self.counters = counters if counters is not None else CostCounters()
+
+    # ------------------------------------------------------------------
+    # Schema and observers
+    # ------------------------------------------------------------------
+
+    def create_relation(self, name: str, attributes: list[str]) -> Relation:
+        """Create and register an empty relation."""
+        if name in self._relations:
+            raise RelationError(f"relation {name!r} already exists")
+        relation = Relation(name, attributes)
+        self._relations[name] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise RelationError(f"no relation named {name!r}") from None
+
+    def add_observer(self, observer: LoadObserver) -> None:
+        """Subscribe to the load stream (the Figure-2 tap)."""
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+
+    def insert(self, relation_name: str, row: Mapping[str, int] | tuple) -> None:
+        """Insert one row and notify observers."""
+        relation = self.relation(relation_name)
+        normalised = relation.insert(row)
+        self.counters.inserts += 1
+        for observer in self._observers:
+            observer(relation_name, normalised, True)
+
+    def delete(self, relation_name: str, row: Mapping[str, int] | tuple) -> None:
+        """Delete one row and notify observers."""
+        relation = self.relation(relation_name)
+        normalised = relation.delete(row)
+        self.counters.deletes += 1
+        for observer in self._observers:
+            observer(relation_name, normalised, False)
+
+    def load(
+        self,
+        relation_name: str,
+        rows: Iterable[Mapping[str, int] | tuple],
+    ) -> int:
+        """Bulk-insert rows; returns how many were loaded."""
+        loaded = 0
+        for row in rows:
+            self.insert(relation_name, row)
+            loaded += 1
+        return loaded
+
+    # ------------------------------------------------------------------
+    # Exact answers (expensive: charged per scanned row)
+    # ------------------------------------------------------------------
+
+    def scan_cost(self, relation_name: str) -> int:
+        """Disk accesses a full scan of the relation would cost."""
+        return self.relation(relation_name).size
+
+    def exact_column(self, relation_name: str, attribute: str):
+        """A full-scan copy of one attribute, charged to the counters."""
+        relation = self.relation(relation_name)
+        self.counters.disk_accesses += relation.size
+        return relation.column(attribute)

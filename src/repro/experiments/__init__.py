@@ -1,0 +1,40 @@
+"""Reusable experiment drivers for the paper's evaluation.
+
+The benchmark suite (``benchmarks/``) and the command-line runner
+(``python -m repro.experiments``) both build on these drivers, which
+regenerate the data behind every table and figure of the paper:
+
+* :func:`figure3_scenario` / :func:`figure3_sweep` -- sample-size vs
+  skew for traditional / concise-online / concise-offline samples
+  (Figure 3, Table 1).
+* :func:`hotlist_scenario` -- the four hot-list algorithms on one
+  stream (Figures 4-6, Table 2).
+* :class:`Profile` -- quick vs full (paper-scale) experiment profiles.
+"""
+
+from repro.experiments.figure3 import (
+    ScenarioStats,
+    figure3_scenario,
+    figure3_sweep,
+)
+from repro.experiments.hotlists import HotListRun, hotlist_scenario
+from repro.experiments.profiles import (
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    Profile,
+    active_profile,
+)
+from repro.experiments.reporting import print_series
+
+__all__ = [
+    "FULL_PROFILE",
+    "HotListRun",
+    "Profile",
+    "QUICK_PROFILE",
+    "ScenarioStats",
+    "active_profile",
+    "figure3_scenario",
+    "figure3_sweep",
+    "hotlist_scenario",
+    "print_series",
+]

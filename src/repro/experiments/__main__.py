@@ -1,0 +1,231 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables and figures without pytest::
+
+    python -m repro.experiments figure3b
+    python -m repro.experiments figure4 --full
+    python -m repro.experiments table2
+    python -m repro.experiments all
+
+``--full`` selects the paper's 500K-insert, 5-trial profile (the same
+switch as the ``REPRO_FULL`` environment variable used by the
+benchmark suite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.experiments.figure3 import figure3_sweep
+from repro.experiments.hotlists import hotlist_scenario
+from repro.experiments.profiles import (
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    Profile,
+)
+from repro.experiments.reporting import print_series
+
+_FIGURE3_PANELS = {
+    "figure3a": (100, 5_000, 3.0),
+    "figure3b": (1_000, 5_000, 3.0),
+    "figure3c": (1_000, 50_000, 1.5),
+    "figure3d": (1_000, 5_000, 1.5),
+}
+
+_HOTLIST_SCENARIOS = {
+    "figure4": (100, 500, 1.5, 20, 4000),
+    "figure5": (1_000, 5_000, 1.0, 100, 5000),
+    "figure6": (1_000, 50_000, 1.25, 120, 6000),
+}
+
+
+def _run_figure3(panel: str, profile: Profile) -> None:
+    footprint, domain, z_stop = _FIGURE3_PANELS[panel]
+    zipfs = [
+        round(z, 2)
+        for z in np.arange(0.0, z_stop + 1e-9, profile.zipf_step)
+    ]
+    series = figure3_sweep(
+        footprint, domain, zipfs, profile, 1000 + ord(panel[-1])
+    )
+    print_series(
+        f"{panel}: {profile.inserts:,} values in [1,{domain}], "
+        f"footprint {footprint} ({profile.name} profile)",
+        ["zipf", "traditional", "concise online", "concise offline"],
+        [
+            [
+                zipfs[i],
+                series["traditional"][i].sample_size,
+                series["concise online"][i].sample_size,
+                series["concise offline"][i].sample_size,
+            ]
+            for i in range(len(zipfs))
+        ],
+    )
+
+
+def _run_table1(profile: Profile) -> None:
+    zipfs = [
+        round(z, 2)
+        for z in np.arange(0.0, 3.0 + 1e-9, profile.zipf_step)
+    ]
+    scenarios = {
+        "Fig 3(a)": (100, 5_000),
+        "Figs 3(b)(d)": (1_000, 5_000),
+        "Fig 3(c)": (1_000, 50_000),
+    }
+    columns = {}
+    for name, (footprint, domain) in scenarios.items():
+        series = figure3_sweep(footprint, domain, zipfs, profile, 2000)
+        columns[name] = series["concise online"]
+    header = ["zipf"]
+    for name in scenarios:
+        header += [f"{name} flips", "lookups"]
+    rows = []
+    for i, z in enumerate(zipfs):
+        row = [z]
+        for name in scenarios:
+            row += [
+                round(columns[name][i].flips_per_insert, 4),
+                round(columns[name][i].lookups_per_insert, 4),
+            ]
+        rows.append(row)
+    print_series(
+        f"Table 1 ({profile.name} profile)",
+        header,
+        rows,
+        widths=[8] + [20, 10] * len(scenarios),
+    )
+
+
+def _run_hotlist(name: str, profile: Profile) -> None:
+    footprint, domain, skew, k, seed = _HOTLIST_SCENARIOS[name]
+    runs, truth = hotlist_scenario(
+        footprint, domain, skew, k, profile, seed
+    )
+    exact_top = truth.top_k(min(k, 25))
+    answers = {
+        algorithm: dict(run.reported) for algorithm, run in runs.items()
+    }
+    print_series(
+        f"{name}: {profile.inserts:,} values in [1,{domain}], zipf "
+        f"{skew}, footprint {footprint} ({profile.name} profile)",
+        ["rank", "value", "exact", "counting", "concise", "traditional"],
+        [
+            [
+                rank,
+                value,
+                count,
+                round(
+                    answers["counting samples"].get(value, float("nan")),
+                    1,
+                ),
+                round(
+                    answers["concise samples"].get(value, float("nan")),
+                    1,
+                ),
+                round(
+                    answers["traditional samples"].get(
+                        value, float("nan")
+                    ),
+                    1,
+                ),
+            ]
+            for rank, (value, count) in enumerate(exact_top, start=1)
+        ],
+        widths=[6, 8, 10, 12, 12, 14],
+    )
+    for algorithm, run in runs.items():
+        evaluation = run.evaluation
+        print(
+            f"  {algorithm:<22} reported={evaluation.reported:>4} "
+            f"recall={evaluation.recall:.2f} "
+            f"head_err={run.head_error:.2%}"
+        )
+
+
+def _run_table2(profile: Profile) -> None:
+    for name in _HOTLIST_SCENARIOS:
+        footprint, domain, skew, k, seed = _HOTLIST_SCENARIOS[name]
+        runs, _ = hotlist_scenario(
+            footprint, domain, skew, k, profile, seed
+        )
+        rows = []
+        for algorithm in (
+            "concise samples",
+            "counting samples",
+            "traditional samples",
+        ):
+            run = runs[algorithm]
+            rows.append(
+                [
+                    algorithm,
+                    round(run.flips_per_insert, 3),
+                    round(run.lookups_per_insert, 3),
+                    run.threshold_raises or "n/a",
+                    run.sample_size
+                    if algorithm != "counting samples"
+                    else "n/a",
+                    round(run.final_threshold or 0)
+                    if algorithm != "traditional samples"
+                    else "n/a",
+                    run.evaluation.reported,
+                ]
+            )
+        print_series(
+            f"Table 2 -- {name} ({profile.name} profile)",
+            [
+                "algorithm",
+                "flips",
+                "lookups",
+                "raises",
+                "sample-size",
+                "threshold",
+                "reported",
+            ],
+            rows,
+            widths=[22, 9, 9, 8, 13, 11, 10],
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    experiments = (
+        list(_FIGURE3_PANELS) + ["table1", "table2"]
+        + list(_HOTLIST_SCENARIOS) + ["all"]
+    )
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=experiments)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's 500K-insert, 5-trial profile",
+    )
+    arguments = parser.parse_args(argv)
+    profile = FULL_PROFILE if arguments.full else QUICK_PROFILE
+
+    selected = (
+        experiments[:-1]
+        if arguments.experiment == "all"
+        else [arguments.experiment]
+    )
+    for experiment in selected:
+        if experiment in _FIGURE3_PANELS:
+            _run_figure3(experiment, profile)
+        elif experiment == "table1":
+            _run_table1(profile)
+        elif experiment == "table2":
+            _run_table2(profile)
+        else:
+            _run_hotlist(experiment, profile)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Figure 3 / Table 1 drivers: sample-size and overheads vs skew."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import ConciseSample, ReservoirSample
+from repro.core.offline import offline_concise_sample
+from repro.experiments.profiles import Profile
+from repro.randkit import spawn_seeds
+from repro.streams import zipf_stream
+
+__all__ = ["ScenarioStats", "figure3_scenario", "figure3_sweep"]
+
+
+@dataclass(frozen=True)
+class ScenarioStats:
+    """Per-(scenario, algorithm) averages for Figure 3 / Table 1."""
+
+    skew: float
+    sample_size: float
+    flips_per_insert: float
+    lookups_per_insert: float
+    threshold_raises: float
+
+
+def figure3_scenario(
+    footprint: int,
+    domain: int,
+    skew: float,
+    profile: Profile,
+    master_seed: int,
+) -> dict[str, ScenarioStats]:
+    """One Figure-3 data point: mean sample-sizes and overheads of the
+    three algorithms over ``profile.trials`` independent streams."""
+    results: dict[str, list[ScenarioStats]] = {
+        "traditional": [],
+        "concise online": [],
+        "concise offline": [],
+    }
+    for seed in spawn_seeds(master_seed, profile.trials):
+        stream = zipf_stream(profile.inserts, domain, skew, seed)
+
+        traditional = ReservoirSample(footprint, seed=seed + 1)
+        traditional.insert_array(stream)
+        results["traditional"].append(
+            ScenarioStats(
+                skew,
+                traditional.sample_size,
+                traditional.counters.flips_per_insert(),
+                traditional.counters.lookups_per_insert(),
+                0.0,
+            )
+        )
+
+        online = ConciseSample(footprint, seed=seed + 2)
+        online.insert_array(stream)
+        results["concise online"].append(
+            ScenarioStats(
+                skew,
+                online.sample_size,
+                online.counters.flips_per_insert(),
+                online.counters.lookups_per_insert(),
+                online.counters.threshold_raises,
+            )
+        )
+
+        offline = offline_concise_sample(stream, footprint, seed + 3)
+        results["concise offline"].append(
+            ScenarioStats(skew, offline.sample_size, 0.0, 0.0, 0.0)
+        )
+
+    def mean(stats: list[ScenarioStats]) -> ScenarioStats:
+        return ScenarioStats(
+            skew,
+            float(np.mean([s.sample_size for s in stats])),
+            float(np.mean([s.flips_per_insert for s in stats])),
+            float(np.mean([s.lookups_per_insert for s in stats])),
+            float(np.mean([s.threshold_raises for s in stats])),
+        )
+
+    return {name: mean(stats) for name, stats in results.items()}
+
+
+def figure3_sweep(
+    footprint: int,
+    domain: int,
+    zipf_values: list[float],
+    profile: Profile,
+    master_seed: int,
+) -> dict[str, list[ScenarioStats]]:
+    """A full skew sweep: one :func:`figure3_scenario` per zipf value."""
+    series: dict[str, list[ScenarioStats]] = {
+        "traditional": [],
+        "concise online": [],
+        "concise offline": [],
+    }
+    for skew in zipf_values:
+        point = figure3_scenario(
+            footprint, domain, skew, profile, master_seed
+        )
+        for name in series:
+            series[name].append(point[name])
+    return series

@@ -1,0 +1,82 @@
+"""Figures 4-6 / Table 2 driver: the four hot-list algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.profiles import Profile
+from repro.hotlist import (
+    ConciseHotList,
+    CountingHotList,
+    FullHistogramHotList,
+    TraditionalHotList,
+    evaluate_hotlist,
+    head_count_error,
+)
+from repro.hotlist.accuracy import HotListEvaluation
+from repro.randkit import spawn_seeds
+from repro.stats.frequency import FrequencyTable
+from repro.streams import zipf_stream
+
+__all__ = ["HotListRun", "hotlist_scenario"]
+
+
+@dataclass(frozen=True)
+class HotListRun:
+    """Per-algorithm results of a Figures-4-6 hot-list scenario."""
+
+    evaluation: HotListEvaluation
+    reported: list[tuple[int, float]]
+    head_error: float
+    flips_per_insert: float
+    lookups_per_insert: float
+    threshold_raises: int
+    sample_size: int | None
+    final_threshold: float | None
+
+
+def hotlist_scenario(
+    footprint: int,
+    domain: int,
+    skew: float,
+    k: int,
+    profile: Profile,
+    master_seed: int,
+) -> tuple[dict[str, HotListRun], FrequencyTable]:
+    """One Figures-4-6 scenario: all four algorithms, one stream.
+
+    The paper plots a single run per figure; this driver keeps that
+    convention (the Table-2 overhead metrics are single-run too).
+    Returns the per-algorithm runs and the exact frequency table.
+    """
+    seed = spawn_seeds(master_seed, 1)[0]
+    stream = zipf_stream(profile.inserts, domain, skew, seed)
+    truth = FrequencyTable(stream)
+
+    reporters = {
+        "full histogram": FullHistogramHotList(footprint),
+        "concise samples": ConciseHotList(footprint, seed=seed + 1),
+        "counting samples": CountingHotList(footprint, seed=seed + 2),
+        "traditional samples": TraditionalHotList(
+            footprint, seed=seed + 3
+        ),
+    }
+    runs: dict[str, HotListRun] = {}
+    for name, reporter in reporters.items():
+        reporter.insert_array(stream)
+        answer = reporter.report(k)
+        evaluation = evaluate_hotlist(answer, truth, k)
+        sample = getattr(reporter, "sample", None)
+        runs[name] = HotListRun(
+            evaluation=evaluation,
+            reported=[
+                (entry.value, entry.estimated_count) for entry in answer
+            ],
+            head_error=head_count_error(answer, truth, min(k, 20)),
+            flips_per_insert=reporter.counters.flips_per_insert(),
+            lookups_per_insert=reporter.counters.lookups_per_insert(),
+            threshold_raises=reporter.counters.threshold_raises,
+            sample_size=getattr(sample, "sample_size", None),
+            final_threshold=getattr(sample, "threshold", None),
+        )
+    return runs, truth

@@ -1,0 +1,52 @@
+"""Experiment scale profiles.
+
+The paper's experiments insert 500K values and average 5 trials per
+data point, with the zipf parameter swept in 0.25 steps.  That is the
+**full** profile.  The **quick** profile (the default) shrinks the
+stream and trial count so the whole suite runs in minutes while
+preserving every qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["FULL_PROFILE", "QUICK_PROFILE", "Profile", "active_profile"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Experiment scale parameters.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label printed in every series header.
+    inserts:
+        Stream length per trial.
+    trials:
+        Independent trials averaged per data point.
+    zipf_step:
+        Skew sweep granularity for the Figure-3 / Table-1 sweeps.
+    """
+
+    name: str
+    inserts: int
+    trials: int
+    zipf_step: float
+
+
+FULL_PROFILE = Profile("full (paper)", 500_000, 5, 0.25)
+QUICK_PROFILE = Profile("quick", 100_000, 3, 0.5)
+
+
+def active_profile() -> Profile:
+    """The profile selected by the environment.
+
+    ``REPRO_FULL=1`` selects the paper's profile; anything else (or an
+    unset variable) selects the quick profile.
+    """
+    if os.environ.get("REPRO_FULL"):
+        return FULL_PROFILE
+    return QUICK_PROFILE

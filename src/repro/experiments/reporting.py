@@ -1,0 +1,31 @@
+"""Fixed-width text rendering of experiment series."""
+
+from __future__ import annotations
+
+__all__ = ["print_series"]
+
+
+def print_series(
+    title: str,
+    header: list[str],
+    rows: list[list],
+    widths: list[int] | None = None,
+) -> None:
+    """Print one table/figure series in a fixed-width layout.
+
+    Floats are rendered with thousands separators and three decimals;
+    everything else with ``str``.  Widths default to header-derived
+    minima.
+    """
+    print(f"\n=== {title} ===")
+    if widths is None:
+        widths = [max(12, len(h) + 2) for h in header]
+    print("".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        cells = []
+        for value, width in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:,.3f}".rjust(width))
+            else:
+                cells.append(str(value).rjust(width))
+        print("".join(cells))

@@ -1,0 +1,43 @@
+"""Approximate hot-list queries (paper Section 5).
+
+A hot-list query asks for an ordered set of ``(value, count)`` pairs
+for the ``k`` most frequently occurring values.  This package provides
+the paper's four incremental algorithms:
+
+* :class:`~repro.hotlist.traditional.TraditionalHotList` -- reservoir
+  sample, counts scaled by ``n/m``.
+* :class:`~repro.hotlist.concise.ConciseHotList` -- concise sample,
+  counts scaled by ``n/m'``.
+* :class:`~repro.hotlist.counting.CountingHotList` -- counting sample,
+  counts augmented by the compensation constant ``c-hat``.
+* :class:`~repro.hotlist.exact.FullHistogramHotList` -- the exact
+  full-histogram-on-disk baseline (one disk access per update).
+
+plus the evaluation utilities used by the Figures 4-6 experiments.
+"""
+
+from repro.hotlist.accuracy import (
+    HotListEvaluation,
+    evaluate_hotlist,
+    head_count_error,
+)
+from repro.hotlist.base import HotListAnswer, HotListEntry, HotListReporter
+from repro.hotlist.concise import ConciseHotList
+from repro.hotlist.counting import CountingHotList
+from repro.hotlist.exact import FullHistogramHotList
+from repro.hotlist.sorted_concise import SortedConciseHotList
+from repro.hotlist.traditional import TraditionalHotList
+
+__all__ = [
+    "ConciseHotList",
+    "CountingHotList",
+    "FullHistogramHotList",
+    "HotListAnswer",
+    "HotListEntry",
+    "HotListEvaluation",
+    "HotListReporter",
+    "SortedConciseHotList",
+    "TraditionalHotList",
+    "evaluate_hotlist",
+    "head_count_error",
+]

@@ -1,0 +1,136 @@
+"""Scoring of approximate hot lists against exact ground truth.
+
+The Figures 4-6 experiments judge each algorithm by which of the truly
+most frequent values it reports (false negatives appear as gaps, false
+positives are "tacked on at the right"), and by the error of the
+reported counts.  :func:`evaluate_hotlist` computes all of those
+quantities for one answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hotlist.base import HotListAnswer
+from repro.stats.frequency import FrequencyTable
+from repro.stats.metrics import precision_recall
+
+__all__ = ["HotListEvaluation", "evaluate_hotlist", "head_count_error"]
+
+
+def head_count_error(
+    answer: HotListAnswer,
+    truth: "FrequencyTable",
+    head_k: int,
+) -> float:
+    """Mean relative count error over the exact top-``head_k`` values.
+
+    A value the answer misses counts as full (1.0) error, so an
+    algorithm cannot look good by reporting nothing.  This is the
+    head-of-the-ranking comparison the paper's figures make visually;
+    :func:`evaluate_hotlist`'s ``mean_count_error`` instead averages
+    over whatever was reported (including deep-tail values whose
+    relative errors are naturally enormous).
+    """
+    if head_k < 1:
+        raise ValueError("head_k must be positive")
+    estimates = answer.as_dict()
+    errors = []
+    for value, count in truth.top_k(head_k):
+        if value in estimates:
+            errors.append(abs(estimates[value] - count) / count)
+        else:
+            errors.append(1.0)
+    return sum(errors) / len(errors) if errors else 0.0
+
+
+@dataclass(frozen=True)
+class HotListEvaluation:
+    """Accuracy summary of one hot-list answer.
+
+    Attributes
+    ----------
+    k:
+        The requested hot-list length.
+    reported:
+        Number of values the algorithm reported (may be below ``k``).
+    true_positives:
+        Reported values that belong to the exact top-``k``.
+    false_positives:
+        Reported values outside the exact top-``k``.
+    false_negatives:
+        Exact top-``k`` values the answer missed.
+    precision, recall:
+        Set precision/recall against the exact top-``k``.
+    top_prefix_correct:
+        Length of the longest prefix of the exact ranking that is
+        entirely reported ("accurately reported the 15 most frequent
+        values" in the paper's Figure 4 discussion).
+    mean_count_error:
+        Mean relative error of the estimated counts over reported
+        values that truly occur (|est - true| / true).
+    max_count_error:
+        Worst such relative error (0.0 when nothing qualifies).
+    """
+
+    k: int
+    reported: int
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    precision: float
+    recall: float
+    top_prefix_correct: int
+    mean_count_error: float
+    max_count_error: float
+
+
+def evaluate_hotlist(
+    answer: HotListAnswer,
+    truth: FrequencyTable,
+    k: int | None = None,
+) -> HotListEvaluation:
+    """Score an approximate hot list against an exact frequency table.
+
+    ``k`` defaults to the answer's own ``k``.  Ties in the exact
+    ranking are broken toward smaller values, matching
+    :meth:`FrequencyTable.top_k`.
+    """
+    if k is None:
+        k = answer.k
+    if k < 1:
+        raise ValueError("k must be positive")
+    true_top = truth.top_k(k)
+    true_values = [value for value, _ in true_top]
+    reported_values = answer.values()
+    precision, recall = precision_recall(reported_values, true_values)
+    reported_set = set(reported_values)
+    hits = len(reported_set & set(true_values))
+
+    prefix = 0
+    for value in true_values:
+        if value in reported_set:
+            prefix += 1
+        else:
+            break
+
+    errors = []
+    for entry in answer.entries:
+        true_count = truth.count(entry.value)
+        if true_count > 0:
+            errors.append(
+                abs(entry.estimated_count - true_count) / true_count
+            )
+
+    return HotListEvaluation(
+        k=k,
+        reported=len(reported_values),
+        true_positives=hits,
+        false_positives=len(reported_set) - hits,
+        false_negatives=len(true_values) - hits,
+        precision=precision,
+        recall=recall,
+        top_prefix_correct=prefix,
+        mean_count_error=sum(errors) / len(errors) if errors else 0.0,
+        max_count_error=max(errors) if errors else 0.0,
+    )

@@ -1,0 +1,96 @@
+"""Common types for hot-list reporters."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["HotListAnswer", "HotListEntry", "HotListReporter", "kth_largest"]
+
+
+@dataclass(frozen=True)
+class HotListEntry:
+    """One reported hot-list item."""
+
+    value: int
+    estimated_count: float
+
+
+@dataclass(frozen=True)
+class HotListAnswer:
+    """An approximate answer to a hot-list query.
+
+    ``entries`` is ordered by nonincreasing estimated count (ties
+    broken toward smaller values, for determinism).  The paper's
+    reporters may return fewer than ``k`` entries -- Section 5.2
+    explains why that is inevitable for accurate reporting on
+    near-uniform data.
+    """
+
+    k: int
+    entries: tuple[HotListEntry, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[HotListEntry]:
+        return iter(self.entries)
+
+    def values(self) -> list[int]:
+        """The reported values, most frequent first."""
+        return [entry.value for entry in self.entries]
+
+    def as_dict(self) -> dict[int, float]:
+        """Map each reported value to its estimated count."""
+        return {entry.value: entry.estimated_count for entry in self.entries}
+
+
+def kth_largest(counts: Iterable[int], k: int) -> int:
+    """The ``k``-th largest of the given counts, or 0 if fewer than
+    ``k`` are present.
+
+    This is the ``c_k`` of Section 5.1: with fewer than ``k``
+    candidates the rank cut-off imposes no constraint, and the
+    confidence cut-off alone governs reporting.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    values = np.fromiter(counts, dtype=np.int64)
+    if len(values) < k:
+        return 0
+    return int(np.partition(values, len(values) - k)[len(values) - k])
+
+
+def order_entries(estimates: Mapping[int, float]) -> tuple[HotListEntry, ...]:
+    """Sort value -> estimate into canonical hot-list order."""
+    ordered = sorted(estimates.items(), key=lambda item: (-item[1], item[0]))
+    return tuple(HotListEntry(value, estimate) for value, estimate in ordered)
+
+
+class HotListReporter(ABC):
+    """Base class for incremental hot-list algorithms.
+
+    Subclasses wrap a maintained synopsis and implement
+    :meth:`report`.  Stream ingestion is forwarded to the synopsis.
+    """
+
+    @abstractmethod
+    def insert(self, value: int) -> None:
+        """Observe one warehouse insert."""
+
+    def insert_many(self, values) -> None:
+        """Observe a sequence of warehouse inserts, in order."""
+        for value in values:
+            self.insert(int(value))
+
+    def insert_array(self, values: np.ndarray) -> None:
+        """Observe a bulk of warehouse inserts, in order."""
+        for value in values.tolist():
+            self.insert(value)
+
+    @abstractmethod
+    def report(self, k: int) -> HotListAnswer:
+        """Approximate the ``k`` most frequent values with counts."""

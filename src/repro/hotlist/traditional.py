@@ -1,0 +1,92 @@
+"""Hot lists from traditional (reservoir) samples (Section 5.1).
+
+"A traditional sample of size m can be maintained using Vitter's
+reservoir sampling algorithm.  To report an approximate hot list, we
+first semi-sort by value, and replace every sample point occurring
+multiple times by a (value, count) pair.  We then compute the k'th
+largest count c_k, and report all pairs with counts at least
+max(c_k, theta), scaling the counts by n/m."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.reservoir import ReservoirSample
+from repro.hotlist.base import (
+    HotListAnswer,
+    HotListReporter,
+    kth_largest,
+    order_entries,
+)
+from repro.randkit.coins import CostCounters
+
+__all__ = ["TraditionalHotList"]
+
+
+class TraditionalHotList(HotListReporter):
+    """Approximate hot lists over a maintained reservoir sample.
+
+    Parameters
+    ----------
+    footprint_bound:
+        ``m``; the reservoir capacity equals the footprint.
+    confidence_threshold:
+        ``theta``: the minimum number of sample points a value needs
+        before it may be reported.  The paper finds ``theta = 3`` a
+        good choice and uses it in all experiments.
+    seed, counters:
+        As for :class:`~repro.core.reservoir.ReservoirSample`.
+    """
+
+    def __init__(
+        self,
+        footprint_bound: int,
+        *,
+        confidence_threshold: int = 3,
+        seed: int | None = None,
+        counters: CostCounters | None = None,
+    ) -> None:
+        if confidence_threshold < 1:
+            raise ValueError("confidence_threshold must be at least 1")
+        self.confidence_threshold = confidence_threshold
+        self.footprint_bound = footprint_bound
+        self.sample = ReservoirSample(
+            footprint_bound, seed=seed, counters=counters
+        )
+
+    @property
+    def footprint(self) -> int:
+        """Words used by the underlying reservoir."""
+        return self.sample.footprint
+
+    @property
+    def counters(self) -> CostCounters:
+        """The cost ledger of the underlying sample."""
+        return self.sample.counters
+
+    def insert(self, value: int) -> None:
+        self.sample.insert(value)
+
+    def insert_array(self, values: np.ndarray) -> None:
+        self.sample.insert_array(values)
+
+    def report(self, k: int) -> HotListAnswer:
+        """Report up to ``k`` hot values (possibly fewer; Section 5.2)."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        pairs = Counter(self.sample.points())
+        if not pairs:
+            return HotListAnswer(k=k)
+        cutoff = max(
+            kth_largest(pairs.values(), k), self.confidence_threshold
+        )
+        scale = self.sample.total_inserted / self.sample.sample_size
+        estimates = {
+            value: count * scale
+            for value, count in pairs.items()
+            if count >= cutoff
+        }
+        return HotListAnswer(k=k, entries=order_entries(estimates))

@@ -1,0 +1,29 @@
+"""Hot lists over k-itemsets and association rules (paper Section 1.2).
+
+"Hot lists can be maintained on singleton values, pairs of values,
+triples, etc.; e.g., they can be maintained on k-itemsets for any
+specified k, and used to produce association rules [AS94, BMUT97]."
+
+This package provides exactly that: a market-basket transaction
+generator with planted frequent itemsets, an incremental
+counting-sample hot list over the k-itemsets of a transaction stream,
+and an association-rule deriver on top of it.  It is the paper's
+"probabilistic counting scheme to identify newly-popular itemsets"
+applied at itemset granularity: no candidate generation pass over base
+data, one bounded-footprint synopsis, accuracy degrading gracefully
+with the threshold.
+"""
+
+from repro.itemsets.encoding import decode_itemset, encode_itemset
+from repro.itemsets.hotlist import ItemsetHotList
+from repro.itemsets.rules import AssociationRule, derive_rules
+from repro.itemsets.transactions import BasketGenerator
+
+__all__ = [
+    "AssociationRule",
+    "BasketGenerator",
+    "ItemsetHotList",
+    "decode_itemset",
+    "derive_rules",
+    "encode_itemset",
+]

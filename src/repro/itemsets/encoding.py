@@ -1,0 +1,48 @@
+"""Bijective encoding of small itemsets into single integers.
+
+The sample synopses key on integers; a sorted k-itemset is packed into
+one integer with a fixed per-item width so the same concise/counting
+machinery works unchanged at itemset granularity.
+"""
+
+from __future__ import annotations
+
+__all__ = ["decode_itemset", "encode_itemset"]
+
+_ITEM_BITS = 24
+_ITEM_MASK = (1 << _ITEM_BITS) - 1
+MAX_ITEM = _ITEM_MASK
+
+
+def encode_itemset(items: tuple[int, ...]) -> int:
+    """Pack a sorted tuple of distinct item ids into one integer.
+
+    Items must be in ``[1, 2^24 - 1]`` and strictly increasing; the
+    leading 1-bits of the packing make the encoding prefix-free across
+    itemset sizes, so a pair can never collide with a triple.
+    """
+    if not items:
+        raise ValueError("itemset must be non-empty")
+    encoded = 1  # sentinel high bit: makes sizes self-delimiting
+    previous = 0
+    for item in items:
+        if not 0 < item <= MAX_ITEM:
+            raise ValueError(f"item {item} out of range [1, {MAX_ITEM}]")
+        if item <= previous:
+            raise ValueError("items must be strictly increasing")
+        previous = item
+        encoded = (encoded << _ITEM_BITS) | item
+    return encoded
+
+
+def decode_itemset(encoded: int) -> tuple[int, ...]:
+    """Invert :func:`encode_itemset`."""
+    if encoded < 1:
+        raise ValueError("not an encoded itemset")
+    items = []
+    while encoded > 1:
+        items.append(encoded & _ITEM_MASK)
+        encoded >>= _ITEM_BITS
+    if encoded != 1:
+        raise ValueError("not an encoded itemset")
+    return tuple(reversed(items))

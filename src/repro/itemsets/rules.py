@@ -1,0 +1,100 @@
+"""Association rules from itemset hot lists ([AS94] via Section 1.2).
+
+Given a hot list over k-itemsets and one over the individual items
+(both maintained incrementally, both bounded-footprint), derive rules
+``antecedent -> consequent`` with estimated support and confidence.
+Unlike Apriori this needs no passes over base data -- the trade-off is
+that only itemsets hot enough to survive the synopses can appear in
+rules, which is precisely the hot-list contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.itemsets.hotlist import ItemsetHotList
+
+__all__ = ["AssociationRule", "derive_rules"]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """One association rule with estimated quality measures."""
+
+    antecedent: tuple[int, ...]
+    consequent: tuple[int, ...]
+    support: float
+    confidence: float
+
+    def __str__(self) -> str:
+        left = ", ".join(map(str, self.antecedent))
+        right = ", ".join(map(str, self.consequent))
+        return (
+            f"{{{left}}} -> {{{right}}} "
+            f"(support {self.support:.3f}, "
+            f"confidence {self.confidence:.3f})"
+        )
+
+
+def derive_rules(
+    itemsets: ItemsetHotList,
+    items: ItemsetHotList,
+    *,
+    top_k: int = 50,
+    min_support: float = 0.01,
+    min_confidence: float = 0.3,
+) -> list[AssociationRule]:
+    """Derive single-consequent rules from the hot k-itemsets.
+
+    Parameters
+    ----------
+    itemsets:
+        A hot list over k-itemsets (k >= 2).
+    items:
+        A hot list over individual items (``itemset_size == 1``) fed
+        the same basket stream; it supplies antecedent supports.
+    top_k:
+        How many hot itemsets to consider.
+    min_support / min_confidence:
+        The usual quality thresholds.
+
+    Rules whose antecedent support cannot be estimated (the antecedent
+    fell out of the item synopsis) are skipped rather than reported
+    with a fabricated confidence.
+    """
+    if itemsets.itemset_size < 2:
+        raise ValueError("rules need itemsets of size at least 2")
+    if items.itemset_size != itemsets.itemset_size - 1:
+        raise ValueError(
+            "antecedent hot list must track itemsets one smaller"
+        )
+    if itemsets.baskets_observed == 0:
+        return []
+
+    rules = []
+    for itemset, estimated_count in itemsets.report_itemsets(top_k):
+        support = estimated_count / itemsets.baskets_observed
+        if support < min_support:
+            continue
+        for consequent_index in range(len(itemset)):
+            consequent = (itemset[consequent_index],)
+            antecedent = (
+                itemset[:consequent_index]
+                + itemset[consequent_index + 1 :]
+            )
+            antecedent_count = items.estimated_count(antecedent)
+            if antecedent_count <= 0:
+                continue
+            confidence = min(1.0, estimated_count / antecedent_count)
+            if confidence < min_confidence:
+                continue
+            rules.append(
+                AssociationRule(
+                    antecedent=antecedent,
+                    consequent=consequent,
+                    support=support,
+                    confidence=confidence,
+                )
+            )
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support))
+    return rules

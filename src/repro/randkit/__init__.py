@@ -1,0 +1,27 @@
+"""Seeded randomness utilities with cost instrumentation.
+
+The paper reports update-time overheads in two abstract units -- *coin
+flips* and *lookups* per insert (Tables 1 and 2).  Everything stochastic
+in this library draws its randomness through :class:`~repro.randkit.rng.ReproRandom`
+so that (a) every experiment is reproducible from an integer seed, and
+(b) the number of coin flips performed by an algorithm is counted with
+the same accounting the paper uses: one flip per geometric skip draw
+(Vitter's Algorithm-X technique), not one flip per stream element.
+"""
+
+from repro.randkit.coins import (
+    Coin,
+    CostCounters,
+    EvictionSkipper,
+    GeometricSkipper,
+)
+from repro.randkit.rng import ReproRandom, spawn_seeds
+
+__all__ = [
+    "Coin",
+    "CostCounters",
+    "EvictionSkipper",
+    "GeometricSkipper",
+    "ReproRandom",
+    "spawn_seeds",
+]

@@ -1,0 +1,247 @@
+"""Instrumented coins and skip counters.
+
+The paper's cost model (Section 3.3) measures algorithm work in *coin
+flips* and *lookups*: "the number of instructions executed by the
+algorithm is directly proportional to the number of coin flips and
+lookups, and is dominated by these two factors."  A "coin flip" is one
+random draw -- and, crucially, the algorithms use Vitter's Algorithm-X
+trick of drawing a geometric skip length instead of flipping one coin
+per stream element, so one *draw* covers a whole run of skipped
+elements and is counted as a single flip.
+
+:class:`CostCounters` is the ledger; :class:`GeometricSkipper` and
+:class:`EvictionSkipper` are the two skip-based processes used by the
+maintenance algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.randkit.rng import ReproRandom
+
+__all__ = ["Coin", "CostCounters", "EvictionSkipper", "GeometricSkipper"]
+
+
+@dataclass
+class CostCounters:
+    """Abstract work counters in the paper's cost model.
+
+    Attributes
+    ----------
+    flips:
+        Random draws performed (one per geometric skip draw or
+        individual biased coin flip).
+    lookups:
+        Hash-table probes into the synopsis.
+    threshold_raises:
+        Times the entry threshold was raised to shrink the footprint.
+    inserts:
+        Stream elements offered to the synopsis (denominator for the
+        per-insert rates reported in Tables 1 and 2).
+    deletes:
+        Delete operations offered to the synopsis.
+    disk_accesses:
+        Simulated base-data accesses (zero for the incremental
+        algorithms; nonzero for the offline and full-histogram
+        baselines).
+    """
+
+    flips: int = 0
+    lookups: int = 0
+    threshold_raises: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    disk_accesses: int = 0
+
+    def flips_per_insert(self) -> float:
+        """Average coin flips per stream insert (Table 1 / 2 metric)."""
+        return self.flips / self.inserts if self.inserts else 0.0
+
+    def lookups_per_insert(self) -> float:
+        """Average lookups per stream insert (Table 1 / 2 metric)."""
+        return self.lookups / self.inserts if self.inserts else 0.0
+
+    def snapshot(self) -> "CostCounters":
+        """An independent copy of the current counter values."""
+        return CostCounters(
+            flips=self.flips,
+            lookups=self.lookups,
+            threshold_raises=self.threshold_raises,
+            inserts=self.inserts,
+            deletes=self.deletes,
+            disk_accesses=self.disk_accesses,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.flips = 0
+        self.lookups = 0
+        self.threshold_raises = 0
+        self.inserts = 0
+        self.deletes = 0
+        self.disk_accesses = 0
+
+    def __sub__(self, other: "CostCounters") -> "CostCounters":
+        return CostCounters(
+            flips=self.flips - other.flips,
+            lookups=self.lookups - other.lookups,
+            threshold_raises=self.threshold_raises - other.threshold_raises,
+            inserts=self.inserts - other.inserts,
+            deletes=self.deletes - other.deletes,
+            disk_accesses=self.disk_accesses - other.disk_accesses,
+        )
+
+
+@dataclass
+class Coin:
+    """A biased coin whose flips are charged to a counter ledger.
+
+    Used where the algorithm genuinely flips one coin per event (for
+    example the first, ``tau/tau'``-biased flip per value when a
+    counting sample raises its threshold).
+    """
+
+    rng: ReproRandom
+    counters: CostCounters = field(default_factory=CostCounters)
+
+    def flip(self, probability: float) -> bool:
+        """Flip once; ``True`` with the given probability."""
+        self.counters.flips += 1
+        return self.rng.bernoulli(probability)
+
+
+class GeometricSkipper:
+    """Skip-based admission with success probability ``1/threshold``.
+
+    Instead of flipping a ``1/tau`` coin per stream element, draw how
+    many elements to skip until the next admitted one (probability of
+    skipping exactly *i* elements is ``(1 - 1/tau)^i * (1/tau)``).  Each
+    draw is one counted flip.  When ``tau == 1`` every element is
+    admitted deterministically and no randomness is consumed, matching
+    the paper's observation that the start-up phase costs lookups but
+    no flips.
+    """
+
+    def __init__(
+        self,
+        rng: ReproRandom,
+        counters: CostCounters,
+        threshold: float = 1.0,
+    ) -> None:
+        if threshold < 1.0:
+            raise ValueError("threshold must be at least 1")
+        self._rng = rng
+        self._counters = counters
+        self._threshold = threshold
+        self._remaining_skips = 0
+        if threshold > 1.0:
+            self._draw()
+
+    @property
+    def threshold(self) -> float:
+        """Current entry threshold tau (admission probability 1/tau)."""
+        return self._threshold
+
+    def _draw(self) -> None:
+        self._counters.flips += 1
+        self._remaining_skips = self._rng.geometric_skip(1.0 / self._threshold)
+
+    def offer(self) -> bool:
+        """Present one stream element; return ``True`` if it is admitted."""
+        if self._threshold <= 1.0:
+            return True
+        if self._remaining_skips > 0:
+            self._remaining_skips -= 1
+            return False
+        self._draw()
+        return True
+
+    def next_admission_within(self, available: int) -> int | None:
+        """Jump ahead through a block of ``available`` elements.
+
+        Returns the 0-based offset of the next admitted element within
+        the block, or ``None`` if the whole block is skipped.  This is
+        the bulk counterpart of :meth:`offer` -- offering each element
+        individually yields the same admission positions.
+        """
+        if available <= 0:
+            return None
+        if self._threshold <= 1.0:
+            return 0
+        if self._remaining_skips >= available:
+            self._remaining_skips -= available
+            return None
+        offset = self._remaining_skips
+        self._draw()
+        return offset
+
+    def raise_threshold(self, new_threshold: float) -> None:
+        """Move to a stricter threshold.
+
+        The geometric distribution is memoryless, so discarding the
+        pending skip count and redrawing under the new admission
+        probability preserves correctness.
+        """
+        if new_threshold < self._threshold:
+            raise ValueError("threshold can only be raised")
+        if new_threshold == self._threshold:
+            return
+        self._threshold = new_threshold
+        self._draw()
+
+
+class EvictionSkipper:
+    """Skip-based eviction sweep over a run of sample points.
+
+    When the threshold is raised from ``tau`` to ``tau'``, each of the
+    current sample points is independently evicted with probability
+    ``1 - tau/tau'``.  Sweeping the points with geometric skips costs
+    one flip per *evicted* point (plus one terminal overshoot draw)
+    instead of one per point -- the paper's "similar approach when
+    evicting".
+
+    Usage: construct with the eviction probability, then repeatedly
+    call :meth:`evictions_within` with run lengths (for example, the
+    count of each ``(value, count)`` pair); it returns how many points
+    of that run are evicted.
+    """
+
+    def __init__(
+        self,
+        rng: ReproRandom,
+        counters: CostCounters,
+        eviction_probability: float,
+    ) -> None:
+        if not 0.0 <= eviction_probability <= 1.0:
+            raise ValueError("eviction probability must be in [0, 1]")
+        self._rng = rng
+        self._counters = counters
+        self._probability = eviction_probability
+        self._gap_to_next_eviction = self._draw_gap()
+
+    def _draw_gap(self) -> int:
+        """Surviving points before the next evicted one (may be inf)."""
+        if self._probability <= 0.0:
+            return -1  # sentinel: nothing is ever evicted
+        if self._probability >= 1.0:
+            return 0
+        self._counters.flips += 1
+        return self._rng.geometric_skip(self._probability)
+
+    def evictions_within(self, run_length: int) -> int:
+        """Sweep a run of ``run_length`` points; return evictions in it."""
+        if run_length < 0:
+            raise ValueError("run length must be non-negative")
+        if self._gap_to_next_eviction < 0:  # eviction probability zero
+            return 0
+        evicted = 0
+        remaining = run_length
+        while self._gap_to_next_eviction < remaining:
+            remaining -= self._gap_to_next_eviction + 1
+            evicted += 1
+            self._gap_to_next_eviction = self._draw_gap()
+            if self._gap_to_next_eviction < 0:
+                return evicted
+        self._gap_to_next_eviction -= remaining
+        return evicted

@@ -1,0 +1,53 @@
+"""Exact statistics and the paper's closed-form analysis.
+
+:mod:`repro.stats.frequency` computes exact frequency statistics of a
+concrete stream (the ground truth every experiment compares against);
+:mod:`repro.stats.theory` implements the closed forms of Theorems 3, 4,
+6, 7 and 8, including the counting-sample compensation constant; and
+:mod:`repro.stats.metrics` provides the error metrics used to score
+approximate answers.
+"""
+
+from repro.stats.frequency import (
+    FrequencyTable,
+    distinct_count,
+    frequency_moment,
+    mode_frequency,
+    top_k,
+)
+from repro.stats.metrics import (
+    mean_absolute_error,
+    mean_relative_error,
+    precision_recall,
+    rank_displacement,
+)
+from repro.stats.theory import (
+    compensation_constant,
+    concise_gain_expected,
+    counting_false_negative_bound,
+    counting_report_probability,
+    expected_distinct_in_sample,
+    exponential_sample_size_bound,
+    hotlist_false_positive_bound,
+    hotlist_report_probability,
+)
+
+__all__ = [
+    "FrequencyTable",
+    "compensation_constant",
+    "concise_gain_expected",
+    "counting_false_negative_bound",
+    "counting_report_probability",
+    "distinct_count",
+    "expected_distinct_in_sample",
+    "exponential_sample_size_bound",
+    "frequency_moment",
+    "hotlist_false_positive_bound",
+    "hotlist_report_probability",
+    "mean_absolute_error",
+    "mean_relative_error",
+    "mode_frequency",
+    "precision_recall",
+    "rank_displacement",
+    "top_k",
+]

@@ -1,0 +1,146 @@
+"""Exact frequency statistics of concrete value streams.
+
+These are the ground-truth quantities the approximate synopses are
+scored against: exact per-value counts, the frequency moments
+``F_k = sum_j n_j^k`` (Section 3.2 of the paper), the mode, and exact
+top-k hot lists.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "FrequencyTable",
+    "distinct_count",
+    "frequency_moment",
+    "mode_frequency",
+    "top_k",
+]
+
+
+class FrequencyTable:
+    """Exact value -> count table with incremental updates.
+
+    A thin wrapper over :class:`collections.Counter` that also supports
+    deletes with validation, numpy bulk loads, and the derived
+    statistics used throughout the experiments.
+    """
+
+    def __init__(self, values: Iterable[int] | np.ndarray | None = None) -> None:
+        self._counts: Counter[int] = Counter()
+        self._total = 0
+        if values is not None:
+            self.update(values)
+
+    def update(self, values: Iterable[int] | np.ndarray) -> None:
+        """Bulk-insert a stream of values."""
+        if isinstance(values, np.ndarray):
+            uniques, counts = np.unique(values, return_counts=True)
+            for value, count in zip(uniques.tolist(), counts.tolist()):
+                self._counts[value] += count
+            self._total += int(counts.sum()) if len(counts) else 0
+            return
+        for value in values:
+            self._counts[int(value)] += 1
+            self._total += 1
+
+    def insert(self, value: int) -> None:
+        """Record one occurrence of ``value``."""
+        self._counts[value] += 1
+        self._total += 1
+
+    def delete(self, value: int) -> None:
+        """Remove one occurrence of ``value``.
+
+        Raises :class:`KeyError` if the value has no live occurrences,
+        because a delete stream that underflows indicates a bug in the
+        workload generator.
+        """
+        current = self._counts.get(value, 0)
+        if current <= 0:
+            raise KeyError(f"delete of absent value {value}")
+        if current == 1:
+            del self._counts[value]
+        else:
+            self._counts[value] = current - 1
+        self._total -= 1
+
+    def count(self, value: int) -> int:
+        """Exact occurrence count of ``value`` (0 if absent)."""
+        return self._counts.get(value, 0)
+
+    def __contains__(self, value: int) -> bool:
+        return value in self._counts
+
+    def __len__(self) -> int:
+        """Number of distinct live values."""
+        return len(self._counts)
+
+    @property
+    def total(self) -> int:
+        """Total number of live occurrences (relation size ``n``)."""
+        return self._total
+
+    def items(self):
+        """Iterate ``(value, count)`` pairs."""
+        return self._counts.items()
+
+    def as_dict(self) -> dict[int, int]:
+        """A copy of the table as a plain dict."""
+        return dict(self._counts)
+
+    def moment(self, k: float) -> float:
+        """The frequency moment ``F_k = sum_j count_j^k``."""
+        if not self._counts:
+            return 0.0
+        counts = np.fromiter(
+            self._counts.values(), dtype=np.float64, count=len(self._counts)
+        )
+        return float(np.sum(counts**k))
+
+    def mode(self) -> tuple[int, int]:
+        """The most frequent value and its count.
+
+        Raises :class:`ValueError` on an empty table.
+        """
+        if not self._counts:
+            raise ValueError("mode of an empty table")
+        value, count = max(self._counts.items(), key=lambda item: (item[1], -item[0]))
+        return value, count
+
+    def top_k(self, k: int) -> list[tuple[int, int]]:
+        """The ``k`` most frequent ``(value, count)`` pairs.
+
+        Ties are broken toward smaller values so the output is
+        deterministic.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        ordered = sorted(
+            self._counts.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ordered[:k]
+
+
+def frequency_moment(values: np.ndarray | Iterable[int], k: float) -> float:
+    """Exact ``F_k`` of a value stream."""
+    return FrequencyTable(values).moment(k)
+
+
+def distinct_count(values: np.ndarray | Iterable[int]) -> int:
+    """Exact number of distinct values (``F_0``)."""
+    return len(FrequencyTable(values))
+
+
+def mode_frequency(values: np.ndarray | Iterable[int]) -> int:
+    """Exact frequency of the most common value (``F_inf``)."""
+    return FrequencyTable(values).mode()[1]
+
+
+def top_k(values: np.ndarray | Iterable[int], k: int) -> list[tuple[int, int]]:
+    """Exact top-``k`` hot list of a value stream."""
+    return FrequencyTable(values).top_k(k)

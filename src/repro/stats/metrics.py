@@ -1,0 +1,87 @@
+"""Error metrics for scoring approximate answers against ground truth."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_relative_error",
+    "precision_recall",
+    "rank_displacement",
+]
+
+
+def mean_absolute_error(
+    estimates: Mapping[int, float], truth: Mapping[int, float]
+) -> float:
+    """Mean ``|estimate - truth|`` over the union of keys.
+
+    Missing estimates count as 0 (a completely unreported value is an
+    error equal to its true count), and estimated values with no true
+    occurrence count their full estimate as error.
+    """
+    keys = set(estimates) | set(truth)
+    if not keys:
+        return 0.0
+    total = sum(
+        abs(estimates.get(key, 0.0) - truth.get(key, 0.0)) for key in keys
+    )
+    return total / len(keys)
+
+
+def mean_relative_error(
+    estimates: Mapping[int, float], truth: Mapping[int, float]
+) -> float:
+    """Mean ``|estimate - truth| / truth`` over keys present in truth.
+
+    Keys absent from ``truth`` are ignored (relative error is undefined
+    for a zero denominator); use :func:`precision_recall` to penalise
+    false positives.
+    """
+    keys = [key for key in truth if truth[key] != 0]
+    if not keys:
+        return 0.0
+    total = sum(
+        abs(estimates.get(key, 0.0) - truth[key]) / abs(truth[key])
+        for key in keys
+    )
+    return total / len(keys)
+
+
+def precision_recall(
+    reported: Iterable[int], relevant: Iterable[int]
+) -> tuple[float, float]:
+    """Set precision and recall of reported values vs the relevant set.
+
+    Empty edge cases follow the usual convention: precision of an empty
+    report is 1.0 (nothing wrong was said), recall of an empty relevant
+    set is 1.0 (nothing was missed).
+    """
+    reported_set = set(reported)
+    relevant_set = set(relevant)
+    hits = len(reported_set & relevant_set)
+    precision = hits / len(reported_set) if reported_set else 1.0
+    recall = hits / len(relevant_set) if relevant_set else 1.0
+    return precision, recall
+
+
+def rank_displacement(
+    reported_order: Sequence[int], true_order: Sequence[int]
+) -> float:
+    """Mean absolute rank error of reported values that are truly ranked.
+
+    For each reported value that appears in the true ranking, take
+    ``|reported rank - true rank|``; average over those values.  Values
+    the truth does not rank are ignored here (they are false positives,
+    scored by :func:`precision_recall`).
+    """
+    true_rank = {value: rank for rank, value in enumerate(true_order)}
+    displacements = [
+        abs(rank - true_rank[value])
+        for rank, value in enumerate(reported_order)
+        if value in true_rank
+    ]
+    if not displacements:
+        return 0.0
+    return sum(displacements) / len(displacements)

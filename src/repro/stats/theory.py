@@ -1,0 +1,206 @@
+"""Closed forms from the paper's analysis (Theorems 3, 4, 6, 7, 8).
+
+These functions give the analytical predictions that the benchmark
+suite validates empirically:
+
+* Theorem 3 -- concise sample-size lower bound on exponential data.
+* Theorem 4 -- the expected sample-size *gain* of a concise sample over
+  a traditional sample, as a function of the frequency moments.
+* Theorems 6-8 -- inclusion and reporting guarantees for counting and
+  concise samples in hot-list queries, and the counting-sample
+  compensation constant ``c-hat``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "compensation_constant",
+    "concise_gain_expected",
+    "concise_gain_via_moments",
+    "counting_count_error_bound",
+    "counting_false_negative_bound",
+    "counting_inclusion_probability",
+    "counting_report_cutoff",
+    "counting_report_probability",
+    "expected_distinct_in_sample",
+    "exponential_sample_size_bound",
+    "hotlist_false_positive_bound",
+    "hotlist_report_probability",
+]
+
+# (e - 2) / (e - 1): the per-threshold coefficient of the compensation
+# constant derived in Section 5.2 ("c-hat = 0.418 tau - 1").
+_COMPENSATION_COEFFICIENT = (math.e - 2.0) / (math.e - 1.0)
+
+
+def exponential_sample_size_bound(alpha: float, footprint: int) -> float:
+    """Theorem 3: expected sample-size of a concise sample is at least
+    ``alpha ** (footprint / 2)`` on the exponential distribution
+    ``Pr(v = i) = alpha^-i (alpha - 1)``.
+    """
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1")
+    if footprint < 2:
+        raise ValueError("footprint must be at least 2")
+    return alpha ** (footprint / 2.0)
+
+
+def _as_frequency_array(frequencies: Iterable[int]) -> np.ndarray:
+    array = np.asarray(list(frequencies), dtype=np.float64)
+    if array.size and array.min() <= 0:
+        raise ValueError("frequencies must be positive")
+    return array
+
+
+def expected_distinct_in_sample(
+    frequencies: Iterable[int], sample_size: int
+) -> float:
+    """Expected distinct values in a uniform sample of ``sample_size``.
+
+    From the proof of Theorem 4:
+    ``E[X] = sum_j (1 - (1 - p_j)^m)`` with ``p_j = n_j / n``.
+    The sample is drawn with replacement, matching the analysis.
+    """
+    if sample_size < 0:
+        raise ValueError("sample_size must be non-negative")
+    array = _as_frequency_array(frequencies)
+    if array.size == 0:
+        return 0.0
+    probabilities = array / array.sum()
+    return float(np.sum(1.0 - (1.0 - probabilities) ** sample_size))
+
+
+def concise_gain_expected(
+    frequencies: Iterable[int], sample_size: int
+) -> float:
+    """Theorem 4 (direct form): expected gain of a concise sample.
+
+    The gain is ``m - E[number of distinct values in the sample]`` --
+    the expected number of words a concise representation saves
+    relative to a traditional sample of ``m`` points, i.e. the room
+    available for extra sample points at equal footprint.
+    """
+    return sample_size - expected_distinct_in_sample(frequencies, sample_size)
+
+
+def concise_gain_via_moments(
+    frequencies: Sequence[int], sample_size: int
+) -> float:
+    """Theorem 4 (moment form):
+    ``E[gain] = sum_{k=2..m} (-1)^k C(m, k) F_k / n^k``.
+
+    The alternating sum is evaluated in exact integer/rational
+    arithmetic via :mod:`fractions`-free scaling: terms are computed as
+    exact integers ``C(m, k) * F_k * n^(m-k)`` over the common
+    denominator ``n^m``, so the identity with
+    :func:`concise_gain_expected` holds to floating-point precision for
+    the moderate ``m`` used in tests.  Runtime is O(m * distinct), so
+    prefer the direct form for large ``m``.
+    """
+    array = _as_frequency_array(frequencies)
+    if array.size == 0:
+        return 0.0
+    counts = [int(c) for c in array]
+    n = sum(counts)
+    m = sample_size
+    numerator = 0
+    for k in range(2, m + 1):
+        f_k = sum(c**k for c in counts)
+        term = math.comb(m, k) * f_k * n ** (m - k)
+        numerator += term if k % 2 == 0 else -term
+    return numerator / n**m
+
+
+def compensation_constant(threshold: float) -> float:
+    """The counting-sample count compensation ``c-hat``.
+
+    Section 5.2 derives ``c-hat = tau * (e - 2) / (e - 1) - 1``
+    (approximately ``0.418 tau - 1``), chosen so the augmented count
+    ``c + c-hat`` is an unbiased estimate of ``f_v`` exactly at
+    ``f_v = tau`` -- the regime where accuracy matters most.
+    """
+    if threshold < 1.0:
+        raise ValueError("threshold must be at least 1")
+    return threshold * _COMPENSATION_COEFFICIENT - 1.0
+
+
+def counting_report_cutoff(threshold: float) -> float:
+    """The raw-count reporting cut-off ``tau - c-hat``.
+
+    A value is only reported from a counting sample when its observed
+    count reaches ``tau - c-hat ~= 0.582 tau + 1``; Theorem 8(i) shows
+    values occurring fewer than ``0.582 tau`` times can then never be
+    reported.
+    """
+    return threshold - compensation_constant(threshold)
+
+
+def counting_inclusion_probability(frequency: int, threshold: float) -> float:
+    """Theorem 6(ii): ``Pr[v in S] = 1 - (1 - 1/tau)^f_v``."""
+    if frequency < 0:
+        raise ValueError("frequency must be non-negative")
+    if threshold < 1.0:
+        raise ValueError("threshold must be at least 1")
+    return 1.0 - (1.0 - 1.0 / threshold) ** frequency
+
+
+def counting_report_probability(frequency: int, threshold: float) -> float:
+    """Exact probability a value is reported from a counting sample.
+
+    The value is reported when its observed count is at least the
+    cut-off ``tau - c-hat``; the count falls short only if the first
+    ``f_v - ceil(tau - c-hat) + 1`` admission coins all come up tails.
+    """
+    cutoff = math.ceil(counting_report_cutoff(threshold))
+    if frequency < cutoff:
+        return 0.0
+    return 1.0 - (1.0 - 1.0 / threshold) ** (frequency - cutoff + 1)
+
+
+def counting_false_negative_bound(beta: float) -> float:
+    """Theorem 8(ii): a value with ``f_v >= beta * tau`` is reported
+    with probability at least ``1 - exp(-(beta - 0.582))``; this
+    returns the failure-probability bound ``exp(-(beta - 0.582))``.
+    """
+    if beta <= 1.0:
+        raise ValueError("beta must exceed 1")
+    return math.exp(-(beta - (1.0 - _COMPENSATION_COEFFICIENT)))
+
+
+def counting_count_error_bound(beta: float) -> float:
+    """Theorem 8(iii): the augmented count of an in-sample value lies in
+    ``[f_v - beta*tau, f_v + 0.418*tau - 1]`` except with probability
+    at most ``exp(-(beta + 0.418))`` (returned here).
+    """
+    if beta <= 0.0:
+        raise ValueError("beta must be positive")
+    return math.exp(-(beta + _COMPENSATION_COEFFICIENT))
+
+
+def hotlist_report_probability(theta: float, delta: float) -> float:
+    """Theorem 7(1): with a concise sample, a value with
+    ``f_v >= theta * tau / (1 - delta)`` is reported with probability
+    at least ``1 - exp(-theta * delta^2 / (2 (1 - delta)))``.
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    if theta <= 0:
+        raise ValueError("theta must be positive")
+    return 1.0 - math.exp(-theta * delta * delta / (2.0 * (1.0 - delta)))
+
+
+def hotlist_false_positive_bound(theta: float, delta: float) -> float:
+    """Theorem 7(2): a value with ``f_v <= theta * tau / (1 + delta)``
+    is (falsely) reported with probability below
+    ``exp(-theta * delta^2 / (3 (1 + delta)))``.
+    """
+    if delta <= 0.0:
+        raise ValueError("delta must be positive")
+    if theta <= 0:
+        raise ValueError("theta must be positive")
+    return math.exp(-theta * delta * delta / (3.0 * (1.0 + delta)))

@@ -1,0 +1,39 @@
+"""Workload and data-stream generators.
+
+The paper's experiments insert 500K values drawn from Zipf
+distributions over an integer domain ``[1, D]`` into an initially empty
+warehouse (Sections 3.3 and 5.3), and its analysis covers exponential
+distributions (Theorem 3).  This package generates those streams --
+plus mixed insert/delete operation streams and a synthetic retail
+workload used by the examples -- reproducibly from explicit seeds.
+"""
+
+from repro.streams.distributions import (
+    exponential_stream,
+    uniform_stream,
+)
+from repro.streams.operations import (
+    Delete,
+    Insert,
+    Operation,
+    insert_delete_stream,
+    inserts_only,
+    replay,
+)
+from repro.streams.sales import SalesGenerator, SalesRecord
+from repro.streams.zipf import ZipfDistribution, zipf_stream
+
+__all__ = [
+    "Delete",
+    "Insert",
+    "Operation",
+    "SalesGenerator",
+    "SalesRecord",
+    "ZipfDistribution",
+    "exponential_stream",
+    "insert_delete_stream",
+    "inserts_only",
+    "replay",
+    "uniform_stream",
+    "zipf_stream",
+]

@@ -1,0 +1,110 @@
+"""Non-Zipf value distributions used by the analysis and ablations.
+
+Theorem 3 of the paper analyses the family of exponential
+distributions ``Pr(v = i) = alpha^-i (alpha - 1)`` for ``i = 1, 2, ...``
+and ``alpha > 1``; :func:`exponential_stream` samples it exactly via
+the geometric identity ``Pr(v = i) = (1 - 1/alpha) (1/alpha)^(i-1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "exponential_stream",
+    "mixture_stream",
+    "shifting_stream",
+    "uniform_stream",
+]
+
+
+def uniform_stream(
+    n: int, domain_size: int, seed: int
+) -> np.ndarray:
+    """``n`` i.i.d. uniform draws from ``{1, ..., domain_size}``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if domain_size < 1:
+        raise ValueError("domain_size must be at least 1")
+    rng = np.random.default_rng(seed)
+    return rng.integers(1, domain_size + 1, size=n, dtype=np.int64)
+
+
+def exponential_stream(n: int, alpha: float, seed: int) -> np.ndarray:
+    """``n`` draws from the Theorem-3 exponential family.
+
+    ``Pr(v = i) = alpha^-i (alpha - 1)`` for ``i >= 1`` equals a
+    geometric distribution with success probability ``1 - 1/alpha``,
+    so sampling is exact and O(n).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1")
+    rng = np.random.default_rng(seed)
+    return rng.geometric(1.0 - 1.0 / alpha, size=n).astype(np.int64)
+
+
+def mixture_stream(
+    n: int,
+    components: list[np.ndarray],
+    weights: list[float],
+    seed: int,
+) -> np.ndarray:
+    """Interleave pre-drawn component streams by weighted choice.
+
+    Each element of the output picks component ``j`` with probability
+    ``weights[j]`` and consumes that component's next value.  Component
+    arrays must each hold at least ``n`` values.
+    """
+    if len(components) != len(weights):
+        raise ValueError("one weight per component is required")
+    if not components:
+        raise ValueError("at least one component is required")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    for component in components:
+        if len(component) < n:
+            raise ValueError("every component needs at least n values")
+    rng = np.random.default_rng(seed)
+    choices = rng.choice(
+        len(components), size=n, p=[w / total for w in weights]
+    )
+    out = np.empty(n, dtype=np.int64)
+    cursors = [0] * len(components)
+    for position, component_index in enumerate(choices):
+        cursor = cursors[component_index]
+        out[position] = components[component_index][cursor]
+        cursors[component_index] = cursor + 1
+    return out
+
+
+def shifting_stream(
+    n: int,
+    domain_size: int,
+    skew: float,
+    seed: int,
+    shift_at: float = 0.5,
+    shift_offset: int | None = None,
+) -> np.ndarray:
+    """A Zipf stream whose popular values change mid-stream.
+
+    The first ``shift_at`` fraction of the stream is ordinary bounded
+    Zipf; the remainder relabels value ``v`` to
+    ``((v - 1 + shift_offset) mod domain_size) + 1``, so previously
+    rare values become the hot ones.  This is the "detecting when
+    itemsets that were small become large due to a shift in the
+    distribution of the newer data" scenario the paper motivates hot
+    lists with (Section 1.2).
+    """
+    from repro.streams.zipf import zipf_stream
+
+    if not 0.0 <= shift_at <= 1.0:
+        raise ValueError("shift_at must be in [0, 1]")
+    if shift_offset is None:
+        shift_offset = domain_size // 2
+    values = zipf_stream(n, domain_size, skew, seed)
+    cut = int(n * shift_at)
+    shifted = (values[cut:] - 1 + shift_offset) % domain_size + 1
+    return np.concatenate([values[:cut], shifted])

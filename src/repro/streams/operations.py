@@ -1,0 +1,117 @@
+"""Insert/delete operation streams.
+
+Counting samples (paper Section 4.1) are maintainable under deletions
+as well as insertions; this module builds mixed operation streams that
+exercise that path while guaranteeing a delete never targets a value
+that is not currently live in the relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Protocol
+
+import numpy as np
+
+__all__ = [
+    "Delete",
+    "Insert",
+    "Operation",
+    "insert_delete_stream",
+    "inserts_only",
+    "replay",
+]
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Insert one tuple whose tracked attribute equals ``value``."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Delete one tuple whose tracked attribute equals ``value``."""
+
+    value: int
+
+
+Operation = Insert | Delete
+
+
+class _SupportsInsertDelete(Protocol):
+    def insert(self, value: int) -> None: ...
+
+    def delete(self, value: int) -> None: ...
+
+
+def inserts_only(values: Iterable[int]) -> Iterator[Operation]:
+    """Wrap a plain value stream as insert operations."""
+    for value in values:
+        yield Insert(int(value))
+
+
+def insert_delete_stream(
+    values: np.ndarray,
+    delete_fraction: float,
+    seed: int,
+) -> list[Operation]:
+    """Interleave deletes into an insert stream.
+
+    Parameters
+    ----------
+    values:
+        The base insert stream (consumed in order).
+    delete_fraction:
+        Target ratio of delete operations to insert operations, in
+        ``[0, 1)``.  Each emitted operation is a delete with this
+        probability *when at least one tuple is live*; the deleted
+        value is chosen uniformly from the live multiset, so the
+        relation state is always consistent.
+    seed:
+        Randomness for interleaving and victim choice.
+
+    Returns a list of operations containing every value of ``values``
+    as an insert, in their original relative order.
+    """
+    if not 0.0 <= delete_fraction < 1.0:
+        raise ValueError("delete_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    operations: list[Operation] = []
+    live: list[int] = []
+    cursor = 0
+    n = len(values)
+    # Each loop iteration emits exactly one operation.
+    while cursor < n:
+        if live and rng.random() < delete_fraction:
+            victim_index = int(rng.integers(len(live)))
+            # Swap-remove keeps victim choice O(1).
+            live[victim_index], live[-1] = live[-1], live[victim_index]
+            operations.append(Delete(live.pop()))
+        else:
+            value = int(values[cursor])
+            cursor += 1
+            live.append(value)
+            operations.append(Insert(value))
+    return operations
+
+
+def replay(
+    operations: Iterable[Operation],
+    target: _SupportsInsertDelete,
+) -> int:
+    """Apply an operation stream to any insert/delete-capable target.
+
+    Returns the number of operations applied.
+    """
+    applied = 0
+    for operation in operations:
+        if isinstance(operation, Insert):
+            target.insert(operation.value)
+        elif isinstance(operation, Delete):
+            target.delete(operation.value)
+        else:  # pragma: no cover - exhaustive match guard
+            raise TypeError(f"unknown operation {operation!r}")
+        applied += 1
+    return applied

@@ -1,0 +1,107 @@
+"""Synthetic retail-sales workload.
+
+The paper's motivating hot-list example is "the top selling items in a
+database of sales transactions" (Section 1.2).  :class:`SalesGenerator`
+produces a reproducible stream of transaction records whose product
+popularity follows a bounded Zipf law, for use by the examples and the
+end-to-end engine tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.streams.zipf import ZipfDistribution
+
+__all__ = ["SalesGenerator", "SalesRecord"]
+
+
+@dataclass(frozen=True)
+class SalesRecord:
+    """One line item of a sales transaction."""
+
+    transaction_id: int
+    product_id: int
+    store_id: int
+    quantity: int
+    unit_price: float
+
+    @property
+    def revenue(self) -> float:
+        """Total revenue of the line item."""
+        return self.quantity * self.unit_price
+
+
+class SalesGenerator:
+    """Reproducible synthetic sales transactions.
+
+    Product popularity is bounded-Zipf over the catalogue; unit prices
+    are stable per product (log-uniform over ``[price_low, price_high]``);
+    store choice is uniform; quantities are geometric with mean 2.
+
+    Parameters
+    ----------
+    catalogue_size:
+        Number of distinct products.
+    skew:
+        Zipf parameter of product popularity.
+    stores:
+        Number of stores.
+    seed:
+        Master seed for the whole generator.
+    """
+
+    def __init__(
+        self,
+        catalogue_size: int = 5000,
+        skew: float = 1.25,
+        stores: int = 20,
+        seed: int = 0,
+        price_low: float = 0.5,
+        price_high: float = 500.0,
+    ) -> None:
+        if catalogue_size < 1:
+            raise ValueError("catalogue_size must be at least 1")
+        if stores < 1:
+            raise ValueError("stores must be at least 1")
+        if not 0 < price_low <= price_high:
+            raise ValueError("require 0 < price_low <= price_high")
+        self.catalogue_size = catalogue_size
+        self.skew = skew
+        self.stores = stores
+        self.seed = seed
+        self._popularity = ZipfDistribution(catalogue_size, skew)
+        price_rng = np.random.default_rng(seed)
+        log_low, log_high = np.log(price_low), np.log(price_high)
+        self._prices = np.exp(
+            price_rng.uniform(log_low, log_high, size=catalogue_size)
+        ).round(2)
+
+    def price_of(self, product_id: int) -> float:
+        """The (stable) unit price of a product."""
+        if not 1 <= product_id <= self.catalogue_size:
+            raise ValueError("unknown product")
+        return float(self._prices[product_id - 1])
+
+    def records(self, n: int) -> Iterator[SalesRecord]:
+        """Generate ``n`` sales records."""
+        products = self._popularity.sample(n, self.seed + 1)
+        detail_rng = np.random.default_rng(self.seed + 2)
+        store_ids = detail_rng.integers(1, self.stores + 1, size=n)
+        quantities = detail_rng.geometric(0.5, size=n)
+        for i in range(n):
+            product = int(products[i])
+            yield SalesRecord(
+                transaction_id=i + 1,
+                product_id=product,
+                store_id=int(store_ids[i]),
+                quantity=int(quantities[i]),
+                unit_price=float(self._prices[product - 1]),
+            )
+
+    def product_stream(self, n: int) -> np.ndarray:
+        """Just the product-id stream (the hot-list attribute)."""
+        return self._popularity.sample(n, self.seed + 1)

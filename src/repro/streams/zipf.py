@@ -1,0 +1,89 @@
+"""Zipf-distributed value streams over a bounded integer domain.
+
+The paper's experiments use "the integer value domain from ``[1, D]``"
+with "a large variety of Zipf data distributions", zipf parameter 0
+(uniform) through 3 (extremely skewed).  ``numpy.random.zipf`` samples
+from the *unbounded* zeta distribution, so we implement the bounded
+variant directly: value ``i`` has probability proportional to
+``1 / i**z`` for ``i`` in ``[1, D]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZipfDistribution", "zipf_stream"]
+
+
+class ZipfDistribution:
+    """A bounded Zipf distribution over ``{1, ..., domain_size}``.
+
+    Parameters
+    ----------
+    domain_size:
+        ``D``, the number of potential distinct values.
+    skew:
+        The zipf parameter ``z >= 0``; ``z == 0`` is the uniform
+        distribution.
+
+    Value ``i`` is drawn with probability ``(1/i^z) / H`` where ``H``
+    is the generalised harmonic number ``sum_{j=1..D} 1/j^z``.  Ranks
+    double as values, exactly as in the paper (the most frequent value
+    is ``1``).
+    """
+
+    def __init__(self, domain_size: int, skew: float) -> None:
+        if domain_size < 1:
+            raise ValueError("domain_size must be at least 1")
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        self.domain_size = domain_size
+        self.skew = skew
+        ranks = np.arange(1, domain_size + 1, dtype=np.float64)
+        weights = ranks ** (-skew)
+        self._probabilities = weights / weights.sum()
+        self._cdf = np.cumsum(self._probabilities)
+        # Guard against floating-point drift at the tail.
+        self._cdf[-1] = 1.0
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The probability of each value ``1..D`` (read-only view)."""
+        view = self._probabilities.view()
+        view.flags.writeable = False
+        return view
+
+    def probability(self, value: int) -> float:
+        """The probability of drawing ``value``."""
+        if not 1 <= value <= self.domain_size:
+            return 0.0
+        return float(self._probabilities[value - 1])
+
+    def expected_frequencies(self, n: int) -> np.ndarray:
+        """Expected occurrence counts of each value in a stream of ``n``."""
+        return self._probabilities * n
+
+    def sample(self, n: int, seed: int) -> np.ndarray:
+        """Draw ``n`` i.i.d. values as an ``int64`` array."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        rng = np.random.default_rng(seed)
+        uniforms = rng.random(n)
+        return np.searchsorted(self._cdf, uniforms, side="right").astype(
+            np.int64
+        ) + 1
+
+    def frequency_moment(self, k: float, n: int) -> float:
+        """The expected ``F_k`` of an ``n``-element stream, approximately.
+
+        Uses the expected per-value frequencies; exact moments of a
+        concrete stream come from :mod:`repro.stats.frequency`.
+        """
+        return float(np.sum((self._probabilities * n) ** k))
+
+
+def zipf_stream(
+    n: int, domain_size: int, skew: float, seed: int
+) -> np.ndarray:
+    """Convenience wrapper: ``n`` bounded-Zipf draws as an array."""
+    return ZipfDistribution(domain_size, skew).sample(n, seed)

@@ -1,0 +1,88 @@
+"""The AMS "tug-of-war" sketch for the second frequency moment [AMS96].
+
+Alon, Matias and Szegedy's sublinear-space estimator of
+``F_2 = sum_j n_j^2`` -- the same frequency moments that quantify the
+concise-sample gain in Theorem 4.  Each atomic estimator keeps
+``Z = sum_v sign(v) * n_v`` under 4-wise independent signs; ``Z^2`` is
+an unbiased estimate of ``F_2``.  Averaging ``columns`` estimators
+controls variance and taking the median of ``rows`` averages gives
+exponential confidence (the standard median-of-means arrangement).
+
+Deletions are supported: the sketch is a linear function of the
+frequency vector.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.base import StreamSynopsis, SynopsisError
+from repro.randkit.coins import CostCounters
+from repro.synopses.hashing import FourwiseHash
+
+__all__ = ["AmsF2Sketch"]
+
+
+class AmsF2Sketch(StreamSynopsis):
+    """A median-of-means AMS sketch for ``F_2``.
+
+    Parameters
+    ----------
+    rows:
+        Number of independent means to take the median over
+        (confidence ``1 - 2^-Omega(rows)``).
+    columns:
+        Estimators averaged per row (relative error
+        ``O(1/sqrt(columns))``).
+    seed, counters:
+        As elsewhere.
+    """
+
+    def __init__(
+        self,
+        rows: int = 5,
+        columns: int = 64,
+        *,
+        seed: int = 0,
+        counters: CostCounters | None = None,
+    ) -> None:
+        super().__init__(counters)
+        if rows < 1 or columns < 1:
+            raise SynopsisError("rows and columns must be positive")
+        self.rows = rows
+        self.columns = columns
+        self._signs = [
+            [FourwiseHash(seed + row * columns + column) for column in range(columns)]
+            for row in range(rows)
+        ]
+        self._sums = [[0] * columns for _ in range(rows)]
+
+    @property
+    def footprint(self) -> int:
+        """One word per atomic estimator."""
+        return self.rows * self.columns
+
+    def _update(self, value: int, delta: int) -> None:
+        for row in range(self.rows):
+            row_sums = self._sums[row]
+            row_signs = self._signs[row]
+            for column in range(self.columns):
+                row_sums[column] += delta * row_signs[column].sign(value)
+
+    def insert(self, value: int) -> None:
+        """Observe one inserted value."""
+        self.counters.inserts += 1
+        self._update(value, 1)
+
+    def delete(self, value: int) -> None:
+        """Observe one deleted value (linear sketches allow this)."""
+        self.counters.deletes += 1
+        self._update(value, -1)
+
+    def estimate(self) -> float:
+        """Median-of-means estimate of ``F_2``."""
+        means = [
+            sum(z * z for z in row_sums) / self.columns
+            for row_sums in self._sums
+        ]
+        return float(statistics.median(means))

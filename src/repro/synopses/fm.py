@@ -1,0 +1,103 @@
+"""Flajolet-Martin probabilistic distinct counting [FM83, FM85].
+
+Approximates the number of distinct values in one pass and ``O(lg n)``
+bits per bitmap.  Each value hashes to a bit position with geometric
+probability; after the stream, the position ``R`` of the lowest *unset*
+bit satisfies ``E[R] ~ lg(phi d)`` with ``phi ~ 0.77351``.  Stochastic
+averaging (PCSA) splits values across ``group_count`` bitmaps and
+averages the ``R`` values to tighten the estimate.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import StreamSynopsis, SynopsisError
+from repro.randkit.coins import CostCounters
+from repro.synopses.hashing import PairwiseHash, bit_hash_position
+
+__all__ = ["FlajoletMartinSketch"]
+
+# Flajolet-Martin's magic constant: E[2^R] = phi * d.
+_PHI = 0.77351
+
+
+class FlajoletMartinSketch(StreamSynopsis):
+    """A PCSA distinct-count sketch.
+
+    Parameters
+    ----------
+    group_count:
+        Number of stochastic-averaging groups (bitmaps); the relative
+        error decays like ``0.78 / sqrt(group_count)``.
+    bits_per_group:
+        Bitmap width; 32 suffices for relations up to billions of
+        distinct values.
+    seed, counters:
+        As elsewhere.
+
+    Deletions are not supported (bits cannot be unset); the engine
+    pairs this sketch with insert-only relations.
+    """
+
+    def __init__(
+        self,
+        group_count: int = 64,
+        bits_per_group: int = 32,
+        *,
+        seed: int = 0,
+        counters: CostCounters | None = None,
+    ) -> None:
+        super().__init__(counters)
+        if group_count < 1:
+            raise SynopsisError("group_count must be positive")
+        if bits_per_group < 8:
+            raise SynopsisError("bits_per_group must be at least 8")
+        self.group_count = group_count
+        self.bits_per_group = bits_per_group
+        self._group_hash = PairwiseHash(group_count, seed)
+        self._position_hash = PairwiseHash(1, seed + 1)
+        self._bitmaps = [0] * group_count
+
+    @property
+    def footprint(self) -> int:
+        """One word per bitmap group."""
+        return self.group_count
+
+    def insert(self, value: int) -> None:
+        """Observe one inserted value (duplicates are free by design)."""
+        self.counters.inserts += 1
+        group = self._group_hash(value)
+        position = bit_hash_position(
+            self._position_hash.raw(value), self.bits_per_group
+        )
+        self._bitmaps[group] |= 1 << position
+
+    def _lowest_unset_bit(self, bitmap: int) -> int:
+        position = 0
+        while bitmap & 1:
+            bitmap >>= 1
+            position += 1
+        return position
+
+    def estimate(self) -> float:
+        """Estimated number of distinct values observed."""
+        total_r = sum(
+            self._lowest_unset_bit(bitmap) for bitmap in self._bitmaps
+        )
+        mean_r = total_r / self.group_count
+        return self.group_count / _PHI * 2.0**mean_r
+
+    def merge(self, other: "FlajoletMartinSketch") -> None:
+        """Union with another sketch built with the same parameters.
+
+        Distinct counting is union-mergeable: OR the bitmaps.  Both
+        sketches must share seed and shape or estimates are undefined.
+        """
+        if (
+            other.group_count != self.group_count
+            or other.bits_per_group != self.bits_per_group
+        ):
+            raise SynopsisError("cannot merge sketches of different shape")
+        self._bitmaps = [
+            mine | theirs
+            for mine, theirs in zip(self._bitmaps, other._bitmaps)
+        ]

@@ -1,0 +1,71 @@
+"""Seeded universal hash families for the sketch synopses.
+
+Carter-Wegman multiply-mod-prime hashing over the Mersenne prime
+``2^61 - 1``: pairwise independent, cheap, and reproducible from a
+seed.  Four-wise independence (needed by the AMS sign hash) is obtained
+from a degree-3 polynomial over the same prime.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["PairwiseHash", "FourwiseHash", "bit_hash_position"]
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class PairwiseHash:
+    """A pairwise-independent hash ``h(x) = ((a x + b) mod p) mod m``."""
+
+    def __init__(self, buckets: int, seed: int) -> None:
+        if buckets < 1:
+            raise ValueError("buckets must be positive")
+        rng = random.Random(seed)
+        self.buckets = buckets
+        self._a = rng.randrange(1, _MERSENNE_PRIME)
+        self._b = rng.randrange(_MERSENNE_PRIME)
+
+    def __call__(self, value: int) -> int:
+        return (
+            (self._a * value + self._b) % _MERSENNE_PRIME
+        ) % self.buckets
+
+    def raw(self, value: int) -> int:
+        """The full-range hash before bucket reduction."""
+        return (self._a * value + self._b) % _MERSENNE_PRIME
+
+
+class FourwiseHash:
+    """A 4-wise independent hash via a random cubic polynomial."""
+
+    def __init__(self, seed: int) -> None:
+        rng = random.Random(seed)
+        self._coefficients = [
+            rng.randrange(_MERSENNE_PRIME) for _ in range(4)
+        ]
+        if self._coefficients[3] == 0:
+            self._coefficients[3] = 1
+
+    def __call__(self, value: int) -> int:
+        result = 0
+        for coefficient in reversed(self._coefficients):
+            result = (result * value + coefficient) % _MERSENNE_PRIME
+        return result
+
+    def sign(self, value: int) -> int:
+        """A 4-wise independent random sign in ``{-1, +1}``."""
+        return 1 if self(value) & 1 else -1
+
+
+def bit_hash_position(hashed: int, max_bits: int = 61) -> int:
+    """Position of the lowest set bit (geometric with p=1/2 per level).
+
+    This is the ``rho`` function of Flajolet-Martin: a uniformly hashed
+    value lands at bit position ``j`` with probability ``2^-(j+1)``.
+    Values hashing to zero land at the top position.
+    """
+    if hashed == 0:
+        return max_bits - 1
+    position = (hashed & -hashed).bit_length() - 1
+    return min(position, max_bits - 1)

@@ -1,0 +1,120 @@
+"""Compressed histograms [PIHS96, GMP97b].
+
+A Compressed histogram stores the heaviest values in singleton buckets
+(with their own counts) and partitions the remaining values into
+equi-depth buckets.  This hybrid is the form [GMP97b] maintains from a
+backing sample; concise samples feed it better than traditional ones
+because their extra sample points sharpen both the heavy-value counts
+and the equi-depth boundaries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.base import SynopsisError
+from repro.synopses.histogram_equidepth import EquiDepthHistogram
+
+__all__ = ["CompressedHistogram"]
+
+
+class CompressedHistogram:
+    """Singleton buckets for heavy values plus equi-depth for the rest.
+
+    Build with :meth:`from_sample`.  A value is "heavy" when its
+    estimated count exceeds the equi-depth depth the remaining buckets
+    would have -- the standard Compressed histogram criterion.
+    """
+
+    def __init__(
+        self,
+        singleton_counts: dict[int, float],
+        equidepth: EquiDepthHistogram | None,
+        total_rows: int,
+    ) -> None:
+        self._singletons = dict(singleton_counts)
+        self._equidepth = equidepth
+        self.total_rows = total_rows
+
+    @classmethod
+    def from_sample(
+        cls,
+        sample_points: np.ndarray,
+        bucket_count: int,
+        total_rows: int,
+    ) -> "CompressedHistogram":
+        """Build from a uniform sample of the attribute.
+
+        At most ``bucket_count - 1`` singleton buckets are extracted;
+        the remainder of the bucket budget holds the equi-depth part.
+        """
+        if bucket_count < 2:
+            raise SynopsisError("bucket_count must be at least 2")
+        points = np.asarray(sample_points)
+        if len(points) == 0:
+            raise SynopsisError("cannot build a histogram from no points")
+        scale = total_rows / len(points)
+        counts = Counter(points.tolist())
+
+        # Iteratively peel values whose estimated count exceeds the
+        # depth the equi-depth part would have without them.
+        singletons: dict[int, float] = {}
+        ordered = counts.most_common()
+        remaining_sample = len(points)
+        index = 0
+        while (
+            index < len(ordered) and len(singletons) < bucket_count - 1
+        ):
+            value, sample_count = ordered[index]
+            remaining_buckets = bucket_count - len(singletons) - 1
+            depth = remaining_sample * scale / max(remaining_buckets, 1)
+            if sample_count * scale <= depth:
+                break
+            singletons[value] = sample_count * scale
+            remaining_sample -= sample_count
+            index += 1
+
+        rest_mask = ~np.isin(points, list(singletons))
+        rest_points = points[rest_mask]
+        rest_rows = int(round(remaining_sample * scale))
+        equidepth = None
+        rest_buckets = bucket_count - len(singletons)
+        if len(rest_points) and rest_buckets >= 1:
+            equidepth = EquiDepthHistogram.from_sample(
+                rest_points, rest_buckets, rest_rows
+            )
+        return cls(singletons, equidepth, total_rows)
+
+    @property
+    def singleton_values(self) -> list[int]:
+        """The values held in singleton buckets."""
+        return list(self._singletons)
+
+    @property
+    def footprint(self) -> int:
+        """Words: two per singleton bucket plus the equi-depth part."""
+        words = 2 * len(self._singletons)
+        if self._equidepth is not None:
+            words += self._equidepth.footprint
+        return words
+
+    def estimate_equality(self, value: int) -> float:
+        """Estimated rows equal to ``value``."""
+        if value in self._singletons:
+            return self._singletons[value]
+        if self._equidepth is None:
+            return 0.0
+        return self._equidepth.estimate_equality(value)
+
+    def estimate_range(self, low: float, high: float) -> float:
+        """Estimated rows with value in ``[low, high]``."""
+        total = sum(
+            count
+            for value, count in self._singletons.items()
+            if low <= value <= high
+        )
+        if self._equidepth is not None:
+            total += self._equidepth.estimate_range(low, high)
+        return total

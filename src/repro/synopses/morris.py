@@ -1,0 +1,88 @@
+"""Morris approximate counting [Mor78], analysed by Flajolet [Fla85].
+
+Counts ``n`` events in ``O(lg lg n)`` bits: keep an exponent register
+``X`` and increment it on each event with probability ``base^-X``; the
+estimate ``(base^X - 1) / (base - 1)`` is unbiased.  Smaller bases give
+better accuracy at the cost of more register bits -- the standard
+accuracy/footprint dial.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.base import StreamSynopsis, SynopsisError
+from repro.randkit.coins import CostCounters
+from repro.randkit.rng import ReproRandom
+
+__all__ = ["MorrisCounter"]
+
+
+class MorrisCounter(StreamSynopsis):
+    """An approximate event counter in loglog space.
+
+    Parameters
+    ----------
+    base:
+        The register base ``b > 1``; the classic algorithm uses 2.  The
+        standard deviation of the estimate is about
+        ``sqrt((b - 1) / 2) * n``.
+    seed, counters:
+        As elsewhere.
+
+    Examples
+    --------
+    >>> counter = MorrisCounter(base=1.1, seed=3)
+    >>> for _ in range(1000):
+    ...     counter.increment()
+    >>> 500 < counter.estimate() < 2000
+    True
+    """
+
+    def __init__(
+        self,
+        base: float = 2.0,
+        *,
+        seed: int | None = None,
+        counters: CostCounters | None = None,
+    ) -> None:
+        super().__init__(counters)
+        if base <= 1.0:
+            raise SynopsisError("base must exceed 1")
+        self.base = base
+        self._rng = ReproRandom(seed)
+        self._register = 0
+
+    @property
+    def register(self) -> int:
+        """The current exponent register ``X``."""
+        return self._register
+
+    @property
+    def footprint(self) -> int:
+        """One word: the register (it only needs O(lg lg n) bits)."""
+        return 1
+
+    @property
+    def register_bits(self) -> int:
+        """Bits needed to store the current register value."""
+        return max(1, self._register.bit_length())
+
+    def increment(self) -> None:
+        """Record one event."""
+        self.counters.inserts += 1
+        self.counters.flips += 1
+        if self._rng.bernoulli(self.base**-self._register):
+            self._register += 1
+
+    def insert(self, value: int) -> None:
+        """Stream interface: every inserted value is one event."""
+        self.increment()
+
+    def estimate(self) -> float:
+        """Unbiased estimate of the number of events so far."""
+        return (self.base**self._register - 1.0) / (self.base - 1.0)
+
+    def relative_standard_deviation(self) -> float:
+        """Asymptotic relative standard deviation of the estimate."""
+        return math.sqrt((self.base - 1.0) / 2.0)

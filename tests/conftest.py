@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams import zipf_stream
+
+
+@pytest.fixture
+def skewed_stream() -> np.ndarray:
+    """A moderately skewed Zipf stream (z=1.5, D=500, n=20K)."""
+    return zipf_stream(20_000, 500, 1.5, seed=101)
+
+
+@pytest.fixture
+def uniform_stream_small() -> np.ndarray:
+    """A uniform stream (z=0, D=500, n=20K)."""
+    return zipf_stream(20_000, 500, 0.0, seed=102)
+
+
+@pytest.fixture
+def trial_seeds() -> list[int]:
+    """Seeds for multi-trial statistical assertions."""
+    return list(range(40, 60))

@@ -1,0 +1,179 @@
+"""Unit tests for backing samples (GMP97b) under inserts and deletes."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.backing import BackingSample
+from repro.core.base import SynopsisError
+
+
+class TestConstruction:
+    def test_default_min_size(self):
+        sample = BackingSample(100, seed=1)
+        assert sample.min_size == 50
+
+    def test_validation(self):
+        with pytest.raises(SynopsisError):
+            BackingSample(0)
+        with pytest.raises(SynopsisError):
+            BackingSample(10, min_size=0)
+        with pytest.raises(SynopsisError):
+            BackingSample(10, min_size=11)
+
+
+class TestInserts:
+    def test_fill_phase_takes_everything(self):
+        sample = BackingSample(10, seed=2)
+        for i in range(7):
+            sample.insert_row(i, i * 10)
+        assert sample.sample_size == 7
+        assert sorted(sample.values().tolist()) == [
+            i * 10 for i in range(7)
+        ]
+
+    def test_capacity_respected(self):
+        sample = BackingSample(10, seed=3)
+        for i in range(1000):
+            sample.insert_row(i, i)
+        assert sample.sample_size == 10
+        sample.check_invariants()
+
+    def test_duplicate_id_rejected(self):
+        sample = BackingSample(10, seed=4)
+        sample.insert_row(1, 5)
+        with pytest.raises(SynopsisError):
+            sample.insert_row(1, 6)
+
+    def test_auto_id_stream_interface(self):
+        sample = BackingSample(5, seed=5)
+        sample.insert_many(range(100))
+        assert sample.sample_size == 5
+        assert sample.relation_size == 100
+
+    def test_uniformity_insert_only(self):
+        """Classic reservoir property holds for the id-based variant."""
+        n, capacity, trials = 50, 5, 4000
+        appearance = Counter()
+        for trial in range(trials):
+            sample = BackingSample(capacity, seed=trial)
+            for i in range(n):
+                sample.insert_row(i, i)
+            appearance.update(dict(sample.items()).keys())
+        expected = trials * capacity / n
+        for i in range(n):
+            assert appearance[i] == pytest.approx(expected, rel=0.3)
+
+
+class TestDeletes:
+    def test_delete_nonmember_keeps_sample(self):
+        sample = BackingSample(5, seed=6)
+        for i in range(100):
+            sample.insert_row(i, i)
+        members_before = set(dict(sample.items()))
+        victim = next(i for i in range(100) if i not in members_before)
+        sample.delete_row(victim)
+        assert set(dict(sample.items())) == members_before
+        assert sample.relation_size == 99
+
+    def test_delete_member_removes_it(self):
+        sample = BackingSample(5, seed=7)
+        for i in range(100):
+            sample.insert_row(i, i)
+        member = next(iter(dict(sample.items())))
+        sample.delete_row(member)
+        assert member not in sample
+        assert sample.sample_size == 4
+        sample.check_invariants()
+
+    def test_delete_from_empty_relation_raises(self):
+        with pytest.raises(SynopsisError):
+            BackingSample(5, seed=8).delete_row(1)
+
+    def test_needs_rescan_flag(self):
+        sample = BackingSample(4, min_size=3, seed=9)
+        for i in range(100):
+            sample.insert_row(i, i)
+        # Delete members until the sample dips below min_size.
+        while sample.sample_size >= 3:
+            member = next(iter(dict(sample.items())))
+            sample.delete_row(member)
+        assert sample.needs_rescan
+
+    def test_no_rescan_needed_when_relation_tiny(self):
+        """A sample below min_size is fine if the relation itself is
+        that small."""
+        sample = BackingSample(4, min_size=3, seed=10)
+        sample.insert_row(1, 1)
+        sample.insert_row(2, 2)
+        sample.delete_row(1)
+        assert not sample.needs_rescan
+
+    def test_uniformity_preserved_under_deletes(self):
+        """After deleting some tuples, the survivors are equally
+        likely to be in the sample."""
+        n, capacity, trials = 40, 6, 4000
+        deleted = set(range(0, n, 3))
+        survivors = [i for i in range(n) if i not in deleted]
+        appearance = Counter()
+        for trial in range(trials):
+            sample = BackingSample(capacity, seed=5000 + trial)
+            for i in range(n):
+                sample.insert_row(i, i)
+            for i in deleted:
+                sample.delete_row(i)
+            appearance.update(dict(sample.items()).keys())
+        sizes = sum(appearance.values())
+        expected = sizes / len(survivors)
+        for i in survivors:
+            assert appearance[i] == pytest.approx(expected, rel=0.3)
+
+    def test_uniformity_with_interleaved_inserts_after_deletes(self):
+        """New inserts after deletions must not be over-represented."""
+        capacity, trials = 6, 4000
+        appearance = Counter()
+        for trial in range(trials):
+            sample = BackingSample(capacity, seed=9000 + trial)
+            for i in range(30):
+                sample.insert_row(i, i)
+            for i in range(0, 10):
+                sample.delete_row(i)
+            for i in range(30, 50):  # late arrivals
+                sample.insert_row(i, i)
+            appearance.update(dict(sample.items()).keys())
+        live = list(range(10, 50))
+        total = sum(appearance[i] for i in live)
+        expected = total / len(live)
+        early = np.mean([appearance[i] for i in range(10, 30)])
+        late = np.mean([appearance[i] for i in range(30, 50)])
+        assert early == pytest.approx(expected, rel=0.25)
+        assert late == pytest.approx(expected, rel=0.25)
+
+
+class TestRebuild:
+    def test_rebuild_restores_size_and_clears_flag(self):
+        sample = BackingSample(10, min_size=8, seed=11)
+        for i in range(100):
+            sample.insert_row(i, i)
+        for i in list(dict(sample.items()))[:5]:
+            sample.delete_row(i)
+        sample.needs_rescan = True
+        sample.rebuild(((i, i) for i in range(95)))
+        assert sample.sample_size == 10
+        assert not sample.needs_rescan
+        assert sample.relation_size == 95
+        sample.check_invariants()
+
+    def test_rebuild_charges_disk_accesses(self):
+        sample = BackingSample(5, seed=12)
+        sample.rebuild(((i, i) for i in range(200)))
+        assert sample.counters.disk_accesses == 200
+
+    def test_rebuild_small_relation(self):
+        sample = BackingSample(10, seed=13)
+        sample.rebuild(((i, i * 2) for i in range(3)))
+        assert sample.sample_size == 3
+        assert sorted(sample.values().tolist()) == [0, 2, 4]

@@ -1,0 +1,229 @@
+"""Unit tests for counting samples and insert/delete maintenance."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.base import SynopsisError
+from repro.core.counting import CountingSample
+from repro.streams import insert_delete_stream, replay, zipf_stream
+
+
+class TestConstruction:
+    def test_rejects_tiny_footprint(self):
+        with pytest.raises(SynopsisError):
+            CountingSample(1)
+
+    def test_initial_state(self):
+        sample = CountingSample(10, seed=1)
+        assert sample.footprint == 0
+        assert sample.threshold == 1.0
+        assert sample.distinct_in_sample == 0
+
+
+class TestExactCountingOnceAdmitted:
+    def test_counts_exact_at_threshold_one(self):
+        """Until the footprint overflows, the counting sample IS the
+        exact histogram."""
+        sample = CountingSample(100, seed=2)
+        stream = [1, 1, 2, 3, 3, 3, 3]
+        for value in stream:
+            sample.insert(value)
+        assert sample.as_dict() == dict(Counter(stream))
+
+    def test_subsequent_occurrences_always_counted(self):
+        """Once a value is in the sample, every later insert increments
+        its count deterministically."""
+        sample = CountingSample(100, seed=3)
+        sample.insert(5)
+        before = sample.count_of(5)
+        for _ in range(10):
+            sample.insert(5)
+        assert sample.count_of(5) == before + 10
+
+    def test_footprint_accounting(self):
+        sample = CountingSample(100, seed=4)
+        sample.insert(1)
+        assert sample.footprint == 1  # singleton
+        sample.insert(1)
+        assert sample.footprint == 2  # pair
+        sample.insert(1)
+        assert sample.footprint == 2
+        sample.check_invariants()
+
+
+class TestDeletions:
+    def test_delete_decrements(self):
+        sample = CountingSample(100, seed=5)
+        sample.insert_many([7, 7, 7])
+        sample.delete(7)
+        assert sample.count_of(7) == 2
+
+    def test_delete_to_zero_removes(self):
+        sample = CountingSample(100, seed=6)
+        sample.insert(9)
+        sample.delete(9)
+        assert 9 not in sample
+        assert sample.footprint == 0
+
+    def test_delete_absent_is_noop(self):
+        sample = CountingSample(100, seed=7)
+        sample.insert(1)
+        sample.delete(42)  # not in sample: nothing happens
+        assert sample.count_of(1) == 1
+        sample.check_invariants()
+
+    def test_delete_pair_to_singleton_footprint(self):
+        sample = CountingSample(100, seed=8)
+        sample.insert_many([3, 3])
+        assert sample.footprint == 2
+        sample.delete(3)
+        assert sample.footprint == 1
+        sample.check_invariants()
+
+    def test_mixed_stream_never_negative(self):
+        values = zipf_stream(5000, 100, 1.0, seed=9)
+        operations = insert_delete_stream(values, 0.3, seed=10)
+        sample = CountingSample(50, seed=11)
+        replay(operations, sample)
+        assert all(count > 0 for _, count in sample.pairs())
+        sample.check_invariants()
+
+    def test_count_never_exceeds_true_frequency(self):
+        """Property 1 of Definition 3: the observed count is a suffix
+        of the value's occurrences, so it never exceeds the live
+        frequency -- even under deletions."""
+        values = zipf_stream(8000, 50, 1.2, seed=12)
+        operations = insert_delete_stream(values, 0.25, seed=13)
+        sample = CountingSample(40, seed=14)
+        live: Counter[int] = Counter()
+        from repro.streams.operations import Insert
+
+        for operation in operations:
+            if isinstance(operation, Insert):
+                sample.insert(operation.value)
+                live[operation.value] += 1
+            else:
+                sample.delete(operation.value)
+                live[operation.value] -= 1
+            assert sample.count_of(operation.value) <= max(
+                live[operation.value], 0
+            )
+
+
+class TestFootprintBound:
+    @pytest.mark.parametrize("bound", [2, 20, 200])
+    def test_bound_always_respected(self, bound):
+        sample = CountingSample(bound, seed=15)
+        for value in zipf_stream(20_000, 1000, 0.8, seed=16).tolist():
+            sample.insert(value)
+            assert sample.footprint <= bound
+        sample.check_invariants()
+
+    def test_small_domain_stays_exact(self):
+        stream = zipf_stream(30_000, 40, 1.0, seed=17)
+        sample = CountingSample(100, seed=18)
+        sample.insert_array(stream)
+        assert sample.threshold == 1.0
+        assert sample.as_dict() == dict(Counter(stream.tolist()))
+
+    def test_threshold_nondecreasing(self):
+        sample = CountingSample(20, seed=19)
+        last = 1.0
+        for value in zipf_stream(10_000, 1000, 0.5, seed=20).tolist():
+            sample.insert(value)
+            assert sample.threshold >= last
+            last = sample.threshold
+
+
+class TestStatisticalGuarantees:
+    def test_inclusion_probability_theorem6(self):
+        """Theorem 6(ii): Pr[v in S] = 1 - (1 - 1/tau)^f_v, validated
+        by simulation on a fixed final threshold."""
+        # Build a stream where value 1 appears f times among filler
+        # values that force threshold raises.
+        f = 60
+        filler = zipf_stream(6000, 3000, 0.0, seed=21) + 100
+        stream = np.concatenate([filler[:3000], np.full(f, 1), filler[3000:]])
+        included = 0
+        thresholds = []
+        trials = 300
+        for trial in range(trials):
+            sample = CountingSample(64, seed=60_000 + trial)
+            sample.insert_array(stream)
+            thresholds.append(sample.threshold)
+            if 1 in sample:
+                included += 1
+        # Use the mean final threshold for the analytic prediction.
+        mean_tau = float(np.mean(thresholds))
+        predicted = 1.0 - (1.0 - 1.0 / mean_tau) ** f
+        assert included / trials == pytest.approx(predicted, abs=0.1)
+
+    def test_hot_values_present_with_high_probability(self):
+        """Values with f_v >> tau must essentially always be present
+        (Theorem 6(i))."""
+        stream = zipf_stream(50_000, 5000, 1.5, seed=22)
+        misses = 0
+        for trial in range(20):
+            sample = CountingSample(100, seed=70_000 + trial)
+            sample.insert_array(stream)
+            if sample.threshold * 10 < 15_000 and 1 not in sample:
+                misses += 1
+        assert misses == 0
+
+    def test_count_error_is_prefix_only(self):
+        """The error of an in-sample count is only the pre-admission
+        prefix: count >= f_v - (admission position)."""
+        sample = CountingSample(100, seed=23)
+        # Single hot value; no evictions (domain of 1 value + footprint
+        # large): count must equal f exactly.
+        for _ in range(500):
+            sample.insert(4)
+        assert sample.count_of(4) == 500
+
+
+class TestCostModel:
+    def test_one_lookup_per_insert(self):
+        """Counting samples look up EVERY insert (Table 2: 1.000)."""
+        sample = CountingSample(50, seed=24)
+        n = 20_000
+        sample.insert_array(zipf_stream(n, 2000, 1.0, seed=25))
+        assert sample.counters.lookups == n
+        assert sample.counters.lookups_per_insert() == 1.0
+
+    def test_deletes_also_cost_lookups(self):
+        sample = CountingSample(50, seed=26)
+        sample.insert(1)
+        sample.delete(1)
+        assert sample.counters.lookups == 2
+        assert sample.counters.deletes == 1
+
+    def test_flips_stay_small(self):
+        """Flips per insert stay an order of magnitude below one; the
+        paper-profile comparison (Table 2) runs in the benchmarks."""
+        sample = CountingSample(1000, seed=27)
+        sample.insert_array(zipf_stream(200_000, 5000, 1.0, seed=28))
+        assert sample.counters.flips_per_insert() < 0.2
+
+
+class TestEvictionSemantics:
+    def test_eviction_reduces_counts_not_just_values(self):
+        """A raise decrements counts; survivors keep reduced counts."""
+        sample = CountingSample(2000, seed=29)
+        sample.insert_array(zipf_stream(20_000, 900, 1.0, seed=30))
+        before = dict(sample.pairs())
+        sample._evict_to(sample.threshold * 4)
+        after = dict(sample.pairs())
+        assert set(after) <= set(before)
+        assert all(after[v] <= before[v] for v in after)
+        sample.check_invariants()
+
+    def test_total_count_shrinks_on_raise(self):
+        sample = CountingSample(2000, seed=31)
+        sample.insert_array(zipf_stream(30_000, 900, 0.5, seed=32))
+        before = sample.total_count
+        sample._evict_to(sample.threshold * 8)
+        assert sample.total_count < before

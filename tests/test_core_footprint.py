@@ -1,0 +1,54 @@
+"""Unit tests for footprint accounting helpers (paper footnote 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConciseSample, CountingSample
+from repro.core.footprint import bit_footprint, word_footprint
+from repro.streams import zipf_stream
+
+
+class TestWordFootprint:
+    def test_empty(self):
+        assert word_footprint({}) == 0
+
+    def test_singletons_and_pairs(self):
+        assert word_footprint({1: 1, 2: 5, 3: 1}) == 1 + 2 + 1
+
+
+class TestBitFootprint:
+    def test_empty(self):
+        assert bit_footprint({}) == 0
+
+    def test_singleton_costs_value_plus_flag(self):
+        assert bit_footprint({7: 1}, value_bits=32) == 33
+
+    def test_pair_adds_count_bits(self):
+        # count 5 -> 3 bits.
+        assert bit_footprint({7: 5}, value_bits=32) == 33 + 3
+
+    def test_count_bits_logarithmic(self):
+        small = bit_footprint({1: 2})
+        large = bit_footprint({1: 2**20})
+        assert large - small == 21 - 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bit_footprint({1: 1}, value_bits=0)
+        with pytest.raises(ValueError):
+            bit_footprint({1: 0})
+
+    def test_bits_beat_words_on_skewed_samples(self):
+        """The footnote's point: variable-length counts reduce the
+        footprint relative to whole words."""
+        stream = zipf_stream(50_000, 2000, 1.5, seed=1)
+        sample = ConciseSample(500, seed=2)
+        sample.insert_array(stream)
+        assert sample.bit_footprint(32) < sample.footprint * 32
+
+    def test_counting_sample_method(self):
+        sample = CountingSample(100, seed=3)
+        sample.insert_many([1, 1, 1, 2])
+        # {1: 3, 2: 1}: (32+1+2) + (32+1) = 68.
+        assert sample.bit_footprint(32) == 68

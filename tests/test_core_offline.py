@@ -1,0 +1,126 @@
+"""Unit tests for the offline/static concise-sample construction."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.base import SynopsisError
+from repro.core.offline import offline_concise_sample
+from repro.randkit.coins import CostCounters
+from repro.streams import zipf_stream
+
+
+class TestBasics:
+    def test_empty_relation(self):
+        sample = offline_concise_sample(np.empty(0, dtype=np.int64), 10, 1)
+        assert sample.sample_size == 0
+        assert sample.footprint == 0
+
+    def test_rejects_tiny_footprint(self):
+        with pytest.raises(SynopsisError):
+            offline_concise_sample(np.array([1, 2]), 1, seed=1)
+
+    def test_footprint_bound_respected(self):
+        values = zipf_stream(20_000, 2000, 1.0, seed=2)
+        sample = offline_concise_sample(values, 64, seed=3)
+        assert sample.footprint <= 64
+        sample.check_invariants()
+
+    def test_single_value_relation_absorbs_everything(self):
+        """All-identical data: one pair holds the whole relation."""
+        values = np.full(5000, 9)
+        sample = offline_concise_sample(values, 10, seed=4)
+        assert sample.sample_size == 5000
+        assert sample.footprint == 2
+
+    def test_small_domain_exact_histogram(self):
+        """Domain <= m/2: the concise sample is the exact histogram."""
+        values = zipf_stream(10_000, 20, 1.0, seed=5)
+        sample = offline_concise_sample(values, 64, seed=6)
+        assert sample.sample_size == 10_000
+        assert sample.as_dict() == dict(Counter(values.tolist()))
+
+    def test_sample_is_multisubset_of_data(self):
+        values = zipf_stream(5000, 200, 1.0, seed=7)
+        truth = Counter(values.tolist())
+        sample = offline_concise_sample(values, 40, seed=8)
+        for value, count in sample.pairs():
+            assert count <= truth[value]
+
+    def test_deterministic(self):
+        values = zipf_stream(5000, 500, 1.2, seed=9)
+        a = offline_concise_sample(values, 32, seed=10)
+        b = offline_concise_sample(values, 32, seed=10)
+        assert a.as_dict() == b.as_dict()
+
+    def test_disk_accesses_charged(self):
+        counters = CostCounters()
+        values = zipf_stream(5000, 500, 1.0, seed=11)
+        sample = offline_concise_sample(
+            values, 32, seed=12, counters=counters
+        )
+        # One access per *selected* point, plus the overflow probe.
+        assert counters.disk_accesses >= sample.sample_size
+        assert counters.disk_accesses <= sample.sample_size + 1
+
+
+class TestSampleSizeIntrinsics:
+    def test_skew_increases_sample_size(self):
+        """The offline sample-size grows with skew (the Figure-3
+        'concise offline' curve shape)."""
+        sizes = []
+        for skew in (0.0, 1.0, 2.0):
+            values = zipf_stream(50_000, 5000, skew, seed=13)
+            sample = offline_concise_sample(values, 100, seed=14)
+            sizes.append(sample.sample_size)
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_sample_size_at_least_near_footprint(self):
+        values = zipf_stream(50_000, 5000, 0.0, seed=15)
+        sample = offline_concise_sample(values, 100, seed=16)
+        # The maximal prefix fills the footprint up to the last point.
+        assert sample.sample_size >= 50
+
+    def test_offline_upper_bounds_online_on_average(self):
+        """The offline construction is the intrinsic optimum the
+        online algorithm approaches from below (Figure 3)."""
+        from repro.core.concise import ConciseSample
+
+        values = zipf_stream(50_000, 5000, 1.5, seed=17)
+        offline_sizes = []
+        online_sizes = []
+        for trial in range(10):
+            offline_sizes.append(
+                offline_concise_sample(values, 100, seed=100 + trial).sample_size
+            )
+            online = ConciseSample(100, seed=200 + trial)
+            online.insert_array(values)
+            online_sizes.append(online.sample_size)
+        assert np.mean(online_sizes) <= np.mean(offline_sizes) * 1.05
+
+
+class TestWithReplacement:
+    def test_with_replacement_mode_runs(self):
+        values = zipf_stream(10_000, 1000, 1.0, seed=18)
+        sample = offline_concise_sample(
+            values, 50, seed=19, with_replacement=True
+        )
+        assert 0 < sample.footprint <= 50
+        sample.check_invariants()
+
+    def test_with_replacement_can_overdraw_a_value(self):
+        """With replacement the same tuple can be picked twice, so a
+        sampled count may exceed the true count."""
+        values = np.arange(50)  # all distinct
+        overdrawn = False
+        for trial in range(50):
+            sample = offline_concise_sample(
+                values, 100, seed=300 + trial, with_replacement=True
+            )
+            if any(count > 1 for _, count in sample.pairs()):
+                overdrawn = True
+                break
+        assert overdrawn

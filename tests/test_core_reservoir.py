@@ -1,0 +1,158 @@
+"""Unit tests for reservoir (traditional) sampling."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.base import SynopsisError
+from repro.core.reservoir import ReservoirSample
+
+
+class TestBasics:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(SynopsisError):
+            ReservoirSample(0)
+
+    def test_fill_phase_keeps_everything(self):
+        sample = ReservoirSample(10, seed=1)
+        sample.insert_many(range(7))
+        assert sorted(sample.points()) == list(range(7))
+        assert sample.footprint == 7
+
+    def test_capacity_never_exceeded(self):
+        sample = ReservoirSample(5, seed=2)
+        sample.insert_many(range(1000))
+        assert sample.sample_size == 5
+        sample.check_invariants()
+
+    def test_sample_is_subset_of_stream(self):
+        sample = ReservoirSample(20, seed=3)
+        stream = list(range(100, 400))
+        sample.insert_many(stream)
+        assert set(sample.points()) <= set(stream)
+
+    def test_total_inserted(self):
+        sample = ReservoirSample(5, seed=4)
+        sample.insert_many(range(123))
+        assert sample.total_inserted == 123
+        assert sample.counters.inserts == 123
+
+    def test_footprint_equals_sample_size(self):
+        sample = ReservoirSample(50, seed=5)
+        sample.insert_many(range(500))
+        assert sample.footprint == sample.sample_size == 50
+
+    def test_as_array(self):
+        sample = ReservoirSample(3, seed=6)
+        sample.insert_many([7, 7, 7, 7])
+        array = sample.as_array()
+        assert array.dtype == np.int64
+        assert len(array) == 3
+
+    def test_pairs_semi_sort(self):
+        sample = ReservoirSample(10, seed=7)
+        sample.insert_many([1, 1, 1, 2, 2, 3])
+        assert dict(sample.pairs()) == {1: 3, 2: 2, 3: 1}
+
+    def test_estimate_frequency(self):
+        sample = ReservoirSample(4, seed=8)
+        sample.insert_many([5, 5, 6, 7])  # fill phase keeps all
+        # 2 points of value 5 out of 4, n=4: estimate 2.
+        assert sample.estimate_frequency(5) == pytest.approx(2.0)
+
+    def test_estimate_frequency_empty(self):
+        assert ReservoirSample(4, seed=9).estimate_frequency(1) == 0.0
+
+
+class TestUniformity:
+    def test_each_element_equally_likely(self):
+        """Every stream position must appear in the reservoir with
+        probability m/n (the defining reservoir property)."""
+        n, m, trials = 60, 6, 4000
+        appearance = Counter()
+        for trial in range(trials):
+            sample = ReservoirSample(m, seed=trial)
+            sample.insert_many(range(n))
+            appearance.update(sample.points())
+        expected = trials * m / n
+        for element in range(n):
+            assert appearance[element] == pytest.approx(
+                expected, rel=0.25
+            ), f"element {element} over/under-sampled"
+
+    def test_insert_array_uniform_too(self):
+        n, m, trials = 60, 6, 4000
+        stream = np.arange(n)
+        appearance = Counter()
+        for trial in range(trials):
+            sample = ReservoirSample(m, seed=10_000 + trial)
+            sample.insert_array(stream)
+            appearance.update(sample.points())
+        expected = trials * m / n
+        for element in range(n):
+            assert appearance[element] == pytest.approx(expected, rel=0.25)
+
+    def test_mixed_per_op_and_array_ingestion(self):
+        n, m, trials = 40, 4, 4000
+        appearance = Counter()
+        for trial in range(trials):
+            sample = ReservoirSample(m, seed=20_000 + trial)
+            sample.insert_many(range(10))
+            sample.insert_array(np.arange(10, 30))
+            sample.insert_many(range(30, n))
+            appearance.update(sample.points())
+        expected = trials * m / n
+        for element in range(n):
+            assert appearance[element] == pytest.approx(expected, rel=0.25)
+
+
+class TestCostModel:
+    def test_fill_phase_costs_no_flips(self):
+        sample = ReservoirSample(100, seed=11)
+        sample.insert_many(range(100))
+        assert sample.counters.flips == 0
+
+    def test_flip_count_scales_as_replacements(self):
+        """Skip accounting: ~2 m ln(n/m) flips for the whole stream."""
+        m, n = 100, 100_000
+        sample = ReservoirSample(m, seed=12)
+        sample.insert_array(np.arange(n))
+        expected = 2 * m * np.log(n / m)
+        assert sample.counters.flips == pytest.approx(expected, rel=0.2)
+
+    def test_per_op_flip_count_matches_array_path(self):
+        m, n = 50, 20_000
+        per_op = ReservoirSample(m, seed=13)
+        per_op.insert_many(range(n))
+        bulk = ReservoirSample(m, seed=13)
+        bulk.insert_array(np.arange(n))
+        # Same accounting model: within statistical noise of each other.
+        assert per_op.counters.flips == pytest.approx(
+            bulk.counters.flips, rel=0.25
+        )
+
+    def test_no_lookups_ever(self):
+        sample = ReservoirSample(10, seed=14)
+        sample.insert_many(range(5000))
+        assert sample.counters.lookups == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_sample(self):
+        a = ReservoirSample(10, seed=42)
+        b = ReservoirSample(10, seed=42)
+        stream = list(range(2000))
+        a.insert_many(stream)
+        b.insert_many(stream)
+        assert a.points() == b.points()
+
+    def test_array_path_deterministic(self):
+        stream = np.arange(2000)
+        a = ReservoirSample(10, seed=43)
+        b = ReservoirSample(10, seed=43)
+        a.insert_array(stream)
+        b.insert_array(stream)
+        assert a.points() == b.points()

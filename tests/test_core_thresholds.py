@@ -1,0 +1,186 @@
+"""Unit tests for threshold-raise policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.thresholds import (
+    BinarySearchRaise,
+    MultiplicativeRaise,
+    SingletonBoundRaise,
+    expected_footprint_decrease,
+)
+
+
+class _FakeSample:
+    """Minimal _SampleState for policy unit tests."""
+
+    def __init__(self, threshold, footprint, bound, histogram):
+        self.threshold = threshold
+        self.footprint = footprint
+        self.footprint_bound = bound
+        self._histogram = histogram
+
+    def count_histogram(self):
+        return self._histogram
+
+
+class TestMultiplicativeRaise:
+    def test_factor_applied(self):
+        policy = MultiplicativeRaise(1.5)
+        sample = _FakeSample(10.0, 100, 99, {1: 100})
+        assert policy.next_threshold(sample) == pytest.approx(15.0)
+
+    def test_default_is_paper_ten_percent(self):
+        assert MultiplicativeRaise().factor == pytest.approx(1.1)
+
+    def test_rejects_non_raising_factor(self):
+        with pytest.raises(ValueError):
+            MultiplicativeRaise(1.0)
+        with pytest.raises(ValueError):
+            MultiplicativeRaise(0.5)
+
+    def test_repr(self):
+        assert "1.1" in repr(MultiplicativeRaise(1.1))
+
+
+class TestExpectedFootprintDecrease:
+    def test_keep_all_decreases_nothing(self):
+        assert expected_footprint_decrease({1: 10, 5: 3}, 1.0) == 0.0
+
+    def test_keep_none_frees_everything(self):
+        # 10 singletons (10 words) + 3 pairs (6 words).
+        decrease = expected_footprint_decrease({1: 10, 5: 3}, 0.0)
+        assert decrease == pytest.approx(16.0)
+
+    def test_singleton_only(self):
+        # Each singleton evicted with probability 1-q frees one word.
+        decrease = expected_footprint_decrease({1: 100}, 0.75)
+        assert decrease == pytest.approx(25.0)
+
+    def test_pair_accounting(self):
+        q = 0.5
+        count = 2
+        p_zero = (1 - q) ** count
+        p_one = count * q * (1 - q)
+        expected = p_one + 2 * p_zero
+        assert expected_footprint_decrease({2: 1}, q) == pytest.approx(
+            expected
+        )
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            expected_footprint_decrease({1: 1}, 1.5)
+
+    def test_ignores_nonpositive_counts(self):
+        assert expected_footprint_decrease({0: 5, -1: 2}, 0.5) == 0.0
+
+
+class TestSingletonBoundRaise:
+    def test_uses_singleton_formula(self):
+        policy = SingletonBoundRaise(decrease_fraction=0.1)
+        # footprint 100, desired decrease = 10, singletons = 50:
+        # tau' = tau / (1 - 10/50) = tau / 0.8.
+        sample = _FakeSample(8.0, 100, 100, {1: 50, 3: 25})
+        assert policy.next_threshold(sample) == pytest.approx(8.0 / 0.8)
+
+    def test_fallback_when_few_singletons(self):
+        policy = SingletonBoundRaise(
+            decrease_fraction=0.5, fallback_factor=3.0
+        )
+        sample = _FakeSample(4.0, 100, 100, {1: 2, 10: 49})
+        assert policy.next_threshold(sample) == pytest.approx(12.0)
+
+    def test_desired_covers_overflow(self):
+        """When the footprint is above the bound, the desired decrease
+        at least covers the overflow."""
+        policy = SingletonBoundRaise(decrease_fraction=0.01)
+        sample = _FakeSample(2.0, 120, 100, {1: 100, 5: 10})
+        # desired = max(1, 1.2, 20) = 20; tau' = 2 / (1 - 20/100).
+        assert policy.next_threshold(sample) == pytest.approx(2.0 / 0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SingletonBoundRaise(decrease_fraction=0.0)
+        with pytest.raises(ValueError):
+            SingletonBoundRaise(fallback_factor=1.0)
+
+    def test_result_always_higher(self):
+        policy = SingletonBoundRaise()
+        sample = _FakeSample(5.0, 101, 100, {1: 80, 2: 10})
+        assert policy.next_threshold(sample) > 5.0
+
+
+class TestBinarySearchRaise:
+    def test_meets_target_in_expectation(self):
+        policy = BinarySearchRaise(decrease_fraction=0.05)
+        histogram = {1: 60, 2: 10, 5: 10}
+        footprint = 60 + 2 * 20
+        sample = _FakeSample(10.0, footprint, footprint, histogram)
+        new_threshold = policy.next_threshold(sample)
+        keep = 10.0 / new_threshold
+        desired = max(1.0, 0.05 * footprint)
+        assert expected_footprint_decrease(histogram, keep) >= desired * 0.99
+
+    def test_not_grossly_overshooting(self):
+        """Binary search should land near the minimal sufficient raise,
+        far below the max factor."""
+        policy = BinarySearchRaise(decrease_fraction=0.05, max_factor=64.0)
+        histogram = {1: 100}
+        sample = _FakeSample(10.0, 100, 100, histogram)
+        new_threshold = policy.next_threshold(sample)
+        # Singletons only: need (1 - tau/tau') * 100 >= 5, i.e.
+        # tau' >= tau / 0.95 ~ 10.53.
+        assert new_threshold == pytest.approx(10.0 / 0.95, rel=0.02)
+
+    def test_max_factor_when_target_unreachable(self):
+        policy = BinarySearchRaise(
+            decrease_fraction=0.99, max_factor=4.0, iterations=10
+        )
+        # One giant pair: expected decrease is tiny for any raise.
+        sample = _FakeSample(2.0, 2, 2, {10_000: 1})
+        assert policy.next_threshold(sample) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinarySearchRaise(decrease_fraction=1.5)
+        with pytest.raises(ValueError):
+            BinarySearchRaise(max_factor=1.0)
+        with pytest.raises(ValueError):
+            BinarySearchRaise(iterations=0)
+
+
+class TestPoliciesEndToEnd:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            MultiplicativeRaise(1.1),
+            MultiplicativeRaise(2.0),
+            SingletonBoundRaise(),
+            BinarySearchRaise(),
+        ],
+        ids=["mult-1.1", "mult-2.0", "singleton", "binary-search"],
+    )
+    def test_concise_sample_converges(self, policy):
+        from repro.core.concise import ConciseSample
+        from repro.streams import zipf_stream
+
+        sample = ConciseSample(64, seed=1, policy=policy)
+        sample.insert_array(zipf_stream(30_000, 3000, 0.7, seed=2))
+        assert sample.footprint <= 64
+        assert sample.sample_size >= 32
+        sample.check_invariants()
+
+    @pytest.mark.parametrize(
+        "policy",
+        [MultiplicativeRaise(1.1), SingletonBoundRaise(), BinarySearchRaise()],
+        ids=["mult", "singleton", "binary-search"],
+    )
+    def test_counting_sample_converges(self, policy):
+        from repro.core.counting import CountingSample
+        from repro.streams import zipf_stream
+
+        sample = CountingSample(64, seed=3, policy=policy)
+        sample.insert_array(zipf_stream(30_000, 3000, 0.7, seed=4))
+        assert sample.footprint <= 64
+        sample.check_invariants()

@@ -1,0 +1,124 @@
+"""Edge-case tests across modules that the main suites do not reach."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConciseSample, CountingSample, ReservoirSample
+from repro.core.base import StreamSynopsis
+from repro.randkit.coins import CostCounters
+from repro.streams import zipf_stream
+
+
+class TestSharedCounters:
+    def test_one_ledger_many_synopses(self):
+        """Several synopses can share one cost ledger; totals add up."""
+        shared = CostCounters()
+        concise = ConciseSample(50, seed=1, counters=shared)
+        counting = CountingSample(50, seed=2, counters=shared)
+        stream = zipf_stream(5000, 200, 1.0, seed=3)
+        concise.insert_array(stream)
+        counting.insert_array(stream)
+        assert shared.inserts == 10_000
+        # Counting looked up every insert; concise only admitted ones.
+        assert shared.lookups > 5000
+
+    def test_counters_observable_mid_stream(self):
+        sample = ConciseSample(20, seed=4)
+        snapshots = []
+        for value in zipf_stream(3000, 300, 0.5, seed=5).tolist():
+            sample.insert(value)
+            snapshots.append(sample.counters.flips)
+        assert snapshots == sorted(snapshots)  # flips never decrease
+
+
+class TestStreamSynopsisDefaults:
+    def test_default_insert_array_loops(self):
+        class Recorder(StreamSynopsis):
+            def __init__(self):
+                super().__init__()
+                self.seen = []
+
+            def insert(self, value):
+                self.seen.append(value)
+
+            @property
+            def footprint(self):
+                return len(self.seen)
+
+        recorder = Recorder()
+        recorder.insert_array(np.array([3, 1, 4]))
+        recorder.insert_many([1, 5])
+        assert recorder.seen == [3, 1, 4, 1, 5]
+        recorder.check_invariants()  # default no-op must not raise
+
+
+class TestSampleEdgeBehaviours:
+    def test_concise_insert_returns_admission(self):
+        sample = ConciseSample(1000, seed=6)
+        # Threshold 1: everything admitted.
+        assert all(sample.insert(v) for v in range(100))
+
+    def test_concise_len_and_contains(self):
+        sample = ConciseSample(10, seed=7)
+        sample.insert_many([1, 1, 2])
+        assert len(sample) == 3
+        assert 1 in sample and 3 not in sample
+
+    def test_counting_repr(self):
+        sample = CountingSample(10, seed=8)
+        sample.insert(1)
+        assert "CountingSample" in repr(sample)
+
+    def test_reservoir_estimate_frequency_counts_duplicates(self):
+        sample = ReservoirSample(10, seed=9)
+        sample.insert_many([4, 4, 4, 5])
+        assert sample.estimate_frequency(4) == pytest.approx(3.0)
+
+    def test_empty_insert_array_noop(self):
+        for sample in (
+            ConciseSample(10, seed=10),
+            CountingSample(10, seed=11),
+            ReservoirSample(10, seed=12),
+        ):
+            sample.insert_array(np.empty(0, dtype=np.int64))
+            assert sample.counters.inserts == 0
+
+    def test_concise_estimate_frequency_empty(self):
+        assert ConciseSample(10, seed=13).estimate_frequency(1) == 0.0
+
+    def test_single_element_stream(self):
+        for sample in (
+            ConciseSample(2, seed=14),
+            CountingSample(2, seed=15),
+            ReservoirSample(1, seed=16),
+        ):
+            sample.insert_array(np.array([42]))
+            sample.check_invariants()
+
+
+class TestFrequencyEstimationConsistency:
+    def test_concise_estimate_tracks_truth(self):
+        stream = np.concatenate(
+            [np.full(9000, 1), np.full(1000, 2)]
+        )
+        np.random.default_rng(17).shuffle(stream)
+        estimates = []
+        for trial in range(30):
+            sample = ConciseSample(20, seed=100 + trial)
+            sample.insert_array(stream)
+            estimates.append(sample.estimate_frequency(1))
+        assert float(np.mean(estimates)) == pytest.approx(9000, rel=0.1)
+
+    def test_hotlist_answer_estimates_consistent_with_sample(self):
+        from repro.hotlist import ConciseHotList
+
+        stream = zipf_stream(30_000, 200, 1.5, seed=18)
+        reporter = ConciseHotList(300, seed=19)
+        reporter.insert_array(stream)
+        answer = reporter.report(5)
+        for entry in answer:
+            assert entry.estimated_count == pytest.approx(
+                reporter.sample.estimate_frequency(entry.value)
+            )

@@ -1,0 +1,225 @@
+"""Unit and integration tests for the approximate answer engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.concise import ConciseSample
+from repro.core.counting import CountingSample
+from repro.core.reservoir import ReservoirSample
+from repro.engine import (
+    ApproximateAnswerEngine,
+    AverageQuery,
+    CountQuery,
+    DataWarehouse,
+    DistinctCountQuery,
+    FrequencyQuery,
+    HotListQuery,
+    SelectivityQuery,
+    SumQuery,
+)
+from repro.engine.engine import NoSynopsisError
+from repro.estimators.selectivity import Predicate
+from repro.hotlist import CountingHotList
+from repro.synopses import FlajoletMartinSketch
+from repro.streams import zipf_stream
+
+
+def _build(stream: np.ndarray, *, with_sample=True, with_hotlist=True,
+           with_distinct=True):
+    warehouse = DataWarehouse()
+    warehouse.create_relation("r", ["a"])
+    engine = ApproximateAnswerEngine(warehouse)
+    if with_sample:
+        engine.register_sample("r", "a", ConciseSample(500, seed=1))
+    if with_hotlist:
+        engine.register_hotlist("r", "a", CountingHotList(500, seed=2))
+    if with_distinct:
+        engine.register_distinct(
+            "r", "a", FlajoletMartinSketch(64, seed=3)
+        )
+    warehouse.load("r", ((int(v),) for v in stream))
+    return warehouse, engine
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    stream = zipf_stream(30_000, 1000, 1.2, seed=4)
+    warehouse, engine = _build(stream)
+    return stream, warehouse, engine
+
+
+class TestRouting:
+    def test_hotlist(self, loaded):
+        stream, _, engine = loaded
+        response = engine.answer(HotListQuery("r", "a", k=5))
+        assert not response.is_exact
+        assert response.answer.values()[0] == 1
+
+    def test_count_with_interval(self, loaded):
+        stream, _, engine = loaded
+        response = engine.answer(
+            CountQuery("r", "a", Predicate(high=10))
+        )
+        truth = float(np.count_nonzero(stream <= 10))
+        assert response.interval is not None
+        assert response.answer == pytest.approx(truth, rel=0.1)
+
+    def test_sum(self, loaded):
+        stream, _, engine = loaded
+        response = engine.answer(SumQuery("r", "a"))
+        assert response.answer == pytest.approx(
+            float(stream.sum()), rel=0.2
+        )
+
+    def test_average(self, loaded):
+        stream, _, engine = loaded
+        response = engine.answer(AverageQuery("r", "a"))
+        assert response.answer == pytest.approx(
+            float(stream.mean()), rel=0.2
+        )
+
+    def test_frequency(self, loaded):
+        stream, _, engine = loaded
+        response = engine.answer(FrequencyQuery("r", "a", value=1))
+        truth = float(np.count_nonzero(stream == 1))
+        assert response.answer == pytest.approx(truth, rel=0.2)
+
+    def test_distinct(self, loaded):
+        stream, _, engine = loaded
+        response = engine.answer(DistinctCountQuery("r", "a"))
+        truth = len(np.unique(stream))
+        assert response.answer == pytest.approx(truth, rel=0.4)
+
+    def test_selectivity(self, loaded):
+        stream, _, engine = loaded
+        response = engine.answer(
+            SelectivityQuery("r", "a", Predicate(high=10))
+        )
+        truth = float((stream <= 10).mean())
+        assert response.answer == pytest.approx(truth, abs=0.05)
+
+    def test_approximate_answers_cost_no_disk(self, loaded):
+        _, warehouse, engine = loaded
+        before = warehouse.counters.disk_accesses
+        engine.answer(CountQuery("r", "a", Predicate(high=10)))
+        engine.answer(HotListQuery("r", "a", k=3))
+        assert warehouse.counters.disk_accesses == before
+
+    def test_exact_cost_estimate_attached(self, loaded):
+        stream, _, engine = loaded
+        response = engine.answer(CountQuery("r", "a"))
+        assert response.exact_cost_estimate == len(stream)
+
+
+class TestExactFallback:
+    def test_exact_count(self, loaded):
+        stream, warehouse, engine = loaded
+        before = warehouse.counters.disk_accesses
+        response = engine.answer(
+            CountQuery("r", "a", Predicate(high=10)), exact=True
+        )
+        assert response.is_exact
+        assert response.answer == float(np.count_nonzero(stream <= 10))
+        assert warehouse.counters.disk_accesses - before == len(stream)
+
+    def test_exact_hotlist(self, loaded):
+        stream, _, engine = loaded
+        response = engine.answer(HotListQuery("r", "a", k=3), exact=True)
+        from repro.stats.frequency import top_k
+
+        assert [
+            (entry.value, entry.estimated_count)
+            for entry in response.answer
+        ] == [(v, float(c)) for v, c in top_k(stream, 3)]
+
+    def test_exact_all_query_types(self, loaded):
+        stream, _, engine = loaded
+        assert engine.answer(
+            SumQuery("r", "a"), exact=True
+        ).answer == pytest.approx(float(stream.sum()))
+        assert engine.answer(
+            AverageQuery("r", "a"), exact=True
+        ).answer == pytest.approx(float(stream.mean()))
+        assert engine.answer(
+            DistinctCountQuery("r", "a"), exact=True
+        ).answer == len(np.unique(stream))
+        assert engine.answer(
+            FrequencyQuery("r", "a", value=1), exact=True
+        ).answer == float(np.count_nonzero(stream == 1))
+        assert engine.answer(
+            SelectivityQuery("r", "a", Predicate(high=10)), exact=True
+        ).answer == pytest.approx(float((stream <= 10).mean()))
+
+
+class TestMissingSynopses:
+    def test_no_sample_raises(self):
+        stream = zipf_stream(1000, 100, 1.0, seed=5)
+        _, engine = _build(stream, with_sample=False)
+        with pytest.raises(NoSynopsisError):
+            engine.answer(CountQuery("r", "a"))
+
+    def test_no_hotlist_raises(self):
+        stream = zipf_stream(1000, 100, 1.0, seed=6)
+        _, engine = _build(stream, with_hotlist=False)
+        with pytest.raises(NoSynopsisError):
+            engine.answer(HotListQuery("r", "a", k=3))
+
+    def test_no_distinct_raises(self):
+        stream = zipf_stream(1000, 100, 1.0, seed=7)
+        _, engine = _build(stream, with_distinct=False)
+        with pytest.raises(NoSynopsisError):
+            engine.answer(DistinctCountQuery("r", "a"))
+
+    def test_exact_works_without_synopses(self):
+        stream = zipf_stream(1000, 100, 1.0, seed=8)
+        _, engine = _build(
+            stream,
+            with_sample=False,
+            with_hotlist=False,
+            with_distinct=False,
+        )
+        response = engine.answer(CountQuery("r", "a"), exact=True)
+        assert response.answer == 1000.0
+
+
+class TestDeletions:
+    def test_counting_synopses_track_deletes(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a"])
+        engine = ApproximateAnswerEngine(warehouse)
+        hotlist = CountingHotList(100, seed=9)
+        engine.register_hotlist("r", "a", hotlist)
+        for _ in range(50):
+            warehouse.insert("r", (1,))
+        for _ in range(10):
+            warehouse.insert("r", (2,))
+        for _ in range(45):
+            warehouse.delete("r", (1,))
+        answer = engine.answer(HotListQuery("r", "a", k=1)).answer
+        assert answer.values() == [2]
+        assert engine.rows_loaded("r") == 15
+
+    def test_delete_with_nondeletable_synopsis_raises(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a"])
+        engine = ApproximateAnswerEngine(warehouse)
+        engine.register_sample("r", "a", ConciseSample(100, seed=10))
+        warehouse.insert("r", (1,))
+        with pytest.raises(RuntimeError):
+            warehouse.delete("r", (1,))
+
+
+class TestMultiAttribute:
+    def test_synopses_routed_per_attribute(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a", "b"])
+        engine = ApproximateAnswerEngine(warehouse)
+        engine.register_sample("r", "a", ReservoirSample(50, seed=11))
+        engine.register_sample("r", "b", ReservoirSample(50, seed=12))
+        warehouse.load("r", [(v, v * 100) for v in range(40)])
+        count_a = engine.answer(CountQuery("r", "a", Predicate(high=39)))
+        count_b = engine.answer(CountQuery("r", "b", Predicate(high=39)))
+        assert count_a.answer == pytest.approx(40.0)
+        assert count_b.answer == pytest.approx(1.0, abs=2.0)

@@ -1,0 +1,97 @@
+"""Tests for histogram registration and routing in the engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConciseSample
+from repro.engine import (
+    ApproximateAnswerEngine,
+    CountQuery,
+    DataWarehouse,
+    SelectivityQuery,
+)
+from repro.estimators.selectivity import Predicate
+from repro.streams import zipf_stream
+from repro.synopses import EquiDepthHistogram
+
+
+def _build(with_sample=False):
+    warehouse = DataWarehouse()
+    warehouse.create_relation("r", ["a"])
+    engine = ApproximateAnswerEngine(warehouse)
+    stream = zipf_stream(20_000, 1000, 1.0, seed=1)
+    if with_sample:
+        engine.register_sample("r", "a", ConciseSample(500, seed=2))
+    warehouse.load("r", ((int(v),) for v in stream))
+    histogram = EquiDepthHistogram.from_sample(stream, 32, len(stream))
+    engine.register_histogram("r", "a", histogram)
+    return warehouse, engine, stream
+
+
+class TestHistogramRouting:
+    def test_count_range_from_histogram(self):
+        _, engine, stream = _build()
+        response = engine.answer(
+            CountQuery("r", "a", Predicate(low=1, high=50))
+        )
+        truth = float(np.count_nonzero(stream <= 50))
+        assert response.method == "EquiDepthHistogram"
+        assert response.answer == pytest.approx(truth, rel=0.2)
+
+    def test_count_open_range(self):
+        _, engine, stream = _build()
+        response = engine.answer(
+            CountQuery("r", "a", Predicate(high=100))
+        )
+        truth = float(np.count_nonzero(stream <= 100))
+        assert response.answer == pytest.approx(truth, rel=0.2)
+
+    def test_count_no_predicate_uses_population(self):
+        _, engine, stream = _build()
+        response = engine.answer(CountQuery("r", "a"))
+        assert response.answer == float(len(stream))
+
+    def test_equality_from_histogram(self):
+        _, engine, stream = _build()
+        response = engine.answer(
+            CountQuery("r", "a", Predicate(equals=1))
+        )
+        assert response.answer > 0
+
+    def test_selectivity_from_histogram(self):
+        _, engine, stream = _build()
+        response = engine.answer(
+            SelectivityQuery("r", "a", Predicate(high=50))
+        )
+        truth = float((stream <= 50).mean())
+        assert response.answer == pytest.approx(truth, abs=0.1)
+
+    def test_sample_preferred_over_histogram(self):
+        """When both are registered the sample wins (it carries a
+        confidence interval)."""
+        _, engine, stream = _build(with_sample=True)
+        response = engine.answer(
+            CountQuery("r", "a", Predicate(high=50))
+        )
+        assert response.method == "sample"
+        assert response.interval is not None
+
+    def test_histogram_not_fed_by_load_stream(self):
+        """Histograms are static: loading more rows must not crash the
+        observer (histograms have no insert)."""
+        warehouse, engine, _ = _build()
+        warehouse.insert("r", (5,))  # would crash without the skip
+
+    def test_refresh_histogram(self):
+        warehouse, engine, stream = _build()
+        new_stream = zipf_stream(10_000, 1000, 1.0, seed=3)
+        replacement = EquiDepthHistogram.from_sample(
+            new_stream, 32, len(new_stream)
+        )
+        engine.refresh_histogram("r", "a", replacement)
+        response = engine.answer(
+            CountQuery("r", "a", Predicate(low=1, high=1000))
+        )
+        assert response.answer == pytest.approx(10_000, rel=0.05)

@@ -1,0 +1,177 @@
+"""Tests for answer policies and engine-level join-size queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConciseSample
+from repro.engine import (
+    AnswerPolicy,
+    ApproximateAnswerEngine,
+    CountQuery,
+    DataWarehouse,
+    JoinSizeQuery,
+    answer_with_policy,
+)
+from repro.engine.engine import NoSynopsisError
+from repro.estimators.selectivity import Predicate
+from repro.hotlist import CountingHotList
+from repro.stats.frequency import FrequencyTable
+from repro.streams import zipf_stream
+from repro.synopses import FlajoletMartinSketch
+
+
+def _join_setup(with_distinct=True, with_sample=False):
+    warehouse = DataWarehouse()
+    warehouse.create_relation("left", ["key"])
+    warehouse.create_relation("right", ["key"])
+    engine = ApproximateAnswerEngine(warehouse)
+    left_stream = zipf_stream(40_000, 2_000, 1.4, seed=1)
+    right_stream = zipf_stream(50_000, 2_000, 1.4, seed=2)
+    for index, (name, stream) in enumerate(
+        [("left", left_stream), ("right", right_stream)]
+    ):
+        engine.register_hotlist(
+            name, "key", CountingHotList(600, seed=10 + index)
+        )
+        if with_distinct:
+            engine.register_distinct(
+                name, "key", FlajoletMartinSketch(256, seed=20 + index)
+            )
+        if with_sample:
+            engine.register_sample(
+                name, "key", ConciseSample(600, seed=30 + index)
+            )
+        warehouse.load(name, ((int(v),) for v in stream))
+    return warehouse, engine, left_stream, right_stream
+
+
+def _exact_join(left, right) -> float:
+    right_table = FrequencyTable(right)
+    return float(
+        sum(
+            count * right_table.count(value)
+            for value, count in FrequencyTable(left).items()
+        )
+    )
+
+
+class TestJoinSizeQuery:
+    def test_approximate_join_accuracy(self):
+        _, engine, left_stream, right_stream = _join_setup()
+        response = engine.answer(
+            JoinSizeQuery("left", "key", "right", "key")
+        )
+        truth = _exact_join(left_stream, right_stream)
+        assert not response.is_exact
+        assert response.method == "hotlist-join"
+        assert response.answer == pytest.approx(truth, rel=0.3)
+
+    def test_exact_join(self):
+        warehouse, engine, left_stream, right_stream = _join_setup()
+        response = engine.answer(
+            JoinSizeQuery("left", "key", "right", "key"), exact=True
+        )
+        assert response.is_exact
+        assert response.answer == _exact_join(left_stream, right_stream)
+        assert response.disk_accesses == len(left_stream) + len(
+            right_stream
+        )
+
+    def test_distinct_fallback_to_sample(self):
+        _, engine, left_stream, right_stream = _join_setup(
+            with_distinct=False, with_sample=True
+        )
+        response = engine.answer(
+            JoinSizeQuery("left", "key", "right", "key")
+        )
+        truth = _exact_join(left_stream, right_stream)
+        assert response.answer == pytest.approx(truth, rel=0.35)
+
+    def test_distinct_fallback_to_hotlist_support(self):
+        _, engine, left_stream, right_stream = _join_setup(
+            with_distinct=False, with_sample=False
+        )
+        response = engine.answer(
+            JoinSizeQuery("left", "key", "right", "key")
+        )
+        assert response.answer > 0
+
+    def test_missing_hotlist_raises(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("left", ["key"])
+        warehouse.create_relation("right", ["key"])
+        engine = ApproximateAnswerEngine(warehouse)
+        with pytest.raises(NoSynopsisError):
+            engine.answer(JoinSizeQuery("left", "key", "right", "key"))
+
+    def test_cost_estimate_covers_both_scans(self):
+        _, engine, left_stream, right_stream = _join_setup()
+        response = engine.answer(
+            JoinSizeQuery("left", "key", "right", "key")
+        )
+        assert response.exact_cost_estimate == len(left_stream) + len(
+            right_stream
+        )
+
+
+class TestAnswerPolicy:
+    def _engine(self, footprint=2_000):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a"])
+        engine = ApproximateAnswerEngine(warehouse)
+        engine.register_sample(
+            "r", "a", ConciseSample(footprint, seed=1)
+        )
+        warehouse.load(
+            "r",
+            ((int(v),) for v in zipf_stream(30_000, 500, 1.0, seed=2)),
+        )
+        return engine
+
+    def test_tight_interval_accepted(self):
+        engine = self._engine()
+        decision = answer_with_policy(
+            engine,
+            CountQuery("r", "a", Predicate(high=250)),
+            AnswerPolicy(max_relative_width=0.5),
+        )
+        assert not decision.escalated
+        assert not decision.response.is_exact
+
+    def test_wide_interval_escalates(self):
+        engine = self._engine(footprint=16)
+        decision = answer_with_policy(
+            engine,
+            CountQuery("r", "a", Predicate(equals=400)),  # rare value
+            AnswerPolicy(max_relative_width=0.01),
+        )
+        assert decision.escalated
+        assert decision.response.is_exact
+
+    def test_cost_budget_blocks_escalation(self):
+        engine = self._engine(footprint=16)
+        decision = answer_with_policy(
+            engine,
+            CountQuery("r", "a", Predicate(equals=400)),
+            AnswerPolicy(max_relative_width=0.01, max_exact_cost=10),
+        )
+        assert not decision.escalated
+        assert not decision.response.is_exact
+        assert "budget" in decision.reason
+
+    def test_intervalless_answers_accepted(self):
+        _, engine, *_ = _join_setup()
+        decision = answer_with_policy(
+            engine,
+            JoinSizeQuery("left", "key", "right", "key"),
+            AnswerPolicy(max_relative_width=0.0),
+        )
+        assert not decision.escalated
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AnswerPolicy(max_relative_width=-0.1)
+        with pytest.raises(ValueError):
+            AnswerPolicy(max_exact_cost=-1)

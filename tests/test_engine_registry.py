@@ -1,0 +1,108 @@
+"""Unit tests for synopsis registration and memory budgeting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.concise import ConciseSample
+from repro.engine.registry import (
+    BudgetExceeded,
+    SynopsisRegistry,
+)
+
+
+class _Fixed:
+    """A fake synopsis with a fixed footprint and no bound."""
+
+    def __init__(self, footprint: int) -> None:
+        self.footprint = footprint
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        registry = SynopsisRegistry()
+        synopsis = _Fixed(10)
+        registry.register("r", "a", "sample", synopsis)
+        assert registry.lookup("r", "a", "sample") is synopsis
+        assert registry.lookup("r", "a", "hotlist") is None
+        assert len(registry) == 1
+
+    def test_duplicate_key_rejected(self):
+        registry = SynopsisRegistry()
+        registry.register("r", "a", "sample", _Fixed(1))
+        with pytest.raises(ValueError):
+            registry.register("r", "a", "sample", _Fixed(1))
+
+    def test_unknown_role_rejected(self):
+        registry = SynopsisRegistry()
+        with pytest.raises(ValueError):
+            registry.register("r", "a", "mystery", _Fixed(1))
+
+    def test_unregister(self):
+        registry = SynopsisRegistry()
+        registry.register("r", "a", "sample", _Fixed(1))
+        registry.unregister("r", "a", "sample")
+        assert registry.lookup("r", "a", "sample") is None
+        with pytest.raises(KeyError):
+            registry.unregister("r", "a", "sample")
+
+    def test_for_attribute(self):
+        registry = SynopsisRegistry()
+        sample = _Fixed(1)
+        hotlist = _Fixed(2)
+        registry.register("r", "a", "sample", sample)
+        registry.register("r", "a", "hotlist", hotlist)
+        registry.register("r", "b", "sample", _Fixed(3))
+        found = dict(registry.for_attribute("r", "a"))
+        assert found == {"sample": sample, "hotlist": hotlist}
+
+    def test_reserved_defaults_to_footprint_bound(self):
+        registry = SynopsisRegistry()
+        sample = ConciseSample(100, seed=1)
+        registry.register("r", "a", "sample", sample)
+        assert registry.reserved_total() == 100
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        registry = SynopsisRegistry(budget_words=100)
+        registry.register("r", "a", "sample", _Fixed(60))
+        with pytest.raises(BudgetExceeded):
+            registry.register("r", "b", "sample", _Fixed(50))
+
+    def test_budget_exact_fit_allowed(self):
+        registry = SynopsisRegistry(budget_words=100)
+        registry.register("r", "a", "sample", _Fixed(60))
+        registry.register("r", "b", "sample", _Fixed(40))
+        assert registry.reserved_total() == 100
+
+    def test_unregister_frees_budget(self):
+        registry = SynopsisRegistry(budget_words=100)
+        registry.register("r", "a", "sample", _Fixed(80))
+        registry.unregister("r", "a", "sample")
+        registry.register("r", "b", "sample", _Fixed(90))
+
+    def test_shared_object_reserved_once(self):
+        """One synopsis under two roles reserves memory once."""
+        registry = SynopsisRegistry(budget_words=100)
+        shared = _Fixed(80)
+        registry.register("r", "a", "sample", shared)
+        registry.register("r", "a", "hotlist", shared)
+        assert registry.reserved_total() == 80
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            SynopsisRegistry(budget_words=-1)
+
+    def test_negative_reservation_rejected(self):
+        registry = SynopsisRegistry()
+        with pytest.raises(ValueError):
+            registry.register(
+                "r", "a", "sample", _Fixed(1), reserved_words=-5
+            )
+
+    def test_footprint_total(self):
+        registry = SynopsisRegistry()
+        registry.register("r", "a", "sample", _Fixed(7))
+        registry.register("r", "b", "sample", _Fixed(5))
+        assert registry.footprint_total() == 12

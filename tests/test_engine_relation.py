@@ -1,0 +1,100 @@
+"""Unit tests for in-memory relations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.relation import Relation, RelationError
+
+
+class TestSchema:
+    def test_requires_attributes(self):
+        with pytest.raises(RelationError):
+            Relation("r", [])
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(RelationError):
+            Relation("r", ["a", "a"])
+
+    def test_attribute_index(self):
+        relation = Relation("r", ["a", "b"])
+        assert relation.attribute_index("b") == 1
+        with pytest.raises(RelationError):
+            relation.attribute_index("zzz")
+
+
+class TestInsertDelete:
+    def test_insert_mapping(self):
+        relation = Relation("r", ["a", "b"])
+        normalised = relation.insert({"b": 2, "a": 1})
+        assert normalised == (1, 2)
+        assert relation.size == 1
+
+    def test_insert_tuple(self):
+        relation = Relation("r", ["a", "b"])
+        assert relation.insert((3, 4)) == (3, 4)
+
+    def test_insert_wrong_arity(self):
+        relation = Relation("r", ["a", "b"])
+        with pytest.raises(RelationError):
+            relation.insert((1,))
+
+    def test_insert_missing_attribute(self):
+        relation = Relation("r", ["a", "b"])
+        with pytest.raises(RelationError):
+            relation.insert({"a": 1})
+
+    def test_delete(self):
+        relation = Relation("r", ["a"])
+        relation.insert((1,))
+        relation.insert((1,))
+        relation.delete((1,))
+        assert relation.size == 1
+        relation.delete({"a": 1})
+        assert relation.size == 0
+
+    def test_delete_absent_raises(self):
+        relation = Relation("r", ["a"])
+        with pytest.raises(RelationError):
+            relation.delete((9,))
+
+    def test_len(self):
+        relation = Relation("r", ["a"])
+        relation.insert((1,))
+        assert len(relation) == 1
+
+
+class TestColumnAndRows:
+    def test_column_multiset(self):
+        relation = Relation("r", ["a", "b"])
+        relation.insert((1, 10))
+        relation.insert((1, 10))
+        relation.insert((2, 20))
+        column = relation.column("a")
+        assert sorted(column.tolist()) == [1, 1, 2]
+        assert column.dtype == np.int64
+
+    def test_column_empty(self):
+        relation = Relation("r", ["a"])
+        assert len(relation.column("a")) == 0
+
+    def test_column_float_values(self):
+        relation = Relation("r", ["a"])
+        relation.insert((1.5,))
+        column = relation.column("a")
+        assert column.dtype == np.float64
+        assert column.tolist() == [1.5]
+
+    def test_rows_repeat_multiplicity(self):
+        relation = Relation("r", ["a"])
+        relation.insert((7,))
+        relation.insert((7,))
+        assert list(relation.rows()) == [(7,), (7,)]
+
+    def test_column_reflects_deletes(self):
+        relation = Relation("r", ["a"])
+        relation.insert((1,))
+        relation.insert((2,))
+        relation.delete((1,))
+        assert relation.column("a").tolist() == [2]

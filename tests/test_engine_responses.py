@@ -1,0 +1,90 @@
+"""Unit tests for query/response types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.queries import (
+    CountQuery,
+    DistinctCountQuery,
+    HotListQuery,
+)
+from repro.engine.responses import QueryResponse
+from repro.estimators.intervals import ConfidenceInterval
+from repro.estimators.selectivity import Predicate
+from repro.hotlist.base import HotListAnswer, HotListEntry
+
+
+class TestQueries:
+    def test_queries_are_frozen_and_hashable(self):
+        query = HotListQuery("r", "a", k=5)
+        with pytest.raises(AttributeError):
+            query.k = 6  # type: ignore[misc]
+        assert hash(query) == hash(HotListQuery("r", "a", k=5))
+
+    def test_default_parameters(self):
+        assert HotListQuery("r", "a").k == 10
+        assert CountQuery("r", "a").predicate is None
+
+    def test_predicate_carried(self):
+        predicate = Predicate(low=1, high=5)
+        query = CountQuery("r", "a", predicate)
+        assert query.predicate is predicate
+
+    def test_distinct_query_minimal(self):
+        query = DistinctCountQuery("r", "a")
+        assert query.relation == "r"
+        assert query.attribute == "a"
+
+
+class TestQueryResponse:
+    def test_str_with_interval(self):
+        response = QueryResponse(
+            answer=123.456,
+            interval=ConfidenceInterval(100.0, 150.0, 0.95),
+            method="sample",
+            is_exact=False,
+        )
+        text = str(response)
+        assert "123.5" in text
+        assert "95%" in text
+        assert "approximate" in text
+        assert "sample" in text
+
+    def test_str_exact_scalar(self):
+        response = QueryResponse(
+            answer=42.0,
+            interval=None,
+            method="exact-scan",
+            is_exact=True,
+            disk_accesses=1000,
+        )
+        text = str(response)
+        assert "42" in text
+        assert "exact" in text
+
+    def test_str_hotlist(self):
+        answer = HotListAnswer(
+            k=3, entries=(HotListEntry(1, 10.0),)
+        )
+        response = QueryResponse(
+            answer=answer,
+            interval=None,
+            method="CountingHotList",
+            is_exact=False,
+        )
+        assert "hot list of 1 values" in str(response)
+
+    def test_frozen(self):
+        response = QueryResponse(
+            answer=1.0, interval=None, method="x", is_exact=False
+        )
+        with pytest.raises(AttributeError):
+            response.answer = 2.0  # type: ignore[misc]
+
+    def test_cost_fields_default_zero(self):
+        response = QueryResponse(
+            answer=1.0, interval=None, method="x", is_exact=False
+        )
+        assert response.disk_accesses == 0
+        assert response.exact_cost_estimate == 0

@@ -1,0 +1,126 @@
+"""Unit tests for synopsis snapshot / restore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConciseSample, CountingSample, ReservoirSample
+from repro.engine.snapshots import (
+    dumps,
+    loads,
+    restore_synopsis,
+    snapshot_synopsis,
+)
+from repro.streams import zipf_stream
+
+
+def _loaded_concise():
+    sample = ConciseSample(100, seed=1)
+    sample.insert_array(zipf_stream(20_000, 1000, 1.2, seed=2))
+    return sample
+
+
+def _loaded_counting():
+    sample = CountingSample(100, seed=3)
+    sample.insert_array(zipf_stream(20_000, 1000, 1.2, seed=4))
+    return sample
+
+
+def _loaded_reservoir():
+    sample = ReservoirSample(64, seed=5)
+    sample.insert_array(zipf_stream(20_000, 1000, 1.2, seed=6))
+    return sample
+
+
+class TestRoundTrips:
+    def test_concise_roundtrip_preserves_state(self):
+        original = _loaded_concise()
+        restored = loads(dumps(original), seed=7)
+        assert isinstance(restored, ConciseSample)
+        assert restored.as_dict() == original.as_dict()
+        assert restored.threshold == original.threshold
+        assert restored.footprint == original.footprint
+        assert restored.sample_size == original.sample_size
+        assert restored.counters.inserts == original.counters.inserts
+        restored.check_invariants()
+
+    def test_counting_roundtrip_preserves_state(self):
+        original = _loaded_counting()
+        restored = loads(dumps(original), seed=8)
+        assert isinstance(restored, CountingSample)
+        assert restored.as_dict() == original.as_dict()
+        assert restored.threshold == original.threshold
+        assert restored.footprint == original.footprint
+        restored.check_invariants()
+
+    def test_reservoir_roundtrip_preserves_state(self):
+        original = _loaded_reservoir()
+        restored = loads(dumps(original), seed=9)
+        assert isinstance(restored, ReservoirSample)
+        assert restored.points() == original.points()
+        assert restored.total_inserted == original.total_inserted
+        restored.check_invariants()
+
+    def test_snapshot_is_json_compatible(self):
+        import json
+
+        payload = dumps(_loaded_concise())
+        state = json.loads(payload)
+        assert state["kind"] == "concise-sample"
+        assert isinstance(state["counts"], list)
+
+
+class TestContinuation:
+    def test_restored_concise_keeps_maintaining(self):
+        original = _loaded_concise()
+        restored = restore_synopsis(
+            snapshot_synopsis(original), seed=10
+        )
+        more = zipf_stream(20_000, 1000, 1.2, seed=11)
+        restored.insert_array(more)
+        restored.check_invariants()
+        assert restored.footprint <= 100
+        assert restored.counters.inserts == 40_000
+        # Sample-size remains consistent with the threshold.
+        expected = restored.counters.inserts / restored.threshold
+        assert restored.sample_size == pytest.approx(expected, rel=0.4)
+
+    def test_restored_counting_handles_deletes(self):
+        original = _loaded_counting()
+        restored = restore_synopsis(
+            snapshot_synopsis(original), seed=12
+        )
+        value, count = next(iter(restored.pairs()))
+        restored.delete(value)
+        assert restored.count_of(value) == count - 1
+        restored.check_invariants()
+
+    def test_restored_reservoir_keeps_sampling(self):
+        original = _loaded_reservoir()
+        restored = restore_synopsis(
+            snapshot_synopsis(original), seed=13
+        )
+        restored.insert_many(range(5000))
+        assert restored.sample_size == 64
+        restored.check_invariants()
+
+    def test_restored_flip_accounting_continues(self):
+        original = _loaded_concise()
+        flips_before = original.counters.flips
+        restored = restore_synopsis(
+            snapshot_synopsis(original), seed=14
+        )
+        restored.insert_array(zipf_stream(20_000, 1000, 1.2, seed=15))
+        assert restored.counters.flips > flips_before
+
+
+class TestErrors:
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            snapshot_synopsis(object())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            restore_synopsis(
+                {"kind": "nonsense", "counters": {}}
+            )

@@ -1,0 +1,79 @@
+"""Unit tests for the data warehouse and its load-stream observers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.relation import RelationError
+from repro.engine.warehouse import DataWarehouse
+
+
+class TestSchema:
+    def test_create_and_lookup(self):
+        warehouse = DataWarehouse()
+        relation = warehouse.create_relation("r", ["a"])
+        assert warehouse.relation("r") is relation
+
+    def test_duplicate_relation_rejected(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a"])
+        with pytest.raises(RelationError):
+            warehouse.create_relation("r", ["a"])
+
+    def test_unknown_relation(self):
+        with pytest.raises(RelationError):
+            DataWarehouse().relation("zzz")
+
+
+class TestLoadsAndObservers:
+    def test_insert_updates_relation_and_counters(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a"])
+        warehouse.insert("r", {"a": 5})
+        assert warehouse.relation("r").size == 1
+        assert warehouse.counters.inserts == 1
+
+    def test_observers_see_inserts_and_deletes(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a", "b"])
+        events = []
+        warehouse.add_observer(
+            lambda name, row, is_insert: events.append(
+                (name, row, is_insert)
+            )
+        )
+        warehouse.insert("r", {"a": 1, "b": 2})
+        warehouse.delete("r", {"a": 1, "b": 2})
+        assert events == [("r", (1, 2), True), ("r", (1, 2), False)]
+
+    def test_load_bulk(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a"])
+        loaded = warehouse.load("r", [{"a": v} for v in range(10)])
+        assert loaded == 10
+        assert warehouse.relation("r").size == 10
+
+    def test_delete_absent_row_raises_before_notifying(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a"])
+        events = []
+        warehouse.add_observer(lambda *args: events.append(args))
+        with pytest.raises(RelationError):
+            warehouse.delete("r", {"a": 1})
+        assert events == []
+
+
+class TestExactCosts:
+    def test_scan_cost_is_relation_size(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a"])
+        warehouse.load("r", [{"a": v} for v in range(25)])
+        assert warehouse.scan_cost("r") == 25
+
+    def test_exact_column_charges_disk(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a"])
+        warehouse.load("r", [{"a": v} for v in range(25)])
+        column = warehouse.exact_column("r", "a")
+        assert sorted(column.tolist()) == list(range(25))
+        assert warehouse.counters.disk_accesses == 25

@@ -1,0 +1,100 @@
+"""Unit tests for sample-based distinct-value estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimators.distinct import (
+    first_order_jackknife,
+    frequency_profile,
+    guaranteed_error_estimator,
+)
+from repro.streams import zipf_stream
+
+
+class TestFrequencyProfile:
+    def test_profile(self):
+        points = np.array([1, 1, 2, 3, 3, 3])
+        assert frequency_profile(points) == {2: 1, 1: 1, 3: 1}
+
+    def test_empty(self):
+        assert frequency_profile(np.empty(0, dtype=np.int64)) == {}
+
+
+class TestJackknife:
+    def test_full_sample_returns_exact(self):
+        """Sampling the whole population (m = n) with no singletons'
+        correction leaves d unchanged when f1 scaling vanishes."""
+        points = np.array([1, 1, 2, 2, 3, 3])
+        profile = frequency_profile(points)
+        assert first_order_jackknife(profile, population=6) == (
+            pytest.approx(3.0)
+        )
+
+    def test_empty_profile(self):
+        assert first_order_jackknife({}, 100) == 0.0
+
+    def test_population_smaller_than_sample_rejected(self):
+        with pytest.raises(ValueError):
+            first_order_jackknife({1: 10}, population=5)
+
+    def test_degenerate_all_singletons_huge_population(self):
+        profile = {1: 100}
+        estimate = first_order_jackknife(profile, population=10**9)
+        assert estimate == pytest.approx(10**9)
+
+    def test_reasonable_on_moderate_skew(self):
+        stream = zipf_stream(50_000, 800, 0.5, seed=1)
+        rng = np.random.default_rng(2)
+        points = rng.choice(stream, size=5000, replace=False)
+        estimate = first_order_jackknife(
+            frequency_profile(points), len(stream)
+        )
+        # Known to be biased low; demand the right ballpark.
+        assert 400 <= estimate <= 1200
+
+
+class TestGEE:
+    def test_no_singletons_returns_distinct(self):
+        points = np.array([1, 1, 2, 2])
+        assert guaranteed_error_estimator(
+            frequency_profile(points), 100
+        ) == pytest.approx(2.0)
+
+    def test_scaling_of_singletons(self):
+        # 4 singletons, sample 4, population 64: sqrt(16) * 4 = 16.
+        profile = {1: 4}
+        assert guaranteed_error_estimator(profile, 64) == pytest.approx(
+            16.0
+        )
+
+    def test_empty_profile(self):
+        assert guaranteed_error_estimator({}, 100) == 0.0
+
+    def test_population_smaller_than_sample_rejected(self):
+        with pytest.raises(ValueError):
+            guaranteed_error_estimator({1: 10}, population=5)
+
+    def test_between_lower_and_upper_bounds(self):
+        """GEE lands between the sample distinct count and the
+        population size."""
+        stream = zipf_stream(30_000, 2000, 1.0, seed=3)
+        rng = np.random.default_rng(4)
+        points = rng.choice(stream, size=2000, replace=False)
+        profile = frequency_profile(points)
+        sample_distinct = sum(profile.values())
+        estimate = guaranteed_error_estimator(profile, len(stream))
+        assert sample_distinct <= estimate <= len(stream)
+
+    def test_closer_than_naive_on_uniform(self):
+        """On uniform data with many unseen values, GEE beats the raw
+        sample distinct count."""
+        true_distinct = 5000
+        stream = zipf_stream(50_000, true_distinct, 0.0, seed=5)
+        rng = np.random.default_rng(6)
+        points = rng.choice(stream, size=2000, replace=False)
+        profile = frequency_profile(points)
+        naive = sum(profile.values())
+        gee = guaranteed_error_estimator(profile, len(stream))
+        assert abs(gee - true_distinct) < abs(naive - true_distinct)

@@ -1,0 +1,185 @@
+"""Unit tests for confidence intervals."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.estimators.intervals import (
+    ConfidenceInterval,
+    clt_interval,
+    hoeffding_count_interval,
+    normal_quantile,
+)
+
+
+class TestNormalQuantile:
+    def test_median(self):
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_standard_values(self):
+        assert normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-5)
+        assert normal_quantile(0.995) == pytest.approx(2.575829, abs=1e-5)
+        assert normal_quantile(0.841344746) == pytest.approx(1.0, abs=1e-5)
+
+    def test_symmetry(self):
+        for p in (0.6, 0.9, 0.99, 0.999):
+            assert normal_quantile(p) == pytest.approx(
+                -normal_quantile(1 - p), abs=1e-8
+            )
+
+    def test_tails(self):
+        assert normal_quantile(1e-10) < -6
+        assert normal_quantile(1 - 1e-10) > 6
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for p in (0.01, 0.2, 0.5, 0.77, 0.99, 0.9999):
+            assert normal_quantile(p) == pytest.approx(
+                float(scipy_stats.norm.ppf(p)), abs=1e-7
+            )
+
+    def test_rejects_endpoints(self):
+        with pytest.raises(ValueError):
+            normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            normal_quantile(1.0)
+
+
+class TestConfidenceInterval:
+    def test_properties(self):
+        interval = ConfidenceInterval(2.0, 6.0, 0.95)
+        assert interval.width == pytest.approx(4.0)
+        assert interval.midpoint == pytest.approx(4.0)
+        assert 3.0 in interval
+        assert 7.0 not in interval
+
+
+class TestCltInterval:
+    def test_centred_on_estimate(self):
+        interval = clt_interval(10.0, 2.0, 0.95)
+        assert interval.midpoint == pytest.approx(10.0)
+
+    def test_width_scales_with_z(self):
+        narrow = clt_interval(0.0, 1.0, 0.68)
+        wide = clt_interval(0.0, 1.0, 0.999)
+        assert wide.width > narrow.width
+
+    def test_zero_error_degenerate(self):
+        interval = clt_interval(5.0, 0.0, 0.95)
+        assert interval.low == interval.high == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clt_interval(0.0, -1.0)
+        with pytest.raises(ValueError):
+            clt_interval(0.0, 1.0, confidence=1.5)
+
+    def test_coverage_simulation(self):
+        """A 90% CLT interval for a sample mean covers the truth about
+        90% of the time."""
+        rng = np.random.default_rng(1)
+        true_mean, n = 10.0, 200
+        covered = 0
+        trials = 600
+        for _ in range(trials):
+            sample = rng.normal(true_mean, 3.0, size=n)
+            interval = clt_interval(
+                float(sample.mean()),
+                float(sample.std(ddof=1) / math.sqrt(n)),
+                0.9,
+            )
+            covered += true_mean in interval
+        assert covered / trials == pytest.approx(0.9, abs=0.04)
+
+
+class TestHoeffdingInterval:
+    def test_contains_estimate(self):
+        interval = hoeffding_count_interval(30, 100, 1000, 0.95)
+        assert 300.0 in interval
+
+    def test_clipped_to_population_bounds(self):
+        interval = hoeffding_count_interval(0, 10, 1000, 0.99)
+        assert interval.low == 0.0
+        interval = hoeffding_count_interval(10, 10, 1000, 0.99)
+        assert interval.high == 1000.0
+
+    def test_narrower_with_more_samples(self):
+        small = hoeffding_count_interval(30, 100, 1000)
+        large = hoeffding_count_interval(300, 1000, 1000)
+        assert large.width < small.width
+
+    def test_guaranteed_coverage(self):
+        """Hoeffding is conservative: empirical coverage above the
+        nominal level."""
+        rng = np.random.default_rng(2)
+        p, n, population = 0.3, 150, 10_000
+        covered = 0
+        trials = 500
+        for _ in range(trials):
+            matching = int(rng.binomial(n, p))
+            interval = hoeffding_count_interval(
+                matching, n, population, 0.9
+            )
+            covered += (p * population) in interval
+        assert covered / trials >= 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hoeffding_count_interval(1, 0, 10)
+        with pytest.raises(ValueError):
+            hoeffding_count_interval(11, 10, 100)
+        with pytest.raises(ValueError):
+            hoeffding_count_interval(5, 10, 100, confidence=0.0)
+
+
+class TestWilsonInterval:
+    def test_contains_proportion(self):
+        from repro.estimators.intervals import wilson_interval
+
+        interval = wilson_interval(30, 100, 0.95)
+        assert 0.3 in interval
+
+    def test_stays_in_unit_interval_at_extremes(self):
+        from repro.estimators.intervals import wilson_interval
+
+        zero = wilson_interval(0, 50, 0.99)
+        assert zero.low == 0.0
+        assert zero.high > 0.0  # still informative
+        full = wilson_interval(50, 50, 0.99)
+        assert full.high == 1.0
+        assert full.low < 1.0
+
+    def test_narrower_with_more_samples(self):
+        from repro.estimators.intervals import wilson_interval
+
+        small = wilson_interval(3, 10)
+        large = wilson_interval(300, 1000)
+        assert large.width < small.width
+
+    def test_coverage_simulation(self):
+        import numpy as np
+
+        from repro.estimators.intervals import wilson_interval
+
+        rng = np.random.default_rng(9)
+        p, n, trials = 0.05, 80, 600  # rare predicate, small sample
+        covered = 0
+        for _ in range(trials):
+            matching = int(rng.binomial(n, p))
+            covered += p in wilson_interval(matching, n, 0.9)
+        assert covered / trials >= 0.85
+
+    def test_validation(self):
+        import pytest
+
+        from repro.estimators.intervals import wilson_interval
+
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 10, confidence=1.0)

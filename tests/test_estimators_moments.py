@@ -1,0 +1,78 @@
+"""Unit tests for frequency-moment estimation and the gain predictor."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.estimators.moments import (
+    estimate_frequency_moment,
+    sample_size_gain,
+)
+from repro.stats.frequency import frequency_moment
+from repro.streams import zipf_stream
+
+
+class TestEstimateFrequencyMoment:
+    def test_f1_is_population(self):
+        points = np.array([1, 2, 2, 3])
+        assert estimate_frequency_moment(points, 1, 400) == pytest.approx(
+            400.0
+        )
+
+    def test_f2_single_value(self):
+        points = np.full(10, 7)
+        # Estimated count of 7 is population; F2 = population^2.
+        assert estimate_frequency_moment(points, 2, 1000) == (
+            pytest.approx(1_000_000.0)
+        )
+
+    def test_f2_skewed_stream_ballpark(self):
+        stream = zipf_stream(50_000, 500, 1.5, seed=1)
+        truth = frequency_moment(stream, 2)
+        rng = np.random.default_rng(2)
+        points = rng.choice(stream, size=2000, replace=False)
+        estimate = estimate_frequency_moment(points, 2, len(stream))
+        assert estimate == pytest.approx(truth, rel=0.3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            estimate_frequency_moment(np.empty(0), 2, 10)
+
+    def test_rejects_negative_population(self):
+        with pytest.raises(ValueError):
+            estimate_frequency_moment(np.arange(3), 2, -1)
+
+
+class TestSampleSizeGain:
+    def test_empty(self):
+        assert sample_size_gain(Counter(), 100) == 0.0
+
+    def test_single_value_max_gain(self):
+        assert sample_size_gain({7: 500}, 20) == pytest.approx(19.0)
+
+    def test_matches_theory_for_counter_input(self):
+        from repro.stats.theory import concise_gain_expected
+
+        counts = Counter({1: 30, 2: 20, 3: 10})
+        assert sample_size_gain(counts, 15) == pytest.approx(
+            concise_gain_expected([30, 20, 10], 15)
+        )
+
+    def test_gain_grows_with_skew(self):
+        uniform = Counter({v: 10 for v in range(100)})
+        skewed = Counter({1: 901, **{v: 1 for v in range(2, 101)}})
+        assert sample_size_gain(skewed, 50) > sample_size_gain(
+            uniform, 50
+        )
+
+    def test_rejects_negative_sample_size(self):
+        with pytest.raises(ValueError):
+            sample_size_gain({1: 1}, -1)
+
+    def test_ignores_nonpositive_counts(self):
+        assert sample_size_gain({1: 10, 2: 0}, 5) == pytest.approx(
+            sample_size_gain({1: 10}, 5)
+        )

@@ -1,0 +1,80 @@
+"""Unit tests for predicates and selectivity estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimators.selectivity import Predicate, estimate_selectivity
+from repro.streams import zipf_stream
+
+
+class TestPredicate:
+    def test_equality_mask(self):
+        predicate = Predicate(equals=3)
+        mask = predicate.mask(np.array([1, 3, 3, 5]))
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_range_mask_closed(self):
+        predicate = Predicate(low=2, high=4)
+        mask = predicate.mask(np.array([1, 2, 3, 4, 5]))
+        assert mask.tolist() == [False, True, True, True, False]
+
+    def test_open_ended_ranges(self):
+        values = np.array([1, 5, 10])
+        assert Predicate(low=5).mask(values).tolist() == [
+            False,
+            True,
+            True,
+        ]
+        assert Predicate(high=5).mask(values).tolist() == [
+            True,
+            True,
+            False,
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Predicate()
+        with pytest.raises(ValueError):
+            Predicate(equals=1, low=0)
+        with pytest.raises(ValueError):
+            Predicate(low=10, high=5)
+
+    def test_str(self):
+        assert str(Predicate(equals=7)) == "= 7"
+        assert "[2, 9]" in str(Predicate(low=2, high=9))
+        assert "-inf" in str(Predicate(high=9))
+
+
+class TestEstimateSelectivity:
+    def test_full_match(self):
+        points = np.arange(10)
+        estimate = estimate_selectivity(points, Predicate(low=0))
+        assert estimate.selectivity == 1.0
+
+    def test_no_match(self):
+        points = np.arange(10)
+        estimate = estimate_selectivity(points, Predicate(equals=99))
+        assert estimate.selectivity == 0.0
+
+    def test_interval_clipped_to_unit(self):
+        points = np.array([1, 1, 2])
+        estimate = estimate_selectivity(points, Predicate(equals=1))
+        assert 0.0 <= estimate.interval.low
+        assert estimate.interval.high <= 1.0
+
+    def test_accuracy_on_real_stream(self):
+        stream = zipf_stream(50_000, 1000, 1.0, seed=1)
+        truth = float((stream <= 50).mean())
+        rng = np.random.default_rng(2)
+        points = rng.choice(stream, size=1000, replace=False)
+        estimate = estimate_selectivity(points, Predicate(high=50))
+        assert estimate.selectivity == pytest.approx(truth, abs=0.05)
+        assert truth in estimate.interval or abs(
+            truth - estimate.selectivity
+        ) < 0.05
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(ValueError):
+            estimate_selectivity(np.empty(0), Predicate(equals=1))

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Examples are run in-process (import + main()) with their workload
+sizes patched down so the whole suite stays fast; what is being tested
+is that the public API usage in each script works, not the numbers.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+# Module-level constants to shrink per example file.
+_SHRINK = {
+    "quickstart.py": {"N": 30_000},
+    "hotlist_sales.py": {"TRANSACTIONS": 30_000, "CATALOGUE": 3_000},
+    "aqua_engine.py": {"ROWS": 20_000},
+    "deletion_workload.py": {"EVENTS": 20_000, "ENDPOINTS": 2_000},
+    "histogram_backing.py": {"N": 40_000, "DOMAIN": 4_000},
+    "association_rules.py": {"BASKETS": 15_000, "CATALOGUE": 600},
+    "query_optimizer.py": {"ROWS": 20_000},
+    "persistence.py": {"N": 40_000, "CHECKPOINT_AT": 25_000},
+}
+
+
+def _load_example(filename: str):
+    path = EXAMPLES_DIR / filename
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("filename", sorted(_SHRINK))
+def test_example_runs(filename, capsys):
+    module = _load_example(filename)
+    for constant, value in _SHRINK[filename].items():
+        assert hasattr(module, constant), (
+            f"{filename} lost its {constant} constant"
+        )
+        setattr(module, constant, value)
+    module.main()
+    output = capsys.readouterr().out
+    assert len(output.splitlines()) >= 5, "example printed too little"
+
+
+def test_every_example_is_covered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(_SHRINK), (
+        "examples changed: update the smoke-test table"
+    )

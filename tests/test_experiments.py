@@ -1,0 +1,127 @@
+"""Unit tests for the experiment drivers and CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    Profile,
+    active_profile,
+    figure3_scenario,
+    figure3_sweep,
+    hotlist_scenario,
+    print_series,
+)
+from repro.experiments.__main__ import main
+
+TINY = Profile("tiny", 5_000, 2, 1.0)
+
+
+class TestProfiles:
+    def test_full_matches_paper(self):
+        assert FULL_PROFILE.inserts == 500_000
+        assert FULL_PROFILE.trials == 5
+        assert FULL_PROFILE.zipf_step == 0.25
+
+    def test_active_profile_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert active_profile() == QUICK_PROFILE
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert active_profile() == FULL_PROFILE
+
+
+class TestFigure3Driver:
+    def test_scenario_has_all_algorithms(self):
+        point = figure3_scenario(64, 500, 1.0, TINY, master_seed=1)
+        assert set(point) == {
+            "traditional",
+            "concise online",
+            "concise offline",
+        }
+        assert point["traditional"].sample_size == 64
+        assert point["concise online"].sample_size > 0
+
+    def test_scenario_deterministic(self):
+        a = figure3_scenario(64, 500, 1.0, TINY, master_seed=2)
+        b = figure3_scenario(64, 500, 1.0, TINY, master_seed=2)
+        assert a == b
+
+    def test_sweep_shape(self):
+        series = figure3_sweep(
+            64, 500, [0.0, 1.0, 2.0], TINY, master_seed=3
+        )
+        assert len(series["concise online"]) == 3
+        sizes = [s.sample_size for s in series["concise online"]]
+        assert sizes[2] > sizes[0]
+
+
+class TestHotlistDriver:
+    def test_scenario_runs_all_four(self):
+        runs, truth = hotlist_scenario(64, 200, 1.5, 10, TINY, 4)
+        assert set(runs) == {
+            "full histogram",
+            "concise samples",
+            "counting samples",
+            "traditional samples",
+        }
+        assert runs["full histogram"].evaluation.recall == 1.0
+        assert truth.total == TINY.inserts
+
+    def test_head_error_populated(self):
+        runs, _ = hotlist_scenario(64, 200, 1.5, 10, TINY, 5)
+        for run in runs.values():
+            assert 0.0 <= run.head_error <= 1.5
+
+
+class TestPrintSeries:
+    def test_prints_title_header_rows(self, capsys):
+        print_series("demo", ["a", "b"], [[1, 2.5], ["x", 3]])
+        output = capsys.readouterr().out
+        assert "=== demo ===" in output
+        assert "2.500" in output
+        assert "x" in output
+
+
+class TestCli:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_figure4_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.__main__.QUICK_PROFILE", TINY
+        )
+        assert main(["figure4"]) == 0
+        output = capsys.readouterr().out
+        assert "figure4" in output
+        assert "counting" in output
+
+    def test_table2_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.__main__.QUICK_PROFILE", TINY
+        )
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert "traditional samples" in output
+
+    def test_figure3_panel_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.__main__.QUICK_PROFILE",
+            Profile("tiny", 3_000, 1, 1.5),
+        )
+        assert main(["figure3d"]) == 0
+        output = capsys.readouterr().out
+        assert "concise online" in output
+
+    def test_table1_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.__main__.QUICK_PROFILE",
+            Profile("tiny", 3_000, 1, 3.0),
+        )
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "lookups" in output

@@ -1,0 +1,78 @@
+"""Unit tests for hot-list accuracy evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hotlist.accuracy import evaluate_hotlist
+from repro.hotlist.base import HotListAnswer, HotListEntry
+from repro.stats.frequency import FrequencyTable
+
+
+def _truth() -> FrequencyTable:
+    table = FrequencyTable()
+    for value, count in [(1, 100), (2, 80), (3, 60), (4, 40), (5, 20)]:
+        for _ in range(count):
+            table.insert(value)
+    return table
+
+
+def _answer(pairs: list[tuple[int, float]], k: int = 3) -> HotListAnswer:
+    return HotListAnswer(
+        k=k,
+        entries=tuple(HotListEntry(v, c) for v, c in pairs),
+    )
+
+
+class TestEvaluateHotlist:
+    def test_perfect_answer(self):
+        answer = _answer([(1, 100.0), (2, 80.0), (3, 60.0)])
+        evaluation = evaluate_hotlist(answer, _truth())
+        assert evaluation.precision == 1.0
+        assert evaluation.recall == 1.0
+        assert evaluation.false_positives == 0
+        assert evaluation.false_negatives == 0
+        assert evaluation.top_prefix_correct == 3
+        assert evaluation.mean_count_error == 0.0
+
+    def test_false_negative_breaks_prefix(self):
+        answer = _answer([(1, 100.0), (3, 60.0)])  # missing rank 2
+        evaluation = evaluate_hotlist(answer, _truth())
+        assert evaluation.false_negatives == 1
+        assert evaluation.top_prefix_correct == 1
+        assert evaluation.recall == pytest.approx(2 / 3)
+
+    def test_false_positive_detected(self):
+        answer = _answer([(1, 100.0), (2, 80.0), (99, 50.0)])
+        evaluation = evaluate_hotlist(answer, _truth())
+        assert evaluation.false_positives == 1
+        assert evaluation.precision == pytest.approx(2 / 3)
+
+    def test_count_errors(self):
+        answer = _answer([(1, 110.0), (2, 80.0), (3, 60.0)])
+        evaluation = evaluate_hotlist(answer, _truth())
+        assert evaluation.mean_count_error == pytest.approx(0.1 / 3)
+        assert evaluation.max_count_error == pytest.approx(0.1)
+
+    def test_unreported_answer(self):
+        evaluation = evaluate_hotlist(_answer([], k=3), _truth())
+        assert evaluation.reported == 0
+        assert evaluation.recall == 0.0
+        assert evaluation.precision == 1.0
+        assert evaluation.top_prefix_correct == 0
+
+    def test_explicit_k_overrides(self):
+        answer = _answer([(1, 100.0)], k=3)
+        evaluation = evaluate_hotlist(answer, _truth(), k=1)
+        assert evaluation.k == 1
+        assert evaluation.recall == 1.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            evaluate_hotlist(_answer([]), _truth(), k=0)
+
+    def test_false_positive_counts_ignored_in_error(self):
+        """Count error is only over values that truly occur."""
+        answer = _answer([(1, 100.0), (99, 1000.0)])
+        evaluation = evaluate_hotlist(answer, _truth())
+        assert evaluation.mean_count_error == 0.0

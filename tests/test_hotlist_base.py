@@ -1,0 +1,73 @@
+"""Unit tests for hot-list answer types and shared helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hotlist.base import (
+    HotListAnswer,
+    HotListEntry,
+    kth_largest,
+    order_entries,
+)
+
+
+class TestHotListAnswer:
+    def test_empty(self):
+        answer = HotListAnswer(k=5)
+        assert len(answer) == 0
+        assert answer.values() == []
+        assert answer.as_dict() == {}
+
+    def test_iteration_and_length(self):
+        entries = (HotListEntry(1, 10.0), HotListEntry(2, 5.0))
+        answer = HotListAnswer(k=2, entries=entries)
+        assert len(answer) == 2
+        assert [entry.value for entry in answer] == [1, 2]
+
+    def test_values_in_order(self):
+        entries = (HotListEntry(9, 10.0), HotListEntry(4, 5.0))
+        assert HotListAnswer(k=2, entries=entries).values() == [9, 4]
+
+    def test_as_dict(self):
+        entries = (HotListEntry(9, 10.0),)
+        assert HotListAnswer(k=1, entries=entries).as_dict() == {9: 10.0}
+
+    def test_frozen(self):
+        answer = HotListAnswer(k=1)
+        with pytest.raises(AttributeError):
+            answer.k = 2  # type: ignore[misc]
+
+
+class TestKthLargest:
+    def test_basic(self):
+        assert kth_largest([5, 1, 9, 3], 2) == 5
+
+    def test_k_equals_length(self):
+        assert kth_largest([5, 1, 9], 3) == 1
+
+    def test_fewer_candidates_than_k(self):
+        assert kth_largest([5, 1], 3) == 0
+
+    def test_empty(self):
+        assert kth_largest([], 1) == 0
+
+    def test_duplicates(self):
+        assert kth_largest([4, 4, 4], 2) == 4
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            kth_largest([1], 0)
+
+
+class TestOrderEntries:
+    def test_orders_by_count_descending(self):
+        entries = order_entries({1: 5.0, 2: 9.0, 3: 7.0})
+        assert [entry.value for entry in entries] == [2, 3, 1]
+
+    def test_ties_break_to_smaller_value(self):
+        entries = order_entries({9: 5.0, 2: 5.0})
+        assert [entry.value for entry in entries] == [2, 9]
+
+    def test_empty(self):
+        assert order_entries({}) == ()

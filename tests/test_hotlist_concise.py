@@ -1,0 +1,97 @@
+"""Unit tests for the concise-sample hot-list algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hotlist.concise import ConciseHotList
+from repro.hotlist.traditional import TraditionalHotList
+from repro.stats.frequency import FrequencyTable
+from repro.streams import zipf_stream
+
+
+class TestReporting:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ConciseHotList(100, confidence_threshold=0)
+        reporter = ConciseHotList(100, seed=1)
+        with pytest.raises(ValueError):
+            reporter.report(0)
+
+    def test_empty_stream_reports_nothing(self):
+        assert len(ConciseHotList(100, seed=2).report(5)) == 0
+
+    def test_reports_hot_values_in_order(self):
+        stream = zipf_stream(50_000, 500, 1.5, seed=3)
+        reporter = ConciseHotList(1000, seed=4)
+        reporter.insert_array(stream)
+        answer = reporter.report(10)
+        estimates = [entry.estimated_count for entry in answer]
+        assert estimates == sorted(estimates, reverse=True)
+        assert answer.values()[0] == 1  # the true mode leads
+
+    def test_exact_mode_when_domain_fits(self):
+        """Domain <= m/2: the sample holds exact counts and estimates
+        equal truth."""
+        stream = zipf_stream(20_000, 40, 1.0, seed=5)
+        reporter = ConciseHotList(100, confidence_threshold=1, seed=6)
+        reporter.insert_array(stream)
+        truth = FrequencyTable(stream)
+        answer = reporter.report(5)
+        for entry in answer:
+            assert entry.estimated_count == pytest.approx(
+                truth.count(entry.value)
+            )
+
+    def test_count_estimates_close_on_skewed_data(self):
+        stream = zipf_stream(100_000, 5000, 1.5, seed=7)
+        reporter = ConciseHotList(1000, seed=8)
+        reporter.insert_array(stream)
+        truth = FrequencyTable(stream)
+        answer = reporter.report(10)
+        assert len(answer) >= 8
+        for entry in list(answer)[:5]:
+            true_count = truth.count(entry.value)
+            assert entry.estimated_count == pytest.approx(
+                true_count, rel=0.25
+            )
+
+    def test_at_most_k(self):
+        stream = zipf_stream(50_000, 200, 1.2, seed=9)
+        reporter = ConciseHotList(400, seed=10)
+        reporter.insert_array(stream)
+        assert len(reporter.report(7)) <= 7
+
+    def test_more_accurate_than_traditional_on_average(self):
+        """The headline claim: at equal footprint, concise beats
+        traditional on skewed data (more true top-k values found)."""
+        stream = zipf_stream(100_000, 5000, 1.25, seed=11)
+        truth = set(v for v, _ in FrequencyTable(stream).top_k(20))
+        concise_hits = 0
+        traditional_hits = 0
+        for trial in range(5):
+            concise = ConciseHotList(500, seed=100 + trial)
+            concise.insert_array(stream)
+            concise_hits += len(
+                set(concise.report(20).values()) & truth
+            )
+            traditional = TraditionalHotList(500, seed=200 + trial)
+            traditional.insert_array(stream)
+            traditional_hits += len(
+                set(traditional.report(20).values()) & truth
+            )
+        assert concise_hits > traditional_hits
+
+    def test_footprint_delegation(self):
+        reporter = ConciseHotList(64, seed=12)
+        reporter.insert_array(zipf_stream(10_000, 1000, 1.0, seed=13))
+        assert reporter.footprint <= 64
+        assert reporter.footprint_bound == 64
+
+    def test_sample_size_advantage_visible(self):
+        stream = zipf_stream(100_000, 5000, 1.5, seed=14)
+        reporter = ConciseHotList(1000, seed=15)
+        reporter.insert_array(stream)
+        # Figure-4-style check: sample-size well above footprint.
+        assert reporter.sample.sample_size > 3 * 1000

@@ -1,0 +1,115 @@
+"""Tests for the "report all with confidence" mode (Section 5.2).
+
+The paper's accuracy analysis (Theorems 7 and 8) is about queries of
+the form "report all pairs that can be reported with confidence".
+These tests validate the reporting mode itself and then check Theorem
+7's false-positive/negative rates empirically across repeated runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hotlist.concise import ConciseHotList
+from repro.hotlist.counting import CountingHotList
+from repro.stats.frequency import FrequencyTable
+from repro.stats.theory import (
+    hotlist_false_positive_bound,
+    hotlist_report_probability,
+)
+from repro.streams import zipf_stream
+
+
+class TestReportingMode:
+    def test_empty(self):
+        assert len(ConciseHotList(10, seed=1).report_all_confident()) == 0
+        assert len(CountingHotList(10, seed=2).report_all_confident()) == 0
+
+    def test_no_rank_cutoff(self):
+        """All values above theta are reported, however many."""
+        reporter = ConciseHotList(1000, confidence_threshold=1, seed=3)
+        reporter.insert_array(zipf_stream(5000, 50, 0.5, seed=4))
+        # Exact regime (domain fits): every distinct value reported.
+        answer = reporter.report_all_confident()
+        assert len(answer) == 50
+
+    def test_theta_respected(self):
+        reporter = ConciseHotList(1000, confidence_threshold=3, seed=5)
+        reporter.insert_array(np.arange(400))  # all singletons
+        assert len(reporter.report_all_confident()) == 0
+
+    def test_counting_exact_regime_reports_all(self):
+        reporter = CountingHotList(1000, seed=6)
+        reporter.insert_array(zipf_stream(5000, 50, 1.0, seed=7))
+        assert reporter.sample.threshold == 1.0
+        answer = reporter.report_all_confident()
+        assert len(answer) == 50
+
+    def test_superset_of_topk_report(self):
+        stream = zipf_stream(50_000, 2000, 1.3, seed=8)
+        reporter = ConciseHotList(500, seed=9)
+        reporter.insert_array(stream)
+        top_k = set(reporter.report(10).values())
+        confident = set(reporter.report_all_confident().values())
+        assert top_k <= confident
+
+
+class TestTheorem7Empirically:
+    """Monte-carlo check of the Theorem-7 guarantees for the
+    confidence-only report."""
+
+    THETA = 3
+    TRIALS = 120
+
+    def _run_trials(self, frequency: int, filler_domain: int = 4000):
+        """Return how often a value with the given frequency was
+        reported, along with the mean final threshold."""
+        reported = 0
+        thresholds = []
+        base = zipf_stream(40_000, filler_domain, 0.0, seed=77) + 10
+        stream = np.concatenate([base[:20_000], np.full(frequency, 1),
+                                 base[20_000:]])
+        for trial in range(self.TRIALS):
+            reporter = ConciseHotList(
+                300,
+                confidence_threshold=self.THETA,
+                seed=10_000 + trial,
+            )
+            reporter.insert_array(stream)
+            thresholds.append(reporter.sample.threshold)
+            if 1 in reporter.report_all_confident().values():
+                reported += 1
+        return reported / self.TRIALS, float(np.mean(thresholds))
+
+    def test_frequent_values_reported(self):
+        """Theorem 7(1): f_v >= theta*tau/(1-delta) is reported with
+        probability >= 1 - exp(-theta delta^2 / (2(1-delta)))."""
+        # First measure the typical threshold of this scenario.
+        _, tau = self._run_trials(frequency=1)
+        delta = 0.5
+        frequency = int(self.THETA * tau / (1 - delta)) + 1
+        rate, _ = self._run_trials(frequency)
+        lower_bound = hotlist_report_probability(self.THETA, delta)
+        assert rate >= lower_bound - 0.1
+
+    def test_infrequent_values_rarely_reported(self):
+        """Theorem 7(2): f_v <= theta*tau/(1+delta) is reported with
+        probability < exp(-theta delta^2 / (3(1+delta)))."""
+        _, tau = self._run_trials(frequency=1)
+        delta = 0.9
+        frequency = max(1, int(self.THETA * tau / (1 + delta)) - 1)
+        rate, _ = self._run_trials(frequency)
+        upper_bound = hotlist_false_positive_bound(self.THETA, delta)
+        assert rate <= upper_bound + 0.1
+
+    def test_counting_confident_report_precision(self):
+        """Counting-sample confident reports should essentially never
+        contain values below the Theorem-8 floor."""
+        stream = zipf_stream(60_000, 3000, 1.1, seed=11)
+        truth = FrequencyTable(stream)
+        reporter = CountingHotList(400, seed=12)
+        reporter.insert_array(stream)
+        floor = 0.582 * reporter.sample.threshold
+        for value in reporter.report_all_confident().values():
+            assert truth.count(value) >= floor * 0.99

@@ -1,0 +1,134 @@
+"""Unit tests for the counting-sample hot-list algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hotlist.concise import ConciseHotList
+from repro.hotlist.counting import CountingHotList
+from repro.stats.frequency import FrequencyTable
+from repro.stats.theory import compensation_constant
+from repro.streams import insert_delete_stream, replay, zipf_stream
+
+
+class TestReporting:
+    def test_rejects_bad_k(self):
+        reporter = CountingHotList(100, seed=1)
+        with pytest.raises(ValueError):
+            reporter.report(0)
+
+    def test_empty_stream_reports_nothing(self):
+        assert len(CountingHotList(100, seed=2).report(5)) == 0
+
+    def test_exact_mode_at_threshold_one(self):
+        """While everything fits, answers are exact with no
+        compensation."""
+        stream = zipf_stream(20_000, 40, 1.2, seed=3)
+        reporter = CountingHotList(100, seed=4)
+        reporter.insert_array(stream)
+        assert reporter.sample.threshold == 1.0
+        truth = FrequencyTable(stream)
+        for entry in reporter.report(5):
+            assert entry.estimated_count == pytest.approx(
+                truth.count(entry.value)
+            )
+
+    def test_compensation_clamped_nonnegative(self):
+        reporter = CountingHotList(100, seed=5)
+        reporter.insert(1)
+        assert reporter.compensation() == 0.0
+
+    def test_compensation_tracks_threshold(self):
+        stream = zipf_stream(100_000, 5000, 1.0, seed=6)
+        reporter = CountingHotList(500, seed=7)
+        reporter.insert_array(stream)
+        tau = reporter.sample.threshold
+        assert tau > 1.0
+        assert reporter.compensation() == pytest.approx(
+            compensation_constant(tau)
+        )
+
+    def test_estimates_augmented_by_compensation(self):
+        stream = zipf_stream(100_000, 5000, 1.25, seed=8)
+        reporter = CountingHotList(1000, seed=9)
+        reporter.insert_array(stream)
+        compensation = reporter.compensation()
+        answer = reporter.report(10)
+        raw = reporter.sample.as_dict()
+        for entry in answer:
+            assert entry.estimated_count == pytest.approx(
+                raw[entry.value] + compensation
+            )
+
+    def test_most_accurate_of_the_three(self):
+        """Counting beats concise on count accuracy (paper Figures
+        4-6): the error is only the pre-admission prefix."""
+        stream = zipf_stream(100_000, 5000, 1.25, seed=10)
+        truth = FrequencyTable(stream)
+
+        def mean_error(reporter) -> float:
+            reporter.insert_array(stream)
+            answer = reporter.report(10)
+            errors = [
+                abs(entry.estimated_count - truth.count(entry.value))
+                / truth.count(entry.value)
+                for entry in answer
+                if truth.count(entry.value)
+            ]
+            return float(np.mean(errors)) if errors else 1.0
+
+        counting_errors = [
+            mean_error(CountingHotList(1000, seed=300 + trial))
+            for trial in range(3)
+        ]
+        concise_errors = [
+            mean_error(ConciseHotList(1000, seed=400 + trial))
+            for trial in range(3)
+        ]
+        assert np.mean(counting_errors) < np.mean(concise_errors)
+
+    def test_at_most_k(self):
+        stream = zipf_stream(50_000, 500, 1.5, seed=11)
+        reporter = CountingHotList(300, seed=12)
+        reporter.insert_array(stream)
+        assert len(reporter.report(6)) <= 6
+
+    def test_infrequent_values_never_reported(self):
+        """Theorem 8(i): values below 0.582 tau cannot be reported."""
+        stream = zipf_stream(100_000, 10_000, 1.0, seed=13)
+        reporter = CountingHotList(500, seed=14)
+        reporter.insert_array(stream)
+        truth = FrequencyTable(stream)
+        cutoff = 0.582 * reporter.sample.threshold
+        for entry in reporter.report(50):
+            assert truth.count(entry.value) >= cutoff * 0.999
+
+
+class TestDeletions:
+    def test_hotlist_correct_after_deletions(self):
+        """Deleting most of a hot value's occurrences must demote it."""
+        reporter = CountingHotList(50, seed=15)
+        for _ in range(100):
+            reporter.insert(1)
+        for _ in range(50):
+            reporter.insert(2)
+        for _ in range(95):
+            reporter.delete(1)
+        answer = reporter.report(1)
+        assert answer.values() == [2]
+
+    def test_mixed_stream_bound_respected(self):
+        values = zipf_stream(20_000, 2000, 1.0, seed=16)
+        operations = insert_delete_stream(values, 0.3, seed=17)
+        reporter = CountingHotList(100, seed=18)
+        replay(operations, reporter.sample)
+        assert reporter.footprint <= 100
+        reporter.sample.check_invariants()
+        reporter.report(10)  # must not raise
+
+    def test_footprint_delegation(self):
+        reporter = CountingHotList(64, seed=19)
+        reporter.insert_array(zipf_stream(10_000, 1000, 1.0, seed=20))
+        assert reporter.footprint <= 64
+        assert reporter.footprint_bound == 64

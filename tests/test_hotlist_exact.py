@@ -1,0 +1,73 @@
+"""Unit tests for the full-histogram exact baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hotlist.exact import FullHistogramHotList
+from repro.stats.frequency import FrequencyTable
+from repro.streams import zipf_stream
+
+
+class TestExactness:
+    def test_reports_exact_top_k(self):
+        stream = zipf_stream(20_000, 500, 1.3, seed=1)
+        baseline = FullHistogramHotList(1000)
+        baseline.insert_array(stream)
+        truth = FrequencyTable(stream)
+        answer = baseline.report(10)
+        assert [
+            (entry.value, entry.estimated_count) for entry in answer
+        ] == [(v, float(c)) for v, c in truth.top_k(10)]
+
+    def test_exact_count(self):
+        baseline = FullHistogramHotList(100)
+        baseline.insert_many([5, 5, 7])
+        assert baseline.exact_count(5) == 2
+        assert baseline.exact_count(99) == 0
+
+    def test_synopsis_capacity_limits_k(self):
+        """Only m/2 pairs fit in the in-engine synopsis copy."""
+        baseline = FullHistogramHotList(10)  # capacity 5 pairs
+        baseline.insert_array(np.repeat(np.arange(1, 21), 3))
+        assert len(baseline.report(20)) == 5
+
+    def test_deletes(self):
+        baseline = FullHistogramHotList(100)
+        baseline.insert_many([1, 1, 2])
+        baseline.delete(1)
+        assert baseline.exact_count(1) == 1
+        with pytest.raises(KeyError):
+            baseline.delete(42)
+
+
+class TestCostModel:
+    def test_every_update_costs_a_disk_access(self):
+        baseline = FullHistogramHotList(100)
+        baseline.insert_many(range(50))
+        baseline.delete(0)
+        assert baseline.counters.disk_accesses == 51
+
+    def test_bulk_path_charges_per_row(self):
+        baseline = FullHistogramHotList(100)
+        baseline.insert_array(np.arange(1000))
+        assert baseline.counters.disk_accesses == 1000
+
+    def test_disk_footprint_scales_with_distinct(self):
+        baseline = FullHistogramHotList(100)
+        baseline.insert_array(np.arange(500))
+        assert baseline.disk_footprint == 1000  # two words per value
+
+    def test_rejects_tiny_footprint(self):
+        with pytest.raises(ValueError):
+            FullHistogramHotList(1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            FullHistogramHotList(10).report(0)
+
+    def test_truth_accessor(self):
+        baseline = FullHistogramHotList(10)
+        baseline.insert_many([1, 1])
+        assert baseline.truth().count(1) == 2

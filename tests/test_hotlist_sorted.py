@@ -1,0 +1,107 @@
+"""Unit tests for the sorted (O(k)-reporting) concise hot list."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hotlist.concise import ConciseHotList
+from repro.hotlist.sorted_concise import SortedConciseHotList, _CountIndex
+from repro.streams import zipf_stream
+
+
+class TestCountIndex:
+    def test_move_and_top(self):
+        index = _CountIndex()
+        index.move(1, 0, 1)
+        index.move(2, 0, 1)
+        index.move(1, 1, 2)
+        assert list(index.top(10, 1)) == [(1, 2), (2, 1)]
+
+    def test_minimum_count_cutoff(self):
+        index = _CountIndex()
+        index.move(1, 0, 5)
+        index.move(2, 0, 2)
+        assert list(index.top(10, 3)) == [(1, 5)]
+
+    def test_k_limit(self):
+        index = _CountIndex()
+        for value in range(10):
+            index.move(value, 0, 1)
+        assert len(list(index.top(4, 1))) == 4
+
+    def test_rebuild(self):
+        index = _CountIndex()
+        index.rebuild({1: 3, 2: 3, 3: 1})
+        assert list(index.top(10, 1)) == [(1, 3), (2, 3), (3, 1)]
+
+    def test_remove_via_zero(self):
+        index = _CountIndex()
+        index.move(1, 0, 2)
+        index.move(1, 2, 0)
+        assert list(index.top(10, 1)) == []
+
+
+class TestSortedConciseHotList:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SortedConciseHotList(100, confidence_threshold=0)
+        with pytest.raises(ValueError):
+            SortedConciseHotList(100, seed=1).report(0)
+
+    def test_empty(self):
+        assert len(SortedConciseHotList(100, seed=1).report(5)) == 0
+
+    def test_index_stays_in_sync(self):
+        reporter = SortedConciseHotList(64, seed=2)
+        stream = zipf_stream(20_000, 2000, 1.0, seed=3)
+        for i, value in enumerate(stream.tolist()):
+            reporter.insert(value)
+            if i % 2_500 == 0:
+                reporter.check_index()
+        reporter.check_index()
+
+    def test_matches_unsorted_reporter_distribution(self):
+        """Same seed => same underlying sample => same report set
+        (up to the top-k truncation at rank ties)."""
+        stream = zipf_stream(30_000, 500, 1.5, seed=4)
+        sorted_reporter = SortedConciseHotList(200, seed=5)
+        plain_reporter = ConciseHotList(200, seed=5)
+        sorted_reporter.insert_array(stream)
+        plain_reporter.insert_array(stream)
+        k = 10
+        sorted_answer = sorted_reporter.report(k)
+        plain_answer = plain_reporter.report(k)
+        assert sorted_answer.values() == plain_answer.values()[: len(
+            sorted_answer
+        )]
+        assert sorted_answer.as_dict() == {
+            v: plain_answer.as_dict()[v]
+            for v in sorted_answer.values()
+        }
+
+    def test_report_at_most_k(self):
+        reporter = SortedConciseHotList(200, seed=6)
+        reporter.insert_array(zipf_stream(30_000, 300, 1.5, seed=7))
+        assert len(reporter.report(7)) <= 7
+
+    def test_confidence_threshold_respected(self):
+        reporter = SortedConciseHotList(
+            300, confidence_threshold=3, seed=8
+        )
+        reporter.insert_array(np.arange(100))  # all singletons
+        assert len(reporter.report(10)) == 0
+
+    def test_estimates_ordered(self):
+        reporter = SortedConciseHotList(200, seed=9)
+        reporter.insert_array(zipf_stream(30_000, 300, 1.2, seed=10))
+        estimates = [
+            entry.estimated_count for entry in reporter.report(15)
+        ]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_footprint_delegation(self):
+        reporter = SortedConciseHotList(64, seed=11)
+        reporter.insert_array(zipf_stream(5000, 1000, 1.0, seed=12))
+        assert reporter.footprint <= 64
+        assert reporter.footprint_bound == 64

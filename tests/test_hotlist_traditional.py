@@ -1,0 +1,85 @@
+"""Unit tests for the traditional-sample hot-list algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hotlist.traditional import TraditionalHotList
+from repro.streams import zipf_stream
+
+
+class TestReporting:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TraditionalHotList(100, confidence_threshold=0)
+        reporter = TraditionalHotList(100, seed=1)
+        with pytest.raises(ValueError):
+            reporter.report(0)
+
+    def test_empty_stream_reports_nothing(self):
+        reporter = TraditionalHotList(100, seed=2)
+        assert len(reporter.report(5)) == 0
+
+    def test_confidence_threshold_filters_rare(self):
+        """Values with fewer than theta sample points are never
+        reported."""
+        reporter = TraditionalHotList(100, confidence_threshold=3, seed=3)
+        reporter.insert_array(np.arange(100))  # fill: all distinct
+        # Every sample count is 1 < theta: nothing reported.
+        assert len(reporter.report(10)) == 0
+
+    def test_reports_hot_value(self):
+        stream = zipf_stream(50_000, 500, 2.0, seed=4)
+        reporter = TraditionalHotList(1000, seed=5)
+        reporter.insert_array(stream)
+        answer = reporter.report(5)
+        assert 1 in answer.values()
+
+    def test_counts_scaled_by_n_over_m(self):
+        """With a pure single-value stream the estimate is ~n."""
+        reporter = TraditionalHotList(100, seed=6)
+        n = 10_000
+        reporter.insert_array(np.full(n, 7))
+        answer = reporter.report(1)
+        assert answer.as_dict()[7] == pytest.approx(n)
+
+    def test_at_most_k_reported(self):
+        stream = zipf_stream(50_000, 100, 1.5, seed=7)
+        reporter = TraditionalHotList(1000, seed=8)
+        reporter.insert_array(stream)
+        for k in (1, 3, 10):
+            assert len(reporter.report(k)) <= k
+
+    def test_fewer_than_k_on_uniform_data(self):
+        """Near-uniform data yields almost no reportable values
+        (Section 5.2's inevitability discussion)."""
+        stream = zipf_stream(100_000, 50_000, 0.0, seed=9)
+        reporter = TraditionalHotList(1000, seed=10)
+        reporter.insert_array(stream)
+        assert len(reporter.report(20)) < 20
+
+    def test_estimates_nonincreasing(self):
+        stream = zipf_stream(30_000, 200, 1.5, seed=11)
+        reporter = TraditionalHotList(500, seed=12)
+        reporter.insert_array(stream)
+        estimates = [e.estimated_count for e in reporter.report(10)]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_quantised_counts(self):
+        """Reported counts are multiples of n/m -- the 'horizontal
+        rows' artifact the paper shows in Figure 5."""
+        n, m = 50_000, 1000
+        stream = zipf_stream(n, 5000, 1.0, seed=13)
+        reporter = TraditionalHotList(m, seed=14)
+        reporter.insert_array(stream)
+        quantum = n / m
+        for entry in reporter.report(30):
+            ratio = entry.estimated_count / quantum
+            assert ratio == pytest.approx(round(ratio))
+
+    def test_footprint_delegation(self):
+        reporter = TraditionalHotList(64, seed=15)
+        reporter.insert_array(np.arange(1000))
+        assert reporter.footprint == 64
+        assert reporter.footprint_bound == 64

@@ -1,0 +1,204 @@
+"""Cross-module integration tests: small-scale paper-shape checks.
+
+The full paper-profile reproductions live in ``benchmarks/``; these
+tests assert the same qualitative shapes at a scale that runs in
+seconds, so a regression in any component that would bend a figure is
+caught by ``pytest tests/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConciseSample,
+    CountingSample,
+    ReservoirSample,
+    offline_concise_sample,
+)
+from repro.hotlist import (
+    ConciseHotList,
+    CountingHotList,
+    FullHistogramHotList,
+    TraditionalHotList,
+    evaluate_hotlist,
+)
+from repro.stats.frequency import FrequencyTable
+from repro.stats.theory import exponential_sample_size_bound
+from repro.streams import exponential_stream, zipf_stream
+
+N = 100_000
+FOOTPRINT = 500
+
+
+class TestFigure3Shape:
+    """Sample-size vs skew: concise >> traditional at high skew, online
+    within a modest factor of offline."""
+
+    @pytest.mark.parametrize("skew", [0.0, 1.0, 2.0])
+    def test_concise_at_least_traditional(self, skew):
+        stream = zipf_stream(N, 5000, skew, seed=1)
+        concise = ConciseSample(FOOTPRINT, seed=2)
+        concise.insert_array(stream)
+        # Traditional sample-size == footprint by definition.
+        assert concise.sample_size >= FOOTPRINT * 0.8
+
+    def test_gain_grows_with_skew(self):
+        sizes = []
+        for skew in (0.0, 1.0, 1.5, 2.0):
+            stream = zipf_stream(N, 5000, skew, seed=3)
+            concise = ConciseSample(FOOTPRINT, seed=4)
+            concise.insert_array(stream)
+            sizes.append(concise.sample_size)
+        assert sizes[0] < sizes[1] < sizes[2] < sizes[3]
+        # Orders of magnitude at high skew (paper: up to 3 orders).
+        assert sizes[3] > 20 * FOOTPRINT
+
+    def test_online_within_paper_band_of_offline(self):
+        """Paper: online within 15% of offline for footprint 1000 and
+        within 28% for footprint 100; give a little slack for the
+        smaller stream used here."""
+        stream = zipf_stream(N, 5000, 1.5, seed=5)
+        online_sizes, offline_sizes = [], []
+        for trial in range(5):
+            online = ConciseSample(FOOTPRINT, seed=10 + trial)
+            online.insert_array(stream)
+            online_sizes.append(online.sample_size)
+            offline_sizes.append(
+                offline_concise_sample(
+                    stream, FOOTPRINT, seed=20 + trial
+                ).sample_size
+            )
+        ratio = np.mean(online_sizes) / np.mean(offline_sizes)
+        assert ratio > 0.6
+        assert ratio <= 1.02
+
+
+class TestTable1Shape:
+    """Update overheads: flips and lookups per insert are small and
+    grow with skew (until the all-fits regime)."""
+
+    def test_overheads_small_and_monotone_at_moderate_skew(self):
+        rates = []
+        for skew in (0.0, 1.0, 1.5):
+            stream = zipf_stream(N, 5000, skew, seed=6)
+            sample = ConciseSample(1000, seed=7)
+            sample.insert_array(stream)
+            rates.append(
+                (
+                    sample.counters.flips_per_insert(),
+                    sample.counters.lookups_per_insert(),
+                )
+            )
+        assert rates[0][0] < rates[1][0] < rates[2][0]
+        assert rates[0][0] < 0.1  # paper: 0.023 at 500K
+        assert rates[2][1] < 0.5
+
+    def test_all_fits_regime_one_lookup_zero_flips(self):
+        """High skew, D/m <= 1/2 effectively: once every value is held,
+        lookups -> 1 and flips -> 0 per insert (paper Table 1, zipf >=
+        2.25)."""
+        stream = zipf_stream(N, 400, 3.0, seed=8)
+        sample = ConciseSample(1000, seed=9)
+        counters_before = sample.counters.snapshot()
+        sample.insert_array(stream)
+        assert sample.threshold == 1.0
+        delta = sample.counters - counters_before
+        assert delta.flips == 0
+        assert delta.lookups == N
+
+
+class TestFigures456Shape:
+    """Hot-list accuracy ordering: full histogram >= counting >=
+    concise >= traditional."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        stream = zipf_stream(N, 1000, 1.25, seed=10)
+        truth = FrequencyTable(stream)
+        return stream, truth
+
+    def _evaluate(self, reporter, stream, truth, k=20):
+        reporter.insert_array(stream)
+        return evaluate_hotlist(reporter.report(k), truth, k)
+
+    def test_accuracy_ordering(self, scenario):
+        stream, truth = scenario
+        exact = self._evaluate(
+            FullHistogramHotList(FOOTPRINT), stream, truth
+        )
+        counting = self._evaluate(
+            CountingHotList(FOOTPRINT, seed=11), stream, truth
+        )
+        concise = self._evaluate(
+            ConciseHotList(FOOTPRINT, seed=12), stream, truth
+        )
+        traditional = self._evaluate(
+            TraditionalHotList(FOOTPRINT, seed=13), stream, truth
+        )
+        assert exact.recall == 1.0
+        assert counting.recall >= concise.recall - 0.101
+        assert concise.recall > traditional.recall
+        assert counting.mean_count_error <= concise.mean_count_error
+        assert concise.mean_count_error < traditional.mean_count_error
+
+    def test_overhead_ordering(self, scenario):
+        """Table 2 shape: traditional cheapest, counting most
+        expensive (lookups dominate)."""
+        stream, _ = scenario
+        traditional = TraditionalHotList(FOOTPRINT, seed=14)
+        concise = ConciseHotList(FOOTPRINT, seed=15)
+        counting = CountingHotList(FOOTPRINT, seed=16)
+        for reporter in (traditional, concise, counting):
+            reporter.insert_array(stream)
+        assert (
+            traditional.counters.lookups
+            < concise.counters.lookups
+            < counting.counters.lookups
+        )
+        assert counting.counters.lookups == N
+
+    def test_concise_sample_size_multiplier(self, scenario):
+        """Paper Figure 6 commentary: concise sample-size ~3.5x the
+        traditional at zipf 1.25."""
+        stream, _ = scenario
+        concise = ConciseHotList(FOOTPRINT, seed=17)
+        concise.insert_array(stream)
+        multiplier = concise.sample.sample_size / FOOTPRINT
+        assert 2.0 < multiplier < 8.0
+
+
+class TestTheorem3Empirical:
+    def test_exponential_distribution_sample_size(self):
+        """Theorem 3: expected sample-size >= alpha^(m/2) on the
+        exponential family (footprint small enough to check)."""
+        alpha = 1.4
+        footprint = 24
+        bound = exponential_sample_size_bound(alpha, footprint)
+        stream = exponential_stream(N, alpha, seed=18)
+        sizes = []
+        for trial in range(5):
+            sample = ConciseSample(footprint, seed=30 + trial)
+            sample.insert_array(stream)
+            sizes.append(sample.sample_size)
+        assert np.mean(sizes) >= bound * 0.5  # generous: finite n
+
+
+class TestDeletionWorkload:
+    def test_counting_hotlist_tracks_shifted_distribution(self):
+        """After deleting the old hot values, the new hot values must
+        surface -- the newly-popular detection problem of Section 1.2."""
+        reporter = CountingHotList(200, seed=19)
+        hot_phase = zipf_stream(30_000, 500, 1.5, seed=20)
+        reporter.insert_array(hot_phase)
+        # Delete most occurrences of the old mode.
+        old_mode_count = int(np.count_nonzero(hot_phase == 1))
+        for _ in range(old_mode_count - 5):
+            reporter.delete(1)
+        # Insert a new hot value.
+        for _ in range(5000):
+            reporter.insert(499)
+        answer = reporter.report(5)
+        assert 499 in answer.values()
+        assert answer.values()[0] == 499

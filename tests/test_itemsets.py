@@ -1,0 +1,220 @@
+"""Unit tests for k-itemset hot lists and association rules."""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+
+import pytest
+
+from repro.itemsets.encoding import decode_itemset, encode_itemset
+from repro.itemsets.hotlist import ItemsetHotList
+from repro.itemsets.rules import derive_rules
+from repro.itemsets.transactions import BasketGenerator
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        for itemset in [(1,), (1, 2), (5, 9, 1000), (1, 2, 3, 4, 5)]:
+            assert decode_itemset(encode_itemset(itemset)) == itemset
+
+    def test_sizes_never_collide(self):
+        assert encode_itemset((1, 2)) != encode_itemset((1, 2, 3))
+        # A pair can't alias a singleton with a big id.
+        pairs = {encode_itemset(p) for p in combinations(range(1, 20), 2)}
+        singles = {encode_itemset((i,)) for i in range(1, 400)}
+        assert not pairs & singles
+
+    def test_distinct_itemsets_distinct_codes(self):
+        codes = {
+            encode_itemset(p) for p in combinations(range(1, 30), 3)
+        }
+        assert len(codes) == len(list(combinations(range(1, 30), 3)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            encode_itemset(())
+        with pytest.raises(ValueError):
+            encode_itemset((2, 1))  # not increasing
+        with pytest.raises(ValueError):
+            encode_itemset((1, 1))  # duplicate
+        with pytest.raises(ValueError):
+            encode_itemset((0,))  # out of range
+        with pytest.raises(ValueError):
+            decode_itemset(0)
+
+
+class TestBasketGenerator:
+    def test_baskets_sorted_distinct(self):
+        generator = BasketGenerator(100, seed=1)
+        for basket in generator.baskets(200):
+            assert list(basket) == sorted(set(basket))
+
+    def test_reproducible(self):
+        a = list(BasketGenerator(100, seed=2).baskets(50))
+        b = list(BasketGenerator(100, seed=2).baskets(50))
+        assert a == b
+
+    def test_planted_itemset_support(self):
+        generator = BasketGenerator(
+            200, planted=[((5, 6), 0.2)], seed=3
+        )
+        hits = sum(
+            {5, 6} <= set(basket) for basket in generator.baskets(10_000)
+        )
+        assert hits / 10_000 == pytest.approx(0.2, abs=0.04)
+
+    def test_expected_support_lookup(self):
+        generator = BasketGenerator(
+            100, planted=[((3, 9), 0.1)], seed=4
+        )
+        assert generator.expected_support((9, 3)) == 0.1
+        assert generator.expected_support((1, 2)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BasketGenerator(0)
+        with pytest.raises(ValueError):
+            BasketGenerator(10, planted=[((1, 2), 1.5)])
+        with pytest.raises(ValueError):
+            BasketGenerator(10, planted=[((1, 1), 0.1)])
+        with pytest.raises(ValueError):
+            BasketGenerator(10, planted=[((99,), 0.1)])
+        with pytest.raises(ValueError):
+            BasketGenerator(10, basket_size_mean=0.5)
+
+
+class TestItemsetHotList:
+    def test_exact_while_small(self):
+        """With a roomy footprint the synopsis counts pairs exactly."""
+        baskets = [(1, 2, 3), (1, 2), (2, 3), (1, 2, 3)]
+        hotlist = ItemsetHotList(2, 1000, seed=1)
+        hotlist.observe_many(baskets)
+        truth = Counter()
+        for basket in baskets:
+            truth.update(combinations(basket, 2))
+        for pair, count in truth.items():
+            assert hotlist.estimated_count(pair) == count
+
+    def test_short_baskets_skipped(self):
+        hotlist = ItemsetHotList(3, 100, seed=2)
+        hotlist.observe((1, 2))  # too small for triples
+        assert hotlist.itemsets_observed == 0
+        assert hotlist.baskets_observed == 1
+
+    def test_planted_pairs_surface(self):
+        generator = BasketGenerator(
+            500,
+            planted=[((10, 20), 0.15), ((30, 40), 0.10)],
+            seed=3,
+        )
+        hotlist = ItemsetHotList(2, 400, seed=4)
+        hotlist.observe_many(generator.baskets(15_000))
+        top = [itemset for itemset, _ in hotlist.report_itemsets(5)]
+        assert (10, 20) in top
+        assert (30, 40) in top
+
+    def test_support_estimate(self):
+        generator = BasketGenerator(
+            300, planted=[((7, 8), 0.25)], seed=5
+        )
+        hotlist = ItemsetHotList(2, 500, seed=6)
+        hotlist.observe_many(generator.baskets(10_000))
+        # Planted support is a lower bound (background co-occurrence
+        # adds a little).
+        assert hotlist.support((7, 8)) == pytest.approx(0.25, abs=0.06)
+
+    def test_footprint_bounded(self):
+        generator = BasketGenerator(2000, skew=0.3, seed=7)
+        hotlist = ItemsetHotList(2, 100, seed=8)
+        hotlist.observe_many(generator.baskets(5_000))
+        assert hotlist.footprint <= 100
+        hotlist.sample.check_invariants()
+
+    def test_basket_truncation_guard(self):
+        hotlist = ItemsetHotList(2, 100, max_basket_items=5, seed=9)
+        hotlist.observe(tuple(range(1, 101)))
+        # C(5, 2) = 10 itemsets, not C(100, 2).
+        assert hotlist.itemsets_observed == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ItemsetHotList(0, 100)
+        with pytest.raises(ValueError):
+            ItemsetHotList(3, 100, max_basket_items=2)
+        with pytest.raises(ValueError):
+            ItemsetHotList(2, 100, seed=1).report(0)
+
+
+class TestAssociationRules:
+    @pytest.fixture(scope="class")
+    def hotlists(self):
+        generator = BasketGenerator(
+            400,
+            planted=[((10, 20), 0.2), ((10, 30), 0.05)],
+            seed=10,
+        )
+        pairs = ItemsetHotList(2, 600, seed=11)
+        items = ItemsetHotList(1, 600, seed=12)
+        for basket in generator.baskets(20_000):
+            pairs.observe(basket)
+            items.observe(basket)
+        return pairs, items
+
+    def test_planted_rule_found(self, hotlists):
+        pairs, items = hotlists
+        rules = derive_rules(
+            pairs, items, min_support=0.1, min_confidence=0.2
+        )
+        endpoints = {
+            (rule.antecedent, rule.consequent) for rule in rules
+        }
+        assert ((20,), (10,)) in endpoints
+
+    def test_confidence_in_unit_interval(self, hotlists):
+        pairs, items = hotlists
+        for rule in derive_rules(
+            pairs, items, min_support=0.0, min_confidence=0.0
+        ):
+            assert 0.0 <= rule.confidence <= 1.0
+            assert rule.support >= 0.0
+
+    def test_confidence_close_to_truth(self, hotlists):
+        pairs, items = hotlists
+        rules = derive_rules(
+            pairs, items, min_support=0.1, min_confidence=0.2
+        )
+        rule = next(
+            r
+            for r in rules
+            if r.antecedent == (20,) and r.consequent == (10,)
+        )
+        # Item 20 essentially only appears via the planted pair, so
+        # confidence of {20} -> {10} should be high.
+        assert rule.confidence > 0.7
+
+    def test_thresholds_filter(self, hotlists):
+        pairs, items = hotlists
+        strict = derive_rules(
+            pairs, items, min_support=0.5, min_confidence=0.99
+        )
+        assert strict == []
+
+    def test_validation(self, hotlists):
+        pairs, items = hotlists
+        with pytest.raises(ValueError):
+            derive_rules(items, items)  # size-1 itemsets
+        with pytest.raises(ValueError):
+            derive_rules(pairs, pairs)  # antecedent size mismatch
+
+    def test_empty_stream(self):
+        pairs = ItemsetHotList(2, 100, seed=13)
+        items = ItemsetHotList(1, 100, seed=14)
+        assert derive_rules(pairs, items) == []
+
+    def test_rule_str(self, hotlists):
+        pairs, items = hotlists
+        rules = derive_rules(
+            pairs, items, min_support=0.05, min_confidence=0.1
+        )
+        assert "->" in str(rules[0])

@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These complement the unit suites: for arbitrary streams, footprint
+bounds, and seeds, the structural invariants of the synopses must hold
+-- footprints within bound, bookkeeping consistent, counts positive,
+theorems' deterministic consequences respected.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.concise import ConciseSample
+from repro.core.convert import counting_to_concise
+from repro.core.counting import CountingSample
+from repro.core.offline import offline_concise_sample
+from repro.core.reservoir import ReservoirSample
+from repro.hotlist.base import kth_largest
+from repro.stats.frequency import FrequencyTable
+from repro.stats.theory import (
+    concise_gain_expected,
+    expected_distinct_in_sample,
+)
+
+value_streams = st.lists(
+    st.integers(min_value=1, max_value=50), min_size=0, max_size=400
+)
+footprints = st.integers(min_value=2, max_value=64)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestConciseSampleProperties:
+    @given(stream=value_streams, bound=footprints, seed=seeds)
+    @settings(max_examples=150, deadline=None)
+    def test_invariants_after_any_stream(self, stream, bound, seed):
+        sample = ConciseSample(bound, seed=seed)
+        sample.insert_many(stream)
+        sample.check_invariants()
+        assert sample.footprint <= bound
+        assert sample.sample_size >= sample.footprint - 1 or (
+            sample.footprint <= 1
+        )
+        assert sample.total_inserted == len(stream)
+
+    @given(stream=value_streams, bound=footprints, seed=seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_sample_is_multisubset_of_stream(self, stream, bound, seed):
+        sample = ConciseSample(bound, seed=seed)
+        sample.insert_many(stream)
+        truth = Counter(stream)
+        for value, count in sample.pairs():
+            assert count <= truth[value]
+
+    @given(stream=value_streams, bound=footprints, seed=seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_array_path_equals_per_op_path(self, stream, bound, seed):
+        per_op = ConciseSample(bound, seed=seed)
+        per_op.insert_many(stream)
+        bulk = ConciseSample(bound, seed=seed)
+        bulk.insert_array(np.asarray(stream, dtype=np.int64))
+        assert per_op.as_dict() == bulk.as_dict()
+        assert per_op.threshold == bulk.threshold
+
+    @given(stream=value_streams, seed=seeds)
+    @settings(max_examples=80, deadline=None)
+    def test_small_domain_never_raises_threshold(self, stream, seed):
+        # Domain 1..50, footprint 100 >= 2 * 50: exact histogram.
+        sample = ConciseSample(100, seed=seed)
+        sample.insert_many(stream)
+        assert sample.threshold == 1.0
+        assert sample.as_dict() == dict(Counter(stream))
+
+
+class TestCountingSampleProperties:
+    @given(stream=value_streams, bound=footprints, seed=seeds)
+    @settings(max_examples=150, deadline=None)
+    def test_invariants_after_any_stream(self, stream, bound, seed):
+        sample = CountingSample(bound, seed=seed)
+        sample.insert_many(stream)
+        sample.check_invariants()
+        assert sample.footprint <= bound
+
+    @given(stream=value_streams, bound=footprints, seed=seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_counts_never_exceed_true_frequency(
+        self, stream, bound, seed
+    ):
+        sample = CountingSample(bound, seed=seed)
+        sample.insert_many(stream)
+        truth = Counter(stream)
+        for value, count in sample.pairs():
+            assert 0 < count <= truth[value]
+
+    @given(
+        stream=value_streams,
+        bound=footprints,
+        seed=seeds,
+        delete_every=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_interleaved_deletes_preserve_invariants(
+        self, stream, bound, seed, delete_every
+    ):
+        sample = CountingSample(bound, seed=seed)
+        live: Counter[int] = Counter()
+        for index, value in enumerate(stream):
+            sample.insert(value)
+            live[value] += 1
+            if index % delete_every == 0 and live:
+                victim = next(iter(live))
+                sample.delete(victim)
+                live[victim] -= 1
+                if live[victim] == 0:
+                    del live[victim]
+            assert sample.footprint <= bound
+        sample.check_invariants()
+        for value, count in sample.pairs():
+            assert count <= live[value]
+
+    @given(stream=value_streams, bound=footprints, seed=seeds)
+    @settings(max_examples=80, deadline=None)
+    def test_conversion_yields_valid_concise_sample(
+        self, stream, bound, seed
+    ):
+        counting = CountingSample(bound, seed=seed)
+        counting.insert_many(stream)
+        concise = counting_to_concise(counting, seed=seed + 1)
+        concise.check_invariants()
+        assert concise.footprint <= counting.footprint
+        assert set(concise.as_dict()) == set(counting.as_dict())
+
+
+class TestReservoirProperties:
+    @given(stream=value_streams, seed=seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_size_and_membership(self, stream, seed):
+        sample = ReservoirSample(16, seed=seed)
+        sample.insert_many(stream)
+        assert sample.sample_size == min(len(stream), 16)
+        stream_counts = Counter(stream)
+        for value, count in Counter(sample.points()).items():
+            assert count <= stream_counts[value]
+        sample.check_invariants()
+
+
+class TestOfflineProperties:
+    @given(stream=value_streams, bound=footprints, seed=seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_offline_invariants(self, stream, bound, seed):
+        values = np.asarray(stream, dtype=np.int64)
+        sample = offline_concise_sample(values, bound, seed)
+        sample.check_invariants()
+        assert sample.footprint <= bound
+        truth = Counter(stream)
+        for value, count in sample.pairs():
+            assert count <= truth[value]
+
+
+class TestTheoryProperties:
+    @given(
+        frequencies=st.lists(
+            st.integers(min_value=1, max_value=500),
+            min_size=1,
+            max_size=30,
+        ),
+        m=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_expected_distinct_bounds(self, frequencies, m):
+        expected = expected_distinct_in_sample(frequencies, m)
+        assert 0.0 <= expected <= min(len(frequencies), m) + 1e-9
+
+    @given(
+        frequencies=st.lists(
+            st.integers(min_value=1, max_value=500),
+            min_size=1,
+            max_size=30,
+        ),
+        m=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_gain_nonnegative_and_bounded(self, frequencies, m):
+        gain = concise_gain_expected(frequencies, m)
+        assert -1e-9 <= gain <= m
+
+    @given(
+        counts=st.lists(
+            st.integers(min_value=0, max_value=100),
+            min_size=0,
+            max_size=50,
+        ),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_kth_largest_definition(self, counts, k):
+        result = kth_largest(counts, k)
+        if len(counts) < k:
+            assert result == 0
+        else:
+            assert result == sorted(counts, reverse=True)[k - 1]
+
+
+class TestFrequencyTableProperties:
+    @given(stream=value_streams)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_counter(self, stream):
+        table = FrequencyTable(stream)
+        counter = Counter(stream)
+        assert table.as_dict() == dict(counter)
+        assert table.total == len(stream)
+        assert len(table) == len(counter)
+
+    @given(stream=value_streams, k=st.floats(min_value=0, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_moments_match_direct_computation(self, stream, k):
+        table = FrequencyTable(stream)
+        direct = sum(c**k for c in Counter(stream).values())
+        assert table.moment(k) == np.float64(direct) or abs(
+            table.moment(k) - direct
+        ) < 1e-6 * max(1.0, direct)

@@ -1,0 +1,90 @@
+"""Property-based tests for the integer encodings and sorted index."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.composite import decode_composite, encode_composite
+from repro.hotlist.sorted_concise import _CountIndex
+from repro.itemsets.encoding import MAX_ITEM, decode_itemset, encode_itemset
+
+itemsets = st.lists(
+    st.integers(min_value=1, max_value=MAX_ITEM),
+    min_size=1,
+    max_size=6,
+    unique=True,
+).map(lambda items: tuple(sorted(items)))
+
+composites = st.lists(
+    st.integers(min_value=0, max_value=(1 << 24) - 1),
+    min_size=2,
+    max_size=5,
+).map(tuple)
+
+
+class TestItemsetEncoding:
+    @given(itemset=itemsets)
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip(self, itemset):
+        assert decode_itemset(encode_itemset(itemset)) == itemset
+
+    @given(a=itemsets, b=itemsets)
+    @settings(max_examples=300, deadline=None)
+    def test_injective(self, a, b):
+        if a != b:
+            assert encode_itemset(a) != encode_itemset(b)
+
+    @given(itemset=itemsets)
+    @settings(max_examples=100, deadline=None)
+    def test_codes_positive(self, itemset):
+        assert encode_itemset(itemset) >= 1
+
+
+class TestCompositeEncoding:
+    @given(values=composites)
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip(self, values):
+        assert decode_composite(
+            encode_composite(values), len(values)
+        ) == values
+
+    @given(a=composites, b=composites)
+    @settings(max_examples=300, deadline=None)
+    def test_injective_same_arity(self, a, b):
+        if len(a) == len(b) and a != b:
+            assert encode_composite(a) != encode_composite(b)
+
+
+class TestCountIndexProperties:
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=20),  # value
+                st.integers(min_value=1, max_value=8),   # final count
+            ),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_incremental_moves_match_rebuild(self, operations):
+        """Applying moves one increment at a time must agree with a
+        wholesale rebuild from the final counts."""
+        incremental = _CountIndex()
+        final_counts: dict[int, int] = {}
+        for value, target in operations:
+            current = final_counts.get(value, 0)
+            # Move the value up one count at a time to the new target
+            # (only upward moves, as in the sample's insert path).
+            target = max(current, target)
+            for count in range(current + 1, target + 1):
+                incremental.move(value, count - 1, count)
+            final_counts[value] = target if target else current
+        rebuilt = _CountIndex()
+        rebuilt.rebuild(
+            {v: c for v, c in final_counts.items() if c > 0}
+        )
+        assert list(incremental.top(10**6, 1)) == list(
+            rebuilt.top(10**6, 1)
+        )

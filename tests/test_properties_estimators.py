@@ -1,0 +1,122 @@
+"""Property-based tests for the estimator layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.aggregates import (
+    estimate_average,
+    estimate_count,
+    estimate_sum,
+)
+from repro.estimators.intervals import (
+    clt_interval,
+    hoeffding_count_interval,
+    normal_quantile,
+)
+from repro.estimators.selectivity import Predicate, estimate_selectivity
+
+samples = st.lists(
+    st.integers(min_value=-100, max_value=100), min_size=1, max_size=200
+).map(lambda values: np.asarray(values, dtype=np.int64))
+
+
+class TestFullInformationExactness:
+    """When the 'sample' is the whole population, estimators must be
+    exact."""
+
+    @given(points=samples)
+    @settings(max_examples=200, deadline=None)
+    def test_count_exact(self, points):
+        estimate = estimate_count(points, population=len(points))
+        assert estimate.value == len(points)
+
+    @given(points=samples, cut=st.integers(min_value=-100, max_value=100))
+    @settings(max_examples=200, deadline=None)
+    def test_predicated_count_exact(self, points, cut):
+        estimate = estimate_count(
+            points, len(points), predicate=lambda v: v <= cut
+        )
+        assert estimate.value == pytest.approx(
+            float(np.count_nonzero(points <= cut)), abs=1e-6
+        )
+
+    @given(points=samples)
+    @settings(max_examples=200, deadline=None)
+    def test_sum_exact(self, points):
+        estimate = estimate_sum(points, population=len(points))
+        assert estimate.value == pytest.approx(float(points.sum()), abs=1e-6)
+
+    @given(points=samples)
+    @settings(max_examples=200, deadline=None)
+    def test_average_is_sample_mean(self, points):
+        estimate = estimate_average(points)
+        assert estimate.value == pytest.approx(float(points.mean()))
+
+
+class TestStructuralProperties:
+    @given(points=samples, population=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=200, deadline=None)
+    def test_count_within_population(self, points, population):
+        estimate = estimate_count(points, population)
+        assert 0.0 <= estimate.value <= population
+
+    @given(points=samples, cut=st.integers(min_value=-100, max_value=100))
+    @settings(max_examples=200, deadline=None)
+    def test_selectivity_in_unit_interval(self, points, cut):
+        result = estimate_selectivity(points, Predicate(high=cut))
+        assert 0.0 <= result.selectivity <= 1.0
+        assert 0.0 <= result.interval.low <= result.interval.high <= 1.0
+        assert result.interval.low <= result.selectivity <= (
+            result.interval.high
+        )
+
+    @given(points=samples)
+    @settings(max_examples=100, deadline=None)
+    def test_estimate_inside_its_interval(self, points):
+        estimate = estimate_sum(points, population=1000)
+        assert estimate.value in estimate.interval
+
+
+class TestIntervalProperties:
+    @given(p=st.floats(min_value=1e-9, max_value=1 - 1e-9))
+    @settings(max_examples=300, deadline=None)
+    def test_quantile_monotone_checkpoints(self, p):
+        z = normal_quantile(p)
+        if p < 0.5:
+            assert z < 0
+        elif p > 0.5:
+            assert z > 0
+
+    @given(
+        estimate=st.floats(min_value=-1e6, max_value=1e6),
+        error=st.floats(min_value=0, max_value=1e6),
+        confidence=st.floats(min_value=0.01, max_value=0.999),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_clt_interval_contains_estimate(
+        self, estimate, error, confidence
+    ):
+        interval = clt_interval(estimate, error, confidence)
+        assert interval.low <= estimate <= interval.high
+        assert interval.confidence == confidence
+
+    @given(
+        matching=st.integers(min_value=0, max_value=50),
+        extra=st.integers(min_value=0, max_value=50),
+        population=st.integers(min_value=1, max_value=10**6),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_hoeffding_bounds_ordered_and_clipped(
+        self, matching, extra, population
+    ):
+        sample_size = matching + extra
+        if sample_size == 0:
+            return
+        interval = hoeffding_count_interval(
+            matching, sample_size, population
+        )
+        assert 0.0 <= interval.low <= interval.high <= population

@@ -1,0 +1,189 @@
+"""Unit tests for instrumented coins and skip counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.randkit.coins import (
+    Coin,
+    CostCounters,
+    EvictionSkipper,
+    GeometricSkipper,
+)
+from repro.randkit.rng import ReproRandom
+
+
+class TestCostCounters:
+    def test_defaults_zero(self):
+        counters = CostCounters()
+        assert counters.flips == 0
+        assert counters.lookups == 0
+        assert counters.inserts == 0
+        assert counters.disk_accesses == 0
+
+    def test_rates_with_zero_inserts(self):
+        counters = CostCounters()
+        assert counters.flips_per_insert() == 0.0
+        assert counters.lookups_per_insert() == 0.0
+
+    def test_rates(self):
+        counters = CostCounters(flips=30, lookups=10, inserts=100)
+        assert counters.flips_per_insert() == pytest.approx(0.3)
+        assert counters.lookups_per_insert() == pytest.approx(0.1)
+
+    def test_snapshot_is_independent(self):
+        counters = CostCounters(flips=1)
+        snap = counters.snapshot()
+        counters.flips = 99
+        assert snap.flips == 1
+
+    def test_reset(self):
+        counters = CostCounters(flips=5, lookups=3, inserts=9, deletes=2)
+        counters.reset()
+        assert counters == CostCounters()
+
+    def test_subtraction(self):
+        a = CostCounters(flips=10, lookups=5, inserts=20)
+        b = CostCounters(flips=4, lookups=2, inserts=8)
+        delta = a - b
+        assert delta.flips == 6
+        assert delta.lookups == 3
+        assert delta.inserts == 12
+
+
+class TestCoin:
+    def test_flip_counts(self):
+        counters = CostCounters()
+        coin = Coin(ReproRandom(1), counters)
+        for _ in range(50):
+            coin.flip(0.5)
+        assert counters.flips == 50
+
+    def test_flip_bias(self):
+        coin = Coin(ReproRandom(2), CostCounters())
+        heads = sum(coin.flip(0.8) for _ in range(10_000))
+        assert 0.77 < heads / 10_000 < 0.83
+
+
+class TestGeometricSkipper:
+    def test_threshold_one_admits_everything_without_flips(self):
+        counters = CostCounters()
+        skipper = GeometricSkipper(ReproRandom(1), counters, 1.0)
+        assert all(skipper.offer() for _ in range(100))
+        assert counters.flips == 0
+
+    def test_rejects_threshold_below_one(self):
+        with pytest.raises(ValueError):
+            GeometricSkipper(ReproRandom(1), CostCounters(), 0.5)
+
+    def test_admission_rate_matches_threshold(self):
+        counters = CostCounters()
+        skipper = GeometricSkipper(ReproRandom(2), counters, 4.0)
+        admitted = sum(skipper.offer() for _ in range(40_000))
+        assert 0.23 < admitted / 40_000 < 0.27
+
+    def test_one_flip_per_admission(self):
+        counters = CostCounters()
+        skipper = GeometricSkipper(ReproRandom(3), counters, 10.0)
+        admitted = sum(skipper.offer() for _ in range(10_000))
+        # One initial draw plus one draw per admission.
+        assert counters.flips == admitted + 1
+
+    def test_raise_threshold_rejects_lowering(self):
+        skipper = GeometricSkipper(ReproRandom(4), CostCounters(), 5.0)
+        with pytest.raises(ValueError):
+            skipper.raise_threshold(2.0)
+
+    def test_raise_threshold_noop_when_equal(self):
+        counters = CostCounters()
+        skipper = GeometricSkipper(ReproRandom(5), counters, 5.0)
+        flips_before = counters.flips
+        skipper.raise_threshold(5.0)
+        assert counters.flips == flips_before
+
+    def test_raise_threshold_changes_rate(self):
+        counters = CostCounters()
+        skipper = GeometricSkipper(ReproRandom(6), counters, 2.0)
+        skipper.raise_threshold(20.0)
+        admitted = sum(skipper.offer() for _ in range(40_000))
+        assert 0.04 < admitted / 40_000 < 0.06
+
+    def test_next_admission_within_matches_offer_semantics(self):
+        """Bulk jumping must admit the same stream positions as
+        element-by-element offers under the same random stream."""
+        threshold = 7.0
+        sequential = GeometricSkipper(
+            ReproRandom(7), CostCounters(), threshold
+        )
+        bulk = GeometricSkipper(ReproRandom(7), CostCounters(), threshold)
+        n = 5000
+        admitted_sequential = [
+            position for position in range(n) if sequential.offer()
+        ]
+        admitted_bulk = []
+        position = 0
+        while position < n:
+            offset = bulk.next_admission_within(n - position)
+            if offset is None:
+                break
+            position += offset
+            admitted_bulk.append(position)
+            position += 1
+        assert admitted_sequential == admitted_bulk
+
+    def test_next_admission_within_empty_block(self):
+        skipper = GeometricSkipper(ReproRandom(8), CostCounters(), 3.0)
+        assert skipper.next_admission_within(0) is None
+
+    def test_next_admission_threshold_one(self):
+        skipper = GeometricSkipper(ReproRandom(9), CostCounters(), 1.0)
+        assert skipper.next_admission_within(10) == 0
+
+
+class TestEvictionSkipper:
+    def test_zero_probability_evicts_nothing_without_flips(self):
+        counters = CostCounters()
+        sweeper = EvictionSkipper(ReproRandom(1), counters, 0.0)
+        assert sweeper.evictions_within(1000) == 0
+        assert counters.flips == 0
+
+    def test_probability_one_evicts_everything(self):
+        sweeper = EvictionSkipper(ReproRandom(2), CostCounters(), 1.0)
+        assert sweeper.evictions_within(57) == 57
+
+    def test_rejects_probability_out_of_range(self):
+        with pytest.raises(ValueError):
+            EvictionSkipper(ReproRandom(3), CostCounters(), 1.5)
+        with pytest.raises(ValueError):
+            EvictionSkipper(ReproRandom(3), CostCounters(), -0.1)
+
+    def test_rejects_negative_run(self):
+        sweeper = EvictionSkipper(ReproRandom(4), CostCounters(), 0.5)
+        with pytest.raises(ValueError):
+            sweeper.evictions_within(-1)
+
+    def test_eviction_rate(self):
+        sweeper = EvictionSkipper(ReproRandom(5), CostCounters(), 0.1)
+        total = sum(sweeper.evictions_within(100) for _ in range(400))
+        assert 0.08 < total / 40_000 < 0.12
+
+    def test_flip_count_tracks_evictions(self):
+        counters = CostCounters()
+        sweeper = EvictionSkipper(ReproRandom(6), counters, 0.09)
+        evicted = sweeper.evictions_within(20_000)
+        # One flip per eviction plus the initial draw.
+        assert counters.flips == evicted + 1
+
+    def test_split_runs_equal_single_run(self):
+        """Splitting a sweep into runs must not change the total
+        distribution (same seed, same totals)."""
+        single = EvictionSkipper(ReproRandom(7), CostCounters(), 0.2)
+        split = EvictionSkipper(ReproRandom(7), CostCounters(), 0.2)
+        total_single = single.evictions_within(1000)
+        total_split = sum(split.evictions_within(100) for _ in range(10))
+        assert total_single == total_split
+
+    def test_evictions_never_exceed_run(self):
+        sweeper = EvictionSkipper(ReproRandom(8), CostCounters(), 0.9)
+        for _ in range(200):
+            assert sweeper.evictions_within(3) <= 3

@@ -1,0 +1,137 @@
+"""Unit tests for the seeded RNG wrapper."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.randkit.rng import ReproRandom, seed_stream, spawn_seeds
+
+
+class TestReproRandom:
+    def test_same_seed_same_stream(self):
+        a = ReproRandom(7)
+        b = ReproRandom(7)
+        assert [a.uniform() for _ in range(10)] == [
+            b.uniform() for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = ReproRandom(7)
+        b = ReproRandom(8)
+        assert [a.uniform() for _ in range(5)] != [
+            b.uniform() for _ in range(5)
+        ]
+
+    def test_seed_property(self):
+        assert ReproRandom(123).seed == 123
+
+    def test_uniform_in_unit_interval(self):
+        rng = ReproRandom(1)
+        for _ in range(1000):
+            u = rng.uniform()
+            assert 0.0 <= u < 1.0
+
+    def test_randint_bounds_inclusive(self):
+        rng = ReproRandom(2)
+        draws = {rng.randint(1, 3) for _ in range(200)}
+        assert draws == {1, 2, 3}
+
+    def test_bernoulli_degenerate_probabilities(self):
+        rng = ReproRandom(3)
+        assert rng.bernoulli(1.0) is True
+        assert rng.bernoulli(0.0) is False
+        assert rng.bernoulli(1.5) is True
+        assert rng.bernoulli(-0.5) is False
+
+    def test_bernoulli_frequency(self):
+        rng = ReproRandom(4)
+        hits = sum(rng.bernoulli(0.3) for _ in range(20_000))
+        assert 0.27 < hits / 20_000 < 0.33
+
+    def test_geometric_skip_certain_success(self):
+        rng = ReproRandom(5)
+        assert all(rng.geometric_skip(1.0) == 0 for _ in range(10))
+
+    def test_geometric_skip_mean(self):
+        rng = ReproRandom(6)
+        p = 0.2
+        draws = [rng.geometric_skip(p) for _ in range(20_000)]
+        expected_mean = (1 - p) / p  # failures before first success
+        assert abs(sum(draws) / len(draws) - expected_mean) < 0.15
+
+    def test_geometric_skip_distribution_head(self):
+        rng = ReproRandom(7)
+        p = 0.5
+        draws = [rng.geometric_skip(p) for _ in range(40_000)]
+        frac_zero = sum(d == 0 for d in draws) / len(draws)
+        assert abs(frac_zero - p) < 0.02
+
+    def test_geometric_skip_rejects_tiny_probability(self):
+        rng = ReproRandom(8)
+        with pytest.raises(ValueError):
+            rng.geometric_skip(1e-15)
+
+    def test_geometric_skip_never_negative(self):
+        rng = ReproRandom(9)
+        assert all(rng.geometric_skip(0.01) >= 0 for _ in range(1000))
+
+    def test_shuffled_is_permutation_and_copies(self):
+        rng = ReproRandom(10)
+        items = list(range(20))
+        shuffled = rng.shuffled(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))  # input untouched
+
+    def test_choice_index_bounds(self):
+        rng = ReproRandom(11)
+        assert all(0 <= rng.choice_index(7) < 7 for _ in range(500))
+
+    def test_fork_independent_and_reproducible(self):
+        a1 = ReproRandom(12)
+        a2 = ReproRandom(12)
+        f1 = a1.fork()
+        f2 = a2.fork()
+        assert [f1.uniform() for _ in range(5)] == [
+            f2.uniform() for _ in range(5)
+        ]
+
+
+class TestSeedDerivation:
+    def test_spawn_seeds_reproducible(self):
+        assert spawn_seeds(99, 5) == spawn_seeds(99, 5)
+
+    def test_spawn_seeds_count(self):
+        assert len(spawn_seeds(1, 17)) == 17
+        assert spawn_seeds(1, 0) == []
+
+    def test_spawn_seeds_distinct(self):
+        seeds = spawn_seeds(2, 100)
+        assert len(set(seeds)) == 100
+
+    def test_spawn_seeds_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+    def test_seed_stream_matches_spawn(self):
+        stream = seed_stream(42)
+        first_three = [next(stream) for _ in range(3)]
+        assert first_three == spawn_seeds(42, 3)
+
+
+class TestGeometricInversion:
+    """The closed-form inversion must match the definition
+    P(skip = i) = (1-p)^i * p."""
+
+    def test_tail_probability(self):
+        rng = ReproRandom(77)
+        p = 0.1
+        n = 50_000
+        draws = [rng.geometric_skip(p) for _ in range(n)]
+        for i in (0, 1, 5, 10):
+            expected = (1 - p) ** i * p
+            observed = sum(d == i for d in draws) / n
+            # 5-sigma binomial tolerance.
+            sigma = math.sqrt(expected * (1 - expected) / n)
+            assert abs(observed - expected) < 5 * sigma + 1e-9

@@ -1,0 +1,151 @@
+"""Model-based (stateful) tests via hypothesis state machines.
+
+Each machine drives a component through random operation sequences
+while maintaining an exact reference model, checking the component's
+observable behaviour against the model after every step.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.counting import CountingSample
+from repro.engine.relation import Relation
+from repro.stats.frequency import FrequencyTable
+
+values = st.integers(min_value=1, max_value=30)
+
+
+class CountingSampleMachine(RuleBasedStateMachine):
+    """CountingSample vs an exact live-multiset model.
+
+    Checked properties: counts never exceed live frequencies, the
+    footprint never exceeds its bound, internal bookkeeping stays
+    consistent, and absent-value deletes are no-ops.
+    """
+
+    @initialize(seed=st.integers(min_value=0, max_value=2**16))
+    def setup(self, seed):
+        self.sample = CountingSample(16, seed=seed)
+        self.live: Counter[int] = Counter()
+
+    @rule(value=values)
+    def insert(self, value):
+        self.sample.insert(value)
+        self.live[value] += 1
+
+    @rule(value=values)
+    def delete_if_live(self, value):
+        if self.live[value] > 0:
+            self.sample.delete(value)
+            self.live[value] -= 1
+
+    @rule(value=values)
+    def delete_absent_from_sample(self, value):
+        """Deleting a live value that happens not to be sampled is a
+        legal no-op on the sample."""
+        if self.live[value] > 0 and value not in self.sample:
+            before = self.sample.as_dict()
+            self.sample.delete(value)
+            self.live[value] -= 1
+            assert self.sample.as_dict() == before
+
+    @invariant()
+    def counts_bounded_by_live(self):
+        for value, count in self.sample.pairs():
+            assert 0 < count <= self.live[value]
+
+    @invariant()
+    def footprint_bounded(self):
+        assert self.sample.footprint <= 16
+        self.sample.check_invariants()
+
+
+class RelationMachine(RuleBasedStateMachine):
+    """Relation vs a Counter-of-rows model."""
+
+    @initialize()
+    def setup(self):
+        self.relation = Relation("r", ["a", "b"])
+        self.model: Counter[tuple] = Counter()
+
+    @rule(a=values, b=values)
+    def insert(self, a, b):
+        self.relation.insert((a, b))
+        self.model[(a, b)] += 1
+
+    @rule(a=values, b=values)
+    def delete_if_present(self, a, b):
+        if self.model[(a, b)] > 0:
+            self.relation.delete((a, b))
+            self.model[(a, b)] -= 1
+
+    @invariant()
+    def sizes_match(self):
+        assert len(self.relation) == sum(self.model.values())
+
+    @invariant()
+    def column_matches_model(self):
+        expected = Counter()
+        for (a, _), count in self.model.items():
+            if count:
+                expected[a] += count
+        assert Counter(self.relation.column("a").tolist()) == expected
+
+
+class FrequencyTableMachine(RuleBasedStateMachine):
+    """FrequencyTable vs collections.Counter."""
+
+    @initialize()
+    def setup(self):
+        self.table = FrequencyTable()
+        self.model: Counter[int] = Counter()
+
+    @rule(value=values)
+    def insert(self, value):
+        self.table.insert(value)
+        self.model[value] += 1
+
+    @rule(value=values)
+    def delete_if_present(self, value):
+        if self.model[value] > 0:
+            self.table.delete(value)
+            self.model[value] -= 1
+
+    @precondition(lambda self: sum(self.model.values()) > 0)
+    @rule()
+    def mode_matches(self):
+        value, count = self.table.mode()
+        assert count == max(self.model.values())
+        assert self.model[value] == count
+
+    @invariant()
+    def state_matches(self):
+        assert self.table.as_dict() == {
+            v: c for v, c in self.model.items() if c > 0
+        }
+        assert self.table.total == sum(self.model.values())
+
+
+TestCountingSampleMachine = CountingSampleMachine.TestCase
+TestRelationMachine = RelationMachine.TestCase
+TestFrequencyTableMachine = FrequencyTableMachine.TestCase
+
+for machine in (
+    TestCountingSampleMachine,
+    TestRelationMachine,
+    TestFrequencyTableMachine,
+):
+    machine.settings = settings(
+        max_examples=60, stateful_step_count=40, deadline=None
+    )

@@ -1,0 +1,125 @@
+"""Statistical correctness tests (chi-square / goodness-of-fit).
+
+The unit suites check means and tolerances; these tests apply proper
+goodness-of-fit machinery to the distributional claims at the heart of
+the paper -- Theorem 2 (the maintained concise sample is uniform),
+reservoir uniformity, Zipf generator fidelity, and the geometric skip
+law -- using scipy's chi-square at a conservative significance level.
+
+Every test is deterministic (fixed seeds), so these cannot flake; the
+significance level only calibrates how strong the evidence is for the
+specific seeds used.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+from repro.core.concise import ConciseSample
+from repro.core.reservoir import ReservoirSample
+from repro.randkit.rng import ReproRandom
+from repro.streams.zipf import ZipfDistribution
+
+ALPHA = 1e-4  # reject only on overwhelming evidence
+
+
+class TestZipfGenerator:
+    def test_chi_square_goodness_of_fit(self):
+        domain, skew, n = 50, 1.2, 200_000
+        distribution = ZipfDistribution(domain, skew)
+        values = distribution.sample(n, seed=1)
+        observed = np.bincount(values, minlength=domain + 1)[1:]
+        expected = distribution.probabilities * n
+        statistic, p_value = scipy_stats.chisquare(observed, expected)
+        assert p_value > ALPHA, f"zipf GOF failed (chi2={statistic:.1f})"
+
+    def test_uniform_case(self):
+        values = ZipfDistribution(20, 0.0).sample(100_000, seed=2)
+        observed = np.bincount(values, minlength=21)[1:]
+        _, p_value = scipy_stats.chisquare(observed)
+        assert p_value > ALPHA
+
+
+class TestGeometricSkips:
+    def test_skip_distribution_chi_square(self):
+        rng = ReproRandom(3)
+        p = 0.3
+        n = 100_000
+        draws = np.array([rng.geometric_skip(p) for _ in range(n)])
+        # Bin 0..9 and a tail bucket.
+        max_bin = 10
+        observed = np.bincount(
+            np.minimum(draws, max_bin), minlength=max_bin + 1
+        )
+        probabilities = np.array(
+            [(1 - p) ** i * p for i in range(max_bin)]
+            + [(1 - p) ** max_bin]
+        )
+        _, p_value = scipy_stats.chisquare(observed, probabilities * n)
+        assert p_value > ALPHA
+
+
+class TestReservoirUniformity:
+    def test_inclusion_chi_square(self):
+        """Each stream position appears with probability m/n; test the
+        inclusion counts across trials against the binomial mean."""
+        n, m, trials = 40, 8, 5000
+        appearance = Counter()
+        for trial in range(trials):
+            sample = ReservoirSample(m, seed=trial)
+            sample.insert_many(range(n))
+            appearance.update(sample.points())
+        observed = np.array([appearance[i] for i in range(n)])
+        expected = np.full(n, trials * m / n)
+        _, p_value = scipy_stats.chisquare(observed, expected)
+        assert p_value > ALPHA
+
+
+class TestTheorem2Uniformity:
+    def test_concise_inclusion_uniform_across_positions(self):
+        """Theorem 2: after maintenance with threshold raises, every
+        stream position is equally likely to be in the sample.  All
+        values distinct, so position == value and counts == inclusion
+        flags."""
+        n, bound, trials = 60, 12, 4000
+        appearance = Counter()
+        for trial in range(trials):
+            sample = ConciseSample(bound, seed=trial)
+            for value in range(n):
+                sample.insert(value)
+            appearance.update(sample.as_dict())
+        observed = np.array(
+            [appearance[value] for value in range(n)], dtype=np.float64
+        )
+        expected = np.full(n, observed.sum() / n)
+        _, p_value = scipy_stats.chisquare(observed, expected)
+        assert p_value > ALPHA, "Theorem 2 uniformity violated"
+
+    def test_concise_sample_size_distribution_vs_binomial(self):
+        """At a stable final threshold tau, inclusion is i.i.d.
+        Bernoulli(1/tau), so sample-size / n concentrates at 1/tau."""
+        n, bound = 50_000, 200
+        ratios = []
+        for trial in range(30):
+            sample = ConciseSample(bound, seed=100 + trial)
+            stream = np.arange(n) % 10_000  # near-uniform values
+            sample.insert_array(stream)
+            ratios.append(
+                sample.sample_size * sample.threshold / n
+            )
+        # Each ratio estimates 1 within binomial noise.
+        assert np.mean(ratios) == pytest.approx(1.0, abs=0.1)
+
+
+class TestBernoulliCoin:
+    def test_binomial_two_sided(self):
+        rng = ReproRandom(5)
+        p, n = 0.37, 50_000
+        hits = sum(rng.bernoulli(p) for _ in range(n))
+        p_value = scipy_stats.binomtest(hits, n, p).pvalue
+        assert p_value > ALPHA

@@ -1,0 +1,126 @@
+"""Unit tests for exact frequency statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.frequency import (
+    FrequencyTable,
+    distinct_count,
+    frequency_moment,
+    mode_frequency,
+    top_k,
+)
+
+
+class TestFrequencyTable:
+    def test_empty(self):
+        table = FrequencyTable()
+        assert len(table) == 0
+        assert table.total == 0
+        assert table.count(1) == 0
+        assert 1 not in table
+
+    def test_insert_and_count(self):
+        table = FrequencyTable()
+        table.insert(5)
+        table.insert(5)
+        table.insert(7)
+        assert table.count(5) == 2
+        assert table.count(7) == 1
+        assert table.total == 3
+        assert len(table) == 2
+
+    def test_bulk_numpy_update(self):
+        table = FrequencyTable(np.array([1, 1, 2, 3, 3, 3]))
+        assert table.count(1) == 2
+        assert table.count(3) == 3
+        assert table.total == 6
+
+    def test_bulk_iterable_update(self):
+        table = FrequencyTable([4, 4, 9])
+        assert table.count(4) == 2
+        assert table.total == 3
+
+    def test_empty_numpy_update(self):
+        table = FrequencyTable()
+        table.update(np.empty(0, dtype=np.int64))
+        assert table.total == 0
+
+    def test_delete(self):
+        table = FrequencyTable([1, 1, 2])
+        table.delete(1)
+        assert table.count(1) == 1
+        table.delete(1)
+        assert table.count(1) == 0
+        assert 1 not in table
+        assert table.total == 1
+
+    def test_delete_absent_raises(self):
+        table = FrequencyTable([1])
+        with pytest.raises(KeyError):
+            table.delete(99)
+        table.delete(1)
+        with pytest.raises(KeyError):
+            table.delete(1)
+
+    def test_moments(self):
+        table = FrequencyTable([1, 1, 1, 2, 2, 3])  # counts 3, 2, 1
+        assert table.moment(0) == pytest.approx(3.0)  # distinct
+        assert table.moment(1) == pytest.approx(6.0)  # total
+        assert table.moment(2) == pytest.approx(9 + 4 + 1)
+
+    def test_moment_empty(self):
+        assert FrequencyTable().moment(2) == 0.0
+
+    def test_mode(self):
+        table = FrequencyTable([5, 5, 5, 2, 2])
+        assert table.mode() == (5, 3)
+
+    def test_mode_tie_breaks_to_smaller_value(self):
+        table = FrequencyTable([9, 9, 4, 4])
+        assert table.mode() == (4, 2)
+
+    def test_mode_empty_raises(self):
+        with pytest.raises(ValueError):
+            FrequencyTable().mode()
+
+    def test_top_k_ordering_and_ties(self):
+        table = FrequencyTable([1, 1, 1, 2, 2, 3, 3, 4])
+        assert table.top_k(3) == [(1, 3), (2, 2), (3, 2)]
+
+    def test_top_k_larger_than_distinct(self):
+        table = FrequencyTable([1, 2])
+        assert len(table.top_k(10)) == 2
+
+    def test_top_k_zero(self):
+        assert FrequencyTable([1]).top_k(0) == []
+
+    def test_top_k_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FrequencyTable().top_k(-1)
+
+    def test_as_dict_is_copy(self):
+        table = FrequencyTable([1])
+        snapshot = table.as_dict()
+        snapshot[1] = 99
+        assert table.count(1) == 1
+
+    def test_items_iterates_pairs(self):
+        table = FrequencyTable([1, 1, 2])
+        assert dict(table.items()) == {1: 2, 2: 1}
+
+
+class TestModuleFunctions:
+    def test_frequency_moment(self):
+        assert frequency_moment([1, 1, 2], 2) == pytest.approx(5.0)
+
+    def test_distinct_count(self):
+        assert distinct_count(np.array([1, 1, 2, 9])) == 3
+
+    def test_mode_frequency(self):
+        assert mode_frequency([7, 7, 7, 1]) == 3
+
+    def test_top_k_function(self):
+        assert top_k([1, 1, 2], 1) == [(1, 2)]

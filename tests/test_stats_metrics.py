@@ -1,0 +1,87 @@
+"""Unit tests for error metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats.metrics import (
+    mean_absolute_error,
+    mean_relative_error,
+    precision_recall,
+    rank_displacement,
+)
+
+
+class TestMeanAbsoluteError:
+    def test_perfect(self):
+        assert mean_absolute_error({1: 5.0}, {1: 5.0}) == 0.0
+
+    def test_empty(self):
+        assert mean_absolute_error({}, {}) == 0.0
+
+    def test_missing_estimate_counts_full_truth(self):
+        assert mean_absolute_error({}, {1: 10.0}) == pytest.approx(10.0)
+
+    def test_spurious_estimate_counts_fully(self):
+        assert mean_absolute_error({1: 4.0}, {}) == pytest.approx(4.0)
+
+    def test_union_averaging(self):
+        estimates = {1: 8.0, 2: 3.0}
+        truth = {1: 10.0, 3: 4.0}
+        # errors: |8-10|=2, |3-0|=3, |0-4|=4 over 3 keys.
+        assert mean_absolute_error(estimates, truth) == pytest.approx(3.0)
+
+
+class TestMeanRelativeError:
+    def test_perfect(self):
+        assert mean_relative_error({1: 5.0}, {1: 5.0}) == 0.0
+
+    def test_unreported_value_is_full_error(self):
+        assert mean_relative_error({}, {1: 10.0}) == pytest.approx(1.0)
+
+    def test_false_positives_ignored(self):
+        assert mean_relative_error({2: 100.0}, {1: 10.0, 2: 0}) == (
+            pytest.approx(1.0)
+        )
+
+    def test_typical(self):
+        estimates = {1: 12.0, 2: 8.0}
+        truth = {1: 10.0, 2: 10.0}
+        assert mean_relative_error(estimates, truth) == pytest.approx(0.2)
+
+    def test_empty_truth(self):
+        assert mean_relative_error({1: 5.0}, {}) == 0.0
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        assert precision_recall([1, 2], [1, 2]) == (1.0, 1.0)
+
+    def test_empty_report(self):
+        precision, recall = precision_recall([], [1, 2])
+        assert precision == 1.0
+        assert recall == 0.0
+
+    def test_empty_relevant(self):
+        precision, recall = precision_recall([1], [])
+        assert precision == 0.0
+        assert recall == 1.0
+
+    def test_partial(self):
+        precision, recall = precision_recall([1, 2, 3, 4], [3, 4, 5])
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(2 / 3)
+
+
+class TestRankDisplacement:
+    def test_identical_ranking(self):
+        assert rank_displacement([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_swap(self):
+        assert rank_displacement([2, 1], [1, 2]) == pytest.approx(1.0)
+
+    def test_unranked_values_ignored(self):
+        assert rank_displacement([9, 1], [1]) == pytest.approx(1.0)
+
+    def test_no_overlap(self):
+        assert rank_displacement([9], [1]) == 0.0

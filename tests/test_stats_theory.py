@@ -1,0 +1,250 @@
+"""Unit tests for the paper's closed-form analysis (Theorems 3-8)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.theory import (
+    compensation_constant,
+    concise_gain_expected,
+    concise_gain_via_moments,
+    counting_count_error_bound,
+    counting_false_negative_bound,
+    counting_inclusion_probability,
+    counting_report_cutoff,
+    counting_report_probability,
+    expected_distinct_in_sample,
+    exponential_sample_size_bound,
+    hotlist_false_positive_bound,
+    hotlist_report_probability,
+)
+
+
+class TestTheorem3:
+    def test_bound_value(self):
+        assert exponential_sample_size_bound(2.0, 10) == pytest.approx(
+            2.0**5
+        )
+
+    def test_bound_grows_with_footprint(self):
+        assert exponential_sample_size_bound(
+            1.5, 100
+        ) > exponential_sample_size_bound(1.5, 50)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_sample_size_bound(1.0, 10)
+        with pytest.raises(ValueError):
+            exponential_sample_size_bound(2.0, 1)
+
+
+class TestTheorem4:
+    def test_expected_distinct_single_value(self):
+        # Only one value: any sample has exactly one distinct value.
+        assert expected_distinct_in_sample([100], 10) == pytest.approx(1.0)
+
+    def test_expected_distinct_uniform_all(self):
+        # m=1 always yields exactly one distinct value.
+        assert expected_distinct_in_sample([5, 5, 5], 1) == pytest.approx(
+            1.0
+        )
+
+    def test_expected_distinct_empty(self):
+        assert expected_distinct_in_sample([], 10) == 0.0
+
+    def test_expected_distinct_bounded_by_support_and_m(self):
+        frequencies = [10, 20, 30, 40]
+        for m in (1, 3, 10, 100):
+            expected = expected_distinct_in_sample(frequencies, m)
+            assert expected <= min(len(frequencies), m) + 1e-9
+
+    def test_gain_zero_for_distinct_heavy_small_sample(self):
+        # With all frequencies equal to 1 (n values, all distinct),
+        # a small sample rarely repeats: gain ~ m(m-1)/(2n).
+        n = 10_000
+        gain = concise_gain_expected([1] * n, 10)
+        assert gain == pytest.approx(10 * 9 / (2 * n), rel=0.05)
+
+    def test_gain_max_for_single_value(self):
+        # One value: a concise sample of m points stores 1 pair.
+        assert concise_gain_expected([50], 20) == pytest.approx(19.0)
+
+    def test_moment_form_matches_direct_form(self):
+        """Theorem 4's alternating-moment identity."""
+        frequencies = [7, 3, 2, 1, 1]
+        for m in (2, 3, 5, 8, 12):
+            direct = concise_gain_expected(frequencies, m)
+            via_moments = concise_gain_via_moments(frequencies, m)
+            assert via_moments == pytest.approx(direct, rel=1e-9, abs=1e-9)
+
+    def test_moment_form_skewed(self):
+        frequencies = [100, 1, 1]
+        direct = concise_gain_expected(frequencies, 6)
+        via_moments = concise_gain_via_moments(frequencies, 6)
+        assert via_moments == pytest.approx(direct, rel=1e-9)
+
+    def test_gain_monte_carlo(self):
+        """The closed form matches simulation of with-replacement
+        sampling."""
+        rng = np.random.default_rng(11)
+        frequencies = [40, 30, 20, 10]
+        population = np.repeat(np.arange(4), frequencies)
+        m = 8
+        trials = 4000
+        distinct_counts = [
+            len(np.unique(rng.choice(population, size=m, replace=True)))
+            for _ in range(trials)
+        ]
+        simulated_gain = m - float(np.mean(distinct_counts))
+        assert simulated_gain == pytest.approx(
+            concise_gain_expected(frequencies, m), abs=0.1
+        )
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            expected_distinct_in_sample([3, 0], 5)
+
+    def test_rejects_negative_sample_size(self):
+        with pytest.raises(ValueError):
+            expected_distinct_in_sample([3], -1)
+
+
+class TestCompensation:
+    def test_value_at_large_threshold(self):
+        # c-hat ~ 0.418 tau - 1.
+        tau = 1000.0
+        expected = tau * (math.e - 2) / (math.e - 1) - 1
+        assert compensation_constant(tau) == pytest.approx(expected)
+        assert compensation_constant(tau) == pytest.approx(
+            0.418 * tau - 1, rel=0.01
+        )
+
+    def test_cutoff_complements_compensation(self):
+        tau = 500.0
+        assert counting_report_cutoff(tau) == pytest.approx(
+            tau - compensation_constant(tau)
+        )
+        # ~ 0.582 tau + 1.
+        assert counting_report_cutoff(tau) == pytest.approx(
+            0.582 * tau + 1, rel=0.01
+        )
+
+    def test_rejects_threshold_below_one(self):
+        with pytest.raises(ValueError):
+            compensation_constant(0.5)
+
+
+class TestTheorem6:
+    def test_inclusion_probability_monotone_in_frequency(self):
+        tau = 100.0
+        p_small = counting_inclusion_probability(10, tau)
+        p_large = counting_inclusion_probability(1000, tau)
+        assert p_small < p_large
+
+    def test_inclusion_probability_formula(self):
+        assert counting_inclusion_probability(3, 2.0) == pytest.approx(
+            1 - 0.5**3
+        )
+
+    def test_inclusion_zero_frequency(self):
+        assert counting_inclusion_probability(0, 10.0) == 0.0
+
+    def test_inclusion_expected_at_threshold(self):
+        # Theorem 6(i): f_v = tau => included "in expectation";
+        # the probability is 1 - (1-1/tau)^tau -> 1 - 1/e.
+        probability = counting_inclusion_probability(10_000, 10_000.0)
+        assert probability == pytest.approx(1 - 1 / math.e, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            counting_inclusion_probability(-1, 10.0)
+        with pytest.raises(ValueError):
+            counting_inclusion_probability(1, 0.5)
+
+
+class TestTheorem8:
+    def test_below_cutoff_never_reported(self):
+        tau = 100.0
+        low_frequency = int(0.5 * tau)
+        assert counting_report_probability(low_frequency, tau) == 0.0
+
+    def test_report_probability_increases_with_frequency(self):
+        tau = 100.0
+        probabilities = [
+            counting_report_probability(f, tau)
+            for f in (70, 100, 200, 500)
+        ]
+        assert probabilities == sorted(probabilities)
+        assert probabilities[-1] > 0.95
+
+    def test_false_negative_bound_formula(self):
+        beta = 2.0
+        coefficient = 1 - (math.e - 2) / (math.e - 1)
+        assert counting_false_negative_bound(beta) == pytest.approx(
+            math.exp(-(beta - coefficient))
+        )
+
+    def test_false_negative_bound_dominates_exact(self):
+        """Theorem 8(ii): the bound upper-bounds the exact failure
+        probability for f_v = beta * tau (up to the integer rounding
+        of the report cut-off, worth at most two tails factors)."""
+        tau = 200.0
+        for beta in (1.5, 2.0, 4.0):
+            exact_failure = 1.0 - counting_report_probability(
+                int(beta * tau), tau
+            )
+            rounding_slack = (1.0 - 1.0 / tau) ** -2
+            assert exact_failure <= (
+                counting_false_negative_bound(beta) * rounding_slack
+            )
+
+    def test_count_error_bound(self):
+        assert counting_count_error_bound(1.0) == pytest.approx(
+            math.exp(-(1.0 + (math.e - 2) / (math.e - 1)))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            counting_false_negative_bound(1.0)
+        with pytest.raises(ValueError):
+            counting_count_error_bound(0.0)
+
+
+class TestTheorem7:
+    def test_report_probability_example(self):
+        # Paper's example: delta = 1/2 gives 1 - e^{-theta/4}.
+        theta = 3.0
+        assert hotlist_report_probability(theta, 0.5) == pytest.approx(
+            1 - math.exp(-theta / 4)
+        )
+
+    def test_false_positive_example(self):
+        # Paper's example: delta = 1 is approached as delta -> 1 with
+        # bound e^{-theta/6}.
+        theta = 3.0
+        assert hotlist_false_positive_bound(
+            theta, 1.0
+        ) == pytest.approx(math.exp(-theta / 6))
+
+    def test_more_confidence_with_larger_theta(self):
+        assert hotlist_report_probability(
+            6.0, 0.5
+        ) > hotlist_report_probability(3.0, 0.5)
+        assert hotlist_false_positive_bound(
+            6.0, 0.5
+        ) < hotlist_false_positive_bound(3.0, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hotlist_report_probability(3.0, 0.0)
+        with pytest.raises(ValueError):
+            hotlist_report_probability(3.0, 1.0)
+        with pytest.raises(ValueError):
+            hotlist_report_probability(0.0, 0.5)
+        with pytest.raises(ValueError):
+            hotlist_false_positive_bound(3.0, 0.0)
+        with pytest.raises(ValueError):
+            hotlist_false_positive_bound(-1.0, 0.5)

@@ -1,0 +1,124 @@
+"""Unit tests for non-Zipf stream generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.distributions import (
+    exponential_stream,
+    mixture_stream,
+    shifting_stream,
+    uniform_stream,
+)
+
+
+class TestUniformStream:
+    def test_domain(self):
+        values = uniform_stream(10_000, 25, seed=1)
+        assert values.min() >= 1
+        assert values.max() <= 25
+
+    def test_near_uniform_frequencies(self):
+        values = uniform_stream(100_000, 10, seed=2)
+        counts = np.bincount(values, minlength=11)[1:]
+        assert counts.min() > 9_000
+        assert counts.max() < 11_000
+
+    def test_reproducible(self):
+        assert np.array_equal(
+            uniform_stream(100, 5, seed=3), uniform_stream(100, 5, seed=3)
+        )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            uniform_stream(-1, 10, seed=1)
+        with pytest.raises(ValueError):
+            uniform_stream(10, 0, seed=1)
+
+
+class TestExponentialStream:
+    def test_matches_theorem3_distribution(self):
+        """Pr(v = i) = alpha^-i (alpha - 1) for the Theorem-3 family."""
+        alpha = 2.0
+        values = exponential_stream(200_000, alpha, seed=4)
+        n = len(values)
+        for i in (1, 2, 3):
+            expected = alpha**-i * (alpha - 1)
+            observed = (values == i).mean()
+            assert observed == pytest.approx(expected, abs=0.01)
+
+    def test_values_positive(self):
+        assert exponential_stream(10_000, 1.5, seed=5).min() >= 1
+
+    def test_rejects_alpha_at_most_one(self):
+        with pytest.raises(ValueError):
+            exponential_stream(10, 1.0, seed=6)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            exponential_stream(-5, 2.0, seed=6)
+
+    def test_higher_alpha_more_concentrated(self):
+        low = exponential_stream(50_000, 1.2, seed=7)
+        high = exponential_stream(50_000, 4.0, seed=7)
+        assert (high == 1).mean() > (low == 1).mean()
+
+
+class TestMixtureStream:
+    def test_single_component_passthrough(self):
+        component = np.arange(1, 101)
+        mixed = mixture_stream(100, [component], [1.0], seed=8)
+        assert np.array_equal(mixed, component)
+
+    def test_weights_respected(self):
+        a = np.full(60_000, 1)
+        b = np.full(60_000, 2)
+        mixed = mixture_stream(50_000, [a, b], [0.8, 0.2], seed=9)
+        assert 0.77 < (mixed == 1).mean() < 0.83
+
+    def test_component_order_preserved(self):
+        a = np.arange(100)
+        b = np.full(100, -1)
+        mixed = mixture_stream(100, [a, b], [0.5, 0.5], seed=10)
+        from_a = mixed[mixed >= 0]
+        assert np.all(np.diff(from_a) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mixture_stream(10, [], [], seed=1)
+        with pytest.raises(ValueError):
+            mixture_stream(10, [np.ones(10)], [1.0, 2.0], seed=1)
+        with pytest.raises(ValueError):
+            mixture_stream(10, [np.ones(5)], [1.0], seed=1)
+        with pytest.raises(ValueError):
+            mixture_stream(10, [np.ones(10)], [0.0], seed=1)
+
+
+class TestShiftingStream:
+    def test_length_preserved(self):
+        assert len(shifting_stream(1000, 50, 1.5, seed=11)) == 1000
+
+    def test_hot_value_changes_after_shift(self):
+        stream = shifting_stream(
+            40_000, 100, 2.0, seed=12, shift_at=0.5, shift_offset=50
+        )
+        first_half = stream[:20_000]
+        second_half = stream[20_000:]
+        assert np.bincount(first_half).argmax() == 1
+        assert np.bincount(second_half).argmax() == 51
+
+    def test_shift_keeps_domain(self):
+        stream = shifting_stream(10_000, 30, 1.0, seed=13)
+        assert stream.min() >= 1
+        assert stream.max() <= 30
+
+    def test_shift_at_bounds_validated(self):
+        with pytest.raises(ValueError):
+            shifting_stream(10, 5, 1.0, seed=1, shift_at=1.5)
+
+    def test_shift_at_zero_shifts_everything(self):
+        stream = shifting_stream(
+            5000, 10, 3.0, seed=14, shift_at=0.0, shift_offset=5
+        )
+        assert np.bincount(stream).argmax() == 6

@@ -1,0 +1,117 @@
+"""Unit tests for insert/delete operation streams."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.streams.operations import (
+    Delete,
+    Insert,
+    insert_delete_stream,
+    inserts_only,
+    replay,
+)
+
+
+class _RecordingTarget:
+    """Replay target that tracks the live multiset."""
+
+    def __init__(self) -> None:
+        self.live: Counter[int] = Counter()
+        self.operations = 0
+
+    def insert(self, value: int) -> None:
+        self.live[value] += 1
+        self.operations += 1
+
+    def delete(self, value: int) -> None:
+        assert self.live[value] > 0, "delete of a non-live value"
+        self.live[value] -= 1
+        self.operations += 1
+
+
+class TestInsertsOnly:
+    def test_wraps_all_values(self):
+        operations = list(inserts_only([3, 1, 4, 1, 5]))
+        assert all(isinstance(op, Insert) for op in operations)
+        assert [op.value for op in operations] == [3, 1, 4, 1, 5]
+
+    def test_numpy_input(self):
+        operations = list(inserts_only(np.array([7, 8])))
+        assert [op.value for op in operations] == [7, 8]
+        assert all(isinstance(op.value, int) for op in operations)
+
+
+class TestInsertDeleteStream:
+    def test_zero_fraction_is_pure_inserts(self):
+        values = np.arange(1, 101)
+        operations = insert_delete_stream(values, 0.0, seed=1)
+        assert len(operations) == 100
+        assert all(isinstance(op, Insert) for op in operations)
+
+    def test_all_inserts_present_in_order(self):
+        values = np.array([5, 3, 5, 9, 1])
+        operations = insert_delete_stream(values, 0.4, seed=2)
+        inserted = [op.value for op in operations if isinstance(op, Insert)]
+        assert inserted == values.tolist()
+
+    def test_deletes_never_underflow(self):
+        values = np.random.default_rng(3).integers(1, 20, size=2000)
+        operations = insert_delete_stream(values, 0.45, seed=4)
+        live: Counter[int] = Counter()
+        for op in operations:
+            if isinstance(op, Insert):
+                live[op.value] += 1
+            else:
+                assert live[op.value] > 0
+                live[op.value] -= 1
+
+    def test_delete_fraction_roughly_respected(self):
+        values = np.ones(20_000, dtype=np.int64)
+        operations = insert_delete_stream(values, 0.3, seed=5)
+        deletes = sum(isinstance(op, Delete) for op in operations)
+        fraction = deletes / len(operations)
+        assert 0.25 < fraction < 0.33
+
+    def test_rejects_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            insert_delete_stream(np.ones(5), 1.0, seed=1)
+        with pytest.raises(ValueError):
+            insert_delete_stream(np.ones(5), -0.1, seed=1)
+
+    def test_reproducible(self):
+        values = np.arange(500)
+        a = insert_delete_stream(values, 0.2, seed=6)
+        b = insert_delete_stream(values, 0.2, seed=6)
+        assert a == b
+
+
+class TestReplay:
+    def test_replay_applies_everything(self):
+        values = np.random.default_rng(7).integers(1, 10, size=500)
+        operations = insert_delete_stream(values, 0.25, seed=8)
+        target = _RecordingTarget()
+        applied = replay(operations, target)
+        assert applied == len(operations)
+        assert target.operations == len(operations)
+
+    def test_replay_final_state_consistent(self):
+        values = np.random.default_rng(9).integers(1, 6, size=300)
+        operations = insert_delete_stream(values, 0.3, seed=10)
+        target = _RecordingTarget()
+        replay(operations, target)
+        expected: Counter[int] = Counter()
+        for op in operations:
+            if isinstance(op, Insert):
+                expected[op.value] += 1
+            else:
+                expected[op.value] -= 1
+        assert +target.live == +expected
+
+    def test_replay_rejects_unknown_operation(self):
+        target = _RecordingTarget()
+        with pytest.raises(TypeError):
+            replay(["not-an-op"], target)  # type: ignore[list-item]

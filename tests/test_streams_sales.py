@@ -1,0 +1,77 @@
+"""Unit tests for the synthetic sales workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.sales import SalesGenerator
+
+
+class TestSalesGenerator:
+    def test_record_fields_valid(self):
+        gen = SalesGenerator(catalogue_size=100, stores=5, seed=1)
+        for record in gen.records(500):
+            assert 1 <= record.product_id <= 100
+            assert 1 <= record.store_id <= 5
+            assert record.quantity >= 1
+            assert record.unit_price > 0
+
+    def test_transaction_ids_sequential(self):
+        gen = SalesGenerator(seed=2)
+        ids = [record.transaction_id for record in gen.records(50)]
+        assert ids == list(range(1, 51))
+
+    def test_prices_stable_per_product(self):
+        gen = SalesGenerator(catalogue_size=50, seed=3)
+        seen: dict[int, float] = {}
+        for record in gen.records(2000):
+            if record.product_id in seen:
+                assert seen[record.product_id] == record.unit_price
+            else:
+                seen[record.product_id] = record.unit_price
+
+    def test_price_of_matches_records(self):
+        gen = SalesGenerator(catalogue_size=50, seed=4)
+        record = next(iter(gen.records(1)))
+        assert gen.price_of(record.product_id) == record.unit_price
+
+    def test_price_of_rejects_unknown_product(self):
+        gen = SalesGenerator(catalogue_size=10, seed=5)
+        with pytest.raises(ValueError):
+            gen.price_of(11)
+
+    def test_revenue(self):
+        gen = SalesGenerator(seed=6)
+        record = next(iter(gen.records(1)))
+        assert record.revenue == pytest.approx(
+            record.quantity * record.unit_price
+        )
+
+    def test_product_popularity_skewed(self):
+        gen = SalesGenerator(catalogue_size=1000, skew=1.5, seed=7)
+        products = gen.product_stream(50_000)
+        counts = np.bincount(products, minlength=1001)[1:]
+        # Rank 1 must dominate rank 100 under zipf 1.5.
+        assert counts[0] > 20 * counts[99]
+
+    def test_product_stream_matches_records(self):
+        gen = SalesGenerator(catalogue_size=200, seed=8)
+        stream = gen.product_stream(100)
+        from_records = [r.product_id for r in gen.records(100)]
+        assert stream.tolist() == from_records
+
+    def test_reproducible(self):
+        a = list(SalesGenerator(seed=9).records(20))
+        b = list(SalesGenerator(seed=9).records(20))
+        assert a == b
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SalesGenerator(catalogue_size=0)
+        with pytest.raises(ValueError):
+            SalesGenerator(stores=0)
+        with pytest.raises(ValueError):
+            SalesGenerator(price_low=-1.0)
+        with pytest.raises(ValueError):
+            SalesGenerator(price_low=10.0, price_high=1.0)

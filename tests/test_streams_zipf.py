@@ -1,0 +1,99 @@
+"""Unit tests for the bounded Zipf generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.zipf import ZipfDistribution, zipf_stream
+
+
+class TestZipfDistribution:
+    def test_probabilities_sum_to_one(self):
+        for skew in (0.0, 0.5, 1.0, 2.0, 3.0):
+            dist = ZipfDistribution(1000, skew)
+            assert dist.probabilities.sum() == pytest.approx(1.0)
+
+    def test_zero_skew_is_uniform(self):
+        dist = ZipfDistribution(100, 0.0)
+        assert np.allclose(dist.probabilities, 0.01)
+
+    def test_probabilities_nonincreasing(self):
+        dist = ZipfDistribution(500, 1.5)
+        probabilities = dist.probabilities
+        assert np.all(np.diff(probabilities) <= 0)
+
+    def test_probability_ratio_follows_power_law(self):
+        skew = 2.0
+        dist = ZipfDistribution(100, skew)
+        ratio = dist.probability(1) / dist.probability(2)
+        assert ratio == pytest.approx(2.0**skew)
+
+    def test_probability_out_of_domain(self):
+        dist = ZipfDistribution(10, 1.0)
+        assert dist.probability(0) == 0.0
+        assert dist.probability(11) == 0.0
+
+    def test_probabilities_read_only(self):
+        dist = ZipfDistribution(10, 1.0)
+        with pytest.raises(ValueError):
+            dist.probabilities[0] = 0.5
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfDistribution(10, -0.5)
+
+    def test_sample_in_domain(self):
+        dist = ZipfDistribution(50, 1.2)
+        values = dist.sample(10_000, seed=1)
+        assert values.min() >= 1
+        assert values.max() <= 50
+
+    def test_sample_reproducible(self):
+        dist = ZipfDistribution(100, 1.0)
+        assert np.array_equal(dist.sample(1000, 7), dist.sample(1000, 7))
+
+    def test_sample_length_and_dtype(self):
+        values = ZipfDistribution(10, 1.0).sample(123, seed=2)
+        assert len(values) == 123
+        assert values.dtype == np.int64
+
+    def test_sample_zero_length(self):
+        assert len(ZipfDistribution(10, 1.0).sample(0, seed=3)) == 0
+
+    def test_sample_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(10, 1.0).sample(-1, seed=4)
+
+    def test_empirical_frequencies_match(self):
+        dist = ZipfDistribution(20, 1.5)
+        n = 100_000
+        values = dist.sample(n, seed=5)
+        counts = np.bincount(values, minlength=21)[1:]
+        expected = dist.expected_frequencies(n)
+        # Top values have enough mass for a tight relative check.
+        for rank in range(3):
+            assert counts[rank] == pytest.approx(
+                expected[rank], rel=0.05
+            )
+
+    def test_high_skew_concentrates_on_top_value(self):
+        values = ZipfDistribution(1000, 3.0).sample(10_000, seed=6)
+        assert (values == 1).mean() > 0.7
+
+    def test_expected_frequency_moment_f1_is_n(self):
+        dist = ZipfDistribution(100, 1.0)
+        assert dist.frequency_moment(1.0, 5000) == pytest.approx(5000.0)
+
+    def test_domain_of_one(self):
+        values = ZipfDistribution(1, 2.0).sample(100, seed=7)
+        assert np.all(values == 1)
+
+
+class TestZipfStream:
+    def test_wrapper_equals_class(self):
+        direct = ZipfDistribution(100, 1.1).sample(500, seed=9)
+        wrapped = zipf_stream(500, 100, 1.1, seed=9)
+        assert np.array_equal(direct, wrapped)

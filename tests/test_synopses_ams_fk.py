@@ -1,0 +1,81 @@
+"""Unit tests for the general AMS F_k estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SynopsisError
+from repro.stats.frequency import frequency_moment
+from repro.streams import zipf_stream
+from repro.synopses.ams_fk import AmsFkEstimator
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(SynopsisError):
+            AmsFkEstimator(0)
+        with pytest.raises(SynopsisError):
+            AmsFkEstimator(2, group_count=0)
+        with pytest.raises(SynopsisError):
+            AmsFkEstimator(2, trackers_per_group=0)
+
+    def test_footprint(self):
+        estimator = AmsFkEstimator(3, group_count=5, trackers_per_group=8)
+        assert estimator.footprint == 80
+
+    def test_empty_estimate(self):
+        assert AmsFkEstimator(2, seed=1).estimate() == 0.0
+
+
+class TestExactness:
+    def test_f1_is_stream_length(self):
+        """k = 1: X = n(c - (c-1)) = n always -- exact regardless of
+        randomness."""
+        estimator = AmsFkEstimator(1, seed=2)
+        for value in zipf_stream(3000, 100, 1.0, seed=3).tolist():
+            estimator.insert(value)
+        assert estimator.estimate() == 3000.0
+
+    def test_single_value_stream_exact_for_any_k(self):
+        """One value: every tracker holds it; c is uniform on 1..n and
+        the telescoped mean still estimates n^k; check within noise."""
+        n = 2000
+        estimator = AmsFkEstimator(
+            2, group_count=5, trackers_per_group=32, seed=4
+        )
+        for _ in range(n):
+            estimator.insert(7)
+        assert estimator.estimate() == pytest.approx(n * n, rel=0.25)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_moment_estimate_ballpark(self, k):
+        stream = zipf_stream(8000, 100, 1.0, seed=10 + k)
+        estimator = AmsFkEstimator(
+            k, group_count=7, trackers_per_group=48, seed=20 + k
+        )
+        for value in stream.tolist():
+            estimator.insert(value)
+        truth = frequency_moment(stream, k)
+        assert estimator.estimate() == pytest.approx(truth, rel=0.5)
+
+    def test_unbiased_across_trials(self):
+        stream = zipf_stream(4000, 50, 1.0, seed=30)
+        truth = frequency_moment(stream, 2)
+        estimates = []
+        for trial in range(15):
+            estimator = AmsFkEstimator(
+                2, group_count=1, trackers_per_group=32,
+                seed=100 + trial,
+            )
+            for value in stream.tolist():
+                estimator.insert(value)
+            estimates.append(estimator.estimate())
+        assert float(np.mean(estimates)) == pytest.approx(truth, rel=0.2)
+
+    def test_total_inserted(self):
+        estimator = AmsFkEstimator(2, seed=40)
+        estimator.insert_many([1, 2, 3])
+        assert estimator.total_inserted == 3

@@ -1,0 +1,181 @@
+"""Unit tests for the histogram synopses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SynopsisError
+from repro.hotlist.base import HotListAnswer, HotListEntry
+from repro.stats.frequency import FrequencyTable
+from repro.streams import zipf_stream
+from repro.synopses.histogram_compressed import CompressedHistogram
+from repro.synopses.histogram_equidepth import EquiDepthHistogram
+from repro.synopses.histogram_highbiased import HighBiasedHistogram
+
+
+class TestEquiDepth:
+    def test_full_range_returns_total(self):
+        points = np.arange(1, 1001)
+        histogram = EquiDepthHistogram.from_sample(points, 10, 50_000)
+        assert histogram.estimate_range(1, 1000) == pytest.approx(50_000)
+
+    def test_half_range_uniform(self):
+        points = np.random.default_rng(1).uniform(0, 100, size=10_000)
+        histogram = EquiDepthHistogram.from_sample(points, 20, 10_000)
+        assert histogram.estimate_range(0, 50) == pytest.approx(
+            5_000, rel=0.1
+        )
+
+    def test_empty_range(self):
+        points = np.arange(100)
+        histogram = EquiDepthHistogram.from_sample(points, 4, 100)
+        assert histogram.estimate_range(10, 5) == 0.0
+
+    def test_out_of_domain_range(self):
+        points = np.arange(100)
+        histogram = EquiDepthHistogram.from_sample(points, 4, 100)
+        assert histogram.estimate_range(1000, 2000) == 0.0
+
+    def test_equality_estimate_positive_in_domain(self):
+        points = np.arange(1, 101)
+        histogram = EquiDepthHistogram.from_sample(points, 4, 100)
+        assert histogram.estimate_equality(50) > 0.0
+        assert histogram.estimate_equality(-5) == 0.0
+
+    def test_range_estimate_additive(self):
+        points = np.random.default_rng(2).uniform(0, 1000, size=5000)
+        histogram = EquiDepthHistogram.from_sample(points, 16, 5000)
+        whole = histogram.estimate_range(0, 1000)
+        split = histogram.estimate_range(0, 400) + histogram.estimate_range(
+            400.0000001, 1000
+        )
+        assert split == pytest.approx(whole, rel=0.01)
+
+    def test_footprint(self):
+        histogram = EquiDepthHistogram.from_sample(np.arange(100), 10, 100)
+        assert histogram.footprint == 21  # 11 boundaries + 10 depths
+
+    def test_validation(self):
+        with pytest.raises(SynopsisError):
+            EquiDepthHistogram.from_sample(np.arange(10), 0, 10)
+        with pytest.raises(SynopsisError):
+            EquiDepthHistogram.from_sample(np.empty(0), 4, 10)
+        with pytest.raises(SynopsisError):
+            EquiDepthHistogram.from_sample(np.arange(10), 4, -1)
+
+    def test_skewed_data_better_than_naive_width(self):
+        """Quantile boundaries adapt to skew: heavy region estimates
+        stay close to truth."""
+        stream = zipf_stream(50_000, 1000, 1.2, seed=3)
+        histogram = EquiDepthHistogram.from_sample(stream, 50, 50_000)
+        true_hot = np.count_nonzero(stream <= 10)
+        assert histogram.estimate_range(1, 10) == pytest.approx(
+            true_hot, rel=0.25
+        )
+
+
+class TestCompressed:
+    def test_heavy_values_become_singletons(self):
+        stream = zipf_stream(50_000, 1000, 1.5, seed=4)
+        histogram = CompressedHistogram.from_sample(stream, 20, 50_000)
+        assert 1 in histogram.singleton_values
+
+    def test_equality_estimate_heavy_value(self):
+        stream = zipf_stream(50_000, 1000, 1.5, seed=5)
+        histogram = CompressedHistogram.from_sample(stream, 20, 50_000)
+        truth = FrequencyTable(stream)
+        assert histogram.estimate_equality(1) == pytest.approx(
+            truth.count(1), rel=0.1
+        )
+
+    def test_range_covers_total(self):
+        stream = zipf_stream(20_000, 500, 1.0, seed=6)
+        histogram = CompressedHistogram.from_sample(stream, 16, 20_000)
+        assert histogram.estimate_range(1, 500) == pytest.approx(
+            20_000, rel=0.05
+        )
+
+    def test_uniform_data_has_no_singletons(self):
+        stream = zipf_stream(50_000, 10_000, 0.0, seed=7)
+        histogram = CompressedHistogram.from_sample(stream, 10, 50_000)
+        assert histogram.singleton_values == []
+
+    def test_footprint_positive(self):
+        stream = zipf_stream(10_000, 100, 1.0, seed=8)
+        histogram = CompressedHistogram.from_sample(stream, 8, 10_000)
+        assert histogram.footprint > 0
+
+    def test_validation(self):
+        with pytest.raises(SynopsisError):
+            CompressedHistogram.from_sample(np.arange(10), 1, 10)
+        with pytest.raises(SynopsisError):
+            CompressedHistogram.from_sample(np.empty(0), 4, 10)
+
+
+class TestHighBiased:
+    def _table(self) -> FrequencyTable:
+        table = FrequencyTable()
+        for value, count in [(1, 50), (2, 30), (3, 10), (4, 5), (5, 5)]:
+            for _ in range(count):
+                table.insert(value)
+        return table
+
+    def test_exact_construction(self):
+        histogram = HighBiasedHistogram.from_frequency_table(
+            self._table(), top_m=2
+        )
+        assert histogram.estimate_equality(1) == 50.0
+        assert histogram.estimate_equality(2) == 30.0
+        # Residual: 20 rows over 3 distinct values.
+        assert histogram.estimate_equality(4) == pytest.approx(20 / 3)
+
+    def test_bucket_count_and_footprint(self):
+        histogram = HighBiasedHistogram.from_frequency_table(
+            self._table(), top_m=3
+        )
+        assert histogram.bucket_count == 4
+        assert histogram.footprint == 8
+
+    def test_from_hotlist(self):
+        answer = HotListAnswer(
+            k=2,
+            entries=(HotListEntry(1, 48.0), HotListEntry(2, 33.0)),
+        )
+        histogram = HighBiasedHistogram.from_hotlist(
+            answer, total_rows=100, distinct_estimate=5.0
+        )
+        assert histogram.estimate_equality(1) == 48.0
+        assert histogram.residual_rows == pytest.approx(19.0)
+        assert histogram.residual_distinct == pytest.approx(3.0)
+
+    def test_join_size_exact_tops(self):
+        left = HighBiasedHistogram({1: 10.0}, 0.0, 0.0)
+        right = HighBiasedHistogram({1: 5.0}, 0.0, 0.0)
+        assert left.estimate_join_size(right) == pytest.approx(50.0)
+
+    def test_join_size_with_residuals(self):
+        left = HighBiasedHistogram({}, 100.0, 10.0)
+        right = HighBiasedHistogram({}, 200.0, 20.0)
+        # shared = 10, per-value 10 and 10: 10 * 10 * 10 = 1000.
+        assert left.estimate_join_size(right) == pytest.approx(1000.0)
+
+    def test_empty_residual_equality_zero(self):
+        histogram = HighBiasedHistogram({1: 5.0}, 0.0, 0.0)
+        assert histogram.estimate_equality(9) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SynopsisError):
+            HighBiasedHistogram({}, -1.0, 0.0)
+        with pytest.raises(SynopsisError):
+            HighBiasedHistogram.from_frequency_table(self._table(), 0)
+
+    def test_join_size_against_truth(self):
+        """On skewed self-join, the high-biased estimate lands within
+        a small factor of the exact join size."""
+        stream = zipf_stream(20_000, 500, 1.5, seed=9)
+        table = FrequencyTable(stream)
+        histogram = HighBiasedHistogram.from_frequency_table(table, 50)
+        exact = sum(c * c for _, c in table.items())
+        estimate = histogram.estimate_join_size(histogram)
+        assert estimate == pytest.approx(exact, rel=0.2)

@@ -1,0 +1,112 @@
+"""Unit tests for the V-optimal histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SynopsisError
+from repro.streams import zipf_stream
+from repro.synopses.histogram_vopt import VOptimalHistogram
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(SynopsisError):
+            VOptimalHistogram.from_sample(np.arange(10), 0, 10)
+        with pytest.raises(SynopsisError):
+            VOptimalHistogram.from_sample(np.empty(0), 4, 10)
+
+    def test_fewer_values_than_buckets(self):
+        histogram = VOptimalHistogram.from_sample(
+            np.array([1, 1, 2]), 10, 3
+        )
+        assert histogram.bucket_count == 2
+
+    def test_total_rows_preserved(self):
+        points = zipf_stream(20_000, 500, 1.0, seed=1)
+        histogram = VOptimalHistogram.from_sample(points, 16, 20_000)
+        assert histogram.total_rows == pytest.approx(20_000, rel=0.01)
+
+    def test_footprint(self):
+        histogram = VOptimalHistogram.from_sample(
+            np.arange(1, 101), 10, 100
+        )
+        assert histogram.footprint == 40
+
+
+class TestOptimality:
+    def test_isolates_outlier_frequency(self):
+        """A single huge spike should get its own bucket: the DP puts
+        a boundary around it."""
+        points = np.concatenate(
+            [np.arange(1, 101), np.full(500, 50)]
+        )
+        histogram = VOptimalHistogram.from_sample(points, 8, len(points))
+        # Equality estimate at the spike should be close to its count.
+        assert histogram.estimate_equality(50) == pytest.approx(
+            501, rel=0.35
+        )
+
+    def test_beats_random_partition_on_variance_objective(self):
+        """The DP's partition cost is no worse than arbitrary
+        partitions (check against the equal-width split)."""
+        rng = np.random.default_rng(2)
+        frequencies = rng.pareto(1.2, size=100) * 100
+
+        def partition_cost(boundaries):
+            total = 0.0
+            for start, end in boundaries:
+                segment = frequencies[start : end + 1]
+                total += float(
+                    ((segment - segment.mean()) ** 2).sum()
+                )
+            return total
+
+        optimal = VOptimalHistogram._optimal_boundaries(frequencies, 6)
+        equal_width = [
+            (i * 100 // 6, (i + 1) * 100 // 6 - 1) for i in range(6)
+        ]
+        assert partition_cost(optimal) <= partition_cost(equal_width) + 1e-6
+
+    def test_dp_exact_on_tiny_input(self):
+        frequencies = np.array([10.0, 10.0, 1.0, 1.0])
+        boundaries = VOptimalHistogram._optimal_boundaries(frequencies, 2)
+        assert boundaries == [(0, 1), (2, 3)]
+
+
+class TestEstimation:
+    @pytest.fixture(scope="class")
+    def histogram(self):
+        points = zipf_stream(50_000, 2000, 1.2, seed=3)
+        return (
+            VOptimalHistogram.from_sample(points, 24, 50_000),
+            points,
+        )
+
+    def test_full_range(self, histogram):
+        h, points = histogram
+        assert h.estimate_range(1, 2000) == pytest.approx(
+            50_000, rel=0.02
+        )
+
+    def test_hot_range_accuracy(self, histogram):
+        h, points = histogram
+        truth = float(np.count_nonzero(points <= 10))
+        assert h.estimate_range(1, 10) == pytest.approx(truth, rel=0.25)
+
+    def test_empty_range(self, histogram):
+        h, _ = histogram
+        assert h.estimate_range(10, 5) == 0.0
+        assert h.estimate_range(10**9, 2 * 10**9) == 0.0
+
+    def test_equality_out_of_domain(self, histogram):
+        h, _ = histogram
+        assert h.estimate_equality(-5) == 0.0
+
+    def test_pre_grouping_keeps_mass(self):
+        points = zipf_stream(30_000, 5000, 0.5, seed=4)
+        histogram = VOptimalHistogram.from_sample(
+            points, 10, 30_000, max_points=64
+        )
+        assert histogram.total_rows == pytest.approx(30_000, rel=0.01)

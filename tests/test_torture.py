@@ -1,0 +1,154 @@
+"""Long-run and edge-regime torture tests.
+
+These exercise the maintenance algorithms in regimes the unit tests
+do not: the minimum footprint, single-value floods, adversarial value
+patterns (negative values, huge magnitudes), alternating churn, and
+very long mixed streams -- always checking the structural invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConciseSample,
+    CountingSample,
+    ReservoirSample,
+    counting_to_concise,
+    offline_concise_sample,
+)
+from repro.streams import zipf_stream
+
+
+class TestMinimumFootprint:
+    def test_concise_footprint_two_survives_long_stream(self):
+        sample = ConciseSample(2, seed=1)
+        sample.insert_array(zipf_stream(100_000, 10_000, 0.5, seed=2))
+        sample.check_invariants()
+        assert sample.footprint <= 2
+
+    def test_counting_footprint_two_survives_long_stream(self):
+        sample = CountingSample(2, seed=3)
+        sample.insert_array(zipf_stream(100_000, 10_000, 0.5, seed=4))
+        sample.check_invariants()
+        assert sample.footprint <= 2
+
+    def test_concise_footprint_two_single_value_flood(self):
+        """One pair can absorb an unbounded flood of one value."""
+        sample = ConciseSample(2, seed=5)
+        sample.insert_array(np.full(200_000, 7))
+        sample.check_invariants()
+        assert sample.threshold == 1.0
+        assert sample.count_of(7) == 200_000
+        assert sample.footprint == 2
+
+
+class TestAdversarialValues:
+    def test_negative_values_supported(self):
+        stream = zipf_stream(20_000, 500, 1.2, seed=6) - 250
+        sample = ConciseSample(100, seed=7)
+        sample.insert_array(stream)
+        sample.check_invariants()
+        assert any(value < 0 for value, _ in sample.pairs())
+
+    def test_huge_magnitude_values(self):
+        base = 10**15
+        sample = CountingSample(50, seed=8)
+        for value in (zipf_stream(20_000, 100, 1.0, seed=9) + base).tolist():
+            sample.insert(value)
+        sample.check_invariants()
+        assert all(value > base for value, _ in sample.pairs())
+
+    def test_reservoir_with_repeated_single_value(self):
+        sample = ReservoirSample(10, seed=10)
+        sample.insert_array(np.full(50_000, 3))
+        assert sample.points() == [3] * 10
+
+
+class TestChurn:
+    def test_counting_insert_delete_ping_pong(self):
+        """Insert/delete the same value forever: footprint stays tiny
+        and counts track the live multiplicity."""
+        sample = CountingSample(10, seed=11)
+        live = 0
+        rng = np.random.default_rng(12)
+        for _ in range(50_000):
+            if live > 0 and rng.random() < 0.5:
+                sample.delete(1)
+                live -= 1
+            else:
+                sample.insert(1)
+                live += 1
+            assert sample.count_of(1) <= live
+        sample.check_invariants()
+
+    def test_counting_full_drain(self):
+        """Insert a workload, then delete every single occurrence:
+        the sample must end empty."""
+        stream = zipf_stream(30_000, 100, 1.0, seed=13)
+        sample = CountingSample(150, seed=14)
+        sample.insert_array(stream)
+        for value in stream.tolist():
+            sample.delete(value)
+        assert sample.footprint == 0
+        assert sample.distinct_in_sample == 0
+        sample.check_invariants()
+
+    def test_alternating_hot_value_waves(self):
+        """The hot value changes every wave; the sample follows."""
+        sample = CountingSample(60, seed=15)
+        for wave in range(12):
+            hot = wave % 4 + 1
+            filler = zipf_stream(4000, 2000, 0.0, seed=100 + wave) + 10
+            sample.insert_array(filler)
+            for _ in range(2500):
+                sample.insert(hot)
+            sample.check_invariants()
+        # The current wave's hot value dominates the sample.
+        counts = sample.as_dict()
+        assert counts, "sample drained unexpectedly"
+        assert max(counts, key=counts.get) in (1, 2, 3, 4)
+
+
+class TestLongMixedRuns:
+    @pytest.mark.parametrize("seed", [21, 22, 23])
+    def test_interleaved_apis_long_run(self, seed):
+        """Mix per-op inserts, bulk arrays, conversions and reports
+        over a long run; all invariants must hold throughout."""
+        concise = ConciseSample(80, seed=seed)
+        counting = CountingSample(80, seed=seed + 1)
+        for round_index in range(8):
+            chunk = zipf_stream(
+                10_000, 3000, 0.25 * round_index, seed=seed + round_index
+            )
+            if round_index % 2:
+                concise.insert_array(chunk)
+                counting.insert_array(chunk)
+            else:
+                for value in chunk[:2000].tolist():
+                    concise.insert(value)
+                    counting.insert(value)
+                concise.insert_array(chunk[2000:])
+                counting.insert_array(chunk[2000:])
+            concise.check_invariants()
+            counting.check_invariants()
+            converted = counting_to_concise(
+                counting, seed=seed + 100 + round_index
+            )
+            converted.check_invariants()
+            assert converted.footprint <= counting.footprint
+
+    def test_offline_agrees_with_online_at_scale(self):
+        stream = zipf_stream(200_000, 2000, 1.4, seed=24)
+        online_sizes = []
+        for trial in range(3):
+            sample = ConciseSample(300, seed=30 + trial)
+            sample.insert_array(stream)
+            sample.check_invariants()
+            online_sizes.append(sample.sample_size)
+        offline = offline_concise_sample(stream, 300, seed=40)
+        # Both estimate the same intrinsic size; single offline run, so
+        # allow both-sided sampling noise.
+        assert np.mean(online_sizes) <= offline.sample_size * 1.25
+        assert np.mean(online_sizes) >= offline.sample_size * 0.5
