@@ -1,0 +1,148 @@
+"""Ingest throughput: per-row vs vectorized batch vs sharded-parallel.
+
+Measures the three ingestion paths introduced by the batch pipeline --
+the per-element ``insert`` loop, the vectorized ``insert_array``, and
+``ShardedSynopsis`` parallel ingest -- for concise and counting
+samples, plus end-to-end ``DataWarehouse.load`` vs ``load_batch``
+with an engine synopsis attached.  Writes the measured numbers to
+``BENCH_batch_ingest.json`` at the repository root (the committed
+baseline the CI trajectory tracks).
+
+Run with ``PYTHONPATH=src python benchmarks/bench_batch_ingest.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ConciseSample, CountingSample, ShardedSynopsis
+from repro.engine import ApproximateAnswerEngine, DataWarehouse
+from repro.streams import zipf_stream
+
+# The acceptance configuration: zipf-1.25 stream, N=500K, footprint
+# 1000 (paper-scale stream; the batch speedups only grow with N).
+N = 500_000
+DOMAIN = 50_000
+SKEW = 1.25
+FOOTPRINT = 1_000
+SHARDS = 4
+RESULT_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_batch_ingest.json"
+)
+
+
+def _timed(build, ingest, stream) -> dict:
+    synopsis = build()
+    start = time.perf_counter()
+    ingest(synopsis, stream)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "rows_per_second": round(len(stream) / elapsed),
+    }
+
+
+def bench_core_sample(make, stream) -> dict:
+    per_row = _timed(
+        make,
+        lambda s, values: s.insert_many(values.tolist()),
+        stream,
+    )
+    batch = _timed(
+        make, lambda s, values: s.insert_array(values), stream
+    )
+    return {
+        "per_row": per_row,
+        "batch": batch,
+        "batch_speedup": round(
+            per_row["seconds"] / batch["seconds"], 2
+        ),
+    }
+
+
+def bench_sharded(factory, stream) -> dict:
+    sharded = _timed(
+        lambda: factory(SHARDS, FOOTPRINT, seed=4),
+        lambda s, values: s.insert_array(values),
+        stream,
+    )
+    return sharded
+
+
+def bench_warehouse(stream) -> dict:
+    stores = np.ones(len(stream), dtype=np.int64)
+
+    def build(seed):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("sales", ["store", "item"])
+        engine = ApproximateAnswerEngine(warehouse)
+        engine.register_sample(
+            "sales", "item", ConciseSample(FOOTPRINT, seed=seed)
+        )
+        engine.register_sample(
+            "sales", "store", CountingSample(FOOTPRINT, seed=seed + 1)
+        )
+        return warehouse
+
+    warehouse = build(10)
+    rows = list(zip(stores.tolist(), stream.tolist()))
+    start = time.perf_counter()
+    warehouse.load("sales", rows)
+    per_row_seconds = time.perf_counter() - start
+
+    warehouse = build(20)
+    start = time.perf_counter()
+    warehouse.load_batch("sales", {"store": stores, "item": stream})
+    batch_seconds = time.perf_counter() - start
+
+    return {
+        "per_row": {
+            "seconds": round(per_row_seconds, 4),
+            "rows_per_second": round(len(stream) / per_row_seconds),
+        },
+        "batch": {
+            "seconds": round(batch_seconds, 4),
+            "rows_per_second": round(len(stream) / batch_seconds),
+        },
+        "batch_speedup": round(per_row_seconds / batch_seconds, 2),
+    }
+
+
+def main() -> dict:
+    stream = zipf_stream(N, DOMAIN, SKEW, seed=1)
+
+    results = {
+        "config": {
+            "inserts": N,
+            "domain": DOMAIN,
+            "zipf_skew": SKEW,
+            "footprint_bound": FOOTPRINT,
+            "shards": SHARDS,
+        },
+        "concise": bench_core_sample(
+            lambda: ConciseSample(FOOTPRINT, seed=2), stream
+        ),
+        "counting": bench_core_sample(
+            lambda: CountingSample(FOOTPRINT, seed=3), stream
+        ),
+        "warehouse": bench_warehouse(stream),
+    }
+    results["concise"]["sharded"] = bench_sharded(
+        ShardedSynopsis.concise, stream
+    )
+    results["counting"]["sharded"] = bench_sharded(
+        ShardedSynopsis.counting, stream
+    )
+
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    print(f"\nwritten to {RESULT_PATH}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

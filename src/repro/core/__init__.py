@@ -20,8 +20,10 @@ from repro.core.concise import ConciseSample
 from repro.core.convert import counting_to_concise
 from repro.core.counting import CountingSample
 from repro.core.footprint import bit_footprint, word_footprint
+from repro.core.merge import merge_concise, merge_counting
 from repro.core.offline import offline_concise_sample
 from repro.core.reservoir import ReservoirSample
+from repro.core.sharded import ShardedSynopsis
 from repro.core.thresholds import (
     BinarySearchRaise,
     MultiplicativeRaise,
@@ -36,12 +38,15 @@ __all__ = [
     "CountingSample",
     "MultiplicativeRaise",
     "ReservoirSample",
+    "ShardedSynopsis",
     "SingletonBoundRaise",
     "StreamSynopsis",
     "SynopsisError",
     "ThresholdPolicy",
     "bit_footprint",
     "counting_to_concise",
+    "merge_concise",
+    "merge_counting",
     "offline_concise_sample",
     "word_footprint",
 ]

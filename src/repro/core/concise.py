@@ -27,8 +27,19 @@ from repro.core.base import StreamSynopsis, SynopsisError
 from repro.core.thresholds import MultiplicativeRaise, ThresholdPolicy
 from repro.randkit.coins import CostCounters, EvictionSkipper, GeometricSkipper
 from repro.randkit.rng import ReproRandom
+from repro.randkit.vectorized import VectorCoins
 
 __all__ = ["ConciseSample"]
+
+# Batch chunks admit roughly footprint_bound / _CHUNK_DIVISOR elements
+# before a shrink check, keeping the footprint overshoot (and hence the
+# threshold trajectory) close to the per-element algorithm's.  Chunks
+# double while no shrink triggers (the all-fits regime, where chunk
+# size has no distributional effect at all) and reset on a threshold
+# raise; growth is capped to bound the worst-case footprint overshoot.
+_CHUNK_DIVISOR = 4
+_MIN_CHUNK = 256
+_MAX_CHUNK_GROWTH = 1024
 
 
 class ConciseSample(StreamSynopsis):
@@ -76,7 +87,12 @@ class ConciseSample(StreamSynopsis):
         self._footprint = 0
         self._sample_size = 0
         self._threshold = 1.0
+        self._inserted = 0
         self._admission = GeometricSkipper(self._rng, self.counters, 1.0)
+        # Vectorized randomness for the batch path; created lazily so
+        # per-element-only runs consume exactly the same RNG stream as
+        # before the batch pipeline existed.
+        self._vector_coins: VectorCoins | None = None
 
     # ------------------------------------------------------------------
     # State inspection
@@ -104,8 +120,14 @@ class ConciseSample(StreamSynopsis):
 
     @property
     def total_inserted(self) -> int:
-        """Warehouse inserts observed so far (the relation size ``n``)."""
-        return self.counters.inserts
+        """Warehouse inserts observed by *this* synopsis (``n``).
+
+        Tracked per synopsis, not on the shared
+        :class:`~repro.randkit.coins.CostCounters` ledger: several
+        synopses may share one cost ledger, and the relation size an
+        estimator scales by must be this synopsis's own stream length.
+        """
+        return self._inserted
 
     def __contains__(self, value: int) -> bool:
         return value in self._counts
@@ -169,7 +191,7 @@ class ConciseSample(StreamSynopsis):
         """
         if self._sample_size == 0:
             return 0.0
-        scale = self.counters.inserts / self._sample_size
+        scale = self._inserted / self._sample_size
         return self._counts.get(value, 0) * scale
 
     # ------------------------------------------------------------------
@@ -179,6 +201,7 @@ class ConciseSample(StreamSynopsis):
     def insert(self, value: int) -> bool:
         """Observe one warehouse insert; returns ``True`` if sampled."""
         self.counters.inserts += 1
+        self._inserted += 1
         if not self._admission.offer():
             return False
         self._add_sample_point(value)
@@ -187,26 +210,83 @@ class ConciseSample(StreamSynopsis):
         return True
 
     def insert_array(self, values: np.ndarray) -> None:
-        """Skip-ahead bulk insertion.
+        """Vectorized bulk insertion.
 
-        Jumps directly between admitted stream positions, so the cost
-        is proportional to the number of *admitted* inserts plus
-        threshold raises -- not the stream length -- once the threshold
-        exceeds 1.
+        Processes the stream in chunks: one array of admission coins
+        per chunk, one ``np.unique`` aggregation of the admitted
+        values, and a bulk update of the concise representation -- the
+        per-element Python loop runs only over *distinct admitted*
+        values.  Threshold raises are applied between chunks; by
+        Theorem 2 subsampling the whole sample to the raised threshold
+        is distributionally equivalent to admitting late elements at
+        the raised threshold directly, so the result is a concise
+        sample with the same law as the per-element path (the exact
+        random sequences differ; see the statistical-equivalence
+        tests).
         """
-        position = 0
         n = len(values)
+        if n == 0:
+            return
+        values = np.asarray(values)
+        coins = self._coins()
+        position = 0
+        growth = 1
         while position < n:
-            offset = self._admission.next_admission_within(n - position)
-            if offset is None:
-                self.counters.inserts += n - position
-                return
-            self.counters.inserts += offset + 1
-            position += offset
-            self._add_sample_point(int(values[position]))
-            position += 1
+            chunk_len = min(
+                n - position, self._chunk_length() * growth
+            )
+            chunk = values[position : position + chunk_len]
+            position += chunk_len
+            self.counters.inserts += chunk_len
+            self._inserted += chunk_len
+            if self._threshold <= 1.0:
+                admitted = chunk
+            else:
+                mask = coins.admission_mask(
+                    1.0 / self._threshold, chunk_len
+                )
+                admitted = chunk[mask]
+            if admitted.size:
+                self._add_batch(admitted)
             if self._footprint > self.footprint_bound:
-                self._shrink()
+                self._shrink(batch=True)
+                growth = 1
+            else:
+                growth = min(growth * 2, _MAX_CHUNK_GROWTH)
+
+    def _coins(self) -> VectorCoins:
+        if self._vector_coins is None:
+            self._vector_coins = VectorCoins(
+                np.random.default_rng(self._rng.fork().seed), self.counters
+            )
+        return self._vector_coins
+
+    def _chunk_length(self) -> int:
+        """Stream elements per batch chunk.
+
+        Sized so a chunk admits about ``footprint_bound / 4`` elements
+        in expectation, keeping the footprint overshoot before a
+        shrink close to the per-element algorithm's.
+        """
+        expected = self.footprint_bound * max(1.0, self._threshold)
+        return max(_MIN_CHUNK, int(expected) // _CHUNK_DIVISOR)
+
+    def _add_batch(self, admitted: np.ndarray) -> None:
+        """Fold a block of admitted values into the representation."""
+        uniq, counts = np.unique(admitted, return_counts=True)
+        self.counters.lookups += len(uniq)
+        counts_dict = self._counts
+        get = counts_dict.get
+        footprint = self._footprint
+        for value, count in zip(uniq.tolist(), counts.tolist()):
+            current = get(value, 0)
+            if current == 0:
+                footprint += 1 if count == 1 else 2
+            elif current == 1:
+                footprint += 1
+            counts_dict[value] = current + count
+        self._footprint = footprint
+        self._sample_size += int(admitted.size)
 
     def _add_sample_point(self, value: int) -> None:
         """Place an admitted value into the concise representation."""
@@ -219,7 +299,7 @@ class ConciseSample(StreamSynopsis):
         self._counts[value] = count + 1
         self._sample_size += 1
 
-    def _shrink(self) -> None:
+    def _shrink(self, batch: bool = False) -> None:
         """Raise the threshold until the footprint is within bound."""
         while self._footprint > self.footprint_bound:
             new_threshold = self.policy.next_threshold(self)
@@ -227,7 +307,10 @@ class ConciseSample(StreamSynopsis):
                 raise SynopsisError(
                     "threshold policy failed to raise the threshold"
                 )
-            self._evict_to(new_threshold)
+            if batch:
+                self._evict_to_batch(new_threshold)
+            else:
+                self._evict_to(new_threshold)
 
     def _evict_to(self, new_threshold: float) -> None:
         """Subject every sample point to the stricter threshold.
@@ -255,6 +338,34 @@ class ConciseSample(StreamSynopsis):
                 self._counts[value] = remaining
                 if remaining == 1 and count >= 2:
                     self._footprint -= 1
+        self._threshold = new_threshold
+        self._admission.raise_threshold(new_threshold)
+
+    def _evict_to_batch(self, new_threshold: float) -> None:
+        """Vectorized eviction sweep: binomial survivors in one op.
+
+        Every ``(value, count)`` run draws its survivor count from
+        ``Binomial(count, tau / tau')`` -- the closed form of Theorem
+        2's per-point coin flips -- and the representation is rebuilt
+        from the survivor arrays.
+        """
+        self.counters.threshold_raises += 1
+        keep_probability = self._threshold / new_threshold
+        size = len(self._counts)
+        values = np.fromiter(self._counts.keys(), np.int64, size)
+        counts = np.fromiter(self._counts.values(), np.int64, size)
+        survivors = self._coins().binomial_survivors(
+            counts, keep_probability
+        )
+        alive = survivors > 0
+        self._counts = dict(
+            zip(values[alive].tolist(), survivors[alive].tolist())
+        )
+        self._footprint = int(
+            np.count_nonzero(survivors == 1)
+            + 2 * np.count_nonzero(survivors >= 2)
+        )
+        self._sample_size = int(survivors.sum())
         self._threshold = new_threshold
         self._admission.raise_threshold(new_threshold)
 
@@ -297,6 +408,7 @@ class ConciseSample(StreamSynopsis):
         if threshold < 1.0:
             raise SynopsisError("threshold must be at least 1")
         sample._threshold = float(threshold)
+        sample._inserted = int(total_inserted)
         sample.counters.inserts += total_inserted
         if threshold > 1.0:
             sample._admission.raise_threshold(float(threshold))

@@ -30,8 +30,51 @@ from repro.core.base import StreamSynopsis, SynopsisError
 from repro.core.thresholds import MultiplicativeRaise, ThresholdPolicy
 from repro.randkit.coins import CostCounters, GeometricSkipper
 from repro.randkit.rng import ReproRandom
+from repro.randkit.vectorized import VectorCoins
 
-__all__ = ["CountingSample"]
+__all__ = ["CountingSample", "subsample_tail_counts"]
+
+# Batch chunking mirrors ConciseSample's: admit roughly a quarter of
+# the footprint bound per chunk before checking for a shrink, with
+# chunks doubling while no shrink triggers and resetting on a raise.
+_CHUNK_DIVISOR = 4
+_MIN_CHUNK = 256
+_MAX_CHUNK_GROWTH = 1024
+
+
+def subsample_tail_counts(
+    counts: np.ndarray,
+    keep_probability: float,
+    new_threshold: float,
+    uniforms: np.ndarray,
+) -> np.ndarray:
+    """Re-run admission tails for counting-sample runs, vectorized.
+
+    Implements Section 4.1's threshold raise in closed form for an
+    array of observed counts: each run keeps its full count with
+    probability ``keep_probability`` (= ``tau / tau'``); otherwise it
+    loses one point plus a geometric number of further points at tails
+    probability ``1 - 1/tau'`` (Theorem 5).  One uniform per run drives
+    the whole decision -- its position below/above ``keep_probability``
+    is the first coin, and the renormalised remainder inverts the
+    geometric tails run.  Returns the new counts (zeros mean evicted).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size == 0:
+        return counts.copy()
+    tail_log = math.log1p(-1.0 / new_threshold)
+    keep = uniforms < keep_probability
+    with np.errstate(divide="ignore"):
+        conditional = (uniforms - keep_probability) / (
+            1.0 - keep_probability
+        )
+        tails = np.where(
+            conditional > 0.0,
+            np.floor(np.log(np.maximum(conditional, 1e-320)) / tail_log),
+            counts,  # degenerate endpoint: the whole run drains
+        ).astype(np.int64)
+    removed = 1 + np.minimum(tails, counts - 1)
+    return np.where(keep, counts, counts - removed)
 
 
 class CountingSample(StreamSynopsis):
@@ -68,9 +111,14 @@ class CountingSample(StreamSynopsis):
         self._counts: dict[int, int] = {}
         self._footprint = 0
         self._threshold = 1.0
+        self._inserted = 0
+        self._deleted = 0
         # The admission skipper advances one step per *absent-value*
         # insert event; each such event is an independent 1/tau coin.
         self._admission = GeometricSkipper(self._rng, self.counters, 1.0)
+        # Vectorized randomness for the batch path; created lazily so
+        # per-element-only runs consume the same RNG stream as before.
+        self._vector_coins: VectorCoins | None = None
 
     # ------------------------------------------------------------------
     # State inspection
@@ -98,8 +146,13 @@ class CountingSample(StreamSynopsis):
 
     @property
     def total_inserted(self) -> int:
-        """Net relation size ``n`` implied by the observed stream."""
-        return self.counters.inserts - self.counters.deletes
+        """Net relation size ``n`` implied by *this* synopsis's stream.
+
+        Tracked per synopsis rather than on the (possibly shared)
+        :class:`~repro.randkit.coins.CostCounters` ledger, so several
+        synopses sharing one cost ledger each report their own ``n``.
+        """
+        return self._inserted - self._deleted
 
     def __contains__(self, value: int) -> bool:
         return value in self._counts
@@ -141,6 +194,7 @@ class CountingSample(StreamSynopsis):
     def insert(self, value: int) -> None:
         """Observe one warehouse insert of ``value``."""
         self.counters.inserts += 1
+        self._inserted += 1
         self.counters.lookups += 1
         count = self._counts.get(value, 0)
         if count > 0:
@@ -159,13 +213,93 @@ class CountingSample(StreamSynopsis):
             self._shrink()
 
     def insert_array(self, values: np.ndarray) -> None:
-        """Bulk insertion (per-element: every insert needs a lookup)."""
-        # Unlike concise samples, a counting sample cannot skip stream
-        # elements -- present values must be counted -- so the bulk path
-        # is a tight loop over a Python list (tolist() avoids repeated
-        # numpy scalar boxing).
-        for value in values.tolist():
-            self.insert(value)
+        """Vectorized bulk insertion.
+
+        A counting sample cannot skip stream elements -- present values
+        must be counted exactly -- but it *can* aggregate them: each
+        chunk is reduced with one ``np.unique``, occurrences of
+        already-present values are added to their counts in bulk, and
+        absent values draw their whole admission tail as one geometric
+        array op (count = occurrences - pre-admission failures).  The
+        Python-level loop runs only over distinct present values and
+        newly admitted ones, not the stream.  Threshold raises are
+        applied between chunks via the Theorem-5 subsample, which
+        preserves the counting-sample law.
+        """
+        n = len(values)
+        if n == 0:
+            return
+        values = np.asarray(values)
+        position = 0
+        growth = 1
+        while position < n:
+            chunk_len = min(
+                n - position, self._chunk_length() * growth
+            )
+            raises_before = self.counters.threshold_raises
+            self._ingest_chunk(values[position : position + chunk_len])
+            position += chunk_len
+            if self.counters.threshold_raises == raises_before:
+                growth = min(growth * 2, _MAX_CHUNK_GROWTH)
+            else:
+                growth = 1
+
+    def _coins(self) -> VectorCoins:
+        if self._vector_coins is None:
+            self._vector_coins = VectorCoins(
+                np.random.default_rng(self._rng.fork().seed), self.counters
+            )
+        return self._vector_coins
+
+    def _chunk_length(self) -> int:
+        expected = self.footprint_bound * max(1.0, self._threshold)
+        return max(_MIN_CHUNK, int(expected) // _CHUNK_DIVISOR)
+
+    def _ingest_chunk(self, chunk: np.ndarray) -> None:
+        chunk_len = len(chunk)
+        self.counters.inserts += chunk_len
+        self._inserted += chunk_len
+        uniq, occurrences = np.unique(chunk, return_counts=True)
+        # One hash probe per distinct value in the chunk (the batch
+        # economy the per-element path cannot have).
+        self.counters.lookups += len(uniq)
+        counts_dict = self._counts
+        if counts_dict:
+            keys = np.fromiter(
+                counts_dict.keys(), np.int64, len(counts_dict)
+            )
+            present = np.isin(uniq, keys, assume_unique=True)
+        else:
+            present = np.zeros(len(uniq), dtype=bool)
+        footprint = self._footprint
+        # Present values: every occurrence is counted, no randomness.
+        for value, count in zip(
+            uniq[present].tolist(), occurrences[present].tolist()
+        ):
+            current = counts_dict[value]
+            counts_dict[value] = current + count
+            if current == 1:
+                footprint += 1
+        # Absent values: the whole admission tail in one array draw.
+        absent_values = uniq[~present]
+        if absent_values.size:
+            absent_occurrences = occurrences[~present]
+            if self._threshold <= 1.0:
+                surviving = absent_occurrences
+            else:
+                surviving = self._coins().admission_survivors(
+                    1.0 / self._threshold, absent_occurrences
+                )
+            admitted = surviving > 0
+            for value, count in zip(
+                absent_values[admitted].tolist(),
+                surviving[admitted].tolist(),
+            ):
+                counts_dict[value] = count
+                footprint += 1 if count == 1 else 2
+        self._footprint = footprint
+        if footprint > self.footprint_bound:
+            self._shrink(batch=True)
 
     def delete(self, value: int) -> None:
         """Observe one warehouse delete of ``value``.
@@ -175,6 +309,7 @@ class CountingSample(StreamSynopsis):
         Theorem 5 shows this preserves the counting-sample property.
         """
         self.counters.deletes += 1
+        self._deleted += 1
         self.counters.lookups += 1
         count = self._counts.get(value, 0)
         if count == 0:
@@ -188,7 +323,7 @@ class CountingSample(StreamSynopsis):
                 # Pair reverts to a singleton.
                 self._footprint -= 1
 
-    def _shrink(self) -> None:
+    def _shrink(self, batch: bool = False) -> None:
         """Raise the threshold until the footprint is within bound."""
         while self._footprint > self.footprint_bound:
             new_threshold = self.policy.next_threshold(self)
@@ -196,7 +331,10 @@ class CountingSample(StreamSynopsis):
                 raise SynopsisError(
                     "threshold policy failed to raise the threshold"
                 )
-            self._evict_to(new_threshold)
+            if batch:
+                self._evict_to_batch(new_threshold)
+            else:
+                self._evict_to(new_threshold)
 
     def _evict_to(self, new_threshold: float) -> None:
         """Re-run every value's admission tail at the stricter threshold.
@@ -244,6 +382,56 @@ class CountingSample(StreamSynopsis):
                     self._footprint -= 1
         self._threshold = new_threshold
         self._admission.raise_threshold(new_threshold)
+
+    def _evict_to_batch(self, new_threshold: float) -> None:
+        """Vectorized threshold raise: all admission tails in one op.
+
+        Semantically identical to :meth:`_evict_to` -- one uniform per
+        value drives the keep/tail decision -- but the uniforms are
+        drawn as one array and the tail inversion runs in numpy via
+        :func:`subsample_tail_counts`.
+        """
+        self.counters.threshold_raises += 1
+        size = len(self._counts)
+        values = np.fromiter(self._counts.keys(), np.int64, size)
+        counts = np.fromiter(self._counts.values(), np.int64, size)
+        new_counts = subsample_tail_counts(
+            counts,
+            self._threshold / new_threshold,
+            new_threshold,
+            self._coins().uniforms(size),
+        )
+        alive = new_counts > 0
+        self._counts = dict(
+            zip(values[alive].tolist(), new_counts[alive].tolist())
+        )
+        self._footprint = int(
+            np.count_nonzero(new_counts == 1)
+            + 2 * np.count_nonzero(new_counts >= 2)
+        )
+        self._threshold = new_threshold
+        self._admission.raise_threshold(new_threshold)
+
+    @classmethod
+    def merge(
+        cls,
+        samples: "list[CountingSample]",
+        *,
+        seed: int | None = None,
+        footprint_bound: int | None = None,
+        policy: ThresholdPolicy | None = None,
+        counters: CostCounters | None = None,
+    ) -> "CountingSample":
+        """Merge shard counting samples; see :func:`repro.core.merge.merge_counting`."""
+        from repro.core.merge import merge_counting
+
+        return merge_counting(
+            samples,
+            seed=seed,
+            footprint_bound=footprint_bound,
+            policy=policy,
+            counters=counters,
+        )
 
     def check_invariants(self) -> None:
         """Recompute bookkeeping from the raw state; raise on drift."""

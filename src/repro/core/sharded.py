@@ -1,0 +1,178 @@
+"""Sharded synopsis construction over stream partitions.
+
+:class:`ShardedSynopsis` partitions each ingested batch across ``k``
+shard synopses built in parallel (thread workers; the vectorized
+``insert_array`` paths spend their time in numpy, which releases the
+GIL) and merges the shards on query via the Theorem-2 /Theorem-5
+subsample merges in :mod:`repro.core.merge`.  This is the BlinkDB-style
+deployment shape: one synopsis per partition, combined at answer time.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.base import SynopsisError
+from repro.core.concise import ConciseSample
+from repro.core.counting import CountingSample
+from repro.core.merge import merge_concise, merge_counting
+from repro.core.thresholds import ThresholdPolicy
+from repro.randkit.rng import spawn_seeds
+
+__all__ = ["ShardedSynopsis"]
+
+
+class ShardedSynopsis:
+    """``k`` shard synopses fed round-partitioned batches, merged on query.
+
+    Build via :meth:`concise` or :meth:`counting`; feed with
+    :meth:`insert_array`; read the combined synopsis with
+    :meth:`merged` (cached until the next ingest).
+
+    Examples
+    --------
+    >>> sharded = ShardedSynopsis.concise(
+    ...     shards=4, footprint_bound=64, seed=11
+    ... )
+    >>> sharded.insert_array(np.arange(10_000) % 97)
+    >>> merged = sharded.merged()
+    >>> merged.footprint <= 64
+    True
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[ConciseSample] | Sequence[CountingSample],
+        merge: Callable,
+        *,
+        merge_seed: int,
+        footprint_bound: int,
+        policy: ThresholdPolicy | None,
+        parallel: bool = True,
+    ) -> None:
+        if not shards:
+            raise SynopsisError("at least one shard is required")
+        self.shards = list(shards)
+        self._merge = merge
+        self._merge_seed = merge_seed
+        self._footprint_bound = footprint_bound
+        self._policy = policy
+        self._parallel = parallel and len(self.shards) > 1
+        self._cached_merge = None
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def concise(
+        cls,
+        shards: int,
+        footprint_bound: int,
+        *,
+        seed: int = 0,
+        policy: ThresholdPolicy | None = None,
+        parallel: bool = True,
+    ) -> "ShardedSynopsis":
+        """``shards`` concise samples, each with its own footprint bound."""
+        seeds = spawn_seeds(seed, shards + 1)
+        return cls(
+            [
+                ConciseSample(footprint_bound, seed=s, policy=policy)
+                for s in seeds[:shards]
+            ],
+            merge_concise,
+            merge_seed=seeds[shards],
+            footprint_bound=footprint_bound,
+            policy=policy,
+            parallel=parallel,
+        )
+
+    @classmethod
+    def counting(
+        cls,
+        shards: int,
+        footprint_bound: int,
+        *,
+        seed: int = 0,
+        policy: ThresholdPolicy | None = None,
+        parallel: bool = True,
+    ) -> "ShardedSynopsis":
+        """``shards`` counting samples, each with its own footprint bound."""
+        seeds = spawn_seeds(seed, shards + 1)
+        return cls(
+            [
+                CountingSample(footprint_bound, seed=s, policy=policy)
+                for s in seeds[:shards]
+            ],
+            merge_counting,
+            merge_seed=seeds[shards],
+            footprint_bound=footprint_bound,
+            policy=policy,
+            parallel=parallel,
+        )
+
+    # ------------------------------------------------------------------
+    # Ingest / query
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def total_inserted(self) -> int:
+        """Total stream elements observed across all shards."""
+        return sum(s.total_inserted for s in self.shards)
+
+    @property
+    def footprint(self) -> int:
+        """Sum of shard footprints (the pre-merge storage cost)."""
+        return sum(s.footprint for s in self.shards)
+
+    def insert_array(self, values: np.ndarray) -> None:
+        """Partition a batch across shards and ingest in parallel.
+
+        Contiguous splits (``np.array_split``) keep each shard's input
+        a subsequence of the stream; which shard sees which elements is
+        immaterial to the merged law because admission coins are i.i.d.
+        per element.
+        """
+        values = np.asarray(values)
+        if len(values) == 0:
+            return
+        self._cached_merge = None
+        pieces = np.array_split(values, len(self.shards))
+        if self._parallel:
+            with ThreadPoolExecutor(
+                max_workers=len(self.shards)
+            ) as pool:
+                list(
+                    pool.map(
+                        lambda pair: pair[0].insert_array(pair[1]),
+                        zip(self.shards, pieces),
+                    )
+                )
+        else:
+            for shard, piece in zip(self.shards, pieces):
+                shard.insert_array(piece)
+
+    def merged(self):
+        """The merged synopsis (cached until the next ingest)."""
+        if self._cached_merge is None:
+            self._cached_merge = self._merge(
+                self.shards,
+                seed=self._merge_seed,
+                footprint_bound=self._footprint_bound,
+                policy=self._policy,
+            )
+        return self._cached_merge
+
+    def check_invariants(self) -> None:
+        """Validate every shard and the merged result."""
+        for shard in self.shards:
+            shard.check_invariants()
+        self.merged().check_invariants()

@@ -14,6 +14,8 @@ repeat.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.hotlist.base import HotListAnswer
 
 __all__ = [
@@ -21,6 +23,7 @@ __all__ = [
     "decode_composite",
     "decode_composite_answer",
     "encode_composite",
+    "encode_composite_array",
 ]
 
 _COMPONENT_BITS = 24
@@ -47,6 +50,36 @@ def encode_composite(values: tuple[int, ...]) -> int:
             )
         encoded = (encoded << _COMPONENT_BITS) | value
     return encoded
+
+
+def encode_composite_array(
+    components: tuple[np.ndarray, ...],
+) -> np.ndarray:
+    """Vectorized :func:`encode_composite` over whole columns.
+
+    Only pairs fit: the sentinel bit plus two 24-bit components needs
+    49 bits, within int64; three components need 73 and would
+    overflow.  Raises :class:`ValueError` for arity >= 3 so callers
+    can fall back to the per-row Python-int encoding.
+    """
+    if len(components) < 2:
+        raise ValueError("a composite needs at least two components")
+    if len(components) > 2:
+        raise ValueError(
+            "vectorized encoding supports only attribute pairs "
+            "(wider tuples overflow int64)"
+        )
+    first = np.asarray(components[0], dtype=np.int64)
+    second = np.asarray(components[1], dtype=np.int64)
+    for column in (first, second):
+        if column.size and (
+            column.min() < 0 or column.max() > MAX_COMPONENT
+        ):
+            raise ValueError(
+                f"component out of range [0, {MAX_COMPONENT}]"
+            )
+    sentinel = np.int64(1) << np.int64(2 * _COMPONENT_BITS)
+    return sentinel | (first << np.int64(_COMPONENT_BITS)) | second
 
 
 def decode_composite(encoded: int, arity: int) -> tuple[int, ...]:

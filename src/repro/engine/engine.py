@@ -52,6 +52,29 @@ class NoSynopsisError(RuntimeError):
     approximately and exact fallback was not allowed."""
 
 
+class _EngineTap:
+    """The engine's warehouse subscription, row- and batch-capable.
+
+    A plain bound method cannot carry the ``observe_batch`` attribute
+    the warehouse probes for, so the engine registers this adapter:
+    per-row events call the engine's ``_observe`` and whole batches go
+    to ``_observe_batch``.
+    """
+
+    def __init__(self, engine: "ApproximateAnswerEngine") -> None:
+        self._engine = engine
+
+    def __call__(
+        self, relation_name: str, row: tuple, is_insert: bool
+    ) -> None:
+        self._engine._observe(relation_name, row, is_insert)
+
+    def observe_batch(
+        self, relation_name: str, columns: dict[str, np.ndarray]
+    ) -> None:
+        self._engine._observe_batch(relation_name, columns)
+
+
 class ApproximateAnswerEngine:
     """Routes queries to synopses maintained over the load stream.
 
@@ -72,7 +95,7 @@ class ApproximateAnswerEngine:
         self.registry = SynopsisRegistry(budget_words)
         self._row_counts: dict[str, int] = {}
         self._composites: dict[str, list[tuple[str, ...]]] = {}
-        warehouse.add_observer(self._observe)
+        warehouse.add_observer(_EngineTap(self))
 
     # ------------------------------------------------------------------
     # Load-stream observation
@@ -133,6 +156,75 @@ class ApproximateAnswerEngine:
                         "deleting from the warehouse"
                     )
                 delete(value)
+
+    def _observe_batch(
+        self, relation_name: str, columns: dict[str, np.ndarray]
+    ) -> None:
+        """Forward a whole load batch to every synopsis in one call."""
+        length = len(next(iter(columns.values())))
+        self._row_counts[relation_name] = (
+            self._row_counts.get(relation_name, 0) + length
+        )
+        relation = self.warehouse.relation(relation_name)
+        for attribute in relation.attributes:
+            self._forward_batch(
+                relation_name, attribute, columns[attribute]
+            )
+        for attributes in self._composites.get(relation_name, []):
+            from repro.engine.composite import (
+                composite_name,
+                encode_composite,
+                encode_composite_array,
+            )
+
+            parts = tuple(
+                columns[attribute] for attribute in attributes
+            )
+            name = composite_name(attributes)
+            try:
+                encoded = encode_composite_array(parts)
+            except ValueError:
+                # Wider-than-pair tuples overflow int64: encode row by
+                # row with Python bigints and use the per-row path.
+                for row in zip(*(part.tolist() for part in parts)):
+                    self._forward(
+                        relation_name,
+                        name,
+                        encode_composite(
+                            tuple(int(value) for value in row)
+                        ),
+                        True,
+                    )
+                continue
+            self._forward_batch(relation_name, name, encoded)
+
+    def _forward_batch(
+        self,
+        relation_name: str,
+        attribute: str,
+        values: np.ndarray,
+    ) -> None:
+        """Deliver one attribute column to the synopses registered on it."""
+        prepared: np.ndarray | None = None
+        for _, synopsis in self.registry.for_attribute(
+            relation_name, attribute
+        ):
+            if not hasattr(synopsis, "insert"):
+                # Statically built synopses (histograms) do not observe
+                # the load stream; they are rebuilt on demand.
+                continue
+            if prepared is None:
+                prepared = np.asarray(values)
+                if prepared.dtype.kind not in "iu":
+                    # Per-row forwarding casts with int(); match it.
+                    prepared = prepared.astype(np.int64)
+            insert_array = getattr(synopsis, "insert_array", None)
+            if insert_array is not None:
+                insert_array(prepared)
+            else:
+                insert = synopsis.insert
+                for value in prepared.tolist():
+                    insert(value)
 
     def rows_loaded(self, relation_name: str) -> int:
         """Net rows the engine has observed for a relation."""

@@ -59,6 +59,79 @@ class Relation:
         self._size += 1
         return normalised
 
+    def insert_batch(
+        self, columns: Mapping[str, "np.ndarray"]
+    ) -> dict[str, np.ndarray]:
+        """Insert many rows given as whole attribute arrays.
+
+        ``columns`` must provide one equal-length array per schema
+        attribute.  The multiset is updated with one ``np.unique`` over
+        the stacked rows instead of one hash update per row.  Returns
+        the normalised columns (schema order, as numpy arrays) for the
+        caller to fan out to observers.
+        """
+        try:
+            arrays = [
+                np.asarray(columns[attribute])
+                for attribute in self.attributes
+            ]
+        except KeyError as missing:
+            raise RelationError(
+                f"batch missing attribute {missing}"
+            ) from None
+        extra = set(columns) - set(self.attributes)
+        if extra:
+            raise RelationError(
+                f"batch has unknown attributes {sorted(extra)!r}"
+            )
+        length = len(arrays[0])
+        if any(len(array) != length for array in arrays):
+            raise RelationError("batch columns differ in length")
+        if length == 0:
+            return dict(zip(self.attributes, arrays))
+        if all(array.dtype.kind in "iu" for array in arrays):
+            # Factorise each column to dense codes and combine them
+            # into one int64 row key: per-column int sorts are much
+            # faster than np.unique(axis=0)'s void-dtype row sort.
+            codes = np.zeros(length, dtype=np.int64)
+            capacity = 1
+            for array in arrays:
+                uniques, inverse = np.unique(
+                    array, return_inverse=True
+                )
+                if capacity > (2**62) // max(len(uniques), 1):
+                    break
+                capacity *= len(uniques)
+                codes = codes * np.int64(len(uniques)) + inverse
+            else:
+                _, first_index, multiplicities = np.unique(
+                    codes, return_index=True, return_counts=True
+                )
+                gathered = zip(
+                    *(
+                        array[first_index].tolist()
+                        for array in arrays
+                    )
+                )
+                for row, count in zip(
+                    gathered, multiplicities.tolist()
+                ):
+                    self._rows[row] += count
+                self._size += length
+                return dict(zip(self.attributes, arrays))
+            # Key space overflowed int64: fall back to row hashing.
+            self._rows.update(
+                zip(*(array.tolist() for array in arrays))
+            )
+        else:
+            # Mixed/float columns: keep each component's native Python
+            # type so tuples match what per-row inserts would store.
+            self._rows.update(
+                zip(*(array.tolist() for array in arrays))
+            )
+        self._size += length
+        return dict(zip(self.attributes, arrays))
+
     def delete(self, row: Mapping[str, int] | tuple) -> tuple:
         """Delete one occurrence of a row; raises if absent."""
         normalised = self._normalise(row)

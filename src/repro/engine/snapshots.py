@@ -60,6 +60,7 @@ def snapshot_synopsis(synopsis: Any) -> dict:
             "counts": [
                 [value, count] for value, count in synopsis.pairs()
             ],
+            "total_inserted": synopsis.total_inserted,
             "counters": _counters_state(synopsis.counters),
         }
     if isinstance(synopsis, CountingSample):
@@ -70,6 +71,8 @@ def snapshot_synopsis(synopsis: Any) -> dict:
             "counts": [
                 [value, count] for value, count in synopsis.pairs()
             ],
+            "total_inserted": synopsis._inserted,
+            "total_deleted": synopsis._deleted,
             "counters": _counters_state(synopsis.counters),
         }
     if isinstance(synopsis, ReservoirSample):
@@ -98,6 +101,11 @@ def restore_synopsis(state: dict, *, seed: int | None = None) -> Any:
             {int(v): int(c) for v, c in state["counts"]},
             threshold=float(state["threshold"]),
             footprint_bound=int(state["footprint_bound"]),
+            total_inserted=int(
+                # Older snapshots predate the per-synopsis n and used
+                # the shared ledger's insert count as the relation size.
+                state.get("total_inserted", state["counters"]["inserts"])
+            ),
             seed=seed,
         )
         sample.counters = counters
@@ -114,6 +122,12 @@ def restore_synopsis(state: dict, *, seed: int | None = None) -> Any:
             sample._footprint += 1 if count == 1 else 2
         threshold = float(state["threshold"])
         sample._threshold = threshold
+        sample._inserted = int(
+            state.get("total_inserted", state["counters"]["inserts"])
+        )
+        sample._deleted = int(
+            state.get("total_deleted", state["counters"]["deletes"])
+        )
         if threshold > 1.0:
             sample._admission.raise_threshold(threshold)
         sample.check_invariants()

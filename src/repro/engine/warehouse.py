@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Mapping
 
+import numpy as np
+
 from repro.engine.relation import Relation, RelationError
 from repro.randkit.coins import CostCounters
 
@@ -19,6 +21,13 @@ __all__ = ["DataWarehouse"]
 
 # (relation name, normalised row, is_insert)
 LoadObserver = Callable[[str, tuple, bool], None]
+
+# Observers may additionally expose
+# ``observe_batch(relation_name, columns)`` taking a mapping from
+# attribute name to a whole numpy array of that attribute's values for
+# the batch; :meth:`DataWarehouse.load_batch` calls it once per batch
+# instead of once per row.  Plain callables still receive the per-row
+# fallback, so row-oriented observers (the operation log) keep working.
 
 
 class DataWarehouse:
@@ -83,6 +92,46 @@ class DataWarehouse:
             self.insert(relation_name, row)
             loaded += 1
         return loaded
+
+    def load_batch(
+        self,
+        relation_name: str,
+        columns: Mapping[str, "np.ndarray"],
+    ) -> int:
+        """Bulk-insert whole attribute arrays; returns rows loaded.
+
+        The columnar fast path: the relation is updated with one
+        ``np.unique`` and batch-capable observers (those exposing
+        ``observe_batch``) receive the whole batch in one call.
+        Row-oriented observers fall back to one callback per row, so
+        the operation-log / deletion flow is unaffected.
+        """
+        relation = self.relation(relation_name)
+        normalised = relation.insert_batch(columns)
+        length = (
+            len(next(iter(normalised.values()))) if normalised else 0
+        )
+        if length == 0:
+            return 0
+        self.counters.inserts += length
+        row_view: list[tuple] | None = None
+        for observer in self._observers:
+            batch = getattr(observer, "observe_batch", None)
+            if batch is not None:
+                batch(relation_name, normalised)
+                continue
+            if row_view is None:
+                row_view = list(
+                    zip(
+                        *(
+                            normalised[attribute].tolist()
+                            for attribute in relation.attributes
+                        )
+                    )
+                )
+            for row in row_view:
+                observer(relation_name, row, True)
+        return length
 
     # ------------------------------------------------------------------
     # Exact answers (expensive: charged per scanned row)

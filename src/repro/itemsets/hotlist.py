@@ -79,7 +79,7 @@ class ItemsetHotList:
     @property
     def itemsets_observed(self) -> int:
         """Individual k-itemset occurrences processed so far."""
-        return self.sample.counters.inserts
+        return self.sample.total_inserted
 
     def observe(self, basket: tuple[int, ...]) -> None:
         """Process one basket (a tuple of distinct item ids)."""

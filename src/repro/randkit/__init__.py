@@ -16,6 +16,7 @@ from repro.randkit.coins import (
     GeometricSkipper,
 )
 from repro.randkit.rng import ReproRandom, spawn_seeds
+from repro.randkit.vectorized import VectorCoins
 
 __all__ = [
     "Coin",
@@ -23,5 +24,6 @@ __all__ = [
     "EvictionSkipper",
     "GeometricSkipper",
     "ReproRandom",
+    "VectorCoins",
     "spawn_seeds",
 ]

@@ -1,0 +1,118 @@
+"""Vectorized coin machinery for the batch-ingestion paths.
+
+The per-element maintenance algorithms draw one geometric skip at a
+time through :class:`~repro.randkit.coins.GeometricSkipper`; the batch
+paths instead draw whole arrays of admission coins, geometric tail
+lengths, and binomial survivor counts in single numpy calls.  The
+flip ledger keeps the paper's skip-based accounting (Section 3.3): a
+vectorized draw is charged what the equivalent skip-based scalar
+process would have cost, so Tables 1/2-style per-insert rates remain
+comparable between the per-element and batch paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.randkit.coins import CostCounters
+
+__all__ = ["VectorCoins"]
+
+
+class VectorCoins:
+    """Array-at-a-time randomness charged to a cost ledger.
+
+    Parameters
+    ----------
+    rng:
+        A seeded :class:`numpy.random.Generator`; callers derive its
+        seed from their :class:`~repro.randkit.rng.ReproRandom` stream
+        so experiments stay reproducible end to end.
+    counters:
+        The cost ledger flips are charged to.
+    """
+
+    def __init__(
+        self, rng: np.random.Generator, counters: CostCounters
+    ) -> None:
+        self._rng = rng
+        self._counters = counters
+
+    def admission_mask(self, probability: float, size: int) -> np.ndarray:
+        """Admission coins for a block of ``size`` stream elements.
+
+        Returns a boolean mask of admitted positions.  Charged like the
+        skip-based scalar sweep: one flip per admitted element plus the
+        terminal overshoot draw, not one per element.
+        """
+        if probability >= 1.0:
+            return np.ones(size, dtype=bool)
+        if probability <= 0.0:
+            return np.zeros(size, dtype=bool)
+        mask = self._rng.random(size) < probability
+        self._counters.flips += int(np.count_nonzero(mask)) + 1
+        return mask
+
+    def admission_survivors(
+        self, probability: float, occurrences: np.ndarray
+    ) -> np.ndarray:
+        """Surviving tail counts for absent values offered in bulk.
+
+        ``occurrences[i]`` is how many times absent value ``i`` appears
+        in the chunk; each value pays a geometric admission delay of
+        failures-before-first-success at heads probability ``p``
+        (distributed ``(1 - p)^k * p`` over ``k >= 0``), and the entry
+        returned is ``occurrences[i] - delay`` -- non-positive means
+        never admitted.  Charged like the scalar
+        :class:`~repro.randkit.coins.GeometricSkipper` sweep over the
+        same absent-value event sequence: one flip per *admitted*
+        value plus the terminal overshoot draw.
+        """
+        occurrences = np.asarray(occurrences, dtype=np.int64)
+        if occurrences.size == 0:
+            return occurrences.copy()
+        if probability >= 1.0:
+            return occurrences.copy()
+        # numpy's geometric counts the number of trials (>= 1).
+        delays = (
+            self._rng.geometric(probability, occurrences.size).astype(
+                np.int64
+            )
+            - 1
+        )
+        surviving = occurrences - delays
+        self._counters.flips += int(np.count_nonzero(surviving > 0)) + 1
+        return surviving
+
+    def binomial_survivors(
+        self, counts: np.ndarray, keep_probability: float
+    ) -> np.ndarray:
+        """Per-run binomial survivor counts for an eviction sweep.
+
+        Each of the ``counts[i]`` points of run ``i`` survives
+        independently with ``keep_probability`` (Theorem 2's subsample
+        operation).  Charged like :class:`EvictionSkipper`: one flip per
+        evicted point plus the terminal overshoot draw.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if keep_probability >= 1.0:
+            return counts.copy()
+        if keep_probability <= 0.0:
+            self._counters.flips += int(counts.sum()) + 1
+            return np.zeros_like(counts)
+        survivors = self._rng.binomial(counts, keep_probability).astype(
+            np.int64
+        )
+        self._counters.flips += int((counts - survivors).sum()) + 1
+        return survivors
+
+    def uniforms(self, size: int) -> np.ndarray:
+        """``size`` uniform draws in ``[0, 1)``, one flip each.
+
+        Used where the scalar algorithm genuinely flips one coin per
+        item (the counting sample's per-value eviction tails).
+        """
+        self._counters.flips += size
+        return self._rng.random(size)

@@ -18,11 +18,14 @@ class TestSharedCounters:
         concise = ConciseSample(50, seed=1, counters=shared)
         counting = CountingSample(50, seed=2, counters=shared)
         stream = zipf_stream(5000, 200, 1.0, seed=3)
-        concise.insert_array(stream)
-        counting.insert_array(stream)
+        concise.insert_many(stream)
+        counting.insert_many(stream)
         assert shared.inserts == 10_000
         # Counting looked up every insert; concise only admitted ones.
         assert shared.lookups > 5000
+        # Each synopsis still reports its own relation size.
+        assert concise.total_inserted == 5000
+        assert counting.total_inserted == 5000
 
     def test_counters_observable_mid_stream(self):
         sample = ConciseSample(20, seed=4)
