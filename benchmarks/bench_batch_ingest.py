@@ -89,7 +89,7 @@ def bench_warehouse(stream) -> dict:
         return warehouse
 
     warehouse = build(10)
-    rows = list(zip(stores.tolist(), stream.tolist()))
+    rows = list(zip(stores.tolist(), stream.tolist(), strict=True))
     start = time.perf_counter()
     warehouse.load("sales", rows)
     per_row_seconds = time.perf_counter() - start

@@ -18,7 +18,7 @@ from repro.estimators.joins import (
     join_size_from_samples,
 )
 from repro.hotlist import CountingHotList
-from repro.randkit import spawn_seeds
+from repro.randkit import numpy_generator, spawn_seeds
 from repro.stats.frequency import FrequencyTable
 from repro.streams import zipf_stream
 
@@ -60,7 +60,7 @@ def _measure(active):
             )
             hotlist_errors.append(abs(estimate - truth) / truth)
 
-            rng = np.random.default_rng(seed + 4)
+            rng = numpy_generator(seed + 4)
             left_points = rng.choice(left, FOOTPRINT, replace=False)
             right_points = rng.choice(right, FOOTPRINT, replace=False)
             sample_estimate = join_size_from_samples(

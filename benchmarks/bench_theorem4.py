@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from common import print_series, profile
+from repro.randkit import numpy_generator
 from repro.stats.frequency import FrequencyTable
 from repro.stats.theory import concise_gain_expected
 from repro.streams import zipf_stream
@@ -33,7 +34,7 @@ def _measure(active):
             count for _, count in FrequencyTable(stream).items()
         ]
         predicted = concise_gain_expected(frequencies, SAMPLE_POINTS)
-        rng = np.random.default_rng(int(skew * 100) + 8)
+        rng = numpy_generator(int(skew * 100) + 8)
         gains = []
         for _ in range(TRIALS):
             sample = rng.choice(stream, size=SAMPLE_POINTS, replace=True)

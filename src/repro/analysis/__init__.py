@@ -1,0 +1,32 @@
+"""reprolint: project-specific AST invariant checks.
+
+The paper's correctness arguments lean on properties the type system
+cannot see: every coin flip must flow through the :mod:`repro.randkit`
+ledger (else Table 1/2 cost accounting and the Theorem-2 uniformity
+induction silently break), synopsis mutation must respect the
+threshold/eviction protocol, and snapshots must round-trip their whole
+field set.  This package machine-checks those invariants as eight
+rules, RL001 through RL008, over the source tree.
+
+Run it as ``python -m repro.analysis src/``; see
+``docs/static_analysis.md`` for the rule catalogue and the paper
+invariant each rule protects.  Individual findings are waived with a
+``# reprolint: disable=RLxxx`` comment on the offending line; there is
+deliberately no file- or rule-wide escape hatch.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.rules import ALL_RULES, rule_catalogue
+from repro.analysis.runner import analyze_paths, analyze_source
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "SourceModule",
+    "analyze_paths",
+    "analyze_source",
+    "rule_catalogue",
+]

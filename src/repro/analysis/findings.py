@@ -1,0 +1,42 @@
+"""The finding record every rule emits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Orders by location so reports are stable regardless of the order
+    rules ran in.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        """The one-line human-readable form."""
+        text = f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+        if self.hint:
+            text += f" (fix: {self.hint})"
+        return text
+
+    def to_json(self) -> dict[str, Any]:
+        """The JSON-able form used by ``--json`` / CI."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,99 @@
+"""A parsed source module plus its suppression table.
+
+Suppressions are per-line comments of the form::
+
+    risky_call()  # reprolint: disable=RL001
+    other_call()  # reprolint: disable=RL003,RL008
+
+A finding is waived only when the comment sits on the exact line the
+finding is reported at.  There is intentionally no ``disable=all`` and
+no file-level switch: every waiver names the rule it silences, so a
+suppression is a reviewable, grep-able artefact rather than a blanket
+opt-out.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+
+__all__ = ["SourceModule", "module_parts"]
+
+_SUPPRESSION = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)"
+)
+_RULE_ID = re.compile(r"^RL\d{3}$")
+
+
+def module_parts(path: Path, root: Path) -> tuple[str, ...]:
+    """Dotted-module parts used for rule scoping.
+
+    Paths inside a ``repro`` package directory are identified from the
+    last ``repro`` component (``src/repro/core/concise.py`` ->
+    ``("repro", "core", "concise")``), so fixture trees that mirror the
+    package layout scope identically to the real tree.  Anything else
+    is taken relative to the scan root.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        last = len(parts) - 1 - parts[::-1].index("repro")
+        return tuple(parts[last:])
+    try:
+        relative = path.with_suffix("").relative_to(root)
+    except ValueError:
+        return tuple(parts)
+    return tuple(relative.parts)
+
+
+class SourceModule:
+    """One file under analysis: source text, AST, and suppressions."""
+
+    def __init__(self, path: Path, source: str, root: Path) -> None:
+        self.path = path
+        self.source = source
+        self.parts = module_parts(path, root)
+        self.tree = ast.parse(source, filename=str(path))
+        self.suppressions = _collect_suppressions(source)
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceModule":
+        """Read and parse a file (raises ``SyntaxError`` on bad source)."""
+        return cls(path, path.read_text(encoding="utf-8"), root)
+
+    def subpackage(self) -> str:
+        """The first package level below ``repro`` ('' at top level)."""
+        if len(self.parts) >= 2 and self.parts[0] == "repro":
+            return self.parts[1]
+        return ""
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """Whether ``rule`` is waived on ``line``."""
+        return rule in self.suppressions.get(line, frozenset())
+
+
+def _collect_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number to the rule ids waived on that line."""
+    table: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION.search(token.string)
+            if match is None:
+                continue
+            codes = frozenset(
+                code.strip()
+                for code in match.group(1).split(",")
+                if _RULE_ID.match(code.strip())
+            )
+            if codes:
+                line = token.start[0]
+                table[line] = table.get(line, frozenset()) | codes
+    except tokenize.TokenError:
+        # Unterminated constructs: ast.parse will report the real error.
+        pass
+    return table

@@ -1,0 +1,45 @@
+"""The rule registry: one instance of every RL rule."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.annotations import PublicAnnotationsRule
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.determinism import WallClockRule
+from repro.analysis.rules.exceptions import SwallowedExceptionRule
+from repro.analysis.rules.floats import FloatEqualityRule
+from repro.analysis.rules.mutation import DictMutationRule
+from repro.analysis.rules.randomness import (
+    LedgerRequiredRule,
+    RawRandomnessRule,
+)
+from repro.analysis.rules.snapshots import SnapshotRoundTripRule
+
+__all__ = ["ALL_RULES", "rule_catalogue"]
+
+ALL_RULES: tuple[Rule, ...] = (
+    RawRandomnessRule(),
+    LedgerRequiredRule(),
+    FloatEqualityRule(),
+    DictMutationRule(),
+    WallClockRule(),
+    PublicAnnotationsRule(),
+    SnapshotRoundTripRule(),
+    SwallowedExceptionRule(),
+)
+
+
+def rule_catalogue() -> list[dict[str, str]]:
+    """Code/title/rationale/scope of every rule, for ``--list-rules``."""
+    return [
+        {
+            "code": rule.code,
+            "title": rule.title,
+            "rationale": rule.rationale,
+            "scope": (
+                "repro (except " + ", ".join(rule.exclude) + ")"
+                if rule.scope is None and rule.exclude
+                else ", ".join(rule.scope) if rule.scope else "repro"
+            ),
+        }
+        for rule in ALL_RULES
+    ]

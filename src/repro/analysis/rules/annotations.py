@@ -1,0 +1,92 @@
+"""RL006: public API of the synopsis engine is fully type-annotated.
+
+The mypy strict gate (``core/``, ``randkit/``, ``synopses/``) and the
+RL003 float-evidence rule both feed on annotations; a public function
+without them is a hole in every downstream check.  This rule enforces
+the floor everywhere mypy runs in standard mode too: every public
+function or method in ``core/``, ``engine/``, ``synopses/`` annotates
+all parameters and its return type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.rules.base import Rule
+
+__all__ = ["PublicAnnotationsRule"]
+
+
+def _is_public(name: str) -> bool:
+    if name.startswith("__") and name.endswith("__"):
+        return True  # dunders are API
+    return not name.startswith("_")
+
+
+class PublicAnnotationsRule(Rule):
+    """RL006: unannotated public function in the engine layers."""
+
+    code = "RL006"
+    title = "public function missing type annotations"
+    rationale = (
+        "The strict-typing gate and annotation-driven rules (RL003) "
+        "are only as strong as the annotations they read."
+    )
+    scope = ("core", "engine", "synopses")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        yield from self._check_body(module, module.tree.body, private=False)
+
+    def _check_body(
+        self,
+        module: SourceModule,
+        body: list[ast.stmt],
+        private: bool,
+    ) -> Iterator[Finding]:
+        for statement in body:
+            if isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if not private and _is_public(statement.name):
+                    yield from self._check_signature(module, statement)
+                # Nested defs are implementation detail: do not recurse.
+            elif isinstance(statement, ast.ClassDef):
+                yield from self._check_body(
+                    module,
+                    statement.body,
+                    private=private or not _is_public(statement.name),
+                )
+
+    def _check_signature(
+        self,
+        module: SourceModule,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        args = function.args
+        missing: list[str] = []
+        positional = [*args.posonlyargs, *args.args]
+        for index, arg in enumerate(positional):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        missing.extend(
+            arg.arg for arg in args.kwonlyargs if arg.annotation is None
+        )
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if function.returns is None:
+            missing.append("return type")
+        if missing:
+            yield self.finding(
+                module,
+                function,
+                f"public `{function.name}` missing annotations: "
+                + ", ".join(missing),
+                "annotate every parameter and the return type",
+            )

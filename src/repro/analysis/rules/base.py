@@ -1,0 +1,79 @@
+"""Rule base class and small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+
+__all__ = ["Rule", "dotted_name"]
+
+
+class Rule:
+    """One invariant check over a parsed module.
+
+    Class attributes
+    ----------------
+    code / title:
+        The ``RLxxx`` id and the short name shown in reports.
+    scope:
+        Subpackages of ``repro`` the rule applies to; ``None`` means
+        the whole tree.
+    exclude:
+        Subpackages exempt even when ``scope`` is ``None`` (RL001
+        exempts ``randkit`` itself this way).
+    """
+
+    code: ClassVar[str] = "RL000"
+    title: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+    scope: ClassVar[tuple[str, ...] | None] = None
+    exclude: ClassVar[tuple[str, ...]] = ()
+
+    def applies_to(self, module: SourceModule) -> bool:
+        """Whether this rule runs over ``module`` at all."""
+        subpackage = module.subpackage()
+        if subpackage in self.exclude:
+            return False
+        if self.scope is None:
+            return True
+        return subpackage in self.scope
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Yield every violation in the module."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule=self.code,
+            message=message,
+            hint=hint,
+        )
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Resolve ``a.b.c`` attribute chains to a dotted string.
+
+    Returns ``None`` for chains not rooted at a plain name (calls,
+    subscripts, ...), which no rule here needs to resolve.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,63 @@
+"""RL005: no wall-clock nondeterminism in the synopsis layers.
+
+Synopsis behaviour must be a pure function of (stream, seed): that is
+what makes the statistical-equivalence tests meaningful and lets a
+snapshot + log replay reconstruct an identical synopsis (footnote 2).
+``time``/``datetime`` reads inside :mod:`repro.core` or
+:mod:`repro.synopses` would thread wall-clock state into that function.
+Benchmarks and experiment drivers live outside the scope and may time
+things freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.rules.base import Rule
+
+__all__ = ["WallClockRule"]
+
+_CLOCK_MODULES = frozenset({"datetime", "time"})
+
+
+class WallClockRule(Rule):
+    """RL005: ``time``/``datetime`` imported in core/synopses."""
+
+    code = "RL005"
+    title = "wall-clock use in a deterministic layer"
+    rationale = (
+        "Synopsis state must be a function of (stream, seed) for "
+        "snapshot/replay recovery and equivalence testing to hold."
+    )
+    scope = ("core", "synopses")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        hint = (
+            "keep timing in benchmarks/ or experiments/; pass any "
+            "needed timestamps in as explicit arguments"
+        )
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _CLOCK_MODULES:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import of `{alias.name}` in a "
+                            "deterministic layer",
+                            hint,
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in _CLOCK_MODULES and node.level == 0:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"import from `{node.module}` in a "
+                        "deterministic layer",
+                        hint,
+                    )

@@ -1,0 +1,69 @@
+"""RL008: the engine neither bare-excepts nor swallows exceptions.
+
+The synopsis invariants are guarded by :class:`SynopsisError` raises in
+``check_invariants`` and the maintenance paths.  A bare ``except:`` (or
+an ``except ...: pass``) in the engine layers can eat exactly those
+errors, turning an invariant violation into silently-wrong approximate
+answers -- the worst failure mode an AQP system has, because nothing
+looks broken.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.rules.base import Rule
+
+__all__ = ["SwallowedExceptionRule"]
+
+
+def _is_swallowed(handler: ast.ExceptHandler) -> bool:
+    """A handler whose whole body is ``pass``/``...`` discards the error."""
+    for statement in handler.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+class SwallowedExceptionRule(Rule):
+    """RL008: bare ``except:`` or exception-swallowing handler."""
+
+    code = "RL008"
+    title = "bare or swallowed exception"
+    rationale = (
+        "Invariant violations surface as exceptions; eating them "
+        "converts detectable corruption into wrong query answers."
+    )
+    scope = ("core", "engine", "synopses")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                if handler.type is None:
+                    yield self.finding(
+                        module,
+                        handler,
+                        "bare `except:` catches everything, including "
+                        "SynopsisError and KeyboardInterrupt",
+                        "catch the narrowest exception type the block "
+                        "can actually raise",
+                    )
+                elif _is_swallowed(handler):
+                    yield self.finding(
+                        module,
+                        handler,
+                        "exception caught and discarded",
+                        "handle it, log it, or let it propagate; a "
+                        "deliberate discard needs a line suppression "
+                        "with justification",
+                    )

@@ -1,0 +1,173 @@
+"""RL003: no float equality in the estimator/statistics layers.
+
+Estimates in this codebase are scaled counts (``n/m'`` times a sample
+count, Section 5.1) and interval endpoints -- floating point through
+and through.  An ``==``/``!=`` between floats silently encodes an
+exact-representation assumption that breaks under scaling and
+accumulation; accuracy comparisons must be tolerance-based.
+
+Detection is evidence-based rather than type-inferred: an operand
+counts as float when it is a float literal, a ``float(...)`` or
+``math.*`` call, a true division, or a name/subscript/``.get`` whose
+annotation in the enclosing function marks it (or its container's
+values) as ``float``.  This leans on the RL006/mypy annotation gate:
+the better annotated the tree, the sharper this rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.rules.base import Rule, dotted_name
+
+__all__ = ["FloatEqualityRule"]
+
+# Generic containers whose *last* type parameter is the element/value
+# type an index or ``.get`` retrieves.
+_CONTAINERS = frozenset(
+    {
+        "Counter",
+        "Dict",
+        "Iterable",
+        "List",
+        "Mapping",
+        "MutableMapping",
+        "Sequence",
+        "defaultdict",
+        "dict",
+        "list",
+        "tuple",
+    }
+)
+
+
+def _is_float_annotation(annotation: ast.expr | None) -> bool:
+    return isinstance(annotation, ast.Name) and annotation.id == "float"
+
+
+def _is_float_container(annotation: ast.expr | None) -> bool:
+    """``Mapping[K, float]``, ``list[float]``, ... (value type float)."""
+    if not isinstance(annotation, ast.Subscript):
+        return False
+    base = annotation.value
+    base_name = base.id if isinstance(base, ast.Name) else (
+        base.attr if isinstance(base, ast.Attribute) else None
+    )
+    if base_name not in _CONTAINERS:
+        return False
+    inner = annotation.slice
+    if isinstance(inner, ast.Tuple):
+        return bool(inner.elts) and _is_float_annotation(inner.elts[-1])
+    return _is_float_annotation(inner)
+
+
+class _Scope:
+    """Float evidence gathered from one function's annotations."""
+
+    def __init__(self) -> None:
+        self.float_names: set[str] = set()
+        self.float_containers: set[str] = set()
+
+    def note(self, name: str, annotation: ast.expr | None) -> None:
+        if _is_float_annotation(annotation):
+            self.float_names.add(name)
+        elif _is_float_container(annotation):
+            self.float_containers.add(name)
+
+
+class FloatEqualityRule(Rule):
+    """RL003: ``==``/``!=`` on float-typed operands."""
+
+    code = "RL003"
+    title = "float equality comparison"
+    rationale = (
+        "Estimates are scaled floats (Section 5.1); exact equality on "
+        "them encodes a representation accident, not a property."
+    )
+    scope = ("estimators", "hotlist", "stats")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for function in ast.walk(module.tree):
+            if not isinstance(
+                function, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            scope = self._collect_scope(function)
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Compare):
+                    continue
+                if not any(
+                    isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+                ):
+                    continue
+                operands = [node.left, *node.comparators]
+                floaty = next(
+                    (
+                        operand
+                        for operand in operands
+                        if self._is_floaty(operand, scope)
+                    ),
+                    None,
+                )
+                if floaty is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        "float operand compared with ==/!=",
+                        "compare with math.isclose(...) or an explicit "
+                        "tolerance, or test truthiness for zero-checks",
+                    )
+
+    @staticmethod
+    def _collect_scope(
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> _Scope:
+        scope = _Scope()
+        args = function.args
+        for arg in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+        ):
+            scope.note(arg.arg, arg.annotation)
+        for node in ast.walk(function):
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                scope.note(node.target.id, node.annotation)
+        return scope
+
+    def _is_floaty(self, node: ast.expr, scope: _Scope) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self._is_floaty(node.left, scope) or self._is_floaty(
+                node.right, scope
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self._is_floaty(node.operand, scope)
+        if isinstance(node, ast.Name):
+            return node.id in scope.float_names
+        if isinstance(node, ast.Subscript):
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id in scope.float_containers
+            )
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "float":
+                return True
+            chain = dotted_name(func) if isinstance(func, ast.Attribute) else None
+            if chain is not None and chain.startswith("math."):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "get"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in scope.float_containers
+            ):
+                return True
+        return False

@@ -1,0 +1,113 @@
+"""RL004: no mutation of a dict while iterating over it.
+
+The synopsis sample dicts (``{value: count}``) are mutated by eviction
+sweeps.  Python raises ``RuntimeError`` when a dict changes size during
+iteration -- but only when it changes *size*, so an eviction path that
+usually rewrites counts in place and only occasionally deletes an entry
+passes tests and explodes in production.  The maintenance code must
+iterate over a materialised copy (``list(counts)``) before mutating, as
+the eviction sweeps in :mod:`repro.core` do.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.rules.base import Rule
+
+__all__ = ["DictMutationRule"]
+
+_VIEW_METHODS = frozenset({"items", "keys", "values"})
+_MUTATING_METHODS = frozenset(
+    {"clear", "pop", "popitem", "setdefault", "update"}
+)
+
+
+def _iteration_target(iterable: ast.expr) -> ast.expr | None:
+    """The dict-like expression a ``for`` loop iterates directly.
+
+    ``for v in d`` and ``for k, c in d.items()`` both iterate ``d``
+    live; ``for v in list(d)`` (or ``sorted``/``tuple``/``set``) takes
+    a snapshot and is safe.
+    """
+    if isinstance(iterable, ast.Call):
+        func = iterable.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _VIEW_METHODS
+            and not iterable.args
+        ):
+            return func.value
+        return None
+    if isinstance(iterable, (ast.Name, ast.Attribute)):
+        return iterable
+    return None
+
+
+class DictMutationRule(Rule):
+    """RL004: dict mutated inside iteration over itself."""
+
+    code = "RL004"
+    title = "dict mutated during iteration"
+    rationale = (
+        "Eviction sweeps that delete entries mid-iteration fail only "
+        "when a deletion actually happens; iterate a list(...) copy."
+    )
+    scope = None
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor)):
+                continue
+            target = _iteration_target(loop.iter)
+            if target is None:
+                continue
+            signature = ast.dump(target)
+            for statement in loop.body:
+                for node in ast.walk(statement):
+                    mutation = self._mutates(node, signature)
+                    if mutation is not None:
+                        yield self.finding(
+                            module,
+                            mutation,
+                            "iterated dict is mutated inside the loop",
+                            "iterate over list(...) / a snapshot of the "
+                            "dict, then mutate",
+                        )
+
+    @staticmethod
+    def _mutates(node: ast.AST, signature: str) -> ast.AST | None:
+        """The offending node if ``node`` mutates the iterated object."""
+
+        def is_target(expr: ast.expr) -> bool:
+            return ast.dump(expr) == signature
+
+        if isinstance(node, ast.Assign):
+            for assign_target in node.targets:
+                if isinstance(assign_target, ast.Subscript) and is_target(
+                    assign_target.value
+                ):
+                    return node
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Subscript) and is_target(
+                node.target.value
+            ):
+                return node
+        elif isinstance(node, ast.Delete):
+            for deleted in node.targets:
+                if isinstance(deleted, ast.Subscript) and is_target(
+                    deleted.value
+                ):
+                    return node
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_METHODS
+                and is_target(func.value)
+            ):
+                return node
+        return None

@@ -1,0 +1,173 @@
+"""RL001/RL002: all randomness flows through the randkit ledger.
+
+The paper's cost model (Section 3.3) counts algorithm work in coin
+flips, and Theorem 2's uniformity induction assumes every admission and
+eviction coin is drawn from the algorithm's own seeded stream.  A raw
+``random.random()`` or ``np.random.default_rng()`` call outside
+:mod:`repro.randkit` is randomness the ledger never sees: costs go
+unreported and experiments stop being reproducible from their recorded
+seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.rules.base import Rule, dotted_name
+
+__all__ = ["LedgerRequiredRule", "RawRandomnessRule"]
+
+# Constructors whose second positional argument (or ``counters=``
+# keyword) is the CostCounters ledger.
+_LEDGER_CONSTRUCTORS = frozenset(
+    {"Coin", "EvictionSkipper", "GeometricSkipper", "VectorCoins"}
+)
+
+
+class RawRandomnessRule(Rule):
+    """RL001: no raw randomness outside ``repro.randkit``."""
+
+    code = "RL001"
+    title = "no raw randomness outside randkit"
+    rationale = (
+        "Theorem 2 uniformity and the Section 3.3 flip accounting only "
+        "hold for draws charged to the randkit ledger."
+    )
+    scope = None
+    exclude = ("randkit",)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        random_aliases: set[str] = set()
+        numpy_aliases: set[str] = set()
+        os_aliases: set[str] = set()
+        from_bindings: dict[str, str] = {}
+
+        hint = (
+            "use repro.randkit (ReproRandom, numpy_generator, "
+            "VectorCoins) so draws are seeded and ledger-charged"
+        )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        random_aliases.add(bound)
+                        yield self.finding(
+                            module, node,
+                            "import of stdlib `random` outside randkit", hint,
+                        )
+                    elif alias.name == "numpy.random":
+                        yield self.finding(
+                            module, node,
+                            "import of `numpy.random` outside randkit", hint,
+                        )
+                    elif alias.name in ("numpy", "np"):
+                        numpy_aliases.add(bound)
+                    elif alias.name == "os":
+                        os_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        module, node,
+                        "import from stdlib `random` outside randkit", hint,
+                    )
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        from_bindings[alias.asname or alias.name] = alias.name
+                    yield self.finding(
+                        module, node,
+                        "import from `numpy.random` outside randkit", hint,
+                    )
+                elif node.module == "os":
+                    for alias in node.names:
+                        if alias.name == "urandom":
+                            yield self.finding(
+                                module, node,
+                                "import of `os.urandom` outside randkit", hint,
+                            )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                chain = dotted_name(node)
+                if chain is None:
+                    continue
+                head, _, rest = chain.partition(".")
+                if head in random_aliases and rest:
+                    yield self.finding(
+                        module, node, f"raw stdlib randomness `{chain}`", hint
+                    )
+                elif (
+                    head in numpy_aliases
+                    and rest.split(".")[0] == "random"
+                    and rest != "random"
+                ):
+                    yield self.finding(
+                        module, node, f"raw numpy randomness `{chain}`", hint
+                    )
+                elif head in os_aliases and rest == "urandom":
+                    yield self.finding(
+                        module, node, "`os.urandom` is unseeded entropy", hint
+                    )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                target = from_bindings.get(node.func.id)
+                if target == "default_rng" and not node.args and not node.keywords:
+                    yield self.finding(
+                        module, node,
+                        "seedless `default_rng()` draws from OS entropy",
+                        "pass an explicit seed derived from the experiment seed",
+                    )
+
+
+class LedgerRequiredRule(Rule):
+    """RL002: skipper/coin constructions must carry a CostCounters ledger.
+
+    ``GeometricSkipper``, ``EvictionSkipper``, ``VectorCoins`` and
+    ``Coin`` all charge their flips to the ledger passed at
+    construction.  A construction without one either fails at runtime
+    or (``Coin``'s default factory) silently charges a private ledger
+    nobody reads, under-reporting the Table 1/2 flip rates.
+    """
+
+    code = "RL002"
+    title = "skipper/coin constructed without a ledger"
+    rationale = (
+        "Section 3.3 cost accounting: flips not charged to the shared "
+        "CostCounters vanish from the per-insert rates."
+    )
+    scope = None
+    exclude = ("randkit",)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._constructor_name(node.func)
+            if name is None:
+                continue
+            if any(keyword.arg == "counters" for keyword in node.keywords):
+                continue
+            if any(keyword.arg is None for keyword in node.keywords):
+                continue  # **kwargs may carry counters; undecidable
+            if any(isinstance(arg, ast.Starred) for arg in node.args):
+                continue  # *args may carry counters; undecidable
+            if len(node.args) >= 2:
+                continue  # second positional argument is the ledger
+            yield self.finding(
+                module,
+                node,
+                f"`{name}` constructed without a CostCounters ledger",
+                "pass the synopsis's counters as the second argument "
+                "or as counters=",
+            )
+
+    @staticmethod
+    def _constructor_name(func: ast.expr) -> str | None:
+        if isinstance(func, ast.Name) and func.id in _LEDGER_CONSTRUCTORS:
+            return func.id
+        if isinstance(func, ast.Attribute) and func.attr in _LEDGER_CONSTRUCTORS:
+            return func.attr
+        return None

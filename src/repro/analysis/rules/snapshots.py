@@ -1,0 +1,142 @@
+"""RL007: snapshot ``to_dict``/``from_dict`` pairs round-trip all fields.
+
+Snapshot + log replay is the recovery story (paper footnote 2), and it
+only works if restore consumes exactly the state dump emits.  A field
+added to ``to_dict`` but forgotten in ``from_dict`` restores synopses
+with silently-reset state; a field required by ``from_dict`` but never
+emitted turns every snapshot into a ``KeyError`` at recovery time.
+
+The check is static: for any class defining both methods, the string
+keys of dict literals returned by ``to_dict`` are compared against the
+keys ``from_dict`` reads off its payload parameter.  Keys read with
+``payload.get("k", default)`` count as consumed but are not required to
+be emitted -- that is the sanctioned pattern for accepting snapshots
+from older versions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.rules.base import Rule
+
+__all__ = ["SnapshotRoundTripRule"]
+
+
+def _emitted_keys(function: ast.FunctionDef) -> set[str] | None:
+    """String keys of every dict literal returned by ``to_dict``.
+
+    Returns ``None`` when no return statement is a dict literal (the
+    method builds its payload dynamically; nothing to check).
+    """
+    keys: set[str] = set()
+    saw_literal = False
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Return) or not isinstance(
+            node.value, ast.Dict
+        ):
+            continue
+        saw_literal = True
+        for key in node.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.add(key.value)
+    return keys if saw_literal else None
+
+
+def _payload_parameter(function: ast.FunctionDef) -> str | None:
+    """The parameter holding the snapshot dict (first after self/cls)."""
+    positional = [*function.args.posonlyargs, *function.args.args]
+    names = [arg.arg for arg in positional]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names[0] if names else None
+
+
+def _consumed_keys(
+    function: ast.FunctionDef, payload: str
+) -> tuple[set[str], set[str]]:
+    """Keys read off the payload: (required via ``[...]``, via ``.get``)."""
+    required: set[str] = set()
+    optional: set[str] = set()
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == payload
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            required.add(node.slice.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == payload
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            optional.add(node.args[0].value)
+    return required, optional
+
+
+class SnapshotRoundTripRule(Rule):
+    """RL007: ``to_dict`` and ``from_dict`` disagree on the field set."""
+
+    code = "RL007"
+    title = "snapshot round-trip field mismatch"
+    rationale = (
+        "Recovery is snapshot + replay (footnote 2); a dropped field "
+        "restores silently-wrong synopsis state."
+    )
+    scope = None
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            methods = {
+                stmt.name: stmt
+                for stmt in cls.body
+                if isinstance(stmt, ast.FunctionDef)
+            }
+            to_dict = methods.get("to_dict")
+            from_dict = methods.get("from_dict")
+            if to_dict is None or from_dict is None:
+                continue
+            emitted = _emitted_keys(to_dict)
+            if emitted is None:
+                continue
+            payload = _payload_parameter(from_dict)
+            if payload is None:
+                yield self.finding(
+                    module,
+                    from_dict,
+                    f"`{cls.name}.from_dict` has no payload parameter",
+                    "accept the snapshot dict as the first argument",
+                )
+                continue
+            required, optional = _consumed_keys(from_dict, payload)
+            ignored = emitted - required - optional
+            phantom = required - emitted
+            if ignored:
+                yield self.finding(
+                    module,
+                    to_dict,
+                    f"`{cls.name}.to_dict` emits fields `from_dict` "
+                    "never reads: " + ", ".join(sorted(ignored)),
+                    "consume them in from_dict or stop emitting them",
+                )
+            if phantom:
+                yield self.finding(
+                    module,
+                    from_dict,
+                    f"`{cls.name}.from_dict` requires fields `to_dict` "
+                    "never emits: " + ", ".join(sorted(phantom)),
+                    "emit them in to_dict, or read them with "
+                    ".get(..., default) if they are legacy-optional",
+                )

@@ -1,0 +1,69 @@
+"""Collect files, run every applicable rule, filter suppressions."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.rules.base import Rule
+
+__all__ = ["analyze_paths", "analyze_source", "collect_files"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.add(candidate)
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def analyze_source(
+    module: SourceModule,
+    rules: Iterable[Rule] = ALL_RULES,
+) -> list[Finding]:
+    """Run every applicable rule over one parsed module."""
+    findings: set[Finding] = set()
+    for rule in rules:
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            if not module.is_suppressed(finding.line, finding.rule):
+                findings.add(finding)
+    return sorted(findings)
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rules: Iterable[Rule] = ALL_RULES,
+) -> Iterator[Finding]:
+    """Analyze every ``.py`` file under ``paths``.
+
+    Unparseable files yield an ``RL000`` finding rather than aborting
+    the run, so one syntax error does not hide the rest of the report.
+    """
+    rule_list = list(rules)
+    root = Path.cwd()
+    for path in collect_files(paths):
+        try:
+            module = SourceModule.load(path, root)
+        except SyntaxError as error:
+            yield Finding(
+                path=str(path),
+                line=error.lineno or 1,
+                column=(error.offset or 1) - 1,
+                rule="RL000",
+                message=f"file does not parse: {error.msg}",
+            )
+            continue
+        yield from analyze_source(module, rule_list)

@@ -19,7 +19,7 @@ skip counters make the amortised cost O(1) per insert.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterator, Mapping
+from typing import Any, ClassVar, Iterator, Mapping
 
 import numpy as np
 
@@ -68,6 +68,8 @@ class ConciseSample(StreamSynopsis):
     >>> sample.footprint <= 8
     True
     """
+
+    SNAPSHOT_KIND: ClassVar[str] = "concise-sample"
 
     def __init__(
         self,
@@ -257,7 +259,7 @@ class ConciseSample(StreamSynopsis):
     def _coins(self) -> VectorCoins:
         if self._vector_coins is None:
             self._vector_coins = VectorCoins(
-                np.random.default_rng(self._rng.fork().seed), self.counters
+                self._rng.numpy_generator(), self.counters
             )
         return self._vector_coins
 
@@ -278,7 +280,7 @@ class ConciseSample(StreamSynopsis):
         counts_dict = self._counts
         get = counts_dict.get
         footprint = self._footprint
-        for value, count in zip(uniq.tolist(), counts.tolist()):
+        for value, count in zip(uniq.tolist(), counts.tolist(), strict=True):
             current = get(value, 0)
             if current == 0:
                 footprint += 1 if count == 1 else 2
@@ -359,7 +361,7 @@ class ConciseSample(StreamSynopsis):
         )
         alive = survivors > 0
         self._counts = dict(
-            zip(values[alive].tolist(), survivors[alive].tolist())
+            zip(values[alive].tolist(), survivors[alive].tolist(), strict=True)
         )
         self._footprint = int(
             np.count_nonzero(survivors == 1)
@@ -412,6 +414,61 @@ class ConciseSample(StreamSynopsis):
         sample.counters.inserts += total_inserted
         if threshold > 1.0:
             sample._admission.raise_threshold(float(threshold))
+        return sample
+
+    def to_dict(self) -> dict[str, Any]:
+        """Dump to a JSON-able snapshot dict (paper footnote 2).
+
+        Restoring with :meth:`from_dict` is *statistically* equivalent,
+        not bitwise: the restored sample carries the same sample
+        contents, threshold, and counters, but a fresh RNG stream
+        (Theorem 2's induction is over the invariant state -- sample +
+        threshold -- not the generator).
+        """
+        return {
+            "kind": self.SNAPSHOT_KIND,
+            "footprint_bound": self.footprint_bound,
+            "threshold": self._threshold,
+            "counts": [
+                [value, count] for value, count in self._counts.items()
+            ],
+            "total_inserted": self._inserted,
+            "counters": self.counters.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls,
+        payload: Mapping[str, Any],
+        *,
+        seed: int | None = None,
+    ) -> "ConciseSample":
+        """Rebuild a sample from :meth:`to_dict` output.
+
+        ``seed`` re-seeds the restored object's randomness
+        (continuation runs should pass a fresh seed; tests may pin
+        one).
+        """
+        if payload["kind"] != cls.SNAPSHOT_KIND:
+            raise SynopsisError(
+                f"snapshot kind {payload['kind']!r} is not a concise sample"
+            )
+        counters = CostCounters.from_dict(payload["counters"])
+        sample = cls.from_state(
+            {int(v): int(c) for v, c in payload["counts"]},
+            threshold=float(payload["threshold"]),
+            footprint_bound=int(payload["footprint_bound"]),
+            total_inserted=int(
+                # Older snapshots predate the per-synopsis n and used
+                # the shared ledger's insert count as the relation size.
+                payload.get("total_inserted", counters.inserts)
+            ),
+            seed=seed,
+        )
+        sample.counters = counters
+        # from_state starts a fresh admission skipper; re-point it at
+        # the restored ledger so future flips are charged correctly.
+        sample._admission._counters = counters
         return sample
 
     def check_invariants(self) -> None:

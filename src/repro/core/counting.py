@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Iterator, Mapping
+from typing import Any, ClassVar, Iterator, Mapping
 
 import numpy as np
 
@@ -93,6 +93,8 @@ class CountingSample(StreamSynopsis):
     >>> sample.count_of(3)
     2
     """
+
+    SNAPSHOT_KIND: ClassVar[str] = "counting-sample"
 
     def __init__(
         self,
@@ -247,7 +249,7 @@ class CountingSample(StreamSynopsis):
     def _coins(self) -> VectorCoins:
         if self._vector_coins is None:
             self._vector_coins = VectorCoins(
-                np.random.default_rng(self._rng.fork().seed), self.counters
+                self._rng.numpy_generator(), self.counters
             )
         return self._vector_coins
 
@@ -274,7 +276,9 @@ class CountingSample(StreamSynopsis):
         footprint = self._footprint
         # Present values: every occurrence is counted, no randomness.
         for value, count in zip(
-            uniq[present].tolist(), occurrences[present].tolist()
+            uniq[present].tolist(),
+            occurrences[present].tolist(),
+            strict=True,
         ):
             current = counts_dict[value]
             counts_dict[value] = current + count
@@ -294,6 +298,7 @@ class CountingSample(StreamSynopsis):
             for value, count in zip(
                 absent_values[admitted].tolist(),
                 surviving[admitted].tolist(),
+                strict=True,
             ):
                 counts_dict[value] = count
                 footprint += 1 if count == 1 else 2
@@ -403,7 +408,7 @@ class CountingSample(StreamSynopsis):
         )
         alive = new_counts > 0
         self._counts = dict(
-            zip(values[alive].tolist(), new_counts[alive].tolist())
+            zip(values[alive].tolist(), new_counts[alive].tolist(), strict=True)
         )
         self._footprint = int(
             np.count_nonzero(new_counts == 1)
@@ -432,6 +437,68 @@ class CountingSample(StreamSynopsis):
             policy=policy,
             counters=counters,
         )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Dump to a JSON-able snapshot dict (paper footnote 2).
+
+        Restoring with :meth:`from_dict` is *statistically* equivalent,
+        not bitwise: the restored sample carries the same counts,
+        threshold, and counters, but a fresh RNG stream (Theorem 5's
+        argument is over the invariant state, not the generator).
+        """
+        return {
+            "kind": self.SNAPSHOT_KIND,
+            "footprint_bound": self.footprint_bound,
+            "threshold": self._threshold,
+            "counts": [
+                [value, count] for value, count in self._counts.items()
+            ],
+            "total_inserted": self._inserted,
+            "total_deleted": self._deleted,
+            "counters": self.counters.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls,
+        payload: Mapping[str, Any],
+        *,
+        seed: int | None = None,
+    ) -> "CountingSample":
+        """Rebuild a sample from :meth:`to_dict` output.
+
+        ``seed`` re-seeds the restored object's randomness
+        (continuation runs should pass a fresh seed; tests may pin
+        one).
+        """
+        if payload["kind"] != cls.SNAPSHOT_KIND:
+            raise SynopsisError(
+                f"snapshot kind {payload['kind']!r} is not a counting sample"
+            )
+        counters = CostCounters.from_dict(payload["counters"])
+        # Build on a throwaway ledger so the admission skipper's
+        # threshold redraw is not charged to the restored counters,
+        # then swap the saved ledger in.
+        sample = cls(int(payload["footprint_bound"]), seed=seed)
+        for value, count in payload["counts"]:
+            sample._counts[int(value)] = int(count)
+            sample._footprint += 1 if count == 1 else 2
+        threshold = float(payload["threshold"])
+        sample._threshold = threshold
+        # Older snapshots predate the per-synopsis stream totals and
+        # used the shared ledger's operation counts instead.
+        sample._inserted = int(
+            payload.get("total_inserted", counters.inserts)
+        )
+        sample._deleted = int(
+            payload.get("total_deleted", counters.deletes)
+        )
+        if threshold > 1.0:
+            sample._admission.raise_threshold(threshold)
+        sample.counters = counters
+        sample._admission._counters = counters
+        sample.check_invariants()
+        return sample
 
     def check_invariants(self) -> None:
         """Recompute bookkeeping from the raw state; raise on drift."""

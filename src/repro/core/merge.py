@@ -98,7 +98,7 @@ def merge_concise(
         )
         alive = survivors > 0
         for value, count in zip(
-            values[alive].tolist(), survivors[alive].tolist()
+            values[alive].tolist(), survivors[alive].tolist(), strict=True
         ):
             union[value] += count
     merged._counts = dict(union)
@@ -157,7 +157,7 @@ def merge_counting(
             new_counts = tallies
         alive = new_counts > 0
         for value, count in zip(
-            values[alive].tolist(), new_counts[alive].tolist()
+            values[alive].tolist(), new_counts[alive].tolist(), strict=True
         ):
             union[value] += count
     merged._counts = dict(union)

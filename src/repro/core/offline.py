@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.base import SynopsisError
 from repro.core.concise import ConciseSample
 from repro.randkit.coins import CostCounters
+from repro.randkit.rng import numpy_generator
 
 __all__ = ["offline_concise_sample"]
 
@@ -62,7 +63,7 @@ def offline_concise_sample(
         raise SynopsisError("footprint_bound must be at least 2")
     n = len(values)
     ledger = counters if counters is not None else CostCounters()
-    rng = np.random.default_rng(seed)
+    rng = numpy_generator(seed)
     if n == 0:
         return ConciseSample.from_state(
             {}, 1.0, footprint_bound, counters=ledger

@@ -12,7 +12,7 @@ per replacement), matching the "traditional" rows of Tables 1 and 2.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterator
+from typing import Any, ClassVar, Iterator, Mapping
 
 import numpy as np
 
@@ -43,6 +43,8 @@ class ReservoirSample(StreamSynopsis):
     >>> len(sample.points()) == 3
     True
     """
+
+    SNAPSHOT_KIND: ClassVar[str] = "reservoir-sample"
 
     def __init__(
         self,
@@ -150,12 +152,12 @@ class ReservoirSample(StreamSynopsis):
         remaining = np.asarray(values[position:])
         count = len(remaining)
         record_numbers = self._seen + 1 + np.arange(count, dtype=np.float64)
-        bulk_rng = np.random.default_rng(self._rng.fork().seed)
+        bulk_rng = self._rng.numpy_generator()
         accepted = (
             bulk_rng.random(count) * record_numbers < self.capacity
         ).nonzero()[0]
         slots = bulk_rng.integers(self.capacity, size=len(accepted))
-        for offset, slot in zip(accepted.tolist(), slots.tolist()):
+        for offset, slot in zip(accepted.tolist(), slots.tolist(), strict=True):
             self._reservoir[slot] = int(remaining[offset])
         self.counters.flips += 2 * len(accepted)
         self._seen += count
@@ -183,6 +185,37 @@ class ReservoirSample(StreamSynopsis):
         self.counters.flips += 1
         slot = self._rng.choice_index(self.capacity)
         self._reservoir[slot] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        """Dump to a JSON-able snapshot dict (paper footnote 2)."""
+        return {
+            "kind": self.SNAPSHOT_KIND,
+            "capacity": self.capacity,
+            "points": list(self._reservoir),
+            "seen": self._seen,
+            "counters": self.counters.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls,
+        payload: Mapping[str, Any],
+        *,
+        seed: int | None = None,
+    ) -> "ReservoirSample":
+        """Rebuild a reservoir from :meth:`to_dict` output."""
+        if payload["kind"] != cls.SNAPSHOT_KIND:
+            raise SynopsisError(
+                f"snapshot kind {payload['kind']!r} is not a reservoir sample"
+            )
+        counters = CostCounters.from_dict(payload["counters"])
+        sample = cls(
+            int(payload["capacity"]), seed=seed, counters=counters
+        )
+        sample._reservoir = [int(v) for v in payload["points"]]
+        sample._seen = int(payload["seen"])
+        sample.check_invariants()
+        return sample
 
     def check_invariants(self) -> None:
         """Validate the reservoir never exceeds its capacity."""

@@ -22,7 +22,11 @@ from repro.core.merge import merge_concise, merge_counting
 from repro.core.thresholds import ThresholdPolicy
 from repro.randkit.rng import spawn_seeds
 
-__all__ = ["ShardedSynopsis"]
+__all__ = ["MergeFn", "ShardedSynopsis"]
+
+# The signature shared by merge_concise / merge_counting: shards in,
+# one combined synopsis out.
+MergeFn = Callable[..., ConciseSample | CountingSample]
 
 
 class ShardedSynopsis:
@@ -46,7 +50,7 @@ class ShardedSynopsis:
     def __init__(
         self,
         shards: Sequence[ConciseSample] | Sequence[CountingSample],
-        merge: Callable,
+        merge: MergeFn,
         *,
         merge_seed: int,
         footprint_bound: int,
@@ -61,7 +65,7 @@ class ShardedSynopsis:
         self._footprint_bound = footprint_bound
         self._policy = policy
         self._parallel = parallel and len(self.shards) > 1
-        self._cached_merge = None
+        self._cached_merge: ConciseSample | CountingSample | None = None
 
     # ------------------------------------------------------------------
     # Factories
@@ -153,14 +157,14 @@ class ShardedSynopsis:
                 list(
                     pool.map(
                         lambda pair: pair[0].insert_array(pair[1]),
-                        zip(self.shards, pieces),
+                        zip(self.shards, pieces, strict=True),
                     )
                 )
         else:
-            for shard, piece in zip(self.shards, pieces):
+            for shard, piece in zip(self.shards, pieces, strict=True):
                 shard.insert_array(piece)
 
-    def merged(self):
+    def merged(self) -> ConciseSample | CountingSample:
         """The merged synopsis (cached until the next ingest)."""
         if self._cached_merge is None:
             self._cached_merge = self._merge(

@@ -33,6 +33,7 @@ from repro.engine.registry import (
     SAMPLE,
     SynopsisRegistry,
 )
+from repro.engine.protocols import DistinctSketch, Histogram
 from repro.engine.responses import QueryResponse
 from repro.engine.warehouse import DataWarehouse
 from repro.estimators.aggregates import (
@@ -186,7 +187,7 @@ class ApproximateAnswerEngine:
             except ValueError:
                 # Wider-than-pair tuples overflow int64: encode row by
                 # row with Python bigints and use the per-row path.
-                for row in zip(*(part.tolist() for part in parts)):
+                for row in zip(*(part.tolist() for part in parts), strict=True):
                     self._forward(
                         relation_name,
                         name,
@@ -250,13 +251,13 @@ class ApproximateAnswerEngine:
         self.registry.register(relation, attribute, HOTLIST, reporter)
 
     def register_distinct(
-        self, relation: str, attribute: str, sketch
+        self, relation: str, attribute: str, sketch: DistinctSketch
     ) -> None:
         """Register a distinct-count sketch."""
         self.registry.register(relation, attribute, DISTINCT, sketch)
 
     def register_histogram(
-        self, relation: str, attribute: str, histogram
+        self, relation: str, attribute: str, histogram: Histogram
     ) -> None:
         """Register a statically built histogram synopsis.
 
@@ -268,7 +269,7 @@ class ApproximateAnswerEngine:
         self.registry.register(relation, attribute, HISTOGRAM, histogram)
 
     def refresh_histogram(
-        self, relation: str, attribute: str, histogram
+        self, relation: str, attribute: str, histogram: Histogram
     ) -> None:
         """Swap in a freshly rebuilt histogram for an attribute."""
         self.registry.unregister(relation, attribute, HISTOGRAM)

@@ -15,6 +15,8 @@ import json
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.engine.protocols import ReplayTarget
+
 __all__ = ["LoggedOperation", "OperationLog"]
 
 
@@ -75,7 +77,7 @@ class OperationLog:
         sequence: int,
         relation: str,
         attribute_index: int,
-        synopsis,
+        synopsis: ReplayTarget,
     ) -> int:
         """Replay one relation's logged suffix into a synopsis.
 

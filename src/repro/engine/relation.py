@@ -88,7 +88,7 @@ class Relation:
         if any(len(array) != length for array in arrays):
             raise RelationError("batch columns differ in length")
         if length == 0:
-            return dict(zip(self.attributes, arrays))
+            return dict(zip(self.attributes, arrays, strict=True))
         if all(array.dtype.kind in "iu" for array in arrays):
             # Factorise each column to dense codes and combine them
             # into one int64 row key: per-column int sorts are much
@@ -111,26 +111,27 @@ class Relation:
                     *(
                         array[first_index].tolist()
                         for array in arrays
-                    )
+                    ),
+                    strict=True,
                 )
                 for row, count in zip(
-                    gathered, multiplicities.tolist()
+                    gathered, multiplicities.tolist(), strict=True
                 ):
                     self._rows[row] += count
                 self._size += length
-                return dict(zip(self.attributes, arrays))
+                return dict(zip(self.attributes, arrays, strict=True))
             # Key space overflowed int64: fall back to row hashing.
             self._rows.update(
-                zip(*(array.tolist() for array in arrays))
+                zip(*(array.tolist() for array in arrays), strict=True)
             )
         else:
             # Mixed/float columns: keep each component's native Python
             # type so tuples match what per-row inserts would store.
             self._rows.update(
-                zip(*(array.tolist() for array in arrays))
+                zip(*(array.tolist() for array in arrays), strict=True)
             )
         self._size += length
-        return dict(zip(self.attributes, arrays))
+        return dict(zip(self.attributes, arrays, strict=True))
 
     def delete(self, row: Mapping[str, int] | tuple) -> tuple:
         """Delete one occurrence of a row; raises if absent."""

@@ -3,9 +3,9 @@
 The paper's footnote 2: "Various synopses can be swapped in and out of
 memory as needed.  For persistence and recovery, combinations of
 snapshots and/or logs can be stored on disk."  This module implements
-the snapshot half for the sample synopses: each supported synopsis can
-be dumped to a plain-JSON-able dict and restored to an equivalent
-object.
+the snapshot half for the sample synopses by dispatching to each
+synopsis class's ``to_dict`` / ``from_dict`` pair (reprolint rule
+RL007 checks that every such pair round-trips the same field set).
 
 Restoring is *statistically* equivalent, not bitwise: a restored
 sample carries the same sample contents, threshold, and counters, but
@@ -22,132 +22,51 @@ from typing import Any
 from repro.core.concise import ConciseSample
 from repro.core.counting import CountingSample
 from repro.core.reservoir import ReservoirSample
-from repro.randkit.coins import CostCounters
 
 __all__ = ["restore_synopsis", "snapshot_synopsis", "dumps", "loads"]
 
-_KIND_CONCISE = "concise-sample"
-_KIND_COUNTING = "counting-sample"
-_KIND_RESERVOIR = "reservoir-sample"
+Snapshotable = ConciseSample | CountingSample | ReservoirSample
+
+_SNAPSHOT_TYPES: tuple[type[Snapshotable], ...] = (
+    ConciseSample,
+    CountingSample,
+    ReservoirSample,
+)
 
 
-def _counters_state(counters: CostCounters) -> dict[str, int]:
-    return {
-        "flips": counters.flips,
-        "lookups": counters.lookups,
-        "threshold_raises": counters.threshold_raises,
-        "inserts": counters.inserts,
-        "deletes": counters.deletes,
-        "disk_accesses": counters.disk_accesses,
-    }
-
-
-def _restore_counters(state: dict[str, int]) -> CostCounters:
-    return CostCounters(**state)
-
-
-def snapshot_synopsis(synopsis: Any) -> dict:
+def snapshot_synopsis(synopsis: Snapshotable) -> dict[str, Any]:
     """Dump a supported synopsis to a JSON-able dict.
 
     Supported: :class:`ConciseSample`, :class:`CountingSample`,
     :class:`ReservoirSample`.  Raises :class:`TypeError` otherwise.
     """
-    if isinstance(synopsis, ConciseSample):
-        return {
-            "kind": _KIND_CONCISE,
-            "footprint_bound": synopsis.footprint_bound,
-            "threshold": synopsis.threshold,
-            "counts": [
-                [value, count] for value, count in synopsis.pairs()
-            ],
-            "total_inserted": synopsis.total_inserted,
-            "counters": _counters_state(synopsis.counters),
-        }
-    if isinstance(synopsis, CountingSample):
-        return {
-            "kind": _KIND_COUNTING,
-            "footprint_bound": synopsis.footprint_bound,
-            "threshold": synopsis.threshold,
-            "counts": [
-                [value, count] for value, count in synopsis.pairs()
-            ],
-            "total_inserted": synopsis._inserted,
-            "total_deleted": synopsis._deleted,
-            "counters": _counters_state(synopsis.counters),
-        }
-    if isinstance(synopsis, ReservoirSample):
-        return {
-            "kind": _KIND_RESERVOIR,
-            "capacity": synopsis.capacity,
-            "points": synopsis.points(),
-            "seen": synopsis.total_inserted,
-            "counters": _counters_state(synopsis.counters),
-        }
+    if isinstance(synopsis, _SNAPSHOT_TYPES):
+        return synopsis.to_dict()
     raise TypeError(
         f"cannot snapshot synopsis of type {type(synopsis).__name__}"
     )
 
 
-def restore_synopsis(state: dict, *, seed: int | None = None) -> Any:
+def restore_synopsis(
+    state: dict[str, Any], *, seed: int | None = None
+) -> Snapshotable:
     """Rebuild a synopsis from a snapshot dict.
 
     ``seed`` re-seeds the restored object's randomness (continuation
     runs should pass a fresh seed; tests may pin one).
     """
     kind = state.get("kind")
-    counters = _restore_counters(state["counters"])
-    if kind == _KIND_CONCISE:
-        sample = ConciseSample.from_state(
-            {int(v): int(c) for v, c in state["counts"]},
-            threshold=float(state["threshold"]),
-            footprint_bound=int(state["footprint_bound"]),
-            total_inserted=int(
-                # Older snapshots predate the per-synopsis n and used
-                # the shared ledger's insert count as the relation size.
-                state.get("total_inserted", state["counters"]["inserts"])
-            ),
-            seed=seed,
-        )
-        sample.counters = counters
-        # from_state starts a fresh admission skipper; re-point it at
-        # the restored ledger so future flips are charged correctly.
-        sample._admission._counters = counters
-        return sample
-    if kind == _KIND_COUNTING:
-        sample = CountingSample(
-            int(state["footprint_bound"]), seed=seed, counters=counters
-        )
-        for value, count in state["counts"]:
-            sample._counts[int(value)] = int(count)
-            sample._footprint += 1 if count == 1 else 2
-        threshold = float(state["threshold"])
-        sample._threshold = threshold
-        sample._inserted = int(
-            state.get("total_inserted", state["counters"]["inserts"])
-        )
-        sample._deleted = int(
-            state.get("total_deleted", state["counters"]["deletes"])
-        )
-        if threshold > 1.0:
-            sample._admission.raise_threshold(threshold)
-        sample.check_invariants()
-        return sample
-    if kind == _KIND_RESERVOIR:
-        sample = ReservoirSample(
-            int(state["capacity"]), seed=seed, counters=counters
-        )
-        sample._reservoir = [int(v) for v in state["points"]]
-        sample._seen = int(state["seen"])
-        sample.check_invariants()
-        return sample
+    for synopsis_type in _SNAPSHOT_TYPES:
+        if kind == synopsis_type.SNAPSHOT_KIND:
+            return synopsis_type.from_dict(state, seed=seed)
     raise ValueError(f"unknown snapshot kind {kind!r}")
 
 
-def dumps(synopsis: Any) -> str:
+def dumps(synopsis: Snapshotable) -> str:
     """Snapshot to a JSON string."""
     return json.dumps(snapshot_synopsis(synopsis))
 
 
-def loads(payload: str, *, seed: int | None = None) -> Any:
+def loads(payload: str, *, seed: int | None = None) -> Snapshotable:
     """Restore from a JSON string."""
     return restore_synopsis(json.loads(payload), seed=seed)

@@ -126,7 +126,8 @@ class DataWarehouse:
                         *(
                             normalised[attribute].tolist()
                             for attribute in relation.attributes
-                        )
+                        ),
+                        strict=True,
                     )
                 )
             for row in row_view:
@@ -141,7 +142,7 @@ class DataWarehouse:
         """Disk accesses a full scan of the relation would cost."""
         return self.relation(relation_name).size
 
-    def exact_column(self, relation_name: str, attribute: str):
+    def exact_column(self, relation_name: str, attribute: str) -> np.ndarray:
         """A full-scan copy of one attribute, charged to the counters."""
         relation = self.relation(relation_name)
         self.counters.disk_accesses += relation.size

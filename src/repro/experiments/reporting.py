@@ -20,10 +20,10 @@ def print_series(
     print(f"\n=== {title} ===")
     if widths is None:
         widths = [max(12, len(h) + 2) for h in header]
-    print("".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    print("".join(str(h).rjust(w) for h, w in zip(header, widths, strict=True)))
     for row in rows:
         cells = []
-        for value, width in zip(row, widths):
+        for value, width in zip(row, widths, strict=True):
             if isinstance(value, float):
                 cells.append(f"{value:,.3f}".rjust(width))
             else:

@@ -14,6 +14,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.randkit.rng import numpy_generator
 from repro.streams.zipf import ZipfDistribution
 
 __all__ = ["BasketGenerator"]
@@ -68,7 +69,7 @@ class BasketGenerator:
 
     def baskets(self, n: int) -> Iterator[tuple[int, ...]]:
         """Generate ``n`` baskets as sorted tuples of distinct items."""
-        rng = np.random.default_rng(self.seed)
+        rng = numpy_generator(self.seed)
         sizes = rng.geometric(1.0 / self.basket_size_mean, size=n)
         background = self._popularity.sample(
             int(sizes.sum()), self.seed + 1

@@ -15,7 +15,7 @@ from repro.randkit.coins import (
     EvictionSkipper,
     GeometricSkipper,
 )
-from repro.randkit.rng import ReproRandom, spawn_seeds
+from repro.randkit.rng import ReproRandom, numpy_generator, spawn_seeds
 from repro.randkit.vectorized import VectorCoins
 
 __all__ = [
@@ -25,5 +25,6 @@ __all__ = [
     "GeometricSkipper",
     "ReproRandom",
     "VectorCoins",
+    "numpy_generator",
     "spawn_seeds",
 ]

@@ -16,6 +16,7 @@ maintenance algorithms.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from repro.randkit.rng import ReproRandom
@@ -90,6 +91,29 @@ class CostCounters:
             inserts=self.inserts - other.inserts,
             deletes=self.deletes - other.deletes,
             disk_accesses=self.disk_accesses - other.disk_accesses,
+        )
+
+    def to_dict(self) -> dict[str, int]:
+        """The counter values as a JSON-able dict (snapshot payload)."""
+        return {
+            "flips": self.flips,
+            "lookups": self.lookups,
+            "threshold_raises": self.threshold_raises,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "disk_accesses": self.disk_accesses,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, int]) -> "CostCounters":
+        """Rebuild a ledger from :meth:`to_dict` output."""
+        return cls(
+            flips=int(payload["flips"]),
+            lookups=int(payload["lookups"]),
+            threshold_raises=int(payload["threshold_raises"]),
+            inserts=int(payload["inserts"]),
+            deletes=int(payload["deletes"]),
+            disk_accesses=int(payload["disk_accesses"]),
         )
 
 

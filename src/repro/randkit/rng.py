@@ -5,7 +5,10 @@ adds the distributions the sampling algorithms need (geometric skip
 lengths, biased coins) while keeping a single, explicit seed per
 algorithm instance.  Using the stdlib Mersenne Twister rather than numpy
 keeps single-draw latency low on the per-insert hot path; bulk stream
-generation uses numpy separately (see :mod:`repro.streams`).
+generation uses numpy generators obtained through
+:func:`numpy_generator` (or :meth:`ReproRandom.numpy_generator`), the
+sanctioned -- and reprolint-enforced (RL001) -- constructors for array
+randomness outside this package.
 """
 
 from __future__ import annotations
@@ -14,7 +17,9 @@ import math
 import random
 from collections.abc import Iterator
 
-__all__ = ["ReproRandom", "spawn_seeds"]
+import numpy as np
+
+__all__ = ["ReproRandom", "numpy_generator", "spawn_seeds"]
 
 # Draws below this admission probability use the closed-form geometric
 # inversion; above it, direct simulation is cheaper and exact.
@@ -94,6 +99,16 @@ class ReproRandom:
         """
         return ReproRandom(self._random.getrandbits(63))
 
+    def numpy_generator(self) -> np.random.Generator:
+        """A seeded :class:`numpy.random.Generator` forked off this stream.
+
+        The batch/vectorized paths draw whole arrays at a time; this is
+        how they obtain their generator without reaching for raw
+        ``np.random`` (reprolint RL001).  Consumes exactly one
+        ``getrandbits(63)`` draw, like :meth:`fork`.
+        """
+        return np.random.default_rng(self._random.getrandbits(63))
+
 
 def spawn_seeds(master_seed: int, count: int) -> list[int]:
     """Derive ``count`` reproducible child seeds from one master seed.
@@ -105,6 +120,21 @@ def spawn_seeds(master_seed: int, count: int) -> list[int]:
         raise ValueError("count must be non-negative")
     source = random.Random(master_seed)
     return [source.getrandbits(63) for _ in range(count)]
+
+
+def numpy_generator(seed: int) -> np.random.Generator:
+    """The sanctioned constructor for bulk numpy randomness.
+
+    Identical to ``np.random.default_rng(seed)`` -- but the seed is
+    *required*, so every array-at-a-time consumer (stream generators,
+    offline construction, workload synthesis) is reproducible from its
+    recorded seed.  Code outside :mod:`repro.randkit` must obtain numpy
+    generators here (or from :meth:`ReproRandom.numpy_generator`);
+    reprolint rule RL001 enforces this.
+    """
+    if seed is None:  # defensive: None would silently seed from the OS
+        raise ValueError("numpy_generator requires an explicit seed")
+    return np.random.default_rng(seed)
 
 
 def seed_stream(master_seed: int) -> Iterator[int]:

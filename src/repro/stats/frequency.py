@@ -40,7 +40,7 @@ class FrequencyTable:
         """Bulk-insert a stream of values."""
         if isinstance(values, np.ndarray):
             uniques, counts = np.unique(values, return_counts=True)
-            for value, count in zip(uniques.tolist(), counts.tolist()):
+            for value, count in zip(uniques.tolist(), counts.tolist(), strict=True):
                 self._counts[value] += count
             self._total += int(counts.sum()) if len(counts) else 0
             return

@@ -39,7 +39,7 @@ def mean_relative_error(
     for a zero denominator); use :func:`precision_recall` to penalise
     false positives.
     """
-    keys = [key for key in truth if truth[key] != 0]
+    keys = [key for key in truth if truth[key]]
     if not keys:
         return 0.0
     total = sum(

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.randkit.rng import numpy_generator
+
 __all__ = [
     "exponential_stream",
     "mixture_stream",
@@ -26,7 +28,7 @@ def uniform_stream(
         raise ValueError("n must be non-negative")
     if domain_size < 1:
         raise ValueError("domain_size must be at least 1")
-    rng = np.random.default_rng(seed)
+    rng = numpy_generator(seed)
     return rng.integers(1, domain_size + 1, size=n, dtype=np.int64)
 
 
@@ -41,7 +43,7 @@ def exponential_stream(n: int, alpha: float, seed: int) -> np.ndarray:
         raise ValueError("n must be non-negative")
     if alpha <= 1.0:
         raise ValueError("alpha must exceed 1")
-    rng = np.random.default_rng(seed)
+    rng = numpy_generator(seed)
     return rng.geometric(1.0 - 1.0 / alpha, size=n).astype(np.int64)
 
 
@@ -67,7 +69,7 @@ def mixture_stream(
     for component in components:
         if len(component) < n:
             raise ValueError("every component needs at least n values")
-    rng = np.random.default_rng(seed)
+    rng = numpy_generator(seed)
     choices = rng.choice(
         len(components), size=n, p=[w / total for w in weights]
     )

@@ -13,6 +13,8 @@ from typing import Iterable, Iterator, Protocol
 
 import numpy as np
 
+from repro.randkit.rng import numpy_generator
+
 __all__ = [
     "Delete",
     "Insert",
@@ -77,7 +79,7 @@ def insert_delete_stream(
     """
     if not 0.0 <= delete_fraction < 1.0:
         raise ValueError("delete_fraction must be in [0, 1)")
-    rng = np.random.default_rng(seed)
+    rng = numpy_generator(seed)
     operations: list[Operation] = []
     live: list[int] = []
     cursor = 0

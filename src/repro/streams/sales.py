@@ -14,6 +14,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.randkit.rng import numpy_generator
 from repro.streams.zipf import ZipfDistribution
 
 __all__ = ["SalesGenerator", "SalesRecord"]
@@ -74,7 +75,7 @@ class SalesGenerator:
         self.stores = stores
         self.seed = seed
         self._popularity = ZipfDistribution(catalogue_size, skew)
-        price_rng = np.random.default_rng(seed)
+        price_rng = numpy_generator(seed)
         log_low, log_high = np.log(price_low), np.log(price_high)
         self._prices = np.exp(
             price_rng.uniform(log_low, log_high, size=catalogue_size)
@@ -89,7 +90,7 @@ class SalesGenerator:
     def records(self, n: int) -> Iterator[SalesRecord]:
         """Generate ``n`` sales records."""
         products = self._popularity.sample(n, self.seed + 1)
-        detail_rng = np.random.default_rng(self.seed + 2)
+        detail_rng = numpy_generator(self.seed + 2)
         store_ids = detail_rng.integers(1, self.stores + 1, size=n)
         quantities = detail_rng.geometric(0.5, size=n)
         for i in range(n):

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.randkit.rng import numpy_generator
+
 __all__ = ["ZipfDistribution", "zipf_stream"]
 
 
@@ -67,7 +69,7 @@ class ZipfDistribution:
         """Draw ``n`` i.i.d. values as an ``int64`` array."""
         if n < 0:
             raise ValueError("n must be non-negative")
-        rng = np.random.default_rng(seed)
+        rng = numpy_generator(seed)
         uniforms = rng.random(n)
         return np.searchsorted(self._cdf, uniforms, side="right").astype(
             np.int64

@@ -99,5 +99,5 @@ class FlajoletMartinSketch(StreamSynopsis):
             raise SynopsisError("cannot merge sketches of different shape")
         self._bitmaps = [
             mine | theirs
-            for mine, theirs in zip(self._bitmaps, other._bitmaps)
+            for mine, theirs in zip(self._bitmaps, other._bitmaps, strict=True)
         ]

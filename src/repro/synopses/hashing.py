@@ -8,7 +8,7 @@ from a degree-3 polynomial over the same prime.
 
 from __future__ import annotations
 
-import random
+from repro.randkit.rng import ReproRandom
 
 __all__ = ["PairwiseHash", "FourwiseHash", "bit_hash_position"]
 
@@ -21,10 +21,10 @@ class PairwiseHash:
     def __init__(self, buckets: int, seed: int) -> None:
         if buckets < 1:
             raise ValueError("buckets must be positive")
-        rng = random.Random(seed)
+        rng = ReproRandom(seed)
         self.buckets = buckets
-        self._a = rng.randrange(1, _MERSENNE_PRIME)
-        self._b = rng.randrange(_MERSENNE_PRIME)
+        self._a = rng.randint(1, _MERSENNE_PRIME - 1)
+        self._b = rng.randint(0, _MERSENNE_PRIME - 1)
 
     def __call__(self, value: int) -> int:
         return (
@@ -40,9 +40,9 @@ class FourwiseHash:
     """A 4-wise independent hash via a random cubic polynomial."""
 
     def __init__(self, seed: int) -> None:
-        rng = random.Random(seed)
+        rng = ReproRandom(seed)
         self._coefficients = [
-            rng.randrange(_MERSENNE_PRIME) for _ in range(4)
+            rng.randint(0, _MERSENNE_PRIME - 1) for _ in range(4)
         ]
         if self._coefficients[3] == 0:
             self._coefficients[3] = 1

@@ -7,6 +7,7 @@ from collections import Counter
 import numpy as np
 import pytest
 
+from repro.randkit import numpy_generator
 from repro.core.base import SynopsisError
 from repro.core.concise import ConciseSample
 from repro.core.thresholds import MultiplicativeRaise
@@ -174,7 +175,7 @@ class TestMaintenanceStatistics:
         stream = np.concatenate(
             [np.full(30_000, 1), np.full(10_000, 2), np.full(10_000, 3)]
         )
-        rng = np.random.default_rng(5)
+        rng = numpy_generator(5)
         rng.shuffle(stream)
         totals: Counter[int] = Counter()
         for trial in range(30):
@@ -186,7 +187,7 @@ class TestMaintenanceStatistics:
 
     def test_estimate_frequency_unbiased(self):
         stream = np.concatenate([np.full(8000, 7), np.full(2000, 9)])
-        np.random.default_rng(6).shuffle(stream)
+        numpy_generator(6).shuffle(stream)
         estimates = []
         for trial in range(40):
             sample = ConciseSample(30, seed=50_000 + trial)

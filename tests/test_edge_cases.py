@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.randkit import numpy_generator
 from repro.core import ConciseSample, CountingSample, ReservoirSample
 from repro.core.base import StreamSynopsis
 from repro.randkit.coins import CostCounters
@@ -106,7 +107,7 @@ class TestFrequencyEstimationConsistency:
         stream = np.concatenate(
             [np.full(9000, 1), np.full(1000, 2)]
         )
-        np.random.default_rng(17).shuffle(stream)
+        numpy_generator(17).shuffle(stream)
         estimates = []
         for trial in range(30):
             sample = ConciseSample(20, seed=100 + trial)

@@ -24,7 +24,7 @@ class TestRelationInsertBatch:
         batch = Relation("r", ["a", "b"])
         a = np.array([1, 2, 1, 3, 1], dtype=np.int64)
         b = np.array([9, 8, 9, 7, 9], dtype=np.int64)
-        for row in zip(a.tolist(), b.tolist()):
+        for row in zip(a.tolist(), b.tolist(), strict=True):
             per_row.insert(row)
         batch.insert_batch({"a": a, "b": b})
         assert batch.size == per_row.size == 5
@@ -162,7 +162,7 @@ class TestEngineBatchObservation:
             "sales", "item", ConciseSample(400, seed=6)
         )
         warehouse_rows.load(
-            "sales", list(zip(stores.tolist(), items.tolist()))
+            "sales", list(zip(stores.tolist(), items.tolist(), strict=True))
         )
 
         warehouse_batch, engine_batch = self._build()

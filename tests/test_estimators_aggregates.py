@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.randkit import numpy_generator
 from repro.core.concise import ConciseSample
 from repro.estimators.aggregates import (
     estimate_average,
@@ -34,7 +35,7 @@ class TestEstimateCount:
         covered = 0
         trials = 60
         for trial in range(trials):
-            rng = np.random.default_rng(trial)
+            rng = numpy_generator(trial)
             points = rng.choice(population, size=400, replace=False)
             estimate = estimate_count(
                 points, len(population), lambda v: v <= 20, 0.95
@@ -78,7 +79,7 @@ class TestEstimateSum:
         truth = float(population.sum())
         estimates = []
         for trial in range(50):
-            rng = np.random.default_rng(100 + trial)
+            rng = numpy_generator(100 + trial)
             points = rng.choice(population, size=500, replace=False)
             estimates.append(
                 estimate_sum(points, len(population)).value

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.randkit import numpy_generator
 from repro.estimators.distinct import (
     first_order_jackknife,
     frequency_profile,
@@ -46,7 +47,7 @@ class TestJackknife:
 
     def test_reasonable_on_moderate_skew(self):
         stream = zipf_stream(50_000, 800, 0.5, seed=1)
-        rng = np.random.default_rng(2)
+        rng = numpy_generator(2)
         points = rng.choice(stream, size=5000, replace=False)
         estimate = first_order_jackknife(
             frequency_profile(points), len(stream)
@@ -80,7 +81,7 @@ class TestGEE:
         """GEE lands between the sample distinct count and the
         population size."""
         stream = zipf_stream(30_000, 2000, 1.0, seed=3)
-        rng = np.random.default_rng(4)
+        rng = numpy_generator(4)
         points = rng.choice(stream, size=2000, replace=False)
         profile = frequency_profile(points)
         sample_distinct = sum(profile.values())
@@ -92,7 +93,7 @@ class TestGEE:
         sample distinct count."""
         true_distinct = 5000
         stream = zipf_stream(50_000, true_distinct, 0.0, seed=5)
-        rng = np.random.default_rng(6)
+        rng = numpy_generator(6)
         points = rng.choice(stream, size=2000, replace=False)
         profile = frequency_profile(points)
         naive = sum(profile.values())

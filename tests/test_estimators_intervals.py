@@ -7,6 +7,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.randkit import numpy_generator
 from repro.estimators.intervals import (
     ConfidenceInterval,
     clt_interval,
@@ -80,7 +81,7 @@ class TestCltInterval:
     def test_coverage_simulation(self):
         """A 90% CLT interval for a sample mean covers the truth about
         90% of the time."""
-        rng = np.random.default_rng(1)
+        rng = numpy_generator(1)
         true_mean, n = 10.0, 200
         covered = 0
         trials = 600
@@ -114,7 +115,7 @@ class TestHoeffdingInterval:
     def test_guaranteed_coverage(self):
         """Hoeffding is conservative: empirical coverage above the
         nominal level."""
-        rng = np.random.default_rng(2)
+        rng = numpy_generator(2)
         p, n, population = 0.3, 150, 10_000
         covered = 0
         trials = 500
@@ -164,7 +165,7 @@ class TestWilsonInterval:
 
         from repro.estimators.intervals import wilson_interval
 
-        rng = np.random.default_rng(9)
+        rng = numpy_generator(9)
         p, n, trials = 0.05, 80, 600  # rare predicate, small sample
         covered = 0
         for _ in range(trials):

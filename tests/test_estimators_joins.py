@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.randkit import numpy_generator
 from repro.estimators.joins import (
     join_size_from_hotlists,
     join_size_from_samples,
@@ -43,7 +44,7 @@ class TestSampleEstimator:
         left_stream = zipf_stream(30_000, 300, 1.0, seed=1)
         right_stream = zipf_stream(30_000, 300, 1.0, seed=2)
         truth = _exact_join_size(left_stream, right_stream)
-        rng = np.random.default_rng(3)
+        rng = numpy_generator(3)
         estimates = []
         for _ in range(40):
             left_points = rng.choice(left_stream, 800, replace=False)
@@ -109,7 +110,7 @@ class TestHotlistEstimator:
         truth = _exact_join_size(left_stream, right_stream)
 
         hotlist_errors, sample_errors = [], []
-        rng = np.random.default_rng(12)
+        rng = numpy_generator(12)
         for trial in range(5):
             left_reporter = CountingHotList(400, seed=100 + trial)
             right_reporter = CountingHotList(400, seed=200 + trial)

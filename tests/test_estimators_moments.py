@@ -7,6 +7,7 @@ from collections import Counter
 import numpy as np
 import pytest
 
+from repro.randkit import numpy_generator
 from repro.estimators.moments import (
     estimate_frequency_moment,
     sample_size_gain,
@@ -32,7 +33,7 @@ class TestEstimateFrequencyMoment:
     def test_f2_skewed_stream_ballpark(self):
         stream = zipf_stream(50_000, 500, 1.5, seed=1)
         truth = frequency_moment(stream, 2)
-        rng = np.random.default_rng(2)
+        rng = numpy_generator(2)
         points = rng.choice(stream, size=2000, replace=False)
         estimate = estimate_frequency_moment(points, 2, len(stream))
         assert estimate == pytest.approx(truth, rel=0.3)

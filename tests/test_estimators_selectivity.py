@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.randkit import numpy_generator
 from repro.estimators.selectivity import Predicate, estimate_selectivity
 from repro.streams import zipf_stream
 
@@ -67,7 +68,7 @@ class TestEstimateSelectivity:
     def test_accuracy_on_real_stream(self):
         stream = zipf_stream(50_000, 1000, 1.0, seed=1)
         truth = float((stream <= 50).mean())
-        rng = np.random.default_rng(2)
+        rng = numpy_generator(2)
         points = rng.choice(stream, size=1000, replace=False)
         estimate = estimate_selectivity(points, Predicate(high=50))
         assert estimate.selectivity == pytest.approx(truth, abs=0.05)

@@ -7,6 +7,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.randkit import numpy_generator
 from repro.stats.theory import (
     compensation_constant,
     concise_gain_expected,
@@ -89,7 +90,7 @@ class TestTheorem4:
     def test_gain_monte_carlo(self):
         """The closed form matches simulation of with-replacement
         sampling."""
-        rng = np.random.default_rng(11)
+        rng = numpy_generator(11)
         frequencies = [40, 30, 20, 10]
         population = np.repeat(np.arange(4), frequencies)
         m = 8

@@ -7,6 +7,7 @@ from collections import Counter
 import numpy as np
 import pytest
 
+from repro.randkit import numpy_generator
 from repro.streams.operations import (
     Delete,
     Insert,
@@ -59,7 +60,7 @@ class TestInsertDeleteStream:
         assert inserted == values.tolist()
 
     def test_deletes_never_underflow(self):
-        values = np.random.default_rng(3).integers(1, 20, size=2000)
+        values = numpy_generator(3).integers(1, 20, size=2000)
         operations = insert_delete_stream(values, 0.45, seed=4)
         live: Counter[int] = Counter()
         for op in operations:
@@ -91,7 +92,7 @@ class TestInsertDeleteStream:
 
 class TestReplay:
     def test_replay_applies_everything(self):
-        values = np.random.default_rng(7).integers(1, 10, size=500)
+        values = numpy_generator(7).integers(1, 10, size=500)
         operations = insert_delete_stream(values, 0.25, seed=8)
         target = _RecordingTarget()
         applied = replay(operations, target)
@@ -99,7 +100,7 @@ class TestReplay:
         assert target.operations == len(operations)
 
     def test_replay_final_state_consistent(self):
-        values = np.random.default_rng(9).integers(1, 6, size=300)
+        values = numpy_generator(9).integers(1, 6, size=300)
         operations = insert_delete_stream(values, 0.3, seed=10)
         target = _RecordingTarget()
         replay(operations, target)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.randkit import numpy_generator
 from repro.synopses.hashing import (
     FourwiseHash,
     PairwiseHash,
@@ -79,7 +80,7 @@ class TestBitHashPosition:
 
     def test_geometric_distribution(self):
         """Uniform hashes land on bit j with probability 2^-(j+1)."""
-        rng = np.random.default_rng(11)
+        rng = numpy_generator(11)
         hashes = rng.integers(1, 1 << 61, size=200_000)
         positions = [bit_hash_position(int(h)) for h in hashes]
         fraction_zero = np.mean([p == 0 for p in positions])

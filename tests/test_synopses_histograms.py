@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.randkit import numpy_generator
 from repro.core.base import SynopsisError
 from repro.hotlist.base import HotListAnswer, HotListEntry
 from repro.stats.frequency import FrequencyTable
@@ -21,7 +22,7 @@ class TestEquiDepth:
         assert histogram.estimate_range(1, 1000) == pytest.approx(50_000)
 
     def test_half_range_uniform(self):
-        points = np.random.default_rng(1).uniform(0, 100, size=10_000)
+        points = numpy_generator(1).uniform(0, 100, size=10_000)
         histogram = EquiDepthHistogram.from_sample(points, 20, 10_000)
         assert histogram.estimate_range(0, 50) == pytest.approx(
             5_000, rel=0.1
@@ -44,7 +45,7 @@ class TestEquiDepth:
         assert histogram.estimate_equality(-5) == 0.0
 
     def test_range_estimate_additive(self):
-        points = np.random.default_rng(2).uniform(0, 1000, size=5000)
+        points = numpy_generator(2).uniform(0, 1000, size=5000)
         histogram = EquiDepthHistogram.from_sample(points, 16, 5000)
         whole = histogram.estimate_range(0, 1000)
         split = histogram.estimate_range(0, 400) + histogram.estimate_range(

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.randkit import numpy_generator
 from repro.core.base import SynopsisError
 from repro.streams import zipf_stream
 from repro.synopses.histogram_vopt import VOptimalHistogram
@@ -51,7 +52,7 @@ class TestOptimality:
     def test_beats_random_partition_on_variance_objective(self):
         """The DP's partition cost is no worse than arbitrary
         partitions (check against the equal-width split)."""
-        rng = np.random.default_rng(2)
+        rng = numpy_generator(2)
         frequencies = rng.pareto(1.2, size=100) * 100
 
         def partition_cost(boundaries):

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.randkit import numpy_generator
 from repro.core import (
     ConciseSample,
     CountingSample,
@@ -72,7 +73,7 @@ class TestChurn:
         and counts track the live multiplicity."""
         sample = CountingSample(10, seed=11)
         live = 0
-        rng = np.random.default_rng(12)
+        rng = numpy_generator(12)
         for _ in range(50_000):
             if live > 0 and rng.random() < 0.5:
                 sample.delete(1)
