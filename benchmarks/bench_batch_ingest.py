@@ -14,13 +14,13 @@ Run with ``PYTHONPATH=src python benchmarks/bench_batch_ingest.py``.
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.core import ConciseSample, CountingSample, ShardedSynopsis
 from repro.engine import ApproximateAnswerEngine, DataWarehouse
+from repro.obs.clock import perf_counter
 from repro.streams import zipf_stream
 
 # The acceptance configuration: zipf-1.25 stream, N=500K, footprint
@@ -37,9 +37,9 @@ RESULT_PATH = Path(__file__).resolve().parent.parent / (
 
 def _timed(build, ingest, stream) -> dict:
     synopsis = build()
-    start = time.perf_counter()
+    start = perf_counter()
     ingest(synopsis, stream)
-    elapsed = time.perf_counter() - start
+    elapsed = perf_counter() - start
     return {
         "seconds": round(elapsed, 4),
         "rows_per_second": round(len(stream) / elapsed),
@@ -90,14 +90,14 @@ def bench_warehouse(stream) -> dict:
 
     warehouse = build(10)
     rows = list(zip(stores.tolist(), stream.tolist(), strict=True))
-    start = time.perf_counter()
+    start = perf_counter()
     warehouse.load("sales", rows)
-    per_row_seconds = time.perf_counter() - start
+    per_row_seconds = perf_counter() - start
 
     warehouse = build(20)
-    start = time.perf_counter()
+    start = perf_counter()
     warehouse.load_batch("sales", {"store": stores, "item": stream})
-    batch_seconds = time.perf_counter() - start
+    batch_seconds = perf_counter() - start
 
     return {
         "per_row": {

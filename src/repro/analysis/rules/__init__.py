@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.analysis.rules.annotations import PublicAnnotationsRule
 from repro.analysis.rules.base import Rule
+from repro.analysis.rules.clocks import InjectedClockRule
 from repro.analysis.rules.determinism import WallClockRule
 from repro.analysis.rules.exceptions import SwallowedExceptionRule
 from repro.analysis.rules.floats import FloatEqualityRule
@@ -25,6 +26,7 @@ ALL_RULES: tuple[Rule, ...] = (
     PublicAnnotationsRule(),
     SnapshotRoundTripRule(),
     SwallowedExceptionRule(),
+    InjectedClockRule(),
 )
 
 

@@ -1,0 +1,76 @@
+"""RL009: monotonic clocks are read only inside ``repro.obs``.
+
+The observability layer injects time as a dependency: tracers, load
+observers, and benchmarks receive a ``Clock`` callable, and
+:mod:`repro.obs.clock` is the one module allowed to call
+``time.monotonic`` / ``time.perf_counter`` directly.  Everywhere else a
+direct clock read hides a dependency that breaks test fakes (a
+``FakeClock`` cannot intercept it) and smuggles wall-clock state past
+the RL005 determinism boundary.  Code that needs durations imports
+``monotonic`` / ``perf_counter`` from ``repro.obs.clock`` or accepts a
+clock argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.rules.base import Rule, dotted_name
+
+__all__ = ["InjectedClockRule"]
+
+_CLOCK_CALLS = frozenset(
+    {
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }
+)
+_CLOCK_NAMES = frozenset(
+    {"monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+
+
+class InjectedClockRule(Rule):
+    """RL009: direct monotonic-clock read outside ``repro.obs``."""
+
+    code = "RL009"
+    title = "direct monotonic-clock read outside repro.obs"
+    rationale = (
+        "Timing is an injected dependency: only repro.obs.clock may "
+        "read the process clocks, so tests can substitute a FakeClock "
+        "and timed code stays deterministic under test."
+    )
+    scope = None
+    exclude = ("obs",)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        hint = (
+            "import monotonic/perf_counter from repro.obs.clock, or "
+            "accept a Clock callable argument"
+        )
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _CLOCK_CALLS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"direct call to `{name}()`",
+                        hint,
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name in _CLOCK_NAMES:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"`from time import {alias.name}` "
+                                "bypasses the injected clock",
+                                hint,
+                            )

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.base import StreamSynopsis, SynopsisError
 from repro.core.thresholds import MultiplicativeRaise, ThresholdPolicy
+from repro.obs import probe as obs_probe
 from repro.randkit.coins import CostCounters, EvictionSkipper, GeometricSkipper
 from repro.randkit.rng import ReproRandom
 from repro.randkit.vectorized import VectorCoins
@@ -289,6 +290,10 @@ class ConciseSample(StreamSynopsis):
             counts_dict[value] = current + count
         self._footprint = footprint
         self._sample_size += int(admitted.size)
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_admission(
+                self.SNAPSHOT_KIND, int(admitted.size)
+            )
 
     def _add_sample_point(self, value: int) -> None:
         """Place an admitted value into the concise representation."""
@@ -300,6 +305,8 @@ class ConciseSample(StreamSynopsis):
             self._footprint += 1
         self._counts[value] = count + 1
         self._sample_size += 1
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_admission(self.SNAPSHOT_KIND, 1)
 
     def _shrink(self, batch: bool = False) -> None:
         """Raise the threshold until the footprint is within bound."""
@@ -322,6 +329,8 @@ class ConciseSample(StreamSynopsis):
         number of evictions, not the sample-size.
         """
         self.counters.threshold_raises += 1
+        old_threshold = self._threshold
+        size_before = self._sample_size
         eviction_probability = 1.0 - self._threshold / new_threshold
         sweeper = EvictionSkipper(
             self._rng, self.counters, eviction_probability
@@ -342,6 +351,14 @@ class ConciseSample(StreamSynopsis):
                     self._footprint -= 1
         self._threshold = new_threshold
         self._admission.raise_threshold(new_threshold)
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_threshold_raise(
+                self.SNAPSHOT_KIND,
+                old_threshold,
+                new_threshold,
+                size_before,
+                self._sample_size,
+            )
 
     def _evict_to_batch(self, new_threshold: float) -> None:
         """Vectorized eviction sweep: binomial survivors in one op.
@@ -352,6 +369,8 @@ class ConciseSample(StreamSynopsis):
         from the survivor arrays.
         """
         self.counters.threshold_raises += 1
+        old_threshold = self._threshold
+        size_before = self._sample_size
         keep_probability = self._threshold / new_threshold
         size = len(self._counts)
         values = np.fromiter(self._counts.keys(), np.int64, size)
@@ -370,6 +389,14 @@ class ConciseSample(StreamSynopsis):
         self._sample_size = int(survivors.sum())
         self._threshold = new_threshold
         self._admission.raise_threshold(new_threshold)
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_threshold_raise(
+                self.SNAPSHOT_KIND,
+                old_threshold,
+                new_threshold,
+                size_before,
+                self._sample_size,
+            )
 
     # ------------------------------------------------------------------
     # Construction from existing state / validation
@@ -425,6 +452,8 @@ class ConciseSample(StreamSynopsis):
         (Theorem 2's induction is over the invariant state -- sample +
         threshold -- not the generator).
         """
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_snapshot(self.SNAPSHOT_KIND, "dump")
         return {
             "kind": self.SNAPSHOT_KIND,
             "footprint_bound": self.footprint_bound,
@@ -469,6 +498,8 @@ class ConciseSample(StreamSynopsis):
         # from_state starts a fresh admission skipper; re-point it at
         # the restored ledger so future flips are charged correctly.
         sample._admission._counters = counters
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_snapshot(cls.SNAPSHOT_KIND, "restore")
         return sample
 
     def check_invariants(self) -> None:

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.base import StreamSynopsis, SynopsisError
 from repro.core.thresholds import MultiplicativeRaise, ThresholdPolicy
+from repro.obs import probe as obs_probe
 from repro.randkit.coins import CostCounters, GeometricSkipper
 from repro.randkit.rng import ReproRandom
 from repro.randkit.vectorized import VectorCoins
@@ -211,6 +212,8 @@ class CountingSample(StreamSynopsis):
             return
         self._counts[value] = 1
         self._footprint += 1
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_admission(self.SNAPSHOT_KIND, 1)
         if self._footprint > self.footprint_bound:
             self._shrink()
 
@@ -302,6 +305,10 @@ class CountingSample(StreamSynopsis):
             ):
                 counts_dict[value] = count
                 footprint += 1 if count == 1 else 2
+            if obs_probe.PROBE is not None and admitted.any():
+                obs_probe.PROBE.on_admission(
+                    self.SNAPSHOT_KIND, int(np.count_nonzero(admitted))
+                )
         self._footprint = footprint
         if footprint > self.footprint_bound:
             self._shrink(batch=True)
@@ -351,6 +358,10 @@ class CountingSample(StreamSynopsis):
         so the cost is O(1) flips per value.
         """
         self.counters.threshold_raises += 1
+        old_threshold = self._threshold
+        size_before = (
+            self.total_count if obs_probe.PROBE is not None else 0
+        )
         keep_probability = self._threshold / new_threshold
         tail_log = math.log1p(-1.0 / new_threshold)
         for value in list(self._counts):
@@ -387,6 +398,14 @@ class CountingSample(StreamSynopsis):
                     self._footprint -= 1
         self._threshold = new_threshold
         self._admission.raise_threshold(new_threshold)
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_threshold_raise(
+                self.SNAPSHOT_KIND,
+                old_threshold,
+                new_threshold,
+                size_before,
+                self.total_count,
+            )
 
     def _evict_to_batch(self, new_threshold: float) -> None:
         """Vectorized threshold raise: all admission tails in one op.
@@ -397,6 +416,7 @@ class CountingSample(StreamSynopsis):
         :func:`subsample_tail_counts`.
         """
         self.counters.threshold_raises += 1
+        old_threshold = self._threshold
         size = len(self._counts)
         values = np.fromiter(self._counts.keys(), np.int64, size)
         counts = np.fromiter(self._counts.values(), np.int64, size)
@@ -416,6 +436,14 @@ class CountingSample(StreamSynopsis):
         )
         self._threshold = new_threshold
         self._admission.raise_threshold(new_threshold)
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_threshold_raise(
+                self.SNAPSHOT_KIND,
+                old_threshold,
+                new_threshold,
+                int(counts.sum()),
+                int(new_counts.sum()),
+            )
 
     @classmethod
     def merge(
@@ -446,6 +474,8 @@ class CountingSample(StreamSynopsis):
         threshold, and counters, but a fresh RNG stream (Theorem 5's
         argument is over the invariant state, not the generator).
         """
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_snapshot(self.SNAPSHOT_KIND, "dump")
         return {
             "kind": self.SNAPSHOT_KIND,
             "footprint_bound": self.footprint_bound,
@@ -498,6 +528,8 @@ class CountingSample(StreamSynopsis):
         sample.counters = counters
         sample._admission._counters = counters
         sample.check_invariants()
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_snapshot(cls.SNAPSHOT_KIND, "restore")
         return sample
 
     def check_invariants(self) -> None:

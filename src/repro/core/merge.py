@@ -35,6 +35,7 @@ from repro.core.base import SynopsisError
 from repro.core.concise import ConciseSample
 from repro.core.counting import CountingSample, subsample_tail_counts
 from repro.core.thresholds import ThresholdPolicy
+from repro.obs import probe as obs_probe
 from repro.randkit.coins import CostCounters
 
 __all__ = ["merge_concise", "merge_counting"]
@@ -112,6 +113,8 @@ def merge_concise(
         merged._admission.raise_threshold(float(target))
     if merged._footprint > merged.footprint_bound:
         merged._shrink(batch=True)
+    if obs_probe.PROBE is not None:
+        obs_probe.PROBE.on_merge(ConciseSample.SNAPSHOT_KIND, len(samples))
     return merged
 
 
@@ -171,4 +174,8 @@ def merge_counting(
         merged._admission.raise_threshold(float(target))
     if merged._footprint > merged.footprint_bound:
         merged._shrink(batch=True)
+    if obs_probe.PROBE is not None:
+        obs_probe.PROBE.on_merge(
+            CountingSample.SNAPSHOT_KIND, len(samples)
+        )
     return merged

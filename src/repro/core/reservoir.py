@@ -17,6 +17,7 @@ from typing import Any, ClassVar, Iterator, Mapping
 import numpy as np
 
 from repro.core.base import StreamSynopsis, SynopsisError
+from repro.obs import probe as obs_probe
 from repro.randkit.coins import CostCounters
 from repro.randkit.rng import ReproRandom
 
@@ -121,6 +122,8 @@ class ReservoirSample(StreamSynopsis):
         if len(self._reservoir) < self.capacity:
             self._seen += 1
             self._reservoir.append(value)
+            if obs_probe.PROBE is not None:
+                obs_probe.PROBE.on_admission(self.SNAPSHOT_KIND, 1)
             return
         if self._pending_skip < 0:
             self._pending_skip = self._draw_skip()
@@ -148,6 +151,8 @@ class ReservoirSample(StreamSynopsis):
             self._seen += 1
             position += 1
         if position >= n:
+            if obs_probe.PROBE is not None and position:
+                obs_probe.PROBE.on_admission(self.SNAPSHOT_KIND, position)
             return
         remaining = np.asarray(values[position:])
         count = len(remaining)
@@ -163,6 +168,10 @@ class ReservoirSample(StreamSynopsis):
         self._seen += count
         # Invalidate any pending per-record skip; it will be redrawn.
         self._pending_skip = -1
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_admission(
+                self.SNAPSHOT_KIND, position + len(accepted)
+            )
 
     def _draw_skip(self) -> int:
         """Records to skip before the next replacement.
@@ -185,9 +194,13 @@ class ReservoirSample(StreamSynopsis):
         self.counters.flips += 1
         slot = self._rng.choice_index(self.capacity)
         self._reservoir[slot] = value
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_admission(self.SNAPSHOT_KIND, 1)
 
     def to_dict(self) -> dict[str, Any]:
         """Dump to a JSON-able snapshot dict (paper footnote 2)."""
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_snapshot(self.SNAPSHOT_KIND, "dump")
         return {
             "kind": self.SNAPSHOT_KIND,
             "capacity": self.capacity,
@@ -215,6 +228,8 @@ class ReservoirSample(StreamSynopsis):
         sample._reservoir = [int(v) for v in payload["points"]]
         sample._seen = int(payload["seen"])
         sample.check_invariants()
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_snapshot(cls.SNAPSHOT_KIND, "restore")
         return sample
 
     def check_invariants(self) -> None:

@@ -20,6 +20,7 @@ from repro.core.concise import ConciseSample
 from repro.core.counting import CountingSample
 from repro.core.merge import merge_concise, merge_counting
 from repro.core.thresholds import ThresholdPolicy
+from repro.obs import probe as obs_probe
 from repro.randkit.rng import spawn_seeds
 
 __all__ = ["MergeFn", "ShardedSynopsis"]
@@ -149,6 +150,12 @@ class ShardedSynopsis:
         if len(values) == 0:
             return
         self._cached_merge = None
+        if obs_probe.PROBE is not None:
+            obs_probe.PROBE.on_shard_ingest(
+                self.shards[0].SNAPSHOT_KIND,
+                len(self.shards),
+                len(values),
+            )
         pieces = np.array_split(values, len(self.shards))
         if self._parallel:
             with ThreadPoolExecutor(

@@ -43,6 +43,7 @@ from repro.estimators.aggregates import (
 )
 from repro.estimators.selectivity import Predicate, estimate_selectivity
 from repro.hotlist.base import HotListAnswer, HotListReporter
+from repro.obs.tracing import QueryTracer
 from repro.stats.frequency import FrequencyTable
 
 __all__ = ["ApproximateAnswerEngine", "NoSynopsisError"]
@@ -85,15 +86,24 @@ class ApproximateAnswerEngine:
         The warehouse whose load stream the engine observes.
     budget_words:
         Optional total memory budget for all registered synopses.
+    tracer:
+        Optional :class:`~repro.obs.tracing.QueryTracer`; when set
+        (at construction or later via the ``tracer`` attribute) every
+        :meth:`answer` call is recorded as a query span.  The engine
+        never reads a clock itself -- timing lives entirely in the
+        tracer.
     """
 
     def __init__(
         self,
         warehouse: DataWarehouse,
         budget_words: int | None = None,
+        *,
+        tracer: QueryTracer | None = None,
     ) -> None:
         self.warehouse = warehouse
         self.registry = SynopsisRegistry(budget_words)
+        self.tracer = tracer
         self._row_counts: dict[str, int] = {}
         self._composites: dict[str, list[tuple[str, ...]]] = {}
         warehouse.add_observer(_EngineTap(self))
@@ -311,10 +321,27 @@ class ApproximateAnswerEngine:
         carries the disk cost); otherwise the engine answers purely
         from synopses and raises :class:`NoSynopsisError` when none is
         registered for the query.
+
+        When a tracer is attached, the call is recorded as one query
+        span (including errors, which are re-raised).
         """
-        if exact:
-            return self._answer_exact(query)
-        return self._answer_approximate(query)
+        tracer = self.tracer
+        if tracer is None:
+            if exact:
+                return self._answer_exact(query)
+            return self._answer_approximate(query)
+        started = tracer.begin()
+        try:
+            response = (
+                self._answer_exact(query)
+                if exact
+                else self._answer_approximate(query)
+            )
+        except Exception as error:
+            tracer.record_error(query, error, started, requested_exact=exact)
+            raise
+        tracer.record(query, response, started, requested_exact=exact)
+        return response
 
     # -- approximate paths ---------------------------------------------
 

@@ -61,6 +61,31 @@ class DataWarehouse:
         """Subscribe to the load stream (the Figure-2 tap)."""
         self._observers.append(observer)
 
+    def remove_observer(self, observer: LoadObserver) -> None:
+        """Unsubscribe a previously added observer."""
+        self._observers.remove(observer)
+
+    def _notify(
+        self, notify_one: Callable[[LoadObserver], None]
+    ) -> None:
+        """Run a notification against every observer, isolating errors.
+
+        The relation mutation has already completed when this runs; a
+        raising observer must not detach the other observers from the
+        load stream (their synopses would silently diverge from the
+        base data).  Every observer is notified, then the first error
+        is re-raised.
+        """
+        first_error: Exception | None = None
+        for observer in self._observers:
+            try:
+                notify_one(observer)
+            except Exception as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+
     # ------------------------------------------------------------------
     # Loads
     # ------------------------------------------------------------------
@@ -70,16 +95,18 @@ class DataWarehouse:
         relation = self.relation(relation_name)
         normalised = relation.insert(row)
         self.counters.inserts += 1
-        for observer in self._observers:
-            observer(relation_name, normalised, True)
+        self._notify(
+            lambda observer: observer(relation_name, normalised, True)
+        )
 
     def delete(self, relation_name: str, row: Mapping[str, int] | tuple) -> None:
         """Delete one row and notify observers."""
         relation = self.relation(relation_name)
         normalised = relation.delete(row)
         self.counters.deletes += 1
-        for observer in self._observers:
-            observer(relation_name, normalised, False)
+        self._notify(
+            lambda observer: observer(relation_name, normalised, False)
+        )
 
     def load(
         self,
@@ -115,11 +142,13 @@ class DataWarehouse:
             return 0
         self.counters.inserts += length
         row_view: list[tuple] | None = None
-        for observer in self._observers:
+
+        def notify_one(observer: LoadObserver) -> None:
+            nonlocal row_view
             batch = getattr(observer, "observe_batch", None)
             if batch is not None:
                 batch(relation_name, normalised)
-                continue
+                return
             if row_view is None:
                 row_view = list(
                     zip(
@@ -132,6 +161,8 @@ class DataWarehouse:
                 )
             for row in row_view:
                 observer(relation_name, row, True)
+
+        self._notify(notify_one)
         return length
 
     # ------------------------------------------------------------------

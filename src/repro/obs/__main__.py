@@ -1,0 +1,229 @@
+"""``python -m repro.obs``: dump, tail, or selftest a live registry.
+
+Runs an example warehouse workload (zipf-skewed sales stream feeding
+concise/counting/reservoir synopses through the engine, with traced
+queries) under full instrumentation, then renders the registry:
+
+* default / ``--format prometheus|json``: one dump after the workload
+* ``--tail N``: ingest in ``N`` rounds, rendering after each round
+* ``--selftest``: assert the Prometheus round-trip -- parsed gauge
+  values must equal ``sample_size`` / ``footprint`` / ``CostCounters``
+  read directly from the synopses -- and exit 0/1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+
+def build_workload(
+    registry: MetricsRegistry, seed: int
+) -> dict[str, Any]:
+    """An instrumented warehouse + engine over a sales relation."""
+    from repro.core import ConciseSample, CountingSample, ReservoirSample
+    from repro.engine import ApproximateAnswerEngine, DataWarehouse
+    from repro.hotlist import CountingHotList
+
+    warehouse = DataWarehouse()
+    warehouse.create_relation("sales", ["store", "item"])
+    engine = ApproximateAnswerEngine(warehouse, budget_words=16_384)
+
+    concise = ConciseSample(1_000, seed=seed + 1)
+    counting = CountingSample(1_000, seed=seed + 2)
+    reservoir = ReservoirSample(500, seed=seed + 3)
+    hotlist = CountingHotList(footprint_bound=500, seed=seed + 4)
+    engine.register_sample("sales", "item", concise)
+    engine.register_sample("sales", "store", counting)
+    engine.register_hotlist("sales", "item", hotlist)
+
+    obs.watch_synopsis(registry, concise, "sales.item")
+    obs.watch_synopsis(registry, counting, "sales.store")
+    obs.watch_synopsis(registry, reservoir, "sales.item/reservoir")
+
+    loader = obs.MeteredLoadObserver(registry)
+    warehouse.add_observer(loader)
+    tracer = obs.QueryTracer(registry)
+    engine.tracer = tracer
+
+    return {
+        "warehouse": warehouse,
+        "engine": engine,
+        "tracer": tracer,
+        "loader": loader,
+        "reservoir": reservoir,
+        "synopses": {
+            "sales.item": concise,
+            "sales.store": counting,
+            "sales.item/reservoir": reservoir,
+        },
+    }
+
+
+def ingest_round(
+    workload: dict[str, Any], rows: int, seed: int
+) -> None:
+    """Load one batch of skewed sales rows and run traced queries."""
+    from repro.engine import CountQuery, FrequencyQuery, HotListQuery
+    from repro.estimators import Predicate
+    from repro.streams import zipf_stream
+
+    items = zipf_stream(rows, 5_000, 1.25, seed=seed)
+    stores = zipf_stream(rows, 50, 0.5, seed=seed + 1)
+    workload["warehouse"].load_batch(
+        "sales", {"store": stores, "item": items}
+    )
+    workload["reservoir"].insert_array(items)
+
+    engine = workload["engine"]
+    engine.answer(CountQuery("sales", "item", Predicate(high=100)))
+    engine.answer(FrequencyQuery("sales", "item", value=1))
+    engine.answer(HotListQuery("sales", "item", k=5))
+    engine.answer(
+        CountQuery("sales", "store", Predicate(high=10)), exact=True
+    )
+
+
+def selftest(rows: int, seed: int) -> int:
+    """Exposition round-trip assertions; returns the exit code."""
+    registry = obs.enable()
+    try:
+        workload = build_workload(registry, seed)
+        ingest_round(workload, rows, seed + 10)
+
+        parsed = obs.parse_prometheus(obs.render_prometheus(registry))
+        failures: list[str] = []
+
+        def expect(name: str, labels: dict[str, str], want: float) -> None:
+            key = tuple(sorted(labels.items()))
+            got = parsed.get(name, {}).get(key)
+            if got is None or abs(got - want) > 1e-9:
+                failures.append(
+                    f"{name}{labels}: exposition {got!r} != direct {want!r}"
+                )
+
+        for name, synopsis in workload["synopses"].items():
+            labels = {"synopsis": name, "kind": synopsis.SNAPSHOT_KIND}
+            if hasattr(synopsis, "sample_size"):
+                expect(
+                    "repro_synopsis_sample_size",
+                    labels,
+                    float(synopsis.sample_size),
+                )
+            expect(
+                "repro_synopsis_footprint_words",
+                labels,
+                float(synopsis.footprint),
+            )
+            expect(
+                "repro_cost_flips_total",
+                labels,
+                float(synopsis.counters.flips),
+            )
+            expect(
+                "repro_cost_inserts_total",
+                labels,
+                float(synopsis.counters.inserts),
+            )
+
+        loader = workload["loader"]
+        expect(
+            "repro_load_rows_total",
+            {"relation": "sales", "op": "insert"},
+            float(loader.rows_seen("sales")),
+        )
+
+        spans = workload["tracer"].spans()
+        if len(spans) != 4:
+            failures.append(f"expected 4 query spans, got {len(spans)}")
+        if not any(span.is_exact for span in spans):
+            failures.append("no exact-fallback span recorded")
+
+        payload = obs.render_json(registry)
+        json.loads(json.dumps(payload))  # must be JSON-able
+        if not payload["metrics"]:
+            failures.append("JSON exposition is empty")
+
+        if failures:
+            for failure in failures:
+                print(f"selftest FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"selftest ok: {len(payload['metrics'])} metric families, "
+            f"{len(spans)} spans, round-trip exact"
+        )
+        return 0
+    finally:
+        obs.disable()
+
+
+def dump(fmt: str, rows: int, seed: int, rounds: int) -> int:
+    """Run the workload and print the registry ``rounds`` times."""
+    registry = obs.enable()
+    try:
+        workload = build_workload(registry, seed)
+        per_round = max(1, rows // rounds)
+        for round_index in range(rounds):
+            ingest_round(workload, per_round, seed + 10 * round_index)
+            if rounds > 1:
+                print(f"--- round {round_index + 1}/{rounds} ---")
+            if fmt == "json":
+                payload = obs.render_json(registry)
+                payload["spans"] = [
+                    span.to_dict() for span in workload["tracer"].spans()
+                ]
+                print(json.dumps(payload, indent=2))
+            else:
+                print(obs.render_prometheus(registry), end="")
+        return 0
+    finally:
+        obs.disable()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Dump, tail, or selftest the observability layer "
+        "over an example workload.",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="exposition format for dumps (default: prometheus)",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=100_000,
+        help="total workload rows (default: 100000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload seed (default: 7)"
+    )
+    parser.add_argument(
+        "--tail",
+        type=int,
+        default=1,
+        metavar="N",
+        help="ingest in N rounds, rendering the registry after each",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="assert the exposition round-trip and exit 0/1",
+    )
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return selftest(args.rows, args.seed)
+    return dump(args.format, args.rows, args.seed, max(1, args.tail))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The repository's single monotonic-clock boundary.
+
+Reprolint rule RL009 bans direct ``time.monotonic`` /
+``time.perf_counter`` calls everywhere outside ``repro.obs``: synopsis
+state must stay a pure function of (stream, seed) (RL005), and every
+latency measurement must flow through an *injected* clock so tests can
+substitute a fake one.  This module is the one place the real clocks
+live; everything else -- the query tracer, the load observer, the
+benchmark drivers -- takes a ``Clock`` argument defaulting to one of
+the callables below.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Clock", "FakeClock", "monotonic", "perf_counter"]
+
+# A clock is any zero-argument callable returning seconds as a float.
+Clock = Callable[[], float]
+
+
+def monotonic() -> float:
+    """Seconds from a monotonic clock (span timing)."""
+    return time.monotonic()
+
+
+def perf_counter() -> float:
+    """Seconds from the highest-resolution monotonic clock (benchmarks)."""
+    return time.perf_counter()
+
+
+class FakeClock:
+    """A deterministic clock for tests: advances only when told to."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now += seconds

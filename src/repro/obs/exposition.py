@@ -1,0 +1,164 @@
+"""Exposition: render a registry as Prometheus text or JSON.
+
+:func:`render_prometheus` emits the Prometheus text exposition format
+(version 0.0.4: ``# HELP`` / ``# TYPE`` headers, cumulative
+``_bucket{le=...}`` rows for histograms); :func:`render_json` emits a
+structured snapshot for programmatic consumers and the
+``python -m repro.obs`` CLI.  :func:`parse_prometheus` inverts the
+text format back into ``{name: {labels: value}}`` -- the round-trip
+the selftest and the metrics tests assert through.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelSet,
+    MetricsRegistry,
+)
+
+__all__ = ["parse_prometheus", "render_json", "render_prometheus"]
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: LabelSet, extra: str = "") -> str:
+    parts = [f'{key}="{_escape_label(value)}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(bound)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (scrape payload)."""
+    lines: list[str] = []
+    for family in registry.collect():
+        if family.help_text:
+            lines.append(f"# HELP {family.name} {family.help_text}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, instrument in sorted(family.series.items()):
+            if isinstance(instrument, Histogram):
+                for bound, cumulative in instrument.cumulative():
+                    le = f'le="{_format_bound(bound)}"'
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_format_labels(labels, le)} {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(labels)}"
+                    f" {_format_value(instrument.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_format_labels(labels)}"
+                    f" {instrument.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_format_labels(labels)}"
+                    f" {_format_value(instrument.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_json(registry: MetricsRegistry) -> dict[str, Any]:
+    """The registry as a JSON-able snapshot dict."""
+    metrics: list[dict[str, Any]] = []
+    for family in registry.collect():
+        series: list[dict[str, Any]] = []
+        for labels, instrument in sorted(family.series.items()):
+            entry: dict[str, Any] = {"labels": dict(labels)}
+            if isinstance(instrument, Histogram):
+                entry["sum"] = instrument.sum
+                entry["count"] = instrument.count
+                entry["buckets"] = [
+                    [_format_bound(bound), cumulative]
+                    for bound, cumulative in instrument.cumulative()
+                ]
+            elif isinstance(instrument, (Counter, Gauge)):
+                entry["value"] = instrument.value
+            series.append(entry)
+        metrics.append(
+            {
+                "name": family.name,
+                "type": family.kind,
+                "help": family.help_text,
+                "series": series,
+            }
+        )
+    return {"metrics": metrics}
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus(text: str) -> dict[str, dict[LabelSet, float]]:
+    """Parse Prometheus text exposition into ``{name: {labels: value}}``.
+
+    Histogram series come back under their flattened sample names
+    (``<name>_bucket`` with an ``le`` label, ``<name>_sum``,
+    ``<name>_count``), exactly as scraped.
+    """
+    samples: dict[str, dict[LabelSet, float]] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {raw_line!r}")
+        labels: LabelSet = tuple(
+            sorted(
+                (key, _unescape_label(value))
+                for key, value in _LABEL_PAIR.findall(
+                    match.group("labels") or ""
+                )
+            )
+        )
+        samples.setdefault(match.group("name"), {})[labels] = _parse_value(
+            match.group("value")
+        )
+    return samples

@@ -1,0 +1,128 @@
+"""Scrape-time collectors mirroring synopsis state into a registry.
+
+:func:`watch_synopsis` is the pull half of the instrumentation story:
+instead of pushing footprint/sample-size updates from the insert hot
+path (millions of events), a collector reads the synopsis properties
+and its :class:`~repro.randkit.coins.CostCounters` ledger once per
+scrape and writes them into labelled gauges/counters.  Combined with
+the event probe (:mod:`repro.obs.probe`) this gives full visibility
+at zero amortised hot-path cost.
+
+Structurally typed on purpose: this module is imported by
+``repro.obs.__init__`` and must not import ``repro.core`` (the core
+synopses import the probe from this package).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ObservedSynopsis", "watch_synopsis"]
+
+
+@runtime_checkable
+class ObservedSynopsis(Protocol):
+    """What a synopsis must expose to be watchable: just a footprint.
+
+    Everything else (sample-size, threshold, the cost ledger) is
+    picked up opportunistically when present, so reservoir samples,
+    sketches, and histogram synopses are all watchable.
+    """
+
+    @property
+    def footprint(self) -> int:
+        """Current memory footprint in words."""
+        ...
+
+
+# (attribute, metric name, help) gauges read off the synopsis when the
+# attribute exists.  ``footprint`` is required; the rest are optional.
+_OPTIONAL_GAUGES: tuple[tuple[str, str, str], ...] = (
+    (
+        "sample_size",
+        "repro_synopsis_sample_size",
+        "Represented sample points (m' in the paper)",
+    ),
+    (
+        "footprint_bound",
+        "repro_synopsis_footprint_bound_words",
+        "Configured footprint bound in words (m)",
+    ),
+    ("threshold", "repro_synopsis_threshold", "Entry threshold tau"),
+    (
+        "total_inserted",
+        "repro_synopsis_stream_length",
+        "Stream elements observed by the synopsis (n)",
+    ),
+    (
+        "distinct_in_sample",
+        "repro_synopsis_distinct_values",
+        "Distinct values currently represented",
+    ),
+)
+
+# CostCounters ledger fields bridged as monotonic counters.
+_LEDGER_COUNTERS: tuple[tuple[str, str, str], ...] = (
+    ("flips", "repro_cost_flips_total", "Counted random draws (coin flips)"),
+    ("lookups", "repro_cost_lookups_total", "Hash-table probes"),
+    (
+        "threshold_raises",
+        "repro_cost_threshold_raises_total",
+        "Ledger-counted threshold raises",
+    ),
+    ("inserts", "repro_cost_inserts_total", "Stream inserts offered"),
+    ("deletes", "repro_cost_deletes_total", "Stream deletes offered"),
+    (
+        "disk_accesses",
+        "repro_cost_disk_accesses_total",
+        "Simulated base-data accesses",
+    ),
+)
+
+
+def watch_synopsis(
+    registry: MetricsRegistry,
+    synopsis: ObservedSynopsis,
+    name: str,
+) -> None:
+    """Register a collector exporting ``synopsis`` state under ``name``.
+
+    ``name`` becomes the ``synopsis`` label (conventionally
+    ``"relation.attribute"``); the synopsis class's snapshot kind (or
+    type name) becomes the ``kind`` label.  The collector runs on
+    every registry scrape and costs a handful of attribute reads.
+    """
+    kind = getattr(
+        synopsis, "SNAPSHOT_KIND", type(synopsis).__name__.lower()
+    )
+    labels = {"synopsis": name, "kind": str(kind)}
+    footprint_gauge = registry.gauge(
+        "repro_synopsis_footprint_words",
+        "Current memory footprint in words",
+        labels,
+    )
+    gauges = [
+        (attribute, registry.gauge(metric, help_text, labels))
+        for attribute, metric, help_text in _OPTIONAL_GAUGES
+        if hasattr(synopsis, attribute)
+    ]
+    ledger = getattr(synopsis, "counters", None)
+    counters = (
+        [
+            (field, registry.counter(metric, help_text, labels))
+            for field, metric, help_text in _LEDGER_COUNTERS
+        ]
+        if ledger is not None
+        else []
+    )
+
+    def collect() -> None:
+        footprint_gauge.set(float(synopsis.footprint))
+        for attribute, gauge in gauges:
+            gauge.set(float(getattr(synopsis, attribute)))
+        for field, counter in counters:
+            counter.set_monotonic(float(getattr(ledger, field)))
+
+    registry.add_collector(collect)

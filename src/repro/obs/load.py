@@ -1,0 +1,118 @@
+"""Warehouse load metering: a registry-backed ``LoadObserver``.
+
+Attach a :class:`MeteredLoadObserver` to a
+:class:`~repro.engine.warehouse.DataWarehouse` with ``add_observer``
+and every row and batch flowing through the load stream is counted --
+per relation, split by insert/delete, with a batch-size histogram and
+a scrape-time rows-per-second throughput gauge.  The observer is both
+row-capable (``__call__``) and batch-capable (``observe_batch``), so
+it meters ``load_batch`` at one event per batch, not per row.
+
+Duck-typed against the warehouse observer protocol on purpose: this
+module is imported by ``repro.obs.__init__`` and must not import
+``repro.engine``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.obs import clock as obs_clock
+from repro.obs.metrics import Counter, MetricsRegistry, get_registry
+
+__all__ = ["MeteredLoadObserver"]
+
+_BATCH_ROW_BUCKETS: tuple[float, ...] = (
+    1.0,
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+)
+
+
+class MeteredLoadObserver:
+    """Meters row and batch ingestion throughput per relation."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        clock: obs_clock.Clock = obs_clock.monotonic,
+    ) -> None:
+        self._registry = registry if registry is not None else get_registry()
+        self._clock = clock
+        self._started = clock()
+        self._rows: dict[tuple[str, str], Counter] = {}
+        self._batches: dict[str, Counter] = {}
+        self._totals: dict[str, int] = {}
+        self._registry.add_collector(self._collect_throughput)
+
+    # -- the warehouse observer protocol --------------------------------
+
+    def __call__(
+        self, relation_name: str, row: tuple, is_insert: bool
+    ) -> None:
+        """Per-row load event (inserts and deletes)."""
+        self._count_rows(relation_name, 1, is_insert)
+
+    def observe_batch(
+        self, relation_name: str, columns: Mapping[str, np.ndarray]
+    ) -> None:
+        """Whole-batch load event (``DataWarehouse.load_batch``)."""
+        length = len(next(iter(columns.values()))) if columns else 0
+        self._count_rows(relation_name, length, True)
+        batches = self._batches.get(relation_name)
+        if batches is None:
+            batches = self._registry.counter(
+                "repro_load_batches_total",
+                "Columnar load batches ingested",
+                {"relation": relation_name},
+            )
+            self._batches[relation_name] = batches
+        batches.inc()
+        self._registry.histogram(
+            "repro_load_batch_rows",
+            "Rows per columnar load batch",
+            {"relation": relation_name},
+            buckets=_BATCH_ROW_BUCKETS,
+        ).observe(float(length))
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def rows_seen(self, relation_name: str) -> int:
+        """Rows this observer has metered for a relation."""
+        return self._totals.get(relation_name, 0)
+
+    def _count_rows(
+        self, relation_name: str, count: int, is_insert: bool
+    ) -> None:
+        op = "insert" if is_insert else "delete"
+        counter = self._rows.get((relation_name, op))
+        if counter is None:
+            counter = self._registry.counter(
+                "repro_load_rows_total",
+                "Rows observed on the warehouse load stream",
+                {"relation": relation_name, "op": op},
+            )
+            self._rows[(relation_name, op)] = counter
+        counter.inc(count)
+        self._totals[relation_name] = (
+            self._totals.get(relation_name, 0) + count
+        )
+
+    def _collect_throughput(self) -> None:
+        """Scrape-time gauge: average rows/second since attachment."""
+        elapsed = self._clock() - self._started
+        if elapsed <= 0:
+            return
+        for relation_name, total in self._totals.items():
+            self._registry.gauge(
+                "repro_load_rows_per_second",
+                "Average ingest throughput since the observer attached",
+                {"relation": relation_name},
+            ).set(total / elapsed)

@@ -1,0 +1,399 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the passive half of the observability layer: event
+hooks (:mod:`repro.obs.probe`), the query tracer
+(:mod:`repro.obs.tracing`), and the load observer
+(:mod:`repro.obs.load`) all write into instruments obtained from a
+:class:`MetricsRegistry`, and the exposition renderers
+(:mod:`repro.obs.exposition`) read the whole registry back out.
+
+Two cost tiers, by design:
+
+* **Disabled (the default).**  The process-wide registry is a
+  :class:`NullRegistry` whose instruments are shared no-op singletons,
+  and the synopsis probe (:data:`repro.obs.probe.PROBE`) is ``None`` --
+  an uninstrumented hot path pays at most one module-attribute load
+  and an ``is None`` test, and the per-element insert loop pays
+  nothing at all (continuous state is *pulled* by collectors at
+  scrape time rather than pushed per event).
+* **Enabled.**  ``MetricsRegistry`` instruments are plain attribute
+  updates; collectors registered with :meth:`MetricsRegistry.add_collector`
+  run once per :meth:`MetricsRegistry.collect`, which is once per
+  exposition scrape, never per stream element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelSet",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+# Labels frozen into a hashable, order-independent key.
+LabelSet = tuple[tuple[str, str], ...]
+
+DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.00001,
+    0.0001,
+    0.001,
+    0.01,
+    0.1,
+    1.0,
+    10.0,
+)
+
+DEFAULT_RATIO_BUCKETS: tuple[float, ...] = (
+    0.1,
+    0.25,
+    0.5,
+    0.75,
+    0.9,
+    0.95,
+    0.99,
+    1.0,
+)
+
+
+def _label_key(labels: Mapping[str, str] | None) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def set_monotonic(self, value: float) -> None:
+        """Advance the counter to ``value`` if larger.
+
+        Bridge entry point for external monotonic sources (the
+        :class:`~repro.randkit.coins.CostCounters` ledger): collectors
+        mirror the ledger into the registry at scrape time without
+        double counting across scrapes.
+        """
+        if value > self.value:
+            self.value = value
+
+
+class Gauge:
+    """A value that can go up and down (or be sampled at scrape time)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-boundary histogram: cumulative buckets, sum, and count.
+
+    ``boundaries`` are the inclusive upper bounds of the finite
+    buckets, strictly increasing; a ``+Inf`` bucket is implicit (its
+    cumulative count equals the observation count).
+    """
+
+    __slots__ = ("boundaries", "bucket_counts", "sum", "count")
+
+    def __init__(self, boundaries: tuple[float, ...]) -> None:
+        if not boundaries:
+            raise ValueError("histogram needs at least one boundary")
+        if any(
+            later <= earlier
+            for earlier, later in zip(boundaries, boundaries[1:], strict=False)
+        ):
+            raise ValueError("histogram boundaries must be increasing")
+        self.boundaries = boundaries
+        self.bucket_counts = [0] * len(boundaries)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.boundaries):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper bound, cumulative count)`` rows, ``+Inf`` last."""
+        rows = list(zip(self.boundaries, self.bucket_counts, strict=True))
+        rows.append((float("inf"), self.count))
+        return rows
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def set_monotonic(self, value: float) -> None:
+        return None
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        return None
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__((1.0,))
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+@dataclass
+class MetricFamily:
+    """All series of one metric name: type, help text, instruments."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help_text: str
+    series: dict[LabelSet, Instrument] = field(default_factory=dict)
+
+
+# Every metric name must match the Prometheus grammar so the text
+# exposition is always parseable.
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+class MetricsRegistry:
+    """Holds metric families and scrape-time collector callbacks.
+
+    Instruments are created on first request and shared on every
+    subsequent request with the same ``(name, labels)``; requesting an
+    existing name as a different metric type raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    # -- instrument acquisition ----------------------------------------
+
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Mapping[str, str] | None = None,
+    ) -> Counter:
+        """Get or create the counter series ``name{labels}``."""
+        instrument = self._series(name, "counter", help_text, labels, Counter)
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Mapping[str, str] | None = None,
+    ) -> Gauge:
+        """Get or create the gauge series ``name{labels}``."""
+        instrument = self._series(name, "gauge", help_text, labels, Gauge)
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Mapping[str, str] | None = None,
+        buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram series ``name{labels}``."""
+        instrument = self._series(
+            name, "histogram", help_text, labels, lambda: Histogram(buckets)
+        )
+        assert isinstance(instrument, Histogram)
+        return instrument
+
+    def _series(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Mapping[str, str] | None,
+        factory: Callable[[], Instrument],
+    ) -> Instrument:
+        family = self._families.get(_check_name(name))
+        if family is None:
+            family = MetricFamily(name=name, kind=kind, help_text=help_text)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}"
+            )
+        if help_text and not family.help_text:
+            family.help_text = help_text
+        key = _label_key(labels)
+        instrument = family.series.get(key)
+        if instrument is None:
+            instrument = factory()
+            family.series[key] = instrument
+        return instrument
+
+    # -- scrape-time pull ----------------------------------------------
+
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Register a callback run once per :meth:`collect`.
+
+        Collectors pull continuous state (synopsis gauges, ledger
+        counters, throughput rates) into the registry at scrape time,
+        so the instrumented hot paths never push it.
+        """
+        self._collectors.append(collector)
+
+    def remove_collector(self, collector: Callable[[], None]) -> None:
+        """Drop a previously registered collector (no-op if absent)."""
+        try:
+            self._collectors.remove(collector)
+        except ValueError:
+            return
+
+    def collect(self) -> list[MetricFamily]:
+        """Run collectors, then return families sorted by name."""
+        for collector in list(self._collectors):
+            collector()
+        return [
+            self._families[name] for name in sorted(self._families)
+        ]
+
+    def value(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> float:
+        """Current value of a counter/gauge series (for tests/CLIs)."""
+        family = self._families[name]
+        instrument = family.series[_label_key(labels)]
+        if isinstance(instrument, Histogram):
+            raise TypeError(f"{name!r} is a histogram; read .series")
+        return instrument.value
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose instruments discard every write.
+
+    This is the process-wide default: code holding a registry
+    reference unconditionally (tracers, load observers) can write to
+    it blindly, and nothing is recorded or retained.
+    """
+
+    _COUNTER = _NullCounter()
+    _GAUGE = _NullGauge()
+    _HISTOGRAM = _NullHistogram()
+
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Mapping[str, str] | None = None,
+    ) -> Counter:
+        return self._COUNTER
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Mapping[str, str] | None = None,
+    ) -> Gauge:
+        return self._GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Mapping[str, str] | None = None,
+        buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        return self._HISTOGRAM
+
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        return None
+
+    def collect(self) -> list[MetricFamily]:
+        return []
+
+
+NULL_REGISTRY = NullRegistry()
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide active registry (a no-op one by default)."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Swap the active registry; ``None`` restores the no-op default.
+
+    Returns the previously active registry so callers can restore it.
+    """
+    global _active
+    previous = _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+def iter_series(
+    families: list[MetricFamily],
+) -> Iterator[tuple[MetricFamily, LabelSet, Instrument]]:
+    """Flatten collected families into ``(family, labels, instrument)``."""
+    for family in families:
+        for labels, instrument in sorted(family.series.items()):
+            yield family, labels, instrument

@@ -1,0 +1,239 @@
+"""Query-path tracing for the approximate answer engine.
+
+One :class:`QuerySpan` per engine query, recording which synopsis
+answered it, the estimator latency, the reported error bounds and
+confidence, and whether the caller demanded the exact fallback -- the
+runtime counterpart of the paper's "decide whether or not to have an
+exact answer computed from the base data".
+
+The engine itself never reads a clock (reprolint RL005/RL009): the
+tracer owns an injected :data:`~repro.obs.clock.Clock`, the engine
+only shuttles the opaque start value between
+:meth:`QueryTracer.begin` and :meth:`QueryTracer.record`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs import clock as obs_clock
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["QuerySpan", "QueryTracer"]
+
+
+@dataclass(frozen=True)
+class QuerySpan:
+    """One traced engine query.
+
+    Attributes
+    ----------
+    query:
+        Query class name (``"CountQuery"``, ``"HotListQuery"``, ...).
+    relation / attribute:
+        Query target; join queries record ``"left⋈right"`` pairs.
+    method:
+        Which synopsis or path produced the answer (the response's
+        ``method``), or ``"error"`` when the query raised.
+    duration_seconds:
+        Wall time between begin and record, by the injected clock.
+    is_exact:
+        Whether the answer came from base data.
+    requested_exact:
+        Whether the caller demanded the exact fallback (the
+        user-decision half of the paper's Figure 1 loop).
+    answer:
+        The scalar estimate, or ``None`` for structured/hot-list
+        answers and errors.
+    interval_low / interval_high / confidence:
+        The reported error bound, when the estimator provides one.
+    exact_cost_estimate:
+        Disk accesses an exact recomputation was estimated to cost.
+    error:
+        Exception class name when the query raised, else ``None``.
+    """
+
+    query: str
+    relation: str
+    attribute: str
+    method: str
+    duration_seconds: float
+    is_exact: bool
+    requested_exact: bool
+    answer: float | None
+    interval_low: float | None
+    interval_high: float | None
+    confidence: float | None
+    exact_cost_estimate: int
+    error: str | None
+
+    def to_dict(self) -> dict[str, Any]:
+        """The span as a JSON-able dict (exposition/CLI payload)."""
+        return {
+            "query": self.query,
+            "relation": self.relation,
+            "attribute": self.attribute,
+            "method": self.method,
+            "duration_seconds": self.duration_seconds,
+            "is_exact": self.is_exact,
+            "requested_exact": self.requested_exact,
+            "answer": self.answer,
+            "interval_low": self.interval_low,
+            "interval_high": self.interval_high,
+            "confidence": self.confidence,
+            "exact_cost_estimate": self.exact_cost_estimate,
+            "error": self.error,
+        }
+
+
+def _query_target(query: Any) -> tuple[str, str]:
+    relation = getattr(query, "relation", None)
+    if relation is not None:
+        return str(relation), str(getattr(query, "attribute", ""))
+    # Join queries carry two sides.
+    left = getattr(query, "left_relation", "?")
+    right = getattr(query, "right_relation", "?")
+    left_attr = getattr(query, "left_attribute", "?")
+    right_attr = getattr(query, "right_attribute", "?")
+    return f"{left}*{right}", f"{left_attr}*{right_attr}"
+
+
+class QueryTracer:
+    """Per-query spans plus latency/outcome metrics.
+
+    Parameters
+    ----------
+    registry:
+        Metrics sink; defaults to the process-wide active registry
+        (a no-op registry unless observability was enabled).
+    clock:
+        Injected monotonic clock; tests pass a
+        :class:`~repro.obs.clock.FakeClock`.
+    max_spans:
+        Ring-buffer capacity for :meth:`spans`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        clock: obs_clock.Clock = obs_clock.monotonic,
+        max_spans: int = 256,
+    ) -> None:
+        self._registry = registry if registry is not None else get_registry()
+        self._clock = clock
+        self._spans: deque[QuerySpan] = deque(maxlen=max_spans)
+
+    # -- the engine-facing protocol ------------------------------------
+
+    def begin(self) -> float:
+        """Clock reading handed back opaquely to :meth:`record`."""
+        return self._clock()
+
+    def record(
+        self,
+        query: Any,
+        response: Any,
+        started: float,
+        *,
+        requested_exact: bool = False,
+    ) -> QuerySpan:
+        """Close the span for a successfully answered query."""
+        interval = getattr(response, "interval", None)
+        answer = getattr(response, "answer", None)
+        span = self._finish(
+            query,
+            started,
+            method=str(getattr(response, "method", "unknown")),
+            is_exact=bool(getattr(response, "is_exact", False)),
+            requested_exact=requested_exact,
+            answer=float(answer) if isinstance(answer, (int, float)) else None,
+            interval_low=(
+                float(interval.low) if interval is not None else None
+            ),
+            interval_high=(
+                float(interval.high) if interval is not None else None
+            ),
+            confidence=(
+                float(interval.confidence) if interval is not None else None
+            ),
+            exact_cost_estimate=int(
+                getattr(response, "exact_cost_estimate", 0)
+            ),
+            error=None,
+        )
+        return span
+
+    def record_error(
+        self,
+        query: Any,
+        error: BaseException,
+        started: float,
+        *,
+        requested_exact: bool = False,
+    ) -> QuerySpan:
+        """Close the span for a query that raised."""
+        return self._finish(
+            query,
+            started,
+            method="error",
+            is_exact=False,
+            requested_exact=requested_exact,
+            answer=None,
+            interval_low=None,
+            interval_high=None,
+            confidence=None,
+            exact_cost_estimate=0,
+            error=type(error).__name__,
+        )
+
+    def spans(self) -> tuple[QuerySpan, ...]:
+        """The most recent spans, oldest first."""
+        return tuple(self._spans)
+
+    # -- internals ------------------------------------------------------
+
+    def _finish(self, query: Any, started: float, **fields: Any) -> QuerySpan:
+        duration = max(0.0, self._clock() - started)
+        relation, attribute = _query_target(query)
+        span = QuerySpan(
+            query=type(query).__name__,
+            relation=relation,
+            attribute=attribute,
+            duration_seconds=duration,
+            **fields,
+        )
+        self._spans.append(span)
+        self._export(span)
+        return span
+
+    def _export(self, span: QuerySpan) -> None:
+        registry = self._registry
+        registry.counter(
+            "repro_queries_total",
+            "Engine queries answered, by query type, path, and exactness",
+            {
+                "query": span.query,
+                "method": span.method,
+                "exact": "true" if span.is_exact else "false",
+            },
+        ).inc()
+        registry.histogram(
+            "repro_query_seconds",
+            "Estimator latency per engine query",
+            {"query": span.query},
+        ).observe(span.duration_seconds)
+        if span.requested_exact:
+            registry.counter(
+                "repro_exact_fallbacks_total",
+                "Queries where the caller demanded the exact fallback",
+                {"query": span.query},
+            ).inc()
+        if span.error is not None:
+            registry.counter(
+                "repro_query_errors_total",
+                "Engine queries that raised",
+                {"query": span.query, "error": span.error},
+            ).inc()

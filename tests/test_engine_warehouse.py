@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.engine.relation import RelationError
@@ -61,6 +62,97 @@ class TestLoadsAndObservers:
         with pytest.raises(RelationError):
             warehouse.delete("r", {"a": 1})
         assert events == []
+
+    def test_remove_observer(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a"])
+        events = []
+
+        def observer(name, row, is_insert):
+            events.append((name, row, is_insert))
+
+        warehouse.add_observer(observer)
+        warehouse.insert("r", {"a": 1})
+        warehouse.remove_observer(observer)
+        warehouse.insert("r", {"a": 2})
+        assert len(events) == 1
+
+
+class _BoomError(RuntimeError):
+    pass
+
+
+def _raising_observer(relation_name, row, is_insert):
+    raise _BoomError("observer blew up")
+
+
+class TestObserverErrorIsolation:
+    """A raising observer must not corrupt the load or detach peers."""
+
+    def _warehouse(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a", "b"])
+        events = []
+        warehouse.add_observer(_raising_observer)
+        warehouse.add_observer(
+            lambda name, row, is_insert: events.append(
+                (name, row, is_insert)
+            )
+        )
+        return warehouse, events
+
+    def test_insert_completes_despite_raising_observer(self):
+        warehouse, events = self._warehouse()
+        with pytest.raises(_BoomError):
+            warehouse.insert("r", {"a": 1, "b": 2})
+        # The relation mutation completed: the row is really there.
+        assert warehouse.relation("r").size == 1
+        # The later observer still saw the event.
+        assert events == [("r", (1, 2), True)]
+
+    def test_delete_notifies_all_despite_raising_observer(self):
+        warehouse, events = self._warehouse()
+        with pytest.raises(_BoomError):
+            warehouse.insert("r", {"a": 1, "b": 2})
+        with pytest.raises(_BoomError):
+            warehouse.delete("r", {"a": 1, "b": 2})
+        assert warehouse.relation("r").size == 0
+        assert events[-1] == ("r", (1, 2), False)
+
+    def test_load_batch_completes_despite_raising_observer(self):
+        warehouse, events = self._warehouse()
+        with pytest.raises(_BoomError):
+            warehouse.load_batch(
+                "r",
+                {
+                    "a": np.array([1, 2], dtype=np.int64),
+                    "b": np.array([3, 4], dtype=np.int64),
+                },
+            )
+        assert warehouse.relation("r").size == 2
+        assert events == [("r", (1, 3), True), ("r", (2, 4), True)]
+
+    def test_observer_list_intact_after_error(self):
+        warehouse, events = self._warehouse()
+        with pytest.raises(_BoomError):
+            warehouse.insert("r", {"a": 1, "b": 2})
+        # Neither observer was detached: the next insert raises again
+        # AND the well-behaved observer keeps seeing events.
+        with pytest.raises(_BoomError):
+            warehouse.insert("r", {"a": 5, "b": 6})
+        assert events == [("r", (1, 2), True), ("r", (5, 6), True)]
+
+    def test_first_of_several_errors_is_raised(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a"])
+
+        def second_raiser(name, row, is_insert):
+            raise ValueError("later failure")
+
+        warehouse.add_observer(_raising_observer)
+        warehouse.add_observer(second_raiser)
+        with pytest.raises(_BoomError):
+            warehouse.insert("r", {"a": 1})
 
 
 class TestExactCosts:

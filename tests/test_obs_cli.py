@@ -1,0 +1,50 @@
+"""The ``python -m repro.obs`` CLI: selftest, dump, tail."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def _restore_obs_defaults():
+    yield
+    obs.disable()
+
+
+class TestSelftest:
+    def test_selftest_exits_zero(self, capsys):
+        assert main(["--selftest", "--rows", "20000"]) == 0
+        assert "selftest ok" in capsys.readouterr().out
+
+    def test_selftest_restores_defaults(self):
+        main(["--selftest", "--rows", "5000"])
+        from repro.obs import probe
+        from repro.obs.metrics import NULL_REGISTRY, get_registry
+
+        assert probe.PROBE is None
+        assert get_registry() is NULL_REGISTRY
+
+
+class TestDump:
+    def test_prometheus_dump_parses(self, capsys):
+        assert main(["--rows", "5000"]) == 0
+        text = capsys.readouterr().out
+        parsed = obs.parse_prometheus(text)
+        assert "repro_synopsis_footprint_words" in parsed
+        assert "repro_queries_total" in parsed
+
+    def test_json_dump_parses(self, capsys):
+        assert main(["--format", "json", "--rows", "5000"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]
+        assert len(payload["spans"]) == 4
+
+    def test_tail_renders_each_round(self, capsys):
+        assert main(["--rows", "6000", "--tail", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("--- round") == 3

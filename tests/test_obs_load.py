@@ -1,0 +1,108 @@
+"""Warehouse load metering via MeteredLoadObserver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.engine import DataWarehouse
+from repro.obs.clock import FakeClock
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _restore_obs_defaults():
+    yield
+    obs.disable()
+
+
+def _warehouse():
+    warehouse = DataWarehouse()
+    warehouse.create_relation("sales", ["store", "item"])
+    return warehouse
+
+
+class TestRowMetering:
+    def test_inserts_and_deletes_split_by_op(self):
+        registry = MetricsRegistry()
+        observer = obs.MeteredLoadObserver(registry, clock=FakeClock())
+        warehouse = _warehouse()
+        warehouse.add_observer(observer)
+        warehouse.insert("sales", {"store": 1, "item": 2})
+        warehouse.insert("sales", {"store": 1, "item": 3})
+        warehouse.delete("sales", {"store": 1, "item": 2})
+        assert (
+            registry.value(
+                "repro_load_rows_total",
+                {"relation": "sales", "op": "insert"},
+            )
+            == 2.0
+        )
+        assert (
+            registry.value(
+                "repro_load_rows_total",
+                {"relation": "sales", "op": "delete"},
+            )
+            == 1.0
+        )
+        assert observer.rows_seen("sales") == 3
+
+    def test_batch_metering(self):
+        registry = MetricsRegistry()
+        observer = obs.MeteredLoadObserver(registry, clock=FakeClock())
+        warehouse = _warehouse()
+        warehouse.add_observer(observer)
+        warehouse.load_batch(
+            "sales",
+            {
+                "store": np.arange(500, dtype=np.int64),
+                "item": np.arange(500, dtype=np.int64),
+            },
+        )
+        assert (
+            registry.value(
+                "repro_load_batches_total", {"relation": "sales"}
+            )
+            == 1.0
+        )
+        assert (
+            registry.value(
+                "repro_load_rows_total",
+                {"relation": "sales", "op": "insert"},
+            )
+            == 500.0
+        )
+        parsed = obs.parse_prometheus(obs.render_prometheus(registry))
+        buckets = parsed["repro_load_batch_rows_bucket"]
+        assert (
+            buckets[(("le", "1000"), ("relation", "sales"))] == 1.0
+        )
+
+    def test_throughput_gauge_uses_injected_clock(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        observer = obs.MeteredLoadObserver(registry, clock=clock)
+        warehouse = _warehouse()
+        warehouse.add_observer(observer)
+        warehouse.load(
+            "sales",
+            [{"store": 1, "item": v} for v in range(100)],
+        )
+        clock.advance(4.0)
+        registry.collect()
+        assert (
+            registry.value(
+                "repro_load_rows_per_second", {"relation": "sales"}
+            )
+            == 25.0
+        )
+
+    def test_defaults_to_noop_registry(self):
+        # Constructing without a registry while obs is disabled writes
+        # into the null registry: no errors, nothing retained.
+        observer = obs.MeteredLoadObserver(clock=FakeClock())
+        warehouse = _warehouse()
+        warehouse.add_observer(observer)
+        warehouse.insert("sales", {"store": 1, "item": 2})
+        assert observer.rows_seen("sales") == 1

@@ -1,0 +1,227 @@
+"""Unit tests for the metrics registry and the exposition formats."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_obs_defaults():
+    yield
+    obs.disable()
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_counter_set_monotonic_never_regresses(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.set_monotonic(10.0)
+        counter.set_monotonic(4.0)
+        assert counter.value == 10.0
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec(3.0)
+        assert gauge.value == 4.0
+
+    def test_histogram_cumulative_buckets(self):
+        histogram = Histogram((1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.cumulative() == [
+            (1.0, 1),
+            (10.0, 2),
+            (float("inf"), 3),
+        ]
+        assert histogram.sum == 55.5
+        assert histogram.count == 3
+
+    def test_histogram_boundaries_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+
+class TestRegistry:
+    def test_same_series_is_shared(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", labels={"a": "1", "b": "2"})
+        second = registry.counter("x_total", labels={"b": "2", "a": "1"})
+        assert first is second
+
+    def test_distinct_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", labels={"k": "a"})
+        b = registry.counter("x_total", labels={"k": "b"})
+        assert a is not b
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_invalid_name_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", "9lives", "has space", "dash-ed"):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+    def test_value_reads_series(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels={"k": "a"}).inc(7)
+        assert registry.value("x_total", {"k": "a"}) == 7.0
+
+    def test_value_rejects_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.0)
+        with pytest.raises(TypeError):
+            registry.value("h")
+
+    def test_collectors_run_on_collect(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        state = {"n": 0}
+
+        def collector():
+            state["n"] += 1
+            gauge.set(float(state["n"]))
+
+        registry.add_collector(collector)
+        registry.collect()
+        registry.collect()
+        assert state["n"] == 2
+        assert gauge.value == 2.0
+
+    def test_remove_collector(self):
+        registry = MetricsRegistry()
+        calls = []
+        registry.add_collector(lambda: calls.append(1))
+        registry.remove_collector(registry._collectors[0])
+        registry.collect()
+        assert calls == []
+
+
+class TestNullRegistryDefault:
+    def test_default_registry_is_null(self):
+        assert get_registry() is NULL_REGISTRY
+        assert isinstance(get_registry(), NullRegistry)
+
+    def test_null_instruments_discard_writes(self):
+        registry = NULL_REGISTRY
+        registry.counter("c_total").inc(100)
+        registry.gauge("g").set(5)
+        registry.histogram("h").observe(1.0)
+        assert registry.collect() == []
+
+    def test_enable_disable_swaps_active_registry(self):
+        active = obs.enable()
+        assert get_registry() is active
+        assert not isinstance(active, NullRegistry)
+        obs.disable()
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_returns_previous(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        assert previous is NULL_REGISTRY
+        assert set_registry(None) is mine
+
+
+class TestExposition:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_things_total", "Things counted", {"kind": "x"}
+        ).inc(3)
+        registry.gauge("repro_level", "A level").set(1.5)
+        registry.histogram(
+            "repro_latency_seconds",
+            "Latencies",
+            buckets=(0.1, 1.0),
+        ).observe(0.05)
+        return registry
+
+    def test_prometheus_text_shape(self):
+        text = obs.render_prometheus(self._populated())
+        assert "# HELP repro_things_total Things counted" in text
+        assert "# TYPE repro_things_total counter" in text
+        assert 'repro_things_total{kind="x"} 3' in text
+        assert "repro_level 1.5" in text
+        assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_latency_seconds_sum 0.05" in text
+        assert "repro_latency_seconds_count 1" in text
+
+    def test_round_trip(self):
+        registry = self._populated()
+        parsed = obs.parse_prometheus(obs.render_prometheus(registry))
+        assert parsed["repro_things_total"][(("kind", "x"),)] == 3.0
+        assert parsed["repro_level"][()] == 1.5
+        assert (
+            parsed["repro_latency_seconds_bucket"][(("le", "+Inf"),)]
+            == 1.0
+        )
+        assert parsed["repro_latency_seconds_count"][()] == 1.0
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        tricky = 'quote " slash \\ newline \n end'
+        registry.counter("c_total", labels={"k": tricky}).inc()
+        parsed = obs.parse_prometheus(obs.render_prometheus(registry))
+        assert parsed["c_total"][(("k", tricky),)] == 1.0
+
+    def test_nan_and_inf_values_render(self):
+        registry = MetricsRegistry()
+        registry.gauge("g_nan").set(float("nan"))
+        registry.gauge("g_inf").set(float("inf"))
+        parsed = obs.parse_prometheus(obs.render_prometheus(registry))
+        assert math.isnan(parsed["g_nan"][()])
+        assert math.isinf(parsed["g_inf"][()])
+
+    def test_unparseable_line_raises(self):
+        with pytest.raises(ValueError):
+            obs.parse_prometheus("!!! not exposition !!!")
+
+    def test_json_snapshot(self):
+        payload = obs.render_json(self._populated())
+        payload = json.loads(json.dumps(payload))  # must be JSON-able
+        by_name = {m["name"]: m for m in payload["metrics"]}
+        counter = by_name["repro_things_total"]
+        assert counter["type"] == "counter"
+        assert counter["series"][0]["labels"] == {"kind": "x"}
+        assert counter["series"][0]["value"] == 3.0
+        histogram = by_name["repro_latency_seconds"]
+        assert histogram["series"][0]["count"] == 1
+        assert histogram["series"][0]["sum"] == 0.05
+
+    def test_empty_registry_renders_empty(self):
+        registry = MetricsRegistry()
+        assert obs.render_prometheus(registry) == ""
+        assert obs.render_json(registry) == {"metrics": []}

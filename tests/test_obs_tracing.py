@@ -1,0 +1,188 @@
+"""Query-path tracing: spans, metrics, and the engine integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core import ConciseSample
+from repro.engine import (
+    ApproximateAnswerEngine,
+    CountQuery,
+    DataWarehouse,
+    FrequencyQuery,
+    JoinSizeQuery,
+)
+from repro.engine.engine import NoSynopsisError
+from repro.estimators import Predicate
+from repro.obs.clock import FakeClock
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _restore_obs_defaults():
+    yield
+    obs.disable()
+
+
+def _engine(tracer=None):
+    warehouse = DataWarehouse()
+    warehouse.create_relation("sales", ["item"])
+    engine = ApproximateAnswerEngine(warehouse, tracer=tracer)
+    engine.register_sample("sales", "item", ConciseSample(500, seed=1))
+    warehouse.load("sales", [{"item": v % 50} for v in range(2_000)])
+    return engine
+
+
+class TestTracerUnit:
+    def test_span_duration_uses_injected_clock(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        tracer = obs.QueryTracer(registry, clock=clock)
+        started = tracer.begin()
+        clock.advance(0.25)
+
+        class Response:
+            method = "sample"
+            is_exact = False
+            answer = 42.0
+            interval = None
+            exact_cost_estimate = 100
+
+        span = tracer.record(
+            CountQuery("sales", "item", None), Response(), started
+        )
+        assert span.duration_seconds == 0.25
+        assert span.query == "CountQuery"
+        assert span.relation == "sales"
+        assert span.attribute == "item"
+        assert span.method == "sample"
+        assert span.answer == 42.0
+        assert span.exact_cost_estimate == 100
+        assert span.error is None
+
+    def test_error_span_and_metric(self):
+        registry = MetricsRegistry()
+        tracer = obs.QueryTracer(registry, clock=FakeClock())
+        started = tracer.begin()
+        span = tracer.record_error(
+            CountQuery("sales", "item", None),
+            NoSynopsisError("nope"),
+            started,
+        )
+        assert span.method == "error"
+        assert span.error == "NoSynopsisError"
+        assert (
+            registry.value(
+                "repro_query_errors_total",
+                {"query": "CountQuery", "error": "NoSynopsisError"},
+            )
+            == 1.0
+        )
+
+    def test_ring_buffer_caps_spans(self):
+        tracer = obs.QueryTracer(
+            MetricsRegistry(), clock=FakeClock(), max_spans=3
+        )
+        query = CountQuery("sales", "item", None)
+
+        class Response:
+            method = "sample"
+            is_exact = False
+            answer = 1.0
+            interval = None
+            exact_cost_estimate = 0
+
+        for _ in range(5):
+            tracer.record(query, Response(), tracer.begin())
+        assert len(tracer.spans()) == 3
+
+    def test_join_query_target(self):
+        tracer = obs.QueryTracer(MetricsRegistry(), clock=FakeClock())
+        span = tracer.record_error(
+            JoinSizeQuery("orders", "item", "sales", "item"),
+            RuntimeError("x"),
+            tracer.begin(),
+        )
+        assert span.relation == "orders*sales"
+        assert span.attribute == "item*item"
+
+    def test_span_to_dict_is_jsonable(self):
+        import json
+
+        tracer = obs.QueryTracer(MetricsRegistry(), clock=FakeClock())
+        span = tracer.record_error(
+            CountQuery("sales", "item", None), ValueError("x"), 0.0
+        )
+        payload = json.loads(json.dumps(span.to_dict()))
+        assert payload["query"] == "CountQuery"
+        assert payload["error"] == "ValueError"
+
+
+class TestEngineIntegration:
+    def test_untraced_engine_answers_normally(self):
+        engine = _engine(tracer=None)
+        response = engine.answer(
+            CountQuery("sales", "item", Predicate(high=10))
+        )
+        assert response.answer > 0
+
+    def test_traced_query_records_span_and_metrics(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        tracer = obs.QueryTracer(registry, clock=clock)
+        engine = _engine(tracer=tracer)
+        response = engine.answer(FrequencyQuery("sales", "item", value=1))
+        (span,) = tracer.spans()
+        assert span.query == "FrequencyQuery"
+        assert span.is_exact is False
+        assert span.requested_exact is False
+        assert span.answer == response.answer
+        assert span.interval_low == response.interval.low
+        assert span.interval_high == response.interval.high
+        assert span.confidence == response.interval.confidence
+        assert (
+            registry.value(
+                "repro_queries_total",
+                {
+                    "query": "FrequencyQuery",
+                    "method": "sample",
+                    "exact": "false",
+                },
+            )
+            == 1.0
+        )
+
+    def test_exact_fallback_is_recorded(self):
+        registry = MetricsRegistry()
+        tracer = obs.QueryTracer(registry, clock=FakeClock())
+        engine = _engine(tracer=tracer)
+        engine.answer(
+            CountQuery("sales", "item", Predicate(high=10)), exact=True
+        )
+        (span,) = tracer.spans()
+        assert span.is_exact is True
+        assert span.requested_exact is True
+        assert (
+            registry.value(
+                "repro_exact_fallbacks_total", {"query": "CountQuery"}
+            )
+            == 1.0
+        )
+
+    def test_engine_error_is_traced_and_reraised(self):
+        registry = MetricsRegistry()
+        tracer = obs.QueryTracer(registry, clock=FakeClock())
+        engine = _engine(tracer=tracer)
+        with pytest.raises(NoSynopsisError):
+            engine.answer(CountQuery("sales", "missing", None))
+        (span,) = tracer.spans()
+        assert span.error == "NoSynopsisError"
+        assert span.method == "error"
+
+    def test_tracer_attachable_after_construction(self):
+        engine = _engine(tracer=None)
+        tracer = obs.QueryTracer(MetricsRegistry(), clock=FakeClock())
+        engine.tracer = tracer
+        engine.answer(CountQuery("sales", "item", Predicate(high=10)))
+        assert len(tracer.spans()) == 1

@@ -331,7 +331,9 @@ class TestWallClock:
                 return time.monotonic()
             """,
         )
-        assert codes(findings) == {"RL005"}
+        # The import violates the determinism boundary (RL005) and the
+        # call bypasses the injected clock (RL009).
+        assert codes(findings) == {"RL005", "RL009"}
 
     def test_datetime_import_fires_in_synopses(self, tmp_path: Path) -> None:
         findings = lint_file(
@@ -351,7 +353,7 @@ class TestWallClock:
             import time
 
             def stamp() -> float:
-                return time.perf_counter()
+                return time.time()
             """,
         )
         assert findings == []
@@ -362,6 +364,100 @@ class TestWallClock:
             "repro/core/x.py",
             """\
             import time  # reprolint: disable=RL005
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL009: monotonic clocks read only inside repro.obs
+# ----------------------------------------------------------------------
+
+
+class TestInjectedClock:
+    def test_direct_call_fires_anywhere(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/estimators/x.py",
+            """\
+            import time
+
+            def elapsed() -> float:
+                return time.perf_counter()
+            """,
+        )
+        assert "RL009" in codes(findings)
+
+    def test_from_import_fires(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/hotlist/x.py",
+            """\
+            from time import monotonic
+            """,
+        )
+        assert codes(findings) == {"RL009"}
+
+    def test_top_level_script_fires(self, tmp_path: Path) -> None:
+        # benchmarks/tests/examples resolve to the empty subpackage and
+        # are still in scope.
+        findings = lint_file(
+            tmp_path,
+            "bench_x.py",
+            """\
+            import time
+
+            START = time.monotonic()
+            """,
+        )
+        assert codes(findings) == {"RL009"}
+
+    def test_obs_is_exempt(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/obs/x.py",
+            """\
+            import time
+
+            def now() -> float:
+                return time.monotonic()
+            """,
+        )
+        assert findings == []
+
+    def test_injected_clock_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/stats/x.py",
+            """\
+            from repro.obs.clock import perf_counter
+
+            def elapsed() -> float:
+                return perf_counter()
+            """,
+        )
+        assert findings == []
+
+    def test_non_monotonic_time_is_not_flagged(self, tmp_path: Path) -> None:
+        # time.time()/sleep() are RL005's business, not RL009's.
+        findings = lint_file(
+            tmp_path,
+            "repro/experiments/x.py",
+            """\
+            import time
+
+            def pause() -> None:
+                time.sleep(0.1)
+            """,
+        )
+        assert findings == []
+
+    def test_suppression(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/streams/x.py",
+            """\
+            from time import perf_counter  # reprolint: disable=RL009
             """,
         )
         assert findings == []
@@ -679,9 +775,9 @@ class TestInfrastructure:
 
     def test_every_rule_has_distinct_code(self) -> None:
         rule_codes = [rule.code for rule in ALL_RULES]
-        assert len(rule_codes) == len(set(rule_codes)) == 8
+        assert len(rule_codes) == len(set(rule_codes)) == 9
         assert sorted(rule_codes) == [
-            f"RL{index:03d}" for index in range(1, 9)
+            f"RL{index:03d}" for index in range(1, 10)
         ]
 
     def test_suppressed_findings_parse(self, tmp_path: Path) -> None:
