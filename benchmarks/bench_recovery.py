@@ -1,0 +1,131 @@
+"""Recovery-cost sweep: checkpoint interval vs restart time.
+
+The durability layer trades runtime overhead for restart speed: a
+checkpoint every ``k`` operations bounds the WAL suffix a recovery
+must replay to at most ``k`` records.  This benchmark ingests a fixed
+stream under several checkpoint intervals (plus a no-checkpoint
+baseline that replays the whole log), crashes by abandoning the live
+side, and times recovery -- snapshot load plus suffix replay.
+
+Recovery is read-only, so its timing takes the best of ``REPEATS``
+runs (best-of defeats scheduler noise); ingest and checkpoint costs
+are measured once per interval.  Writes ``BENCH_recovery.json`` at the
+repository root.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.core import CountingSample
+from repro.engine import DataWarehouse
+from repro.obs.clock import perf_counter
+from repro.persist import CheckpointStore, RecoveryManager
+from repro.streams import zipf_stream
+
+N = 10_000
+DOMAIN = 2_000
+SKEW = 1.0
+FOOTPRINT = 500
+SYNC_EVERY = 8  # group commit: one fsync per 8 appends
+# Chosen so the crash leaves a growing WAL suffix to replay (N mod
+# interval = 16, 784, 1000, 3000); None = never checkpoint (full log).
+INTERVALS = (256, 1_024, 3_000, 7_000, None)
+REPEATS = 3
+ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = ROOT / "BENCH_recovery.json"
+
+
+def ingest(root: Path, stream, interval: int | None) -> dict:
+    """Run the durable pipeline once; return ingest-side costs."""
+    store = CheckpointStore(root, sync_every=SYNC_EVERY)
+    manager = RecoveryManager(store)
+    warehouse = DataWarehouse()
+    warehouse.create_relation("sales", ["item"])
+    manager.attach(warehouse)
+    sample = CountingSample(FOOTPRINT, seed=2)
+    manager.bind("sales", "item", sample)
+    warehouse.add_observer(
+        lambda rel, row, ins: sample.insert(row[0])
+    )
+
+    checkpoint_seconds = 0.0
+    checkpoints = 0
+    start = perf_counter()
+    for position, value in enumerate(stream.tolist(), start=1):
+        warehouse.insert("sales", (value,))
+        if interval is not None and position % interval == 0:
+            checkpoint_start = perf_counter()
+            manager.checkpoint()
+            checkpoint_seconds += perf_counter() - checkpoint_start
+            checkpoints += 1
+    elapsed = perf_counter() - start
+    # Crash: abandon without detaching.  Every acknowledged group is
+    # already at its fsync point; recovery picks up from disk.
+    return {
+        "ingest_seconds": round(elapsed, 4),
+        "ops_per_second": round(N / elapsed),
+        "checkpoints": checkpoints,
+        "checkpoint_seconds_total": round(checkpoint_seconds, 4),
+    }
+
+
+def time_recovery(root: Path) -> tuple[float, object]:
+    best = float("inf")
+    state = None
+    for _ in range(REPEATS):
+        manager = RecoveryManager(CheckpointStore(root))
+        start = perf_counter()
+        state = manager.recover(seed=3)
+        best = min(best, perf_counter() - start)
+    return best, state
+
+
+def bench_interval(stream, interval: int | None) -> dict:
+    root = Path(tempfile.mkdtemp(prefix="bench-recovery-"))
+    try:
+        costs = ingest(root / "state", stream, interval)
+        recovery_seconds, state = time_recovery(root / "state")
+        assert state.sequence == N
+        return {
+            "checkpoint_interval": interval,
+            **costs,
+            "recovery_seconds": round(recovery_seconds, 4),
+            "replayed_operations": state.replayed,
+            "replayed_per_second": round(
+                state.replayed / recovery_seconds
+            )
+            if state.replayed
+            else 0,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def main() -> dict:
+    stream = zipf_stream(N, DOMAIN, SKEW, seed=1)
+    results = {
+        "config": {
+            "operations": N,
+            "domain": DOMAIN,
+            "zipf_skew": SKEW,
+            "footprint_bound": FOOTPRINT,
+            "sync_every": SYNC_EVERY,
+            "repeats": REPEATS,
+        },
+        "intervals": [
+            bench_interval(stream, interval) for interval in INTERVALS
+        ],
+    }
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ from repro.analysis.rules.clocks import InjectedClockRule
 from repro.analysis.rules.determinism import WallClockRule
 from repro.analysis.rules.exceptions import SwallowedExceptionRule
 from repro.analysis.rules.floats import FloatEqualityRule
+from repro.analysis.rules.io import ConfinedFileIORule
 from repro.analysis.rules.mutation import DictMutationRule
 from repro.analysis.rules.randomness import (
     LedgerRequiredRule,
@@ -27,6 +28,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SnapshotRoundTripRule(),
     SwallowedExceptionRule(),
     InjectedClockRule(),
+    ConfinedFileIORule(),
 )
 
 

@@ -1,0 +1,120 @@
+"""RL010: file I/O happens only inside ``repro.persist``.
+
+Durability is a subsystem, not a convenience: the persist layer owns
+the atomic-rename recipe, the fsync points, the CRC framing, and the
+fault-injection seam (:class:`~repro.persist.fsio.FileSystem`).  A
+stray ``open()`` or ``Path.write_text`` elsewhere writes state the
+recovery manager does not know about, cannot replay, and the fault
+battery cannot reach -- exactly the silent-corruption path the typed
+error taxonomy exists to prevent.  Code that needs durable state goes
+through :class:`~repro.persist.checkpoint.CheckpointStore`; code that
+needs a file handle takes a ``FileSystem`` argument.
+
+Tests and benchmarks are exempt (fixtures and committed BENCH files
+are not product state), as is ``repro.persist`` itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.rules.base import Rule, dotted_name
+
+__all__ = ["ConfinedFileIORule"]
+
+_IO_CALLS = frozenset(
+    {
+        "open",
+        "io.open",
+        "os.open",
+        "os.fdopen",
+        "os.fsync",
+        "os.fdatasync",
+        "os.replace",
+        "os.rename",
+        "os.remove",
+        "os.unlink",
+        "os.truncate",
+        "os.makedirs",
+        "os.mkdir",
+    }
+)
+#: ``Path``-style write methods, matched by attribute name (the AST
+#: cannot resolve receiver types; no in-tree object shares these names).
+_WRITE_ATTRIBUTES = frozenset({"write_text", "write_bytes"})
+_OS_NAMES = frozenset(
+    {
+        "fsync",
+        "fdatasync",
+        "fdopen",
+        "replace",
+        "rename",
+        "remove",
+        "unlink",
+        "truncate",
+        "makedirs",
+        "mkdir",
+    }
+)
+#: Directory roots outside the ``repro`` package that the rule skips.
+_EXEMPT_ROOTS = frozenset({"tests", "benchmarks"})
+
+
+class ConfinedFileIORule(Rule):
+    """RL010: direct file I/O outside ``repro.persist``."""
+
+    code = "RL010"
+    title = "file I/O outside repro.persist"
+    rationale = (
+        "Durable state goes through the persist layer's atomic, "
+        "fault-injectable, CRC-framed storage seam; a stray open() "
+        "writes state recovery cannot replay."
+    )
+    scope = None
+    exclude = ("persist",)
+
+    def applies_to(self, module: SourceModule) -> bool:
+        # Exempt roots are matched as path components rather than
+        # ``parts[0]``: fixture trees and out-of-cwd invocations leave
+        # absolute parts, but never place product code under a
+        # ``tests``/``benchmarks`` directory.
+        if _EXEMPT_ROOTS.intersection(module.parts):
+            return False
+        return super().applies_to(module)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        hint = (
+            "route file access through repro.persist (CheckpointStore "
+            "or a FileSystem argument)"
+        )
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _IO_CALLS:
+                    yield self.finding(
+                        module, node, f"direct call to `{name}()`", hint
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _WRITE_ATTRIBUTES
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"direct call to `.{node.func.attr}()`",
+                        hint,
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "os" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name in _OS_NAMES:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"`from os import {alias.name}` bypasses "
+                                "the persist storage seam",
+                                hint,
+                            )

@@ -16,7 +16,14 @@ import numpy as np
 
 from repro.randkit.coins import CostCounters
 
-__all__ = ["StreamSynopsis", "SynopsisError"]
+__all__ = ["SNAPSHOT_FORMAT_VERSION", "StreamSynopsis", "SynopsisError"]
+
+#: Version stamped into every synopsis snapshot (``to_dict`` output).
+#: Bumped when the serialised layout changes; ``from_dict`` accepts
+#: payloads up to this version and rejects newer ones, so a downgraded
+#: build fails loudly instead of restoring silently-wrong state.
+#: Version 0 is the implicit version of pre-versioning snapshots.
+SNAPSHOT_FORMAT_VERSION = 1
 
 
 class SynopsisError(RuntimeError):

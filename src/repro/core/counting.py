@@ -26,7 +26,11 @@ from typing import Any, ClassVar, Iterator, Mapping
 
 import numpy as np
 
-from repro.core.base import StreamSynopsis, SynopsisError
+from repro.core.base import (
+    SNAPSHOT_FORMAT_VERSION,
+    StreamSynopsis,
+    SynopsisError,
+)
 from repro.core.thresholds import MultiplicativeRaise, ThresholdPolicy
 from repro.obs import probe as obs_probe
 from repro.randkit.coins import CostCounters, GeometricSkipper
@@ -478,6 +482,7 @@ class CountingSample(StreamSynopsis):
             obs_probe.PROBE.on_snapshot(self.SNAPSHOT_KIND, "dump")
         return {
             "kind": self.SNAPSHOT_KIND,
+            "format_version": SNAPSHOT_FORMAT_VERSION,
             "footprint_bound": self.footprint_bound,
             "threshold": self._threshold,
             "counts": [
@@ -504,6 +509,12 @@ class CountingSample(StreamSynopsis):
         if payload["kind"] != cls.SNAPSHOT_KIND:
             raise SynopsisError(
                 f"snapshot kind {payload['kind']!r} is not a counting sample"
+            )
+        version = int(payload.get("format_version", 0))
+        if version > SNAPSHOT_FORMAT_VERSION:
+            raise SynopsisError(
+                f"snapshot format {version} is newer than this build "
+                f"reads (up to {SNAPSHOT_FORMAT_VERSION})"
             )
         counters = CostCounters.from_dict(payload["counters"])
         # Build on a throwaway ledger so the admission skipper's

@@ -16,7 +16,11 @@ from typing import Any, ClassVar, Iterator, Mapping
 
 import numpy as np
 
-from repro.core.base import StreamSynopsis, SynopsisError
+from repro.core.base import (
+    SNAPSHOT_FORMAT_VERSION,
+    StreamSynopsis,
+    SynopsisError,
+)
 from repro.obs import probe as obs_probe
 from repro.randkit.coins import CostCounters
 from repro.randkit.rng import ReproRandom
@@ -203,6 +207,7 @@ class ReservoirSample(StreamSynopsis):
             obs_probe.PROBE.on_snapshot(self.SNAPSHOT_KIND, "dump")
         return {
             "kind": self.SNAPSHOT_KIND,
+            "format_version": SNAPSHOT_FORMAT_VERSION,
             "capacity": self.capacity,
             "points": list(self._reservoir),
             "seen": self._seen,
@@ -220,6 +225,12 @@ class ReservoirSample(StreamSynopsis):
         if payload["kind"] != cls.SNAPSHOT_KIND:
             raise SynopsisError(
                 f"snapshot kind {payload['kind']!r} is not a reservoir sample"
+            )
+        version = int(payload.get("format_version", 0))
+        if version > SNAPSHOT_FORMAT_VERSION:
+            raise SynopsisError(
+                f"snapshot format {version} is newer than this build "
+                f"reads (up to {SNAPSHOT_FORMAT_VERSION})"
             )
         counters = CostCounters.from_dict(payload["counters"])
         sample = cls(

@@ -131,6 +131,63 @@ class OperationLog:
             log._base = log._entries[0].sequence
         return log
 
+    def export_segment(self, start: int, stop: int) -> str:
+        """JSON lines for the entries with ``start <= sequence < stop``.
+
+        The in-memory counterpart of a WAL segment: a contiguous,
+        self-describing slice that :meth:`import_entries` can append to
+        another log (ship the suffix to a replica, archive it, or feed
+        it back after a checkpoint).
+        """
+        if start > stop:
+            raise ValueError("start must not exceed stop")
+        return "\n".join(
+            json.dumps(
+                {
+                    "sequence": entry.sequence,
+                    "relation": entry.relation,
+                    "row": list(entry.row),
+                    "is_insert": entry.is_insert,
+                }
+            )
+            for entry in self._entries
+            if start <= entry.sequence < stop
+        )
+
+    def import_entries(self, payload: str) -> int:
+        """Append exported entries, enforcing sequence contiguity.
+
+        Every imported entry must carry exactly the sequence this log
+        would assign next -- a gap means a lost segment, and splicing
+        over it would silently corrupt replay (Theorem 5's delete
+        accounting depends on seeing *every* operation).  Raises
+        :class:`~repro.persist.errors.LogGapError` on a gap; returns
+        the number of entries appended.
+        """
+        # Imported lazily: repro.persist imports this module's package.
+        from repro.persist.errors import LogGapError
+
+        appended = 0
+        for line in payload.splitlines():
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            sequence = int(record["sequence"])
+            if sequence != self.next_sequence:
+                raise LogGapError(
+                    self.next_sequence, sequence, source="import_entries"
+                )
+            self._entries.append(
+                LoggedOperation(
+                    sequence=sequence,
+                    relation=record["relation"],
+                    row=tuple(record["row"]),
+                    is_insert=bool(record["is_insert"]),
+                )
+            )
+            appended += 1
+        return appended
+
     def truncate_before(self, sequence: int) -> int:
         """Drop entries older than ``sequence`` (post-checkpoint GC).
 

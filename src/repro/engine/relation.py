@@ -9,11 +9,15 @@ models by charging disk accesses per scanned row.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 import numpy as np
 
-__all__ = ["Relation", "RelationError"]
+__all__ = ["RELATION_FORMAT_VERSION", "Relation", "RelationError"]
+
+#: Bumped when the serialised relation layout changes; readers reject
+#: payloads from a newer format.
+RELATION_FORMAT_VERSION = 1
 
 
 class RelationError(RuntimeError):
@@ -189,3 +193,45 @@ class Relation:
         for row, count in self._rows.items():
             for _ in range(count):
                 yield row
+
+    # ------------------------------------------------------------------
+    # Snapshots (the checkpoint payload for base data)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The relation as a JSON-able dict (multiset form)."""
+        return {
+            "format_version": RELATION_FORMAT_VERSION,
+            "name": self.name,
+            "attributes": list(self.attributes),
+            "rows": [
+                [list(row), count] for row, count in self._rows.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Relation":
+        """Rebuild a relation from :meth:`to_dict` output."""
+        version = int(payload.get("format_version", 0))
+        if version > RELATION_FORMAT_VERSION:
+            raise RelationError(
+                f"relation snapshot format {version} is newer than this "
+                f"build reads (up to {RELATION_FORMAT_VERSION})"
+            )
+        relation = cls(
+            str(payload["name"]), list(payload["attributes"])
+        )
+        for values, count in payload.get("rows", []):
+            row = tuple(values)
+            if len(row) != len(relation.attributes):
+                raise RelationError(
+                    f"snapshot row arity {len(row)} != schema arity "
+                    f"{len(relation.attributes)}"
+                )
+            if int(count) < 1:
+                raise RelationError(
+                    f"snapshot row {row} has multiplicity {count}"
+                )
+            relation._rows[row] = int(count)
+            relation._size += int(count)
+        return relation

@@ -50,6 +50,19 @@ class DataWarehouse:
         self._relations[name] = relation
         return relation
 
+    def attach_relation(self, relation: Relation) -> Relation:
+        """Register an already-built relation (recovery's restore path)."""
+        if relation.name in self._relations:
+            raise RelationError(
+                f"relation {relation.name!r} already exists"
+            )
+        self._relations[relation.name] = relation
+        return relation
+
+    def relation_names(self) -> list[str]:
+        """Sorted names of every registered relation."""
+        return sorted(self._relations)
+
     def relation(self, name: str) -> Relation:
         """Look up a relation by name."""
         try:

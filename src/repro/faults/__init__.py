@@ -1,0 +1,40 @@
+"""Deterministic, seedable storage fault injection.
+
+The crash-consistency battery drives :mod:`repro.persist` through a
+:class:`~repro.faults.injector.FaultyFilesystem`, which fails chosen
+storage operations -- kill a write mid-record, flip a bit, crash at an
+fsync -- according to a pure-data :class:`~repro.faults.plan.FaultPlan`.
+Everything is a function of (plan, workload): the same plan reproduces
+the same wreckage byte for byte.
+"""
+
+from repro.faults.injector import FaultyFilesystem, SimulatedCrash
+from repro.faults.plan import (
+    BIT_FLIP,
+    CRASH,
+    CRASH_KINDS,
+    FAULT_KINDS,
+    FSYNC_CRASH,
+    FSYNC_ERROR,
+    TORN_WRITE,
+    TRANSIENT_KINDS,
+    WRITE_ERROR,
+    Fault,
+    FaultPlan,
+)
+
+__all__ = [
+    "BIT_FLIP",
+    "CRASH",
+    "CRASH_KINDS",
+    "FAULT_KINDS",
+    "FSYNC_CRASH",
+    "FSYNC_ERROR",
+    "Fault",
+    "FaultPlan",
+    "FaultyFilesystem",
+    "SimulatedCrash",
+    "TORN_WRITE",
+    "TRANSIENT_KINDS",
+    "WRITE_ERROR",
+]

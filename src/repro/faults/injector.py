@@ -1,0 +1,237 @@
+"""The fault injector: a ``FileSystem`` that fails on schedule.
+
+:class:`FaultyFilesystem` wraps any real
+:class:`~repro.persist.fsio.FileSystem` and counts every *faultable*
+operation -- ``write``, ``fsync``, ``sync_directory``, ``replace``,
+``remove`` -- with one global, monotonically increasing index.  When
+the index matches a :class:`~repro.faults.plan.Fault` in the plan, the
+operation fails in the planned way instead of (or in addition to)
+happening.
+
+Determinism is the whole point: the operation index is a pure function
+of the workload, and the fault's internal randomness (torn-prefix
+length, flipped bit) comes from a :class:`~repro.randkit.rng.ReproRandom`
+seeded by the plan.  Sweeping ``FaultPlan.single(i, kind)`` for every
+``i`` observed in a healthy run therefore exercises *every* crash
+point exactly once.
+
+A planned crash raises :class:`SimulatedCrash`.  Test harnesses catch
+it where a real deployment would lose the process; nothing in
+``repro.persist`` catches it (the retry layer only absorbs
+:class:`~repro.persist.errors.TransientIOError`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import BinaryIO, cast
+
+from repro.faults.plan import (
+    BIT_FLIP,
+    CRASH,
+    FSYNC_CRASH,
+    FSYNC_ERROR,
+    TORN_WRITE,
+    WRITE_ERROR,
+    Fault,
+    FaultPlan,
+)
+from repro.persist.errors import TransientIOError
+from repro.persist.fsio import FileSystem
+from repro.randkit.rng import ReproRandom
+
+__all__ = ["FaultyFilesystem", "SimulatedCrash"]
+
+
+class SimulatedCrash(RuntimeError):
+    """The simulated process death: raised at a planned crash point.
+
+    Carries the operation index and fault kind so a test can assert
+    *which* crash it survived.
+    """
+
+    def __init__(self, operation_index: int, kind: str) -> None:
+        super().__init__(
+            f"simulated crash ({kind}) at storage operation "
+            f"{operation_index}"
+        )
+        self.operation_index = operation_index
+        self.kind = kind
+
+
+class _FaultyFile:
+    """A write handle that routes writes through the injector."""
+
+    def __init__(self, inner: BinaryIO, owner: "FaultyFilesystem") -> None:
+        self._inner = inner
+        self._owner = owner
+
+    @property
+    def inner(self) -> BinaryIO:
+        return self._inner
+
+    def write(self, data: bytes) -> int:
+        return self._owner._write(self._inner, data)
+
+    def read(self, size: int = -1) -> bytes:
+        return self._inner.read(size)
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def fileno(self) -> int:
+        return self._inner.fileno()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+    def __enter__(self) -> "_FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class FaultyFilesystem:
+    """A :class:`FileSystem` wrapper that fails chosen operations.
+
+    Parameters
+    ----------
+    inner:
+        The real filesystem doing the work between faults.
+    plan:
+        The fault schedule.  :meth:`FaultPlan.none` gives a healthy
+        run whose :attr:`operations` count enumerates the fault
+        points for a subsequent sweep.
+    """
+
+    def __init__(self, inner: FileSystem, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._plan = plan
+        self._faults = plan.lookup()
+        self._rng = ReproRandom(plan.seed)
+        self._operations = 0
+
+    @property
+    def operations(self) -> int:
+        """Faultable operations attempted so far (the sweep domain)."""
+        return self._operations
+
+    @property
+    def plan(self) -> FaultPlan:
+        """The schedule this injector is executing."""
+        return self._plan
+
+    def _take(self) -> tuple[int, Fault | None]:
+        index = self._operations
+        self._operations += 1
+        return index, self._faults.get(index)
+
+    # ------------------------------------------------------------------
+    # Faultable operations
+    # ------------------------------------------------------------------
+
+    def _write(self, handle: BinaryIO, data: bytes) -> int:
+        index, fault = self._take()
+        if fault is None:
+            return handle.write(data)
+        if fault.kind in (WRITE_ERROR, FSYNC_ERROR):
+            raise TransientIOError(
+                f"injected transient write failure at operation {index}"
+            )
+        if fault.kind == CRASH:
+            raise SimulatedCrash(index, fault.kind)
+        if fault.kind == TORN_WRITE:
+            # A strict prefix reaches the file, then the process dies.
+            prefix = (
+                self._rng.choice_index(len(data)) if len(data) > 1 else 0
+            )
+            if prefix:
+                handle.write(data[:prefix])
+            raise SimulatedCrash(index, fault.kind)
+        if fault.kind == BIT_FLIP:
+            position = self._rng.choice_index(len(data)) if data else 0
+            bit = self._rng.choice_index(8)
+            mutated = bytearray(data)
+            if mutated:
+                mutated[position] ^= 1 << bit
+            return handle.write(bytes(mutated))
+        # FSYNC_CRASH scheduled onto a write: still a crash, so
+        # exhaustive sweeps never silently no-op.
+        raise SimulatedCrash(index, fault.kind)
+
+    def fsync(self, handle: BinaryIO) -> None:
+        index, fault = self._take()
+        if fault is not None:
+            if fault.kind in (FSYNC_ERROR, WRITE_ERROR):
+                raise TransientIOError(
+                    f"injected transient fsync failure at operation {index}"
+                )
+            if fault.kind in (FSYNC_CRASH, CRASH, TORN_WRITE):
+                raise SimulatedCrash(index, fault.kind)
+            # BIT_FLIP on an fsync: nothing to corrupt, fall through.
+        inner = handle.inner if isinstance(handle, _FaultyFile) else handle
+        self._inner.fsync(inner)
+
+    def sync_directory(self, directory: Path) -> None:
+        index, fault = self._take()
+        if fault is not None:
+            if fault.kind in (FSYNC_ERROR, WRITE_ERROR):
+                raise TransientIOError(
+                    "injected transient directory-sync failure at "
+                    f"operation {index}"
+                )
+            if fault.kind in (FSYNC_CRASH, CRASH, TORN_WRITE):
+                raise SimulatedCrash(index, fault.kind)
+        self._inner.sync_directory(directory)
+
+    def replace(self, source: Path, destination: Path) -> None:
+        index, fault = self._take()
+        if fault is not None:
+            if fault.kind in (WRITE_ERROR, FSYNC_ERROR):
+                raise TransientIOError(
+                    f"injected transient rename failure at operation {index}"
+                )
+            if fault.kind != BIT_FLIP:
+                # Any crash kind: die before the rename happens, so the
+                # temporary survives and the final name never appears.
+                raise SimulatedCrash(index, fault.kind)
+        self._inner.replace(source, destination)
+
+    def remove(self, path: Path) -> None:
+        index, fault = self._take()
+        if fault is not None:
+            if fault.kind in (WRITE_ERROR, FSYNC_ERROR):
+                raise TransientIOError(
+                    f"injected transient unlink failure at operation {index}"
+                )
+            if fault.kind != BIT_FLIP:
+                raise SimulatedCrash(index, fault.kind)
+        self._inner.remove(path)
+
+    # ------------------------------------------------------------------
+    # Pass-through operations (reads and metadata never fault)
+    # ------------------------------------------------------------------
+
+    def open(self, path: Path, mode: str) -> BinaryIO:
+        handle = self._inner.open(path, mode)
+        return cast(BinaryIO, _FaultyFile(handle, self))
+
+    def read_bytes(self, path: Path) -> bytes:
+        return self._inner.read_bytes(path)
+
+    def listdir(self, directory: Path) -> list[str]:
+        return self._inner.listdir(directory)
+
+    def makedirs(self, directory: Path) -> None:
+        self._inner.makedirs(directory)
+
+    def exists(self, path: Path) -> bool:
+        return self._inner.exists(path)
+
+    def size(self, path: Path) -> int:
+        return self._inner.size(path)

@@ -1,0 +1,133 @@
+"""Fault plans: *which* storage operation fails, and *how*.
+
+A plan is pure data -- a mapping from global operation index (as
+counted by :class:`~repro.faults.injector.FaultyFilesystem`) to a fault
+kind -- plus the seed that drives the fault's internal randomness
+(torn-write prefix length, bit-flip position).  Two runs with the same
+plan against the same workload fail identically, which is what lets
+the crash-consistency battery sweep *every* fault point exhaustively.
+
+Fault kinds
+-----------
+
+``CRASH``
+    The process dies before the operation happens.  Nothing is
+    written; :class:`~repro.faults.injector.SimulatedCrash` is raised.
+``TORN_WRITE``
+    A write is cut mid-record: a strict prefix of the buffer reaches
+    the file, then the process dies.
+``BIT_FLIP``
+    Silent corruption: one bit of the written buffer is flipped, the
+    write "succeeds", and the workload continues none the wiser.
+``FSYNC_CRASH``
+    The process dies at a durability point (the data may well have
+    reached the disk -- recovery must cope with both outcomes).
+``FSYNC_ERROR`` / ``WRITE_ERROR``
+    A transient :class:`~repro.persist.errors.TransientIOError`; the
+    retry layer is expected to absorb it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.randkit.rng import ReproRandom
+
+__all__ = [
+    "BIT_FLIP",
+    "CRASH",
+    "CRASH_KINDS",
+    "FAULT_KINDS",
+    "FSYNC_CRASH",
+    "FSYNC_ERROR",
+    "Fault",
+    "FaultPlan",
+    "TORN_WRITE",
+    "TRANSIENT_KINDS",
+    "WRITE_ERROR",
+]
+
+CRASH = "crash"
+TORN_WRITE = "torn-write"
+BIT_FLIP = "bit-flip"
+FSYNC_CRASH = "fsync-crash"
+FSYNC_ERROR = "fsync-error"
+WRITE_ERROR = "write-error"
+
+FAULT_KINDS = frozenset(
+    {CRASH, TORN_WRITE, BIT_FLIP, FSYNC_CRASH, FSYNC_ERROR, WRITE_ERROR}
+)
+#: Kinds that terminate the run with a SimulatedCrash.
+CRASH_KINDS = frozenset({CRASH, TORN_WRITE, FSYNC_CRASH})
+#: Kinds the retry layer is allowed to absorb.
+TRANSIENT_KINDS = frozenset({FSYNC_ERROR, WRITE_ERROR})
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure at one global operation index."""
+
+    operation_index: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.operation_index < 0:
+            raise ValueError("operation_index must be non-negative")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults keyed by operation index.
+
+    ``seed`` drives the *parameters* of the faults (how many bytes of
+    a torn write survive, which bit flips), so the whole failure is a
+    pure function of (plan, workload).
+    """
+
+    faults: tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        indices = [fault.operation_index for fault in self.faults]
+        if len(indices) != len(set(indices)):
+            raise ValueError("at most one fault per operation index")
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: a healthy run."""
+        return cls()
+
+    @classmethod
+    def single(cls, index: int, kind: str, *, seed: int = 0) -> "FaultPlan":
+        """One fault at one operation index."""
+        return cls(faults=(Fault(index, kind),), seed=seed)
+
+    @classmethod
+    def random(
+        cls,
+        rng: ReproRandom,
+        operation_count: int,
+        kinds: frozenset[str] = CRASH_KINDS,
+    ) -> "FaultPlan":
+        """One seeded fault somewhere in ``[0, operation_count)``.
+
+        ``operation_count`` is typically taken from a healthy run's
+        :attr:`~repro.faults.injector.FaultyFilesystem.operations`.
+        """
+        if operation_count < 1:
+            raise ValueError("operation_count must be positive")
+        if not kinds:
+            raise ValueError("kinds must be non-empty")
+        index = rng.choice_index(operation_count)
+        ordered = sorted(kinds)
+        kind = ordered[rng.choice_index(len(ordered))]
+        return cls(
+            faults=(Fault(index, kind),),
+            seed=rng.fork().seed or 0,
+        )
+
+    def lookup(self) -> dict[int, Fault]:
+        """The plan as an index-to-fault mapping."""
+        return {fault.operation_index: fault for fault in self.faults}

@@ -13,6 +13,8 @@ O(1) flip/lookup rates of Tables 1-2 -- become runtime-watchable here:
   synopsis state and ``CostCounters`` ledgers into labelled series.
 * :mod:`repro.obs.tracing` -- one span per engine query: answering
   synopsis, estimator latency, error bounds, exact-fallback decisions.
+* :mod:`repro.obs.recovery` -- one span per checkpoint or recovery
+  run: durations, replay lengths, torn-tail repairs.
 * :mod:`repro.obs.load` -- warehouse load-stream throughput metering.
 * :mod:`repro.obs.exposition` -- Prometheus text and JSON rendering.
 * :mod:`repro.obs.clock` -- the repository's only direct wall-clock
@@ -55,6 +57,7 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.probe import MetricsProbe
+from repro.obs.recovery import RecoverySpan, RecoveryTracer
 from repro.obs.tracing import QuerySpan, QueryTracer
 
 __all__ = [
@@ -70,6 +73,8 @@ __all__ = [
     "ObservedSynopsis",
     "QuerySpan",
     "QueryTracer",
+    "RecoverySpan",
+    "RecoveryTracer",
     "disable",
     "enable",
     "get_registry",

@@ -1,0 +1,182 @@
+"""Recovery-path tracing: one span per checkpoint or recovery run.
+
+The paper keeps synopses useful across failures by footnote 2's
+"snapshots and/or logs stored on disk"; this module makes the runtime
+cost of that machinery watchable.  A :class:`RecoverySpan` records
+what the persist layer did -- how long a checkpoint took, how many
+logged operations a recovery replayed, whether a torn tail was
+dropped -- and the tracer mirrors each span into ``repro_recovery_*``
+and ``repro_checkpoint_*`` metric families.
+
+Like :class:`~repro.obs.tracing.QueryTracer`, the persist layer never
+reads a clock itself (reprolint RL005/RL009): the tracer owns an
+injected :data:`~repro.obs.clock.Clock` and hands opaque start values
+through :meth:`RecoveryTracer.begin`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs import clock as obs_clock
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["RecoverySpan", "RecoveryTracer"]
+
+
+@dataclass(frozen=True)
+class RecoverySpan:
+    """One traced persist-layer event.
+
+    Attributes
+    ----------
+    event:
+        ``"checkpoint"`` or ``"recovery"``.
+    outcome:
+        ``"ok"`` for success, the exception class name otherwise.
+    duration_seconds:
+        Wall time by the injected clock.
+    sequence:
+        The operation sequence the event landed at (checkpoint
+        sequence, or the recovered state's last applied sequence).
+    replayed_operations:
+        Log records replayed on top of the snapshot (0 for
+        checkpoints).
+    checkpoint_sequence:
+        The snapshot a recovery started from (-1 when recovering from
+        an empty store).
+    torn_tail_dropped:
+        Whether recovery tolerated and repaired a torn WAL tail.
+    """
+
+    event: str
+    outcome: str
+    duration_seconds: float
+    sequence: int
+    replayed_operations: int
+    checkpoint_sequence: int
+    torn_tail_dropped: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        """The span as a JSON-able dict (exposition/CLI payload)."""
+        return {
+            "event": self.event,
+            "outcome": self.outcome,
+            "duration_seconds": self.duration_seconds,
+            "sequence": self.sequence,
+            "replayed_operations": self.replayed_operations,
+            "checkpoint_sequence": self.checkpoint_sequence,
+            "torn_tail_dropped": self.torn_tail_dropped,
+        }
+
+
+class RecoveryTracer:
+    """Checkpoint/recovery spans plus duration and outcome metrics.
+
+    Parameters
+    ----------
+    registry:
+        Metrics sink; defaults to the process-wide active registry.
+    clock:
+        Injected monotonic clock; tests pass a
+        :class:`~repro.obs.clock.FakeClock`.
+    max_spans:
+        Ring-buffer capacity for :meth:`spans`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        clock: obs_clock.Clock = obs_clock.monotonic,
+        max_spans: int = 256,
+    ) -> None:
+        self._registry = registry if registry is not None else get_registry()
+        self._clock = clock
+        self._spans: deque[RecoverySpan] = deque(maxlen=max_spans)
+
+    def begin(self) -> float:
+        """Clock reading handed back opaquely to the ``record_*`` calls."""
+        return self._clock()
+
+    def record_checkpoint(
+        self, started: float, *, sequence: int, outcome: str = "ok"
+    ) -> RecoverySpan:
+        """Close the span for a checkpoint attempt."""
+        return self._finish(
+            event="checkpoint",
+            outcome=outcome,
+            started=started,
+            sequence=sequence,
+            replayed_operations=0,
+            checkpoint_sequence=sequence,
+            torn_tail_dropped=False,
+        )
+
+    def record_recovery(
+        self,
+        started: float,
+        *,
+        sequence: int,
+        replayed_operations: int,
+        checkpoint_sequence: int,
+        torn_tail_dropped: bool,
+        outcome: str = "ok",
+    ) -> RecoverySpan:
+        """Close the span for a recovery attempt."""
+        return self._finish(
+            event="recovery",
+            outcome=outcome,
+            started=started,
+            sequence=sequence,
+            replayed_operations=replayed_operations,
+            checkpoint_sequence=checkpoint_sequence,
+            torn_tail_dropped=torn_tail_dropped,
+        )
+
+    def spans(self) -> tuple[RecoverySpan, ...]:
+        """The most recent spans, oldest first."""
+        return tuple(self._spans)
+
+    # -- internals ------------------------------------------------------
+
+    def _finish(self, *, started: float, **fields: Any) -> RecoverySpan:
+        duration = max(0.0, self._clock() - started)
+        span = RecoverySpan(duration_seconds=duration, **fields)
+        self._spans.append(span)
+        self._export(span)
+        return span
+
+    def _export(self, span: RecoverySpan) -> None:
+        registry = self._registry
+        if span.event == "checkpoint":
+            registry.counter(
+                "repro_checkpoints_total",
+                "Checkpoint attempts, by outcome",
+                {"outcome": span.outcome},
+            ).inc()
+            registry.histogram(
+                "repro_checkpoint_seconds",
+                "Wall time per checkpoint write",
+            ).observe(span.duration_seconds)
+            return
+        registry.counter(
+            "repro_recovery_runs_total",
+            "Recovery attempts, by outcome",
+            {"outcome": span.outcome},
+        ).inc()
+        registry.histogram(
+            "repro_recovery_seconds",
+            "Wall time per recovery (snapshot load plus log replay)",
+        ).observe(span.duration_seconds)
+        registry.counter(
+            "repro_recovery_replayed_operations_total",
+            "WAL operations replayed on top of checkpoints",
+        ).inc(span.replayed_operations)
+        if span.torn_tail_dropped:
+            registry.counter(
+                "repro_recovery_torn_tails_total",
+                "Recoveries that dropped and repaired a torn WAL tail",
+            ).inc()

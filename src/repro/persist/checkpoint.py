@@ -1,0 +1,242 @@
+"""Durable checkpoint store: atomic snapshots plus the WAL.
+
+One directory holds everything the recovery manager needs::
+
+    <root>/
+        checkpoint-<sequence>.ckpt      # one CRC-framed envelope each
+        wal/wal-<base>.seg              # the operation-log segments
+
+A checkpoint is written with the classic atomic recipe -- write to a
+``.tmp`` sibling, fsync the file, ``rename(2)`` over the final name,
+fsync the directory -- so a crash at any point leaves either the old
+set of checkpoints or the old set plus one complete new file, never a
+half-written file under a final name.  A ``.ckpt`` that fails its CRC
+is therefore *corruption* (flipped bytes), and loading it raises
+:class:`ChecksumMismatch` rather than silently falling back to an
+older checkpoint whose WAL suffix has already been truncated.
+
+Transient write faults are retried with backoff
+(:class:`~repro.persist.retry.RetryPolicy`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.persist.errors import (
+    ChecksumMismatch,
+    RecoveryError,
+    TornWriteError,
+)
+from repro.persist.framing import decode_frames, encode_frame
+from repro.persist.fsio import FileSystem, LocalFileSystem
+from repro.persist.retry import RetryPolicy
+from repro.persist.wal import WriteAheadLog
+
+__all__ = ["CHECKPOINT_FORMAT_VERSION", "CheckpointStore"]
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+_PREFIX = "checkpoint-"
+_SUFFIX = ".ckpt"
+
+
+def _checkpoint_name(sequence: int) -> str:
+    return f"{_PREFIX}{sequence:020d}{_SUFFIX}"
+
+
+def _parse_checkpoint_name(name: str) -> int | None:
+    if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+        return None
+    digits = name[len(_PREFIX) : -len(_SUFFIX)]
+    if not digits.isdigit():
+        return None
+    return int(digits)
+
+
+class CheckpointStore:
+    """Atomic checkpoint files plus a write-ahead log, in one directory.
+
+    Parameters
+    ----------
+    directory:
+        Root of the durable state (created if missing).
+    filesystem:
+        The storage seam; defaults to the real
+        :class:`~repro.persist.fsio.LocalFileSystem`, tests inject a
+        :class:`~repro.faults.injector.FaultyFilesystem`.
+    sync_every:
+        WAL appends per fsync point (see
+        :class:`~repro.persist.wal.WriteAheadLog`).
+    retry:
+        Backoff policy shared by snapshot and WAL writes.
+    registry:
+        Metrics sink; defaults to the process-wide registry.
+    """
+
+    def __init__(
+        self,
+        directory: Path | str,
+        filesystem: FileSystem | None = None,
+        *,
+        sync_every: int = 1,
+        retry: RetryPolicy | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self._directory = Path(directory)
+        self._fs = filesystem if filesystem is not None else LocalFileSystem()
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._fs.makedirs(self._directory)
+        metrics = registry if registry is not None else get_registry()
+        self._written = metrics.counter(
+            "repro_checkpoint_writes_total", "Checkpoint files written"
+        )
+        self._pruned = metrics.counter(
+            "repro_checkpoint_pruned_total",
+            "Old checkpoint files removed after a newer one landed",
+        )
+        self.wal = WriteAheadLog(
+            self._directory / "wal",
+            self._fs,
+            sync_every=sync_every,
+            retry=self._retry,
+            registry=metrics,
+        )
+
+    @property
+    def directory(self) -> Path:
+        """The store's root directory."""
+        return self._directory
+
+    @property
+    def filesystem(self) -> FileSystem:
+        """The storage seam in use (real or fault-injected)."""
+        return self._fs
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def write_checkpoint(
+        self, sequence: int, state: Mapping[str, Any]
+    ) -> Path:
+        """Atomically persist a checkpoint taken at ``sequence``.
+
+        ``state`` is the JSON-able warehouse+synopses payload built by
+        the recovery manager; the store wraps it in a versioned
+        envelope and one CRC frame.
+        """
+        envelope = {
+            "kind": "checkpoint",
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "sequence": int(sequence),
+            "state": dict(state),
+        }
+        frame = encode_frame(envelope)
+        final = self._directory / _checkpoint_name(sequence)
+        temporary = final.with_name(final.name + ".tmp")
+
+        def write_temp() -> None:
+            handle = self._fs.open(temporary, "wb")
+            try:
+                handle.write(frame)
+                self._fs.fsync(handle)
+            finally:
+                handle.close()
+
+        self._retry.call(write_temp)
+        self._retry.call(lambda: self._fs.replace(temporary, final))
+        self._retry.call(lambda: self._fs.sync_directory(self._directory))
+        self._written.inc()
+        return final
+
+    def checkpoint_sequences(self) -> list[int]:
+        """Sorted sequences of every complete checkpoint file."""
+        sequences = []
+        for name in self._fs.listdir(self._directory):
+            sequence = _parse_checkpoint_name(name)
+            if sequence is not None:
+                sequences.append(sequence)
+        return sorted(sequences)
+
+    def load_checkpoint(self, sequence: int) -> dict[str, Any]:
+        """Read and verify one checkpoint; returns its ``state`` payload.
+
+        Raises :class:`TornWriteError` for an incomplete file,
+        :class:`ChecksumMismatch` for corruption, and
+        :class:`RecoveryError` for an envelope this version cannot
+        read.  Never returns partial state.
+        """
+        name = _checkpoint_name(sequence)
+        data = self._fs.read_bytes(self._directory / name)
+        frames, torn = decode_frames(data, source=name)
+        if torn is not None:
+            # Atomic rename means a final-name file was written whole;
+            # an incomplete one is storage damage, never tolerable.
+            raise TornWriteError(name, torn.offset, torn.reason)
+        if len(frames) != 1:
+            raise ChecksumMismatch(
+                name, 0, f"expected one envelope frame, found {len(frames)}"
+            )
+        envelope = frames[0]
+        if envelope.get("kind") != "checkpoint":
+            raise ChecksumMismatch(name, 0, "envelope is not a checkpoint")
+        version = int(envelope.get("format_version", 0))
+        if version > CHECKPOINT_FORMAT_VERSION:
+            raise RecoveryError(
+                f"{name} was written by checkpoint format {version}; "
+                f"this build reads up to {CHECKPOINT_FORMAT_VERSION}"
+            )
+        if int(envelope.get("sequence", -1)) != sequence:
+            raise ChecksumMismatch(
+                name, 0, "envelope sequence disagrees with file name"
+            )
+        state = envelope.get("state")
+        if not isinstance(state, dict):
+            raise ChecksumMismatch(name, 0, "envelope carries no state")
+        return state
+
+    def latest_checkpoint(self) -> tuple[int, dict[str, Any]] | None:
+        """The newest checkpoint as ``(sequence, state)``, or ``None``.
+
+        Decoding errors from the newest file propagate -- recovery
+        must not silently fall back to an older checkpoint, because
+        the WAL suffix it would need has been truncated.
+        """
+        sequences = self.checkpoint_sequences()
+        if not sequences:
+            return None
+        newest = sequences[-1]
+        return newest, self.load_checkpoint(newest)
+
+    def prune_checkpoints(self, keep: int = 1) -> int:
+        """Delete all but the ``keep`` newest checkpoints."""
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        sequences = self.checkpoint_sequences()
+        stale = sequences[:-keep] if len(sequences) > keep else []
+        for sequence in stale:
+            path = self._directory / _checkpoint_name(sequence)
+            self._retry.call(lambda: self._fs.remove(path))
+        if stale:
+            self._retry.call(
+                lambda: self._fs.sync_directory(self._directory)
+            )
+            self._pruned.inc(len(stale))
+        return len(stale)
+
+    def remove_temporaries(self) -> int:
+        """Delete leftover ``.tmp`` files from interrupted checkpoints."""
+        removed = 0
+        for name in self._fs.listdir(self._directory):
+            if name.endswith(".tmp"):
+                path = self._directory / name
+                self._retry.call(lambda: self._fs.remove(path))
+                removed += 1
+        return removed
+
+    def close(self) -> None:
+        """Close the WAL segment handle."""
+        self.wal.close()

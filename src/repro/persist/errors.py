@@ -1,0 +1,101 @@
+"""Typed errors for the durable checkpoint/WAL subsystem.
+
+The recovery contract (docs/recovery.md) is that a crash-recovered
+synopsis is either statistically equivalent to an uncrashed one or the
+recovery raises one of these typed errors -- never a silently wrong
+sample.  Each corruption mode maps to exactly one class so tests (and
+operators) can match on what actually went wrong:
+
+* :class:`TornWriteError` -- a record was cut mid-write (crash during
+  an append, or a truncated file tail).
+* :class:`ChecksumMismatch` -- a complete record whose CRC does not
+  match its payload (bit rot, flipped bytes).
+* :class:`LogGapError` -- the log suffix needed for replay is not
+  contiguous (a missing segment, or out-of-order sequence numbers).
+
+:class:`TransientIOError` is the retryable class: fault injection (and
+real storage) raise it for failures worth retrying with backoff, as
+opposed to the corruption errors above which retrying cannot fix.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ChecksumMismatch",
+    "LogGapError",
+    "PersistError",
+    "RecoveryError",
+    "ReplayError",
+    "TornWriteError",
+    "TransientIOError",
+]
+
+
+class PersistError(RuntimeError):
+    """Base class for all durable-storage errors."""
+
+
+class RecoveryError(PersistError):
+    """Base class for errors raised while recovering persisted state."""
+
+
+class TornWriteError(RecoveryError):
+    """A record was cut mid-write: incomplete frame at the given spot.
+
+    A torn *tail* of the last WAL segment is the expected signature of
+    a crash during an append and recovery can elect to drop it; a torn
+    record anywhere else means acknowledged data is incomplete and is
+    never tolerated.
+    """
+
+    def __init__(self, source: str, offset: int, reason: str) -> None:
+        super().__init__(
+            f"torn record in {source} at byte {offset}: {reason}"
+        )
+        self.source = source
+        self.offset = offset
+        self.reason = reason
+
+
+class ChecksumMismatch(RecoveryError):
+    """A complete record that fails its integrity check.
+
+    Covers a CRC that no longer matches the payload and structurally
+    impossible frames (a malformed complete header, a corrupt record
+    terminator followed by more data) -- states a torn write cannot
+    produce, so they are definitively corruption.
+    """
+
+    def __init__(self, source: str, offset: int, reason: str) -> None:
+        super().__init__(
+            f"corrupt record in {source} at byte {offset}: {reason}"
+        )
+        self.source = source
+        self.offset = offset
+        self.reason = reason
+
+
+class LogGapError(RecoveryError):
+    """The operation-log suffix needed for replay is not contiguous."""
+
+    def __init__(self, expected: int, found: int, source: str = "") -> None:
+        where = f" in {source}" if source else ""
+        super().__init__(
+            f"log gap{where}: expected sequence {expected}, found {found}"
+        )
+        self.expected = expected
+        self.found = found
+        self.source = source
+
+
+class ReplayError(RecoveryError):
+    """A logged operation cannot be applied to a bound synopsis."""
+
+
+class TransientIOError(PersistError, OSError):
+    """A storage failure worth retrying (the backoff class).
+
+    Raised by fault injection for transient write/fsync failures;
+    :class:`~repro.persist.retry.RetryPolicy` retries exactly this
+    class and lets every other error propagate.
+    """

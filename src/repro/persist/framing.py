@@ -1,0 +1,131 @@
+"""CRC-framed JSON-lines records: the WAL and checkpoint codec.
+
+Every durable record is one line::
+
+    <length:08x> <crc32:08x> <payload JSON>\\n
+
+The fixed 18-byte ASCII header carries the payload length and its
+CRC-32, so the reader can tell the two crash signatures apart:
+
+* A **torn write** (crash mid-append, truncated file) leaves a strict
+  *prefix* of a valid frame -- an incomplete header, fewer payload
+  bytes than the header promises, or a missing terminator at the end
+  of the data.  :func:`decode_frames` stops there and reports the spot
+  as a :class:`TornTail` for the caller to judge (tolerable at the
+  tail of the last WAL segment, fatal anywhere else).
+* **Corruption** (flipped bytes) produces a state a torn write cannot:
+  a complete frame whose CRC fails, a complete-but-malformed header
+  (torn writes only leave *prefixes* of valid frames), or a wrong
+  terminator byte with further data behind it.  All of these raise
+  :class:`~repro.persist.errors.ChecksumMismatch` immediately.
+
+One genuinely ambiguous case remains: a corrupted length field that
+still parses as hex makes the frame appear to run past the end of the
+file, which reads as a torn tail.  The WAL layer therefore never
+*silently* applies tail-dropping -- the drop point is reported on the
+recovery result (see docs/recovery.md).
+
+The payload is compact JSON with sorted keys, so encoding is
+deterministic and the frame round-trips bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.persist.errors import ChecksumMismatch
+
+__all__ = [
+    "HEADER_LENGTH",
+    "TornTail",
+    "decode_frames",
+    "encode_frame",
+]
+
+# "%08x %08x " -- two hex words and their separators.
+HEADER_LENGTH = 18
+
+_HEX_DIGITS = frozenset(b"0123456789abcdef")
+
+
+@dataclass(frozen=True)
+class TornTail:
+    """An incomplete frame: byte offset where the data stops making sense."""
+
+    offset: int
+    reason: str
+
+
+def encode_frame(payload: Mapping[str, Any]) -> bytes:
+    """One record as a CRC-framed JSON line."""
+    body = json.dumps(
+        dict(payload), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    header = b"%08x %08x " % (len(body), zlib.crc32(body))
+    return header + body + b"\n"
+
+
+def _header_is_prefix_shaped(fragment: bytes) -> bool:
+    """Whether a partial header could still grow into a valid one."""
+    for index, byte in enumerate(fragment):
+        expected_space = index in (8, 17)
+        if expected_space:
+            if byte != ord(" "):
+                return False
+        elif byte not in _HEX_DIGITS:
+            return False
+    return True
+
+
+def decode_frames(
+    data: bytes, *, source: str
+) -> tuple[list[dict[str, Any]], TornTail | None]:
+    """Decode every complete frame; report where a torn tail begins.
+
+    Returns ``(payloads, torn)`` where ``torn`` is ``None`` when the
+    data ends exactly on a frame boundary.  Raises
+    :class:`ChecksumMismatch` for a complete frame whose CRC fails --
+    corruption retrying or tail-dropping cannot fix.
+    """
+    payloads: list[dict[str, Any]] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        header = data[offset : offset + HEADER_LENGTH]
+        if len(header) < HEADER_LENGTH:
+            # The file ends inside a header.  A torn write leaves a
+            # prefix of a valid header; anything else is corruption.
+            if _header_is_prefix_shaped(header):
+                return payloads, TornTail(offset, "incomplete header")
+            raise ChecksumMismatch(
+                source, offset, "malformed partial header at end of data"
+            )
+        if not _header_is_prefix_shaped(header):
+            # A complete 18-byte header was written; a malformed one
+            # can only come from flipped bytes, never a torn write.
+            raise ChecksumMismatch(source, offset, "malformed frame header")
+        length = int(header[0:8], 16)
+        expected_crc = int(header[9:17], 16)
+        body_start = offset + HEADER_LENGTH
+        body_end = body_start + length
+        if body_end + 1 > total:
+            return payloads, TornTail(offset, "incomplete payload")
+        body = data[body_start:body_end]
+        actual_crc = zlib.crc32(body)
+        if actual_crc != expected_crc:
+            raise ChecksumMismatch(
+                source,
+                offset,
+                f"frame says {expected_crc:#010x}, payload hashes to "
+                f"{actual_crc:#010x}",
+            )
+        if data[body_end : body_end + 1] != b"\n":
+            raise ChecksumMismatch(
+                source, offset, "corrupt record terminator"
+            )
+        payloads.append(json.loads(body.decode("utf-8")))
+        offset = body_end + 1
+    return payloads, None

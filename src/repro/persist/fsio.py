@@ -1,0 +1,109 @@
+"""The filesystem seam: every real file operation in the repository.
+
+:class:`LocalFileSystem` is the single place allowed to touch the OS
+filesystem (reprolint rule RL010 confines ``open``/``os.fsync``/
+``Path.write_*`` to ``repro/persist``).  Everything above it -- the
+WAL, the checkpoint store, the recovery manager -- takes a
+``FileSystem`` argument, which is how the deterministic fault layer
+(:mod:`repro.faults`) interposes: a
+:class:`~repro.faults.injector.FaultyFilesystem` wraps this class and
+fails chosen operations without the callers knowing.
+
+Durability points follow the classic recipe: data-file ``fsync`` after
+writes that must survive, directory ``fsync`` after renames so the new
+directory entry itself is durable.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import BinaryIO, Protocol
+
+__all__ = ["FileSystem", "LocalFileSystem"]
+
+
+class FileSystem(Protocol):
+    """The storage surface the persist layer is written against."""
+
+    def open(self, path: Path, mode: str) -> BinaryIO: ...
+
+    def fsync(self, handle: BinaryIO) -> None: ...
+
+    def replace(self, source: Path, destination: Path) -> None: ...
+
+    def sync_directory(self, directory: Path) -> None: ...
+
+    def read_bytes(self, path: Path) -> bytes: ...
+
+    def listdir(self, directory: Path) -> list[str]: ...
+
+    def remove(self, path: Path) -> None: ...
+
+    def makedirs(self, directory: Path) -> None: ...
+
+    def exists(self, path: Path) -> bool: ...
+
+    def size(self, path: Path) -> int: ...
+
+
+class LocalFileSystem:
+    """The real filesystem (the only RL010-sanctioned I/O call sites)."""
+
+    def open(self, path: Path, mode: str) -> BinaryIO:
+        """Open a file for binary reading or writing.
+
+        Write handles are unbuffered: every ``write`` goes straight to
+        the OS, so the deterministic fault layer can cut a write
+        mid-record and the bytes on disk are exactly the bytes the
+        fault allowed through -- no user-space buffer replaying data
+        "after the crash".
+        """
+        if "b" not in mode:
+            raise ValueError("the persist layer does binary I/O only")
+        buffering = 0 if ("w" in mode or "a" in mode or "+" in mode) else -1
+        return open(path, mode, buffering=buffering)  # noqa: SIM115
+
+    def fsync(self, handle: BinaryIO) -> None:
+        """Flush user- and OS-level buffers of an open handle to disk."""
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def replace(self, source: Path, destination: Path) -> None:
+        """Atomically rename ``source`` over ``destination``."""
+        os.replace(source, destination)
+
+    def sync_directory(self, directory: Path) -> None:
+        """Make directory-entry changes (renames, unlinks) durable."""
+        fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def read_bytes(self, path: Path) -> bytes:
+        """The whole file as bytes."""
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def listdir(self, directory: Path) -> list[str]:
+        """Sorted names in a directory (empty when it does not exist)."""
+        if not directory.is_dir():
+            return []
+        return sorted(os.listdir(directory))
+
+    def remove(self, path: Path) -> None:
+        """Delete a file."""
+        os.remove(path)
+
+    def makedirs(self, directory: Path) -> None:
+        """Create a directory tree if missing."""
+        os.makedirs(directory, exist_ok=True)
+
+    def exists(self, path: Path) -> bool:
+        """Whether a path exists."""
+        return path.exists()
+
+    def size(self, path: Path) -> int:
+        """File size in bytes."""
+        return os.path.getsize(path)

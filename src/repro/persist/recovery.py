@@ -1,0 +1,439 @@
+"""The recovery manager: snapshot + log-suffix replay (footnote 2).
+
+The paper's footnote 2 prescribes "combinations of snapshots and/or
+logs stored on disk" for persistence; :class:`RecoveryManager` is that
+combination made operational.  On the live side it taps the
+warehouse's load stream (Figure 2) and appends one durable WAL record
+per acknowledged operation; :meth:`RecoveryManager.checkpoint`
+atomically snapshots the warehouse and every bound synopsis, rotates
+the log, and garbage-collects what the snapshot covers.  After a
+crash, :meth:`RecoveryManager.recover` rebuilds the exact
+pre-crash state: load the newest checkpoint, replay the WAL suffix
+into the relations *and* the bound synopses (Theorem 5's
+insert/delete replay), and repair any tolerated torn tail.
+
+The durability contract (with ``sync_every=1``):
+
+* an operation is **acknowledged** when the warehouse call returns,
+  which happens only after its WAL record's fsync point;
+* recovery restores a prefix of the attempted operations that
+  includes every acknowledged one -- at most the single in-flight
+  record may be lost (torn tail) or silently present (crash after the
+  write, before the acknowledgment reached the caller);
+* corruption and gaps never produce a silently wrong sample: they
+  raise the typed errors of :mod:`repro.persist.errors`.
+
+Restored synopses are *statistically* equivalent, not bitwise: they
+carry the same sample + threshold state but a fresh RNG stream
+(Theorem 2's induction is over the invariant state, not the
+generator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.oplog import OperationLog
+from repro.engine.relation import Relation
+from repro.engine.snapshots import (
+    Snapshotable,
+    restore_synopsis,
+    snapshot_synopsis,
+)
+from repro.engine.warehouse import DataWarehouse
+from repro.obs.recovery import RecoveryTracer
+from repro.persist.checkpoint import CheckpointStore
+from repro.persist.errors import LogGapError, ReplayError
+from repro.persist.framing import TornTail
+from repro.persist.wal import read_operations, segment_name
+from repro.randkit.rng import ReproRandom
+
+__all__ = ["RecoveredState", "RecoveryManager", "SynopsisBinding"]
+
+
+@dataclass(frozen=True)
+class SynopsisBinding:
+    """One synopsis fed by one attribute of one relation."""
+
+    relation: str
+    attribute: str
+    synopsis: Snapshotable
+
+
+@dataclass
+class RecoveredState:
+    """What :meth:`RecoveryManager.recover` rebuilt.
+
+    Attributes
+    ----------
+    warehouse:
+        The restored base data.
+    synopses:
+        ``(relation, attribute) -> synopsis`` for every binding the
+        checkpoint carried.
+    sequence:
+        The last operation sequence applied (checkpoint + replay).
+    replayed:
+        How many WAL records were replayed on top of the snapshot.
+    checkpoint_sequence:
+        The snapshot's sequence (-1 when no checkpoint existed).
+    torn_tail:
+        The tolerated-and-repaired torn tail, if recovery dropped one.
+    """
+
+    warehouse: DataWarehouse
+    synopses: dict[tuple[str, str], Snapshotable] = field(
+        default_factory=dict
+    )
+    sequence: int = 0
+    replayed: int = 0
+    checkpoint_sequence: int = -1
+    torn_tail: TornTail | None = None
+
+    def synopsis(self, relation: str, attribute: str) -> Snapshotable:
+        """Look up one restored synopsis."""
+        return self.synopses[(relation, attribute)]
+
+
+class RecoveryManager:
+    """Durable WAL tap + checkpointing + recovery over one store.
+
+    Parameters
+    ----------
+    store:
+        The durable state (checkpoint files + WAL directory).
+    tracer:
+        Recovery-path observability; defaults to a tracer on the
+        process-wide registry (a no-op unless obs was enabled).
+    oplog:
+        Optional in-memory :class:`~repro.engine.oplog.OperationLog`
+        mirror, kept in step with the durable WAL (handy for
+        in-process replay and the Theorem 5 tooling).
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        *,
+        tracer: RecoveryTracer | None = None,
+        oplog: OperationLog | None = None,
+    ) -> None:
+        self._store = store
+        self._tracer = tracer if tracer is not None else RecoveryTracer()
+        self._oplog = oplog
+        self._warehouse: DataWarehouse | None = None
+        self._bindings: list[SynopsisBinding] = []
+        self._sequence = 0  # last acknowledged operation sequence
+
+    @property
+    def store(self) -> CheckpointStore:
+        """The durable store this manager writes to."""
+        return self._store
+
+    @property
+    def sequence(self) -> int:
+        """The last acknowledged operation sequence."""
+        return self._sequence
+
+    @property
+    def bindings(self) -> tuple[SynopsisBinding, ...]:
+        """The registered synopsis bindings."""
+        return tuple(self._bindings)
+
+    # ------------------------------------------------------------------
+    # Live side: tap the load stream, write the WAL
+    # ------------------------------------------------------------------
+
+    def attach(self, warehouse: DataWarehouse) -> None:
+        """Subscribe to a warehouse's load stream and open the WAL.
+
+        Every subsequent load operation is appended to the WAL before
+        the warehouse call returns (``sync_every=1`` makes that append
+        durable -- the acknowledgment point of the durability
+        contract).
+        """
+        if self._warehouse is not None:
+            raise RuntimeError("already attached to a warehouse")
+        self._warehouse = warehouse
+        if self._store.wal.open_base is None:
+            self._store.wal.open_segment(self._sequence + 1)
+        self._append_schema()
+        warehouse.add_observer(self._observe)
+
+    def _append_schema(self) -> None:
+        """Write the relation schemas into the open segment.
+
+        Makes every segment self-describing, so a crash *before the
+        first checkpoint* is still recoverable: replay can re-create
+        the relations from the WAL alone.  Relations created after
+        :meth:`attach` become durable at the next checkpoint.
+        """
+        if self._warehouse is None:
+            return
+        relations = {
+            name: list(self._warehouse.relation(name).attributes)
+            for name in self._warehouse.relation_names()
+        }
+        if relations:
+            self._store.wal.append(
+                {"kind": "schema", "relations": relations}
+            )
+
+    def detach(self) -> None:
+        """Unsubscribe and close the open WAL segment."""
+        if self._warehouse is not None:
+            self._warehouse.remove_observer(self._observe)
+            self._warehouse = None
+        self._store.wal.close()
+
+    def _observe(self, relation: str, row: tuple, is_insert: bool) -> None:
+        sequence = self._sequence + 1
+        self._store.wal.append(
+            {
+                "kind": "op",
+                "sequence": sequence,
+                "relation": relation,
+                "row": list(row),
+                "insert": is_insert,
+            }
+        )
+        self._sequence = sequence
+        if self._oplog is not None:
+            self._oplog.observe(relation, row, is_insert)
+
+    def bind(
+        self, relation: str, attribute: str, synopsis: Snapshotable
+    ) -> SynopsisBinding:
+        """Register a synopsis for checkpointing and replay.
+
+        Bindings live in the checkpoint payload: a binding made after
+        the last checkpoint is not yet durable, so checkpoint soon
+        after binding.
+        """
+        binding = SynopsisBinding(relation, attribute, synopsis)
+        self._bindings.append(binding)
+        return binding
+
+    # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, *, keep: int = 1) -> int:
+        """Snapshot everything, rotate the WAL, collect garbage.
+
+        Returns the checkpoint's sequence.  The order is the classic
+        one: sync the log, write the snapshot atomically, *then* drop
+        the log prefix and older snapshots the new snapshot covers --
+        a crash between any two steps leaves a recoverable store.
+        """
+        if self._warehouse is None:
+            raise RuntimeError("attach a warehouse before checkpointing")
+        started = self._tracer.begin()
+        sequence = self._sequence
+        try:
+            state = {
+                "relations": {
+                    name: self._warehouse.relation(name).to_dict()
+                    for name in self._warehouse.relation_names()
+                },
+                "synopses": [
+                    {
+                        "relation": binding.relation,
+                        "attribute": binding.attribute,
+                        "state": snapshot_synopsis(binding.synopsis),
+                    }
+                    for binding in self._bindings
+                ],
+            }
+            self._store.wal.sync()
+            self._store.write_checkpoint(sequence, state)
+            self._store.wal.open_segment(sequence + 1)
+            self._append_schema()
+            self._store.wal.truncate_through(sequence)
+            self._store.prune_checkpoints(keep=keep)
+            self._store.remove_temporaries()
+            if self._oplog is not None:
+                self._oplog.truncate_before(sequence)
+        except Exception as error:
+            self._tracer.record_checkpoint(
+                started, sequence=sequence, outcome=type(error).__name__
+            )
+            raise
+        self._tracer.record_checkpoint(started, sequence=sequence)
+        return sequence
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(
+        self,
+        *,
+        seed: int,
+        tolerate_torn_tail: bool = True,
+    ) -> RecoveredState:
+        """Rebuild warehouse + synopses as snapshot + log-suffix replay.
+
+        ``seed`` re-seeds the restored synopses' randomness (their
+        invariant sample/threshold state comes from the snapshot).
+        With ``tolerate_torn_tail`` (the default), a torn record at
+        the physical tail of the last WAL segment is dropped, reported
+        on the result, and the damaged segment truncated to its clean
+        prefix; in strict mode it raises
+        :class:`~repro.persist.errors.TornWriteError`.
+
+        Any corruption, gap, or replay inconsistency raises a typed
+        :class:`~repro.persist.errors.RecoveryError` -- partial state
+        is never returned.
+        """
+        started = self._tracer.begin()
+        try:
+            state = self._recover(seed=seed, tolerate=tolerate_torn_tail)
+        except Exception as error:
+            self._tracer.record_recovery(
+                started,
+                sequence=self._sequence,
+                replayed_operations=0,
+                checkpoint_sequence=-1,
+                torn_tail_dropped=False,
+                outcome=type(error).__name__,
+            )
+            raise
+        self._tracer.record_recovery(
+            started,
+            sequence=state.sequence,
+            replayed_operations=state.replayed,
+            checkpoint_sequence=state.checkpoint_sequence,
+            torn_tail_dropped=state.torn_tail is not None,
+        )
+        return state
+
+    def _recover(self, *, seed: int, tolerate: bool) -> RecoveredState:
+        store = self._store
+        store.wal.close()  # recovery reads segments, never appends
+
+        latest = store.latest_checkpoint()  # errors propagate: no fallback
+        checkpoint_sequence = latest[0] if latest is not None else -1
+        snapshot = latest[1] if latest is not None else {}
+
+        operations, schemas, torn = read_operations(
+            store.filesystem,
+            store.wal.directory,
+            tolerate_torn_tail=tolerate,
+        )
+
+        base_sequence = max(checkpoint_sequence, 0)
+        suffix = [
+            operation
+            for operation in operations
+            if int(operation["sequence"]) > base_sequence
+        ]
+        if suffix and int(suffix[0]["sequence"]) != base_sequence + 1:
+            raise LogGapError(
+                base_sequence + 1,
+                int(suffix[0]["sequence"]),
+                source="recovery",
+            )
+
+        warehouse = DataWarehouse()
+        for payload in snapshot.get("relations", {}).values():
+            warehouse.attach_relation(Relation.from_dict(payload))
+        for name, attributes in schemas.items():
+            # Relations the WAL knows but the checkpoint predates
+            # (or there is no checkpoint at all).
+            if name not in warehouse.relation_names():
+                warehouse.create_relation(name, attributes)
+
+        rng = ReproRandom(seed)
+        bindings: list[SynopsisBinding] = []
+        for entry in snapshot.get("synopses", []):
+            restored = restore_synopsis(
+                entry["state"], seed=rng.fork().seed
+            )
+            bindings.append(
+                SynopsisBinding(
+                    str(entry["relation"]),
+                    str(entry["attribute"]),
+                    restored,
+                )
+            )
+
+        replayed = 0
+        sequence = base_sequence
+        for operation in suffix:
+            relation_name = str(operation["relation"])
+            row = tuple(operation["row"])
+            is_insert = bool(operation["insert"])
+            try:
+                if is_insert:
+                    warehouse.insert(relation_name, row)
+                else:
+                    warehouse.delete(relation_name, row)
+            except Exception as error:
+                raise ReplayError(
+                    f"operation {operation['sequence']} does not apply "
+                    f"to relation {relation_name!r}: {error}"
+                ) from error
+            for binding in bindings:
+                if binding.relation != relation_name:
+                    continue
+                relation = warehouse.relation(relation_name)
+                value = int(
+                    row[relation.attribute_index(binding.attribute)]
+                )
+                if is_insert:
+                    binding.synopsis.insert(value)
+                elif hasattr(binding.synopsis, "delete"):
+                    binding.synopsis.delete(value)
+                else:
+                    raise ReplayError(
+                        f"operation {operation['sequence']} deletes from "
+                        f"{binding.relation}.{binding.attribute}, but "
+                        f"{type(binding.synopsis).__name__} cannot "
+                        "replay deletes (Theorem 5 needs a counting "
+                        "sample)"
+                    )
+            replayed += 1
+            sequence = int(operation["sequence"])
+
+        if torn is not None:
+            self._repair_torn_tail(torn)
+
+        self._warehouse = None
+        self._bindings = bindings
+        self._sequence = sequence
+        return RecoveredState(
+            warehouse=warehouse,
+            synopses={
+                (binding.relation, binding.attribute): binding.synopsis
+                for binding in bindings
+            },
+            sequence=sequence,
+            replayed=replayed,
+            checkpoint_sequence=checkpoint_sequence,
+            torn_tail=torn,
+        )
+
+    def _repair_torn_tail(self, torn: TornTail) -> None:
+        """Truncate the last segment to its clean prefix.
+
+        Without this, a second recovery would find the same torn
+        record mid-WAL once new segments are appended after it.
+        """
+        store = self._store
+        filesystem = store.filesystem
+        bases = store.wal.segment_bases()
+        if not bases:
+            return
+        path = store.wal.directory / segment_name(bases[-1])
+        data = filesystem.read_bytes(path)
+        temporary = path.with_name(path.name + ".tmp")
+        handle = filesystem.open(temporary, "wb")
+        try:
+            handle.write(data[: torn.offset])
+            filesystem.fsync(handle)
+        finally:
+            handle.close()
+        filesystem.replace(temporary, path)
+        filesystem.sync_directory(store.wal.directory)

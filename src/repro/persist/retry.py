@@ -1,0 +1,73 @@
+"""Retry with exponential backoff for transient storage faults.
+
+Only :class:`~repro.persist.errors.TransientIOError` is retried --
+corruption errors are deterministic and retrying them would just
+repeat the failure.  The backoff *sleep is injected*: the default is a
+no-op (tests stay instant and deterministic), production callers pass
+``time.sleep``.  Delays are computed deterministically
+(``base_delay * multiplier ** attempt``), never drawn from a clock or
+an RNG, so a retried run is replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.persist.errors import TransientIOError
+
+__all__ = ["RetryPolicy"]
+
+T = TypeVar("T")
+
+
+def _no_sleep(_delay: float) -> None:
+    return None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a transient fault, and how to back off.
+
+    Parameters
+    ----------
+    attempts:
+        Total tries including the first (so ``attempts=1`` never
+        retries).
+    base_delay / multiplier:
+        The backoff schedule: try *k* (0-based) sleeps
+        ``base_delay * multiplier ** k`` before retrying.
+    sleep:
+        The injected sleep callable; defaults to a no-op so tests are
+        instant.  Pass ``time.sleep`` in production.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    sleep: Callable[[float], None] = field(default=_no_sleep)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+
+    def call(self, operation: Callable[[], T]) -> T:
+        """Run ``operation``, retrying transient faults with backoff.
+
+        Re-raises the last :class:`TransientIOError` when every
+        attempt fails; any other exception propagates immediately.
+        """
+        delay = self.base_delay
+        for attempt in range(self.attempts):
+            try:
+                return operation()
+            except TransientIOError:
+                if attempt == self.attempts - 1:
+                    raise
+                self.sleep(delay)
+                delay *= self.multiplier
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,318 @@
+"""Write-ahead log: CRC-framed JSON-lines segments with fsync points.
+
+The WAL is a directory of segment files ``wal-<base>.seg``, where
+``base`` is the sequence number of the first operation the segment may
+hold.  Each segment starts with a header record and then carries one
+``op`` record per warehouse load event::
+
+    {"kind": "wal-header", "format_version": 1, "base": 1200}
+    {"kind": "op", "sequence": 1200, "relation": "sales", "row": [7], "insert": true}
+    ...
+
+Records are framed by :mod:`repro.persist.framing`, so every crash
+signature is classifiable.  Appends reach disk at *fsync points*: every
+``sync_every`` appends (1 = group size one, i.e. synchronous
+durability) plus an explicit :meth:`WriteAheadLog.sync` before a
+checkpoint.  Rotation starts a new segment (at a checkpoint, so the
+pre-checkpoint segments become garbage) and truncation deletes whole
+segments once a checkpoint covers them.
+
+Reading back (:func:`read_operations`) enforces the recovery contract:
+op sequences must be contiguous across all segments
+(:class:`LogGapError` otherwise -- a deleted or missing segment shows
+up exactly this way), corruption raises :class:`ChecksumMismatch`, and
+a torn record is tolerable only as the physical tail of the *last*
+segment (:class:`TornWriteError` anywhere else).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, BinaryIO, Mapping
+
+from repro.obs.metrics import Counter as ObsCounter
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.persist.errors import (
+    ChecksumMismatch,
+    LogGapError,
+    TornWriteError,
+)
+from repro.persist.framing import TornTail, decode_frames, encode_frame
+from repro.persist.fsio import FileSystem
+from repro.persist.retry import RetryPolicy
+
+__all__ = [
+    "WAL_FORMAT_VERSION",
+    "WriteAheadLog",
+    "parse_segment_name",
+    "read_operations",
+    "segment_name",
+]
+
+WAL_FORMAT_VERSION = 1
+
+_PREFIX = "wal-"
+_SUFFIX = ".seg"
+
+
+def segment_name(base: int) -> str:
+    """The file name of the segment whose first sequence is ``base``."""
+    return f"{_PREFIX}{base:020d}{_SUFFIX}"
+
+
+def parse_segment_name(name: str) -> int | None:
+    """The base sequence encoded in a segment file name, or ``None``."""
+    if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+        return None
+    digits = name[len(_PREFIX) : -len(_SUFFIX)]
+    if not digits.isdigit():
+        return None
+    return int(digits)
+
+
+class WriteAheadLog:
+    """Appender over a directory of CRC-framed segments.
+
+    Parameters
+    ----------
+    directory:
+        The WAL directory (created if missing).
+    filesystem:
+        The storage seam; tests pass a
+        :class:`~repro.faults.injector.FaultyFilesystem`.
+    sync_every:
+        Appends per fsync point.  1 (the default) makes every append
+        durable before it returns -- the setting the crash-consistency
+        battery assumes.
+    retry:
+        Backoff policy for transient write faults.
+    registry:
+        Metrics sink; defaults to the process-wide registry.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        filesystem: FileSystem,
+        *,
+        sync_every: int = 1,
+        retry: RetryPolicy | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if sync_every < 1:
+            raise ValueError("sync_every must be at least 1")
+        self._directory = Path(directory)
+        self._fs = filesystem
+        self._sync_every = sync_every
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._fs.makedirs(self._directory)
+        self._handle: BinaryIO | None = None
+        self._base: int | None = None
+        self._unsynced = 0
+        metrics = registry if registry is not None else get_registry()
+        self._appends: ObsCounter = metrics.counter(
+            "repro_wal_appends_total", "Operations appended to the WAL"
+        )
+        self._fsyncs: ObsCounter = metrics.counter(
+            "repro_wal_fsyncs_total", "WAL fsync points reached"
+        )
+        self._truncated: ObsCounter = metrics.counter(
+            "repro_wal_truncated_segments_total",
+            "WAL segments deleted by post-checkpoint truncation",
+        )
+
+    @property
+    def directory(self) -> Path:
+        """The WAL directory."""
+        return self._directory
+
+    @property
+    def open_base(self) -> int | None:
+        """Base sequence of the currently open segment, if any."""
+        return self._base
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def open_segment(self, base: int) -> None:
+        """Start (or switch to) the segment whose first sequence is ``base``.
+
+        Closes and syncs any open segment first, writes the new
+        segment's header record, and syncs the directory entry.
+        """
+        self.close()
+        path = self._directory / segment_name(base)
+
+        def start() -> BinaryIO:
+            handle = self._fs.open(path, "wb")
+            handle.write(
+                encode_frame(
+                    {
+                        "kind": "wal-header",
+                        "format_version": WAL_FORMAT_VERSION,
+                        "base": base,
+                    }
+                )
+            )
+            self._fs.fsync(handle)
+            return handle
+
+        self._handle = self._retry.call(start)
+        self._retry.call(lambda: self._fs.sync_directory(self._directory))
+        self._base = base
+        self._unsynced = 0
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Append one record; fsync when the group threshold is hit."""
+        if self._handle is None:
+            raise RuntimeError("no open WAL segment; call open_segment first")
+        frame = encode_frame(record)
+        handle = self._handle
+
+        def write() -> None:
+            handle.write(frame)
+
+        self._retry.call(write)
+        self._appends.inc()
+        self._unsynced += 1
+        if self._unsynced >= self._sync_every:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force an fsync point: everything appended so far is durable."""
+        if self._handle is None:
+            return
+        handle = self._handle
+
+        def flush() -> None:
+            self._fs.fsync(handle)
+
+        self._retry.call(flush)
+        self._fsyncs.inc()
+        self._unsynced = 0
+
+    def close(self) -> None:
+        """Sync and close the open segment, if any."""
+        if self._handle is None:
+            return
+        self.sync()
+        self._handle.close()
+        self._handle = None
+        self._base = None
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def segment_bases(self) -> list[int]:
+        """Sorted base sequences of every segment file on disk."""
+        bases = []
+        for name in self._fs.listdir(self._directory):
+            base = parse_segment_name(name)
+            if base is not None:
+                bases.append(base)
+        return sorted(bases)
+
+    def truncate_through(self, sequence: int) -> int:
+        """Delete segments holding only records at or below ``sequence``.
+
+        A segment based at ``b`` whose successor is based at ``nb``
+        holds operations ``b .. nb - 1``, so it is deletable exactly
+        when ``nb - 1 <= sequence``; the newest segment always
+        survives.  Returns the number of segments removed.
+        """
+        bases = self.segment_bases()
+        removed = 0
+        for base, next_base in zip(bases, bases[1:], strict=False):
+            if next_base - 1 <= sequence and base != self._base:
+                path = self._directory / segment_name(base)
+                self._retry.call(lambda: self._fs.remove(path))
+                removed += 1
+        if removed:
+            self._retry.call(
+                lambda: self._fs.sync_directory(self._directory)
+            )
+            self._truncated.inc(removed)
+        return removed
+
+
+def read_operations(
+    filesystem: FileSystem,
+    directory: Path,
+    *,
+    tolerate_torn_tail: bool = True,
+) -> tuple[list[dict[str, Any]], dict[str, list[str]], TornTail | None]:
+    """Read every op record from the WAL, oldest first.
+
+    Returns ``(operations, schemas, torn)``: the op records, the
+    merged relation schemas from the ``schema`` records the recovery
+    manager writes at each segment start (so a WAL is replayable even
+    before the first checkpoint), and the tolerated torn tail if any.
+
+    Enforces the recovery contract:
+
+    * a torn record is returned as the last element only when it is
+      the physical tail of the *last* segment and ``tolerate_torn_tail``
+      is set; otherwise :class:`TornWriteError` is raised;
+    * corrupted frames raise :class:`ChecksumMismatch`
+      (:func:`~repro.persist.framing.decode_frames` classifies);
+    * op sequences must be strictly contiguous across segments --
+      a missing segment or dropped record raises :class:`LogGapError`.
+
+    The returned ``TornTail``, when present, refers to the last
+    segment; the caller repairs the file by truncating to its offset.
+    """
+    directory = Path(directory)
+    bases = []
+    for name in filesystem.listdir(directory):
+        base = parse_segment_name(name)
+        if base is not None:
+            bases.append(base)
+    bases.sort()
+    operations: list[dict[str, Any]] = []
+    schemas: dict[str, list[str]] = {}
+    torn: TornTail | None = None
+    expected: int | None = None
+    for position, base in enumerate(bases):
+        name = segment_name(base)
+        path = directory / name
+        data = filesystem.read_bytes(path)
+        frames, segment_torn = decode_frames(data, source=name)
+        is_last = position == len(bases) - 1
+        if segment_torn is not None:
+            if not (is_last and tolerate_torn_tail):
+                raise TornWriteError(
+                    name, segment_torn.offset, segment_torn.reason
+                )
+            torn = segment_torn
+        if frames:
+            header = frames[0]
+            if (
+                header.get("kind") != "wal-header"
+                or int(header.get("base", -1)) != base
+            ):
+                raise ChecksumMismatch(
+                    name, 0, "segment header missing or inconsistent"
+                )
+            if int(header.get("format_version", 0)) > WAL_FORMAT_VERSION:
+                raise ChecksumMismatch(
+                    name,
+                    0,
+                    "segment written by a newer format version "
+                    f"({header.get('format_version')})",
+                )
+        for frame in frames[1:]:
+            kind = frame.get("kind")
+            if kind == "schema":
+                for rel, attributes in frame.get("relations", {}).items():
+                    schemas[str(rel)] = [str(a) for a in attributes]
+                continue
+            if kind != "op":
+                continue
+            sequence = int(frame["sequence"])
+            if expected is not None and sequence != expected:
+                raise LogGapError(expected, sequence, source=name)
+            operations.append(frame)
+            expected = sequence + 1
+    return operations, schemas, torn

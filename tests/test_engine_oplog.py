@@ -132,3 +132,68 @@ class TestRecovery:
         sample = CountingSample(100, seed=5)
         log.replay_since(0, "r", 0, sample)
         assert sample.count_of(7) == 1
+
+
+class TestSegments:
+    def fill(self):
+        log = OperationLog()
+        log.observe("r", (1,), True)
+        log.observe("r", (2,), True)
+        log.observe("r", (1,), False)  # a delete event (Theorem 5)
+        log.observe("s", (9,), True)
+        return log
+
+    def test_export_import_round_trips_with_deletes(self):
+        source = self.fill()
+        replica = OperationLog()
+        assert replica.import_entries(source.export_segment(0, 4)) == 4
+        entries = list(replica.entries_since(0))
+        assert [e.sequence for e in entries] == [0, 1, 2, 3]
+        assert entries[2].is_insert is False
+        sample = CountingSample(100, seed=6)
+        replica.replay_since(0, "r", 0, sample)
+        assert sample.count_of(1) == 0 and sample.count_of(2) == 1
+
+    def test_export_range_is_half_open(self):
+        log = self.fill()
+        lines = log.export_segment(1, 3).splitlines()
+        assert len(lines) == 2
+        replica = OperationLog()
+        with pytest.raises(Exception):  # starts at 1, replica expects 0
+            replica.import_entries(log.export_segment(1, 3))
+
+    def test_export_empty_range(self):
+        assert self.fill().export_segment(2, 2) == ""
+        with pytest.raises(ValueError, match="start must not exceed"):
+            self.fill().export_segment(3, 1)
+
+    def test_import_gap_is_typed(self):
+        from repro.persist.errors import LogGapError
+
+        source = self.fill()
+        replica = OperationLog()
+        replica.import_entries(source.export_segment(0, 2))
+        with pytest.raises(LogGapError) as excinfo:
+            replica.import_entries(source.export_segment(3, 4))
+        assert excinfo.value.expected == 2
+        assert excinfo.value.found == 3
+        # The failed import appended nothing: no partial splice.
+        assert len(replica) == 2
+
+    def test_import_continues_a_live_log(self):
+        source = self.fill()
+        replica = OperationLog()
+        replica.observe("r", (1,), True)
+        replica.observe("r", (2,), True)
+        assert replica.import_entries(source.export_segment(2, 4)) == 2
+        assert [e.sequence for e in replica.entries_since(0)] == [
+            0,
+            1,
+            2,
+            3,
+        ]
+
+    def test_import_skips_blank_lines(self):
+        replica = OperationLog()
+        payload = "\n" + self.fill().export_segment(0, 1) + "\n\n"
+        assert replica.import_entries(payload) == 1

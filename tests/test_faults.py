@@ -1,0 +1,192 @@
+"""The fault injector itself: determinism, op counting, every kind.
+
+The crash battery is only as trustworthy as the injector: the same
+plan must produce byte-identical wreckage, the operation index must be
+a pure function of the workload, and each fault kind must do exactly
+what its name says.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    BIT_FLIP,
+    CRASH,
+    CRASH_KINDS,
+    FAULT_KINDS,
+    FSYNC_CRASH,
+    FSYNC_ERROR,
+    TORN_WRITE,
+    TRANSIENT_KINDS,
+    WRITE_ERROR,
+    Fault,
+    FaultPlan,
+    FaultyFilesystem,
+    SimulatedCrash,
+)
+from repro.persist import LocalFileSystem, TransientIOError
+from repro.randkit.rng import ReproRandom
+
+
+def run_workload(filesystem, root):
+    """A tiny fixed workload touching every faultable op type."""
+    filesystem.makedirs(root)
+    path = root / "data.bin"
+    handle = filesystem.open(path, "wb")
+    try:
+        handle.write(b"hello durable world")
+        handle.write(b" -- second record")
+        filesystem.fsync(handle)
+    finally:
+        handle.close()
+    temporary = root / "data.tmp"
+    other = filesystem.open(temporary, "wb")
+    try:
+        other.write(b"replacement")
+        filesystem.fsync(other)
+    finally:
+        other.close()
+    filesystem.replace(temporary, path)
+    filesystem.sync_directory(root)
+    return filesystem.read_bytes(path)
+
+
+class TestPlan:
+    def test_kind_taxonomy_is_partitioned(self):
+        assert CRASH_KINDS | TRANSIENT_KINDS | {BIT_FLIP} == FAULT_KINDS
+        assert CRASH_KINDS & TRANSIENT_KINDS == frozenset()
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError, match="one fault per"):
+            FaultPlan(faults=(Fault(3, CRASH), Fault(3, BIT_FLIP)))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault(0, "meteor-strike")
+
+    def test_random_plan_is_deterministic(self):
+        plans = [
+            FaultPlan.random(ReproRandom(42), 100) for _ in range(2)
+        ]
+        assert plans[0] == plans[1]
+        fault = plans[0].faults[0]
+        assert 0 <= fault.operation_index < 100
+        assert fault.kind in CRASH_KINDS
+
+
+class TestOperationCounting:
+    def test_healthy_run_counts_faultable_ops(self, tmp_path):
+        fs = FaultyFilesystem(LocalFileSystem(), FaultPlan.none())
+        run_workload(fs, tmp_path)
+        # 3 writes + 2 fsyncs + 1 replace + 1 directory sync; reads,
+        # opens, and makedirs are not faultable.
+        assert fs.operations == 7
+
+    def test_count_is_workload_deterministic(self, tmp_path):
+        counts = []
+        for run in range(2):
+            fs = FaultyFilesystem(LocalFileSystem(), FaultPlan.none())
+            run_workload(fs, tmp_path / f"run{run}")
+            counts.append(fs.operations)
+        assert counts[0] == counts[1]
+
+
+class TestEachKind:
+    def sweep(self, tmp_path, kind):
+        """Inject ``kind`` at every op index; return outcomes."""
+        healthy = FaultyFilesystem(LocalFileSystem(), FaultPlan.none())
+        run_workload(healthy, tmp_path / "healthy")
+        outcomes = []
+        for index in range(healthy.operations):
+            fs = FaultyFilesystem(
+                LocalFileSystem(), FaultPlan.single(index, kind, seed=index)
+            )
+            try:
+                run_workload(fs, tmp_path / f"{kind}-{index}")
+                outcomes.append("ok")
+            except SimulatedCrash as crash:
+                assert crash.operation_index == index
+                assert crash.kind == kind
+                outcomes.append("crash")
+            except TransientIOError:
+                outcomes.append("transient")
+        return outcomes
+
+    def test_crash_kills_every_index(self, tmp_path):
+        assert set(self.sweep(tmp_path, CRASH)) == {"crash"}
+
+    def test_fsync_crash_kills_every_index(self, tmp_path):
+        assert set(self.sweep(tmp_path, FSYNC_CRASH)) == {"crash"}
+
+    def test_torn_write_kills_every_index(self, tmp_path):
+        assert set(self.sweep(tmp_path, TORN_WRITE)) == {"crash"}
+
+    def test_transient_kinds_surface_as_transient(self, tmp_path):
+        # The raw workload has no retry layer, so the error surfaces.
+        for kind in (WRITE_ERROR, FSYNC_ERROR):
+            assert set(self.sweep(tmp_path, kind)) == {"transient"}
+
+    def test_bit_flip_corrupts_silently(self, tmp_path):
+        clean = run_workload(
+            FaultyFilesystem(LocalFileSystem(), FaultPlan.none()),
+            tmp_path / "clean",
+        )
+        # Index 0 is the first write of data.bin; its flipped byte is
+        # replaced later, so flip index 1 (the replacement's write
+        # lands in the surviving file). Op order: w,w,fsync,w,fsync,...
+        flipped = run_workload(
+            FaultyFilesystem(
+                LocalFileSystem(), FaultPlan.single(3, BIT_FLIP, seed=9)
+            ),
+            tmp_path / "flipped",
+        )
+        assert flipped != clean
+        assert len(flipped) == len(clean)
+        assert sum(a != b for a, b in zip(clean, flipped)) == 1
+
+    def test_torn_write_leaves_a_strict_prefix(self, tmp_path):
+        root = tmp_path / "torn"
+        fs = FaultyFilesystem(
+            LocalFileSystem(), FaultPlan.single(0, TORN_WRITE, seed=3)
+        )
+        fs.makedirs(root)
+        handle = fs.open(root / "f.bin", "wb")
+        payload = b"0123456789abcdef"
+        with pytest.raises(SimulatedCrash):
+            handle.write(payload)
+        handle.close()
+        survived = (root / "f.bin").read_bytes()
+        assert len(survived) < len(payload)
+        assert payload.startswith(survived)
+
+    def test_same_plan_same_wreckage(self, tmp_path):
+        contents = []
+        for run in range(2):
+            root = tmp_path / f"det{run}"
+            fs = FaultyFilesystem(
+                LocalFileSystem(), FaultPlan.single(0, TORN_WRITE, seed=77)
+            )
+            fs.makedirs(root)
+            handle = fs.open(root / "f.bin", "wb")
+            with pytest.raises(SimulatedCrash):
+                handle.write(b"0123456789abcdef")
+            handle.close()
+            contents.append((root / "f.bin").read_bytes())
+        assert contents[0] == contents[1]
+
+    def test_crash_before_replace_preserves_target(self, tmp_path):
+        fs = FaultyFilesystem(LocalFileSystem(), FaultPlan.none())
+        root = tmp_path / "r"
+        fs.makedirs(root)
+        target = root / "t.bin"
+        target.write_bytes(b"old")
+        temporary = root / "t.tmp"
+        temporary.write_bytes(b"new")
+        crashing = FaultyFilesystem(
+            LocalFileSystem(), FaultPlan.single(0, CRASH)
+        )
+        with pytest.raises(SimulatedCrash):
+            crashing.replace(temporary, target)
+        assert target.read_bytes() == b"old"
+        assert temporary.exists()

@@ -1,0 +1,155 @@
+"""RecoveryTracer unit behaviour and its RecoveryManager integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.warehouse import DataWarehouse
+from repro.obs import RecoverySpan, RecoveryTracer
+from repro.obs.clock import FakeClock
+from repro.obs.metrics import MetricsRegistry
+from repro.persist import CheckpointStore, ChecksumMismatch, RecoveryManager
+
+
+class TestTracerUnit:
+    def test_checkpoint_span_uses_injected_clock(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        tracer = RecoveryTracer(registry, clock=clock)
+        started = tracer.begin()
+        clock.advance(0.125)
+        span = tracer.record_checkpoint(started, sequence=42)
+        assert span.event == "checkpoint"
+        assert span.outcome == "ok"
+        assert span.duration_seconds == 0.125
+        assert span.sequence == 42
+        assert registry.value(
+            "repro_checkpoints_total", {"outcome": "ok"}
+        ) == 1.0
+
+    def test_recovery_span_exports_every_metric(self):
+        registry = MetricsRegistry()
+        tracer = RecoveryTracer(registry, clock=FakeClock())
+        tracer.record_recovery(
+            tracer.begin(),
+            sequence=17,
+            replayed_operations=5,
+            checkpoint_sequence=12,
+            torn_tail_dropped=True,
+        )
+        assert registry.value(
+            "repro_recovery_runs_total", {"outcome": "ok"}
+        ) == 1.0
+        assert registry.value(
+            "repro_recovery_replayed_operations_total"
+        ) == 5.0
+        assert registry.value("repro_recovery_torn_tails_total") == 1.0
+
+    def test_failure_outcomes_are_labelled(self):
+        registry = MetricsRegistry()
+        tracer = RecoveryTracer(registry, clock=FakeClock())
+        tracer.record_recovery(
+            tracer.begin(),
+            sequence=-1,
+            replayed_operations=0,
+            checkpoint_sequence=-1,
+            torn_tail_dropped=False,
+            outcome="ChecksumMismatch",
+        )
+        assert registry.value(
+            "repro_recovery_runs_total", {"outcome": "ChecksumMismatch"}
+        ) == 1.0
+
+    def test_span_ring_buffer_keeps_newest(self):
+        tracer = RecoveryTracer(
+            MetricsRegistry(), clock=FakeClock(), max_spans=2
+        )
+        for sequence in (1, 2, 3):
+            tracer.record_checkpoint(tracer.begin(), sequence=sequence)
+        assert [span.sequence for span in tracer.spans()] == [2, 3]
+
+    def test_span_to_dict_is_complete(self):
+        span = RecoverySpan(
+            event="recovery",
+            outcome="ok",
+            duration_seconds=0.5,
+            sequence=9,
+            replayed_operations=3,
+            checkpoint_sequence=6,
+            torn_tail_dropped=False,
+        )
+        payload = span.to_dict()
+        assert payload == {
+            "event": "recovery",
+            "outcome": "ok",
+            "duration_seconds": 0.5,
+            "sequence": 9,
+            "replayed_operations": 3,
+            "checkpoint_sequence": 6,
+            "torn_tail_dropped": False,
+        }
+
+
+class TestManagerIntegration:
+    def build(self, tmp_path, tracer):
+        store = CheckpointStore(tmp_path / "state")
+        manager = RecoveryManager(store, tracer=tracer)
+        warehouse = DataWarehouse()
+        warehouse.create_relation("sales", ["item"])
+        manager.attach(warehouse)
+        return store, manager, warehouse
+
+    def test_checkpoint_and_recovery_emit_spans(self, tmp_path):
+        registry = MetricsRegistry()
+        tracer = RecoveryTracer(registry, clock=FakeClock())
+        _, manager, warehouse = self.build(tmp_path, tracer)
+        for value in range(4):
+            warehouse.insert("sales", (value,))
+        manager.checkpoint()
+        warehouse.insert("sales", (9,))
+        manager.detach()
+
+        survivor = RecoveryManager(
+            CheckpointStore(tmp_path / "state"), tracer=tracer
+        )
+        survivor.recover(seed=1)
+
+        events = [span.event for span in tracer.spans()]
+        assert events == ["checkpoint", "recovery"]
+        checkpoint, recovery = tracer.spans()
+        assert checkpoint.sequence == 4
+        assert recovery.sequence == 5
+        assert recovery.replayed_operations == 1
+        assert recovery.checkpoint_sequence == 4
+        assert not recovery.torn_tail_dropped
+        assert registry.value(
+            "repro_recovery_replayed_operations_total"
+        ) == 1.0
+
+    def test_failed_recovery_is_traced_with_the_error_name(self, tmp_path):
+        registry = MetricsRegistry()
+        tracer = RecoveryTracer(registry, clock=FakeClock())
+        store, manager, warehouse = self.build(tmp_path, tracer)
+        warehouse.insert("sales", (1,))
+        manager.checkpoint()
+        manager.detach()
+        # Corrupt the checkpoint body: recovery must both raise and
+        # leave an audit trail in the metrics.
+        name = [
+            n
+            for n in (tmp_path / "state").iterdir()
+            if n.name.endswith(".ckpt")
+        ][0]
+        data = bytearray(name.read_bytes())
+        data[30] ^= 0x20
+        name.write_bytes(bytes(data))
+
+        survivor = RecoveryManager(
+            CheckpointStore(tmp_path / "state"), tracer=tracer
+        )
+        with pytest.raises(ChecksumMismatch):
+            survivor.recover(seed=1)
+        assert tracer.spans()[-1].outcome == "ChecksumMismatch"
+        assert registry.value(
+            "repro_recovery_runs_total", {"outcome": "ChecksumMismatch"}
+        ) == 1.0

@@ -1,0 +1,294 @@
+"""CheckpointStore and WriteAheadLog unit behaviour.
+
+Atomicity of checkpoint writes, segment rotation/truncation, read-back
+contracts (gaps, torn tails), and the retry policy's transient-only
+backoff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FSYNC_ERROR,
+    WRITE_ERROR,
+    FaultPlan,
+    FaultyFilesystem,
+)
+from repro.persist import (
+    CheckpointStore,
+    LocalFileSystem,
+    LogGapError,
+    RetryPolicy,
+    TornWriteError,
+    TransientIOError,
+    read_operations,
+    segment_name,
+)
+from repro.persist.checkpoint import _checkpoint_name
+from repro.persist.errors import ChecksumMismatch
+
+
+def op(sequence, value=0, insert=True):
+    return {
+        "kind": "op",
+        "sequence": sequence,
+        "relation": "r",
+        "row": [value],
+        "insert": insert,
+    }
+
+
+class TestCheckpointStore:
+    def test_write_then_load_round_trips(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        state = {"relations": {}, "synopses": [], "note": "x"}
+        store.write_checkpoint(12, state)
+        assert store.checkpoint_sequences() == [12]
+        assert store.load_checkpoint(12) == state
+        assert store.latest_checkpoint() == (12, state)
+
+    def test_no_temporaries_survive_a_clean_write(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.write_checkpoint(1, {"a": 1})
+        names = LocalFileSystem().listdir(tmp_path)
+        assert not [n for n in names if n.endswith(".tmp")]
+
+    def test_latest_prefers_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.write_checkpoint(5, {"v": "old"})
+        store.write_checkpoint(9, {"v": "new"})
+        assert store.latest_checkpoint() == (9, {"v": "new"})
+
+    def test_prune_keeps_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for sequence in (1, 2, 3):
+            store.write_checkpoint(sequence, {"s": sequence})
+        assert store.prune_checkpoints(keep=1) == 2
+        assert store.checkpoint_sequences() == [3]
+        with pytest.raises(ValueError):
+            store.prune_checkpoints(keep=0)
+
+    def test_remove_temporaries_cleans_leftovers(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        leftover = tmp_path / (_checkpoint_name(4) + ".tmp")
+        leftover.write_bytes(b"partial")
+        assert store.remove_temporaries() == 1
+        assert not leftover.exists()
+
+    def test_truncated_checkpoint_is_torn(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.write_checkpoint(3, {"a": 1})
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TornWriteError):
+            store.load_checkpoint(3)
+
+    def test_corrupt_checkpoint_is_checksum_mismatch(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.write_checkpoint(3, {"a": 1})
+        data = bytearray(path.read_bytes())
+        data[25] ^= 0x40
+        path.write_bytes(bytes(data))
+        with pytest.raises(ChecksumMismatch):
+            store.latest_checkpoint()  # no silent fallback either
+
+    def test_newer_format_version_is_rejected(self, tmp_path):
+        from repro.persist.framing import encode_frame
+
+        store = CheckpointStore(tmp_path)
+        path = tmp_path / _checkpoint_name(2)
+        path.write_bytes(
+            encode_frame(
+                {
+                    "kind": "checkpoint",
+                    "format_version": 99,
+                    "sequence": 2,
+                    "state": {},
+                }
+            )
+        )
+        with pytest.raises(Exception, match="format 99"):
+            store.load_checkpoint(2)
+
+
+class TestWriteAheadLog:
+    def test_append_and_read_back(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.wal.open_segment(1)
+        for sequence in (1, 2, 3):
+            store.wal.append(op(sequence, value=sequence))
+        store.wal.close()
+        operations, _schemas, torn = read_operations(
+            LocalFileSystem(), store.wal.directory
+        )
+        assert torn is None
+        assert [o["sequence"] for o in operations] == [1, 2, 3]
+
+    def test_rotation_spans_segments(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.wal.open_segment(1)
+        store.wal.append(op(1))
+        store.wal.append(op(2))
+        store.wal.open_segment(3)
+        store.wal.append(op(3))
+        store.wal.close()
+        assert store.wal.segment_bases() == [1, 3]
+        operations, _schemas, _torn = read_operations(
+            LocalFileSystem(), store.wal.directory
+        )
+        assert [o["sequence"] for o in operations] == [1, 2, 3]
+
+    def test_truncate_through_drops_covered_segments(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for base in (1, 3, 5):
+            store.wal.open_segment(base)
+            store.wal.append(op(base))
+            store.wal.append(op(base + 1))
+        store.wal.close()
+        # A checkpoint at sequence 4 covers segments based at 1 and 3.
+        assert store.wal.truncate_through(5) == 2
+        assert store.wal.segment_bases() == [5]
+
+    def test_missing_segment_is_a_gap(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for base in (1, 3, 5):
+            store.wal.open_segment(base)
+            store.wal.append(op(base))
+            store.wal.append(op(base + 1))
+        store.wal.close()
+        (store.wal.directory / segment_name(3)).unlink()
+        with pytest.raises(LogGapError) as excinfo:
+            read_operations(LocalFileSystem(), store.wal.directory)
+        assert excinfo.value.expected == 3
+        assert excinfo.value.found == 5
+
+    def test_torn_tail_in_last_segment_is_tolerated(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.wal.open_segment(1)
+        store.wal.append(op(1))
+        store.wal.append(op(2))
+        store.wal.close()
+        path = store.wal.directory / segment_name(1)
+        path.write_bytes(path.read_bytes()[:-5])
+        operations, _schemas, torn = read_operations(
+            LocalFileSystem(), store.wal.directory
+        )
+        assert [o["sequence"] for o in operations] == [1]
+        assert torn is not None
+
+    def test_torn_tail_strict_mode_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.wal.open_segment(1)
+        store.wal.append(op(1))
+        store.wal.close()
+        path = store.wal.directory / segment_name(1)
+        path.write_bytes(path.read_bytes()[:-5])
+        with pytest.raises(TornWriteError):
+            read_operations(
+                LocalFileSystem(),
+                store.wal.directory,
+                tolerate_torn_tail=False,
+            )
+
+    def test_torn_record_mid_wal_is_never_tolerated(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.wal.open_segment(1)
+        store.wal.append(op(1))
+        store.wal.open_segment(2)
+        store.wal.append(op(2))
+        store.wal.close()
+        first = store.wal.directory / segment_name(1)
+        first.write_bytes(first.read_bytes()[:-5])
+        with pytest.raises(TornWriteError):
+            read_operations(LocalFileSystem(), store.wal.directory)
+
+    def test_append_without_segment_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(RuntimeError, match="open_segment"):
+            store.wal.append(op(1))
+
+    def test_sync_every_groups_fsyncs(self, tmp_path):
+        plan = FaultPlan.none()
+        fs = FaultyFilesystem(LocalFileSystem(), plan)
+        grouped = CheckpointStore(tmp_path / "g", fs, sync_every=4)
+        grouped.wal.open_segment(1)
+        baseline = fs.operations
+        for sequence in range(1, 9):
+            grouped.wal.append(op(sequence))
+        grouped.wal.close()
+        # 8 writes + 2 group fsyncs + 1 unconditional fsync at close.
+        assert fs.operations - baseline == 11
+
+
+class TestRetryPolicy:
+    def test_transient_faults_are_retried(self, tmp_path):
+        sleeps = []
+        policy = RetryPolicy(
+            attempts=3, base_delay=0.5, sleep=sleeps.append
+        )
+        failures = iter([TransientIOError("once"), None])
+
+        def flaky():
+            error = next(failures)
+            if error is not None:
+                raise error
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert sleeps == [0.5]
+
+    def test_backoff_is_deterministic_and_exhaustible(self):
+        sleeps = []
+        policy = RetryPolicy(
+            attempts=3, base_delay=1.0, multiplier=3.0, sleep=sleeps.append
+        )
+
+        def always_failing():
+            raise TransientIOError("always")
+
+        with pytest.raises(TransientIOError):
+            policy.call(always_failing)
+        assert sleeps == [1.0, 3.0]
+
+    def test_non_transient_errors_propagate_immediately(self):
+        sleeps = []
+        policy = RetryPolicy(attempts=5, sleep=sleeps.append)
+
+        def corrupt():
+            raise ChecksumMismatch("f", 0, "bad")
+
+        with pytest.raises(ChecksumMismatch):
+            policy.call(corrupt)
+        assert sleeps == []
+
+    def test_injected_write_fault_is_absorbed_by_store(self, tmp_path):
+        # WRITE_ERROR at a write inside write_checkpoint: the retry
+        # wrapper re-runs the whole temp-file write and succeeds.
+        fs = FaultyFilesystem(
+            LocalFileSystem(), FaultPlan.single(0, WRITE_ERROR)
+        )
+        store = CheckpointStore(tmp_path, fs)
+        store.write_checkpoint(1, {"a": 1})
+        assert store.load_checkpoint(1) == {"a": 1}
+
+    def test_injected_fsync_fault_is_absorbed_by_wal(self, tmp_path):
+        healthy = FaultyFilesystem(LocalFileSystem(), FaultPlan.none())
+        probe = CheckpointStore(tmp_path / "probe", healthy)
+        probe.wal.open_segment(1)
+        probe.wal.append(op(1))
+        probe.wal.close()
+
+        for index in range(healthy.operations):
+            fs = FaultyFilesystem(
+                LocalFileSystem(), FaultPlan.single(index, FSYNC_ERROR)
+            )
+            store = CheckpointStore(tmp_path / f"run{index}", fs)
+            store.wal.open_segment(1)
+            store.wal.append(op(1))
+            store.wal.close()
+            operations, _schemas, torn = read_operations(
+                LocalFileSystem(), store.wal.directory
+            )
+            assert torn is None
+            assert [o["sequence"] for o in operations] == [1]

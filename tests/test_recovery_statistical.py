@@ -1,0 +1,198 @@
+"""Statistical equivalence of crash-recovered synopses (Theorem 2).
+
+A synopsis restored from checkpoint + log-suffix replay continues with
+a *fresh* RNG stream, so it is not bitwise-identical to an uncrashed
+twin.  The paper's guarantee is distributional: the maintained sample
+stays a uniform random sample of the relation regardless of where the
+crash fell.  These tests run an ensemble of crash/recover/continue
+pipelines next to uncrashed twins and compare them with proper
+goodness-of-fit machinery, in the style of ``tests/test_statistical``.
+
+Every trial is deterministic (fixed seeds), so these cannot flake; the
+significance level only calibrates the evidence for these seeds.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+from repro.core.counting import CountingSample
+from repro.engine.warehouse import DataWarehouse
+from repro.persist import CheckpointStore, RecoveryManager
+
+ALPHA = 1e-4  # reject only on overwhelming evidence
+N = 40  # distinct stream values 0..N-1
+M = 8  # synopsis footprint bound
+CRASH_AT = 20  # prefix length seen before the crash
+TRIALS = 400
+
+
+def crash_recover_continue(root, trial):
+    """One pipeline: stream prefix, checkpoint, crash, recover, rest."""
+    store = CheckpointStore(root)
+    manager = RecoveryManager(store)
+    warehouse = DataWarehouse()
+    warehouse.create_relation("s", ["v"])
+    manager.attach(warehouse)
+    sample = CountingSample(M, seed=trial)
+    manager.bind("s", "v", sample)
+    warehouse.add_observer(
+        lambda rel, row, ins: sample.insert(row[0])
+    )
+    for value in range(CRASH_AT):
+        warehouse.insert("s", (value,))
+    manager.checkpoint()
+    # Crash: abandon the live side without detaching, then recover
+    # with a trial-specific seed -- the restored sample's coin flips
+    # are a fresh stream, which is exactly what Theorem 2 permits.
+    state = RecoveryManager(CheckpointStore(root)).recover(
+        seed=50_000 + trial
+    )
+    recovered = state.synopsis("s", "v")
+    for value in range(CRASH_AT, N):
+        recovered.insert(value)
+    return recovered
+
+
+def uncrashed_twin(trial):
+    sample = CountingSample(M, seed=trial)
+    for value in range(N):
+        sample.insert(value)
+    return sample
+
+
+@pytest.fixture(scope="module")
+def ensembles(tmp_path_factory):
+    root = tmp_path_factory.mktemp("recovery-stats")
+    recovered = Counter()
+    uncrashed = Counter()
+    for trial in range(TRIALS):
+        survivor = crash_recover_continue(root / f"t{trial}", trial)
+        survivor.check_invariants()
+        assert survivor.total_inserted == N  # the ledger is exact
+        recovered.update(survivor.as_dict().keys())
+        uncrashed.update(uncrashed_twin(trial).as_dict().keys())
+    return recovered, uncrashed
+
+
+# A skewed stream for answer-level comparison: value v occurs 12 - v
+# times, so low values are "hot" and a counting sample's reported
+# counts are exactly the material of a hot-list answer.
+SKEWED = [v for v in range(1, 11) for _ in range(12 - v)]
+SKEWED_CRASH_AT = 40
+SKEWED_TRIALS = 200
+SKEWED_M = 6
+
+
+def skewed_pipeline(root, trial, *, crash):
+    store = CheckpointStore(root)
+    manager = RecoveryManager(store)
+    warehouse = DataWarehouse()
+    warehouse.create_relation("s", ["v"])
+    manager.attach(warehouse)
+    sample = CountingSample(SKEWED_M, seed=1000 + trial)
+    manager.bind("s", "v", sample)
+    warehouse.add_observer(
+        lambda rel, row, ins: sample.insert(row[0])
+    )
+    if not crash:
+        for value in SKEWED:
+            warehouse.insert("s", (value,))
+        manager.detach()
+        return sample
+    for value in SKEWED[:SKEWED_CRASH_AT]:
+        warehouse.insert("s", (value,))
+    manager.checkpoint()
+    state = RecoveryManager(CheckpointStore(root)).recover(
+        seed=90_000 + trial
+    )
+    recovered = state.synopsis("s", "v")
+    for value in SKEWED[SKEWED_CRASH_AT:]:
+        recovered.insert(value)
+    return recovered
+
+
+@pytest.fixture(scope="module")
+def skewed_ensembles(tmp_path_factory):
+    root = tmp_path_factory.mktemp("recovery-answers")
+    recovered_counts = Counter()
+    uncrashed_counts = Counter()
+    for trial in range(SKEWED_TRIALS):
+        survivor = skewed_pipeline(
+            root / f"c{trial}", trial, crash=True
+        )
+        twin = skewed_pipeline(root / f"u{trial}", trial, crash=False)
+        recovered_counts.update(survivor.as_dict())
+        uncrashed_counts.update(twin.as_dict())
+    return recovered_counts, uncrashed_counts
+
+
+class TestRecoveredAnswers:
+    def test_hot_list_reported_counts_match(self, skewed_ensembles):
+        """The hot-list answer material -- which values a counting
+        sample reports, with what counts -- is homogeneous between
+        crash-recovered synopses and uncrashed twins."""
+        recovered, uncrashed = skewed_ensembles
+        values = sorted(set(recovered) | set(uncrashed))
+        table = np.array(
+            [
+                [recovered[value] for value in values],
+                [uncrashed[value] for value in values],
+            ]
+        )
+        statistic, p_value, _, _ = scipy_stats.chi2_contingency(table)
+        assert p_value > ALPHA, (
+            "recovered hot-list answers diverge from uncrashed twins "
+            f"(chi2={statistic:.1f})"
+        )
+
+    def test_aggregate_mass_is_unbiased(self, skewed_ensembles):
+        """Aggregate answers scale reported counts by n / (mass in
+        sample); the total reported mass must agree across ensembles
+        within a tight tolerance."""
+        recovered, uncrashed = skewed_ensembles
+        recovered_mass = sum(recovered.values())
+        uncrashed_mass = sum(uncrashed.values())
+        assert recovered_mass == pytest.approx(uncrashed_mass, rel=0.05)
+
+
+class TestRecoveredUniformity:
+    def test_inclusion_is_uniform_across_values(self, ensembles):
+        """No stream position is privileged by where the crash fell:
+        pre-crash values (checkpoint + replay) and post-crash values
+        (fresh coin flips) appear equally often across trials."""
+        recovered, _ = ensembles
+        observed = np.array([recovered[value] for value in range(N)])
+        statistic, p_value = scipy_stats.chisquare(observed)
+        assert p_value > ALPHA, (
+            f"recovered inclusion not uniform (chi2={statistic:.1f})"
+        )
+
+    def test_matches_the_uncrashed_ensemble(self, ensembles):
+        """Homogeneity: the recovered ensemble's inclusion counts are
+        indistinguishable from uncrashed twins over the same stream."""
+        recovered, uncrashed = ensembles
+        table = np.array(
+            [
+                [recovered[value] for value in range(N)],
+                [uncrashed[value] for value in range(N)],
+            ]
+        )
+        statistic, p_value, _, _ = scipy_stats.chi2_contingency(table)
+        assert p_value > ALPHA, (
+            "crash-recovered ensemble diverges from uncrashed twins "
+            f"(chi2={statistic:.1f})"
+        )
+
+    def test_uncrashed_baseline_is_itself_uniform(self, ensembles):
+        """Calibration: the same test applied to the twins, so a
+        failure above cannot be blamed on the harness."""
+        _, uncrashed = ensembles
+        observed = np.array([uncrashed[value] for value in range(N)])
+        _, p_value = scipy_stats.chisquare(observed)
+        assert p_value > ALPHA

@@ -775,9 +775,9 @@ class TestInfrastructure:
 
     def test_every_rule_has_distinct_code(self) -> None:
         rule_codes = [rule.code for rule in ALL_RULES]
-        assert len(rule_codes) == len(set(rule_codes)) == 9
+        assert len(rule_codes) == len(set(rule_codes)) == 10
         assert sorted(rule_codes) == [
-            f"RL{index:03d}" for index in range(1, 10)
+            f"RL{index:03d}" for index in range(1, 11)
         ]
 
     def test_suppressed_findings_parse(self, tmp_path: Path) -> None:
@@ -855,3 +855,97 @@ def test_live_tree_has_no_suppressions() -> None:
         and "reprolint: disable" in path.read_text(encoding="utf-8")
     ]
     assert offenders == []
+
+
+# ----------------------------------------------------------------------
+# RL010: file I/O confined to repro.persist
+# ----------------------------------------------------------------------
+
+
+class TestConfinedFileIO:
+    def test_open_in_core_fires(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/core/x.py",
+            """\
+            def slurp(path: str) -> str:
+                with open(path) as handle:
+                    return handle.read()
+            """,
+        )
+        assert codes(findings) == {"RL010"}
+
+    def test_os_calls_in_engine_fire(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/engine/x.py",
+            """\
+            import os
+
+            def persist(fd: int, a: str, b: str) -> None:
+                os.fsync(fd)
+                os.replace(a, b)
+            """,
+        )
+        assert codes(findings) == {"RL010"}
+        assert len(findings) == 2
+
+    def test_pathlib_write_methods_fire(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/obs/x.py",
+            """\
+            from pathlib import Path
+
+            def dump(path: Path, payload: str) -> None:
+                path.write_text(payload)
+            """,
+        )
+        assert codes(findings) == {"RL010"}
+
+    def test_from_os_import_fires(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/stats/x.py",
+            """\
+            from os import replace
+            """,
+        )
+        assert codes(findings) == {"RL010"}
+
+    def test_persist_package_is_exempt(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/persist/x.py",
+            """\
+            import os
+
+            def durable(fd: int, path: str) -> None:
+                os.fsync(fd)
+                with open(path, "rb") as handle:
+                    handle.read()
+            """,
+        )
+        assert "RL010" not in codes(findings)
+
+    def test_tests_and_benchmarks_are_exempt(self, tmp_path: Path) -> None:
+        source = """\
+            def slurp(path: str) -> str:
+                with open(path) as handle:
+                    return handle.read()
+            """
+        for relpath in ("tests/x.py", "benchmarks/x.py"):
+            findings = lint_file(tmp_path, relpath, source)
+            assert "RL010" not in codes(findings)
+
+    def test_suppression_comment(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/core/x.py",
+            """\
+            def slurp(path: str) -> str:
+                with open(path) as handle:  # reprolint: disable=RL010
+                    return handle.read()
+            """,
+        )
+        assert "RL010" not in codes(findings)
