@@ -47,6 +47,7 @@ _IO_CALLS = frozenset(
 _WRITE_ATTRIBUTES = frozenset({"write_text", "write_bytes"})
 _OS_NAMES = frozenset(
     {
+        "open",
         "fsync",
         "fdatasync",
         "fdopen",
@@ -90,12 +91,34 @@ class ConfinedFileIORule(Rule):
             "route file access through repro.persist (CheckpointStore "
             "or a FileSystem argument)"
         )
+        # ``import os as x`` would otherwise launder every os.* call
+        # past the dotted-name match below.
+        os_aliases = {
+            alias.asname or alias.name
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Import)
+            for alias in node.names
+            if alias.name == "os"
+        }
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
                 name = dotted_name(node.func)
                 if name in _IO_CALLS:
                     yield self.finding(
                         module, node, f"direct call to `{name}()`", hint
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in os_aliases
+                    and node.func.attr in _OS_NAMES
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"direct call to `os.{node.func.attr}()` via "
+                        f"alias `{node.func.value.id}`",
+                        hint,
                     )
                 elif (
                     isinstance(node.func, ast.Attribute)

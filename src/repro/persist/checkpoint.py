@@ -31,7 +31,12 @@ from repro.persist.errors import (
     TornWriteError,
 )
 from repro.persist.framing import decode_frames, encode_frame
-from repro.persist.fsio import FileSystem, LocalFileSystem
+from repro.persist.fsio import (
+    FileSystem,
+    LocalFileSystem,
+    remove_idempotent,
+    replace_idempotent,
+)
 from repro.persist.retry import RetryPolicy
 from repro.persist.wal import WriteAheadLog
 
@@ -147,7 +152,9 @@ class CheckpointStore:
                 handle.close()
 
         self._retry.call(write_temp)
-        self._retry.call(lambda: self._fs.replace(temporary, final))
+        self._retry.call(
+            lambda: replace_idempotent(self._fs, temporary, final)
+        )
         self._retry.call(lambda: self._fs.sync_directory(self._directory))
         self._written.inc()
         return final
@@ -219,7 +226,7 @@ class CheckpointStore:
         stale = sequences[:-keep] if len(sequences) > keep else []
         for sequence in stale:
             path = self._directory / _checkpoint_name(sequence)
-            self._retry.call(lambda: self._fs.remove(path))
+            self._retry.call(lambda p=path: remove_idempotent(self._fs, p))
         if stale:
             self._retry.call(
                 lambda: self._fs.sync_directory(self._directory)
@@ -233,7 +240,7 @@ class CheckpointStore:
         for name in self._fs.listdir(self._directory):
             if name.endswith(".tmp"):
                 path = self._directory / name
-                self._retry.call(lambda: self._fs.remove(path))
+                self._retry.call(lambda p=path: remove_idempotent(self._fs, p))
                 removed += 1
         return removed
 

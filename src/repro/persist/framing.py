@@ -2,10 +2,11 @@
 
 Every durable record is one line::
 
-    <length:08x> <crc32:08x> <payload JSON>\\n
+    <length:08x> <crc32:08x> <hcrc32:08x> <payload JSON>\\n
 
-The fixed 18-byte ASCII header carries the payload length and its
-CRC-32, so the reader can tell the two crash signatures apart:
+The fixed 27-byte ASCII header carries the payload length, the
+payload's CRC-32, and a CRC-32 of the two preceding fields, so the
+reader can tell the two crash signatures apart:
 
 * A **torn write** (crash mid-append, truncated file) leaves a strict
   *prefix* of a valid frame -- an incomplete header, fewer payload
@@ -15,15 +16,18 @@ CRC-32, so the reader can tell the two crash signatures apart:
   tail of the last WAL segment, fatal anywhere else).
 * **Corruption** (flipped bytes) produces a state a torn write cannot:
   a complete frame whose CRC fails, a complete-but-malformed header
-  (torn writes only leave *prefixes* of valid frames), or a wrong
-  terminator byte with further data behind it.  All of these raise
-  :class:`~repro.persist.errors.ChecksumMismatch` immediately.
+  (torn writes only leave *prefixes* of valid frames), a complete
+  header whose own checksum fails, or a wrong terminator byte.  All of
+  these raise :class:`~repro.persist.errors.ChecksumMismatch`
+  immediately.
 
-One genuinely ambiguous case remains: a corrupted length field that
-still parses as hex makes the frame appear to run past the end of the
-file, which reads as a torn tail.  The WAL layer therefore never
-*silently* applies tail-dropping -- the drop point is reported on the
-recovery result (see docs/recovery.md).
+The header checksum exists for one specific attack on the triage: a
+flipped bit inside the *length* field would otherwise make the frame
+appear to run past the end of the file and read as a torn tail --
+which tolerant recovery would then silently truncate away along with
+every acknowledged record behind it.  With the header self-checked, a
+flipped length is plain corruption and tail-dropping only ever drops
+the genuinely unfinished final record.
 
 The payload is compact JSON with sorted keys, so encoding is
 deterministic and the frame round-trips bit-exactly.
@@ -45,8 +49,12 @@ __all__ = [
     "encode_frame",
 ]
 
-# "%08x %08x " -- two hex words and their separators.
-HEADER_LENGTH = 18
+# "%08x %08x %08x " -- three hex words and their separators.
+HEADER_LENGTH = 27
+
+#: How many leading header bytes the header checksum covers (the
+#: length and payload-CRC fields, separators included).
+_CHECKED_PREFIX = 18
 
 _HEX_DIGITS = frozenset(b"0123456789abcdef")
 
@@ -64,14 +72,15 @@ def encode_frame(payload: Mapping[str, Any]) -> bytes:
     body = json.dumps(
         dict(payload), sort_keys=True, separators=(",", ":")
     ).encode("utf-8")
-    header = b"%08x %08x " % (len(body), zlib.crc32(body))
+    fields = b"%08x %08x " % (len(body), zlib.crc32(body))
+    header = fields + b"%08x " % zlib.crc32(fields)
     return header + body + b"\n"
 
 
 def _header_is_prefix_shaped(fragment: bytes) -> bool:
     """Whether a partial header could still grow into a valid one."""
     for index, byte in enumerate(fragment):
-        expected_space = index in (8, 17)
+        expected_space = index in (8, 17, 26)
         if expected_space:
             if byte != ord(" "):
                 return False
@@ -104,9 +113,22 @@ def decode_frames(
                 source, offset, "malformed partial header at end of data"
             )
         if not _header_is_prefix_shaped(header):
-            # A complete 18-byte header was written; a malformed one
+            # A complete 27-byte header was written; a malformed one
             # can only come from flipped bytes, never a torn write.
             raise ChecksumMismatch(source, offset, "malformed frame header")
+        declared_header_crc = int(header[18:26], 16)
+        actual_header_crc = zlib.crc32(header[:_CHECKED_PREFIX])
+        if actual_header_crc != declared_header_crc:
+            # The length/CRC fields do not hash to the header's own
+            # checksum: a flipped length would otherwise masquerade as
+            # a torn tail and get truncated away with everything
+            # behind it.
+            raise ChecksumMismatch(
+                source,
+                offset,
+                f"header says {declared_header_crc:#010x}, its fields "
+                f"hash to {actual_header_crc:#010x}",
+            )
         length = int(header[0:8], 16)
         expected_crc = int(header[9:17], 16)
         body_start = offset + HEADER_LENGTH

@@ -20,7 +20,12 @@ import os
 from pathlib import Path
 from typing import BinaryIO, Protocol
 
-__all__ = ["FileSystem", "LocalFileSystem"]
+__all__ = [
+    "FileSystem",
+    "LocalFileSystem",
+    "remove_idempotent",
+    "replace_idempotent",
+]
 
 
 class FileSystem(Protocol):
@@ -45,6 +50,38 @@ class FileSystem(Protocol):
     def exists(self, path: Path) -> bool: ...
 
     def size(self, path: Path) -> int: ...
+
+
+def remove_idempotent(filesystem: FileSystem, path: Path) -> None:
+    """Delete ``path``, treating "already gone" as success.
+
+    Deletes that run under a :class:`~repro.persist.retry.RetryPolicy`
+    must tolerate an earlier attempt having taken effect before its
+    transient error surfaced -- the retry re-runs the whole callable,
+    and a bare ``remove`` would then fail the operation it already
+    performed.
+    """
+    try:
+        filesystem.remove(path)
+    except FileNotFoundError:
+        pass
+
+
+def replace_idempotent(
+    filesystem: FileSystem, source: Path, destination: Path
+) -> None:
+    """Rename ``source`` over ``destination``, tolerating a done retry.
+
+    When a retried rename finds ``source`` gone but ``destination``
+    present, a previous attempt already took effect and the rename is
+    a success; any other missing-file state is a real error and
+    propagates.
+    """
+    try:
+        filesystem.replace(source, destination)
+    except FileNotFoundError:
+        if filesystem.exists(source) or not filesystem.exists(destination):
+            raise
 
 
 class LocalFileSystem:

@@ -46,7 +46,7 @@ from repro.obs.recovery import RecoveryTracer
 from repro.persist.checkpoint import CheckpointStore
 from repro.persist.errors import LogGapError, ReplayError
 from repro.persist.framing import TornTail
-from repro.persist.wal import read_operations, segment_name
+from repro.persist.wal import read_operations
 from repro.randkit.rng import ReproRandom
 
 __all__ = ["RecoveredState", "RecoveryManager", "SynopsisBinding"]
@@ -125,6 +125,9 @@ class RecoveryManager:
         self._warehouse: DataWarehouse | None = None
         self._bindings: list[SynopsisBinding] = []
         self._sequence = 0  # last acknowledged operation sequence
+        # Relations the open WAL segment carries a schema record for;
+        # an op on any other relation writes its schema first.
+        self._segment_relations: set[str] = set()
 
     @property
     def store(self) -> CheckpointStore:
@@ -167,7 +170,8 @@ class RecoveryManager:
         Makes every segment self-describing, so a crash *before the
         first checkpoint* is still recoverable: replay can re-create
         the relations from the WAL alone.  Relations created after
-        :meth:`attach` become durable at the next checkpoint.
+        :meth:`attach` are described lazily by :meth:`_observe` at
+        their first logged operation.
         """
         if self._warehouse is None:
             return
@@ -175,10 +179,28 @@ class RecoveryManager:
             name: list(self._warehouse.relation(name).attributes)
             for name in self._warehouse.relation_names()
         }
+        self._segment_relations = set(relations)
         if relations:
             self._store.wal.append(
                 {"kind": "schema", "relations": relations}
             )
+
+    def _append_schema_for(self, relation: str) -> None:
+        """Describe one late-created relation in the open segment.
+
+        A relation created after :meth:`attach` (or after the last
+        checkpoint rotation) has no schema record yet; its first
+        operation must not become durable before the schema that makes
+        it replayable, or recovery of the whole store would fail with
+        a :class:`~repro.persist.errors.ReplayError`.
+        """
+        if self._warehouse is None:
+            return
+        attributes = list(self._warehouse.relation(relation).attributes)
+        self._store.wal.append(
+            {"kind": "schema", "relations": {relation: attributes}}
+        )
+        self._segment_relations.add(relation)
 
     def detach(self) -> None:
         """Unsubscribe and close the open WAL segment."""
@@ -188,6 +210,8 @@ class RecoveryManager:
         self._store.wal.close()
 
     def _observe(self, relation: str, row: tuple, is_insert: bool) -> None:
+        if relation not in self._segment_relations:
+            self._append_schema_for(relation)
         sequence = self._sequence + 1
         self._store.wal.append(
             {
@@ -398,7 +422,10 @@ class RecoveryManager:
             sequence = int(operation["sequence"])
 
         if torn is not None:
-            self._repair_torn_tail(torn)
+            # Truncate the last segment to its clean prefix -- without
+            # this, a second recovery would find the same torn record
+            # mid-WAL once new segments are appended after it.
+            store.wal.repair_tail(torn.offset)
 
         self._warehouse = None
         self._bindings = bindings
@@ -414,26 +441,3 @@ class RecoveryManager:
             checkpoint_sequence=checkpoint_sequence,
             torn_tail=torn,
         )
-
-    def _repair_torn_tail(self, torn: TornTail) -> None:
-        """Truncate the last segment to its clean prefix.
-
-        Without this, a second recovery would find the same torn
-        record mid-WAL once new segments are appended after it.
-        """
-        store = self._store
-        filesystem = store.filesystem
-        bases = store.wal.segment_bases()
-        if not bases:
-            return
-        path = store.wal.directory / segment_name(bases[-1])
-        data = filesystem.read_bytes(path)
-        temporary = path.with_name(path.name + ".tmp")
-        handle = filesystem.open(temporary, "wb")
-        try:
-            handle.write(data[: torn.offset])
-            filesystem.fsync(handle)
-        finally:
-            handle.close()
-        filesystem.replace(temporary, path)
-        filesystem.sync_directory(store.wal.directory)

@@ -38,7 +38,11 @@ from repro.persist.errors import (
     TornWriteError,
 )
 from repro.persist.framing import TornTail, decode_frames, encode_frame
-from repro.persist.fsio import FileSystem
+from repro.persist.fsio import (
+    FileSystem,
+    remove_idempotent,
+    replace_idempotent,
+)
 from repro.persist.retry import RetryPolicy
 
 __all__ = [
@@ -227,7 +231,9 @@ class WriteAheadLog:
         for base, next_base in zip(bases, bases[1:], strict=False):
             if next_base - 1 <= sequence and base != self._base:
                 path = self._directory / segment_name(base)
-                self._retry.call(lambda: self._fs.remove(path))
+                self._retry.call(
+                    lambda p=path: remove_idempotent(self._fs, p)
+                )
                 removed += 1
         if removed:
             self._retry.call(
@@ -235,6 +241,38 @@ class WriteAheadLog:
             )
             self._truncated.inc(removed)
         return removed
+
+    def repair_tail(self, offset: int) -> None:
+        """Truncate the newest segment to ``offset`` bytes.
+
+        The torn-tail repair: after recovery tolerates a torn record
+        at the physical tail of the last segment, the damaged bytes
+        must go, or a later rotation would leave the same torn record
+        mid-WAL where it is fatal.  Uses the same atomic
+        temp-file+rename recipe and retry policy as every other
+        mutation, so a transient fault during repair is absorbed
+        rather than aborting recovery.
+        """
+        bases = self.segment_bases()
+        if not bases:
+            return
+        path = self._directory / segment_name(bases[-1])
+        data = self._fs.read_bytes(path)
+        temporary = path.with_name(path.name + ".tmp")
+
+        def write_prefix() -> None:
+            handle = self._fs.open(temporary, "wb")
+            try:
+                handle.write(data[:offset])
+                self._fs.fsync(handle)
+            finally:
+                handle.close()
+
+        self._retry.call(write_prefix)
+        self._retry.call(
+            lambda: replace_idempotent(self._fs, temporary, path)
+        )
+        self._retry.call(lambda: self._fs.sync_directory(self._directory))
 
 
 def read_operations(

@@ -308,8 +308,12 @@ class TestEveryFaultPoint:
 
     def test_bit_flips_are_never_silent(self, tmp_path):
         """Flip one bit at every op index: recovery must either raise
-        a typed error, or report a dropped torn tail, or land on the
-        exact final state -- never quietly serve corrupted rows."""
+        a typed error or land on the exact final state -- never
+        quietly serve corrupted rows.  The frame header carries its
+        own CRC, so even a flipped length field is classified as
+        corruption rather than masquerading as a droppable torn tail
+        (a clean recovery that silently lost records is the one
+        outcome that must not exist)."""
         total = count_operations(tmp_path)
         full = len(OPS)
         for index in range(total):
@@ -321,12 +325,10 @@ class TestEveryFaultPoint:
             assert acked == full
             if error is not None:
                 continue  # typed refusal is a correct outcome
-            if state.sequence != full:
-                # A flip in a length field masquerades as a torn tail;
-                # the framing layer cannot tell, but it must REPORT the
-                # drop rather than swallow it.
-                assert state.torn_tail is not None
-                assert state.sequence == full - 1
+            assert state.sequence == full, (
+                f"flip@{index}: clean recovery lost records "
+                f"({state.sequence} < {full})"
+            )
             restored = Counter(state.warehouse.relation("sales").rows())
             assert restored == expected_rows(state.sequence)
 

@@ -3,8 +3,9 @@
 The recovery contract rests on :mod:`repro.persist.framing` being able
 to classify any byte-level damage: a truncation (what a torn write
 leaves) is reported as a :class:`TornTail`, and a bit flip (what real
-corruption looks like) either raises :class:`ChecksumMismatch` or
-shows up as a reported torn tail -- never a silent clean decode.
+corruption looks like) raises :class:`ChecksumMismatch` -- the header
+carries its own CRC, so even a flipped length field is corruption, not
+a torn tail, and never a silent clean decode.
 """
 
 from __future__ import annotations
@@ -61,8 +62,15 @@ class TestRoundTrip:
     def test_header_is_fixed_width(self):
         frame = encode_frame({"x": 1})
         assert frame[8:9] == b" " and frame[17:18] == b" "
+        assert frame[26:27] == b" "
         assert frame.endswith(b"\n")
         assert int(frame[0:8], 16) == len(frame) - HEADER_LENGTH - 1
+
+    def test_header_carries_its_own_checksum(self):
+        import zlib
+
+        frame = encode_frame({"x": 1})
+        assert int(frame[18:26], 16) == zlib.crc32(frame[:18])
 
     def test_empty_data_decodes_clean(self):
         assert decode_frames(b"", source="test") == ([], None)
@@ -122,14 +130,11 @@ class TestBitFlips:
         )
         position %= len(data)
         data[position] ^= 1 << bit
-        try:
-            frames, torn = decode_frames(bytes(data), source="test")
-        except ChecksumMismatch:
-            return  # definitively classified as corruption
-        # The remaining legal outcome is a reported torn tail (a
-        # corrupted length field is indistinguishable from truncation);
-        # a full clean decode of the original records must not happen.
-        assert not (torn is None and frames == records)
+        # With the header self-checked, every single-bit flip in a
+        # complete frame stream is definitively corruption -- a flipped
+        # length field can no longer masquerade as a torn tail.
+        with pytest.raises(ChecksumMismatch):
+            decode_frames(bytes(data), source="test")
 
     def test_flip_in_body_raises_checksum_mismatch(self):
         data = bytearray(encode_frame({"kind": "op", "sequence": 7}))
@@ -156,12 +161,18 @@ class TestBitFlips:
         with pytest.raises(ChecksumMismatch, match="terminator"):
             decode_frames(data, source="seg")
 
-    def test_oversized_length_field_reads_as_torn(self):
-        # The documented ambiguity: a corrupted length that still
-        # parses as hex makes the frame run past EOF.  It must be
-        # *reported*, not silently dropped.
+    def test_corrupt_length_field_is_corruption_not_torn(self):
+        # A corrupted length that still parses as hex would make the
+        # frame appear to run past EOF -- the header checksum catches
+        # it, so tolerant recovery never tail-drops acked records
+        # behind a flipped length.
         data = bytearray(encode_frame({"x": 1}))
         data[0:8] = b"0000ffff"
-        frames, torn = decode_frames(bytes(data), source="seg")
+        with pytest.raises(ChecksumMismatch, match="header"):
+            decode_frames(bytes(data), source="seg")
+
+    def test_truncation_mid_payload_still_reads_as_torn(self):
+        data = encode_frame({"x": 1})
+        frames, torn = decode_frames(data[:-3], source="seg")
         assert frames == []
         assert torn is not None and torn.reason == "incomplete payload"

@@ -29,6 +29,35 @@ from repro.persist.checkpoint import _checkpoint_name
 from repro.persist.errors import ChecksumMismatch
 
 
+class _PostEffectTransient:
+    """A filesystem whose remove/replace take effect, *then* raise once.
+
+    The fault injector always fails before the operation happens; this
+    wrapper models the other real-world ordering, where the transient
+    error surfaces after the change reached the disk and the retry
+    re-runs an operation that already succeeded.
+    """
+
+    def __init__(self, inner, ops):
+        self._inner = inner
+        self._pending = set(ops)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def remove(self, path):
+        self._inner.remove(path)
+        if "remove" in self._pending:
+            self._pending.discard("remove")
+            raise TransientIOError("post-effect remove")
+
+    def replace(self, source, destination):
+        self._inner.replace(source, destination)
+        if "replace" in self._pending:
+            self._pending.discard("replace")
+            raise TransientIOError("post-effect replace")
+
+
 def op(sequence, value=0, insert=True):
     return {
         "kind": "op",
@@ -261,6 +290,36 @@ class TestRetryPolicy:
         with pytest.raises(ChecksumMismatch):
             policy.call(corrupt)
         assert sleeps == []
+
+    def test_post_effect_transient_remove_is_idempotent(self, tmp_path):
+        # A real transient-I/O source can surface its error *after*
+        # the delete took effect; the retried callable must treat
+        # "already gone" as success instead of failing the checkpoint.
+        fs = _PostEffectTransient(LocalFileSystem(), ops={"remove"})
+        store = CheckpointStore(tmp_path, fs)
+        for sequence in (1, 2):
+            store.write_checkpoint(sequence, {"s": sequence})
+        assert store.prune_checkpoints(keep=1) == 1
+        assert store.checkpoint_sequences() == [2]
+
+    def test_post_effect_transient_replace_is_idempotent(self, tmp_path):
+        fs = _PostEffectTransient(LocalFileSystem(), ops={"replace"})
+        store = CheckpointStore(tmp_path, fs)
+        store.write_checkpoint(1, {"a": 1})
+        assert store.load_checkpoint(1) == {"a": 1}
+        names = LocalFileSystem().listdir(tmp_path)
+        assert not [n for n in names if n.endswith(".tmp")]
+
+    def test_post_effect_transient_truncate_is_idempotent(self, tmp_path):
+        fs = _PostEffectTransient(LocalFileSystem(), ops={"remove"})
+        store = CheckpointStore(tmp_path, fs)
+        for base in (1, 3):
+            store.wal.open_segment(base)
+            store.wal.append(op(base))
+            store.wal.append(op(base + 1))
+        store.wal.close()
+        assert store.wal.truncate_through(2) == 1
+        assert store.wal.segment_bases() == [3]
 
     def test_injected_write_fault_is_absorbed_by_store(self, tmp_path):
         # WRITE_ERROR at a write inside write_checkpoint: the retry

@@ -134,6 +134,44 @@ class TestHappyPath:
         assert [e.sequence for e in mirror.entries_since(0)] == [5]
 
 
+class TestLateCreatedRelations:
+    """Relations created after attach must be replayable from the WAL.
+
+    Their schema record is appended lazily at the first logged op, so
+    a crash before the next checkpoint never strands acknowledged
+    operations behind a `ReplayError` (regression: previously schema
+    was written only at attach and rotation, making the whole store
+    unrecoverable).
+    """
+
+    def test_relation_created_after_attach_recovers(self, tmp_path):
+        _, manager, warehouse = build_live(tmp_path)
+        warehouse.insert("sales", (1, 1))
+        warehouse.create_relation("returns", ["item"])
+        warehouse.insert("returns", (2,))
+        manager.detach()
+
+        state = reopen(tmp_path)
+        assert state.sequence == 2
+        restored = state.warehouse.relation("returns")
+        assert Counter(restored.rows()) == Counter([(2,)])
+
+    def test_relation_created_after_checkpoint_recovers(self, tmp_path):
+        _, manager, warehouse = build_live(tmp_path)
+        warehouse.insert("sales", (1, 1))
+        manager.checkpoint()
+        warehouse.create_relation("returns", ["item"])
+        warehouse.insert("returns", (2,))
+        warehouse.insert("returns", (3,))
+        manager.detach()
+
+        state = reopen(tmp_path)
+        assert state.checkpoint_sequence == 1
+        assert state.sequence == 3
+        restored = state.warehouse.relation("returns")
+        assert Counter(restored.rows()) == Counter([(2,), (3,)])
+
+
 class TestTornTailRepair:
     def tear_last_segment(self, store):
         base = store.wal.segment_bases()[-1]
@@ -159,6 +197,29 @@ class TestTornTailRepair:
         again = reopen(tmp_path)
         assert again.torn_tail is None
         assert again.sequence == 5
+
+    def test_transient_fault_during_repair_is_retried(self, tmp_path):
+        from repro.faults import WRITE_ERROR, FaultPlan, FaultyFilesystem
+        from repro.persist import LocalFileSystem
+
+        store, manager, warehouse = build_live(tmp_path)
+        for i in range(8):
+            warehouse.insert("sales", (i, i))
+        manager.detach()
+        # The repair path is write-prefix, fsync, replace, dir-sync; a
+        # transient fault at each step must be absorbed by the retry
+        # policy, not abort recovery.  Each tear drops one record, so
+        # the recovered sequence steps down by one per iteration.
+        for index in range(4):
+            self.tear_last_segment(store)
+            fs = FaultyFilesystem(
+                LocalFileSystem(), FaultPlan.single(index, WRITE_ERROR)
+            )
+            state = RecoveryManager(
+                CheckpointStore(tmp_path / "state", fs)
+            ).recover(seed=17)
+            assert state.torn_tail is not None
+            assert state.sequence == 7 - index
 
     def test_strict_mode_refuses_the_torn_tail(self, tmp_path):
         from repro.persist import TornWriteError

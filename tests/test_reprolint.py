@@ -913,6 +913,44 @@ class TestConfinedFileIO:
         )
         assert codes(findings) == {"RL010"}
 
+    def test_from_os_import_open_fires(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/stats/x.py",
+            """\
+            from os import open
+            """,
+        )
+        assert codes(findings) == {"RL010"}
+
+    def test_aliased_os_calls_fire(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/engine/x.py",
+            """\
+            import os as operating_system
+
+            def persist(fd: int, path: str) -> None:
+                operating_system.fsync(fd)
+                operating_system.open(path, 0)
+            """,
+        )
+        assert codes(findings) == {"RL010"}
+        assert len(findings) == 2
+
+    def test_aliased_os_non_io_calls_do_not_fire(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/engine/x.py",
+            """\
+            import os as operating_system
+
+            def cores() -> int:
+                return operating_system.cpu_count() or 1
+            """,
+        )
+        assert "RL010" not in codes(findings)
+
     def test_persist_package_is_exempt(self, tmp_path: Path) -> None:
         findings = lint_file(
             tmp_path,
