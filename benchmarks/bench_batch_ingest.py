@@ -14,6 +14,7 @@ Run with ``PYTHONPATH=src python benchmarks/bench_batch_ingest.py``.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -23,15 +24,20 @@ from repro.engine import ApproximateAnswerEngine, DataWarehouse
 from repro.obs.clock import perf_counter
 from repro.streams import zipf_stream
 
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
 # The acceptance configuration: zipf-1.25 stream, N=500K, footprint
 # 1000 (paper-scale stream; the batch speedups only grow with N).
-N = 500_000
-DOMAIN = 50_000
+N = 2_000 if SMOKE else 500_000
+DOMAIN = 200 if SMOKE else 50_000
 SKEW = 1.25
-FOOTPRINT = 1_000
+FOOTPRINT = 64 if SMOKE else 1_000
 SHARDS = 4
-RESULT_PATH = Path(__file__).resolve().parent.parent / (
-    "BENCH_batch_ingest.json"
+ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = (
+    ROOT / "bench_out" / "BENCH_batch_ingest.json"
+    if SMOKE
+    else ROOT / "BENCH_batch_ingest.json"
 )
 
 
@@ -138,6 +144,7 @@ def main() -> dict:
         ShardedSynopsis.counting, stream
     )
 
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(json.dumps(results, indent=2))
     print(f"\nwritten to {RESULT_PATH}")

@@ -1,0 +1,212 @@
+"""Durable ingest throughput: per-row WAL appends vs group commit.
+
+The durable batch fast path collapses a whole ``load_batch`` into one
+columnar WAL record -- one frame-encode buffer, one retried write, one
+fsync point -- where the per-row path pays all three per row.  This
+benchmark ingests the same stream three ways under ``sync_every=1``
+durability (an operation/batch is acknowledged only after its fsync
+point):
+
+* **durable per-row** -- ``warehouse.insert`` under an attached
+  :class:`~repro.persist.recovery.RecoveryManager`: one ``op`` record,
+  one write, one fsync per row;
+* **durable batch** -- ``warehouse.load_batch``: one ``batch`` record
+  and one fsync per batch, same acknowledged-durability per batch;
+* **non-durable batch** -- ``load_batch`` with no manager attached,
+  as the ceiling.
+
+It then crashes each durable tree (abandon without detaching) and
+times recovery, so the vectorized batch replay (columnar decode +
+``insert_batch`` + synopsis ``insert_array``) is measured against the
+row-loop replay of an equivalent per-row WAL.
+
+Writes ``BENCH_durable_ingest.json`` at the repository root.  With
+``REPRO_BENCH_SMOKE=1`` runs tiny sizes and writes under
+``bench_out/`` instead (the CI smoke job).
+
+Run with ``PYTHONPATH=src python benchmarks/bench_durable_ingest.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import CountingSample
+from repro.engine import DataWarehouse
+from repro.obs.clock import perf_counter
+from repro.persist import CheckpointStore, RecoveryManager
+from repro.streams import zipf_stream
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+N = 400 if SMOKE else 20_000
+BATCH = 50 if SMOKE else 1_000
+DOMAIN = 100 if SMOKE else 2_000
+SKEW = 1.0
+FOOTPRINT = 32 if SMOKE else 500
+REPEATS = 1 if SMOKE else 3
+ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = (
+    ROOT / "bench_out" / "BENCH_durable_ingest.json"
+    if SMOKE
+    else ROOT / "BENCH_durable_ingest.json"
+)
+
+
+class _SampleTap:
+    """A live synopsis observer with both row and batch entry points."""
+
+    def __init__(self, sample: CountingSample) -> None:
+        self.sample = sample
+
+    def __call__(self, relation: str, row: tuple, is_insert: bool) -> None:
+        self.sample.insert(row[0])
+
+    def observe_batch(self, relation: str, columns) -> None:
+        self.sample.insert_array(columns["item"])
+
+
+def _pipeline(root: Path, *, durable: bool):
+    """Build warehouse + synopsis, optionally under a recovery manager."""
+    warehouse = DataWarehouse()
+    warehouse.create_relation("sales", ["item"])
+    manager = None
+    if durable:
+        store = CheckpointStore(root, sync_every=1)
+        manager = RecoveryManager(store)
+        manager.attach(warehouse)
+        manager.bind("sales", "item", CountingSample(FOOTPRINT, seed=2))
+        # Checkpoint the empty state so recovery replays the whole WAL.
+        manager.checkpoint()
+    warehouse.add_observer(_SampleTap(CountingSample(FOOTPRINT, seed=3)))
+    return warehouse, manager
+
+
+def _wal_bytes(root: Path) -> int:
+    directory = root / "wal"
+    if not directory.is_dir():
+        return 0
+    return sum(path.stat().st_size for path in directory.iterdir())
+
+
+def ingest_per_row(root: Path, stream, *, durable: bool) -> dict:
+    warehouse, _ = _pipeline(root, durable=durable)
+    start = perf_counter()
+    for value in stream.tolist():
+        warehouse.insert("sales", (value,))
+    elapsed = perf_counter() - start
+    # Crash: abandon without detaching; acked rows are fsynced.
+    return {
+        "ingest_seconds": round(elapsed, 4),
+        "rows_per_second": round(N / elapsed),
+        "fsync_points": N if durable else 0,
+        "wal_bytes": _wal_bytes(root),
+    }
+
+
+def ingest_batched(root: Path, stream, *, durable: bool) -> dict:
+    warehouse, _ = _pipeline(root, durable=durable)
+    batches = N // BATCH
+    start = perf_counter()
+    for index in range(batches):
+        warehouse.load_batch(
+            "sales",
+            {"item": stream[index * BATCH : (index + 1) * BATCH]},
+        )
+    elapsed = perf_counter() - start
+    return {
+        "ingest_seconds": round(elapsed, 4),
+        "rows_per_second": round(N / elapsed),
+        "batches": batches,
+        "rows_per_batch": BATCH,
+        "fsync_points": batches if durable else 0,
+        "wal_bytes": _wal_bytes(root),
+    }
+
+
+def time_recovery(root: Path) -> dict:
+    best = float("inf")
+    state = None
+    for _ in range(REPEATS):
+        manager = RecoveryManager(CheckpointStore(root))
+        start = perf_counter()
+        state = manager.recover(seed=9)
+        best = min(best, perf_counter() - start)
+    assert state is not None and state.sequence == N
+    return {
+        "recovery_seconds": round(best, 4),
+        "replayed_rows": state.replayed,
+        "replayed_rows_per_second": round(state.replayed / best),
+    }
+
+
+def main() -> dict:
+    stream = zipf_stream(N, DOMAIN, SKEW, seed=1)
+    scratch = Path(tempfile.mkdtemp(prefix="bench-durable-"))
+    try:
+        per_row_root = scratch / "per-row"
+        batch_root = scratch / "batch"
+        durable_per_row = ingest_per_row(
+            per_row_root, stream, durable=True
+        )
+        durable_batch = ingest_batched(batch_root, stream, durable=True)
+        non_durable = ingest_batched(
+            scratch / "plain", stream, durable=False
+        )
+        durable_per_row.update(time_recovery(per_row_root))
+        durable_batch.update(time_recovery(batch_root))
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    results = {
+        "config": {
+            "rows": N,
+            "rows_per_batch": BATCH,
+            "domain": DOMAIN,
+            "zipf_skew": SKEW,
+            "footprint_bound": FOOTPRINT,
+            "sync_every": 1,
+            "repeats": REPEATS,
+            "smoke": SMOKE,
+        },
+        "durable_per_row": durable_per_row,
+        "durable_batch": durable_batch,
+        "non_durable_batch": non_durable,
+        "summary": {
+            "durable_batch_speedup": round(
+                durable_per_row["ingest_seconds"]
+                / durable_batch["ingest_seconds"],
+                2,
+            ),
+            "durability_overhead_vs_non_durable": round(
+                durable_batch["ingest_seconds"]
+                / non_durable["ingest_seconds"],
+                2,
+            ),
+            "wal_bytes_ratio": round(
+                durable_per_row["wal_bytes"]
+                / durable_batch["wal_bytes"],
+                2,
+            ),
+            "replay_speedup": round(
+                durable_per_row["recovery_seconds"]
+                / durable_batch["recovery_seconds"],
+                2,
+            ),
+        },
+    }
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    print(f"\nwritten to {RESULT_PATH}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,7 @@ Run with ``PYTHONPATH=src python benchmarks/bench_recovery.py``.
 from __future__ import annotations
 
 import json
+import os
 import shutil
 import tempfile
 from pathlib import Path
@@ -28,17 +29,23 @@ from repro.obs.clock import perf_counter
 from repro.persist import CheckpointStore, RecoveryManager
 from repro.streams import zipf_stream
 
-N = 10_000
-DOMAIN = 2_000
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+N = 300 if SMOKE else 10_000
+DOMAIN = 100 if SMOKE else 2_000
 SKEW = 1.0
-FOOTPRINT = 500
+FOOTPRINT = 32 if SMOKE else 500
 SYNC_EVERY = 8  # group commit: one fsync per 8 appends
 # Chosen so the crash leaves a growing WAL suffix to replay (N mod
 # interval = 16, 784, 1000, 3000); None = never checkpoint (full log).
-INTERVALS = (256, 1_024, 3_000, 7_000, None)
-REPEATS = 3
+INTERVALS = (100, None) if SMOKE else (256, 1_024, 3_000, 7_000, None)
+REPEATS = 1 if SMOKE else 3
 ROOT = Path(__file__).resolve().parent.parent
-RESULT_PATH = ROOT / "BENCH_recovery.json"
+RESULT_PATH = (
+    ROOT / "bench_out" / "BENCH_recovery.json"
+    if SMOKE
+    else ROOT / "BENCH_recovery.json"
+)
 
 
 def ingest(root: Path, stream, interval: int | None) -> dict:
@@ -122,6 +129,7 @@ def main() -> dict:
             bench_interval(stream, interval) for interval in INTERVALS
         ],
     }
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(json.dumps(results, indent=2))
     return results

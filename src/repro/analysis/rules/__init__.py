@@ -15,6 +15,7 @@ from repro.analysis.rules.randomness import (
     RawRandomnessRule,
 )
 from repro.analysis.rules.snapshots import SnapshotRoundTripRule
+from repro.analysis.rules.wal import PerRowWalAppendRule
 
 __all__ = ["ALL_RULES", "rule_catalogue"]
 
@@ -29,6 +30,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SwallowedExceptionRule(),
     InjectedClockRule(),
     ConfinedFileIORule(),
+    PerRowWalAppendRule(),
 )
 
 

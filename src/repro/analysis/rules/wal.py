@@ -1,0 +1,86 @@
+"""RL011: per-row WAL appends in a loop outside ``repro.persist``.
+
+A ``wal.append(...)`` inside a loop pays one frame encode, one retried
+write, and (at ``sync_every=1``) one fsync *per row* -- the exact
+pattern the group-commit fast path exists to replace.  Callers that
+ingest many records hand the whole batch to
+:meth:`~repro.persist.wal.WriteAheadLog.append_many` (one buffer, one
+write, one fsync point) or go through
+:meth:`~repro.engine.warehouse.DataWarehouse.load_batch` under an
+attached :class:`~repro.persist.recovery.RecoveryManager`, which emits
+one columnar batch record.
+
+``repro.persist`` itself is exempt (the WAL's own internals and
+read-repair loops live there), as are tests and benchmarks (fault
+sweeps and baseline timings loop over ``append`` on purpose).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.rules.base import Rule, dotted_name
+
+__all__ = ["PerRowWalAppendRule"]
+
+#: Directory roots outside the ``repro`` package that the rule skips.
+_EXEMPT_ROOTS = frozenset({"tests", "benchmarks"})
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _is_wal_append(node: ast.Call) -> bool:
+    """Whether a call is ``<...>.wal.append(...)`` or ``wal.append(...)``."""
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "append"):
+        return False
+    receiver = dotted_name(func.value)
+    if receiver is None:
+        return False
+    tail = receiver.rsplit(".", 1)[-1]
+    return tail in ("wal", "_wal")
+
+
+class PerRowWalAppendRule(Rule):
+    """RL011: ``wal.append`` called inside a loop."""
+
+    code = "RL011"
+    title = "per-row WAL append in a loop"
+    rationale = (
+        "A looped wal.append pays frame/write/fsync overhead per row; "
+        "batch ingest goes through append_many (one buffer, one fsync "
+        "point) or DataWarehouse.load_batch."
+    )
+    scope = None
+    exclude = ("persist",)
+
+    def applies_to(self, module: SourceModule) -> bool:
+        # Matched as path components, not ``parts[0]``: fixture trees
+        # and out-of-cwd invocations leave absolute parts, but never
+        # place product code under ``tests``/``benchmarks``.
+        if _EXEMPT_ROOTS.intersection(module.parts):
+            return False
+        return super().applies_to(module)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        hint = (
+            "collect the records and call wal.append_many(records) "
+            "once, or ingest via DataWarehouse.load_batch"
+        )
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, _LOOPS):
+                continue
+            # Walking each loop's subtree double-visits calls in
+            # nested loops; the runner dedupes identical findings.
+            for node in ast.walk(loop):
+                if isinstance(node, ast.Call) and _is_wal_append(node):
+                    yield self.finding(
+                        module,
+                        node,
+                        "`wal.append()` inside a loop appends one "
+                        "record per iteration",
+                        hint,
+                    )

@@ -40,7 +40,7 @@ from repro.engine.queries import (
     SelectivityQuery,
     SumQuery,
 )
-from repro.engine.oplog import LoggedOperation, OperationLog
+from repro.engine.oplog import LoggedBatch, LoggedOperation, OperationLog
 from repro.engine.registry import BudgetExceeded, SynopsisRegistry
 from repro.engine.relation import Relation
 from repro.engine.responses import QueryResponse
@@ -58,6 +58,7 @@ __all__ = [
     "FrequencyQuery",
     "HotListQuery",
     "JoinSizeQuery",
+    "LoggedBatch",
     "LoggedOperation",
     "OperationLog",
     "PolicyDecision",

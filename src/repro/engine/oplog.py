@@ -7,17 +7,29 @@ load stream (as an observer) so a synopsis can be recovered as
 recipe.  The log is an in-memory list with JSON-lines export, which is
 all the simulation needs; a real deployment would append to stable
 storage.
+
+The log records two entry shapes.  A :class:`LoggedOperation` is one
+row event and occupies one sequence number.  A :class:`LoggedBatch` is
+a whole columnar load (`DataWarehouse.load_batch`) kept as its
+attribute arrays and occupying the contiguous sequence range
+``[sequence, last_sequence]`` -- one entry per batch instead of one
+per row, so a batch-heavy workload's log stays small and replay can
+drive the vectorized synopsis paths (``insert_array``) instead of a
+row loop.  Batches are atomic: suffix queries never split one.
 """
 
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Any, Iterator, Mapping
+
+import numpy as np
 
 from repro.engine.protocols import ReplayTarget
 
-__all__ = ["LoggedOperation", "OperationLog"]
+__all__ = ["LoggedBatch", "LoggedOperation", "OperationLog"]
 
 
 @dataclass(frozen=True)
@@ -29,29 +41,134 @@ class LoggedOperation:
     row: tuple
     is_insert: bool
 
+    @property
+    def last_sequence(self) -> int:
+        """The final sequence number this entry occupies (itself)."""
+        return self.sequence
+
+    @property
+    def length(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True, eq=False)
+class LoggedBatch:
+    """One logged columnar load, occupying a range of sequence numbers.
+
+    ``columns`` maps attribute names (in relation schema order) to
+    equal-length arrays; row *k* of the batch carries sequence
+    ``sequence + k``.  Batches are always inserts -- deletes stay
+    per-row events.  Equality is identity (``eq=False``): ndarray
+    columns have no useful elementwise ``==`` for dataclass equality.
+    """
+
+    sequence: int
+    relation: str
+    columns: dict[str, np.ndarray]
+
+    @property
+    def length(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def last_sequence(self) -> int:
+        return self.sequence + self.length - 1
+
+
+LogEntry = LoggedOperation | LoggedBatch
+
+
+def _entry_record(entry: LogEntry) -> dict[str, Any]:
+    """One entry as its JSON-able line record."""
+    if isinstance(entry, LoggedBatch):
+        # Imported lazily: repro.persist imports this module's package.
+        from repro.persist.columns import encode_columns
+
+        return {
+            "kind": "batch",
+            "sequence": entry.sequence,
+            "relation": entry.relation,
+            "columns": encode_columns(entry.columns),
+        }
+    return {
+        "sequence": entry.sequence,
+        "relation": entry.relation,
+        "row": list(entry.row),
+        "is_insert": entry.is_insert,
+    }
+
+
+def _record_entry(record: Mapping[str, Any]) -> LogEntry:
+    """Rebuild one entry from its JSON line record."""
+    if record.get("kind") == "batch":
+        from repro.persist.columns import decode_columns
+
+        return LoggedBatch(
+            sequence=int(record["sequence"]),
+            relation=record["relation"],
+            columns=decode_columns(record["columns"]),
+        )
+    return LoggedOperation(
+        sequence=int(record["sequence"]),
+        relation=record["relation"],
+        row=tuple(record["row"]),
+        is_insert=bool(record["is_insert"]),
+    )
+
 
 class OperationLog:
     """An append-only log of warehouse load events.
 
-    Attach with ``warehouse.add_observer(log.observe)``.  Recovery:
-    restore a synopsis from a snapshot taken at sequence ``s``, then
+    Attach with ``warehouse.add_observer(log)`` -- the log is callable
+    for per-row events and exposes :meth:`observe_batch`, so
+    ``load_batch`` hands it whole batches (one entry each).
+    ``warehouse.add_observer(log.observe)`` still works but sees
+    batches exploded into per-row events.  Recovery: restore a
+    synopsis from a snapshot taken at sequence ``s``, then
     :meth:`replay_since` ``s`` into it.
     """
 
     def __init__(self) -> None:
-        self._entries: list[LoggedOperation] = []
-        self._base = 0  # sequence number of the first retained entry
+        self._entries: list[LogEntry] = []
+        self._next = 0  # sequence number the next event will get
 
     def observe(self, relation: str, row: tuple, is_insert: bool) -> None:
-        """Warehouse-observer entry point."""
+        """Warehouse-observer entry point (one row event)."""
         self._entries.append(
             LoggedOperation(
-                sequence=self._base + len(self._entries),
+                sequence=self._next,
                 relation=relation,
                 row=tuple(row),
                 is_insert=is_insert,
             )
         )
+        self._next += 1
+
+    def __call__(self, relation: str, row: tuple, is_insert: bool) -> None:
+        self.observe(relation, row, is_insert)
+
+    def observe_batch(
+        self, relation: str, columns: Mapping[str, np.ndarray]
+    ) -> None:
+        """Batch-observer entry point: one entry for the whole load."""
+        materialised = {
+            name: np.asarray(values) for name, values in columns.items()
+        }
+        length = (
+            len(next(iter(materialised.values()))) if materialised else 0
+        )
+        if length == 0:
+            return
+        self._entries.append(
+            LoggedBatch(
+                sequence=self._next,
+                relation=relation,
+                columns=materialised,
+            )
+        )
+        self._next += length
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -63,13 +180,21 @@ class OperationLog:
         Take a snapshot *after* reading this and replay from it to
         recover exactly.
         """
-        return self._base + len(self._entries)
+        return self._next
 
-    def entries_since(self, sequence: int) -> Iterator[LoggedOperation]:
-        """Iterate entries with ``entry.sequence >= sequence``."""
+    def entries_since(self, sequence: int) -> Iterator[LogEntry]:
+        """Iterate entries whose range reaches ``sequence`` or later.
+
+        Batches are atomic: a batch covering ``sequence`` mid-range is
+        yielded whole (its ``last_sequence >= sequence``); callers that
+        need the exact suffix slice off ``sequence - entry.sequence``
+        leading rows, as :meth:`replay_since` does.
+        """
         if sequence < 0:
             raise ValueError("sequence must be non-negative")
-        start = max(0, sequence - self._base)
+        start = bisect_left(
+            self._entries, sequence, key=lambda entry: entry.last_sequence
+        )
         return iter(self._entries[start:])
 
     def replay_since(
@@ -81,13 +206,29 @@ class OperationLog:
     ) -> int:
         """Replay one relation's logged suffix into a synopsis.
 
-        ``attribute_index`` selects which row component feeds the
-        synopsis.  Returns the number of events applied.  Deletes
+        ``attribute_index`` selects which row component (schema-order
+        column for batches) feeds the synopsis.  Returns the number of
+        row events applied.  Batch entries feed the synopsis's
+        ``insert_array`` fast path when it has one; a batch straddling
+        ``sequence`` contributes only its unseen suffix rows.  Deletes
         require the synopsis to support them (counting samples do).
         """
         applied = 0
         for entry in self.entries_since(sequence):
             if entry.relation != relation:
+                continue
+            if isinstance(entry, LoggedBatch):
+                values = list(entry.columns.values())[attribute_index]
+                skip = sequence - entry.sequence
+                if skip > 0:
+                    values = values[skip:]
+                insert_array = getattr(synopsis, "insert_array", None)
+                if insert_array is not None:
+                    insert_array(np.asarray(values))
+                else:
+                    for value in values.tolist():
+                        synopsis.insert(int(value))
+                applied += len(values)
                 continue
             value = int(entry.row[attribute_index])
             if entry.is_insert:
@@ -98,17 +239,9 @@ class OperationLog:
         return applied
 
     def dump_jsonl(self) -> str:
-        """The whole log as JSON lines (one event per line)."""
+        """The whole log as JSON lines (one entry per line)."""
         return "\n".join(
-            json.dumps(
-                {
-                    "sequence": entry.sequence,
-                    "relation": entry.relation,
-                    "row": list(entry.row),
-                    "is_insert": entry.is_insert,
-                }
-            )
-            for entry in self._entries
+            json.dumps(_entry_record(entry)) for entry in self._entries
         )
 
     @classmethod
@@ -118,49 +251,39 @@ class OperationLog:
         for line in payload.splitlines():
             if not line.strip():
                 continue
-            record = json.loads(line)
-            log._entries.append(
-                LoggedOperation(
-                    sequence=int(record["sequence"]),
-                    relation=record["relation"],
-                    row=tuple(record["row"]),
-                    is_insert=bool(record["is_insert"]),
-                )
-            )
+            log._entries.append(_record_entry(json.loads(line)))
         if log._entries:
-            log._base = log._entries[0].sequence
+            log._next = log._entries[-1].last_sequence + 1
         return log
 
     def export_segment(self, start: int, stop: int) -> str:
-        """JSON lines for the entries with ``start <= sequence < stop``.
+        """JSON lines for the entries with ``start <= sequence`` and
+        ``last_sequence < stop``.
 
         The in-memory counterpart of a WAL segment: a contiguous,
         self-describing slice that :meth:`import_entries` can append to
         another log (ship the suffix to a replica, archive it, or feed
-        it back after a checkpoint).
+        it back after a checkpoint).  Batches are atomic, so one
+        straddling either boundary is excluded -- pick boundaries on
+        batch edges (checkpoint sequences always are).
         """
         if start > stop:
             raise ValueError("start must not exceed stop")
         return "\n".join(
-            json.dumps(
-                {
-                    "sequence": entry.sequence,
-                    "relation": entry.relation,
-                    "row": list(entry.row),
-                    "is_insert": entry.is_insert,
-                }
-            )
+            json.dumps(_entry_record(entry))
             for entry in self._entries
-            if start <= entry.sequence < stop
+            if start <= entry.sequence and entry.last_sequence < stop
         )
 
     def import_entries(self, payload: str) -> int:
         """Append exported entries, enforcing sequence contiguity.
 
-        Every imported entry must carry exactly the sequence this log
-        would assign next -- a gap means a lost segment, and splicing
-        over it would silently corrupt replay (Theorem 5's delete
-        accounting depends on seeing *every* operation).  Raises
+        Every imported entry must *begin* at exactly the sequence this
+        log would assign next -- a gap means a lost segment, and
+        splicing over it would silently corrupt replay (Theorem 5's
+        delete accounting depends on seeing *every* operation).  Batch
+        entries occupy their whole ``[sequence, last_sequence]`` range,
+        so the next entry must start just past it.  Raises
         :class:`~repro.persist.errors.LogGapError` on a gap; returns
         the number of entries appended.
         """
@@ -171,35 +294,28 @@ class OperationLog:
         for line in payload.splitlines():
             if not line.strip():
                 continue
-            record = json.loads(line)
-            sequence = int(record["sequence"])
-            if sequence != self.next_sequence:
+            entry = _record_entry(json.loads(line))
+            if entry.sequence != self._next:
                 raise LogGapError(
-                    self.next_sequence, sequence, source="import_entries"
+                    self._next, entry.sequence, source="import_entries"
                 )
-            self._entries.append(
-                LoggedOperation(
-                    sequence=sequence,
-                    relation=record["relation"],
-                    row=tuple(record["row"]),
-                    is_insert=bool(record["is_insert"]),
-                )
-            )
+            self._entries.append(entry)
+            self._next = entry.last_sequence + 1
             appended += 1
         return appended
 
     def truncate_before(self, sequence: int) -> int:
-        """Drop entries older than ``sequence`` (post-checkpoint GC).
+        """Drop entries that end before ``sequence`` (post-checkpoint GC).
 
         Returns how many entries were dropped.  Sequence numbers of
-        surviving entries are preserved.
+        surviving entries are preserved; a batch overlapping
+        ``sequence`` survives whole (batches are atomic).
         """
         keep_from = len(self._entries)
         for index, entry in enumerate(self._entries):
-            if entry.sequence >= sequence:
+            if entry.last_sequence >= sequence:
                 keep_from = index
                 break
         dropped = keep_from
         self._entries = self._entries[keep_from:]
-        self._base += dropped
         return dropped

@@ -34,11 +34,15 @@ from repro.persist.errors import (
     TornWriteError,
     TransientIOError,
 )
+from repro.persist.columns import decode_columns, encode_columns
 from repro.persist.framing import (
     HEADER_LENGTH,
+    FrameCursor,
     TornTail,
     decode_frames,
     encode_frame,
+    encode_frames,
+    iter_frames,
 )
 from repro.persist.fsio import FileSystem, LocalFileSystem
 from repro.persist.recovery import (
@@ -51,6 +55,7 @@ from repro.persist.wal import (
     WAL_FORMAT_VERSION,
     WriteAheadLog,
     read_operations,
+    record_range,
     segment_name,
 )
 
@@ -59,6 +64,7 @@ __all__ = [
     "CheckpointStore",
     "ChecksumMismatch",
     "FileSystem",
+    "FrameCursor",
     "HEADER_LENGTH",
     "LocalFileSystem",
     "LogGapError",
@@ -74,8 +80,13 @@ __all__ = [
     "TransientIOError",
     "WAL_FORMAT_VERSION",
     "WriteAheadLog",
+    "decode_columns",
     "decode_frames",
+    "encode_columns",
     "encode_frame",
+    "encode_frames",
+    "iter_frames",
     "read_operations",
+    "record_range",
     "segment_name",
 ]

@@ -31,22 +31,34 @@ the genuinely unfinished final record.
 
 The payload is compact JSON with sorted keys, so encoding is
 deterministic and the frame round-trips bit-exactly.
+
+Two batch-oriented entry points amortise the per-frame overhead:
+:func:`encode_frames` encodes many payloads into one contiguous buffer
+(one allocation, one downstream ``write``), and :func:`iter_frames`
+decodes a binary handle *incrementally* -- frames are parsed out of a
+bounded read buffer, so replaying a large WAL segment never
+materialises the whole file in memory.  :func:`decode_frames` is kept
+as a thin wrapper over the streaming decoder for whole-buffer callers.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import zlib
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import IO, Any, Iterable, Iterator, Mapping
 
 from repro.persist.errors import ChecksumMismatch
 
 __all__ = [
+    "FrameCursor",
     "HEADER_LENGTH",
     "TornTail",
     "decode_frames",
     "encode_frame",
+    "encode_frames",
+    "iter_frames",
 ]
 
 # "%08x %08x %08x " -- three hex words and their separators.
@@ -77,6 +89,29 @@ def encode_frame(payload: Mapping[str, Any]) -> bytes:
     return header + body + b"\n"
 
 
+def encode_frames(payloads: Iterable[Mapping[str, Any]]) -> bytes:
+    """Many records as one contiguous buffer of CRC-framed lines.
+
+    Byte-for-byte identical to concatenating :func:`encode_frame`
+    outputs, but the JSON/CRC/format machinery is amortised across the
+    batch and the result is a single buffer, so a caller can hand the
+    whole group to one ``write`` (the group-commit fast path).
+    """
+    dumps = json.dumps
+    crc32 = zlib.crc32
+    parts: list[bytes] = []
+    for payload in payloads:
+        body = dumps(
+            dict(payload), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        fields = b"%08x %08x " % (len(body), crc32(body))
+        parts.append(fields)
+        parts.append(b"%08x " % crc32(fields))
+        parts.append(body)
+        parts.append(b"\n")
+    return b"".join(parts)
+
+
 def _header_is_prefix_shaped(fragment: bytes) -> bool:
     """Whether a partial header could still grow into a valid one."""
     for index, byte in enumerate(fragment):
@@ -89,29 +124,63 @@ def _header_is_prefix_shaped(fragment: bytes) -> bool:
     return True
 
 
-def decode_frames(
-    data: bytes, *, source: str
-) -> tuple[list[dict[str, Any]], TornTail | None]:
-    """Decode every complete frame; report where a torn tail begins.
+#: How many bytes :class:`FrameCursor` requests per read.
+_CHUNK_SIZE = 1 << 16
 
-    Returns ``(payloads, torn)`` where ``torn`` is ``None`` when the
-    data ends exactly on a frame boundary.  Raises
-    :class:`ChecksumMismatch` for a complete frame whose CRC fails --
-    corruption retrying or tail-dropping cannot fix.
+
+class FrameCursor:
+    """Streaming frame decoder over a binary handle.
+
+    Iterate to receive payload dicts one at a time; the read buffer
+    holds at most one partial frame plus one read chunk, so decoding a
+    segment costs memory proportional to its largest frame, not its
+    file size.  After iteration finishes, :attr:`torn` reports whether
+    (and where) the data stopped inside an unfinished frame -- the same
+    triage :func:`decode_frames` performs, with the same
+    :class:`ChecksumMismatch` raises for corruption.
     """
-    payloads: list[dict[str, Any]] = []
-    offset = 0
-    total = len(data)
-    while offset < total:
-        header = data[offset : offset + HEADER_LENGTH]
-        if len(header) < HEADER_LENGTH:
-            # The file ends inside a header.  A torn write leaves a
+
+    def __init__(
+        self, handle: IO[bytes], *, source: str, chunk_size: int = _CHUNK_SIZE
+    ) -> None:
+        self._handle = handle
+        self._source = source
+        self._chunk_size = chunk_size
+        self._buffer = bytearray()
+        self._offset = 0  # absolute offset of the buffer's first byte
+        self._exhausted = False
+        #: Where the data ends mid-frame, once iteration has finished.
+        self.torn: TornTail | None = None
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return self
+
+    def _fill(self, needed: int) -> bool:
+        """Grow the buffer to ``needed`` bytes; False at end of data."""
+        while not self._exhausted and len(self._buffer) < needed:
+            chunk = self._handle.read(self._chunk_size)
+            if not chunk:
+                self._exhausted = True
+                break
+            self._buffer.extend(chunk)
+        return len(self._buffer) >= needed
+
+    def __next__(self) -> dict[str, Any]:
+        buffer = self._buffer
+        offset = self._offset
+        source = self._source
+        if not self._fill(HEADER_LENGTH):
+            if not buffer:
+                raise StopIteration
+            # The data ends inside a header.  A torn write leaves a
             # prefix of a valid header; anything else is corruption.
-            if _header_is_prefix_shaped(header):
-                return payloads, TornTail(offset, "incomplete header")
+            if _header_is_prefix_shaped(bytes(buffer)):
+                self.torn = TornTail(offset, "incomplete header")
+                raise StopIteration
             raise ChecksumMismatch(
                 source, offset, "malformed partial header at end of data"
             )
+        header = bytes(buffer[:HEADER_LENGTH])
         if not _header_is_prefix_shaped(header):
             # A complete 27-byte header was written; a malformed one
             # can only come from flipped bytes, never a torn write.
@@ -131,11 +200,10 @@ def decode_frames(
             )
         length = int(header[0:8], 16)
         expected_crc = int(header[9:17], 16)
-        body_start = offset + HEADER_LENGTH
-        body_end = body_start + length
-        if body_end + 1 > total:
-            return payloads, TornTail(offset, "incomplete payload")
-        body = data[body_start:body_end]
+        if not self._fill(HEADER_LENGTH + length + 1):
+            self.torn = TornTail(offset, "incomplete payload")
+            raise StopIteration
+        body = bytes(buffer[HEADER_LENGTH : HEADER_LENGTH + length])
         actual_crc = zlib.crc32(body)
         if actual_crc != expected_crc:
             raise ChecksumMismatch(
@@ -144,10 +212,41 @@ def decode_frames(
                 f"frame says {expected_crc:#010x}, payload hashes to "
                 f"{actual_crc:#010x}",
             )
-        if data[body_end : body_end + 1] != b"\n":
+        terminator = HEADER_LENGTH + length
+        if buffer[terminator : terminator + 1] != b"\n":
             raise ChecksumMismatch(
                 source, offset, "corrupt record terminator"
             )
-        payloads.append(json.loads(body.decode("utf-8")))
-        offset = body_end + 1
-    return payloads, None
+        del buffer[: terminator + 1]
+        self._offset = offset + terminator + 1
+        return json.loads(body.decode("utf-8"))
+
+
+def iter_frames(
+    handle: IO[bytes], *, source: str, chunk_size: int = _CHUNK_SIZE
+) -> FrameCursor:
+    """Stream-decode frames from a binary handle.
+
+    Returns a :class:`FrameCursor`: iterate it for the payloads, then
+    read its :attr:`~FrameCursor.torn` attribute to learn whether the
+    data ended inside an unfinished frame.  Corruption raises
+    :class:`ChecksumMismatch` exactly as :func:`decode_frames` does.
+    """
+    return FrameCursor(handle, source=source, chunk_size=chunk_size)
+
+
+def decode_frames(
+    data: bytes, *, source: str
+) -> tuple[list[dict[str, Any]], TornTail | None]:
+    """Decode every complete frame; report where a torn tail begins.
+
+    Returns ``(payloads, torn)`` where ``torn`` is ``None`` when the
+    data ends exactly on a frame boundary.  Raises
+    :class:`ChecksumMismatch` for a complete frame whose CRC fails --
+    corruption retrying or tail-dropping cannot fix.  A thin wrapper
+    over :func:`iter_frames` for callers that already hold the whole
+    buffer.
+    """
+    cursor = iter_frames(io.BytesIO(data), source=source)
+    payloads = list(cursor)
+    return payloads, cursor.torn

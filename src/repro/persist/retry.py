@@ -55,16 +55,19 @@ class RetryPolicy:
         if self.multiplier < 1.0:
             raise ValueError("multiplier must be at least 1")
 
-    def call(self, operation: Callable[[], T]) -> T:
-        """Run ``operation``, retrying transient faults with backoff.
+    def call(self, operation: Callable[..., T], /, *args: object) -> T:
+        """Run ``operation(*args)``, retrying transient faults with backoff.
 
         Re-raises the last :class:`TransientIOError` when every
         attempt fails; any other exception propagates immediately.
+        Positional ``args`` are passed through so hot paths can hand a
+        pre-bound callable plus its payload instead of allocating a
+        fresh closure per call.
         """
         delay = self.base_delay
         for attempt in range(self.attempts):
             try:
-                return operation()
+                return operation(*args)
             except TransientIOError:
                 if attempt == self.attempts - 1:
                     raise

@@ -20,6 +20,8 @@ import tempfile
 from collections import Counter
 from pathlib import Path
 
+import numpy as np
+
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
@@ -348,3 +350,227 @@ class TestEveryFaultPoint:
                     state.warehouse.relation("sales").rows()
                 )
                 assert restored == expected_rows(len(OPS))
+
+
+# ----------------------------------------------------------------------
+# Exhaustive fault-point sweep over the batch ingest path
+# ----------------------------------------------------------------------
+
+# The fixed batch workload: load_batch calls of varying sizes, with a
+# checkpoint after the second batch.  Batches are atomic, so a
+# recovered sequence must land on a batch boundary.
+BATCH_SIZES = [5, 3, 4, 2]
+CHECKPOINT_AFTER_BATCH = {1}
+BATCH_BOUNDARIES = {0}
+for _size in BATCH_SIZES:
+    BATCH_BOUNDARIES.add(max(BATCH_BOUNDARIES) + _size)
+
+
+def batch_columns(index):
+    size = BATCH_SIZES[index]
+    return {
+        "item": np.asarray(
+            [(index + k) % 3 for k in range(size)], dtype=np.int64
+        ),
+        "qty": np.asarray(
+            [index * 10 + k for k in range(size)], dtype=np.int64
+        ),
+    }
+
+
+def batch_rows(prefix_length):
+    """The exact row multiset after the first ``prefix_length`` rows."""
+    rows = []
+    for index in range(len(BATCH_SIZES)):
+        columns = batch_columns(index)
+        rows.extend(
+            zip(columns["item"].tolist(), columns["qty"].tolist())
+        )
+    return Counter(rows[:prefix_length])
+
+
+def next_batch_size(acked):
+    """How many rows the batch in flight after ``acked`` rows carries."""
+    total = 0
+    for size in BATCH_SIZES:
+        if total == acked:
+            return size
+        total += size
+    return 0
+
+
+def run_batch_workload(filesystem, root, ledger):
+    """Drive the batch workload; ``ledger['acked']`` survives a crash."""
+    store = CheckpointStore(root, filesystem)
+    manager = RecoveryManager(store)
+    warehouse = DataWarehouse()
+    warehouse.create_relation("sales", ["item", "qty"])
+    manager.attach(warehouse)
+    sample = CountingSample(32, seed=11)
+    manager.bind("sales", "item", sample)
+    warehouse.add_observer(
+        lambda rel, row, ins: (
+            sample.insert(row[0]) if ins else sample.delete(row[0])
+        )
+    )
+    for index in range(len(BATCH_SIZES)):
+        warehouse.load_batch("sales", batch_columns(index))
+        ledger["acked"] += BATCH_SIZES[index]
+        if index in CHECKPOINT_AFTER_BATCH:
+            manager.checkpoint()
+    manager.detach()
+    store.close()
+
+
+def count_batch_operations(tmp_path):
+    healthy = FaultyFilesystem(LocalFileSystem(), FaultPlan.none())
+    run_batch_workload(healthy, tmp_path / "healthy", {"acked": 0})
+    return healthy.operations
+
+
+def batch_crash_then_recover(root, index, kind):
+    fs = FaultyFilesystem(
+        LocalFileSystem(), FaultPlan.single(index, kind, seed=index)
+    )
+    ledger = {"acked": 0}
+    crashed = False
+    try:
+        run_batch_workload(fs, root, ledger)
+    except SimulatedCrash:
+        crashed = True
+    try:
+        state = RecoveryManager(CheckpointStore(root)).recover(seed=99)
+    except RecoveryError as error:
+        return crashed, ledger["acked"], None, error
+    return crashed, ledger["acked"], state, None
+
+
+class TestEveryBatchFaultPoint:
+    def test_crash_kinds_recover_whole_batches_only(self, tmp_path):
+        """Crash at EVERY op index of the batch workload.
+
+        The batch durability contract: a batch is acknowledged only
+        after its single fsync point, so recovery lands on the
+        acknowledged row count plus at most the one in-flight batch --
+        and always on a batch boundary, never inside one (a torn write
+        mid-batch-frame must not surface a partially-applied batch).
+        """
+        total = count_batch_operations(tmp_path)
+        assert total > 15  # the sweep is meaningfully wide
+        full = sum(BATCH_SIZES)
+        for kind in sorted(CRASH_KINDS):
+            for index in range(total):
+                root = tmp_path / f"{kind}-{index}"
+                crashed, acked, state, error = batch_crash_then_recover(
+                    root, index, kind
+                )
+                assert crashed, f"{kind}@{index} did not crash"
+                assert error is None, f"{kind}@{index}: {error!r}"
+                in_flight = next_batch_size(acked) if acked < full else 0
+                assert acked <= state.sequence <= acked + in_flight, (
+                    f"{kind}@{index}: acked {acked}, "
+                    f"recovered {state.sequence}"
+                )
+                assert state.sequence in BATCH_BOUNDARIES, (
+                    f"{kind}@{index}: sequence {state.sequence} is "
+                    "inside a batch -- a partially-applied batch "
+                    "surfaced"
+                )
+                if "sales" not in state.warehouse.relation_names():
+                    assert acked == 0 and state.sequence == 0
+                    continue
+                restored = Counter(
+                    state.warehouse.relation("sales").rows()
+                )
+                assert restored == batch_rows(state.sequence), (
+                    f"{kind}@{index}: wrong rows at {state.sequence}"
+                )
+                for synopsis in state.synopses.values():
+                    synopsis.check_invariants()
+
+    def test_bit_flips_in_batch_frames_are_never_silent(self, tmp_path):
+        """Flip one bit at every op index of the batch workload."""
+        total = count_batch_operations(tmp_path)
+        full = sum(BATCH_SIZES)
+        for index in range(total):
+            root = tmp_path / f"flip-{index}"
+            crashed, acked, state, error = batch_crash_then_recover(
+                root, index, BIT_FLIP
+            )
+            assert not crashed  # bit flips corrupt silently
+            assert acked == full
+            if error is not None:
+                continue  # typed refusal is a correct outcome
+            assert state.sequence == full, (
+                f"flip@{index}: clean recovery lost records "
+                f"({state.sequence} < {full})"
+            )
+            restored = Counter(state.warehouse.relation("sales").rows())
+            assert restored == batch_rows(state.sequence)
+
+    def test_transient_faults_are_absorbed_by_append_many(self, tmp_path):
+        """Transient write/fsync errors at every index: the batched
+        write is retried as one unit and the workload completes."""
+        total = count_batch_operations(tmp_path)
+        full = sum(BATCH_SIZES)
+        for kind in sorted(TRANSIENT_KINDS):
+            for index in range(total):
+                root = tmp_path / f"{kind}-{index}"
+                crashed, acked, state, error = batch_crash_then_recover(
+                    root, index, kind
+                )
+                assert not crashed and error is None
+                assert state.sequence == acked == full
+                restored = Counter(
+                    state.warehouse.relation("sales").rows()
+                )
+                assert restored == batch_rows(full)
+
+
+class TestTornBatchFrame:
+    """A torn write inside a batch frame: atomicity at every cut."""
+
+    def test_every_cut_keeps_acked_batches_and_drops_the_partial(
+        self, tmp_path
+    ):
+        from repro.persist.columns import encode_columns
+
+        ledger = {"acked": 0}
+        base = tmp_path / "base"
+        run_batch_workload(
+            FaultyFilesystem(LocalFileSystem(), FaultPlan.none()),
+            base,
+            ledger,
+        )
+        acked = ledger["acked"]
+        in_flight = encode_frame(
+            {
+                "kind": "batch",
+                "first_sequence": acked + 1,
+                "last_sequence": acked + 3,
+                "relation": "sales",
+                "columns": encode_columns(
+                    {
+                        "item": np.asarray([1, 2, 0], dtype=np.int64),
+                        "qty": np.asarray([90, 91, 92], dtype=np.int64),
+                    }
+                ),
+            }
+        )
+        cuts = sorted(set(range(1, len(in_flight), 5)) | {len(in_flight) - 1})
+        for cut in cuts:
+            root = tmp_path / f"cut-{cut}"
+            shutil.copytree(base, root)
+            store = CheckpointStore(root)
+            segment_base = store.wal.segment_bases()[-1]
+            path = store.wal.directory / segment_name(segment_base)
+            with path.open("ab") as handle:
+                handle.write(in_flight[:cut])
+            state = RecoveryManager(CheckpointStore(root)).recover(seed=7)
+            assert state.sequence == acked, (
+                f"cut@{cut}: torn batch frame changed the recovered "
+                f"sequence ({state.sequence} != {acked})"
+            )
+            assert state.torn_tail is not None
+            restored = Counter(state.warehouse.relation("sales").rows())
+            assert restored == batch_rows(acked)

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core import CountingSample
 from repro.engine import DataWarehouse
-from repro.engine.oplog import OperationLog
+from repro.engine.oplog import LoggedBatch, OperationLog
 from repro.engine.snapshots import restore_synopsis, snapshot_synopsis
 from repro.streams import zipf_stream
 
@@ -197,3 +198,124 @@ class TestSegments:
         replica = OperationLog()
         payload = "\n" + self.fill().export_segment(0, 1) + "\n\n"
         assert replica.import_entries(payload) == 1
+
+
+class TestBatchEntries:
+    """Columnar batch entries: one log record per load_batch call."""
+
+    def batch(self, values):
+        return {"a": np.asarray(values, dtype=np.int64)}
+
+    def test_observe_batch_occupies_a_range(self):
+        log = OperationLog()
+        log.observe("r", (0,), True)
+        log.observe_batch("r", self.batch([1, 2, 3]))
+        log.observe("r", (4,), True)
+        entries = list(log.entries_since(0))
+        assert [e.sequence for e in entries] == [0, 1, 4]
+        assert isinstance(entries[1], LoggedBatch)
+        assert entries[1].last_sequence == 3
+        assert entries[1].length == 3
+        assert log.next_sequence == 5
+
+    def test_empty_batch_is_not_logged(self):
+        log = OperationLog()
+        log.observe_batch("r", self.batch([]))
+        assert len(log) == 0
+        assert log.next_sequence == 0
+
+    def test_warehouse_load_batch_logs_one_entry(self):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("r", ["a", "b"])
+        log = OperationLog()
+        warehouse.add_observer(log)
+        warehouse.load_batch(
+            "r",
+            {
+                "a": np.asarray([1, 2, 3]),
+                "b": np.asarray([4, 5, 6]),
+            },
+        )
+        warehouse.insert("r", {"a": 7, "b": 8})
+        assert len(log) == 2
+        assert log.next_sequence == 4
+        entries = list(log.entries_since(0))
+        assert isinstance(entries[0], LoggedBatch)
+        assert entries[0].columns["b"].tolist() == [4, 5, 6]
+        assert entries[1].sequence == 3
+
+    def test_entries_since_keeps_straddling_batch_whole(self):
+        log = OperationLog()
+        log.observe_batch("r", self.batch([1, 2, 3, 4]))  # seq 0..3
+        log.observe("r", (5,), True)  # seq 4
+        tail = list(log.entries_since(2))
+        assert len(tail) == 2
+        assert isinstance(tail[0], LoggedBatch)
+        assert tail[0].sequence == 0
+
+    def test_replay_slices_straddling_batch(self):
+        log = OperationLog()
+        log.observe_batch("r", self.batch([10, 20, 30, 40]))
+        sample = CountingSample(100, seed=7)
+        applied = log.replay_since(2, "r", 0, sample)
+        assert applied == 2
+        assert 30 in sample and 40 in sample
+        assert 10 not in sample and 20 not in sample
+
+    def test_replay_batch_equals_per_row(self):
+        values = zipf_stream(2_000, 30, 1.0, seed=11)
+        batched = OperationLog()
+        batched.observe_batch("r", {"a": values})
+        per_row = OperationLog()
+        for value in values.tolist():
+            per_row.observe("r", (value,), True)
+
+        from_batch = CountingSample(150, seed=12)
+        from_rows = CountingSample(150, seed=12)
+        assert batched.replay_since(0, "r", 0, from_batch) == len(values)
+        assert per_row.replay_since(0, "r", 0, from_rows) == len(values)
+        assert from_batch.as_dict() == from_rows.as_dict()
+
+    def test_jsonl_round_trips_batches(self):
+        log = OperationLog()
+        log.observe("r", (1,), True)
+        log.observe_batch(
+            "r", {"a": np.asarray([2, 3]), "b": np.asarray([0.5, 1.5])}
+        )
+        restored = OperationLog.load_jsonl(log.dump_jsonl())
+        assert restored.next_sequence == log.next_sequence == 3
+        entries = list(restored.entries_since(0))
+        assert isinstance(entries[1], LoggedBatch)
+        assert entries[1].columns["a"].tolist() == [2, 3]
+        assert entries[1].columns["b"].dtype == np.float64
+
+    def test_export_import_batches_with_gap_check(self):
+        from repro.persist.errors import LogGapError
+
+        source = OperationLog()
+        source.observe_batch("r", self.batch([1, 2]))  # seq 0..1
+        source.observe("r", (3,), True)  # seq 2
+        source.observe_batch("r", self.batch([4, 5]))  # seq 3..4
+
+        replica = OperationLog()
+        assert replica.import_entries(source.export_segment(0, 5)) == 3
+        assert replica.next_sequence == 5
+
+        # Importing past a missing batch is a typed gap.
+        behind = OperationLog()
+        behind.import_entries(source.export_segment(0, 2))
+        with pytest.raises(LogGapError) as excinfo:
+            behind.import_entries(source.export_segment(3, 5))
+        assert excinfo.value.expected == 2
+        assert excinfo.value.found == 3
+
+    def test_truncate_keeps_overlapping_batch(self):
+        log = OperationLog()
+        log.observe("r", (0,), True)  # seq 0
+        log.observe_batch("r", self.batch([1, 2, 3]))  # seq 1..3
+        log.observe("r", (4,), True)  # seq 4
+        dropped = log.truncate_before(2)
+        assert dropped == 1  # only the per-row entry before the batch
+        survivors = list(log.entries_since(0))
+        assert isinstance(survivors[0], LoggedBatch)
+        assert log.next_sequence == 5

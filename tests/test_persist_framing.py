@@ -10,6 +10,8 @@ a torn tail, and never a silent clean decode.
 
 from __future__ import annotations
 
+import io
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -20,6 +22,8 @@ from repro.persist.framing import (
     TornTail,
     decode_frames,
     encode_frame,
+    encode_frames,
+    iter_frames,
 )
 
 payloads = st.dictionaries(
@@ -176,3 +180,98 @@ class TestBitFlips:
         frames, torn = decode_frames(data[:-3], source="seg")
         assert frames == []
         assert torn is not None and torn.reason == "incomplete payload"
+
+
+class TestBatchEncoding:
+    """encode_frames is byte-identical to concatenated encode_frame."""
+
+    @given(items=st.lists(payloads, max_size=8))
+    def test_matches_concatenated_single_frames(self, items):
+        expected = b"".join(encode_frame(item) for item in items)
+        assert encode_frames(items) == expected
+
+    def test_empty_batch_is_empty_buffer(self):
+        assert encode_frames([]) == b""
+
+    def test_accepts_any_iterable(self):
+        generated = encode_frames(
+            {"sequence": n} for n in range(3)
+        )
+        listed = encode_frames([{"sequence": n} for n in range(3)])
+        assert generated == listed
+
+
+class TestStreamingDecode:
+    """iter_frames matches decode_frames at every chunk size."""
+
+    RECORDS = [
+        {"kind": "op", "sequence": n, "row": [n, n * 2]} for n in range(5)
+    ]
+
+    def _stream(self, data: bytes, chunk_size: int):
+        cursor = iter_frames(
+            io.BytesIO(data), source="test", chunk_size=chunk_size
+        )
+        return list(cursor), cursor.torn
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 7, 64, 1 << 16])
+    def test_clean_stream_round_trips(self, chunk_size):
+        data = encode_frames(self.RECORDS)
+        frames, torn = self._stream(data, chunk_size)
+        assert frames == self.RECORDS
+        assert torn is None
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 64])
+    def test_every_cut_matches_whole_buffer_decode(self, chunk_size):
+        data = encode_frames(self.RECORDS)
+        for cut in range(len(data) + 1):
+            expected_frames, expected_torn = decode_frames(
+                data[:cut], source="test"
+            )
+            frames, torn = self._stream(data[:cut], chunk_size)
+            assert frames == expected_frames, f"cut at {cut}"
+            assert torn == expected_torn, f"cut at {cut}"
+
+    def test_bit_flip_raises_mid_iteration(self):
+        data = bytearray(encode_frames(self.RECORDS))
+        # Flip a payload byte of the third frame.
+        third = len(encode_frames(self.RECORDS[:2]))
+        data[third + HEADER_LENGTH] ^= 0x01
+        cursor = iter_frames(io.BytesIO(bytes(data)), source="seg")
+        assert next(cursor) == self.RECORDS[0]
+        assert next(cursor) == self.RECORDS[1]
+        with pytest.raises(ChecksumMismatch):
+            next(cursor)
+
+    def test_torn_attribute_is_none_until_exhausted(self):
+        data = encode_frames(self.RECORDS) + b"0000"
+        cursor = iter_frames(io.BytesIO(data), source="seg")
+        assert cursor.torn is None
+        frames = list(cursor)
+        assert frames == self.RECORDS
+        assert cursor.torn is not None
+        assert cursor.torn.reason == "incomplete header"
+
+    def test_buffer_stays_bounded(self):
+        """The read buffer never holds more than a frame + a chunk."""
+
+        class MeteredIO(io.BytesIO):
+            reads = 0
+
+            def read(self, size=-1):
+                MeteredIO.reads += 1
+                return super().read(size)
+
+        records = [{"sequence": n, "pad": "x" * 50} for n in range(200)]
+        data = encode_frames(records)
+        cursor = iter_frames(MeteredIO(data), source="seg", chunk_size=256)
+        assert list(cursor) == records
+        # Streaming must read in many small chunks, not one slurp.
+        assert MeteredIO.reads >= len(data) // 256
+
+    def test_decode_frames_is_wrapper_over_cursor(self):
+        data = encode_frames(self.RECORDS)[:-3]
+        frames, torn = decode_frames(data, source="seg")
+        stream_frames, stream_torn = self._stream(data, 16)
+        assert frames == stream_frames
+        assert torn == stream_torn

@@ -196,3 +196,91 @@ class TestRecoveredUniformity:
         observed = np.array([uncrashed[value] for value in range(N)])
         _, p_value = scipy_stats.chisquare(observed)
         assert p_value > ALPHA
+
+
+# ----------------------------------------------------------------------
+# Batch op-record recovery vs per-row ingest (the group-commit path)
+# ----------------------------------------------------------------------
+
+BATCH_TRIALS = 300
+BATCH_SIZE = 8
+
+
+def batch_recovered_pipeline(root, trial):
+    """Checkpoint empty, load via load_batch, crash, recover.
+
+    Every value reaches the recovered synopsis through a columnar
+    batch op-record replayed with ``insert_array`` -- the vectorized
+    path whose output must be statistically indistinguishable from
+    per-row ingest.
+    """
+    store = CheckpointStore(root)
+    manager = RecoveryManager(store)
+    warehouse = DataWarehouse()
+    warehouse.create_relation("s", ["v"])
+    manager.attach(warehouse)
+    sample = CountingSample(M, seed=5_000 + trial)
+    manager.bind("s", "v", sample)
+    manager.checkpoint()
+    for start in range(0, N, BATCH_SIZE):
+        warehouse.load_batch(
+            "s",
+            {
+                "v": np.arange(
+                    start, min(start + BATCH_SIZE, N), dtype=np.int64
+                )
+            },
+        )
+    state = RecoveryManager(CheckpointStore(root)).recover(
+        seed=70_000 + trial
+    )
+    return state.synopsis("s", "v")
+
+
+def per_row_twin(trial):
+    sample = CountingSample(M, seed=5_000 + trial)
+    for value in range(N):
+        sample.insert(value)
+    return sample
+
+
+@pytest.fixture(scope="module")
+def batch_ensembles(tmp_path_factory):
+    root = tmp_path_factory.mktemp("recovery-batch-stats")
+    recovered = Counter()
+    per_row = Counter()
+    for trial in range(BATCH_TRIALS):
+        survivor = batch_recovered_pipeline(root / f"t{trial}", trial)
+        survivor.check_invariants()
+        assert survivor.total_inserted == N  # replay saw every row
+        recovered.update(survivor.as_dict().keys())
+        per_row.update(per_row_twin(trial).as_dict().keys())
+    return recovered, per_row
+
+
+class TestBatchRecoveredEquivalence:
+    def test_batch_recovery_matches_per_row_ingest(self, batch_ensembles):
+        """Homogeneity: synopses rebuilt from columnar batch op-records
+        include each value as often as per-row ingest does."""
+        recovered, per_row = batch_ensembles
+        table = np.array(
+            [
+                [recovered[value] for value in range(N)],
+                [per_row[value] for value in range(N)],
+            ]
+        )
+        statistic, p_value, _, _ = scipy_stats.chi2_contingency(table)
+        assert p_value > ALPHA, (
+            "batch-op-record recovery diverges from per-row ingest "
+            f"(chi2={statistic:.1f})"
+        )
+
+    def test_batch_recovered_inclusion_is_uniform(self, batch_ensembles):
+        """No batch boundary is privileged: inclusion is uniform over
+        the values regardless of which batch carried them."""
+        recovered, _ = batch_ensembles
+        observed = np.array([recovered[value] for value in range(N)])
+        statistic, p_value = scipy_stats.chisquare(observed)
+        assert p_value > ALPHA, (
+            f"batch-recovered inclusion not uniform (chi2={statistic:.1f})"
+        )

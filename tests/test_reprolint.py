@@ -775,9 +775,9 @@ class TestInfrastructure:
 
     def test_every_rule_has_distinct_code(self) -> None:
         rule_codes = [rule.code for rule in ALL_RULES]
-        assert len(rule_codes) == len(set(rule_codes)) == 10
+        assert len(rule_codes) == len(set(rule_codes)) == 11
         assert sorted(rule_codes) == [
-            f"RL{index:03d}" for index in range(1, 11)
+            f"RL{index:03d}" for index in range(1, 12)
         ]
 
     def test_suppressed_findings_parse(self, tmp_path: Path) -> None:
@@ -987,3 +987,118 @@ class TestConfinedFileIO:
             """,
         )
         assert "RL010" not in codes(findings)
+
+
+# ----------------------------------------------------------------------
+# RL011: per-row WAL appends in a loop
+# ----------------------------------------------------------------------
+
+
+class TestPerRowWalAppend:
+    def test_append_in_for_loop_fires(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/core/x.py",
+            """\
+            def ingest(wal: object, records: list) -> None:
+                for record in records:
+                    wal.append(record)
+            """,
+        )
+        assert codes(findings) == {"RL011"}
+
+    def test_dotted_receiver_in_while_loop_fires(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/engine/x.py",
+            """\
+            def drain(self, queue: list) -> None:
+                while queue:
+                    self._store.wal.append(queue.pop())
+            """,
+        )
+        assert codes(findings) == {"RL011"}
+
+    def test_nested_loops_report_once(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/core/x.py",
+            """\
+            def ingest(wal: object, batches: list) -> None:
+                for batch in batches:
+                    for record in batch:
+                        wal.append(record)
+            """,
+        )
+        assert [finding.rule for finding in findings] == ["RL011"]
+
+    def test_append_outside_loop_does_not_fire(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/core/x.py",
+            """\
+            def ack(wal: object, record: dict) -> None:
+                wal.append(record)
+            """,
+        )
+        assert "RL011" not in codes(findings)
+
+    def test_append_many_in_loop_does_not_fire(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/core/x.py",
+            """\
+            def ingest(wal: object, batches: list) -> None:
+                for batch in batches:
+                    wal.append_many(batch)
+            """,
+        )
+        assert "RL011" not in codes(findings)
+
+    def test_list_append_in_loop_does_not_fire(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/core/x.py",
+            """\
+            def collect(values: list) -> list:
+                out: list = []
+                for value in values:
+                    out.append(value)
+                return out
+            """,
+        )
+        assert "RL011" not in codes(findings)
+
+    def test_persist_package_is_exempt(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/persist/x.py",
+            """\
+            def repair(self, records: list) -> None:
+                for record in records:
+                    self._wal.append(record)
+            """,
+        )
+        assert "RL011" not in codes(findings)
+
+    def test_tests_and_benchmarks_are_exempt(self, tmp_path: Path) -> None:
+        source = """\
+            def baseline(wal: object, records: list) -> None:
+                for record in records:
+                    wal.append(record)
+            """
+        for relpath in ("tests/x.py", "benchmarks/x.py"):
+            findings = lint_file(tmp_path, relpath, source)
+            assert "RL011" not in codes(findings)
+
+    def test_suppression_comment(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/core/x.py",
+            """\
+            def ingest(wal: object, records: list) -> None:
+                for record in records:
+                    wal.append(record)  # reprolint: disable=RL011
+            """,
+        )
+        assert "RL011" not in codes(findings)
