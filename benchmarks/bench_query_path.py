@@ -1,0 +1,282 @@
+"""Query-path latency: columnar kernels and the answer cache.
+
+Measures the two layers the columnar refactor added to the serving
+path:
+
+* **Reporter kernels** -- steady-state ``report(k)`` latency of the
+  hot-list reporters against the historical dict-path implementation
+  (kept verbatim below as the reference), on the same loaded synopsis.
+* **Answer cache** -- repeated ``engine.answer`` latency with and
+  without the epoch-invalidated :class:`QueryResultCache` attached.
+* **Estimator kernels** -- the vectorized sample-join cross product
+  and ``FrequencyTable.top_k`` against their dict/sort references.
+
+Writes ``BENCH_query_path.json`` at the repository root (the committed
+baseline the CI trajectory tracks); ``REPRO_BENCH_SMOKE=1`` runs a
+seconds-scale configuration into ``bench_out/`` instead.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_query_path.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ConciseSample
+from repro.engine import (
+    ApproximateAnswerEngine,
+    CountQuery,
+    DataWarehouse,
+    HotListQuery,
+    JoinSizeQuery,
+    QueryResultCache,
+)
+from repro.estimators.joins import join_size_from_samples
+from repro.hotlist.base import HotListAnswer, kth_largest, order_entries
+from repro.hotlist.concise import ConciseHotList
+from repro.hotlist.counting import CountingHotList
+from repro.hotlist.sorted_concise import SortedConciseHotList
+from repro.hotlist.traditional import TraditionalHotList
+from repro.obs.clock import perf_counter
+from repro.stats.frequency import FrequencyTable
+from repro.stats.theory import counting_report_cutoff
+from repro.streams import zipf_stream
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+N = 5_000 if SMOKE else 1_000_000
+DOMAIN = 500 if SMOKE else 100_000
+SKEW = 1.1
+FOOTPRINT = 100 if SMOKE else 4_000
+K = 10
+REPORTS = 50 if SMOKE else 2_000
+QUERIES = 50 if SMOKE else 2_000
+ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = (
+    ROOT / "bench_out" / "BENCH_query_path.json"
+    if SMOKE
+    else ROOT / "BENCH_query_path.json"
+)
+
+
+# ----------------------------------------------------------------------
+# The historical dict-path reporters (pre-kernel), as references
+# ----------------------------------------------------------------------
+
+
+def dict_report_scaled(sample, k: int, theta: int) -> HotListAnswer:
+    """The old concise/traditional report: dict walk + full sort."""
+    if sample.sample_size == 0:
+        return HotListAnswer(k=k)
+    counts = dict(sample.pairs())
+    cutoff = max(kth_largest(counts.values(), k), theta)
+    scale = sample.total_inserted / sample.sample_size
+    estimates = {
+        value: count * scale
+        for value, count in counts.items()
+        if count >= cutoff
+    }
+    return HotListAnswer(k=k, entries=order_entries(estimates))
+
+
+def dict_report_counting(reporter, k: int) -> HotListAnswer:
+    """The old counting report: dict walk + compensation."""
+    sample = reporter.sample
+    counts = sample.as_dict()
+    if not counts:
+        return HotListAnswer(k=k)
+    threshold = sample.threshold
+    if threshold <= 1.0:
+        cutoff = float(kth_largest(counts.values(), k))
+        compensation = 0.0
+    else:
+        cutoff = max(
+            float(kth_largest(counts.values(), k)),
+            counting_report_cutoff(threshold),
+        )
+        compensation = reporter.compensation()
+    estimates = {
+        value: count + compensation
+        for value, count in counts.items()
+        if count >= cutoff
+    }
+    return HotListAnswer(k=k, entries=order_entries(estimates))
+
+
+def dict_join_cross(left_points, right_points) -> int:
+    """The old sample-join cross product: two Counters + dict probe."""
+    left_counts = Counter(left_points.tolist())
+    right_counts = Counter(right_points.tolist())
+    return sum(
+        count * right_counts[value]
+        for value, count in left_counts.items()
+        if value in right_counts
+    )
+
+
+def sorted_top_k(counts: dict, k: int) -> list:
+    """The old FrequencyTable.top_k: sort every distinct value."""
+    ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return ordered[:k]
+
+
+def _timed_loop(calls: int, fn) -> dict:
+    fn()  # warm (memoized views, JIT-ish dict caches)
+    start = perf_counter()
+    for _ in range(calls):
+        fn()
+    elapsed = perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "microseconds_per_call": round(1e6 * elapsed / calls, 2),
+    }
+
+
+def bench_reporters(stream) -> dict:
+    results: dict = {}
+    loaded = []
+    for name, build, reference in (
+        (
+            "concise",
+            lambda: ConciseHotList(FOOTPRINT, seed=2),
+            lambda r: dict_report_scaled(r.sample, K, 3),
+        ),
+        (
+            "counting",
+            lambda: CountingHotList(FOOTPRINT, seed=3),
+            lambda r: dict_report_counting(r, K),
+        ),
+        (
+            "traditional",
+            lambda: TraditionalHotList(FOOTPRINT, seed=4),
+            lambda r: dict_report_scaled(r.sample, K, 3),
+        ),
+        (
+            "sorted_concise",
+            lambda: SortedConciseHotList(FOOTPRINT, seed=5),
+            None,
+        ),
+    ):
+        reporter = build()
+        reporter.insert_array(stream)
+        loaded.append(reporter)
+        columnar = _timed_loop(REPORTS, lambda: reporter.report(K))
+        entry = {"columnar": columnar}
+        if reference is not None:
+            dict_path = _timed_loop(REPORTS, lambda: reference(reporter))
+            entry["dict_path"] = dict_path
+            entry["speedup"] = round(
+                dict_path["seconds"] / columnar["seconds"], 2
+            )
+        results[name] = entry
+    return results
+
+
+def bench_engine_cache(stream) -> dict:
+    def build(with_cache: bool):
+        warehouse = DataWarehouse()
+        warehouse.create_relation("sales", ["item"])
+        warehouse.create_relation("returns", ["item"])
+        cache = QueryResultCache(capacity=64) if with_cache else None
+        engine = ApproximateAnswerEngine(warehouse, cache=cache)
+        engine.register_sample(
+            "sales", "item", ConciseSample(FOOTPRINT, seed=6)
+        )
+        engine.register_hotlist(
+            "sales", "item", ConciseHotList(FOOTPRINT, seed=7)
+        )
+        engine.register_hotlist(
+            "returns", "item", ConciseHotList(FOOTPRINT, seed=8)
+        )
+        warehouse.load_batch("sales", {"item": stream})
+        warehouse.load_batch(
+            "returns", {"item": stream[: max(len(stream) // 4, 1)]}
+        )
+        return engine
+
+    queries = {
+        "count": CountQuery("sales", "item"),
+        "hotlist": HotListQuery("sales", "item", k=K),
+        "join_size": JoinSizeQuery("sales", "item", "returns", "item"),
+    }
+    uncached_engine = build(False)
+    cached_engine = build(True)
+    results: dict = {}
+    for name, query in queries.items():
+        uncached = _timed_loop(
+            QUERIES, lambda: uncached_engine.answer(query)
+        )
+        cached = _timed_loop(QUERIES, lambda: cached_engine.answer(query))
+        results[name] = {
+            "uncached": uncached,
+            "cache_hit": cached,
+            "hit_speedup": round(
+                uncached["seconds"] / cached["seconds"], 2
+            ),
+        }
+    results["cache_stats"] = cached_engine.cache.stats
+    return results
+
+
+def bench_estimators(stream) -> dict:
+    half = len(stream) // 2
+    left, right = stream[:half], stream[half:]
+    new_join = _timed_loop(
+        max(REPORTS // 10, 5),
+        lambda: join_size_from_samples(left, right, N, N),
+    )
+    old_join = _timed_loop(
+        max(REPORTS // 10, 5), lambda: dict_join_cross(left, right)
+    )
+    table = FrequencyTable(stream)
+    counts = dict(table.items())
+    new_topk = _timed_loop(REPORTS, lambda: table.top_k(K))
+    old_topk = _timed_loop(REPORTS, lambda: sorted_top_k(counts, K))
+    return {
+        "sample_join": {
+            "dict_path": old_join,
+            "vectorized": new_join,
+            "speedup": round(
+                old_join["seconds"] / new_join["seconds"], 2
+            ),
+        },
+        "frequency_top_k": {
+            "full_sort": old_topk,
+            "argpartition": new_topk,
+            "speedup": round(
+                old_topk["seconds"] / new_topk["seconds"], 2
+            ),
+        },
+    }
+
+
+def main() -> dict:
+    stream = zipf_stream(N, DOMAIN, SKEW, seed=1)
+    results = {
+        "config": {
+            "inserts": N,
+            "domain": DOMAIN,
+            "zipf_skew": SKEW,
+            "footprint_bound": FOOTPRINT,
+            "k": K,
+            "report_calls": REPORTS,
+            "query_calls": QUERIES,
+        },
+        "reporters": bench_reporters(stream),
+        "engine_cache": bench_engine_cache(stream),
+        "estimators": bench_estimators(stream),
+    }
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    print(f"\nwritten to {RESULT_PATH}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,7 @@ from repro.analysis.rules.determinism import WallClockRule
 from repro.analysis.rules.exceptions import SwallowedExceptionRule
 from repro.analysis.rules.floats import FloatEqualityRule
 from repro.analysis.rules.io import ConfinedFileIORule
+from repro.analysis.rules.loops import AnswerPathLoopRule
 from repro.analysis.rules.mutation import DictMutationRule
 from repro.analysis.rules.randomness import (
     LedgerRequiredRule,
@@ -31,6 +32,7 @@ ALL_RULES: tuple[Rule, ...] = (
     InjectedClockRule(),
     ConfinedFileIORule(),
     PerRowWalAppendRule(),
+    AnswerPathLoopRule(),
 )
 
 

@@ -1,0 +1,121 @@
+"""RL012: per-row Python loops on the answer path.
+
+Reporting and estimation are the latency-critical half of the paper's
+Figure 1 loop -- an approximate answer is only "prompt" if the report
+is computed in vectorized array passes, not one dict entry or one
+``.tolist()`` element at a time.  The columnar kernels in
+:mod:`repro.hotlist.kernels` and the samples' ``columnar_view()`` exist
+precisely so cut-offs, scaling, and top-k selection run as whole-array
+numpy ops; this rule keeps per-row fallbacks from creeping back in.
+
+Two patterns are flagged, in the answer-path modules only
+(``repro.hotlist``, ``repro.estimators``, and the engine's query
+router ``repro.engine.engine``):
+
+* iterating directly over ``<array>.tolist()`` in a ``for`` statement
+  or comprehension -- materializing per-element Python objects just to
+  loop over them;
+* comprehensions accumulating over ``.items()`` / ``.values()`` /
+  ``.pairs()`` dict walks -- the shape the columnar view replaces.
+
+Plain ``for`` statements over ``.items()`` remain allowed: index
+maintenance and serialization legitimately walk dicts row by row.
+Tests and benchmarks are exempt (dict-path reference implementations
+live there on purpose).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.rules.base import Rule
+
+__all__ = ["AnswerPathLoopRule"]
+
+#: Directory roots outside the ``repro`` package that the rule skips.
+_EXEMPT_ROOTS = frozenset({"tests", "benchmarks"})
+
+#: Dict-walk methods whose results a comprehension should not
+#: accumulate over on the answer path.
+_DICT_WALKS = frozenset({"items", "values", "pairs"})
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _method_call(node: ast.expr, names: frozenset[str]) -> str | None:
+    """The method name when ``node`` is a no-arg ``<recv>.<name>()``."""
+    if not isinstance(node, ast.Call) or node.args or node.keywords:
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in names:
+        return func.attr
+    return None
+
+
+class AnswerPathLoopRule(Rule):
+    """RL012: per-row iteration where a columnar kernel belongs."""
+
+    code = "RL012"
+    title = "per-row loop on the answer path"
+    rationale = (
+        "Reporters and estimators answer queries; looping over "
+        ".tolist() elements or dict walks makes answer latency scale "
+        "per row.  Use the sample's columnar_view() and the "
+        "hotlist.kernels array ops instead."
+    )
+    scope = ("hotlist", "estimators")
+
+    def applies_to(self, module: SourceModule) -> bool:
+        if _EXEMPT_ROOTS.intersection(module.parts):
+            return False
+        # The engine subpackage is routing/maintenance code except for
+        # the query router itself, which is on the answer path.
+        if module.parts == ("repro", "engine", "engine"):
+            return True
+        return super().applies_to(module)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iterable(
+                    module, node.iter, tolist_only=True
+                )
+            elif isinstance(node, _COMPREHENSIONS):
+                for generator in node.generators:
+                    yield from self._check_iterable(
+                        module, generator.iter, tolist_only=False
+                    )
+
+    def _check_iterable(
+        self,
+        module: SourceModule,
+        iterable: ast.expr,
+        *,
+        tolist_only: bool,
+    ) -> Iterator[Finding]:
+        if _method_call(iterable, frozenset({"tolist"})) is not None:
+            yield self.finding(
+                module,
+                iterable,
+                "iterating element-by-element over `.tolist()` on "
+                "the answer path",
+                "keep the data columnar: operate on the array itself "
+                "(masks, partition, lexsort) or use "
+                "hotlist.kernels",
+            )
+            return
+        if tolist_only:
+            return
+        method = _method_call(iterable, _DICT_WALKS)
+        if method is not None:
+            yield self.finding(
+                module,
+                iterable,
+                f"comprehension accumulates over `.{method}()` on "
+                "the answer path",
+                "use the sample's columnar_view() and vectorized "
+                "kernels instead of walking the dict",
+            )

@@ -100,6 +100,9 @@ class ConciseSample(StreamSynopsis):
         # per-element-only runs consume exactly the same RNG stream as
         # before the batch pipeline existed.
         self._vector_coins: VectorCoins | None = None
+        # Memoized (values, counts) arrays for the answer path; reset
+        # to None by every mutation of ``_counts``.
+        self._columnar: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # State inspection
@@ -172,6 +175,25 @@ class ConciseSample(StreamSynopsis):
 
         return bit_footprint(self._counts, value_bits)
 
+    def columnar_view(self) -> tuple[np.ndarray, np.ndarray]:
+        """Parallel ``(values, counts)`` int64 arrays of the sample.
+
+        Built once from the concise representation and memoized until
+        the next mutation, so repeated reports between inserts pay no
+        rebuild.  The arrays are shared across calls and marked
+        read-only; callers must not write through them.
+        """
+        view = self._columnar
+        if view is None:
+            size = len(self._counts)
+            values = np.fromiter(self._counts.keys(), np.int64, size)
+            counts = np.fromiter(self._counts.values(), np.int64, size)
+            values.setflags(write=False)
+            counts.setflags(write=False)
+            view = (values, counts)
+            self._columnar = view
+        return view
+
     def sample_points(self) -> np.ndarray:
         """The sample expanded to individual points, as an array.
 
@@ -181,12 +203,7 @@ class ConciseSample(StreamSynopsis):
         """
         if not self._counts:
             return np.empty(0, dtype=np.int64)
-        values = np.fromiter(
-            self._counts.keys(), dtype=np.int64, count=len(self._counts)
-        )
-        counts = np.fromiter(
-            self._counts.values(), dtype=np.int64, count=len(self._counts)
-        )
+        values, counts = self.columnar_view()
         return np.repeat(values, counts)
 
     def estimate_frequency(self, value: int) -> float:
@@ -294,6 +311,7 @@ class ConciseSample(StreamSynopsis):
             counts_dict[value] = current + count
         self._footprint = footprint
         self._sample_size += int(admitted.size)
+        self._columnar = None
         if obs_probe.PROBE is not None:
             obs_probe.PROBE.on_admission(
                 self.SNAPSHOT_KIND, int(admitted.size)
@@ -309,6 +327,7 @@ class ConciseSample(StreamSynopsis):
             self._footprint += 1
         self._counts[value] = count + 1
         self._sample_size += 1
+        self._columnar = None
         if obs_probe.PROBE is not None:
             obs_probe.PROBE.on_admission(self.SNAPSHOT_KIND, 1)
 
@@ -353,6 +372,7 @@ class ConciseSample(StreamSynopsis):
                 self._counts[value] = remaining
                 if remaining == 1 and count >= 2:
                     self._footprint -= 1
+        self._columnar = None
         self._threshold = new_threshold
         self._admission.raise_threshold(new_threshold)
         if obs_probe.PROBE is not None:
@@ -376,9 +396,7 @@ class ConciseSample(StreamSynopsis):
         old_threshold = self._threshold
         size_before = self._sample_size
         keep_probability = self._threshold / new_threshold
-        size = len(self._counts)
-        values = np.fromiter(self._counts.keys(), np.int64, size)
-        counts = np.fromiter(self._counts.values(), np.int64, size)
+        values, counts = self.columnar_view()
         survivors = self._coins().binomial_survivors(
             counts, keep_probability
         )
@@ -386,6 +404,7 @@ class ConciseSample(StreamSynopsis):
         self._counts = dict(
             zip(values[alive].tolist(), survivors[alive].tolist(), strict=True)
         )
+        self._columnar = None
         self._footprint = int(
             np.count_nonzero(survivors == 1)
             + 2 * np.count_nonzero(survivors >= 2)

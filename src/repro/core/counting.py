@@ -126,6 +126,9 @@ class CountingSample(StreamSynopsis):
         # Vectorized randomness for the batch path; created lazily so
         # per-element-only runs consume the same RNG stream as before.
         self._vector_coins: VectorCoins | None = None
+        # Memoized (values, counts) arrays for the answer path; reset
+        # to None by every mutation of ``_counts``.
+        self._columnar: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # State inspection
@@ -187,6 +190,23 @@ class CountingSample(StreamSynopsis):
         """Map from observed count to the number of values with it."""
         return Counter(self._counts.values())
 
+    def columnar_view(self) -> tuple[np.ndarray, np.ndarray]:
+        """Parallel ``(values, counts)`` int64 arrays of the sample.
+
+        Built once and memoized until the next mutation; the arrays
+        are shared across calls and marked read-only.
+        """
+        view = self._columnar
+        if view is None:
+            size = len(self._counts)
+            values = np.fromiter(self._counts.keys(), np.int64, size)
+            counts = np.fromiter(self._counts.values(), np.int64, size)
+            values.setflags(write=False)
+            counts.setflags(write=False)
+            view = (values, counts)
+            self._columnar = view
+        return view
+
     def bit_footprint(self, value_bits: int = 32) -> int:
         """Footprint in bits under variable-length count encoding
         (paper footnote 3)."""
@@ -206,6 +226,7 @@ class CountingSample(StreamSynopsis):
         count = self._counts.get(value, 0)
         if count > 0:
             self._counts[value] = count + 1
+            self._columnar = None
             if count == 1:
                 # Singleton becomes a (value, count) pair.
                 self._footprint += 1
@@ -216,6 +237,7 @@ class CountingSample(StreamSynopsis):
             return
         self._counts[value] = 1
         self._footprint += 1
+        self._columnar = None
         if obs_probe.PROBE is not None:
             obs_probe.PROBE.on_admission(self.SNAPSHOT_KIND, 1)
         if self._footprint > self.footprint_bound:
@@ -314,6 +336,7 @@ class CountingSample(StreamSynopsis):
                     self.SNAPSHOT_KIND, int(np.count_nonzero(admitted))
                 )
         self._footprint = footprint
+        self._columnar = None
         if footprint > self.footprint_bound:
             self._shrink(batch=True)
 
@@ -330,6 +353,7 @@ class CountingSample(StreamSynopsis):
         count = self._counts.get(value, 0)
         if count == 0:
             return
+        self._columnar = None
         if count == 1:
             del self._counts[value]
             self._footprint -= 1
@@ -400,6 +424,7 @@ class CountingSample(StreamSynopsis):
                 self._counts[value] = new_count
                 if new_count == 1 and count >= 2:
                     self._footprint -= 1
+        self._columnar = None
         self._threshold = new_threshold
         self._admission.raise_threshold(new_threshold)
         if obs_probe.PROBE is not None:
@@ -421,19 +446,18 @@ class CountingSample(StreamSynopsis):
         """
         self.counters.threshold_raises += 1
         old_threshold = self._threshold
-        size = len(self._counts)
-        values = np.fromiter(self._counts.keys(), np.int64, size)
-        counts = np.fromiter(self._counts.values(), np.int64, size)
+        values, counts = self.columnar_view()
         new_counts = subsample_tail_counts(
             counts,
             self._threshold / new_threshold,
             new_threshold,
-            self._coins().uniforms(size),
+            self._coins().uniforms(counts.size),
         )
         alive = new_counts > 0
         self._counts = dict(
             zip(values[alive].tolist(), new_counts[alive].tolist(), strict=True)
         )
+        self._columnar = None
         self._footprint = int(
             np.count_nonzero(new_counts == 1)
             + 2 * np.count_nonzero(new_counts >= 2)

@@ -66,6 +66,9 @@ class ReservoirSample(StreamSynopsis):
         self._reservoir: list[int] = []
         self._seen = 0
         self._pending_skip = -1  # -1: no skip drawn yet (filling phase)
+        # Memoized semi-sorted (values, counts) arrays for the answer
+        # path; reset to None whenever the reservoir contents change.
+        self._columnar: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # State inspection
@@ -102,6 +105,22 @@ class ReservoirSample(StreamSynopsis):
         """
         return iter(Counter(self._reservoir).items())
 
+    def columnar_view(self) -> tuple[np.ndarray, np.ndarray]:
+        """The semi-sorted sample as parallel ``(values, counts)`` arrays.
+
+        The columnar form of :meth:`pairs` (one ``np.unique`` instead
+        of a Counter walk), memoized until the reservoir next changes;
+        the arrays are shared across calls and marked read-only.
+        """
+        view = self._columnar
+        if view is None:
+            values, counts = np.unique(self.as_array(), return_counts=True)
+            values.setflags(write=False)
+            counts.setflags(write=False)
+            view = (values, counts)
+            self._columnar = view
+        return view
+
     def estimate_frequency(self, value: int) -> float:
         """Estimated relation count of ``value``: sample count times
         ``n / m``."""
@@ -126,6 +145,7 @@ class ReservoirSample(StreamSynopsis):
         if len(self._reservoir) < self.capacity:
             self._seen += 1
             self._reservoir.append(value)
+            self._columnar = None
             if obs_probe.PROBE is not None:
                 obs_probe.PROBE.on_admission(self.SNAPSHOT_KIND, 1)
             return
@@ -149,6 +169,8 @@ class ReservoirSample(StreamSynopsis):
         position = 0
         n = len(values)
         self.counters.inserts += n
+        if n:
+            self._columnar = None
         # Fill phase.
         while position < n and len(self._reservoir) < self.capacity:
             self._reservoir.append(int(values[position]))
@@ -198,6 +220,7 @@ class ReservoirSample(StreamSynopsis):
         self.counters.flips += 1
         slot = self._rng.choice_index(self.capacity)
         self._reservoir[slot] = value
+        self._columnar = None
         if obs_probe.PROBE is not None:
             obs_probe.PROBE.on_admission(self.SNAPSHOT_KIND, 1)
 
@@ -238,6 +261,7 @@ class ReservoirSample(StreamSynopsis):
         )
         sample._reservoir = [int(v) for v in payload["points"]]
         sample._seen = int(payload["seen"])
+        sample._columnar = None
         sample.check_invariants()
         if obs_probe.PROBE is not None:
             obs_probe.PROBE.on_snapshot(cls.SNAPSHOT_KIND, "restore")

@@ -17,6 +17,7 @@ consisting of an approximate answer and an accuracy measure."
   query and response types.
 """
 
+from repro.engine.cache import QueryResultCache
 from repro.engine.composite import (
     composite_name,
     decode_composite,
@@ -65,6 +66,7 @@ __all__ = [
     "Query",
     "answer_with_policy",
     "QueryResponse",
+    "QueryResultCache",
     "Relation",
     "SelectivityQuery",
     "SumQuery",

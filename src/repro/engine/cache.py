@@ -1,0 +1,121 @@
+"""Epoch-invalidated LRU cache for approximate query answers.
+
+Synopses change only when the load stream does, so an approximate
+answer stays valid until the next ingest touching its relation(s).
+The cache exploits that: entries are keyed on the (frozen, hashable)
+query itself and stamped with the *epoch token* of every relation the
+query reads.  A lookup whose stored token no longer matches the
+current one is dropped lazily -- writes never walk the cache, they
+just advance an epoch counter, so invalidation is O(1) per ingest and
+exact per relation (a load into ``orders`` leaves cached answers over
+``customers`` warm).
+
+Capacity is bounded with LRU eviction.  Cache traffic is exported to
+the metrics registry as ``repro_query_cache_{hits,misses,
+invalidations,evictions}_total`` counters labeled by query type.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["QueryResultCache"]
+
+#: An epoch token: per relation, the (ingest epoch, synopsis epoch)
+#: pair current when the answer was computed.
+EpochToken = tuple[tuple[str, tuple[int, int]], ...]
+
+
+class QueryResultCache:
+    """LRU map from query to answer, invalidated by relation epochs.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum live entries; least-recently-used entries are evicted
+        beyond it.
+    registry:
+        Metrics sink; defaults to the process-wide active registry
+        (a no-op registry unless observability was enabled).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._registry = registry if registry is not None else get_registry()
+        self._entries: OrderedDict[
+            Hashable, tuple[EpochToken, Any]
+        ] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Lifetime hit/miss/invalidation/eviction counts."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "invalidations": self._invalidations,
+            "evictions": self._evictions,
+            "size": len(self._entries),
+        }
+
+    def get(self, key: Hashable, epochs: EpochToken) -> Any | None:
+        """The cached answer for ``key`` if still current, else None.
+
+        ``epochs`` is the *current* epoch token of the relations the
+        query reads; a stored entry whose token differs is stale and
+        is dropped (counted as an invalidation plus a miss).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            self._count("misses", key)
+            return None
+        stored_epochs, answer = entry
+        if stored_epochs != epochs:
+            del self._entries[key]
+            self._invalidations += 1
+            self._misses += 1
+            self._count("invalidations", key)
+            self._count("misses", key)
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        self._count("hits", key)
+        return answer
+
+    def put(self, key: Hashable, epochs: EpochToken, answer: Any) -> None:
+        """Store an answer computed at the given epoch token."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (epochs, answer)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+            self._count("evictions", key)
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep their lifetime totals)."""
+        self._entries.clear()
+
+    def _count(self, outcome: str, key: Hashable) -> None:
+        self._registry.counter(
+            f"repro_query_cache_{outcome}_total",
+            f"Query-result cache {outcome}, by query type",
+            {"query": type(key).__name__},
+        ).inc()

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.concise import ConciseSample
 from repro.core.reservoir import ReservoirSample
+from repro.engine.cache import EpochToken, QueryResultCache
 from repro.engine.queries import (
     AverageQuery,
     CountQuery,
@@ -92,6 +93,12 @@ class ApproximateAnswerEngine:
         :meth:`answer` call is recorded as a query span.  The engine
         never reads a clock itself -- timing lives entirely in the
         tracer.
+    cache:
+        Optional :class:`~repro.engine.cache.QueryResultCache`; when
+        set, approximate answers are memoized and invalidated by the
+        ingest epochs of the relations each query reads.  The exact
+        path is never cached -- it must scan base data and charge the
+        disk accesses every time.
     """
 
     def __init__(
@@ -100,12 +107,15 @@ class ApproximateAnswerEngine:
         budget_words: int | None = None,
         *,
         tracer: QueryTracer | None = None,
+        cache: QueryResultCache | None = None,
     ) -> None:
         self.warehouse = warehouse
         self.registry = SynopsisRegistry(budget_words)
         self.tracer = tracer
+        self.cache = cache
         self._row_counts: dict[str, int] = {}
         self._composites: dict[str, list[tuple[str, ...]]] = {}
+        self._synopsis_epochs: dict[str, int] = {}
         warehouse.add_observer(_EngineTap(self))
 
     # ------------------------------------------------------------------
@@ -232,10 +242,15 @@ class ApproximateAnswerEngine:
             insert_array = getattr(synopsis, "insert_array", None)
             if insert_array is not None:
                 insert_array(prepared)
-            else:
-                insert = synopsis.insert
-                for value in prepared.tolist():
-                    insert(value)
+                continue
+            insert_many = getattr(synopsis, "insert_many", None)
+            if insert_many is not None:
+                insert_many(prepared.tolist())
+                continue
+            insert = synopsis.insert
+            rows = prepared.tolist()
+            for value in rows:
+                insert(value)
 
     def rows_loaded(self, relation_name: str) -> int:
         """Net rows the engine has observed for a relation."""
@@ -253,18 +268,21 @@ class ApproximateAnswerEngine:
     ) -> None:
         """Register a uniform-sample synopsis for aggregates."""
         self.registry.register(relation, attribute, SAMPLE, sample)
+        self.bump_epoch(relation)
 
     def register_hotlist(
         self, relation: str, attribute: str, reporter: HotListReporter
     ) -> None:
         """Register a hot-list reporter."""
         self.registry.register(relation, attribute, HOTLIST, reporter)
+        self.bump_epoch(relation)
 
     def register_distinct(
         self, relation: str, attribute: str, sketch: DistinctSketch
     ) -> None:
         """Register a distinct-count sketch."""
         self.registry.register(relation, attribute, DISTINCT, sketch)
+        self.bump_epoch(relation)
 
     def register_histogram(
         self, relation: str, attribute: str, histogram: Histogram
@@ -277,6 +295,7 @@ class ApproximateAnswerEngine:
         registered, or via :meth:`refresh_histogram` after loads.
         """
         self.registry.register(relation, attribute, HISTOGRAM, histogram)
+        self.bump_epoch(relation)
 
     def refresh_histogram(
         self, relation: str, attribute: str, histogram: Histogram
@@ -284,6 +303,7 @@ class ApproximateAnswerEngine:
         """Swap in a freshly rebuilt histogram for an attribute."""
         self.registry.unregister(relation, attribute, HISTOGRAM)
         self.registry.register(relation, attribute, HISTOGRAM, histogram)
+        self.bump_epoch(relation)
 
     def register_composite_hotlist(
         self,
@@ -308,7 +328,60 @@ class ApproximateAnswerEngine:
         self._composites.setdefault(relation, [])
         if attributes not in self._composites[relation]:
             self._composites[relation].append(tuple(attributes))
+        self.bump_epoch(relation)
         return name
+
+    # ------------------------------------------------------------------
+    # Cache epochs
+    # ------------------------------------------------------------------
+
+    def bump_epoch(self, relation: str) -> None:
+        """Advance a relation's synopsis epoch.
+
+        Invalidates every cached answer over the relation.  The engine
+        bumps it automatically when a synopsis is (re-)registered or a
+        histogram refreshed; call it manually after mutating a
+        registered synopsis out of band (e.g. merging a distributed
+        partial sample into it).
+        """
+        self._synopsis_epochs[relation] = (
+            self._synopsis_epochs.get(relation, 0) + 1
+        )
+
+    def _epoch_token(self, query: Query) -> EpochToken:
+        """Current epochs of every relation the query reads.
+
+        Combines the relation's own ingest epoch (advanced by inserts,
+        batches, and deletes -- snapshot restore replaces the relation
+        object, which restarts the sequence from its row count) with
+        the engine's synopsis epoch (advanced by registrations and
+        :meth:`bump_epoch`).
+        """
+        synopsis_epochs = self._synopsis_epochs
+        if isinstance(query, JoinSizeQuery):
+            names = sorted({query.left_relation, query.right_relation})
+            return tuple(
+                (
+                    name,
+                    (
+                        self.warehouse.relation(name).epoch,
+                        synopsis_epochs.get(name, 0),
+                    ),
+                )
+                for name in names
+            )
+        # Single-relation fast path: this runs on every cache hit, so
+        # skip the set/sort round trip the join case needs.
+        name = query.relation
+        return (
+            (
+                name,
+                (
+                    self.warehouse.relation(name).epoch,
+                    synopsis_epochs.get(name, 0),
+                ),
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Query answering
@@ -322,25 +395,45 @@ class ApproximateAnswerEngine:
         from synopses and raises :class:`NoSynopsisError` when none is
         registered for the query.
 
-        When a tracer is attached, the call is recorded as one query
-        span (including errors, which are re-raised).
+        When a cache is attached, approximate answers are served from
+        it while the target relations' epochs are unchanged; any
+        ingest into a relation invalidates exactly that relation's
+        entries.  When a tracer is attached, the call is recorded as
+        one query span (including errors, which are re-raised), with
+        the cache outcome on the span.
         """
         tracer = self.tracer
-        if tracer is None:
-            if exact:
-                return self._answer_exact(query)
-            return self._answer_approximate(query)
-        started = tracer.begin()
+        started = tracer.begin() if tracer is not None else 0.0
+        cache_status: str | None = None
         try:
-            response = (
-                self._answer_exact(query)
-                if exact
-                else self._answer_approximate(query)
-            )
+            if exact:
+                response = self._answer_exact(query)
+            elif self.cache is None:
+                response = self._answer_approximate(query)
+            else:
+                epochs = self._epoch_token(query)
+                cached = self.cache.get(query, epochs)
+                if cached is not None:
+                    cache_status = "hit"
+                    response = cached
+                else:
+                    cache_status = "miss"
+                    response = self._answer_approximate(query)
+                    self.cache.put(query, epochs, response)
         except Exception as error:
-            tracer.record_error(query, error, started, requested_exact=exact)
+            if tracer is not None:
+                tracer.record_error(
+                    query, error, started, requested_exact=exact
+                )
             raise
-        tracer.record(query, response, started, requested_exact=exact)
+        if tracer is not None:
+            tracer.record(
+                query,
+                response,
+                started,
+                requested_exact=exact,
+                cache=cache_status,
+            )
         return response
 
     # -- approximate paths ---------------------------------------------
@@ -432,8 +525,6 @@ class ApproximateAnswerEngine:
     def _answer_join_size_exact(
         self, query: JoinSizeQuery
     ) -> QueryResponse:
-        from repro.stats.frequency import FrequencyTable
-
         before = self.warehouse.counters.disk_accesses
         left = self.warehouse.exact_column(
             query.left_relation, query.left_attribute
@@ -442,13 +533,15 @@ class ApproximateAnswerEngine:
             query.right_relation, query.right_attribute
         )
         cost = self.warehouse.counters.disk_accesses - before
-        right_table = FrequencyTable(right)
-        size = float(
-            sum(
-                count * right_table.count(value)
-                for value, count in FrequencyTable(left).items()
-            )
+        left_values, left_counts = np.unique(left, return_counts=True)
+        right_values, right_counts = np.unique(right, return_counts=True)
+        _, left_index, right_index = np.intersect1d(
+            left_values,
+            right_values,
+            assume_unique=True,
+            return_indices=True,
         )
+        size = float(left_counts[left_index] @ right_counts[right_index])
         return QueryResponse(
             answer=size,
             interval=None,

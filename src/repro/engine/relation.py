@@ -42,6 +42,7 @@ class Relation:
         self.attributes = list(attributes)
         self._rows: Counter[tuple] = Counter()
         self._size = 0
+        self._epoch = 0
 
     def _normalise(self, row: Mapping[str, int] | tuple) -> tuple:
         if isinstance(row, tuple):
@@ -61,6 +62,7 @@ class Relation:
         normalised = self._normalise(row)
         self._rows[normalised] += 1
         self._size += 1
+        self._epoch += 1
         return normalised
 
     def insert_batch(
@@ -93,6 +95,7 @@ class Relation:
             raise RelationError("batch columns differ in length")
         if length == 0:
             return dict(zip(self.attributes, arrays, strict=True))
+        self._epoch += 1
         if all(array.dtype.kind in "iu" for array in arrays):
             # Factorise each column to dense codes and combine them
             # into one int64 row key: per-column int sorts are much
@@ -148,6 +151,7 @@ class Relation:
         else:
             self._rows[normalised] = current - 1
         self._size -= 1
+        self._epoch += 1
         return normalised
 
     def __len__(self) -> int:
@@ -157,6 +161,18 @@ class Relation:
     def size(self) -> int:
         """Number of live rows."""
         return self._size
+
+    @property
+    def epoch(self) -> int:
+        """Monotone ingest epoch: bumped by every mutation.
+
+        Each :meth:`insert`, :meth:`insert_batch`, and :meth:`delete`
+        advances the counter (a batch counts as one epoch).  Consumers
+        that memoize derived results -- the engine's query-result
+        cache above all -- compare stored epochs against the current
+        one to detect staleness without subscribing to the stream.
+        """
+        return self._epoch
 
     def attribute_index(self, attribute: str) -> int:
         """Schema position of an attribute."""
@@ -234,4 +250,8 @@ class Relation:
                 )
             relation._rows[row] = int(count)
             relation._size += int(count)
+        # A restored relation starts a fresh epoch sequence; seed it
+        # with the row count so it never trivially equals a new empty
+        # relation's epoch 0.
+        relation._epoch = relation._size
         return relation

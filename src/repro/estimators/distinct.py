@@ -11,7 +11,6 @@ once, twice, ... -- which a concise sample stores explicitly in its
 from __future__ import annotations
 
 import math
-from collections import Counter
 from typing import Mapping
 
 import numpy as np
@@ -25,13 +24,19 @@ __all__ = [
 
 def frequency_profile(points: np.ndarray) -> dict[int, int]:
     """``f_i``: how many distinct values occur exactly ``i`` times."""
-    return dict(Counter(Counter(points.tolist()).values()))
+    _, point_counts = np.unique(points, return_counts=True)
+    sizes, frequencies = np.unique(point_counts, return_counts=True)
+    return dict(zip(sizes.tolist(), frequencies.tolist(), strict=True))
 
 
 def _profile_stats(profile: Mapping[int, int]) -> tuple[int, int, int]:
-    distinct = sum(profile.values())
-    sample_size = sum(i * f for i, f in profile.items())
-    singletons = profile.get(1, 0)
+    if not profile:
+        return 0, 0, 0
+    sizes = np.fromiter(profile.keys(), np.int64, len(profile))
+    frequencies = np.fromiter(profile.values(), np.int64, len(profile))
+    distinct = int(frequencies.sum())
+    sample_size = int(sizes @ frequencies)
+    singletons = int(profile.get(1, 0))
     return distinct, sample_size, singletons
 
 

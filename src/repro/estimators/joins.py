@@ -17,8 +17,6 @@ list captures.  Two estimators are provided:
 
 from __future__ import annotations
 
-from collections import Counter
-
 import numpy as np
 
 from repro.hotlist.base import HotListAnswer
@@ -73,12 +71,11 @@ def join_size_from_samples(
         raise ValueError("cannot estimate from an empty sample")
     if left_total < 0 or right_total < 0:
         raise ValueError("relation sizes must be non-negative")
-    left_counts = Counter(left_points.tolist())
-    right_counts = Counter(right_points.tolist())
-    cross = sum(
-        count * right_counts[value]
-        for value, count in left_counts.items()
-        if value in right_counts
+    left_values, left_counts = np.unique(left_points, return_counts=True)
+    right_values, right_counts = np.unique(right_points, return_counts=True)
+    _, left_index, right_index = np.intersect1d(
+        left_values, right_values, assume_unique=True, return_indices=True
     )
+    cross = int(left_counts[left_index] @ right_counts[right_index])
     scale = (left_total / m_left) * (right_total / m_right)
     return cross * scale

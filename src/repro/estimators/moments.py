@@ -36,8 +36,8 @@ def estimate_frequency_moment(
     if population < 0:
         raise ValueError("population must be non-negative")
     scale = population / m
-    counts = Counter(points.tolist())
-    return float(sum((c * scale) ** k for c in counts.values()))
+    _, counts = np.unique(points, return_counts=True)
+    return float(np.sum((counts * scale) ** k))
 
 
 def sample_size_gain(
@@ -54,7 +54,10 @@ def sample_size_gain(
     """
     if sample_size < 0:
         raise ValueError("sample_size must be non-negative")
-    frequencies = [count for count in sample_counts.values() if count > 0]
+    counts = np.fromiter(
+        sample_counts.values(), np.int64, len(sample_counts)
+    )
+    frequencies = counts[counts > 0].tolist()
     if not frequencies:
         return 0.0
     return concise_gain_expected(frequencies, sample_size)

@@ -58,7 +58,10 @@ def kth_largest(counts: Iterable[int], k: int) -> int:
     """
     if k <= 0:
         raise ValueError("k must be positive")
-    values = np.fromiter(counts, dtype=np.int64)
+    if isinstance(counts, np.ndarray):
+        values = counts
+    else:
+        values = np.fromiter(counts, dtype=np.int64)
     if len(values) < k:
         return 0
     return int(np.partition(values, len(values) - k)[len(values) - k])
@@ -87,9 +90,20 @@ class HotListReporter(ABC):
             self.insert(int(value))
 
     def insert_array(self, values: np.ndarray) -> None:
-        """Observe a bulk of warehouse inserts, in order."""
-        for value in values.tolist():
-            self.insert(value)
+        """Observe a bulk of warehouse inserts, in order.
+
+        Routes through the wrapped synopsis's vectorized bulk path
+        when the reporter exposes one as ``self.sample``; reporters
+        with extra per-insert bookkeeping must override this method
+        (every concrete reporter in this package does -- see the
+        override audit in the columnar tests).
+        """
+        sample = getattr(self, "sample", None)
+        bulk = getattr(sample, "insert_array", None)
+        if bulk is not None:
+            bulk(np.asarray(values))
+            return
+        self.insert_many(values.tolist())
 
     @abstractmethod
     def report(self, k: int) -> HotListAnswer:

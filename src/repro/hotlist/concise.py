@@ -13,11 +13,10 @@ import numpy as np
 
 from repro.core.concise import ConciseSample
 from repro.core.thresholds import ThresholdPolicy
-from repro.hotlist.base import (
-    HotListAnswer,
-    HotListReporter,
-    kth_largest,
-    order_entries,
+from repro.hotlist.base import HotListAnswer, HotListReporter
+from repro.hotlist.kernels import (
+    confident_from_columns,
+    report_from_columns,
 )
 from repro.randkit.coins import CostCounters
 
@@ -77,17 +76,14 @@ class ConciseHotList(HotListReporter):
             raise ValueError("k must be positive")
         if self.sample.sample_size == 0:
             return HotListAnswer(k=k)
-        counts = self.sample.as_dict()
-        cutoff = max(
-            kth_largest(counts.values(), k), self.confidence_threshold
+        values, counts = self.sample.columnar_view()
+        return report_from_columns(
+            values,
+            counts,
+            k,
+            confidence_cutoff=self.confidence_threshold,
+            scale=self.sample.total_inserted / self.sample.sample_size,
         )
-        scale = self.sample.total_inserted / self.sample.sample_size
-        estimates = {
-            value: count * scale
-            for value, count in counts.items()
-            if count >= cutoff
-        }
-        return HotListAnswer(k=k, entries=order_entries(estimates))
 
     def report_all_confident(self) -> HotListAnswer:
         """Every value reportable with confidence (Section 5.2's
@@ -95,15 +91,12 @@ class ConciseHotList(HotListReporter):
         no rank cut-off, just the theta threshold on sample counts.
         Theorem 7 bounds the false-positive and false-negative rates
         of exactly this report."""
-        counts = self.sample.as_dict()
-        if not counts:
+        if self.sample.sample_size == 0:
             return HotListAnswer(k=0)
-        scale = self.sample.total_inserted / self.sample.sample_size
-        estimates = {
-            value: count * scale
-            for value, count in counts.items()
-            if count >= self.confidence_threshold
-        }
-        return HotListAnswer(
-            k=len(estimates), entries=order_entries(estimates)
+        values, counts = self.sample.columnar_view()
+        return confident_from_columns(
+            values,
+            counts,
+            confidence_cutoff=self.confidence_threshold,
+            scale=self.sample.total_inserted / self.sample.sample_size,
         )

@@ -16,11 +16,10 @@ import numpy as np
 
 from repro.core.counting import CountingSample
 from repro.core.thresholds import ThresholdPolicy
-from repro.hotlist.base import (
-    HotListAnswer,
-    HotListReporter,
-    kth_largest,
-    order_entries,
+from repro.hotlist.base import HotListAnswer, HotListReporter
+from repro.hotlist.kernels import (
+    confident_from_columns,
+    report_from_columns,
 )
 from repro.randkit.coins import CostCounters
 from repro.stats.theory import compensation_constant, counting_report_cutoff
@@ -84,48 +83,35 @@ class CountingHotList(HotListReporter):
         """Report up to ``k`` hot values (possibly fewer; Section 5.2)."""
         if k < 1:
             raise ValueError("k must be positive")
-        counts = self.sample.as_dict()
-        if not counts:
+        values, counts = self.sample.columnar_view()
+        if counts.size == 0:
             return HotListAnswer(k=k)
         threshold = self.sample.threshold
         if threshold <= 1.0:
             # Exact mode: every inserted value is present with its
             # exact count; only the rank cut-off applies.
-            cutoff = float(kth_largest(counts.values(), k))
-            compensation = 0.0
-        else:
-            cutoff = max(
-                float(kth_largest(counts.values(), k)),
-                counting_report_cutoff(threshold),
-            )
-            compensation = self.compensation()
-        estimates = {
-            value: count + compensation
-            for value, count in counts.items()
-            if count >= cutoff
-        }
-        return HotListAnswer(k=k, entries=order_entries(estimates))
+            return report_from_columns(values, counts, k)
+        return report_from_columns(
+            values,
+            counts,
+            k,
+            confidence_cutoff=counting_report_cutoff(threshold),
+            offset=self.compensation(),
+        )
 
     def report_all_confident(self) -> HotListAnswer:
         """Every value reportable with confidence (Section 5.2): no
         rank cut-off, just the ``tau - c-hat`` count threshold whose
         error rates Theorem 8 bounds."""
-        counts = self.sample.as_dict()
-        if not counts:
+        values, counts = self.sample.columnar_view()
+        if counts.size == 0:
             return HotListAnswer(k=0)
         threshold = self.sample.threshold
         if threshold <= 1.0:
-            estimates = {
-                value: float(count) for value, count in counts.items()
-            }
-        else:
-            cutoff = counting_report_cutoff(threshold)
-            compensation = self.compensation()
-            estimates = {
-                value: count + compensation
-                for value, count in counts.items()
-                if count >= cutoff
-            }
-        return HotListAnswer(
-            k=len(estimates), entries=order_entries(estimates)
+            return confident_from_columns(values, counts)
+        return confident_from_columns(
+            values,
+            counts,
+            confidence_cutoff=counting_report_cutoff(threshold),
+            offset=self.compensation(),
         )

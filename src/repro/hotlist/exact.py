@@ -17,7 +17,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hotlist.base import HotListAnswer, HotListReporter, order_entries
+from repro.hotlist.base import (
+    HotListAnswer,
+    HotListEntry,
+    HotListReporter,
+)
 from repro.randkit.coins import CostCounters
 from repro.stats.frequency import FrequencyTable
 
@@ -86,5 +90,11 @@ class FullHistogramHotList(HotListReporter):
         if k < 1:
             raise ValueError("k must be positive")
         top = self._histogram.top_k(min(k, self.synopsis_capacity))
-        estimates = {value: float(count) for value, count in top}
-        return HotListAnswer(k=k, entries=order_entries(estimates))
+        # top_k already delivers (-count, value) order -- exactly the
+        # canonical hot-list entry order.
+        return HotListAnswer(
+            k=k,
+            entries=tuple(
+                HotListEntry(value, float(count)) for value, count in top
+            ),
+        )

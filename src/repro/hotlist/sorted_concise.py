@@ -18,7 +18,8 @@ import numpy as np
 
 from repro.core.concise import ConciseSample
 from repro.core.thresholds import ThresholdPolicy
-from repro.hotlist.base import HotListAnswer, HotListReporter, order_entries
+from repro.hotlist.base import HotListAnswer, HotListReporter
+from repro.hotlist.kernels import report_from_columns
 from repro.randkit.coins import CostCounters
 
 __all__ = ["SortedConciseHotList"]
@@ -126,11 +127,17 @@ class SortedConciseHotList(HotListReporter):
         self._sync_insert(value, admitted)
 
     def insert_array(self, values: np.ndarray) -> None:
-        # The skip-ahead bulk path of the sample does not report which
-        # values were admitted, so feed per-op; admissions are rare
-        # once the threshold grows.
-        for value in values.tolist():
-            self.insert(value)
+        """Bulk insertion via the sample's vectorized path.
+
+        The skip-ahead bulk pipeline does not report which values were
+        admitted, so instead of feeding the stream per element the
+        whole batch goes to the sample and the count index is rebuilt
+        once afterwards -- O(m) index work per batch against the
+        vectorized O(n) stream work, preserving O(k) reporting.
+        """
+        self.sample.insert_array(np.asarray(values))
+        self._last_raises = self.sample.counters.threshold_raises
+        self._index.rebuild(self.sample.as_dict())
 
     def report(self, k: int) -> HotListAnswer:
         """Report up to ``k`` hot values in O(k)."""
@@ -141,11 +148,18 @@ class SortedConciseHotList(HotListReporter):
         candidates = list(
             self._index.top(k, self.confidence_threshold)
         )
-        scale = self.sample.total_inserted / self.sample.sample_size
-        estimates = {
-            value: count * scale for value, count in candidates
-        }
-        return HotListAnswer(k=k, entries=order_entries(estimates))
+        if not candidates:
+            return HotListAnswer(k=k)
+        # The index walk already applied both cut-offs; the kernel
+        # only orders the <= k candidates and forms the estimates.
+        values = np.asarray([value for value, _ in candidates], np.int64)
+        counts = np.asarray([count for _, count in candidates], np.int64)
+        return report_from_columns(
+            values,
+            counts,
+            k,
+            scale=self.sample.total_inserted / self.sample.sample_size,
+        )
 
     def check_index(self) -> None:
         """Validate the index against the sample (test hook)."""

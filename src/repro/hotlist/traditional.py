@@ -10,17 +10,11 @@ max(c_k, theta), scaling the counts by n/m."
 
 from __future__ import annotations
 
-from collections import Counter
-
 import numpy as np
 
 from repro.core.reservoir import ReservoirSample
-from repro.hotlist.base import (
-    HotListAnswer,
-    HotListReporter,
-    kth_largest,
-    order_entries,
-)
+from repro.hotlist.base import HotListAnswer, HotListReporter
+from repro.hotlist.kernels import report_from_columns
 from repro.randkit.coins import CostCounters
 
 __all__ = ["TraditionalHotList"]
@@ -77,16 +71,13 @@ class TraditionalHotList(HotListReporter):
         """Report up to ``k`` hot values (possibly fewer; Section 5.2)."""
         if k < 1:
             raise ValueError("k must be positive")
-        pairs = Counter(self.sample.points())
-        if not pairs:
+        values, counts = self.sample.columnar_view()
+        if counts.size == 0:
             return HotListAnswer(k=k)
-        cutoff = max(
-            kth_largest(pairs.values(), k), self.confidence_threshold
+        return report_from_columns(
+            values,
+            counts,
+            k,
+            confidence_cutoff=self.confidence_threshold,
+            scale=self.sample.total_inserted / self.sample.sample_size,
         )
-        scale = self.sample.total_inserted / self.sample.sample_size
-        estimates = {
-            value: count * scale
-            for value, count in pairs.items()
-            if count >= cutoff
-        }
-        return HotListAnswer(k=k, entries=order_entries(estimates))

@@ -53,6 +53,10 @@ class QuerySpan:
         Disk accesses an exact recomputation was estimated to cost.
     error:
         Exception class name when the query raised, else ``None``.
+    cache:
+        ``"hit"`` or ``"miss"`` when the engine consulted its
+        query-result cache, else ``None`` (no cache attached, or the
+        exact path, which is never cached).
     """
 
     query: str
@@ -68,6 +72,7 @@ class QuerySpan:
     confidence: float | None
     exact_cost_estimate: int
     error: str | None
+    cache: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """The span as a JSON-able dict (exposition/CLI payload)."""
@@ -85,6 +90,7 @@ class QuerySpan:
             "confidence": self.confidence,
             "exact_cost_estimate": self.exact_cost_estimate,
             "error": self.error,
+            "cache": self.cache,
         }
 
 
@@ -139,6 +145,7 @@ class QueryTracer:
         started: float,
         *,
         requested_exact: bool = False,
+        cache: str | None = None,
     ) -> QuerySpan:
         """Close the span for a successfully answered query."""
         interval = getattr(response, "interval", None)
@@ -163,6 +170,7 @@ class QueryTracer:
                 getattr(response, "exact_cost_estimate", 0)
             ),
             error=None,
+            cache=cache,
         )
         return span
 

@@ -116,14 +116,41 @@ class FrequencyTable:
         """The ``k`` most frequent ``(value, count)`` pairs.
 
         Ties are broken toward smaller values so the output is
-        deterministic.
+        deterministic.  A partial selection rather than a full sort:
+        ``np.argpartition`` finds the ``k``-th largest count, only the
+        values at or above it (possibly more than ``k`` on ties) are
+        ordered, and the result is cut to ``k``.
         """
         if k < 0:
             raise ValueError("k must be non-negative")
-        ordered = sorted(
-            self._counts.items(), key=lambda item: (-item[1], item[0])
-        )
-        return ordered[:k]
+        size = len(self._counts)
+        if k == 0 or size == 0:
+            return []
+        keys = list(self._counts.keys())
+        counts = np.fromiter(self._counts.values(), np.int64, size)
+        # Keys may be Python floats (float columns build float tables);
+        # numpy infers a common numeric dtype for tie-breaking only --
+        # the returned pairs carry the original key objects.
+        values = np.asarray(keys)
+        if values.dtype == object:
+            # Values outside int64 (wide composite encodings): sort in
+            # Python, where big integers compare exactly.
+            ordered = sorted(
+                self._counts.items(), key=lambda item: (-item[1], item[0])
+            )
+            return ordered[:k]
+        if k < size:
+            pivot = size - k
+            boundary = counts[np.argpartition(counts, pivot)[pivot]]
+            candidates = np.nonzero(counts >= boundary)[0]
+        else:
+            candidates = np.arange(size)
+        order = candidates[
+            np.lexsort((values[candidates], -counts[candidates]))
+        ][:k]
+        return [
+            (keys[index], int(counts[index])) for index in order.tolist()
+        ]
 
 
 def frequency_moment(values: np.ndarray | Iterable[int], k: float) -> float:

@@ -1,0 +1,424 @@
+"""Columnar report kernels vs the historical dict path.
+
+The kernels in :mod:`repro.hotlist.kernels` replaced per-query dict
+walks with array ops; the refactor is only sound if every reporter's
+answer is *byte-identical* to what the dict path produced -- same
+values, same float estimates, same order, ties included.  The
+reference implementations below are the dict path, kept verbatim in
+test code (where RL012 does not apply) as the oracle.
+
+Also covered: the samples' ``columnar_view`` contract (memoized until
+the next mutation, read-only arrays) and the bulk-ingest audit of
+every concrete reporter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.concise import ConciseSample
+from repro.core.counting import CountingSample
+from repro.core.reservoir import ReservoirSample
+from repro.hotlist.base import (
+    HotListAnswer,
+    HotListReporter,
+    kth_largest,
+    order_entries,
+)
+from repro.hotlist.concise import ConciseHotList
+from repro.hotlist.counting import CountingHotList
+from repro.hotlist.exact import FullHistogramHotList
+from repro.hotlist.kernels import (
+    confident_from_columns,
+    rank_cutoff,
+    report_from_columns,
+)
+from repro.hotlist.sorted_concise import SortedConciseHotList
+from repro.hotlist.traditional import TraditionalHotList
+from repro.stats.frequency import FrequencyTable
+from repro.stats.theory import counting_report_cutoff
+
+value_streams = st.lists(
+    st.integers(min_value=1, max_value=50), min_size=0, max_size=400
+)
+footprints = st.integers(min_value=4, max_value=64)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+ks = st.integers(min_value=1, max_value=12)
+count_dicts = st.dictionaries(
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=1, max_value=40),
+    min_size=0,
+    max_size=50,
+)
+cutoffs = st.one_of(
+    st.integers(min_value=0, max_value=20),
+    st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+)
+scales = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+offsets = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# The dict-path oracle (the historical reporter implementation)
+# ----------------------------------------------------------------------
+
+
+def dict_report(counts, k, *, confidence_cutoff=0.0, scale=1.0, offset=0.0):
+    """The pre-kernel report: cut-off and estimates via a dict walk."""
+    if not counts:
+        return HotListAnswer(k=k)
+    cutoff = max(kth_largest(counts.values(), k), confidence_cutoff)
+    estimates = {
+        value: count * scale + offset
+        for value, count in counts.items()
+        if count >= cutoff
+    }
+    if not estimates:
+        return HotListAnswer(k=k)
+    return HotListAnswer(k=k, entries=order_entries(estimates))
+
+
+def dict_confident(counts, *, confidence_cutoff=0.0, scale=1.0, offset=0.0):
+    """The pre-kernel all-confident report."""
+    estimates = {
+        value: count * scale + offset
+        for value, count in counts.items()
+        if count >= confidence_cutoff
+    }
+    entries = order_entries(estimates)
+    return HotListAnswer(k=len(entries), entries=entries)
+
+
+def columns(counts: dict) -> tuple[np.ndarray, np.ndarray]:
+    values = np.fromiter(counts.keys(), np.int64, len(counts))
+    tallies = np.fromiter(counts.values(), np.int64, len(counts))
+    return values, tallies
+
+
+# ----------------------------------------------------------------------
+# Kernel-level identity over arbitrary (values, counts) columns
+# ----------------------------------------------------------------------
+
+
+class TestKernelMatchesDictPath:
+    @given(counts=count_dicts, k=ks)
+    @settings(max_examples=200, deadline=None)
+    def test_rank_cutoff_is_kth_largest(self, counts, k):
+        values, tallies = columns(counts)
+        assert rank_cutoff(tallies, k) == kth_largest(
+            counts.values(), k
+        )
+
+    @given(
+        counts=count_dicts,
+        k=ks,
+        cutoff=cutoffs,
+        scale=scales,
+        offset=offsets,
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_report_identical(self, counts, k, cutoff, scale, offset):
+        values, tallies = columns(counts)
+        expected = dict_report(
+            counts, k, confidence_cutoff=cutoff, scale=scale, offset=offset
+        )
+        actual = report_from_columns(
+            values,
+            tallies,
+            k,
+            confidence_cutoff=cutoff,
+            scale=scale,
+            offset=offset,
+        )
+        assert actual == expected
+
+    @given(counts=count_dicts, cutoff=cutoffs, scale=scales, offset=offsets)
+    @settings(max_examples=300, deadline=None)
+    def test_confident_identical(self, counts, cutoff, scale, offset):
+        values, tallies = columns(counts)
+        expected = dict_confident(
+            counts, confidence_cutoff=cutoff, scale=scale, offset=offset
+        )
+        actual = confident_from_columns(
+            values,
+            tallies,
+            confidence_cutoff=cutoff,
+            scale=scale,
+            offset=offset,
+        )
+        assert actual == expected
+
+    def test_ties_at_rank_boundary_all_reported(self):
+        # Four values tied at the c_2 boundary: the dict path reported
+        # every one of them (more than k entries); the kernel must too.
+        counts = {1: 5, 2: 5, 3: 5, 4: 5, 5: 1}
+        values, tallies = columns(counts)
+        answer = report_from_columns(values, tallies, 2)
+        assert answer == dict_report(counts, 2)
+        assert len(answer) == 4
+
+    def test_rejects_nonpositive_k(self):
+        values, tallies = columns({1: 2})
+        with pytest.raises(ValueError):
+            report_from_columns(values, tallies, 0)
+        with pytest.raises(ValueError):
+            rank_cutoff(tallies, 0)
+
+
+# ----------------------------------------------------------------------
+# Reporter-level identity over maintained samples
+# ----------------------------------------------------------------------
+
+
+class TestReportersMatchDictPath:
+    @given(stream=value_streams, bound=footprints, seed=seeds, k=ks)
+    @settings(max_examples=100, deadline=None)
+    def test_concise(self, stream, bound, seed, k):
+        reporter = ConciseHotList(bound, confidence_threshold=2, seed=seed)
+        reporter.insert_array(np.asarray(stream, dtype=np.int64))
+        sample = reporter.sample
+        if sample.sample_size == 0:
+            expected = HotListAnswer(k=k)
+            expected_confident = HotListAnswer(k=0)
+        else:
+            scale = sample.total_inserted / sample.sample_size
+            expected = dict_report(
+                sample.as_dict(), k, confidence_cutoff=2, scale=scale
+            )
+            expected_confident = dict_confident(
+                sample.as_dict(), confidence_cutoff=2, scale=scale
+            )
+        assert reporter.report(k) == expected
+        assert reporter.report_all_confident() == expected_confident
+
+    @given(stream=value_streams, bound=footprints, seed=seeds, k=ks)
+    @settings(max_examples=100, deadline=None)
+    def test_traditional(self, stream, bound, seed, k):
+        reporter = TraditionalHotList(
+            bound, confidence_threshold=2, seed=seed
+        )
+        reporter.insert_array(np.asarray(stream, dtype=np.int64))
+        sample = reporter.sample
+        if sample.sample_size == 0:
+            expected = HotListAnswer(k=k)
+        else:
+            expected = dict_report(
+                dict(sample.pairs()),
+                k,
+                confidence_cutoff=2,
+                scale=sample.total_inserted / sample.sample_size,
+            )
+        assert reporter.report(k) == expected
+
+    @given(stream=value_streams, bound=footprints, seed=seeds, k=ks)
+    @settings(max_examples=100, deadline=None)
+    def test_counting(self, stream, bound, seed, k):
+        reporter = CountingHotList(bound, seed=seed)
+        reporter.insert_array(np.asarray(stream, dtype=np.int64))
+        sample = reporter.sample
+        counts = sample.as_dict()
+        threshold = sample.threshold
+        if threshold <= 1.0:
+            expected = dict_report(counts, k)
+            expected_confident = dict_confident(counts)
+        else:
+            cutoff = counting_report_cutoff(threshold)
+            offset = reporter.compensation()
+            expected = dict_report(
+                counts, k, confidence_cutoff=cutoff, offset=offset
+            )
+            expected_confident = dict_confident(
+                counts, confidence_cutoff=cutoff, offset=offset
+            )
+        if not counts:
+            expected = HotListAnswer(k=k)
+            expected_confident = HotListAnswer(k=0)
+        assert reporter.report(k) == expected
+        assert reporter.report_all_confident() == expected_confident
+
+    @given(stream=value_streams, bound=footprints, seed=seeds, k=ks)
+    @settings(max_examples=100, deadline=None)
+    def test_sorted_concise_is_dict_path_prefix(
+        self, stream, bound, seed, k
+    ):
+        reporter = SortedConciseHotList(
+            bound, confidence_threshold=2, seed=seed
+        )
+        reporter.insert_array(np.asarray(stream, dtype=np.int64))
+        sample = reporter.sample
+        answer = reporter.report(k)
+        if sample.sample_size == 0:
+            assert answer == HotListAnswer(k=k)
+            return
+        reference = dict_report(
+            sample.as_dict(),
+            k,
+            confidence_cutoff=2,
+            scale=sample.total_inserted / sample.sample_size,
+        )
+        # The sorted index truncates at exactly k where the dict path
+        # reported every boundary tie; within that truncation the
+        # entries (values, estimates, order) must match exactly.
+        assert len(answer) == min(k, len(reference.entries))
+        assert answer.entries == reference.entries[: len(answer)]
+
+    @given(stream=value_streams, k=ks)
+    @settings(max_examples=100, deadline=None)
+    def test_exact_top_k(self, stream, k):
+        reporter = FullHistogramHotList(1000)
+        reporter.insert_array(np.asarray(stream, dtype=np.int64))
+        table = FrequencyTable()
+        table.update(np.asarray(stream, dtype=np.int64))
+        expected = sorted(
+            table.items(), key=lambda item: (-item[1], item[0])
+        )[:k]
+        answer = reporter.report(k)
+        assert [
+            (entry.value, entry.estimated_count) for entry in answer
+        ] == [(value, float(count)) for value, count in expected]
+
+
+# ----------------------------------------------------------------------
+# columnar_view contract: memoized, read-only, invalidated on mutation
+# ----------------------------------------------------------------------
+
+
+class TestColumnarView:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: ConciseSample(32, seed=1),
+            lambda: CountingSample(32, seed=1),
+            lambda: ReservoirSample(32, seed=1),
+        ],
+        ids=["concise", "counting", "reservoir"],
+    )
+    def test_memoized_and_read_only(self, make):
+        sample = make()
+        sample.insert_array(np.asarray([1, 2, 2, 3, 3, 3], np.int64))
+        values, counts = sample.columnar_view()
+        again_values, again_counts = sample.columnar_view()
+        assert values is again_values and counts is again_counts
+        with pytest.raises(ValueError):
+            values[0] = 99
+        with pytest.raises(ValueError):
+            counts[0] = 99
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: ConciseSample(32, seed=1),
+            lambda: CountingSample(32, seed=1),
+            lambda: ReservoirSample(32, seed=1),
+        ],
+        ids=["concise", "counting", "reservoir"],
+    )
+    def test_invalidated_by_mutation(self, make):
+        sample = make()
+        sample.insert_array(np.asarray([1, 2, 2], np.int64))
+        values, counts = sample.columnar_view()
+        sample.insert(7)
+        fresh_values, fresh_counts = sample.columnar_view()
+        assert fresh_values is not values
+        pairs = dict(
+            zip(fresh_values.tolist(), fresh_counts.tolist(), strict=True)
+        )
+        assert pairs.get(7, 0) >= 0  # well-formed view
+        assert all(count >= 1 for count in pairs.values())
+
+    def test_view_matches_pairs(self):
+        sample = ConciseSample(64, seed=3)
+        sample.insert_array(
+            np.asarray([5, 5, 5, 1, 1, 9, 9, 9, 9], np.int64)
+        )
+        values, counts = sample.columnar_view()
+        assert dict(
+            zip(values.tolist(), counts.tolist(), strict=True)
+        ) == sample.as_dict()
+
+    def test_counting_delete_invalidates(self):
+        sample = CountingSample(32, seed=4)
+        sample.insert_array(np.asarray([1, 1, 2], np.int64))
+        values, _ = sample.columnar_view()
+        sample.delete(1)
+        fresh_values, fresh_counts = sample.columnar_view()
+        assert fresh_values is not values
+        assert dict(
+            zip(fresh_values.tolist(), fresh_counts.tolist(), strict=True)
+        ) == sample.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Bulk-ingest audit: every concrete reporter takes the vectorized path
+# ----------------------------------------------------------------------
+
+
+def _concrete_reporters(cls=HotListReporter):
+    for subclass in cls.__subclasses__():
+        if not getattr(subclass, "__abstractmethods__", None):
+            yield subclass
+        yield from _concrete_reporters(subclass)
+
+
+class TestBulkIngestAudit:
+    def test_every_concrete_reporter_has_a_bulk_path(self):
+        found = list(_concrete_reporters())
+        names = {cls.__name__ for cls in found}
+        assert {
+            "ConciseHotList",
+            "CountingHotList",
+            "TraditionalHotList",
+            "SortedConciseHotList",
+            "FullHistogramHotList",
+        } <= names
+        for cls in found:
+            overrides = any(
+                "insert_array" in ancestor.__dict__
+                for ancestor in cls.__mro__
+                if ancestor is not HotListReporter
+            )
+            assert overrides, (
+                f"{cls.__name__} relies on the base insert_array; "
+                "its synopsis must expose a vectorized bulk path"
+            )
+
+    def test_base_fallback_routes_through_sample(self):
+        class Recorder:
+            def __init__(self):
+                self.batches = []
+
+            def insert_array(self, values):
+                self.batches.append(np.asarray(values))
+
+        class ViaSample(HotListReporter):
+            def __init__(self):
+                self.sample = Recorder()
+
+            def insert(self, value):  # pragma: no cover - not used
+                raise AssertionError("bulk path should be used")
+
+            def report(self, k):  # pragma: no cover - not used
+                return HotListAnswer(k=k)
+
+        reporter = ViaSample()
+        reporter.insert_array(np.asarray([1, 2, 3], np.int64))
+        assert len(reporter.sample.batches) == 1
+        assert reporter.sample.batches[0].tolist() == [1, 2, 3]
+
+    def test_base_fallback_without_sample_uses_per_element(self):
+        class PerElement(HotListReporter):
+            def __init__(self):
+                self.seen = []
+
+            def insert(self, value):
+                self.seen.append(value)
+
+            def report(self, k):  # pragma: no cover - not used
+                return HotListAnswer(k=k)
+
+        reporter = PerElement()
+        reporter.insert_array(np.asarray([4, 5, 6], np.int64))
+        assert reporter.seen == [4, 5, 6]

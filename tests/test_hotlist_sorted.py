@@ -68,10 +68,10 @@ class TestSortedConciseHotList:
         sorted_reporter = SortedConciseHotList(200, seed=5)
         plain_reporter = ConciseHotList(200, seed=5)
         sorted_reporter.insert_array(stream)
-        # The sorted reporter ingests per element (it must keep its
-        # count index in sync), so drive the plain reporter through
-        # the same per-element path for an identical random stream.
-        plain_reporter.insert_many(stream)
+        # Both reporters now share the sample's vectorized bulk path
+        # (the sorted reporter rebuilds its index once per batch), so
+        # equal seeds consume identical random streams.
+        plain_reporter.insert_array(stream)
         k = 10
         sorted_answer = sorted_reporter.report(k)
         plain_answer = plain_reporter.report(k)

@@ -775,9 +775,9 @@ class TestInfrastructure:
 
     def test_every_rule_has_distinct_code(self) -> None:
         rule_codes = [rule.code for rule in ALL_RULES]
-        assert len(rule_codes) == len(set(rule_codes)) == 11
+        assert len(rule_codes) == len(set(rule_codes)) == 12
         assert sorted(rule_codes) == [
-            f"RL{index:03d}" for index in range(1, 12)
+            f"RL{index:03d}" for index in range(1, 13)
         ]
 
     def test_suppressed_findings_parse(self, tmp_path: Path) -> None:
@@ -1102,3 +1102,170 @@ class TestPerRowWalAppend:
             """,
         )
         assert "RL011" not in codes(findings)
+
+
+# ----------------------------------------------------------------------
+# RL012: per-row loops on the answer path
+# ----------------------------------------------------------------------
+
+
+class TestAnswerPathLoop:
+    def test_for_over_tolist_fires(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/hotlist/x.py",
+            """\
+            def total(values: object) -> int:
+                acc = 0
+                for value in values.tolist():
+                    acc += value
+                return acc
+            """,
+        )
+        assert codes(findings) == {"RL012"}
+
+    def test_comprehension_over_tolist_fires(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/estimators/x.py",
+            """\
+            def doubled(values: object) -> list:
+                return [value * 2 for value in values.tolist()]
+            """,
+        )
+        assert codes(findings) == {"RL012"}
+
+    def test_comprehension_over_items_fires(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/hotlist/x.py",
+            """\
+            def scaled(counts: dict, scale: float) -> dict:
+                return {v: c * scale for v, c in counts.items()}
+            """,
+        )
+        assert codes(findings) == {"RL012"}
+
+    def test_genexp_over_values_fires(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/estimators/x.py",
+            """\
+            def mass(counts: dict) -> int:
+                return sum(c for c in counts.values())
+            """,
+        )
+        assert codes(findings) == {"RL012"}
+
+    def test_plain_for_over_items_does_not_fire(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/hotlist/x.py",
+            """\
+            def rebuild(self, counts: dict) -> None:
+                for value, count in counts.items():
+                    self.move(value, 0, count)
+            """,
+        )
+        assert "RL012" not in codes(findings)
+
+    def test_tolist_as_call_argument_does_not_fire(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/hotlist/x.py",
+            """\
+            def forward(self, values: object) -> None:
+                self.insert_many(values.tolist())
+            """,
+        )
+        assert "RL012" not in codes(findings)
+
+    def test_genexp_over_zip_does_not_fire(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/hotlist/x.py",
+            """\
+            def pair(values: list, counts: list) -> tuple:
+                return tuple((v, c) for v, c in zip(values, counts))
+            """,
+        )
+        assert "RL012" not in codes(findings)
+
+    def test_for_over_plain_name_does_not_fire(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/engine/engine.py",
+            """\
+            def forward(insert: object, prepared: object) -> None:
+                rows = prepared.tolist()
+                for value in rows:
+                    insert(value)
+            """,
+        )
+        assert "RL012" not in codes(findings)
+
+    def test_engine_query_router_is_in_scope(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/engine/engine.py",
+            """\
+            def total(values: object) -> int:
+                acc = 0
+                for value in values.tolist():
+                    acc += value
+                return acc
+            """,
+        )
+        assert codes(findings) == {"RL012"}
+
+    def test_other_engine_modules_are_out_of_scope(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/engine/relation.py",
+            """\
+            def rows(values: object) -> int:
+                acc = 0
+                for value in values.tolist():
+                    acc += value
+                return acc
+            """,
+        )
+        assert "RL012" not in codes(findings)
+
+    def test_core_package_is_out_of_scope(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/core/x.py",
+            """\
+            def pairs(counts: dict) -> list:
+                return [(v, c) for v, c in counts.items()]
+            """,
+        )
+        assert "RL012" not in codes(findings)
+
+    def test_tests_and_benchmarks_are_exempt(self, tmp_path: Path) -> None:
+        source = """\
+            def reference(counts: dict) -> list:
+                return [(v, c) for v, c in counts.items()]
+            """
+        for relpath in ("tests/x.py", "benchmarks/x.py"):
+            findings = lint_file(tmp_path, relpath, source)
+            assert "RL012" not in codes(findings)
+
+    def test_suppression_comment(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/hotlist/x.py",
+            """\
+            def scaled(counts: dict, scale: float) -> dict:
+                return {
+                    v: c * scale
+                    for v, c in counts.items()  # reprolint: disable=RL012
+                }
+            """,
+        )
+        assert "RL012" not in codes(findings)
