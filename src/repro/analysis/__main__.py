@@ -2,7 +2,9 @@
 
 Exit status 0 means zero findings; 1 means findings were reported;
 2 means usage error.  ``--json`` emits a machine-readable report for
-CI annotation tooling.
+CI annotation tooling; ``--sarif`` emits SARIF 2.1.0 for GitHub code
+scanning; ``--cache`` names a content-hash cache file so incremental
+runs skip re-parsing unchanged files.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.findings import sarif_report
 from repro.analysis.rules import rule_catalogue
 from repro.analysis.runner import analyze_paths
 
@@ -24,7 +27,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         prog="python -m repro.analysis",
         description=(
             "reprolint: AST invariant checks for the synopsis engine "
-            "(rules RL001-RL008; see docs/static_analysis.md)"
+            "(per-file rules RL001-RL012 plus project rules "
+            "RL013-RL015; see docs/static_analysis.md)"
         ),
     )
     parser.add_argument(
@@ -33,10 +37,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         type=Path,
         help="files or directories to analyze (e.g. src/)",
     )
-    parser.add_argument(
+    output = parser.add_mutually_exclusive_group()
+    output.add_argument(
         "--json",
         action="store_true",
         help="emit findings as a JSON array instead of text lines",
+    )
+    output.add_argument(
+        "--sarif",
+        action="store_true",
+        help="emit findings as SARIF 2.1.0 (GitHub code scanning)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help=(
+            "scoping root for module paths (default: the common "
+            "parent of the scanned paths)"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON content-hash cache file; unchanged files skip "
+            "parsing and per-file rules on later runs"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -65,13 +94,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"error: no such path: {path}", file=sys.stderr)
         return 2
 
-    findings = list(analyze_paths(options.paths))
+    findings = analyze_paths(
+        options.paths,
+        root=options.root,
+        cache_path=options.cache,
+    )
     if options.json:
         print(
             json.dumps(
                 [finding.to_json() for finding in findings], indent=2
             )
         )
+    elif options.sarif:
+        print(json.dumps(sarif_report(findings, rule_catalogue()), indent=2))
     else:
         for finding in findings:
             print(finding.render())

@@ -1,11 +1,11 @@
-"""The finding record every rule emits."""
+"""The finding record every rule emits, and its report renderers."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterable, Sequence
 
-__all__ = ["Finding"]
+__all__ = ["Finding", "sarif_report"]
 
 
 @dataclass(frozen=True, order=True)
@@ -40,3 +40,68 @@ class Finding:
             "message": self.message,
             "hint": self.hint,
         }
+
+
+def sarif_report(
+    findings: Sequence[Finding],
+    catalogue: Iterable[dict[str, str]] = (),
+) -> dict[str, Any]:
+    """Render findings as a SARIF 2.1.0 log (GitHub code scanning).
+
+    ``catalogue`` is the ``rule_catalogue()`` listing; rules appear in
+    the driver metadata so annotations carry titles and rationales.
+    SARIF columns are 1-based where findings store 0-based offsets.
+    """
+    rules = [
+        {
+            "id": entry["code"],
+            "name": entry["title"] or entry["code"],
+            "shortDescription": {"text": entry["title"] or entry["code"]},
+            "fullDescription": {"text": entry["rationale"]},
+        }
+        for entry in catalogue
+    ]
+    results = []
+    for finding in findings:
+        text = finding.message
+        if finding.hint:
+            text += f" (fix: {finding.hint})"
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "level": "error",
+                "message": {"text": text},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "ROOTPATH",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.column + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "version": "2.1.0",
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

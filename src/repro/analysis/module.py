@@ -5,11 +5,17 @@ Suppressions are per-line comments of the form::
     risky_call()  # reprolint: disable=RL001
     other_call()  # reprolint: disable=RL003,RL008
 
-A finding is waived only when the comment sits on the exact line the
-finding is reported at.  There is intentionally no ``disable=all`` and
-no file-level switch: every waiver names the rule it silences, so a
-suppression is a reviewable, grep-able artefact rather than a blanket
-opt-out.
+A finding is waived when the comment sits on the exact line the
+finding is reported at, with one ergonomic extension: inside a
+multi-line ``def`` / ``class`` signature (decorators through the line
+before the first body statement) a suppression on *any* header line
+covers the whole header.  Rules anchor signature findings at the
+decorator or ``def`` line while the natural place to write the
+comment is the ``def`` line or the closing parenthesis -- without the
+extension those waivers silently fail to match.  There is
+intentionally no ``disable=all`` and no file-level switch: every
+waiver names the rule it silences, so a suppression is a reviewable,
+grep-able artefact rather than a blanket opt-out.
 """
 
 from __future__ import annotations
@@ -41,10 +47,14 @@ def module_parts(path: Path, root: Path) -> tuple[str, ...]:
     if "repro" in parts:
         last = len(parts) - 1 - parts[::-1].index("repro")
         return tuple(parts[last:])
+    # Resolve before relativizing so a relative scan path (``.`` from
+    # inside the tree) scopes identically to an absolute one -- the
+    # fallback must not depend on how the path was spelled.
+    resolved = path.with_suffix("").resolve()
     try:
-        relative = path.with_suffix("").relative_to(root)
+        relative = resolved.relative_to(root.resolve())
     except ValueError:
-        return tuple(parts)
+        return tuple(resolved.parts)
     return tuple(relative.parts)
 
 
@@ -57,6 +67,7 @@ class SourceModule:
         self.parts = module_parts(path, root)
         self.tree = ast.parse(source, filename=str(path))
         self.suppressions = _collect_suppressions(source)
+        _extend_signature_suppressions(self.tree, self.suppressions)
 
     @classmethod
     def load(cls, path: Path, root: Path) -> "SourceModule":
@@ -97,3 +108,37 @@ def _collect_suppressions(source: str) -> dict[int, frozenset[str]]:
         # Unterminated constructs: ast.parse will report the real error.
         pass
     return table
+
+
+def _extend_signature_suppressions(
+    tree: ast.Module, table: dict[int, frozenset[str]]
+) -> None:
+    """Spread header-line suppressions across multi-line signatures.
+
+    For every function/class whose header (first decorator through the
+    line before the first body statement) spans more than one line,
+    the union of codes waived anywhere in the header is applied to
+    every header line.  A comment on the ``def`` line then covers a
+    finding reported at the decorator line and vice versa; body lines
+    keep exact-line semantics.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if not node.body:
+            continue
+        start = node.lineno
+        if node.decorator_list:
+            start = min(start, node.decorator_list[0].lineno)
+        end = node.body[0].lineno - 1
+        if end <= start:
+            continue
+        codes: frozenset[str] = frozenset()
+        for line in range(start, end + 1):
+            codes |= table.get(line, frozenset())
+        if not codes:
+            continue
+        for line in range(start, end + 1):
+            table[line] = table.get(line, frozenset()) | codes

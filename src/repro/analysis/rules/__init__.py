@@ -3,22 +3,25 @@
 from __future__ import annotations
 
 from repro.analysis.rules.annotations import PublicAnnotationsRule
-from repro.analysis.rules.base import Rule
+from repro.analysis.rules.base import ProjectRule, Rule
 from repro.analysis.rules.clocks import InjectedClockRule
 from repro.analysis.rules.determinism import WallClockRule
 from repro.analysis.rules.exceptions import SwallowedExceptionRule
 from repro.analysis.rules.floats import FloatEqualityRule
+from repro.analysis.rules.invalidation import InvalidationCompletenessRule
 from repro.analysis.rules.io import ConfinedFileIORule
 from repro.analysis.rules.loops import AnswerPathLoopRule
+from repro.analysis.rules.metric_names import MetricNameRegistryRule
 from repro.analysis.rules.mutation import DictMutationRule
 from repro.analysis.rules.randomness import (
     LedgerRequiredRule,
     RawRandomnessRule,
 )
+from repro.analysis.rules.snapshot_parity import SnapshotHierarchyParityRule
 from repro.analysis.rules.snapshots import SnapshotRoundTripRule
 from repro.analysis.rules.wal import PerRowWalAppendRule
 
-__all__ = ["ALL_RULES", "rule_catalogue"]
+__all__ = ["ALL_PROJECT_RULES", "ALL_RULES", "rule_catalogue"]
 
 ALL_RULES: tuple[Rule, ...] = (
     RawRandomnessRule(),
@@ -35,6 +38,13 @@ ALL_RULES: tuple[Rule, ...] = (
     AnswerPathLoopRule(),
 )
 
+#: The second pass: rules that need the whole-project model.
+ALL_PROJECT_RULES: tuple[ProjectRule, ...] = (
+    InvalidationCompletenessRule(),
+    MetricNameRegistryRule(),
+    SnapshotHierarchyParityRule(),
+)
+
 
 def rule_catalogue() -> list[dict[str, str]]:
     """Code/title/rationale/scope of every rule, for ``--list-rules``."""
@@ -49,5 +59,5 @@ def rule_catalogue() -> list[dict[str, str]]:
                 else ", ".join(rule.scope) if rule.scope else "repro"
             ),
         }
-        for rule in ALL_RULES
+        for rule in (*ALL_RULES, *ALL_PROJECT_RULES)
     ]

@@ -1,14 +1,17 @@
-"""Rule base class and small AST helpers shared by the rules."""
+"""Rule base classes and small AST helpers shared by the rules."""
 
 from __future__ import annotations
 
 import ast
-from typing import ClassVar, Iterator
+from typing import TYPE_CHECKING, ClassVar, Iterator
 
 from repro.analysis.findings import Finding
 from repro.analysis.module import SourceModule
 
-__all__ = ["Rule", "dotted_name"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle breaker
+    from repro.analysis.project import ModuleSummary, ProjectModel
+
+__all__ = ["ProjectRule", "Rule", "dotted_name"]
 
 
 class Rule:
@@ -57,6 +60,42 @@ class Rule:
             path=str(module.path),
             line=getattr(node, "lineno", 1),
             column=getattr(node, "col_offset", 0),
+            rule=self.code,
+            message=message,
+            hint=hint,
+        )
+
+
+class ProjectRule(Rule):
+    """An invariant checked over the whole :class:`ProjectModel`.
+
+    Project rules run as a second pass after every file has been
+    summarised, so they can see import graphs, class hierarchies, and
+    attribute dataflow across modules.  They never re-parse sources --
+    everything they need lives in the (cacheable) module summaries.
+    """
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Project rules contribute nothing to the per-file pass."""
+        return iter(())
+
+    def check_project(self, model: "ProjectModel") -> Iterator[Finding]:
+        """Yield every violation visible in the whole-project model."""
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        module: "ModuleSummary",
+        line: int,
+        column: int,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        """Build a finding anchored at a summarised location."""
+        return Finding(
+            path=module.path,
+            line=line,
+            column=column,
             rule=self.code,
             message=message,
             hint=hint,

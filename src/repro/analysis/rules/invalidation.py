@@ -1,0 +1,171 @@
+"""RL013: every mutator invalidates the caches layered on its state.
+
+PR 6 put two memo structures on the hot path: the columnar
+``(values, counts)`` arrays memoized behind ``columnar_view()`` and
+the relation/synopsis epochs that gate the ``QueryResultCache``.  The
+paper's error bounds (Theorems 4, 6-8) are computed over the synopsis
+*as mutated*; a mutator that forgets to reset ``_columnar`` or bump
+its epoch serves answers computed over stale state, and only a test
+that remembers that exact mutator would notice.
+
+Two whole-class dataflow checks, run over the project model so
+inherited mutators and cross-module base classes are covered:
+
+A.  For any class defining ``columnar_view``: the memo is whatever
+    ``columnar_view`` writes on ``self``; the backing stores are
+    whatever it (transitively, through self-calls) reads.  Every other
+    instance method whose transitive self-writes touch a backing store
+    must also write the memo.  The traversal does not follow calls
+    *into* ``columnar_view`` -- materialising the view inside a
+    mutator does not excuse skipping the reset.
+
+B.  For any class whose ``__init__`` (possibly inherited) assigns an
+    epoch attribute (name containing ``epoch``): methods that
+    transitively bump an epoch are the sanctioned mutators; the union
+    of everything *else* they write is the epoch-guarded state.  Any
+    non-bumping method that writes that state mutates cached-over
+    data without invalidating the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectModel, ResolvedMethod
+from repro.analysis.rules.base import ProjectRule
+
+__all__ = ["InvalidationCompletenessRule"]
+
+
+class InvalidationCompletenessRule(ProjectRule):
+    """RL013: a mutator skips cache invalidation (memo reset / epoch bump)."""
+
+    code = "RL013"
+    title = "mutator misses cache invalidation"
+    rationale = (
+        "Memoized columnar views and epoch-gated query caches serve "
+        "stale approximate answers when any mutation path forgets to "
+        "reset/bump them."
+    )
+    scope = None
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        seen: set[tuple[str, str, str]] = set()
+        for key, (_cls, module) in sorted(model.classes.items()):
+            if not module.in_repro():
+                continue
+            yield from self._check_columnar(model, key, seen)
+            yield from self._check_epochs(model, key, seen)
+
+    # -- check A: memoized columnar_view -------------------------------
+
+    def _check_columnar(
+        self, model: ProjectModel, key: str, seen: set
+    ) -> Iterator[Finding]:
+        table, _resolved = model.resolved_methods(key)
+        view = table.get("columnar_view")
+        if view is None:
+            return
+        memo = set(view.summary.writes)
+        if not memo:
+            return
+        method_like = set(table)
+        backing = (
+            model.transitive(table, "columnar_view", "reads")
+            - memo
+            - method_like
+        )
+        backing -= model.classes[view.owner][0].class_assigns
+        if not backing:
+            return
+        for name, resolved in sorted(table.items()):
+            if name in ("__init__", "columnar_view"):
+                continue
+            if resolved.summary.kind not in ("instance", "property"):
+                continue
+            writes = model.transitive(
+                table, name, "writes", exclude=frozenset({"columnar_view"})
+            )
+            touched = writes & backing
+            if touched and not (writes & memo):
+                dedupe = (resolved.owner, name, "columnar")
+                if dedupe in seen:
+                    continue
+                seen.add(dedupe)
+                yield self._method_finding(
+                    resolved,
+                    f"`{self._owner_name(resolved)}.{name}` writes "
+                    "columnar backing store(s) "
+                    + ", ".join(sorted(touched))
+                    + " without resetting the memoized view "
+                    + ", ".join(sorted(memo)),
+                    "invalidate the memo (e.g. `self._columnar = None`) "
+                    "in every method that mutates the backing stores",
+                )
+
+    # -- check B: epoch-gated mutation ---------------------------------
+
+    def _check_epochs(
+        self, model: ProjectModel, key: str, seen: set
+    ) -> Iterator[Finding]:
+        table, _resolved = model.resolved_methods(key)
+        init = table.get("__init__")
+        if init is None:
+            return
+        epoch_attrs = {
+            attr for attr in init.summary.writes if "epoch" in attr.lower()
+        }
+        if not epoch_attrs:
+            return
+        bumpers: dict[str, set[str]] = {}
+        for name, resolved in table.items():
+            if resolved.summary.kind != "instance" or name == "__init__":
+                continue
+            writes = model.transitive(table, name, "writes")
+            if writes & epoch_attrs:
+                bumpers[name] = writes
+        guarded: set[str] = set()
+        for writes in bumpers.values():
+            guarded |= writes - epoch_attrs
+        if not guarded:
+            return
+        for name, resolved in sorted(table.items()):
+            if name in bumpers or name == "__init__":
+                continue
+            if resolved.summary.kind != "instance":
+                continue
+            writes = model.transitive(table, name, "writes")
+            touched = writes & guarded
+            if touched:
+                dedupe = (resolved.owner, name, "epoch")
+                if dedupe in seen:
+                    continue
+                seen.add(dedupe)
+                yield self._method_finding(
+                    resolved,
+                    f"`{self._owner_name(resolved)}.{name}` mutates "
+                    "epoch-guarded state "
+                    + ", ".join(sorted(touched))
+                    + " without bumping "
+                    + ", ".join(sorted(epoch_attrs)),
+                    "bump the epoch in every mutator so cached query "
+                    "results over this state are invalidated",
+                )
+
+    # -- helpers -------------------------------------------------------
+
+    @staticmethod
+    def _owner_name(resolved: ResolvedMethod) -> str:
+        return resolved.owner.rpartition(".")[2]
+
+    def _method_finding(
+        self, resolved: ResolvedMethod, message: str, hint: str
+    ) -> Finding:
+        return self.project_finding(
+            resolved.module,
+            resolved.summary.line,
+            resolved.summary.column,
+            message,
+            hint,
+        )

@@ -11,7 +11,10 @@ through :class:`~repro.persist.checkpoint.CheckpointStore`; code that
 needs a file handle takes a ``FileSystem`` argument.
 
 Tests and benchmarks are exempt (fixtures and committed BENCH files
-are not product state), as is ``repro.persist`` itself.
+are not product state), as are ``repro.persist`` itself and
+``repro.analysis``: the linter is a development tool whose inputs are
+source files and whose only artefact is its own parse cache -- none
+of it is engine state the recovery manager could ever replay.
 """
 
 from __future__ import annotations
@@ -75,7 +78,7 @@ class ConfinedFileIORule(Rule):
         "writes state recovery cannot replay."
     )
     scope = None
-    exclude = ("persist",)
+    exclude = ("persist", "analysis")
 
     def applies_to(self, module: SourceModule) -> bool:
         # Exempt roots are matched as path components rather than

@@ -1,0 +1,118 @@
+"""RL014: metric names form a registry validated against the docs.
+
+``docs/observability.md`` is the contract between the telemetry layer
+and whoever operates it: every exported series is supposed to appear
+in its catalogue tables.  Without a machine check, the catalogue
+drifts -- a renamed counter keeps its documented name, a new gauge
+never lands in the tables, and dashboards silently chart nothing.
+
+Project-wide (so the registry is genuinely global), every literal
+passed to ``counter()`` / ``gauge()`` / ``histogram()`` must
+
+* be a *plain* string literal (f-strings defeat static registries);
+* match ``repro_``-prefixed snake_case;
+* map to exactly one metric kind across the whole tree (the same
+  name as both a counter and a gauge breaks Prometheus exposition);
+
+and every ``repro_``-prefixed string constant anywhere in ``repro``
+modules must appear in the observability catalogue (word-boundary
+match, so ``repro_cost`` does not satisfy ``repro_cost_flips_total``).
+The doc check scans *all* canonical literals, not just call sites,
+because several modules route names through tuples before the call.
+Trees without a ``docs/observability.md`` (unit-test fixtures) skip
+only the doc-presence check.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectModel
+from repro.analysis.rules.base import ProjectRule
+
+__all__ = ["MetricNameRegistryRule"]
+
+_CANONICAL = re.compile(r"repro_[a-z0-9]+(_[a-z0-9]+)*")
+
+
+class MetricNameRegistryRule(ProjectRule):
+    """RL014: metric name outside the documented registry contract."""
+
+    code = "RL014"
+    title = "metric name violates the registry contract"
+    rationale = (
+        "docs/observability.md is the operator contract; undocumented, "
+        "misnamed, or kind-ambiguous metric names drift away from the "
+        "dashboards reading them."
+    )
+    scope = None
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        kinds_seen: dict[str, tuple[str, str, int]] = {}
+        modules = sorted(
+            (m for m in model.modules.values() if m.in_repro()),
+            key=lambda m: m.path,
+        )
+        for module in modules:
+            for call in module.metric_calls:
+                if call.is_fstring:
+                    yield self.project_finding(
+                        module,
+                        call.line,
+                        call.column,
+                        f"{call.kind}() name must be a plain string "
+                        "literal, not an f-string",
+                        "enumerate the possible names as literals (a "
+                        "static registry cannot audit computed names)",
+                    )
+                    continue
+                name = call.name or ""
+                if not _CANONICAL.fullmatch(name):
+                    yield self.project_finding(
+                        module,
+                        call.line,
+                        call.column,
+                        f"metric name {name!r} is not repro_-prefixed "
+                        "snake_case",
+                        "rename to match repro_<noun>_<unit> "
+                        "(lowercase, underscores)",
+                    )
+                    continue
+                first = kinds_seen.setdefault(
+                    name, (call.kind, module.path, call.line)
+                )
+                if first[0] != call.kind:
+                    yield self.project_finding(
+                        module,
+                        call.line,
+                        call.column,
+                        f"metric {name!r} registered as {call.kind} but "
+                        f"already used as {first[0]} "
+                        f"({first[1]}:{first[2]})",
+                        "one name maps to one metric kind; rename one "
+                        "of the two series",
+                    )
+        if model.observability_doc is None:
+            return
+        doc = model.observability_doc
+        for module in modules:
+            for literal in module.repro_literals:
+                if not _CANONICAL.fullmatch(literal.value):
+                    continue
+                pattern = (
+                    r"(?<![A-Za-z0-9_])"
+                    + re.escape(literal.value)
+                    + r"(?![A-Za-z0-9_])"
+                )
+                if re.search(pattern, doc) is None:
+                    yield self.project_finding(
+                        module,
+                        literal.line,
+                        literal.column,
+                        f"{literal.value!r} is missing from the "
+                        "docs/observability.md metric catalogue",
+                        "add it to the catalogue table (or rename it "
+                        "off the repro_ metric namespace)",
+                    )

@@ -1,0 +1,176 @@
+"""RL015: snapshot parity across class hierarchies.
+
+RL007 audits ``to_dict``/``from_dict`` pairs defined side by side in
+one class.  The synopsis hierarchy does not stay that tidy: shared
+state is assigned in an inherited ``__init__`` (``StreamSynopsis``
+owns the ``CostCounters`` ledger every subclass snapshots), subclasses
+override only one half of the pair, and ``SNAPSHOT_KIND`` tags route
+restores through a registry.  Footnote-2 recovery diverges just as
+silently when the mismatch spans two modules, so this rule re-runs the
+parity check with the whole hierarchy resolved:
+
+* ``SNAPSHOT_KIND`` values must be unique project-wide -- two classes
+  claiming the same tag make snapshot routing ambiguous;
+* when a class defines exactly one of ``to_dict``/``from_dict`` and
+  inherits the other, the *resolved* pair must still agree on the
+  field set (the same ignored/phantom analysis as RL007);
+* a ``to_dict`` may only read attributes that some class in its fully
+  resolved hierarchy can actually place on the instance -- inherited
+  ``__init__`` assignments count, and the check stands down whenever a
+  base class cannot be resolved.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ClassSummary, ModuleSummary, ProjectModel
+from repro.analysis.rules.base import ProjectRule
+
+__all__ = ["SnapshotHierarchyParityRule"]
+
+
+class SnapshotHierarchyParityRule(ProjectRule):
+    """RL015: hierarchy-resolved snapshot field/kind mismatch."""
+
+    code = "RL015"
+    title = "cross-class snapshot parity violation"
+    rationale = (
+        "Recovery routes snapshots by SNAPSHOT_KIND and restores them "
+        "through inherited to_dict/from_dict halves; a mismatch that "
+        "spans the hierarchy diverges just as silently as a same-file "
+        "one."
+    )
+    scope = None
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        repro_classes = [
+            (key, cls, module)
+            for key, (cls, module) in sorted(model.classes.items())
+            if module.in_repro()
+        ]
+        yield from self._check_kind_uniqueness(repro_classes)
+        for key, cls, module in repro_classes:
+            yield from self._check_split_pair(model, key, cls, module)
+            yield from self._check_emitted_fields_exist(
+                model, key, cls, module
+            )
+
+    # -- SNAPSHOT_KIND uniqueness --------------------------------------
+
+    def _check_kind_uniqueness(
+        self,
+        repro_classes: list[tuple[str, ClassSummary, ModuleSummary]],
+    ) -> Iterator[Finding]:
+        first_claim: dict[str, tuple[str, str, int]] = {}
+        claims = sorted(
+            (
+                (module.path, cls.line, cls, module)
+                for _key, cls, module in repro_classes
+                if cls.snapshot_kind is not None
+            ),
+        )
+        for _path, _line, cls, module in claims:
+            kind = cls.snapshot_kind
+            assert kind is not None
+            earlier = first_claim.setdefault(
+                kind, (cls.name, module.path, cls.line)
+            )
+            if earlier[0] == cls.name and earlier[1] == module.path:
+                continue
+            yield self.project_finding(
+                module,
+                cls.line,
+                cls.column,
+                f"SNAPSHOT_KIND {kind!r} on `{cls.name}` is already "
+                f"claimed by `{earlier[0]}` ({earlier[1]}:{earlier[2]})",
+                "snapshot routing needs one kind tag per class; pick "
+                "a distinct tag",
+            )
+
+    # -- split-pair parity ---------------------------------------------
+
+    def _check_split_pair(
+        self,
+        model: ProjectModel,
+        key: str,
+        cls: ClassSummary,
+        module: ModuleSummary,
+    ) -> Iterator[Finding]:
+        local_to = "to_dict" in cls.methods
+        local_from = "from_dict" in cls.methods
+        if local_to == local_from:
+            # Both local is RL007's per-file territory; neither local
+            # means the resolved pair is checked at the defining class.
+            return
+        table, _resolved = model.resolved_methods(key)
+        to_dict = table.get("to_dict")
+        from_dict = table.get("from_dict")
+        if to_dict is None or from_dict is None:
+            return
+        emitted = to_dict.summary.emitted
+        if emitted is None:
+            return
+        if not from_dict.summary.has_payload_parameter:
+            return
+        required = set(from_dict.summary.required or ())
+        optional = set(from_dict.summary.optional or ())
+        ignored = set(emitted) - required - optional
+        phantom = required - set(emitted)
+        to_owner = to_dict.owner.rpartition(".")[2]
+        from_owner = from_dict.owner.rpartition(".")[2]
+        if ignored:
+            yield self.project_finding(
+                to_dict.module,
+                to_dict.summary.line,
+                to_dict.summary.column,
+                f"`{to_owner}.to_dict` (resolved for `{cls.name}`) "
+                f"emits fields `{from_owner}.from_dict` never reads: "
+                + ", ".join(sorted(ignored)),
+                "consume them in from_dict or stop emitting them",
+            )
+        if phantom:
+            yield self.project_finding(
+                from_dict.module,
+                from_dict.summary.line,
+                from_dict.summary.column,
+                f"`{from_owner}.from_dict` (resolved for `{cls.name}`) "
+                f"requires fields `{to_owner}.to_dict` never emits: "
+                + ", ".join(sorted(phantom)),
+                "emit them in to_dict, or read them with "
+                ".get(..., default) if they are legacy-optional",
+            )
+
+    # -- to_dict reads must exist on the hierarchy ---------------------
+
+    def _check_emitted_fields_exist(
+        self,
+        model: ProjectModel,
+        key: str,
+        cls: ClassSummary,
+        module: ModuleSummary,
+    ) -> Iterator[Finding]:
+        to_dict = cls.methods.get("to_dict")
+        if to_dict is None or to_dict.emitted is None:
+            return
+        if to_dict.kind not in ("instance", "property"):
+            return
+        table, resolved_fully = model.resolved_methods(key)
+        # Without an explicit __init__ anywhere in the hierarchy (or
+        # with an unresolvable base) the attribute surface is unknown
+        # -- dataclasses, ad-hoc fixtures, and mixins stand down.
+        if not resolved_fully or "__init__" not in table:
+            return
+        surface = model.attribute_surface(key)
+        missing = to_dict.reads - surface
+        if missing:
+            yield self.project_finding(
+                module,
+                to_dict.line,
+                to_dict.column,
+                f"`{cls.name}.to_dict` reads attributes no class in "
+                "its hierarchy assigns: " + ", ".join(sorted(missing)),
+                "snapshot only state the hierarchy actually carries "
+                "(inherited __init__ assignments count)",
+            )

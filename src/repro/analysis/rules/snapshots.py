@@ -22,66 +22,18 @@ from typing import Iterator
 from repro.analysis.findings import Finding
 from repro.analysis.module import SourceModule
 from repro.analysis.rules.base import Rule
+from repro.analysis.snapshot_fields import (
+    consumed_keys,
+    emitted_keys,
+    payload_parameter,
+)
 
-__all__ = ["SnapshotRoundTripRule"]
-
-
-def _emitted_keys(function: ast.FunctionDef) -> set[str] | None:
-    """String keys of every dict literal returned by ``to_dict``.
-
-    Returns ``None`` when no return statement is a dict literal (the
-    method builds its payload dynamically; nothing to check).
-    """
-    keys: set[str] = set()
-    saw_literal = False
-    for node in ast.walk(function):
-        if not isinstance(node, ast.Return) or not isinstance(
-            node.value, ast.Dict
-        ):
-            continue
-        saw_literal = True
-        for key in node.value.keys:
-            if isinstance(key, ast.Constant) and isinstance(key.value, str):
-                keys.add(key.value)
-    return keys if saw_literal else None
-
-
-def _payload_parameter(function: ast.FunctionDef) -> str | None:
-    """The parameter holding the snapshot dict (first after self/cls)."""
-    positional = [*function.args.posonlyargs, *function.args.args]
-    names = [arg.arg for arg in positional]
-    if names and names[0] in ("self", "cls"):
-        names = names[1:]
-    return names[0] if names else None
-
-
-def _consumed_keys(
-    function: ast.FunctionDef, payload: str
-) -> tuple[set[str], set[str]]:
-    """Keys read off the payload: (required via ``[...]``, via ``.get``)."""
-    required: set[str] = set()
-    optional: set[str] = set()
-    for node in ast.walk(function):
-        if (
-            isinstance(node, ast.Subscript)
-            and isinstance(node.value, ast.Name)
-            and node.value.id == payload
-            and isinstance(node.slice, ast.Constant)
-            and isinstance(node.slice.value, str)
-        ):
-            required.add(node.slice.value)
-        elif (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "get"
-            and isinstance(node.func.value, ast.Name)
-            and node.func.value.id == payload
-            and node.args
-            and isinstance(node.args[0], ast.Constant)
-            and isinstance(node.args[0].value, str)
-        ):
-            optional.add(node.args[0].value)
-    return required, optional
+__all__ = [
+    "SnapshotRoundTripRule",
+    "consumed_keys",
+    "emitted_keys",
+    "payload_parameter",
+]
 
 
 class SnapshotRoundTripRule(Rule):
@@ -108,10 +60,10 @@ class SnapshotRoundTripRule(Rule):
             from_dict = methods.get("from_dict")
             if to_dict is None or from_dict is None:
                 continue
-            emitted = _emitted_keys(to_dict)
+            emitted = emitted_keys(to_dict)
             if emitted is None:
                 continue
-            payload = _payload_parameter(from_dict)
+            payload = payload_parameter(from_dict)
             if payload is None:
                 yield self.finding(
                     module,
@@ -120,7 +72,7 @@ class SnapshotRoundTripRule(Rule):
                     "accept the snapshot dict as the first argument",
                 )
                 continue
-            required, optional = _consumed_keys(from_dict, payload)
+            required, optional = consumed_keys(from_dict, payload)
             ignored = emitted - required - optional
             phantom = required - emitted
             if ignored:

@@ -1,18 +1,66 @@
-"""Collect files, run every applicable rule, filter suppressions."""
+"""Collect files, run both rule passes, filter suppressions.
+
+The analysis is two-pass.  Pass one parses each file and runs the
+per-file rules; it also extracts a JSON-able :class:`ModuleSummary`
+and (optionally) caches both keyed by content hash, so unchanged files
+are never re-parsed on incremental runs.  Pass two assembles every
+summary -- cached or fresh -- into a :class:`ProjectModel` and runs
+the cross-module rules over it.  Project findings are therefore always
+computed over the *whole* tree even when most files hit the cache.
+"""
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Sequence
 
 from repro.analysis.findings import Finding
 from repro.analysis.module import SourceModule
-from repro.analysis.rules import ALL_RULES
-from repro.analysis.rules.base import Rule
+from repro.analysis.project import (
+    AnalysisCache,
+    ModuleSummary,
+    ProjectModel,
+    content_hash,
+    summarize_module,
+)
+from repro.analysis.rules import ALL_PROJECT_RULES, ALL_RULES
+from repro.analysis.rules.base import ProjectRule, Rule
 
-__all__ = ["analyze_paths", "analyze_source", "collect_files"]
+__all__ = [
+    "analyze_paths",
+    "analyze_source",
+    "collect_files",
+    "default_root",
+]
 
-_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+#: Directory names never descended into.  ``reprolint_fixtures`` holds
+#: deliberately-violating trees for the CI self-check; they lint only
+#: when passed as an explicit path.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".venv", "node_modules", "reprolint_fixtures"}
+)
+
+
+def default_root(paths: Sequence[Path]) -> Path:
+    """The deepest common parent of ``paths``.
+
+    Each scanned path anchors at its *parent* directory, so the scanned
+    entry itself stays a visible path component -- ``tests/`` scanned
+    alone still yields parts starting with ``tests`` and keeps its
+    rule exemptions.  This pins
+    :func:`repro.analysis.module.module_parts` fallback scoping to the
+    scanned tree rather than the invocation cwd, so
+    ``python -m repro.analysis /abs/path/src`` reports the same
+    findings from any working directory.
+    """
+    anchors = [path.resolve().parent for path in paths]
+    if not anchors:
+        return Path.cwd()
+    common = anchors[0]
+    for anchor in anchors[1:]:
+        while not anchor.is_relative_to(common):
+            common = common.parent
+    return common
 
 
 def collect_files(paths: Sequence[Path]) -> list[Path]:
@@ -21,7 +69,8 @@ def collect_files(paths: Sequence[Path]) -> list[Path]:
     for path in paths:
         if path.is_dir():
             for candidate in path.rglob("*.py"):
-                if not _SKIP_DIRS.intersection(candidate.parts):
+                relative = candidate.relative_to(path)
+                if not _SKIP_DIRS.intersection(relative.parts):
                     files.add(candidate)
         elif path.suffix == ".py":
             files.add(path)
@@ -32,7 +81,7 @@ def analyze_source(
     module: SourceModule,
     rules: Iterable[Rule] = ALL_RULES,
 ) -> list[Finding]:
-    """Run every applicable rule over one parsed module."""
+    """Run every applicable per-file rule over one parsed module."""
     findings: set[Finding] = set()
     for rule in rules:
         if not rule.applies_to(module):
@@ -43,27 +92,97 @@ def analyze_source(
     return sorted(findings)
 
 
+def _syntax_error_finding(path: Path, error: SyntaxError) -> Finding:
+    return Finding(
+        path=str(path),
+        line=error.lineno or 1,
+        column=(error.offset or 1) - 1,
+        rule="RL000",
+        message=f"file does not parse: {error.msg}",
+    )
+
+
 def analyze_paths(
     paths: Sequence[Path],
-    rules: Iterable[Rule] = ALL_RULES,
-) -> Iterator[Finding]:
-    """Analyze every ``.py`` file under ``paths``.
+    rules: Iterable[Rule] | None = None,
+    *,
+    root: Path | None = None,
+    project_rules: Iterable[ProjectRule] | None = None,
+    cache_path: Path | None = None,
+) -> list[Finding]:
+    """Analyze every ``.py`` file under ``paths``, both passes.
 
-    Unparseable files yield an ``RL000`` finding rather than aborting
-    the run, so one syntax error does not hide the rest of the report.
+    Unparseable files produce an ``RL000`` finding rather than
+    aborting the run, so one syntax error does not hide the rest of
+    the report.  ``root`` defaults to the common parent of ``paths``;
+    ``cache_path`` names a JSON content-hash cache that lets
+    incremental runs skip parsing unchanged files.
     """
-    rule_list = list(rules)
-    root = Path.cwd()
-    for path in collect_files(paths):
+    rule_list = list(rules) if rules is not None else list(ALL_RULES)
+    project_rule_list = (
+        list(project_rules)
+        if project_rules is not None
+        else list(ALL_PROJECT_RULES)
+    )
+    if root is None:
+        root = default_root(paths)
+    cache = AnalysisCache(cache_path) if cache_path is not None else None
+
+    findings: set[Finding] = set()
+    summaries: list[ModuleSummary] = []
+    files = collect_files(paths)
+    for path in files:
         try:
-            module = SourceModule.load(path, root)
-        except SyntaxError as error:
-            yield Finding(
-                path=str(path),
-                line=error.lineno or 1,
-                column=(error.offset or 1) - 1,
-                rule="RL000",
-                message=f"file does not parse: {error.msg}",
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            findings.add(
+                Finding(
+                    path=str(path),
+                    line=1,
+                    column=0,
+                    rule="RL000",
+                    message=f"file cannot be read: {error}",
+                )
             )
             continue
-        yield from analyze_source(module, rule_list)
+        digest = content_hash(source)
+        if cache is not None:
+            cached = cache.lookup(str(path), digest)
+            if cached is not None:
+                cached_findings, cached_summary = cached
+                findings.update(cached_findings)
+                if cached_summary is not None:
+                    summaries.append(cached_summary)
+                continue
+        try:
+            module = SourceModule(path, source, root)
+        except SyntaxError as error:
+            error_finding = _syntax_error_finding(path, error)
+            findings.add(error_finding)
+            if cache is not None:
+                cache.store(str(path), digest, [error_finding], None)
+            continue
+        file_findings = analyze_source(module, rule_list)
+        findings.update(file_findings)
+        summary = summarize_module(module)
+        summaries.append(summary)
+        if cache is not None:
+            cache.store(str(path), digest, file_findings, summary)
+
+    # Pass two: project rules over the full model (cached summaries
+    # included), suppression-filtered through the summary tables.
+    model = ProjectModel(summaries, root=root)
+    by_path = {summary.path: summary for summary in summaries}
+    for rule in project_rule_list:
+        for finding in rule.check_project(model):
+            summary_for_path = by_path.get(finding.path)
+            if summary_for_path is not None and summary_for_path.is_suppressed(
+                finding.line, finding.rule
+            ):
+                continue
+            findings.add(finding)
+
+    if cache is not None:
+        cache.prune({str(path) for path in files})
+        cache.save()
+    return sorted(findings)

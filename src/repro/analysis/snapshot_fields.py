@@ -1,0 +1,71 @@
+"""Field extraction shared by the snapshot rules (RL007 and RL015).
+
+These helpers answer, statically, what a ``to_dict`` emits and what a
+``from_dict`` consumes.  They live outside the rules package because
+both the per-file rule and the project-model summariser need them,
+and the rules package must stay importable from the model builder.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["consumed_keys", "emitted_keys", "payload_parameter"]
+
+
+def emitted_keys(function: ast.FunctionDef) -> set[str] | None:
+    """String keys of every dict literal returned by ``to_dict``.
+
+    Returns ``None`` when no return statement is a dict literal (the
+    method builds its payload dynamically; nothing to check).
+    """
+    keys: set[str] = set()
+    saw_literal = False
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Return) or not isinstance(
+            node.value, ast.Dict
+        ):
+            continue
+        saw_literal = True
+        for key in node.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.add(key.value)
+    return keys if saw_literal else None
+
+
+def payload_parameter(function: ast.FunctionDef) -> str | None:
+    """The parameter holding the snapshot dict (first after self/cls)."""
+    positional = [*function.args.posonlyargs, *function.args.args]
+    names = [arg.arg for arg in positional]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names[0] if names else None
+
+
+def consumed_keys(
+    function: ast.FunctionDef, payload: str
+) -> tuple[set[str], set[str]]:
+    """Keys read off the payload: (required via ``[...]``, via ``.get``)."""
+    required: set[str] = set()
+    optional: set[str] = set()
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == payload
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            required.add(node.slice.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == payload
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            optional.add(node.args[0].value)
+    return required, optional

@@ -1,0 +1,3 @@
+from repro.core.base import CleanBase
+
+__all__ = ["CleanBase"]

@@ -1,0 +1,33 @@
+"""Clean base class: memoized view with complete invalidation."""
+
+from __future__ import annotations
+
+
+class CleanBase:
+    SNAPSHOT_KIND = "clean-base"
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._counts: dict[int, int] = {}
+        self._columnar: tuple[int, ...] | None = None
+
+    def columnar_view(self) -> tuple[int, ...]:
+        if self._columnar is None:
+            self._columnar = tuple(sorted(self._counts))
+        return self._columnar
+
+    def insert(self, value: int) -> None:
+        self._counts[value] = self._counts.get(value, 0) + 1
+        self._columnar = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": self.SNAPSHOT_KIND, "counts": dict(self._counts)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "CleanBase":
+        if payload["kind"] != cls.SNAPSHOT_KIND:
+            raise ValueError("wrong snapshot kind")
+        sample = cls(int(payload.get("capacity", 0)))
+        for value, count in dict(payload["counts"]).items():
+            sample._counts[int(value)] = int(count)
+        return sample

@@ -1,0 +1,35 @@
+"""Inherited mutators, aliased imports, and a split snapshot pair.
+
+``CleanDerived`` reaches its base through the package re-export under
+an alias, mutates the inherited backing store through a local alias
+*and* a mutator-method call (both must be seen as writes), and
+overrides only ``from_dict`` -- parity holds against the inherited
+``to_dict``.
+"""
+
+from __future__ import annotations
+
+from repro.core import CleanBase as Base
+
+
+class CleanDerived(Base):
+    SNAPSHOT_KIND = "clean-derived"
+
+    def bulk_load(self, values: list[int]) -> None:
+        counts = self._counts
+        for value in values:
+            counts[value] = counts.get(value, 0) + 1
+        self._columnar = None
+
+    def absorb(self, other: dict[int, int]) -> None:
+        self._counts.update(other)
+        self._columnar = None
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "CleanDerived":
+        if payload["kind"] != "clean-derived":
+            raise ValueError("wrong snapshot kind")
+        sample = cls(int(payload.get("capacity", 0)))
+        for value, count in dict(payload["counts"]).items():
+            sample._counts[int(value)] = int(count)
+        return sample

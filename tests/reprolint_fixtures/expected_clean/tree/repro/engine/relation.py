@@ -1,0 +1,22 @@
+"""Epoch discipline done right: every mutator bumps."""
+
+from __future__ import annotations
+
+
+class CleanRelation:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._rows: dict[tuple[int, ...], int] = {}
+        self._epoch = 0
+
+    def insert(self, row: tuple[int, ...]) -> None:
+        self._rows[row] = self._rows.get(row, 0) + 1
+        self._epoch += 1
+
+    def insert_batch(self, rows: list[tuple[int, ...]]) -> None:
+        for row in rows:
+            self._rows[row] = self._rows.get(row, 0) + 1
+        self._epoch += 1
+
+    def size(self) -> int:
+        return sum(self._rows.values())

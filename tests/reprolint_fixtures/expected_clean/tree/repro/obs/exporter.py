@@ -1,0 +1,10 @@
+"""Conforming metric exports: documented, canonical, kind-stable."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def export(registry: Any, depth: int) -> None:
+    registry.counter("repro_clean_events_total", "Fixture events").inc()
+    registry.gauge("repro_clean_depth", "Fixture depth").set(float(depth))

@@ -1,0 +1,10 @@
+"""Half of a deliberate import cycle (resolution must not loop)."""
+
+from __future__ import annotations
+
+from repro.util.beta import BetaMixin
+
+
+class Alpha(BetaMixin):
+    def describe(self) -> str:
+        return "alpha"

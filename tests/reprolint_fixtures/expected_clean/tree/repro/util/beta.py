@@ -1,0 +1,15 @@
+"""Other half of the import cycle."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.util.alpha import Alpha
+
+__all__ = ["Alpha", "BetaMixin"]
+
+
+class BetaMixin:
+    def mixin_tag(self) -> str:
+        return "beta"

@@ -1,0 +1,3 @@
+from repro.core.base import BaseSample
+
+__all__ = ["BaseSample"]

@@ -1,0 +1,25 @@
+"""Deliberate RL013/RL015 violations on top of the clean base."""
+
+from __future__ import annotations
+
+from repro.core import BaseSample
+
+
+class EagerSample(BaseSample):
+    # Same tag as BaseSample: snapshot routing is ambiguous (RL015).
+    SNAPSHOT_KIND = "fixture-sample"
+
+    def bulk_load(self, values: list[int]) -> None:
+        # Writes the columnar backing store without resetting the
+        # memoized view (RL013).
+        for value in values:
+            self._counts[value] = self._counts.get(value, 0) + 1
+
+    def to_dict(self) -> dict[str, object]:
+        # "phantom" is never read by the inherited from_dict, and
+        # `_watermark` is assigned nowhere in the hierarchy (RL015).
+        return {
+            "kind": self.SNAPSHOT_KIND,
+            "counts": dict(self._counts),
+            "phantom": self._watermark,
+        }

@@ -1,0 +1,21 @@
+"""An epoch-carrying relation with one mutator that forgets to bump."""
+
+from __future__ import annotations
+
+
+class FixtureRelation:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._rows: dict[tuple[int, ...], int] = {}
+        self._epoch = 0
+
+    def insert(self, row: tuple[int, ...]) -> None:
+        self._rows[row] = self._rows.get(row, 0) + 1
+        self._epoch += 1
+
+    def sneaky_insert(self, row: tuple[int, ...]) -> None:
+        # Mutates epoch-guarded state without bumping (RL013).
+        self._rows[row] = self._rows.get(row, 0) + 1
+
+    def size(self) -> int:
+        return sum(self._rows.values())

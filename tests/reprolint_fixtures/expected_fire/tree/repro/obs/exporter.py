@@ -1,0 +1,26 @@
+"""Deliberate RL014 violations: every way a metric name can go wrong."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def export(registry: Any, outcome: str) -> None:
+    # f-string name: the registry cannot be audited statically.
+    registry.counter(
+        f"repro_fixture_{outcome}_total",
+        "Fixture outcomes",
+    ).inc()
+    # Not repro_-prefixed snake_case.
+    registry.counter("FixtureEvents", "Misnamed").inc()
+    # Same name as two different metric kinds.
+    registry.gauge("repro_fixture_conflicted_total", "As a gauge").set(1.0)
+    registry.counter("repro_fixture_conflicted_total", "As a counter").inc()
+    # Well-formed but absent from docs/observability.md.
+    registry.counter(
+        "repro_fixture_undocumented_total", "Doc drift"
+    ).inc()
+    # The one fully conforming series.
+    registry.counter(
+        "repro_fixture_documented_total", "Documented"
+    ).inc()

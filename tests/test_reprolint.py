@@ -17,7 +17,7 @@ import pytest
 from repro.analysis import analyze_paths
 from repro.analysis.__main__ import main
 from repro.analysis.module import SourceModule, module_parts
-from repro.analysis.rules import ALL_RULES
+from repro.analysis.rules import ALL_PROJECT_RULES, ALL_RULES
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -774,10 +774,12 @@ class TestInfrastructure:
         assert codes(findings) == {"RL000"}
 
     def test_every_rule_has_distinct_code(self) -> None:
-        rule_codes = [rule.code for rule in ALL_RULES]
-        assert len(rule_codes) == len(set(rule_codes)) == 12
+        rule_codes = [
+            rule.code for rule in (*ALL_RULES, *ALL_PROJECT_RULES)
+        ]
+        assert len(rule_codes) == len(set(rule_codes)) == 15
         assert sorted(rule_codes) == [
-            f"RL{index:03d}" for index in range(1, 13)
+            f"RL{index:03d}" for index in range(1, 16)
         ]
 
     def test_suppressed_findings_parse(self, tmp_path: Path) -> None:
@@ -790,6 +792,82 @@ class TestInfrastructure:
         assert module.is_suppressed(1, "RL003")
         assert not module.is_suppressed(1, "RL005")
         assert not module.is_suppressed(2, "RL001")
+
+    def test_multiline_signature_covered_by_def_line_comment(
+        self, tmp_path: Path
+    ) -> None:
+        # RL006 anchors at the def line, but the natural comment spot
+        # in a multi-line signature is wherever the writer put it; any
+        # header line must cover the whole header.
+        source = textwrap.dedent(
+            """\
+            def public_api(
+                value,  # reprolint: disable=RL006
+                other,
+            ):
+                return value + other
+            """
+        )
+        module = SourceModule(
+            tmp_path / "repro" / "core" / "x.py", source, tmp_path
+        )
+        for line in (1, 2, 3, 4):
+            assert module.is_suppressed(line, "RL006")
+        assert not module.is_suppressed(5, "RL006")
+
+    def test_multiline_signature_covers_decorator_line(
+        self, tmp_path: Path
+    ) -> None:
+        source = textwrap.dedent(
+            """\
+            @decorated
+            def public_api(
+                value,
+            ):  # reprolint: disable=RL006
+                return value
+            """
+        )
+        module = SourceModule(
+            tmp_path / "repro" / "core" / "x.py", source, tmp_path
+        )
+        assert module.is_suppressed(1, "RL006")
+        assert module.is_suppressed(2, "RL006")
+        assert not module.is_suppressed(5, "RL006")
+
+    def test_single_line_def_keeps_exact_line_semantics(
+        self, tmp_path: Path
+    ) -> None:
+        source = textwrap.dedent(
+            """\
+            def public_api(value):  # reprolint: disable=RL006
+                return value
+
+            def other_api(thing):
+                return thing
+            """
+        )
+        module = SourceModule(
+            tmp_path / "repro" / "core" / "x.py", source, tmp_path
+        )
+        assert module.is_suppressed(1, "RL006")
+        assert not module.is_suppressed(2, "RL006")
+        assert not module.is_suppressed(4, "RL006")
+
+    def test_multiline_suppression_waives_annotation_finding(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/core/api.py",
+            """\
+            def public_api(
+                value,
+                other,
+            ):  # reprolint: disable=RL006
+                return value + other
+            """,
+        )
+        assert "RL006" not in codes(findings)
 
 
 class TestCli:
@@ -828,7 +906,7 @@ class TestCli:
     def test_list_rules(self, capsys) -> None:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ALL_RULES:
+        for rule in (*ALL_RULES, *ALL_PROJECT_RULES):
             assert rule.code in out
 
 
