@@ -103,11 +103,26 @@ class QueryResultCache:
         query reads; a stored entry whose token differs is stale and
         is dropped (counted as an invalidation plus a miss).
         """
+        answer, _ = self.lookup(key, epochs)
+        return answer
+
+    def lookup(
+        self, key: Hashable, epochs: EpochToken
+    ) -> tuple[Any | None, str]:
+        """Like :meth:`get`, but also report how the lookup resolved.
+
+        The second element is ``"hit"``, ``"miss"``, or
+        ``"invalidated"`` (stored entry existed but its epoch token
+        was stale) -- the status the engine stamps on the
+        ``cache_lookup`` child span.  An invalidated lookup still
+        counts as both an invalidation and a miss in the metrics,
+        exactly as :meth:`get` always has.
+        """
         entry = self._entries.get(key)
         if entry is None:
             self._misses += 1
             self._count("misses", key)
-            return None
+            return None, "miss"
         stored_epochs, answer = entry
         if stored_epochs != epochs:
             del self._entries[key]
@@ -115,11 +130,11 @@ class QueryResultCache:
             self._misses += 1
             self._count("invalidations", key)
             self._count("misses", key)
-            return None
+            return None, "invalidated"
         self._entries.move_to_end(key)
         self._hits += 1
         self._count("hits", key)
-        return answer
+        return answer, "hit"
 
     def put(self, key: Hashable, epochs: EpochToken, answer: Any) -> None:
         """Store an answer computed at the given epoch token."""

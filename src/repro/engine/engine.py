@@ -44,7 +44,8 @@ from repro.estimators.aggregates import (
 )
 from repro.estimators.selectivity import Predicate, estimate_selectivity
 from repro.hotlist.base import HotListAnswer, HotListReporter
-from repro.obs.tracing import QueryTracer
+from repro.obs.audit import CalibrationAuditor
+from repro.obs.tracing import ActiveTrace, QueryTracer
 from repro.stats.frequency import FrequencyTable
 
 __all__ = ["ApproximateAnswerEngine", "NoSynopsisError"]
@@ -99,6 +100,17 @@ class ApproximateAnswerEngine:
         ingest epochs of the relations each query reads.  The exact
         path is never cached -- it must scan base data and charge the
         disk accesses every time.
+    auditor:
+        Optional :class:`~repro.obs.audit.CalibrationAuditor`; when
+        set, a seeded fraction of approximate answers (cache hits
+        included) is shadowed with the exact path and scored against
+        the claimed interval.  Audit shadows charge base-data disk
+        accesses -- that is the price of the calibration signal.
+    conservative_intervals:
+        When true, count/sum/average estimates carry distribution-free
+        (Hoeffding / empirical-Bernstein) intervals instead of CLT
+        ones: wider, but valid at any finite sample size, so audited
+        coverage provably meets the claimed confidence.
     """
 
     def __init__(
@@ -108,11 +120,15 @@ class ApproximateAnswerEngine:
         *,
         tracer: QueryTracer | None = None,
         cache: QueryResultCache | None = None,
+        auditor: CalibrationAuditor | None = None,
+        conservative_intervals: bool = False,
     ) -> None:
         self.warehouse = warehouse
         self.registry = SynopsisRegistry(budget_words)
         self.tracer = tracer
         self.cache = cache
+        self.auditor = auditor
+        self.conservative_intervals = conservative_intervals
         self._row_counts: dict[str, int] = {}
         self._composites: dict[str, list[tuple[str, ...]]] = {}
         self._synopsis_epochs: dict[str, int] = {}
@@ -400,41 +416,101 @@ class ApproximateAnswerEngine:
         ingest into a relation invalidates exactly that relation's
         entries.  When a tracer is attached, the call is recorded as
         one query span (including errors, which are re-raised), with
-        the cache outcome on the span.
+        the cache outcome on the span and child spans for the cache
+        lookup, synopsis answering, exact fallback, and audit shadow
+        phases.  When an auditor is attached, approximate answers may
+        additionally be shadowed with the exact path and scored.
         """
         tracer = self.tracer
-        started = tracer.begin() if tracer is not None else 0.0
+        trace = tracer.start_trace() if tracer is not None else None
         cache_status: str | None = None
         try:
             if exact:
-                response = self._answer_exact(query)
-            elif self.cache is None:
-                response = self._answer_approximate(query)
-            else:
-                epochs = self._epoch_token(query)
-                cached = self.cache.get(query, epochs)
-                if cached is not None:
-                    cache_status = "hit"
-                    response = cached
+                if tracer is not None and trace is not None:
+                    with tracer.child(trace, "exact_fallback"):
+                        response = self._answer_exact(query)
                 else:
-                    cache_status = "miss"
-                    response = self._answer_approximate(query)
-                    self.cache.put(query, epochs, response)
+                    response = self._answer_exact(query)
+            else:
+                response, cache_status = self._answer_with_cache(
+                    query, tracer, trace
+                )
+                self._maybe_audit(query, response, tracer, trace)
         except Exception as error:
-            if tracer is not None:
-                tracer.record_error(
-                    query, error, started, requested_exact=exact
+            if tracer is not None and trace is not None:
+                tracer.finish_error(
+                    trace, query, error, requested_exact=exact
                 )
             raise
-        if tracer is not None:
-            tracer.record(
+        if tracer is not None and trace is not None:
+            tracer.finish(
+                trace,
                 query,
                 response,
-                started,
                 requested_exact=exact,
                 cache=cache_status,
             )
         return response
+
+    def _answer_with_cache(
+        self,
+        query: Query,
+        tracer: QueryTracer | None,
+        trace: ActiveTrace | None,
+    ) -> tuple[QueryResponse, str | None]:
+        """The approximate path, through the cache when one is attached.
+
+        Returns the response and the span-level cache outcome (``None``
+        without a cache; an invalidated lookup reports ``"miss"`` on
+        the root span -- the finer ``"invalidated"`` status lives on
+        the ``cache_lookup`` child).
+        """
+        if self.cache is None:
+            if tracer is not None and trace is not None:
+                with tracer.child(trace, "synopsis_answer"):
+                    return self._answer_approximate(query), None
+            return self._answer_approximate(query), None
+        epochs = self._epoch_token(query)
+        if tracer is not None and trace is not None:
+            with tracer.child(trace, "cache_lookup") as scope:
+                cached, outcome = self.cache.lookup(query, epochs)
+                scope.status = outcome
+        else:
+            cached, outcome = self.cache.lookup(query, epochs)
+        if cached is not None:
+            return cached, "hit"
+        if tracer is not None and trace is not None:
+            with tracer.child(trace, "synopsis_answer"):
+                response = self._answer_approximate(query)
+        else:
+            response = self._answer_approximate(query)
+        self.cache.put(query, epochs, response)
+        return response, "miss"
+
+    def _maybe_audit(
+        self,
+        query: Query,
+        response: QueryResponse,
+        tracer: QueryTracer | None,
+        trace: ActiveTrace | None,
+    ) -> None:
+        """Shadow this answer with the exact path if the auditor says so.
+
+        Runs on cache hits too: a stale-but-served answer is exactly
+        the kind calibration auditing exists to catch.
+        """
+        auditor = self.auditor
+        if auditor is None or not auditor.should_audit(query):
+            return
+        if tracer is not None and trace is not None:
+            with tracer.child(trace, "audit_shadow") as scope:
+                observation = auditor.shadow(
+                    query, response, self._answer_exact
+                )
+                if observation is not None and observation.error is not None:
+                    scope.status = "error"
+        else:
+            auditor.shadow(query, response, self._answer_exact)
 
     # -- approximate paths ---------------------------------------------
 
@@ -569,7 +645,7 @@ class ApproximateAnswerEngine:
             answer = reporter.report(query.k)
             return QueryResponse(
                 answer=answer,
-                interval=None,
+                interval=reporter.top_interval(answer),
                 method=type(reporter).__name__,
                 is_exact=False,
                 exact_cost_estimate=scan_cost,
@@ -608,18 +684,30 @@ class ApproximateAnswerEngine:
                 )
 
         points = self._sample_points(query.relation, query.attribute)
+        conservative = self.conservative_intervals
         if isinstance(query, FrequencyQuery):
             predicate = Predicate(equals=query.value)
-            estimate = estimate_count(points, population, predicate.mask)
+            estimate = estimate_count(
+                points,
+                population,
+                predicate.mask,
+                conservative=conservative,
+            )
         elif isinstance(query, CountQuery):
             mask = query.predicate.mask if query.predicate else None
-            estimate = estimate_count(points, population, mask)
+            estimate = estimate_count(
+                points, population, mask, conservative=conservative
+            )
         elif isinstance(query, SumQuery):
             mask = query.predicate.mask if query.predicate else None
-            estimate = estimate_sum(points, population, mask)
+            estimate = estimate_sum(
+                points, population, mask, conservative=conservative
+            )
         elif isinstance(query, AverageQuery):
             mask = query.predicate.mask if query.predicate else None
-            estimate = estimate_average(points, mask)
+            estimate = estimate_average(
+                points, mask, conservative=conservative
+            )
         elif isinstance(query, SelectivityQuery):
             if query.predicate is None:
                 raise ValueError("selectivity query needs a predicate")

@@ -22,6 +22,7 @@ from repro.estimators.distinct import (
 from repro.estimators.intervals import (
     ConfidenceInterval,
     clt_interval,
+    empirical_bernstein_interval,
     hoeffding_count_interval,
     normal_quantile,
     wilson_interval,
@@ -43,6 +44,7 @@ __all__ = [
     "ConfidenceInterval",
     "Predicate",
     "clt_interval",
+    "empirical_bernstein_interval",
     "estimate_average",
     "estimate_count",
     "estimate_frequency_moment",

@@ -19,6 +19,8 @@ import numpy as np
 from repro.estimators.intervals import (
     ConfidenceInterval,
     clt_interval,
+    empirical_bernstein_interval,
+    hoeffding_count_interval,
     wilson_interval,
 )
 
@@ -55,6 +57,8 @@ def estimate_count(
     population: int,
     predicate: Callable[[np.ndarray], np.ndarray] | None = None,
     confidence: float = 0.95,
+    *,
+    conservative: bool = False,
 ) -> AggregateEstimate:
     """Estimate how many of the ``population`` rows match the predicate.
 
@@ -65,6 +69,11 @@ def estimate_count(
     interval is used so "no sample point matched" is reported with
     honest uncertainty rather than false certainty.  A ``None``
     predicate is COUNT(*): the engine knows the population exactly.
+
+    With ``conservative=True`` the interval is the distribution-free
+    Hoeffding bound instead: wider, but guaranteed at any finite
+    sample size rather than asymptotically -- what calibration
+    auditing checks against.
     """
     m = len(points)
     if m == 0:
@@ -80,6 +89,12 @@ def estimate_count(
     matching = int(mask.sum())
     proportion = matching / m
     estimate = population * proportion
+    if conservative:
+        return AggregateEstimate(
+            float(estimate),
+            hoeffding_count_interval(matching, m, population, confidence),
+            m,
+        )
     if matching == 0 or matching == m:
         wilson = wilson_interval(matching, m, confidence)
         interval = ConfidenceInterval(
@@ -101,11 +116,17 @@ def estimate_sum(
     population: int,
     predicate: Callable[[np.ndarray], np.ndarray] | None = None,
     confidence: float = 0.95,
+    *,
+    conservative: bool = False,
 ) -> AggregateEstimate:
     """Estimate the sum of the attribute over matching rows.
 
     The per-sample contribution is ``value * 1[predicate]``; scaling
     its mean by ``population`` gives an unbiased sum estimate.
+
+    With ``conservative=True`` the interval is the empirical Bernstein
+    bound over the contributions (range taken from the observed sample
+    extremes): finite-sample valid rather than asymptotic.
     """
     m = len(points)
     if m == 0:
@@ -116,6 +137,18 @@ def estimate_sum(
     contributions = np.where(mask, points.astype(np.float64), 0.0)
     mean = contributions.mean()
     estimate = population * mean
+    if conservative:
+        variance = float(contributions.var(ddof=1)) if m > 1 else 0.0
+        value_range = float(contributions.max() - contributions.min())
+        bernstein = empirical_bernstein_interval(
+            float(mean), variance, value_range, m, confidence
+        )
+        interval = ConfidenceInterval(
+            bernstein.low * population,
+            bernstein.high * population,
+            confidence,
+        )
+        return AggregateEstimate(float(estimate), interval, m)
     spread = contributions.std(ddof=1) if m > 1 else 0.0
     standard_error = population * spread / math.sqrt(m)
     return AggregateEstimate(
@@ -129,12 +162,18 @@ def estimate_average(
     points: np.ndarray,
     predicate: Callable[[np.ndarray], np.ndarray] | None = None,
     confidence: float = 0.95,
+    *,
+    conservative: bool = False,
 ) -> AggregateEstimate:
     """Estimate the average attribute value over matching rows.
 
     Uses only the matching sample points; raises :class:`ValueError`
     when none match (the sample carries no information about the
     average then -- the caller should fall back to the exact path).
+
+    With ``conservative=True`` the interval is the empirical Bernstein
+    bound over the matching points: finite-sample valid rather than
+    asymptotic.
     """
     if len(points) == 0:
         raise ValueError("cannot estimate from an empty sample")
@@ -144,6 +183,16 @@ def estimate_average(
     if m == 0:
         raise ValueError("no sample point matches the predicate")
     mean = matching.mean()
+    if conservative:
+        variance = float(matching.var(ddof=1)) if m > 1 else 0.0
+        value_range = float(matching.max() - matching.min())
+        return AggregateEstimate(
+            float(mean),
+            empirical_bernstein_interval(
+                float(mean), variance, value_range, m, confidence
+            ),
+            m,
+        )
     spread = matching.std(ddof=1) if m > 1 else 0.0
     standard_error = spread / math.sqrt(m)
     return AggregateEstimate(

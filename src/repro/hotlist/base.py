@@ -4,9 +4,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.estimators.intervals import ConfidenceInterval
 
 __all__ = ["HotListAnswer", "HotListEntry", "HotListReporter", "kth_largest"]
 
@@ -108,3 +111,18 @@ class HotListReporter(ABC):
     @abstractmethod
     def report(self, k: int) -> HotListAnswer:
         """Approximate the ``k`` most frequent values with counts."""
+
+    def top_interval(
+        self, answer: HotListAnswer, confidence: float = 0.95
+    ) -> "ConfidenceInterval | None":
+        """A confidence interval on the top entry's true frequency.
+
+        ``None`` when the reporter makes no quantified claim (the
+        base-class default) or the answer is empty.  Concrete
+        reporters override this with the finite-sample constructions
+        in :mod:`repro.hotlist.intervals`; the engine attaches the
+        result to hot-list responses so calibration auditing can score
+        them like scalar estimates.
+        """
+        del answer, confidence
+        return None

@@ -13,7 +13,9 @@ import numpy as np
 
 from repro.core.concise import ConciseSample
 from repro.core.thresholds import ThresholdPolicy
+from repro.estimators.intervals import ConfidenceInterval
 from repro.hotlist.base import HotListAnswer, HotListReporter
+from repro.hotlist.intervals import scaled_top_interval
 from repro.hotlist.kernels import (
     confident_from_columns,
     report_from_columns,
@@ -84,6 +86,12 @@ class ConciseHotList(HotListReporter):
             confidence_cutoff=self.confidence_threshold,
             scale=self.sample.total_inserted / self.sample.sample_size,
         )
+
+    def top_interval(
+        self, answer: HotListAnswer, confidence: float = 0.95
+    ) -> ConfidenceInterval | None:
+        """Hoeffding bound on the top entry's true frequency."""
+        return scaled_top_interval(self.sample, answer, confidence)
 
     def report_all_confident(self) -> HotListAnswer:
         """Every value reportable with confidence (Section 5.2's

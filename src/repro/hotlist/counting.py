@@ -16,7 +16,9 @@ import numpy as np
 
 from repro.core.counting import CountingSample
 from repro.core.thresholds import ThresholdPolicy
+from repro.estimators.intervals import ConfidenceInterval
 from repro.hotlist.base import HotListAnswer, HotListReporter
+from repro.hotlist.intervals import counting_top_interval
 from repro.hotlist.kernels import (
     confident_from_columns,
     report_from_columns,
@@ -98,6 +100,12 @@ class CountingHotList(HotListReporter):
             confidence_cutoff=counting_report_cutoff(threshold),
             offset=self.compensation(),
         )
+
+    def top_interval(
+        self, answer: HotListAnswer, confidence: float = 0.95
+    ) -> ConfidenceInterval | None:
+        """One-sided geometric bound on the top entry's frequency."""
+        return counting_top_interval(self.sample, answer, confidence)
 
     def report_all_confident(self) -> HotListAnswer:
         """Every value reportable with confidence (Section 5.2): no

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.estimators.intervals import ConfidenceInterval
 from repro.hotlist.base import (
     HotListAnswer,
     HotListEntry,
@@ -98,3 +99,12 @@ class FullHistogramHotList(HotListReporter):
                 HotListEntry(value, float(count)) for value, count in top
             ),
         )
+
+    def top_interval(
+        self, answer: HotListAnswer, confidence: float = 0.95
+    ) -> ConfidenceInterval | None:
+        """Zero-width: full-histogram counts are exact."""
+        if not answer.entries:
+            return None
+        count = answer.entries[0].estimated_count
+        return ConfidenceInterval(count, count, confidence)

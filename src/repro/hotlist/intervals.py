@@ -1,0 +1,86 @@
+"""Confidence intervals for hot-list top counts.
+
+Hot-list answers are structured, so the engine's scalar interval
+machinery never covered them; calibration auditing (the accuracy loop
+in ``repro.obs.audit``) needs a claimed bound to check the reported
+top count against.  Two finite-sample constructions:
+
+* **Scaled samples** (traditional / concise / sorted-concise): the top
+  item's raw sample count is a Binomial(``m``, ``f_v / n``) draw, so a
+  Hoeffding bound on the proportion -- the same
+  :func:`~repro.estimators.intervals.hoeffding_count_interval` the
+  count estimator uses -- scales to an interval on ``f_v``.
+* **Counting samples**: counts are exact from admission, so the only
+  error is the occurrences missed *before* admission -- geometric with
+  success ``1/tau`` (Theorem 6's admission coin).  The interval is
+  one-sided: ``[raw count, raw count + miss quantile]`` via
+  :func:`~repro.stats.theory.counting_miss_quantile`.
+
+Both are conservative (finite-sample valid) by construction, so
+empirical audit coverage cannot legitimately fall below the claimed
+confidence.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.estimators.intervals import (
+    ConfidenceInterval,
+    hoeffding_count_interval,
+)
+from repro.hotlist.base import HotListAnswer
+from repro.stats.theory import counting_miss_quantile
+
+__all__ = ["counting_top_interval", "scaled_top_interval"]
+
+
+def scaled_top_interval(
+    sample: Any,
+    answer: HotListAnswer,
+    confidence: float = 0.95,
+) -> ConfidenceInterval | None:
+    """Hoeffding interval on the top entry's true frequency.
+
+    ``sample`` is a scaled synopsis exposing ``columnar_view()``,
+    ``sample_size``, and ``total_inserted``.  Returns ``None`` for
+    empty answers or empty samples (no claim to make).
+    """
+    if not answer.entries or sample.sample_size == 0:
+        return None
+    values, counts = sample.columnar_view()
+    top = answer.entries[0]
+    match = np.flatnonzero(values == top.value)
+    if match.size == 0:
+        return None
+    raw = int(counts[match[0]])
+    return hoeffding_count_interval(
+        raw, sample.sample_size, sample.total_inserted, confidence
+    )
+
+
+def counting_top_interval(
+    sample: Any,
+    answer: HotListAnswer,
+    confidence: float = 0.95,
+) -> ConfidenceInterval | None:
+    """One-sided geometric interval on the top entry's true frequency.
+
+    ``sample`` is a counting sample exposing ``columnar_view()`` and
+    ``threshold``.  The raw count is a certain undercount of ``f_v``;
+    the upper edge adds the ``confidence``-quantile of the geometric
+    misses-before-admission count.  Returns ``None`` for empty
+    answers or when the top value left the sample.
+    """
+    if not answer.entries:
+        return None
+    values, counts = sample.columnar_view()
+    top = answer.entries[0]
+    match = np.flatnonzero(values == top.value)
+    if match.size == 0:
+        return None
+    raw = float(counts[match[0]])
+    slack = counting_miss_quantile(sample.threshold, confidence)
+    return ConfidenceInterval(raw, raw + slack, confidence)

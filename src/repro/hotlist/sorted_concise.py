@@ -18,7 +18,9 @@ import numpy as np
 
 from repro.core.concise import ConciseSample
 from repro.core.thresholds import ThresholdPolicy
+from repro.estimators.intervals import ConfidenceInterval
 from repro.hotlist.base import HotListAnswer, HotListReporter
+from repro.hotlist.intervals import scaled_top_interval
 from repro.hotlist.kernels import report_from_columns
 from repro.randkit.coins import CostCounters
 
@@ -160,6 +162,12 @@ class SortedConciseHotList(HotListReporter):
             k,
             scale=self.sample.total_inserted / self.sample.sample_size,
         )
+
+    def top_interval(
+        self, answer: HotListAnswer, confidence: float = 0.95
+    ) -> ConfidenceInterval | None:
+        """Hoeffding bound on the top entry's true frequency."""
+        return scaled_top_interval(self.sample, answer, confidence)
 
     def check_index(self) -> None:
         """Validate the index against the sample (test hook)."""

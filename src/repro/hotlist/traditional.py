@@ -13,7 +13,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.reservoir import ReservoirSample
+from repro.estimators.intervals import ConfidenceInterval
 from repro.hotlist.base import HotListAnswer, HotListReporter
+from repro.hotlist.intervals import scaled_top_interval
 from repro.hotlist.kernels import report_from_columns
 from repro.randkit.coins import CostCounters
 
@@ -81,3 +83,9 @@ class TraditionalHotList(HotListReporter):
             confidence_cutoff=self.confidence_threshold,
             scale=self.sample.total_inserted / self.sample.sample_size,
         )
+
+    def top_interval(
+        self, answer: HotListAnswer, confidence: float = 0.95
+    ) -> ConfidenceInterval | None:
+        """Hoeffding bound on the top entry's true frequency."""
+        return scaled_top_interval(self.sample, answer, confidence)

@@ -11,8 +11,16 @@ O(1) flip/lookup rates of Tables 1-2 -- become runtime-watchable here:
   merges, snapshot/restore).
 * :mod:`repro.obs.instruments` -- scrape-time collectors mirroring
   synopsis state and ``CostCounters`` ledgers into labelled series.
-* :mod:`repro.obs.tracing` -- one span per engine query: answering
-  synopsis, estimator latency, error bounds, exact-fallback decisions.
+* :mod:`repro.obs.tracing` -- one span tree per engine query:
+  answering synopsis, estimator latency, error bounds, exact-fallback
+  decisions, plus child spans for the cache/synopsis/audit phases.
+* :mod:`repro.obs.audit` -- calibration auditing: a seeded fraction
+  of approximate answers is shadowed with the exact path and scored
+  against the claimed interval (``repro_audit_*`` series).
+* :mod:`repro.obs.sink` -- bounded trace export: ring buffer plus
+  JSONL writer, fed by the tracer's single-export ``drain()``.
+* :mod:`repro.obs.report` -- the ``python -m repro.obs report``
+  plain-text health report over snapshots and trace files.
 * :mod:`repro.obs.recovery` -- one span per checkpoint or recovery
   run: durations, replay lengths, torn-tail repairs.
 * :mod:`repro.obs.load` -- warehouse load-stream throughput metering.
@@ -56,11 +64,23 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
 )
+from repro.obs.audit import AuditObservation, CalibrationAuditor
 from repro.obs.probe import MetricsProbe
 from repro.obs.recovery import RecoverySpan, RecoveryTracer
-from repro.obs.tracing import QuerySpan, QueryTracer
+from repro.obs.report import histogram_quantile, render_health_report
+from repro.obs.sink import TraceSink, read_trace_file, span_tree
+from repro.obs.tracing import (
+    ActiveTrace,
+    ChildSpan,
+    QuerySpan,
+    QueryTracer,
+)
 
 __all__ = [
+    "ActiveTrace",
+    "AuditObservation",
+    "CalibrationAuditor",
+    "ChildSpan",
     "Clock",
     "Counter",
     "FakeClock",
@@ -75,15 +95,20 @@ __all__ = [
     "QueryTracer",
     "RecoverySpan",
     "RecoveryTracer",
+    "TraceSink",
     "disable",
     "enable",
     "get_registry",
+    "histogram_quantile",
     "monotonic",
     "parse_prometheus",
     "perf_counter",
+    "read_trace_file",
+    "render_health_report",
     "render_json",
     "render_prometheus",
     "set_registry",
+    "span_tree",
     "watch_synopsis",
 ]
 

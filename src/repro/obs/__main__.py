@@ -1,21 +1,29 @@
-"""``python -m repro.obs``: dump, tail, or selftest a live registry.
+"""``python -m repro.obs``: dump, tail, selftest, or health-report.
 
 Runs an example warehouse workload (zipf-skewed sales stream feeding
-concise/counting/reservoir synopses through the engine, with traced
-queries) under full instrumentation, then renders the registry:
+concise/counting/reservoir synopses through the engine, with traced,
+cached, and calibration-audited queries) under full instrumentation,
+then renders the registry:
 
 * default / ``--format prometheus|json``: one dump after the workload
 * ``--tail N``: ingest in ``N`` rounds, rendering after each round
-* ``--selftest``: assert the Prometheus round-trip -- parsed gauge
+* ``--selftest``: assert the Prometheus round-trip (parsed gauge
   values must equal ``sample_size`` / ``footprint`` / ``CostCounters``
-  read directly from the synopses -- and exit 0/1.
+  read directly from the synopses), the audit metric registrations,
+  and the trace-sink JSONL round-trip -- and exit 0/1.
+* ``report``: render the plain-text ops health report, either from
+  ``--metrics``/``--trace`` files exported elsewhere or from a fresh
+  demo workload when neither is given.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
+import tempfile
+from pathlib import Path
 from typing import Any
 
 from repro import obs
@@ -28,11 +36,21 @@ def build_workload(
     """An instrumented warehouse + engine over a sales relation."""
     from repro.core import ConciseSample, CountingSample, ReservoirSample
     from repro.engine import ApproximateAnswerEngine, DataWarehouse
+    from repro.engine.cache import QueryResultCache
     from repro.hotlist import CountingHotList
 
     warehouse = DataWarehouse()
     warehouse.create_relation("sales", ["store", "item"])
-    engine = ApproximateAnswerEngine(warehouse, budget_words=16_384)
+    cache = QueryResultCache(capacity=64, registry=registry)
+    auditor = obs.CalibrationAuditor(
+        1.0, seed=seed + 5, registry=registry
+    )
+    engine = ApproximateAnswerEngine(
+        warehouse,
+        budget_words=16_384,
+        cache=cache,
+        auditor=auditor,
+    )
 
     concise = ConciseSample(1_000, seed=seed + 1)
     counting = CountingSample(1_000, seed=seed + 2)
@@ -50,12 +68,16 @@ def build_workload(
     warehouse.add_observer(loader)
     tracer = obs.QueryTracer(registry)
     engine.tracer = tracer
+    sink = obs.TraceSink(capacity=256, registry=registry)
 
     return {
         "warehouse": warehouse,
         "engine": engine,
         "tracer": tracer,
         "loader": loader,
+        "auditor": auditor,
+        "cache": cache,
+        "sink": sink,
         "reservoir": reservoir,
         "synopses": {
             "sales.item": concise,
@@ -144,6 +166,60 @@ def selftest(rows: int, seed: int) -> int:
         if not any(span.is_exact for span in spans):
             failures.append("no exact-fallback span recorded")
 
+        # Calibration audit: every approximate answer was shadowed
+        # (fraction 1.0) and the repro_audit_* series registered.
+        observations = workload["auditor"].observations()
+        if len(observations) != 3:
+            failures.append(
+                f"expected 3 audit observations, got {len(observations)}"
+            )
+        shadow_series = parsed.get("repro_audit_shadows_total", {})
+        shadow_total = sum(shadow_series.values())
+        if shadow_total != len(observations):
+            failures.append(
+                f"repro_audit_shadows_total {shadow_total} != "
+                f"{len(observations)} observations"
+            )
+        for name in (
+            "repro_audit_coverage_ratio",
+            "repro_audit_error_budget",
+        ):
+            if not parsed.get(name):
+                failures.append(f"{name} never registered")
+
+        # Trace sink: drained spans round-trip through the JSONL file
+        # and the tracer buffer is left empty (single export).
+        trace_dir = tempfile.mkdtemp(prefix="repro-obs-selftest-")
+        try:
+            trace_path = f"{trace_dir}/trace.jsonl"
+            file_sink = obs.TraceSink(
+                capacity=256, path=trace_path, registry=registry
+            )
+            exported = file_sink.drain(workload["tracer"])
+            if workload["tracer"].spans():
+                failures.append("tracer still holds spans after drain")
+            records = obs.read_trace_file(trace_path)
+            if len(records) != exported:
+                failures.append(
+                    f"trace file holds {len(records)} records, "
+                    f"sink exported {exported}"
+                )
+            trees = obs.span_tree(records)
+            for span in spans:
+                tree = trees.get(span.trace_id)
+                if tree is None or tree["span"] != span.to_dict():
+                    failures.append(
+                        f"trace {span.trace_id} did not round-trip"
+                    )
+                elif len(tree["children"]) != len(span.children):
+                    failures.append(
+                        f"trace {span.trace_id}: file has "
+                        f"{len(tree['children'])} children, span has "
+                        f"{len(span.children)}"
+                    )
+        finally:
+            shutil.rmtree(trace_dir, ignore_errors=True)
+
         payload = obs.render_json(registry)
         json.loads(json.dumps(payload))  # must be JSON-able
         if not payload["metrics"]:
@@ -185,8 +261,66 @@ def dump(fmt: str, rows: int, seed: int, rounds: int) -> int:
         obs.disable()
 
 
+def report_command(argv: list[str]) -> int:
+    """``python -m repro.obs report``: render the ops health report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs report",
+        description="Render the plain-text ops health report from a "
+        "JSON registry snapshot and/or a drained JSONL trace file; "
+        "with neither, run a fresh demo workload.",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE.json",
+        help="registry snapshot (render_json output) to report over",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        help="drained trace file (TraceSink output) to report over",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=100_000,
+        help="demo workload rows when no files are given",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="demo workload seed"
+    )
+    args = parser.parse_args(argv)
+
+    metrics: dict[str, Any] | None = None
+    traces: list[dict[str, Any]] | None = None
+    if args.metrics:
+        from repro.persist.fsio import LocalFileSystem
+
+        metrics = json.loads(
+            LocalFileSystem().read_bytes(Path(args.metrics)).decode("utf-8")
+        )
+    if args.trace:
+        traces = obs.read_trace_file(args.trace)
+    if metrics is None and traces is None:
+        registry = obs.enable()
+        try:
+            workload = build_workload(registry, args.seed)
+            ingest_round(workload, args.rows, args.seed + 10)
+            sink = workload["sink"]
+            sink.drain(workload["tracer"])
+            metrics = obs.render_json(registry)
+            traces = list(sink.records())
+        finally:
+            obs.disable()
+    print(obs.render_health_report(metrics, traces))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        return report_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Dump, tail, or selftest the observability layer "

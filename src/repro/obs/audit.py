@@ -1,0 +1,415 @@
+"""Accuracy-calibration auditing for the approximate answer engine.
+
+The paper's value proposition is *quantified* error -- Theorem 4 and
+Theorems 6-8 attach confidence intervals to every estimate -- but an
+interval is only trustworthy if, in a running system, the true value
+actually falls inside it at the claimed rate.  The
+:class:`CalibrationAuditor` closes that loop: it shadows a seeded,
+deterministic fraction of approximate answers with the exact fallback,
+measures the observed relative error against the predicted interval,
+and maintains ``repro_audit_*`` metrics -- per-(query, method)
+coverage ratios, observed-error and interval-width histograms, and an
+error-budget gauge that goes negative the moment empirical coverage
+drops below the claimed confidence.
+
+Audit sampling draws from :class:`repro.randkit.ReproRandom` (RL001):
+the same seed and call sequence audits the same queries, so coverage
+numbers reproduce exactly.
+
+Hot-list answers have no scalar truth of their own, so their shadow
+re-asks the *frequency* of the reported top item against base data and
+checks it against the reporter's top-count interval -- covering the
+paper's hot-list guarantees, not just the scalar estimators.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.randkit import ReproRandom
+
+__all__ = ["AuditObservation", "CalibrationAuditor"]
+
+#: Relative-error histogram buckets: dense near zero, where a healthy
+#: estimator should live.
+_ERROR_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+)
+
+#: Interval width relative to the exact value (how loose the claimed
+#: bound is, independent of whether it covered).
+_WIDTH_BUCKETS = (0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0)
+
+
+@dataclass(frozen=True)
+class AuditObservation:
+    """One shadowed answer: the estimate versus base-data truth.
+
+    ``in_bounds`` is ``None`` when the response carried no interval
+    (nothing was claimed, so nothing can be violated); coverage and
+    the error budget only aggregate over interval-bearing answers.
+    """
+
+    query: str
+    method: str
+    estimate: float | None
+    exact_value: float | None
+    relative_error: float | None
+    interval_low: float | None
+    interval_high: float | None
+    confidence: float | None
+    in_bounds: bool | None
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """The observation as a JSON-able dict."""
+        return {
+            "query": self.query,
+            "method": self.method,
+            "estimate": self.estimate,
+            "exact_value": self.exact_value,
+            "relative_error": self.relative_error,
+            "interval_low": self.interval_low,
+            "interval_high": self.interval_high,
+            "confidence": self.confidence,
+            "in_bounds": self.in_bounds,
+            "error": self.error,
+        }
+
+
+class _GroupStats:
+    """Running calibration tallies for one (query, method) pair."""
+
+    __slots__ = (
+        "shadows",
+        "with_interval",
+        "in_bounds",
+        "confidence_sum",
+        "error_sum",
+        "error_max",
+    )
+
+    def __init__(self) -> None:
+        self.shadows = 0
+        self.with_interval = 0
+        self.in_bounds = 0
+        self.confidence_sum = 0.0
+        self.error_sum = 0.0
+        self.error_max = 0.0
+
+    @property
+    def coverage(self) -> float | None:
+        if self.with_interval == 0:
+            return None
+        return self.in_bounds / self.with_interval
+
+    @property
+    def mean_confidence(self) -> float | None:
+        if self.with_interval == 0:
+            return None
+        return self.confidence_sum / self.with_interval
+
+    @property
+    def error_budget(self) -> float | None:
+        """Empirical coverage minus claimed confidence.
+
+        Negative means the intervals are over-claiming: the true value
+        escapes the bound more often than the confidence admits.
+        """
+        coverage = self.coverage
+        claimed = self.mean_confidence
+        if coverage is None or claimed is None:
+            return None
+        return coverage - claimed
+
+
+class CalibrationAuditor:
+    """Shadow a seeded fraction of approximate answers with exact ones.
+
+    Parameters
+    ----------
+    fraction:
+        Probability that any given approximate answer is audited.
+        ``0`` disables auditing entirely (no random draws are
+        consumed); ``1`` audits everything.
+    seed:
+        Seed for the audit-selection stream (RL001: all randomness via
+        ``repro.randkit``).
+    registry:
+        Metrics sink; defaults to the process-wide active registry.
+    max_observations:
+        Ring-buffer capacity for :meth:`observations`.
+    """
+
+    def __init__(
+        self,
+        fraction: float,
+        *,
+        seed: int,
+        registry: MetricsRegistry | None = None,
+        max_observations: int = 1024,
+    ) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(
+                f"audit fraction must be in [0, 1], got {fraction}"
+            )
+        self.fraction = fraction
+        self._random = ReproRandom(seed)
+        self._registry = (
+            registry if registry is not None else get_registry()
+        )
+        self._observations: deque[AuditObservation] = deque(
+            maxlen=max_observations
+        )
+        self._groups: dict[tuple[str, str], _GroupStats] = {}
+
+    def should_audit(self, query: Any) -> bool:
+        """Seeded coin flip: audit this answer?
+
+        Fractions of exactly 0 or 1 short-circuit without consuming a
+        draw, so toggling auditing off does not perturb other seeded
+        streams.
+        """
+        del query  # selection is query-independent by design
+        return self._random.bernoulli(self.fraction)
+
+    def shadow(
+        self,
+        query: Any,
+        response: Any,
+        exact_answerer: Callable[[Any], Any],
+    ) -> AuditObservation | None:
+        """Re-answer ``query`` exactly and score the approximate answer.
+
+        ``exact_answerer`` is the engine's exact path
+        (``_answer_exact``); the auditor never touches base data
+        itself.  Hot-list responses are shadowed through a frequency
+        query on the reported top item (see the module docstring);
+        empty hot-list reports are skipped (``None`` -- there is no
+        claim to check).
+        """
+        query_kind = type(query).__name__
+        method = str(getattr(response, "method", "unknown"))
+        shadow_query, estimate = self._shadow_target(query, response)
+        if shadow_query is None:
+            return None
+        try:
+            exact_response = exact_answerer(shadow_query)
+        except Exception as error:  # noqa: BLE001 - scored, not dropped
+            self._registry.counter(
+                "repro_audit_errors_total",
+                "Audit shadows whose exact re-answer raised",
+                {"query": query_kind, "error": type(error).__name__},
+            ).inc()
+            observation = AuditObservation(
+                query=query_kind,
+                method=method,
+                estimate=estimate,
+                exact_value=None,
+                relative_error=None,
+                interval_low=None,
+                interval_high=None,
+                confidence=None,
+                in_bounds=None,
+                error=type(error).__name__,
+            )
+            self._observations.append(observation)
+            return observation
+        exact_value = float(exact_response.answer)
+        self._registry.counter(
+            "repro_audit_exact_disk_accesses_total",
+            "Base-data disk accesses estimated spent on audit shadows",
+            {"query": query_kind},
+        ).inc(max(0, int(getattr(response, "exact_cost_estimate", 0))))
+        observation = self._observe(
+            query_kind, method, response, estimate, exact_value
+        )
+        self._observations.append(observation)
+        return observation
+
+    def observations(self) -> tuple[AuditObservation, ...]:
+        """The most recent audit observations, oldest first."""
+        return tuple(self._observations)
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Per-(query, method) calibration summary, JSON-able."""
+        rows: list[dict[str, Any]] = []
+        for (query_kind, method), stats in sorted(self._groups.items()):
+            rows.append(
+                {
+                    "query": query_kind,
+                    "method": method,
+                    "shadows": stats.shadows,
+                    "with_interval": stats.with_interval,
+                    "in_bounds": stats.in_bounds,
+                    "coverage": stats.coverage,
+                    "mean_claimed_confidence": stats.mean_confidence,
+                    "error_budget": stats.error_budget,
+                    "mean_relative_error": (
+                        stats.error_sum / stats.shadows
+                        if stats.shadows
+                        else None
+                    ),
+                    "max_relative_error": stats.error_max,
+                }
+            )
+        return rows
+
+    # -- internals ------------------------------------------------------
+
+    def _shadow_target(
+        self, query: Any, response: Any
+    ) -> tuple[Any, float | None]:
+        """The query to re-answer exactly, and the scalar under audit."""
+        answer = getattr(response, "answer", None)
+        entries = getattr(answer, "entries", None)
+        if entries is None:
+            return query, (
+                float(answer) if isinstance(answer, (int, float)) else None
+            )
+        if not entries:
+            return None, None
+        # Hot list: audit the top item's estimated count against its
+        # exact frequency (the exact hot-list answer only keeps top-k,
+        # so the reported item could be legitimately absent from it).
+        from repro.engine.queries import FrequencyQuery
+
+        top = entries[0]
+        shadow = FrequencyQuery(
+            relation=query.relation,
+            attribute=query.attribute,
+            value=int(top.value),
+        )
+        return shadow, float(top.estimated_count)
+
+    def _observe(
+        self,
+        query_kind: str,
+        method: str,
+        response: Any,
+        estimate: float | None,
+        exact_value: float,
+    ) -> AuditObservation:
+        interval = getattr(response, "interval", None)
+        relative_error = None
+        if estimate is not None:
+            relative_error = abs(estimate - exact_value) / max(
+                abs(exact_value), 1.0
+            )
+        interval_low = interval_high = confidence = None
+        in_bounds: bool | None = None
+        if interval is not None:
+            interval_low = float(interval.low)
+            interval_high = float(interval.high)
+            confidence = float(interval.confidence)
+            in_bounds = interval_low <= exact_value <= interval_high
+        self._export(
+            query_kind, method, relative_error, interval, in_bounds,
+            exact_value,
+        )
+        stats = self._groups.setdefault(
+            (query_kind, method), _GroupStats()
+        )
+        stats.shadows += 1
+        if relative_error is not None:
+            stats.error_sum += relative_error
+            stats.error_max = max(stats.error_max, relative_error)
+        if in_bounds is not None:
+            stats.with_interval += 1
+            stats.confidence_sum += confidence or 0.0
+            if in_bounds:
+                stats.in_bounds += 1
+        self._export_group(query_kind, method, stats)
+        return AuditObservation(
+            query=query_kind,
+            method=method,
+            estimate=estimate,
+            exact_value=exact_value,
+            relative_error=relative_error,
+            interval_low=interval_low,
+            interval_high=interval_high,
+            confidence=confidence,
+            in_bounds=in_bounds,
+        )
+
+    def _export(
+        self,
+        query_kind: str,
+        method: str,
+        relative_error: float | None,
+        interval: Any,
+        in_bounds: bool | None,
+        exact_value: float,
+    ) -> None:
+        registry = self._registry
+        labels = {"query": query_kind, "method": method}
+        registry.counter(
+            "repro_audit_shadows_total",
+            "Approximate answers shadowed with the exact fallback",
+            labels,
+        ).inc()
+        if relative_error is not None:
+            registry.histogram(
+                "repro_audit_relative_error",
+                "Observed |estimate - exact| / max(|exact|, 1)"
+                " on audited answers",
+                labels,
+                buckets=_ERROR_BUCKETS,
+            ).observe(relative_error)
+        if in_bounds is None:
+            return
+        if in_bounds:
+            registry.counter(
+                "repro_audit_in_bounds_total",
+                "Audited answers whose exact value fell inside the"
+                " claimed interval",
+                labels,
+            ).inc()
+        else:
+            registry.counter(
+                "repro_audit_out_of_bounds_total",
+                "Audited answers whose exact value escaped the claimed"
+                " interval",
+                labels,
+            ).inc()
+        registry.histogram(
+            "repro_audit_interval_width_ratio",
+            "Claimed interval width / max(|exact|, 1) on audited answers",
+            labels,
+            buckets=_WIDTH_BUCKETS,
+        ).observe(
+            (float(interval.high) - float(interval.low))
+            / max(abs(exact_value), 1.0)
+        )
+
+    def _export_group(
+        self, query_kind: str, method: str, stats: _GroupStats
+    ) -> None:
+        if stats.with_interval == 0:
+            return
+        registry = self._registry
+        labels = {"query": query_kind, "method": method}
+        registry.gauge(
+            "repro_audit_coverage_ratio",
+            "Fraction of audited answers whose exact value fell inside"
+            " the claimed interval",
+            labels,
+        ).set(stats.coverage or 0.0)
+        registry.gauge(
+            "repro_audit_error_budget",
+            "Empirical coverage minus claimed confidence; negative"
+            " means intervals over-claim",
+            labels,
+        ).set(stats.error_budget or 0.0)

@@ -121,10 +121,31 @@ _SAMPLE_LINE = re.compile(
 _LABEL_PAIR = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
+_UNESCAPES = {"n": "\n", '"': '"', "\\": "\\"}
+
+
 def _unescape_label(value: str) -> str:
-    return (
-        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
-    )
+    """Invert :func:`_escape_label` with a single left-to-right scan.
+
+    Chained ``str.replace`` calls cannot do this correctly: a label
+    containing a literal backslash followed by ``n`` escapes to
+    ``\\\\n``, which a ``\\n``-first replacement chain would decode as
+    backslash + newline instead of backslash + ``n``.
+    """
+    if "\\" not in value:
+        return value
+    out: list[str] = []
+    index = 0
+    length = len(value)
+    while index < length:
+        char = value[index]
+        if char == "\\" and index + 1 < length:
+            out.append(_UNESCAPES.get(value[index + 1], value[index + 1]))
+            index += 2
+            continue
+        out.append(char)
+        index += 1
+    return "".join(out)
 
 
 def _parse_value(text: str) -> float:

@@ -1,0 +1,337 @@
+"""The ops health report: "is the approximation trustworthy right now".
+
+:func:`render_health_report` turns a registry snapshot (the
+:func:`~repro.obs.exposition.render_json` payload) and/or a drained
+trace file (flat records from :func:`~repro.obs.sink.read_trace_file`)
+into a plain-text report a human can read in one terminal screen:
+per-method calibration (audited coverage vs claimed confidence, with
+an ALERT verdict the moment the error budget goes negative), query
+latency percentiles recovered from histogram buckets, cache hit rate,
+durability counters, and a trace digest.
+
+The module is pure data-shuffling: it never imports the engine or
+touches a clock, so the report can run against snapshots exported from
+another process entirely -- the "survives a process boundary" half of
+the trace-export story.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["histogram_quantile", "render_health_report"]
+
+
+def histogram_quantile(
+    rows: Sequence[tuple[float, float]], quantile: float
+) -> float | None:
+    """Estimate a quantile from cumulative histogram buckets.
+
+    ``rows`` are ``(upper_bound, cumulative_count)`` pairs in
+    ascending bound order with the ``+Inf`` bucket last -- exactly the
+    shape :meth:`~repro.obs.metrics.Histogram.cumulative` and the
+    JSON snapshot emit.  Linear interpolation within the winning
+    bucket, the same convention as PromQL's ``histogram_quantile``;
+    observations in the ``+Inf`` bucket clamp to the highest finite
+    bound.  Returns ``None`` on empty data.
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if not rows:
+        return None
+    total = rows[-1][1]
+    if total <= 0:
+        return None
+    target = quantile * total
+    previous_bound = 0.0
+    previous_cumulative = 0.0
+    for bound, cumulative in rows:
+        if cumulative >= target:
+            if math.isinf(bound):
+                return previous_bound
+            if cumulative <= previous_cumulative:
+                return bound
+            fraction = (target - previous_cumulative) / (
+                cumulative - previous_cumulative
+            )
+            return previous_bound + fraction * (bound - previous_bound)
+        previous_bound, previous_cumulative = bound, cumulative
+    return previous_bound
+
+
+def _parse_bound(text: str | float) -> float:
+    if isinstance(text, (int, float)):
+        return float(text)
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def _families(metrics: Mapping[str, Any]) -> dict[str, list[dict[str, Any]]]:
+    """Index a JSON snapshot: metric name -> its series list."""
+    indexed: dict[str, list[dict[str, Any]]] = {}
+    for family in metrics.get("metrics", []):
+        indexed[family["name"]] = family.get("series", [])
+    return indexed
+
+
+def _series_values(
+    families: Mapping[str, list[dict[str, Any]]], name: str
+) -> dict[tuple[tuple[str, str], ...], float]:
+    """Flat ``{sorted-labels: value}`` view of a counter/gauge family."""
+    values: dict[tuple[tuple[str, str], ...], float] = {}
+    for entry in families.get(name, []):
+        labels = tuple(sorted(entry.get("labels", {}).items()))
+        values[labels] = float(entry.get("value", 0.0))
+    return values
+
+
+def _fmt(value: float | None, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value < 0.001:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def _table(
+    header: Sequence[str], rows: Iterable[Sequence[str]]
+) -> list[str]:
+    """Render an aligned plain-text table."""
+    materialized = [list(header)] + [list(row) for row in rows]
+    widths = [
+        max(len(row[column]) for row in materialized)
+        for column in range(len(header))
+    ]
+    lines = []
+    for index, row in enumerate(materialized):
+        lines.append(
+            "  ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            ).rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return lines
+
+
+def _calibration_section(
+    families: Mapping[str, list[dict[str, Any]]],
+) -> list[str]:
+    shadows = _series_values(families, "repro_audit_shadows_total")
+    in_bounds = _series_values(families, "repro_audit_in_bounds_total")
+    out_bounds = _series_values(families, "repro_audit_out_of_bounds_total")
+    coverage = _series_values(families, "repro_audit_coverage_ratio")
+    budget = _series_values(families, "repro_audit_error_budget")
+    if not shadows:
+        return ["  no audit data (auditor not attached or fraction 0)"]
+    rows = []
+    alerts = 0
+    for labels in sorted(shadows):
+        label_map = dict(labels)
+        group_budget = budget.get(labels)
+        verdict = "-"
+        if group_budget is not None:
+            verdict = "ALERT" if group_budget < 0 else "ok"
+            alerts += group_budget < 0
+        rows.append(
+            [
+                label_map.get("query", "?"),
+                label_map.get("method", "?"),
+                f"{shadows[labels]:.0f}",
+                f"{in_bounds.get(labels, 0.0):.0f}",
+                f"{out_bounds.get(labels, 0.0):.0f}",
+                _fmt(coverage.get(labels)),
+                _fmt(group_budget),
+                verdict,
+            ]
+        )
+    lines = _table(
+        (
+            "query",
+            "method",
+            "shadows",
+            "in",
+            "out",
+            "coverage",
+            "budget",
+            "verdict",
+        ),
+        rows,
+    )
+    if alerts:
+        lines.append("")
+        lines.append(
+            f"  !! {alerts} group(s) below claimed confidence -- "
+            "intervals are over-claiming"
+        )
+    return ["  " + line for line in lines]
+
+
+def _latency_section(
+    families: Mapping[str, list[dict[str, Any]]],
+) -> list[str]:
+    series = families.get("repro_query_seconds", [])
+    if not series:
+        return ["  no latency data"]
+    rows = []
+    for entry in sorted(
+        series, key=lambda item: sorted(item.get("labels", {}).items())
+    ):
+        buckets = [
+            (_parse_bound(bound), float(cumulative))
+            for bound, cumulative in entry.get("buckets", [])
+        ]
+        rows.append(
+            [
+                dict(entry.get("labels", {})).get("query", "?"),
+                f"{entry.get('count', 0)}",
+                _fmt_seconds(histogram_quantile(buckets, 0.50)),
+                _fmt_seconds(histogram_quantile(buckets, 0.90)),
+                _fmt_seconds(histogram_quantile(buckets, 0.99)),
+            ]
+        )
+    return [
+        "  " + line
+        for line in _table(("query", "count", "p50", "p90", "p99"), rows)
+    ]
+
+
+def _cache_section(
+    families: Mapping[str, list[dict[str, Any]]],
+) -> list[str]:
+    hits = sum(
+        _series_values(families, "repro_query_cache_hits_total").values()
+    )
+    misses = sum(
+        _series_values(families, "repro_query_cache_misses_total").values()
+    )
+    invalidations = sum(
+        _series_values(
+            families, "repro_query_cache_invalidations_total"
+        ).values()
+    )
+    evictions = sum(
+        _series_values(
+            families, "repro_query_cache_evictions_total"
+        ).values()
+    )
+    lookups = hits + misses
+    if lookups == 0:
+        return ["  no cache traffic"]
+    return [
+        f"  lookups {lookups:.0f}  hits {hits:.0f}  misses {misses:.0f}"
+        f"  invalidations {invalidations:.0f}  evictions {evictions:.0f}",
+        f"  hit rate {hits / lookups:.1%}",
+    ]
+
+
+#: Durability counters surfaced verbatim when present in the snapshot.
+_DURABILITY_METRICS = (
+    "repro_wal_appends_total",
+    "repro_wal_batch_appends_total",
+    "repro_wal_bytes_written_total",
+    "repro_wal_fsyncs_total",
+    "repro_wal_truncated_segments_total",
+    "repro_checkpoints_total",
+    "repro_checkpoint_writes_total",
+    "repro_checkpoint_pruned_total",
+    "repro_recovery_runs_total",
+    "repro_recovery_replayed_operations_total",
+    "repro_recovery_torn_tails_total",
+    "repro_recovery_seconds",
+)
+
+
+def _durability_section(
+    families: Mapping[str, list[dict[str, Any]]],
+) -> list[str]:
+    lines = []
+    for name in _DURABILITY_METRICS:
+        series = families.get(name)
+        if not series:
+            continue
+        total = 0.0
+        for entry in series:
+            if "value" in entry:
+                total += float(entry["value"])
+            else:
+                total += float(entry.get("sum", 0.0))
+        lines.append(f"  {name} {total:g}")
+    return lines or ["  no durability data"]
+
+
+def _trace_section(traces: Sequence[Mapping[str, Any]]) -> list[str]:
+    roots = [
+        record for record in traces if record.get("parent_id") is None
+    ]
+    children = [
+        record for record in traces if record.get("parent_id") is not None
+    ]
+    if not roots:
+        return ["  no trace data"]
+    lines = [
+        f"  {len(roots)} root span(s), {len(children)} child span(s)"
+    ]
+    slowest = max(
+        roots, key=lambda record: record.get("duration_seconds", 0.0)
+    )
+    lines.append(
+        "  slowest: "
+        f"{slowest.get('query', '?')} on "
+        f"{slowest.get('relation', '?')}.{slowest.get('attribute', '?')}"
+        f" ({_fmt_seconds(slowest.get('duration_seconds'))},"
+        f" trace {slowest.get('trace_id', '?')})"
+    )
+    by_phase: dict[str, list[float]] = {}
+    for record in children:
+        by_phase.setdefault(str(record.get("name", "?")), []).append(
+            float(record.get("duration_seconds", 0.0))
+        )
+    for phase in sorted(by_phase):
+        durations = by_phase[phase]
+        lines.append(
+            f"  {phase}: {len(durations)} span(s), mean "
+            f"{_fmt_seconds(sum(durations) / len(durations))}"
+        )
+    return lines
+
+
+def render_health_report(
+    metrics: Mapping[str, Any] | None = None,
+    traces: Sequence[Mapping[str, Any]] | None = None,
+) -> str:
+    """Render the plain-text ops health report.
+
+    ``metrics`` is a JSON registry snapshot
+    (:func:`~repro.obs.exposition.render_json` output); ``traces`` is
+    a list of flat span records
+    (:func:`~repro.obs.sink.read_trace_file` output).  Either may be
+    omitted; each section degrades to a "no data" line.
+    """
+    families = _families(metrics) if metrics is not None else {}
+    sections = [
+        ("calibration (audited coverage vs claimed confidence)",
+         _calibration_section(families)),
+        ("query latency", _latency_section(families)),
+        ("query-result cache", _cache_section(families)),
+        ("durability", _durability_section(families)),
+        ("traces", _trace_section(traces if traces is not None else [])),
+    ]
+    lines = ["repro health report", "===================", ""]
+    for title, body in sections:
+        lines.append(title)
+        lines.extend(body)
+        lines.append("")
+    return "\n".join(lines)

@@ -6,22 +6,74 @@ confidence, and whether the caller demanded the exact fallback -- the
 runtime counterpart of the paper's "decide whether or not to have an
 exact answer computed from the base data".
 
+Spans form one-level trees: every root span carries a deterministic
+``trace_id`` (a process-wide sequence, no randomness) and the engine
+attaches :class:`ChildSpan` records for the phases of an answer --
+cache lookup, synopsis answering, exact fallback, and the calibration
+audit shadow.  The ring buffer can be handed off wholesale to a
+:class:`~repro.obs.sink.TraceSink` via :meth:`QueryTracer.drain`, which
+clears it so every span is exported exactly once.
+
 The engine itself never reads a clock (reprolint RL005/RL009): the
-tracer owns an injected :data:`~repro.obs.clock.Clock`, the engine
-only shuttles the opaque start value between
-:meth:`QueryTracer.begin` and :meth:`QueryTracer.record`.
+tracer owns an injected :data:`~repro.obs.clock.Clock`; the engine
+only shuttles the opaque :class:`ActiveTrace` between
+:meth:`QueryTracer.start_trace` and :meth:`QueryTracer.finish`, and
+wraps phases in the :meth:`QueryTracer.child` context manager.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterator
 
 from repro.obs import clock as obs_clock
 from repro.obs.metrics import MetricsRegistry, get_registry
 
-__all__ = ["QuerySpan", "QueryTracer"]
+__all__ = [
+    "ActiveTrace",
+    "ChildScope",
+    "ChildSpan",
+    "QuerySpan",
+    "QueryTracer",
+]
+
+#: Process-wide tracer instance sequence: keeps trace ids unique when
+#: several tracers drain into one sink, without any randomness (the
+#: ids must be deterministic for a given call sequence -- RL001).
+_TRACER_SEQUENCE = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ChildSpan:
+    """One phase of an answered query, parented under its root span.
+
+    ``name`` is one of ``"cache_lookup"``, ``"synopsis_answer"``,
+    ``"exact_fallback"``, or ``"audit_shadow"``; ``status`` is
+    ``"ok"`` unless the phase reports otherwise (cache lookups use
+    ``"hit"`` / ``"miss"`` / ``"invalidated"``, failed phases
+    ``"error"``).
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str
+    name: str
+    duration_seconds: float
+    status: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """The child span as a JSON-able dict (one sink record)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "duration_seconds": self.duration_seconds,
+            "status": self.status,
+        }
 
 
 @dataclass(frozen=True)
@@ -57,6 +109,17 @@ class QuerySpan:
         ``"hit"`` or ``"miss"`` when the engine consulted its
         query-result cache, else ``None`` (no cache attached, or the
         exact path, which is never cached).
+    result_cardinality:
+        For structured (hot-list) answers, the number of reported
+        entries; ``None`` for scalar answers and errors.
+    top_value / top_count:
+        For structured answers, the top reported item and its
+        estimated count; ``None`` otherwise (including empty reports).
+    trace_id / span_id / parent_id:
+        Trace identity: deterministic, sequence-based ids.  Root spans
+        always have ``parent_id is None``.
+    children:
+        Phase spans attached by the engine, in execution order.
     """
 
     query: str
@@ -73,9 +136,21 @@ class QuerySpan:
     exact_cost_estimate: int
     error: str | None
     cache: str | None = None
+    result_cardinality: int | None = None
+    top_value: int | None = None
+    top_count: float | None = None
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str | None = None
+    children: tuple[ChildSpan, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
-        """The span as a JSON-able dict (exposition/CLI payload)."""
+        """The span as a JSON-able dict (exposition/CLI payload).
+
+        Children are *not* inlined: sinks export them as separate
+        flat records keyed by ``trace_id``/``parent_id``, and
+        :func:`repro.obs.sink.span_tree` reassembles the tree.
+        """
         return {
             "query": self.query,
             "relation": self.relation,
@@ -91,7 +166,69 @@ class QuerySpan:
             "exact_cost_estimate": self.exact_cost_estimate,
             "error": self.error,
             "cache": self.cache,
+            "result_cardinality": self.result_cardinality,
+            "top_value": self.top_value,
+            "top_count": self.top_count,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
         }
+
+
+class ActiveTrace:
+    """An in-flight query trace: identity, start time, child spans.
+
+    Opaque to the engine -- it is created by
+    :meth:`QueryTracer.start_trace`, threaded through
+    :meth:`QueryTracer.child` scopes, and closed by
+    :meth:`QueryTracer.finish` / :meth:`QueryTracer.finish_error`.
+    """
+
+    __slots__ = ("trace_id", "root_span_id", "started", "children", "_next")
+
+    def __init__(self, trace_id: str, started: float) -> None:
+        self.trace_id = trace_id
+        self.root_span_id = f"{trace_id}:0"
+        self.started = started
+        self.children: list[ChildSpan] = []
+        self._next = 1
+
+    def next_span_id(self) -> str:
+        """Allocate the next child span id within this trace."""
+        span_id = f"{self.trace_id}:{self._next}"
+        self._next += 1
+        return span_id
+
+
+class ChildScope:
+    """Mutable handle yielded by :meth:`QueryTracer.child`.
+
+    The engine sets :attr:`status` before the scope closes (cache
+    outcome, audit failure); an exception escaping the scope forces
+    ``"error"``.
+    """
+
+    __slots__ = ("status",)
+
+    def __init__(self) -> None:
+        self.status = "ok"
+
+
+def _answer_summary(
+    answer: Any,
+) -> tuple[int | None, int | None, float | None]:
+    """Cardinality and top item of a structured (hot-list) answer.
+
+    Duck-typed on ``entries`` so the obs layer never imports
+    ``repro.hotlist``; scalar answers return all-``None``.
+    """
+    entries = getattr(answer, "entries", None)
+    if entries is None:
+        return None, None, None
+    if not entries:
+        return 0, None, None
+    top = entries[0]
+    return len(entries), int(top.value), float(top.estimated_count)
 
 
 def _query_target(query: Any) -> tuple[str, str]:
@@ -131,28 +268,58 @@ class QueryTracer:
         self._registry = registry if registry is not None else get_registry()
         self._clock = clock
         self._spans: deque[QuerySpan] = deque(maxlen=max_spans)
+        self._prefix = f"t{next(_TRACER_SEQUENCE)}"
+        self._trace_counter = itertools.count(1)
 
     # -- the engine-facing protocol ------------------------------------
 
-    def begin(self) -> float:
-        """Clock reading handed back opaquely to :meth:`record`."""
-        return self._clock()
+    def start_trace(self) -> ActiveTrace:
+        """Open a trace for one :meth:`answer` call."""
+        return ActiveTrace(self._new_trace_id(), self._clock())
 
-    def record(
+    @contextmanager
+    def child(self, trace: ActiveTrace, name: str) -> Iterator[ChildScope]:
+        """Record one phase of the in-flight query as a child span.
+
+        The yielded :class:`ChildScope` lets the engine set a phase
+        status (cache outcome, audit failure); exceptions escaping the
+        scope mark the child ``"error"`` and propagate.
+        """
+        scope = ChildScope()
+        started = self._clock()
+        try:
+            yield scope
+        except BaseException:
+            scope.status = "error"
+            raise
+        finally:
+            trace.children.append(
+                ChildSpan(
+                    trace_id=trace.trace_id,
+                    span_id=trace.next_span_id(),
+                    parent_id=trace.root_span_id,
+                    name=name,
+                    duration_seconds=max(0.0, self._clock() - started),
+                    status=scope.status,
+                )
+            )
+
+    def finish(
         self,
+        trace: ActiveTrace,
         query: Any,
         response: Any,
-        started: float,
         *,
         requested_exact: bool = False,
         cache: str | None = None,
     ) -> QuerySpan:
-        """Close the span for a successfully answered query."""
+        """Close the trace for a successfully answered query."""
         interval = getattr(response, "interval", None)
         answer = getattr(response, "answer", None)
-        span = self._finish(
+        cardinality, top_value, top_count = _answer_summary(answer)
+        return self._finish(
+            trace,
             query,
-            started,
             method=str(getattr(response, "method", "unknown")),
             is_exact=bool(getattr(response, "is_exact", False)),
             requested_exact=requested_exact,
@@ -171,21 +338,23 @@ class QueryTracer:
             ),
             error=None,
             cache=cache,
+            result_cardinality=cardinality,
+            top_value=top_value,
+            top_count=top_count,
         )
-        return span
 
-    def record_error(
+    def finish_error(
         self,
+        trace: ActiveTrace,
         query: Any,
         error: BaseException,
-        started: float,
         *,
         requested_exact: bool = False,
     ) -> QuerySpan:
-        """Close the span for a query that raised."""
+        """Close the trace for a query that raised."""
         return self._finish(
+            trace,
             query,
-            started,
             method="error",
             is_exact=False,
             requested_exact=requested_exact,
@@ -197,20 +366,81 @@ class QueryTracer:
             error=type(error).__name__,
         )
 
+    # -- the pre-trace protocol (kept for direct callers) --------------
+
+    def begin(self) -> float:
+        """Clock reading handed back opaquely to :meth:`record`."""
+        return self._clock()
+
+    def record(
+        self,
+        query: Any,
+        response: Any,
+        started: float,
+        *,
+        requested_exact: bool = False,
+        cache: str | None = None,
+    ) -> QuerySpan:
+        """Close a span begun with :meth:`begin` (no child spans)."""
+        trace = ActiveTrace(self._new_trace_id(), started)
+        return self.finish(
+            trace,
+            query,
+            response,
+            requested_exact=requested_exact,
+            cache=cache,
+        )
+
+    def record_error(
+        self,
+        query: Any,
+        error: BaseException,
+        started: float,
+        *,
+        requested_exact: bool = False,
+    ) -> QuerySpan:
+        """Close a span begun with :meth:`begin` for a raised query."""
+        trace = ActiveTrace(self._new_trace_id(), started)
+        return self.finish_error(
+            trace, query, error, requested_exact=requested_exact
+        )
+
+    # -- buffered spans -------------------------------------------------
+
     def spans(self) -> tuple[QuerySpan, ...]:
         """The most recent spans, oldest first."""
         return tuple(self._spans)
 
+    def drain(self) -> tuple[QuerySpan, ...]:
+        """Hand the buffered spans off and clear the ring buffer.
+
+        The single-export handoff used by
+        :meth:`repro.obs.sink.TraceSink.drain`: a span returned here is
+        gone from the tracer, so repeated drains never double-export.
+        """
+        spans = tuple(self._spans)
+        self._spans.clear()
+        return spans
+
     # -- internals ------------------------------------------------------
 
-    def _finish(self, query: Any, started: float, **fields: Any) -> QuerySpan:
-        duration = max(0.0, self._clock() - started)
+    def _new_trace_id(self) -> str:
+        return f"{self._prefix}-{next(self._trace_counter):08d}"
+
+    def _finish(
+        self, trace: ActiveTrace, query: Any, **fields: Any
+    ) -> QuerySpan:
+        duration = max(0.0, self._clock() - trace.started)
         relation, attribute = _query_target(query)
         span = QuerySpan(
             query=type(query).__name__,
             relation=relation,
             attribute=attribute,
             duration_seconds=duration,
+            trace_id=trace.trace_id,
+            span_id=trace.root_span_id,
+            parent_id=None,
+            children=tuple(trace.children),
             **fields,
         )
         self._spans.append(span)

@@ -25,6 +25,7 @@ __all__ = [
     "counting_count_error_bound",
     "counting_false_negative_bound",
     "counting_inclusion_probability",
+    "counting_miss_quantile",
     "counting_report_cutoff",
     "counting_report_probability",
     "expected_distinct_in_sample",
@@ -160,6 +161,33 @@ def counting_report_probability(frequency: int, threshold: float) -> float:
     if frequency < cutoff:
         return 0.0
     return 1.0 - (1.0 - 1.0 / threshold) ** (frequency - cutoff + 1)
+
+
+def counting_miss_quantile(
+    threshold: float, confidence: float = 0.95
+) -> float:
+    """Upper quantile of the occurrences a counting sample misses.
+
+    Before a value is admitted, each of its occurrences survives an
+    independent ``1/tau`` admission coin, so the number of misses
+    preceding admission is geometric: ``Pr[misses >= t] =
+    (1 - 1/tau)^t``.  The smallest ``t`` with ``(1 - 1/tau)^t <= 1 -
+    confidence`` therefore bounds the undercount of any in-sample
+    value's raw count at the stated confidence -- the one-sided slack
+    the hot-list calibration audit adds to counting-sample top counts.
+    At ``tau <= 1`` every occurrence is counted and the quantile is 0.
+    """
+    if threshold < 1.0:
+        raise ValueError("threshold must be at least 1")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if threshold <= 1.0:
+        return 0.0
+    return float(
+        math.ceil(
+            math.log(1.0 - confidence) / math.log1p(-1.0 / threshold)
+        )
+    )
 
 
 def counting_false_negative_bound(beta: float) -> float:

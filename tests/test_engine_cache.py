@@ -300,3 +300,32 @@ class TestEngineCaching:
         engine = build_engine(cache=None, tracer=tracer)
         engine.answer(CountQuery("sales", "price"))
         assert tracer.spans()[0].cache is None
+
+
+class TestLookupStatus:
+    """``lookup`` reports how it resolved, for the cache_lookup span."""
+
+    def test_statuses(self):
+        cache = QueryResultCache(4, registry=MetricsRegistry())
+        key = CountQuery("sales", "price")
+        token = (("sales", (1, 0)),)
+        assert cache.lookup(key, token) == (None, "miss")
+        cache.put(key, token, "answer")
+        assert cache.lookup(key, token) == ("answer", "hit")
+        stale = (("sales", (2, 0)),)
+        assert cache.lookup(key, stale) == (None, "invalidated")
+        # The invalidated entry is gone: back to a plain miss.
+        assert cache.lookup(key, stale) == (None, "miss")
+
+    def test_lookup_and_get_count_identically(self):
+        looked = QueryResultCache(4, registry=MetricsRegistry())
+        gotten = QueryResultCache(4, registry=MetricsRegistry())
+        key = CountQuery("sales", "price")
+        token = (("sales", (1, 0)),)
+        stale = (("sales", (2, 0)),)
+        for cache, probe in ((looked, looked.lookup), (gotten, gotten.get)):
+            probe(key, token)
+            cache.put(key, token, "answer")
+            probe(key, token)
+            probe(key, stale)
+        assert looked.stats == gotten.stats

@@ -145,3 +145,64 @@ class TestConciseSampleIntegration:
             traditional.as_array(), len(stream), lambda v: v <= 10
         ).interval
         assert concise_ci.width < traditional_ci.width
+
+
+class TestConservativeIntervals:
+    """``conservative=True`` swaps CLT bounds for distribution-free ones."""
+
+    def test_count_interval_widens_and_covers(self):
+        rng = numpy_generator(5)
+        points = rng.integers(0, 100, size=400)
+        predicate = lambda v: v < 20  # noqa: E731
+        clt = estimate_count(points, 10_000, predicate)
+        safe = estimate_count(
+            points, 10_000, predicate, conservative=True
+        )
+        assert safe.value == clt.value
+        assert safe.interval.width > clt.interval.width
+        assert safe.interval.low <= safe.value <= safe.interval.high
+
+    def test_count_degenerate_proportion_still_bounded(self):
+        points = np.array([1, 2, 3, 4])
+        estimate = estimate_count(
+            points, 1_000, lambda v: v > 100, conservative=True
+        )
+        assert estimate.value == 0.0
+        # Hoeffding gives a nonzero-width bound even at p-hat = 0.
+        assert estimate.interval.high > 0.0
+
+    def test_sum_interval_widens(self):
+        rng = numpy_generator(6)
+        points = rng.integers(0, 50, size=300)
+        clt = estimate_sum(points, 5_000)
+        safe = estimate_sum(points, 5_000, conservative=True)
+        assert safe.value == pytest.approx(clt.value)
+        assert safe.interval.width > clt.interval.width
+
+    def test_average_interval_widens(self):
+        rng = numpy_generator(7)
+        points = rng.integers(0, 50, size=300)
+        clt = estimate_average(points)
+        safe = estimate_average(points, conservative=True)
+        assert safe.value == pytest.approx(clt.value)
+        assert safe.interval.width > clt.interval.width
+
+    def test_conservative_coverage_never_dips(self):
+        """Repeated sampling: distribution-free bounds must cover at
+        >= the claimed rate (here far above, being conservative)."""
+        rng = numpy_generator(8)
+        population = rng.zipf(1.5, size=20_000).clip(max=1_000)
+        true_count = int((population < 5).sum())
+        misses = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.choice(population, size=200, replace=False)
+            estimate = estimate_count(
+                sample,
+                population.size,
+                lambda v: v < 5,
+                confidence=0.9,
+                conservative=True,
+            )
+            misses += true_count not in estimate.interval
+        assert misses / trials <= 0.1

@@ -184,3 +184,64 @@ class TestWilsonInterval:
             wilson_interval(11, 10)
         with pytest.raises(ValueError):
             wilson_interval(5, 10, confidence=1.0)
+
+
+class TestEmpiricalBernstein:
+    def test_contains_mean_and_is_symmetric(self):
+        from repro.estimators.intervals import empirical_bernstein_interval
+
+        interval = empirical_bernstein_interval(
+            10.0, variance=4.0, value_range=20.0, sample_size=100
+        )
+        assert interval.low < 10.0 < interval.high
+        assert interval.midpoint == pytest.approx(10.0)
+        assert interval.confidence == 0.95
+
+    def test_margin_formula(self):
+        from repro.estimators.intervals import empirical_bernstein_interval
+
+        m, variance, value_range = 50, 2.0, 8.0
+        log_term = math.log(3.0 / 0.05)
+        expected = math.sqrt(
+            2.0 * variance * log_term / m
+        ) + 3.0 * value_range * log_term / m
+        interval = empirical_bernstein_interval(
+            0.0, variance, value_range, m
+        )
+        assert interval.high == pytest.approx(expected)
+
+    def test_shrinks_with_sample_size(self):
+        from repro.estimators.intervals import empirical_bernstein_interval
+
+        widths = [
+            empirical_bernstein_interval(0.0, 1.0, 4.0, m).width
+            for m in (10, 100, 1000, 10_000)
+        ]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_zero_variance_keeps_range_term(self):
+        from repro.estimators.intervals import empirical_bernstein_interval
+
+        interval = empirical_bernstein_interval(5.0, 0.0, 10.0, 100)
+        assert interval.width == pytest.approx(
+            2 * 3.0 * 10.0 * math.log(3.0 / 0.05) / 100
+        )
+
+    def test_coverage_holds_at_small_samples(self):
+        """The whole point: valid at finite m where the CLT can fail."""
+        from repro.estimators.intervals import empirical_bernstein_interval
+
+        rng = numpy_generator(123)
+        misses = 0
+        trials = 400
+        for _ in range(trials):
+            draws = rng.binomial(1, 0.05, size=30).astype(float)
+            interval = empirical_bernstein_interval(
+                float(draws.mean()),
+                float(draws.var(ddof=1)),
+                1.0,
+                30,
+                confidence=0.9,
+            )
+            misses += not (interval.low <= 0.05 <= interval.high)
+        assert misses / trials <= 0.1

@@ -1,0 +1,107 @@
+"""Top-count confidence intervals across the hot-list reporters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hotlist.concise import ConciseHotList
+from repro.hotlist.counting import CountingHotList
+from repro.hotlist.exact import FullHistogramHotList
+from repro.hotlist.sorted_concise import SortedConciseHotList
+from repro.hotlist.traditional import TraditionalHotList
+from repro.stats.frequency import FrequencyTable
+from repro.streams import zipf_stream
+
+SCALED_REPORTERS = (
+    lambda: TraditionalHotList(1_000, seed=11),
+    lambda: ConciseHotList(1_000, seed=12),
+    lambda: SortedConciseHotList(1_000, seed=13),
+)
+
+
+def loaded(reporter, rows: int = 50_000):
+    stream = zipf_stream(rows, 500, 1.4, seed=21)
+    reporter.insert_array(stream)
+    return reporter, FrequencyTable(stream)
+
+
+class TestScaledReporters:
+    @pytest.mark.parametrize("make", SCALED_REPORTERS)
+    def test_interval_covers_true_top_count(self, make):
+        reporter, truth = loaded(make())
+        answer = reporter.report(5)
+        interval = reporter.top_interval(answer)
+        assert interval is not None
+        assert interval.confidence == 0.95
+        top = answer.entries[0]
+        assert truth.count(top.value) in interval
+        # and is centered near the reported estimate
+        assert interval.low <= top.estimated_count <= interval.high
+
+    @pytest.mark.parametrize("make", SCALED_REPORTERS)
+    def test_higher_confidence_widens(self, make):
+        reporter, _ = loaded(make())
+        answer = reporter.report(5)
+        narrow = reporter.top_interval(answer, confidence=0.8)
+        wide = reporter.top_interval(answer, confidence=0.99)
+        assert wide.width > narrow.width
+
+    def test_empty_answer_has_no_interval(self):
+        reporter = ConciseHotList(100, seed=1)
+        assert reporter.top_interval(reporter.report(5)) is None
+
+
+class TestCountingReporter:
+    def test_one_sided_interval_covers_truth(self):
+        reporter, truth = loaded(
+            CountingHotList(footprint_bound=1_000, seed=14)
+        )
+        answer = reporter.report(5)
+        interval = reporter.top_interval(answer)
+        assert interval is not None
+        top = answer.entries[0]
+        # Counts are exact from admission: the raw count is a certain
+        # lower bound, the miss quantile bounds the upside.
+        assert interval.low <= truth.count(top.value) <= interval.high
+        assert interval.low <= top.estimated_count
+
+    def test_exact_regime_zero_width(self):
+        """Threshold still 1: nothing was ever missed."""
+        reporter = CountingHotList(footprint_bound=1_000, seed=15)
+        reporter.insert_array(zipf_stream(300, 20, 1.0, seed=16))
+        assert reporter.sample.threshold <= 1.0
+        answer = reporter.report(3)
+        interval = reporter.top_interval(answer)
+        assert interval.width == 0.0
+
+
+class TestFullHistogram:
+    def test_zero_width_at_truth(self):
+        reporter, truth = loaded(FullHistogramHotList(10_000), rows=10_000)
+        answer = reporter.report(5)
+        interval = reporter.top_interval(answer)
+        top = answer.entries[0]
+        assert interval.width == 0.0
+        assert interval.low == truth.count(top.value)
+
+    def test_empty_histogram(self):
+        reporter = FullHistogramHotList(100)
+        assert reporter.top_interval(reporter.report(2)) is None
+
+
+class TestBaseDefault:
+    def test_base_reporter_claims_nothing(self):
+        from repro.hotlist.base import HotListReporter
+
+        class Bare(HotListReporter):
+            def insert(self, value):
+                raise NotImplementedError
+
+            def report(self, k):
+                raise NotImplementedError
+
+            @property
+            def footprint(self):
+                return 0
+
+        assert Bare().top_interval(answer=None) is None

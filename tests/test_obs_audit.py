@@ -1,0 +1,256 @@
+"""Calibration auditing: seeded shadowing of approximate answers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.concise import ConciseSample
+from repro.engine.engine import ApproximateAnswerEngine
+from repro.engine.queries import CountQuery, FrequencyQuery, HotListQuery
+from repro.engine.warehouse import DataWarehouse
+from repro.estimators import Predicate
+from repro.estimators.intervals import ConfidenceInterval
+from repro.hotlist.counting import CountingHotList
+from repro.obs.audit import AuditObservation, CalibrationAuditor
+from repro.obs.metrics import MetricsRegistry
+from repro.randkit import ReproRandom
+from repro.streams import zipf_stream
+
+
+class Response:
+    """Attribute-bag stand-in for a QueryResponse."""
+
+    def __init__(self, **fields):
+        self.__dict__.update(fields)
+
+
+def scalar_response(
+    answer: float,
+    low: float,
+    high: float,
+    confidence: float = 0.95,
+    method: str = "sample",
+) -> Response:
+    return Response(
+        answer=answer,
+        method=method,
+        interval=ConfidenceInterval(low, high, confidence),
+        exact_cost_estimate=7,
+    )
+
+
+class TestShouldAudit:
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            CalibrationAuditor(-0.1, seed=1)
+        with pytest.raises(ValueError):
+            CalibrationAuditor(1.5, seed=1)
+
+    def test_fraction_zero_never_audits(self):
+        auditor = CalibrationAuditor(0.0, seed=1)
+        assert not any(auditor.should_audit(None) for _ in range(100))
+
+    def test_fraction_one_always_audits(self):
+        auditor = CalibrationAuditor(1.0, seed=1)
+        assert all(auditor.should_audit(None) for _ in range(100))
+
+    def test_selection_is_seed_deterministic(self):
+        first = CalibrationAuditor(0.3, seed=42)
+        second = CalibrationAuditor(0.3, seed=42)
+        decisions = [first.should_audit(None) for _ in range(200)]
+        assert decisions == [second.should_audit(None) for _ in range(200)]
+        assert any(decisions) and not all(decisions)
+
+    def test_degenerate_fractions_consume_no_draws(self):
+        """Toggling auditing off must not perturb other seeded streams."""
+        auditor = CalibrationAuditor(0.0, seed=9)
+        for _ in range(50):
+            auditor.should_audit(None)
+        assert auditor._random.uniform() == ReproRandom(9).uniform()
+
+
+class TestShadowScoring:
+    def test_in_bounds_observation(self):
+        registry = MetricsRegistry()
+        auditor = CalibrationAuditor(1.0, seed=1, registry=registry)
+        query = CountQuery("sales", "item", Predicate(high=10))
+        response = scalar_response(95.0, 80.0, 110.0)
+        obs_ = auditor.shadow(
+            query, response, lambda q: Response(answer=100.0)
+        )
+        assert obs_.query == "CountQuery"
+        assert obs_.exact_value == 100.0
+        assert obs_.relative_error == pytest.approx(0.05)
+        assert obs_.in_bounds is True
+        assert obs_.confidence == 0.95
+        assert obs_.error is None
+
+    def test_out_of_bounds_and_error_budget(self):
+        registry = MetricsRegistry()
+        auditor = CalibrationAuditor(1.0, seed=1, registry=registry)
+        query = CountQuery("sales", "item", None)
+        exact = lambda q: Response(answer=100.0)  # noqa: E731
+        auditor.shadow(query, scalar_response(95.0, 80.0, 110.0), exact)
+        auditor.shadow(query, scalar_response(50.0, 40.0, 60.0), exact)
+        (row,) = auditor.snapshot()
+        assert row["shadows"] == 2
+        assert row["with_interval"] == 2
+        assert row["in_bounds"] == 1
+        assert row["coverage"] == pytest.approx(0.5)
+        # coverage 0.5 against claimed 0.95 -> budget is deep negative
+        assert row["error_budget"] == pytest.approx(-0.45)
+        parsed = obs.parse_prometheus(obs.render_prometheus(registry))
+        labels = (("method", "sample"), ("query", "CountQuery"))
+        assert parsed["repro_audit_in_bounds_total"][labels] == 1.0
+        assert parsed["repro_audit_out_of_bounds_total"][labels] == 1.0
+        assert parsed["repro_audit_coverage_ratio"][labels] == 0.5
+        assert parsed["repro_audit_error_budget"][labels] == pytest.approx(
+            -0.45
+        )
+
+    def test_no_interval_means_no_claim(self):
+        auditor = CalibrationAuditor(1.0, seed=1, registry=MetricsRegistry())
+        response = Response(answer=95.0, method="sample", interval=None)
+        obs_ = auditor.shadow(
+            CountQuery("sales", "item", None),
+            response,
+            lambda q: Response(answer=100.0),
+        )
+        assert obs_.in_bounds is None
+        (row,) = auditor.snapshot()
+        assert row["with_interval"] == 0
+        assert row["coverage"] is None
+        assert row["error_budget"] is None
+
+    def test_exact_path_failure_is_scored_not_raised(self):
+        registry = MetricsRegistry()
+        auditor = CalibrationAuditor(1.0, seed=1, registry=registry)
+
+        def broken(query):
+            raise RuntimeError("no base data")
+
+        obs_ = auditor.shadow(
+            CountQuery("sales", "item", None),
+            scalar_response(95.0, 80.0, 110.0),
+            broken,
+        )
+        assert obs_.error == "RuntimeError"
+        assert obs_.exact_value is None
+        parsed = obs.parse_prometheus(obs.render_prometheus(registry))
+        labels = (("error", "RuntimeError"), ("query", "CountQuery"))
+        assert parsed["repro_audit_errors_total"][labels] == 1.0
+
+    def test_empty_hotlist_answer_is_skipped(self):
+        auditor = CalibrationAuditor(1.0, seed=1, registry=MetricsRegistry())
+        response = Response(
+            answer=Response(entries=[]), method="CountingHotList"
+        )
+        result = auditor.shadow(
+            HotListQuery("sales", "item", k=5),
+            response,
+            lambda q: Response(answer=0.0),
+        )
+        assert result is None
+        assert auditor.observations() == ()
+
+    def test_observation_ring_is_bounded(self):
+        auditor = CalibrationAuditor(
+            1.0, seed=1, registry=MetricsRegistry(), max_observations=4
+        )
+        exact = lambda q: Response(answer=100.0)  # noqa: E731
+        for index in range(10):
+            auditor.shadow(
+                CountQuery("sales", "item", None),
+                scalar_response(90.0 + index, 80.0, 110.0),
+                exact,
+            )
+        kept = auditor.observations()
+        assert len(kept) == 4
+        assert kept[-1].estimate == 99.0
+
+    def test_observation_round_trips_as_dict(self):
+        observation = AuditObservation(
+            query="CountQuery",
+            method="sample",
+            estimate=95.0,
+            exact_value=100.0,
+            relative_error=0.05,
+            interval_low=80.0,
+            interval_high=110.0,
+            confidence=0.95,
+            in_bounds=True,
+        )
+        as_dict = observation.to_dict()
+        assert as_dict["in_bounds"] is True
+        assert AuditObservation(**as_dict) == observation
+
+
+def build_engine(fraction: float, registry: MetricsRegistry):
+    warehouse = DataWarehouse()
+    warehouse.create_relation("sales", ["item"])
+    auditor = CalibrationAuditor(fraction, seed=11, registry=registry)
+    engine = ApproximateAnswerEngine(
+        warehouse, auditor=auditor, conservative_intervals=True
+    )
+    engine.register_sample("sales", "item", ConciseSample(800, seed=1))
+    engine.register_hotlist(
+        "sales", "item", CountingHotList(footprint_bound=400, seed=2)
+    )
+    values = zipf_stream(20_000, 500, 1.3, seed=3)
+    warehouse.load_batch("sales", {"item": values})
+    return engine, auditor
+
+
+class TestEngineIntegration:
+    def test_full_fraction_shadows_every_approximate_answer(self):
+        registry = MetricsRegistry()
+        engine, auditor = build_engine(1.0, registry)
+        engine.answer(CountQuery("sales", "item", Predicate(high=100)))
+        engine.answer(FrequencyQuery("sales", "item", value=1))
+        engine.answer(HotListQuery("sales", "item", k=5))
+        engine.answer(CountQuery("sales", "item", None), exact=True)
+        observations = auditor.observations()
+        # Three approximate answers shadowed; the exact one is not.
+        assert len(observations) == 3
+        assert {o.query for o in observations} == {
+            "CountQuery",
+            "FrequencyQuery",
+            "HotListQuery",
+        }
+
+    def test_hotlist_shadow_scores_top_item_frequency(self):
+        registry = MetricsRegistry()
+        engine, auditor = build_engine(1.0, registry)
+        response = engine.answer(HotListQuery("sales", "item", k=5))
+        (observation,) = auditor.observations()
+        top = response.answer.entries[0]
+        exact = engine.answer(
+            FrequencyQuery("sales", "item", value=int(top.value)),
+            exact=True,
+        )
+        assert observation.query == "HotListQuery"
+        assert observation.estimate == pytest.approx(top.estimated_count)
+        assert observation.exact_value == pytest.approx(exact.answer)
+        assert observation.in_bounds is not None
+
+    def test_fraction_zero_disables_auditing(self):
+        registry = MetricsRegistry()
+        engine, auditor = build_engine(0.0, registry)
+        engine.answer(CountQuery("sales", "item", Predicate(high=100)))
+        engine.answer(HotListQuery("sales", "item", k=5))
+        assert auditor.observations() == ()
+        parsed = obs.parse_prometheus(obs.render_prometheus(registry))
+        assert not parsed.get("repro_audit_shadows_total")
+
+    def test_conservative_intervals_cover_on_this_workload(self):
+        """With distribution-free bounds, every shadow must land inside."""
+        registry = MetricsRegistry()
+        engine, auditor = build_engine(1.0, registry)
+        for high in (50, 100, 200, 400):
+            engine.answer(
+                CountQuery("sales", "item", Predicate(high=high))
+            )
+        for row in auditor.snapshot():
+            assert row["coverage"] == 1.0
+            assert row["error_budget"] >= 0.0

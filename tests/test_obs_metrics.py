@@ -225,3 +225,54 @@ class TestExposition:
         registry = MetricsRegistry()
         assert obs.render_prometheus(registry) == ""
         assert obs.render_json(registry) == {"metrics": []}
+
+
+class TestLabelEscapeRoundTrip:
+    """Satellite coverage: escaping survives adversarial label values.
+
+    The scanner in ``_unescape_label`` must invert ``_escape_label``
+    one escape at a time -- chained ``str.replace`` calls corrupt
+    values where a literal backslash precedes an ``n``.
+    """
+
+    CASES = (
+        "plain",
+        'double "quotes" inside',
+        "trailing backslash \\",
+        "lone \\ backslash",
+        "backslash-n pair \\n stays two chars",
+        "real\nnewline",
+        "\\\nboth: backslash then newline",
+        '\\" escaped-looking quote',
+        "\\\\ two backslashes",
+        'mix \\ " \n \\n "\\" end \\',
+    )
+
+    @pytest.mark.parametrize("value", CASES)
+    def test_escape_unescape_inverts(self, value):
+        from repro.obs.exposition import _escape_label, _unescape_label
+
+        assert _unescape_label(_escape_label(value)) == value
+
+    @pytest.mark.parametrize("value", CASES)
+    def test_full_exposition_round_trip(self, value):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"k": value}).inc(2.0)
+        parsed = obs.parse_prometheus(obs.render_prometheus(registry))
+        assert parsed["c_total"][(("k", value),)] == 2.0
+
+    def test_distinct_values_stay_distinct(self):
+        """'\\n' (two chars) and a real newline must not collide."""
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"k": "\\n"}).inc()
+        registry.counter("c_total", labels={"k": "\n"}).inc(2.0)
+        parsed = obs.parse_prometheus(obs.render_prometheus(registry))
+        assert parsed["c_total"][(("k", "\\n"),)] == 1.0
+        assert parsed["c_total"][(("k", "\n"),)] == 2.0
+
+    def test_multiple_labels_with_hostile_values(self):
+        registry = MetricsRegistry()
+        labels = {"a": 'x"\\', "b": "y\nz", "c": "\\n"}
+        registry.gauge("g", labels=labels).set(4.5)
+        parsed = obs.parse_prometheus(obs.render_prometheus(registry))
+        assert parsed["g"][tuple(sorted(labels.items()))] == 4.5

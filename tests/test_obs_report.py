@@ -1,0 +1,167 @@
+"""The ops health report and its histogram-quantile arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.report import histogram_quantile, render_health_report
+
+
+@pytest.fixture(autouse=True)
+def _restore_obs_defaults():
+    yield
+    obs.disable()
+
+
+class TestHistogramQuantile:
+    BUCKETS = [(0.1, 10.0), (0.5, 30.0), (1.0, 40.0), (math.inf, 40.0)]
+
+    def test_empty_and_zero_total_return_none(self):
+        assert histogram_quantile([], 0.5) is None
+        assert histogram_quantile([(1.0, 0.0), (math.inf, 0.0)], 0.5) is None
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(self.BUCKETS, 1.5)
+
+    def test_interpolates_within_bucket(self):
+        # p50: target 20 of 40; bucket (0.1, 0.5] holds ranks 10..30,
+        # so halfway through it -> 0.1 + 0.5 * 0.4 = 0.3.
+        assert histogram_quantile(self.BUCKETS, 0.5) == pytest.approx(0.3)
+
+    def test_quantile_inside_first_bucket_starts_at_zero(self):
+        assert histogram_quantile(self.BUCKETS, 0.25) == pytest.approx(0.1)
+        assert histogram_quantile(self.BUCKETS, 0.125) == pytest.approx(0.05)
+
+    def test_inf_bucket_clamps_to_last_finite_bound(self):
+        rows = [(0.1, 10.0), (1.0, 20.0), (math.inf, 40.0)]
+        assert histogram_quantile(rows, 0.99) == pytest.approx(1.0)
+
+    def test_monotone_in_quantile(self):
+        values = [
+            histogram_quantile(self.BUCKETS, q)
+            for q in (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+        ]
+        assert values == sorted(values)
+
+
+def audit_family(budget: float) -> dict:
+    labels = {"query": "CountQuery", "method": "sample"}
+    return {
+        "metrics": [
+            {
+                "name": "repro_audit_shadows_total",
+                "type": "counter",
+                "series": [{"labels": labels, "value": 20.0}],
+            },
+            {
+                "name": "repro_audit_in_bounds_total",
+                "type": "counter",
+                "series": [{"labels": labels, "value": 15.0}],
+            },
+            {
+                "name": "repro_audit_out_of_bounds_total",
+                "type": "counter",
+                "series": [{"labels": labels, "value": 5.0}],
+            },
+            {
+                "name": "repro_audit_coverage_ratio",
+                "type": "gauge",
+                "series": [{"labels": labels, "value": 0.75}],
+            },
+            {
+                "name": "repro_audit_error_budget",
+                "type": "gauge",
+                "series": [{"labels": labels, "value": budget}],
+            },
+        ]
+    }
+
+
+class TestRenderSections:
+    def test_all_sections_present_with_no_data(self):
+        report = render_health_report()
+        assert report.startswith("repro health report")
+        assert "no audit data" in report
+        assert "no latency data" in report
+        assert "no cache traffic" in report
+        assert "no durability data" in report
+        assert "no trace data" in report
+
+    def test_negative_budget_raises_alert(self):
+        report = render_health_report(audit_family(-0.20))
+        assert "ALERT" in report
+        assert "below claimed confidence" in report
+
+    def test_positive_budget_is_ok(self):
+        report = render_health_report(audit_family(0.05))
+        assert "ALERT" not in report
+        assert "ok" in report
+
+    def test_cache_hit_rate(self):
+        metrics = {
+            "metrics": [
+                {
+                    "name": "repro_query_cache_hits_total",
+                    "type": "counter",
+                    "series": [{"labels": {}, "value": 3.0}],
+                },
+                {
+                    "name": "repro_query_cache_misses_total",
+                    "type": "counter",
+                    "series": [{"labels": {}, "value": 1.0}],
+                },
+            ]
+        }
+        report = render_health_report(metrics)
+        assert "hit rate 75.0%" in report
+
+    def test_trace_digest(self):
+        traces = [
+            {
+                "trace_id": "t1-1",
+                "span_id": "t1-1:0",
+                "parent_id": None,
+                "query": "CountQuery",
+                "relation": "sales",
+                "attribute": "item",
+                "duration_seconds": 0.25,
+            },
+            {
+                "trace_id": "t1-1",
+                "span_id": "t1-1:1",
+                "parent_id": "t1-1:0",
+                "name": "synopsis_answer",
+                "duration_seconds": 0.1,
+            },
+        ]
+        report = render_health_report(None, traces)
+        assert "1 root span(s), 1 child span(s)" in report
+        assert "slowest: CountQuery on sales.item" in report
+        assert "synopsis_answer: 1 span(s)" in report
+
+
+class TestEndToEnd:
+    def test_report_over_live_workload(self):
+        """The report renders real sections from a live registry."""
+        from repro.obs.__main__ import build_workload, ingest_round
+
+        registry = obs.enable()
+        try:
+            workload = build_workload(registry, seed=7)
+            ingest_round(workload, 20_000, seed=17)
+            workload["sink"].drain(workload["tracer"])
+            report = render_health_report(
+                obs.render_json(registry), list(workload["sink"].records())
+            )
+        finally:
+            obs.disable()
+        assert "CountQuery" in report
+        assert "p50" in report
+        assert "hit rate" in report
+        assert "root span(s)" in report
+        assert "no audit data" not in report
+        assert "no latency data" not in report

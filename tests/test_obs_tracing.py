@@ -186,3 +186,176 @@ class TestEngineIntegration:
         engine.tracer = tracer
         engine.answer(CountQuery("sales", "item", Predicate(high=10)))
         assert len(tracer.spans()) == 1
+
+
+class TestTraceTrees:
+    """Trace identity, child spans, and the single-export drain."""
+
+    def test_trace_ids_are_deterministic_sequences(self):
+        tracer = obs.QueryTracer(MetricsRegistry(), clock=FakeClock())
+        first = tracer.start_trace()
+        second = tracer.start_trace()
+        prefix = first.trace_id.rsplit("-", 1)[0]
+        assert first.trace_id == f"{prefix}-00000001"
+        assert second.trace_id == f"{prefix}-00000002"
+        assert first.root_span_id == f"{first.trace_id}:0"
+
+    def test_tracers_get_distinct_prefixes(self):
+        registry = MetricsRegistry()
+        one = obs.QueryTracer(registry, clock=FakeClock())
+        two = obs.QueryTracer(registry, clock=FakeClock())
+        assert (
+            one.start_trace().trace_id.rsplit("-", 1)[0]
+            != two.start_trace().trace_id.rsplit("-", 1)[0]
+        )
+
+    def test_child_scope_times_and_parents(self):
+        clock = FakeClock()
+        tracer = obs.QueryTracer(MetricsRegistry(), clock=clock)
+        trace = tracer.start_trace()
+        with tracer.child(trace, "cache_lookup") as scope:
+            clock.advance(0.1)
+            scope.status = "miss"
+        with tracer.child(trace, "synopsis_answer"):
+            clock.advance(0.2)
+        first, second = trace.children
+        assert first.name == "cache_lookup"
+        assert first.status == "miss"
+        assert first.duration_seconds == pytest.approx(0.1)
+        assert first.span_id == f"{trace.trace_id}:1"
+        assert first.parent_id == trace.root_span_id
+        assert second.span_id == f"{trace.trace_id}:2"
+        assert second.duration_seconds == pytest.approx(0.2)
+
+    def test_child_exception_marks_error_and_propagates(self):
+        tracer = obs.QueryTracer(MetricsRegistry(), clock=FakeClock())
+        trace = tracer.start_trace()
+        with pytest.raises(RuntimeError):
+            with tracer.child(trace, "audit_shadow"):
+                raise RuntimeError("boom")
+        (child,) = trace.children
+        assert child.status == "error"
+
+    def test_finish_attaches_children_to_span(self):
+        tracer = obs.QueryTracer(MetricsRegistry(), clock=FakeClock())
+        trace = tracer.start_trace()
+        with tracer.child(trace, "synopsis_answer"):
+            pass
+
+        class Response:
+            method, is_exact, answer, interval = "sample", False, 1.0, None
+
+        span = tracer.finish(
+            trace, CountQuery("sales", "item", None), Response(),
+            cache="miss",
+        )
+        assert span.trace_id == trace.trace_id
+        assert span.parent_id is None
+        assert span.cache == "miss"
+        assert [c.name for c in span.children] == ["synopsis_answer"]
+        # Children are exported flat, never inlined in to_dict.
+        assert "children" not in span.to_dict()
+
+    def test_drain_empties_the_ring(self):
+        tracer = obs.QueryTracer(MetricsRegistry(), clock=FakeClock())
+
+        class Response:
+            method, is_exact, answer, interval = "sample", False, 1.0, None
+
+        for _ in range(3):
+            tracer.record(
+                CountQuery("sales", "item", None), Response(), tracer.begin()
+            )
+        drained = tracer.drain()
+        assert len(drained) == 3
+        assert tracer.spans() == ()
+        assert tracer.drain() == ()
+
+
+class TestAnswerSummaries:
+    def test_hotlist_span_carries_cardinality_and_top(self):
+        from repro.engine import HotListQuery
+        from repro.hotlist.concise import ConciseHotList
+
+        tracer = obs.QueryTracer(MetricsRegistry(), clock=FakeClock())
+        engine = _engine(tracer)
+        engine.register_hotlist(
+            "sales", "item", ConciseHotList(400, seed=3)
+        )
+        engine.warehouse.load(
+            "sales", [{"item": v % 50} for v in range(2_000)]
+        )
+        response = engine.answer(HotListQuery("sales", "item", k=5))
+        span = tracer.spans()[-1]
+        entries = response.answer.entries
+        assert span.result_cardinality == len(entries)
+        assert span.top_value == int(entries[0].value)
+        assert span.top_count == pytest.approx(
+            entries[0].estimated_count
+        )
+        assert span.answer is None  # structured, not scalar
+
+    def test_scalar_span_has_no_summary(self):
+        tracer = obs.QueryTracer(MetricsRegistry(), clock=FakeClock())
+        engine = _engine(tracer)
+        engine.answer(CountQuery("sales", "item", Predicate(high=10)))
+        span = tracer.spans()[-1]
+        assert span.result_cardinality is None
+        assert span.top_value is None
+        assert span.top_count is None
+
+
+class TestEngineChildSpans:
+    def test_cached_engine_emits_phase_children(self):
+        from repro.engine.cache import QueryResultCache
+
+        registry = MetricsRegistry()
+        tracer = obs.QueryTracer(registry, clock=FakeClock())
+        engine = _engine(tracer)
+        engine.cache = QueryResultCache(capacity=8, registry=registry)
+        query = CountQuery("sales", "item", Predicate(high=10))
+        engine.answer(query)
+        engine.answer(query)
+        miss_span, hit_span = tracer.spans()
+        assert [c.name for c in miss_span.children] == [
+            "cache_lookup",
+            "synopsis_answer",
+        ]
+        assert miss_span.children[0].status == "miss"
+        assert miss_span.cache == "miss"
+        assert [c.name for c in hit_span.children] == ["cache_lookup"]
+        assert hit_span.children[0].status == "hit"
+        assert hit_span.cache == "hit"
+
+    def test_uncached_engine_emits_synopsis_child_only(self):
+        tracer = obs.QueryTracer(MetricsRegistry(), clock=FakeClock())
+        engine = _engine(tracer)
+        engine.answer(CountQuery("sales", "item", Predicate(high=10)))
+        (span,) = tracer.spans()
+        assert [c.name for c in span.children] == ["synopsis_answer"]
+        assert span.cache is None
+
+    def test_exact_fallback_child(self):
+        tracer = obs.QueryTracer(MetricsRegistry(), clock=FakeClock())
+        engine = _engine(tracer)
+        engine.answer(CountQuery("sales", "item", None), exact=True)
+        (span,) = tracer.spans()
+        assert [c.name for c in span.children] == ["exact_fallback"]
+        assert span.cache is None
+
+    def test_audit_shadow_child(self):
+        from repro.obs.audit import CalibrationAuditor
+
+        registry = MetricsRegistry()
+        tracer = obs.QueryTracer(registry, clock=FakeClock())
+        engine = _engine(tracer)
+        engine.auditor = CalibrationAuditor(
+            1.0, seed=4, registry=registry
+        )
+        engine.answer(CountQuery("sales", "item", Predicate(high=10)))
+        (span,) = tracer.spans()
+        assert [c.name for c in span.children] == [
+            "synopsis_answer",
+            "audit_shadow",
+        ]
+        assert all(c.status == "ok" for c in span.children)

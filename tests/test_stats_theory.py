@@ -14,6 +14,7 @@ from repro.stats.theory import (
     concise_gain_via_moments,
     counting_count_error_bound,
     counting_false_negative_bound,
+    counting_miss_quantile,
     counting_inclusion_probability,
     counting_report_cutoff,
     counting_report_probability,
@@ -249,3 +250,35 @@ class TestTheorem7:
             hotlist_false_positive_bound(3.0, 0.0)
         with pytest.raises(ValueError):
             hotlist_false_positive_bound(-1.0, 0.5)
+
+
+class TestCountingMissQuantile:
+    def test_threshold_at_most_one_never_misses(self):
+        assert counting_miss_quantile(1) == 0.0
+
+    def test_geometric_quantile_value(self):
+        # Misses before admission ~ Geometric(1/2) at threshold 2:
+        # P(X >= t) = (1/2)^t <= 0.05 first at t = 5.
+        assert counting_miss_quantile(2, confidence=0.95) == 5.0
+
+    def test_quantile_bounds_the_tail(self):
+        for threshold in (2, 10, 100):
+            for confidence in (0.5, 0.9, 0.99):
+                t = counting_miss_quantile(threshold, confidence)
+                p_admit = 1.0 / threshold
+                # P(misses < t) >= confidence, and t is minimal.
+                assert 1 - (1 - p_admit) ** t >= confidence - 1e-12
+                if t >= 1:
+                    assert 1 - (1 - p_admit) ** (t - 1) < confidence
+
+    def test_grows_with_threshold_and_confidence(self):
+        assert counting_miss_quantile(100) > counting_miss_quantile(10)
+        assert counting_miss_quantile(10, 0.99) > counting_miss_quantile(
+            10, 0.9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            counting_miss_quantile(0)
+        with pytest.raises(ValueError):
+            counting_miss_quantile(10, confidence=1.0)
