@@ -1,0 +1,175 @@
+"""Serving-path latency and throughput: concurrent clients over TCP.
+
+Drives the :mod:`repro.serving` stack end to end -- real sockets, the
+CRC-framed wire codec, session dispatch, the engine answer path -- at
+1, 8, and 32 concurrent clients, and reports per-request p50/p99
+latency plus aggregate throughput for two cache temperatures:
+
+* **cold** -- every request is a distinct predicate, so the
+  epoch-invalidated :class:`QueryResultCache` misses and the engine
+  recomputes from the synopsis;
+* **hot** -- every request repeats one query, so after the first
+  answer the server serves cache hits.
+
+Writes ``BENCH_serving.json`` at the repository root (the committed
+baseline the CI trajectory tracks); ``REPRO_BENCH_SMOKE=1`` runs a
+seconds-scale configuration into ``bench_out/`` instead.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ConciseSample
+from repro.engine import (
+    ApproximateAnswerEngine,
+    CountQuery,
+    DataWarehouse,
+    HotListQuery,
+    QueryResultCache,
+)
+from repro.estimators.selectivity import Predicate
+from repro.hotlist.concise import ConciseHotList
+from repro.obs.clock import perf_counter
+from repro.obs.metrics import MetricsRegistry
+from repro.serving import AQPClient, AQPServer
+from repro.streams import zipf_stream
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+N = 5_000 if SMOKE else 200_000
+DOMAIN = 500 if SMOKE else 20_000
+SKEW = 1.1
+FOOTPRINT = 100 if SMOKE else 2_000
+CLIENT_LEVELS = (1, 4) if SMOKE else (1, 8, 32)
+REQUESTS_PER_CLIENT = 8 if SMOKE else 250
+K = 10
+ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = (
+    ROOT / "bench_out" / "BENCH_serving.json"
+    if SMOKE
+    else ROOT / "BENCH_serving.json"
+)
+
+RELATION = "sales"
+ATTRIBUTE = "item"
+
+
+def build_server() -> AQPServer:
+    warehouse = DataWarehouse()
+    warehouse.create_relation(RELATION, [ATTRIBUTE])
+    engine = ApproximateAnswerEngine(
+        warehouse,
+        cache=QueryResultCache(
+            capacity=256, registry=MetricsRegistry()
+        ),
+    )
+    engine.register_sample(
+        RELATION, ATTRIBUTE, ConciseSample(FOOTPRINT, seed=1)
+    )
+    engine.register_hotlist(
+        RELATION, ATTRIBUTE, ConciseHotList(FOOTPRINT, seed=2)
+    )
+    warehouse.load_batch(
+        RELATION, {ATTRIBUTE: zipf_stream(N, DOMAIN, SKEW, seed=3)}
+    )
+    return AQPServer(
+        warehouse,
+        engine,
+        registry=MetricsRegistry(),
+        max_in_flight=64,
+        max_queue=128,
+    )
+
+
+def cold_query(sequence: int) -> CountQuery:
+    """A distinct predicate per request: a guaranteed cache miss."""
+    low = sequence % (DOMAIN // 2)
+    return CountQuery(
+        RELATION, ATTRIBUTE, Predicate(low=low, high=low + 50)
+    )
+
+
+HOT_QUERY = HotListQuery(RELATION, ATTRIBUTE, k=K)
+
+
+async def run_level(
+    address: tuple[str, int], clients: int, temperature: str
+) -> dict:
+    """One concurrency level: every client runs its request loop,
+    latencies are pooled, throughput is wall-clock aggregate."""
+    latencies: list[float] = []
+
+    async def one_client(offset: int) -> None:
+        client = await AQPClient.connect(*address)
+        await client.hello()
+        for index in range(REQUESTS_PER_CLIENT):
+            sequence = offset * REQUESTS_PER_CLIENT + index
+            query = (
+                HOT_QUERY
+                if temperature == "hot"
+                else cold_query(sequence)
+            )
+            start = perf_counter()
+            await client.query(query, mode="live")
+            latencies.append(perf_counter() - start)
+        await client.bye()
+
+    start = perf_counter()
+    await asyncio.gather(
+        *(one_client(offset) for offset in range(clients))
+    )
+    wall = perf_counter() - start
+    pooled = np.asarray(latencies)
+    return {
+        "requests": len(latencies),
+        "p50_ms": round(float(np.percentile(pooled, 50)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(pooled, 99)) * 1e3, 3),
+        "throughput_rps": round(len(latencies) / wall, 1),
+        "wall_seconds": round(wall, 3),
+    }
+
+
+async def run_all() -> list[dict]:
+    levels = []
+    for clients in CLIENT_LEVELS:
+        server = build_server()
+        address = await server.start()
+        # Hot first so its single distinct query is primed exactly
+        # once; a fresh server per level keeps levels independent.
+        hot = await run_level(address, clients, "hot")
+        cold = await run_level(address, clients, "cold")
+        await server.shutdown()
+        levels.append({"clients": clients, "hot": hot, "cold": cold})
+    return levels
+
+
+def main() -> dict:
+    results = {
+        "config": {
+            "rows": N,
+            "domain": DOMAIN,
+            "zipf_skew": SKEW,
+            "footprint_bound": FOOTPRINT,
+            "client_levels": list(CLIENT_LEVELS),
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "k": K,
+        },
+        "levels": asyncio.run(run_all()),
+    }
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    print(f"\nwritten to {RESULT_PATH}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Serving demo: the warehouse behind a socket, snapshot isolation live.
+
+Starts an :class:`~repro.serving.server.AQPServer` on a loopback port,
+then drives it with two concurrent clients: a writer streaming skewed
+sales batches and a reader whose session is pinned to a snapshot.  The
+reader's pinned answers stay frozen while the writer ingests; a live
+query from the same session sees the stream move.  Finishes with the
+server's own stats endpoint and a graceful drain.
+
+Run:  python examples/serving_demo.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core import ConciseSample
+from repro.engine import (
+    ApproximateAnswerEngine,
+    CountQuery,
+    DataWarehouse,
+    HotListQuery,
+)
+from repro.hotlist import CountingHotList
+from repro.serving import AQPClient, AQPServer
+from repro.streams import zipf_stream
+
+ROWS = 200_000  # total inserts streamed by the writer
+DOMAIN = 5_000  # potential distinct values D
+SKEW = 1.25  # zipf parameter
+BATCHES = 5  # writer batches (the first seeds the snapshot)
+FOOTPRINT = 1_000  # memory words per synopsis
+
+
+def build_server() -> AQPServer:
+    warehouse = DataWarehouse()
+    warehouse.create_relation("sales", ["item"])
+    engine = ApproximateAnswerEngine(warehouse)
+    engine.register_sample("sales", "item", ConciseSample(FOOTPRINT, seed=1))
+    engine.register_hotlist(
+        "sales", "item", CountingHotList(footprint_bound=FOOTPRINT, seed=2)
+    )
+    return AQPServer(warehouse, engine)
+
+
+async def demo() -> None:
+    server = build_server()
+    host, port = await server.start()
+    print(f"server listening on {host}:{port}")
+
+    writer = await AQPClient.connect(host, port)
+    reader = await AQPClient.connect(host, port)
+    await writer.hello()
+    await reader.hello()
+
+    batch = ROWS // BATCHES
+    stream = zipf_stream(ROWS, DOMAIN, SKEW, seed=42)
+    batches = [
+        [int(value) for value in stream[index * batch:(index + 1) * batch]]
+        for index in range(BATCHES)
+    ]
+
+    # Seed one batch, then pin the reader's session to this instant.
+    await writer.ingest("sales", {"item": batches[0]})
+    epochs = await reader.snapshot()
+    print(f"reader pinned at epochs {epochs}")
+
+    count = CountQuery("sales", "item")
+    hot = HotListQuery("sales", "item", k=3)
+    pinned_before = await reader.query(count)
+    print(f"pinned count before writes: {pinned_before.answer:,.0f}")
+
+    # Stream the rest while the pinned reader re-asks every batch.
+    for index in range(1, BATCHES):
+        acked, pinned = await asyncio.gather(
+            writer.ingest("sales", {"item": batches[index]}),
+            reader.query(count),
+        )
+        assert pinned.answer == pinned_before.answer
+        print(
+            f"batch {index}: writer acked {acked:,} rows, "
+            f"pinned count still {pinned.answer:,.0f}"
+        )
+
+    live = await reader.query(count, mode="live")
+    print(f"live count after {ROWS:,} rows: {live.answer:,.0f}")
+    top = await reader.query(hot, mode="live")
+    entries = ", ".join(
+        f"{entry.value}~{entry.estimated_count:,.0f}"
+        for entry in top.answer.entries
+    )
+    print(f"live top-{hot.k} hot list: {entries}")
+
+    stats = await writer.stats()
+    print(
+        f"server stats: {stats['sessions']} session(s), "
+        f"{stats['relations']['sales']:,} rows in sales"
+    )
+
+    await writer.bye()
+    await reader.bye()
+    await server.shutdown()
+    print("server drained and stopped")
+
+
+def main() -> None:
+    asyncio.run(demo())
+
+
+if __name__ == "__main__":
+    main()

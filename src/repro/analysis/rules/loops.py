@@ -72,8 +72,12 @@ class AnswerPathLoopRule(Rule):
         if _EXEMPT_ROOTS.intersection(module.parts):
             return False
         # The engine subpackage is routing/maintenance code except for
-        # the query router itself, which is on the answer path.
-        if module.parts == ("repro", "engine", "engine"):
+        # the query router and the shared answer routing it delegates
+        # to, which are on the answer path.
+        if module.parts in (
+            ("repro", "engine", "engine"),
+            ("repro", "engine", "answering"),
+        ):
             return True
         return super().applies_to(module)
 

@@ -24,7 +24,9 @@ from repro.engine.composite import (
     decode_composite_answer,
     encode_composite,
 )
+from repro.engine.answering import NoSynopsisError
 from repro.engine.engine import ApproximateAnswerEngine
+from repro.engine.pinned import PinnedEngineView
 from repro.engine.policy import (
     AnswerPolicy,
     PolicyDecision,
@@ -61,7 +63,9 @@ __all__ = [
     "JoinSizeQuery",
     "LoggedBatch",
     "LoggedOperation",
+    "NoSynopsisError",
     "OperationLog",
+    "PinnedEngineView",
     "PolicyDecision",
     "Query",
     "answer_with_policy",

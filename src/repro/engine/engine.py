@@ -11,10 +11,14 @@ charged accordingly.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.concise import ConciseSample
 from repro.core.reservoir import ReservoirSample
+from repro.engine import answering
+from repro.engine.answering import NoSynopsisError
 from repro.engine.cache import EpochToken, QueryResultCache
 from repro.engine.queries import (
     AverageQuery,
@@ -33,27 +37,20 @@ from repro.engine.registry import (
     HOTLIST,
     SAMPLE,
     SynopsisRegistry,
+    SynopsisRole,
 )
 from repro.engine.protocols import DistinctSketch, Histogram
 from repro.engine.responses import QueryResponse
 from repro.engine.warehouse import DataWarehouse
-from repro.estimators.aggregates import (
-    estimate_average,
-    estimate_count,
-    estimate_sum,
-)
-from repro.estimators.selectivity import Predicate, estimate_selectivity
 from repro.hotlist.base import HotListAnswer, HotListReporter
 from repro.obs.audit import CalibrationAuditor
 from repro.obs.tracing import ActiveTrace, QueryTracer
 from repro.stats.frequency import FrequencyTable
 
+if TYPE_CHECKING:
+    from repro.engine.pinned import PinnedEngineView
+
 __all__ = ["ApproximateAnswerEngine", "NoSynopsisError"]
-
-
-class NoSynopsisError(RuntimeError):
-    """Raised when no registered synopsis can answer a query
-    approximately and exact fallback was not allowed."""
 
 
 class _EngineTap:
@@ -513,90 +510,38 @@ class ApproximateAnswerEngine:
             auditor.shadow(query, response, self._answer_exact)
 
     # -- approximate paths ---------------------------------------------
+    # The routing itself lives in repro.engine.answering, shared with
+    # pinned snapshot views; the engine is one AnswerSource over its
+    # live registry and warehouse.
+
+    def lookup_synopsis(
+        self, relation: str, attribute: str, role: SynopsisRole
+    ) -> object | None:
+        """The registered synopsis for a key, or ``None``."""
+        return self.registry.lookup(relation, attribute, role)
+
+    def scan_cost(self, relation: str) -> int:
+        """Disk accesses a full base-data scan would cost."""
+        return self.warehouse.scan_cost(relation)
+
+    def pin_view(self) -> PinnedEngineView:
+        """Freeze the current synopsis state into a read-only view.
+
+        The view deep-copies every registered synopsis plus the row
+        counts and scan costs, so it keeps answering at this instant's
+        ingest epoch while the live engine absorbs further loads --
+        the serving layer's read-snapshot isolation.
+        """
+        from repro.engine.pinned import PinnedEngineView
+
+        return PinnedEngineView.capture(self)
 
     def _sample_points(self, relation: str, attribute: str) -> np.ndarray:
-        sample = self.registry.lookup(relation, attribute, SAMPLE)
-        if sample is None:
-            raise NoSynopsisError(
-                f"no sample registered for {relation}.{attribute}"
-            )
-        if isinstance(sample, ConciseSample):
-            return sample.sample_points()
-        if isinstance(sample, ReservoirSample):
-            return sample.as_array()
-        raise NoSynopsisError(
-            f"registered sample for {relation}.{attribute} has an "
-            "unsupported type"
-        )
+        return answering.sample_points(self, relation, attribute)
 
     def _estimate_distinct(self, relation: str, attribute: str) -> float:
         """Best-available distinct-count estimate for a join column."""
-        sketch = self.registry.lookup(relation, attribute, DISTINCT)
-        if sketch is not None:
-            return float(sketch.estimate())
-        sample = self.registry.lookup(relation, attribute, SAMPLE)
-        if sample is not None:
-            from repro.estimators.distinct import (
-                frequency_profile,
-                guaranteed_error_estimator,
-            )
-
-            points = self._sample_points(relation, attribute)
-            if len(points):
-                return guaranteed_error_estimator(
-                    frequency_profile(points),
-                    max(self.rows_loaded(relation), len(points)),
-                )
-        # Fall back to the hot list's own support (a lower bound).
-        reporter = self.registry.lookup(relation, attribute, HOTLIST)
-        if reporter is not None:
-            return float(len(reporter.report(10**6)))
-        raise NoSynopsisError(
-            f"no synopsis can estimate distinct({relation}.{attribute})"
-        )
-
-    def _answer_join_size(self, query: JoinSizeQuery) -> QueryResponse:
-        from repro.estimators.joins import join_size_from_hotlists
-
-        sides = []
-        for relation, attribute in (
-            (query.left_relation, query.left_attribute),
-            (query.right_relation, query.right_attribute),
-        ):
-            reporter = self.registry.lookup(relation, attribute, HOTLIST)
-            if reporter is None:
-                raise NoSynopsisError(
-                    f"no hot-list synopsis for {relation}.{attribute}"
-                )
-            sides.append(
-                (
-                    reporter.report(
-                        max(2, reporter.footprint_bound // 2)
-                    ),
-                    self.rows_loaded(relation),
-                    self._estimate_distinct(relation, attribute),
-                )
-            )
-        (left_answer, left_total, left_distinct) = sides[0]
-        (right_answer, right_total, right_distinct) = sides[1]
-        estimate = join_size_from_hotlists(
-            left_answer,
-            right_answer,
-            left_total,
-            right_total,
-            left_distinct,
-            right_distinct,
-        )
-        exact_cost = self.warehouse.scan_cost(
-            query.left_relation
-        ) + self.warehouse.scan_cost(query.right_relation)
-        return QueryResponse(
-            answer=estimate,
-            interval=None,
-            method="hotlist-join",
-            is_exact=False,
-            exact_cost_estimate=exact_cost,
-        )
+        return answering.estimate_distinct_value(self, relation, attribute)
 
     def _answer_join_size_exact(
         self, query: JoinSizeQuery
@@ -628,144 +573,7 @@ class ApproximateAnswerEngine:
         )
 
     def _answer_approximate(self, query: Query) -> QueryResponse:
-        if isinstance(query, JoinSizeQuery):
-            return self._answer_join_size(query)
-        scan_cost = self.warehouse.scan_cost(query.relation)
-        population = self.rows_loaded(query.relation)
-
-        if isinstance(query, HotListQuery):
-            reporter = self.registry.lookup(
-                query.relation, query.attribute, HOTLIST
-            )
-            if reporter is None:
-                raise NoSynopsisError(
-                    f"no hot-list synopsis for "
-                    f"{query.relation}.{query.attribute}"
-                )
-            answer = reporter.report(query.k)
-            return QueryResponse(
-                answer=answer,
-                interval=reporter.top_interval(answer),
-                method=type(reporter).__name__,
-                is_exact=False,
-                exact_cost_estimate=scan_cost,
-            )
-
-        if isinstance(query, DistinctCountQuery):
-            sketch = self.registry.lookup(
-                query.relation, query.attribute, DISTINCT
-            )
-            if sketch is None:
-                raise NoSynopsisError(
-                    f"no distinct-count synopsis for "
-                    f"{query.relation}.{query.attribute}"
-                )
-            return QueryResponse(
-                answer=float(sketch.estimate()),
-                interval=None,
-                method=type(sketch).__name__,
-                is_exact=False,
-                exact_cost_estimate=scan_cost,
-            )
-
-        if isinstance(query, (CountQuery, SelectivityQuery)):
-            has_sample = (
-                self.registry.lookup(
-                    query.relation, query.attribute, SAMPLE
-                )
-                is not None
-            )
-            histogram = self.registry.lookup(
-                query.relation, query.attribute, HISTOGRAM
-            )
-            if not has_sample and histogram is not None:
-                return self._answer_from_histogram(
-                    query, histogram, population, scan_cost
-                )
-
-        points = self._sample_points(query.relation, query.attribute)
-        conservative = self.conservative_intervals
-        if isinstance(query, FrequencyQuery):
-            predicate = Predicate(equals=query.value)
-            estimate = estimate_count(
-                points,
-                population,
-                predicate.mask,
-                conservative=conservative,
-            )
-        elif isinstance(query, CountQuery):
-            mask = query.predicate.mask if query.predicate else None
-            estimate = estimate_count(
-                points, population, mask, conservative=conservative
-            )
-        elif isinstance(query, SumQuery):
-            mask = query.predicate.mask if query.predicate else None
-            estimate = estimate_sum(
-                points, population, mask, conservative=conservative
-            )
-        elif isinstance(query, AverageQuery):
-            mask = query.predicate.mask if query.predicate else None
-            estimate = estimate_average(
-                points, mask, conservative=conservative
-            )
-        elif isinstance(query, SelectivityQuery):
-            if query.predicate is None:
-                raise ValueError("selectivity query needs a predicate")
-            selectivity = estimate_selectivity(points, query.predicate)
-            return QueryResponse(
-                answer=selectivity.selectivity,
-                interval=selectivity.interval,
-                method="sample",
-                is_exact=False,
-                exact_cost_estimate=scan_cost,
-            )
-        else:  # pragma: no cover - exhaustive routing guard
-            raise TypeError(f"unsupported query {query!r}")
-
-        return QueryResponse(
-            answer=estimate.value,
-            interval=estimate.interval,
-            method="sample",
-            is_exact=False,
-            exact_cost_estimate=scan_cost,
-        )
-
-    def _answer_from_histogram(
-        self,
-        query: "CountQuery | SelectivityQuery",
-        histogram,
-        population: int,
-        scan_cost: int,
-    ) -> QueryResponse:
-        """Answer a count/selectivity query from a histogram synopsis."""
-        predicate = query.predicate
-        if predicate is None:
-            count = float(population)
-        elif predicate.equals is not None:
-            count = float(histogram.estimate_equality(predicate.equals))
-        else:
-            low = (
-                predicate.low
-                if predicate.low is not None
-                else -float("inf")
-            )
-            high = (
-                predicate.high
-                if predicate.high is not None
-                else float("inf")
-            )
-            count = float(histogram.estimate_range(low, high))
-        if isinstance(query, SelectivityQuery):
-            answer = count / population if population else 0.0
-        else:
-            answer = count
-        return QueryResponse(
-            answer=answer,
-            interval=None,
-            method=type(histogram).__name__,
-            is_exact=False,
-            exact_cost_estimate=scan_cost,
-        )
+        return answering.answer_approximate(self, query)
 
     # -- exact path ------------------------------------------------------
 

@@ -1,0 +1,131 @@
+"""Epoch-pinned, read-only views of an engine's synopsis state.
+
+A :class:`PinnedEngineView` deep-copies every registered synopsis plus
+the row counts and scan costs at one instant, so it keeps answering
+queries *as of that instant* while the live engine absorbs further
+loads.  The serving layer hands one to each session that asks for
+read-snapshot isolation: concurrent batch ingest advances the live
+synopses but can never change what a pinned session sees.
+
+The copy shares the answer routing in :mod:`repro.engine.answering`
+with the live engine, so a pinned view and a live engine holding
+identical synopsis state return byte-identical responses -- the
+property the serving concurrency battery checks against a serial
+oracle.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING, Mapping
+
+from repro.engine.answering import answer_approximate
+from repro.engine.queries import Query
+from repro.engine.registry import SynopsisRole
+from repro.engine.responses import QueryResponse
+
+if TYPE_CHECKING:
+    from repro.engine.engine import ApproximateAnswerEngine
+
+__all__ = ["PinnedEngineView"]
+
+
+class PinnedEngineView:
+    """A frozen AnswerSource captured from a live engine.
+
+    Build one with :meth:`ApproximateAnswerEngine.pin_view` (or
+    :meth:`capture`); never mutate the copied synopses.  Exact queries
+    are refused -- exactness requires scanning live base data, which a
+    snapshot by definition does not have.
+    """
+
+    def __init__(
+        self,
+        *,
+        synopses: Mapping[tuple[str, str, SynopsisRole], object],
+        row_counts: Mapping[str, int],
+        scan_costs: Mapping[str, int],
+        epochs: Mapping[str, tuple[int, int]],
+        conservative_intervals: bool,
+    ) -> None:
+        self._synopses = dict(synopses)
+        self._row_counts = dict(row_counts)
+        self._scan_costs = dict(scan_costs)
+        self._epochs = dict(epochs)
+        self.conservative_intervals = conservative_intervals
+
+    @classmethod
+    def capture(cls, engine: ApproximateAnswerEngine) -> PinnedEngineView:
+        """Deep-copy an engine's answerable state at this instant.
+
+        One shared memo keeps identity: a synopsis registered under
+        several roles (a ConciseHotList serving both the sample and the
+        hot list) stays one object in the copy, exactly as it is live.
+        """
+        memo: dict[int, object] = {}
+        synopses: dict[tuple[str, str, SynopsisRole], object] = {}
+        for relation, attribute, role, synopsis in engine.registry.entries():
+            synopses[(relation, attribute, role)] = copy.deepcopy(
+                synopsis, memo
+            )
+        row_counts = {
+            name: engine.rows_loaded(name)
+            for name in engine.warehouse.relation_names()
+        }
+        scan_costs = {
+            name: engine.warehouse.scan_cost(name)
+            for name in engine.warehouse.relation_names()
+        }
+        epochs = {
+            name: (
+                engine.warehouse.relation(name).epoch,
+                engine._synopsis_epochs.get(name, 0),
+            )
+            for name in engine.warehouse.relation_names()
+        }
+        return cls(
+            synopses=synopses,
+            row_counts=row_counts,
+            scan_costs=scan_costs,
+            epochs=epochs,
+            conservative_intervals=engine.conservative_intervals,
+        )
+
+    # -- the AnswerSource protocol ---------------------------------------
+
+    def lookup_synopsis(
+        self, relation: str, attribute: str, role: SynopsisRole
+    ) -> object | None:
+        """The pinned synopsis copy for a key, or ``None``."""
+        return self._synopses.get((relation, attribute, role))
+
+    def rows_loaded(self, relation: str) -> int:
+        """Net rows the engine had observed at capture time."""
+        return self._row_counts.get(relation, 0)
+
+    def scan_cost(self, relation: str) -> int:
+        """What a full scan would have cost at capture time."""
+        return self._scan_costs.get(relation, 0)
+
+    # -- answering -------------------------------------------------------
+
+    def answer(self, query: Query) -> QueryResponse:
+        """Answer approximately from the pinned synopses.
+
+        Deterministic: repeated calls with the same query return the
+        same response regardless of ingest into the live engine.
+        """
+        return answer_approximate(self, query)
+
+    def epoch_token(self, relation: str) -> tuple[int, int]:
+        """The (ingest epoch, synopsis epoch) pinned for a relation."""
+        try:
+            return self._epochs[relation]
+        except KeyError:
+            raise KeyError(
+                f"relation {relation!r} did not exist at capture time"
+            ) from None
+
+    def relation_names(self) -> list[str]:
+        """Sorted names of the relations that existed at capture."""
+        return sorted(self._epochs)

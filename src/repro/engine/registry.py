@@ -134,6 +134,17 @@ class SynopsisRegistry:
             if key[0] == relation and key[1] == attribute:
                 yield key[2], entry.synopsis
 
+    def entries(
+        self,
+    ) -> Iterator[tuple[str, str, SynopsisRole, object]]:
+        """Every registration as ``(relation, attribute, role, synopsis)``.
+
+        Deterministic (registration order); the same synopsis object
+        appears once per role it is registered under.
+        """
+        for key, entry in self._entries.items():
+            yield key[0], key[1], key[2], entry.synopsis
+
     def all_synopses(self) -> Iterator[object]:
         """Every distinct registered synopsis object."""
         seen: set[int] = set()

@@ -13,7 +13,9 @@ then renders the registry:
   and the trace-sink JSONL round-trip -- and exit 0/1.
 * ``report``: render the plain-text ops health report, either from
   ``--metrics``/``--trace`` files exported elsewhere or from a fresh
-  demo workload when neither is given.
+  demo workload when neither is given; ``--serving`` additionally
+  drives a loopback :class:`~repro.serving.server.AQPServer` so the
+  serving section has data.
 """
 
 from __future__ import annotations
@@ -109,6 +111,70 @@ def ingest_round(
     engine.answer(
         CountQuery("sales", "store", Predicate(high=10)), exact=True
     )
+
+
+def serving_round(
+    registry: MetricsRegistry, rows: int, seed: int
+) -> None:
+    """Serve a small workload over a real socket.
+
+    Spins an :class:`~repro.serving.server.AQPServer` on a loopback
+    port against its own warehouse, drives one client through
+    hello/ingest/snapshot/query/bye (including one failing query so an
+    error outcome registers), and shuts down -- populating every
+    ``repro_server_*`` series on ``registry`` for the report's serving
+    section.
+    """
+    import asyncio
+
+    from repro.core import ConciseSample
+    from repro.engine import (
+        ApproximateAnswerEngine,
+        CountQuery,
+        DataWarehouse,
+        HotListQuery,
+    )
+    from repro.estimators import Predicate
+    from repro.hotlist import CountingHotList
+    from repro.serving import AQPClient, AQPServer, ServerError
+    from repro.streams import zipf_stream
+
+    async def run() -> None:
+        warehouse = DataWarehouse()
+        warehouse.create_relation("sales", ["item"])
+        engine = ApproximateAnswerEngine(warehouse)
+        engine.register_sample(
+            "sales", "item", ConciseSample(500, seed=seed + 1)
+        )
+        engine.register_hotlist(
+            "sales",
+            "item",
+            CountingHotList(footprint_bound=200, seed=seed + 2),
+        )
+        server = AQPServer(warehouse, engine, registry=registry)
+        host, port = await server.start()
+        try:
+            client = await AQPClient.connect(host, port)
+            await client.hello()
+            items = zipf_stream(rows, 1_000, 1.25, seed=seed + 3)
+            await client.ingest(
+                "sales", {"item": [int(value) for value in items]}
+            )
+            await client.snapshot()
+            await client.query(
+                CountQuery("sales", "item", Predicate(high=100))
+            )
+            await client.query(HotListQuery("sales", "item", k=5))
+            await client.query(CountQuery("sales", "item"), mode="live")
+            try:
+                await client.query(CountQuery("sales", "store"))
+            except ServerError:
+                pass
+            await client.bye()
+        finally:
+            await server.shutdown()
+
+    asyncio.run(run())
 
 
 def selftest(rows: int, seed: int) -> int:
@@ -288,6 +354,12 @@ def report_command(argv: list[str]) -> int:
     parser.add_argument(
         "--seed", type=int, default=7, help="demo workload seed"
     )
+    parser.add_argument(
+        "--serving",
+        action="store_true",
+        help="also run a loopback AQPServer workload so the serving "
+        "section has data (demo mode only)",
+    )
     args = parser.parse_args(argv)
 
     metrics: dict[str, Any] | None = None
@@ -305,6 +377,10 @@ def report_command(argv: list[str]) -> int:
         try:
             workload = build_workload(registry, args.seed)
             ingest_round(workload, args.rows, args.seed + 10)
+            if args.serving:
+                serving_round(
+                    registry, max(100, args.rows // 10), args.seed + 20
+                )
             sink = workload["sink"]
             sink.drain(workload["tracer"])
             metrics = obs.render_json(registry)

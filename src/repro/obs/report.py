@@ -7,7 +7,8 @@ into a plain-text report a human can read in one terminal screen:
 per-method calibration (audited coverage vs claimed confidence, with
 an ALERT verdict the moment the error budget goes negative), query
 latency percentiles recovered from histogram buckets, cache hit rate,
-durability counters, and a trace digest.
+serving health (sessions, admission-gate state, per-endpoint request
+latency), durability counters, and a trace digest.
 
 The module is pure data-shuffling: it never imports the engine or
 touches a clock, so the report can run against snapshots exported from
@@ -272,6 +273,83 @@ def _durability_section(
     return lines or ["  no durability data"]
 
 
+#: Serving counters/gauges surfaced on the summary line when present.
+_SERVING_SUMMARY_METRICS = (
+    ("connections", "repro_server_connections_total"),
+    ("sessions", "repro_server_sessions_total"),
+    ("open", "repro_server_sessions_open"),
+    ("in-flight", "repro_server_in_flight"),
+    ("queued", "repro_server_queue_depth"),
+    ("busy", "repro_server_busy_total"),
+    ("protocol-errors", "repro_server_protocol_errors_total"),
+)
+
+
+def _serving_section(
+    families: Mapping[str, list[dict[str, Any]]],
+) -> list[str]:
+    """Serving health: admission state plus per-endpoint latency.
+
+    Summarizes the ``repro_server_*`` family exported by
+    :class:`~repro.serving.server.AQPServer`: connection/session
+    counts, admission-gate state (in-flight, queued, busy refusals),
+    protocol errors, and p50/p90/p99 per operation recovered from the
+    ``repro_server_request_seconds`` histogram buckets.
+    """
+    present = any(
+        families.get(name) for _, name in _SERVING_SUMMARY_METRICS
+    ) or families.get("repro_server_request_seconds")
+    if not present:
+        return ["  no serving data (no AQPServer metrics in snapshot)"]
+    summary = "  ".join(
+        f"{label} {sum(_series_values(families, name).values()):g}"
+        for label, name in _SERVING_SUMMARY_METRICS
+    )
+    lines = ["  " + summary]
+    outcomes: dict[str, dict[str, float]] = {}
+    for labels, value in _series_values(
+        families, "repro_server_requests_total"
+    ).items():
+        label_map = dict(labels)
+        per_op = outcomes.setdefault(label_map.get("op", "?"), {})
+        per_op[label_map.get("outcome", "?")] = (
+            per_op.get(label_map.get("outcome", "?"), 0.0) + value
+        )
+    rows = []
+    for entry in sorted(
+        families.get("repro_server_request_seconds", []),
+        key=lambda item: sorted(item.get("labels", {}).items()),
+    ):
+        op = dict(entry.get("labels", {})).get("op", "?")
+        buckets = [
+            (_parse_bound(bound), float(cumulative))
+            for bound, cumulative in entry.get("buckets", [])
+        ]
+        per_op = outcomes.get(op, {})
+        rows.append(
+            [
+                op,
+                f"{entry.get('count', 0)}",
+                f"{per_op.get('ok', 0.0):.0f}",
+                f"{per_op.get('error', 0.0):.0f}",
+                f"{per_op.get('busy', 0.0):.0f}",
+                _fmt_seconds(histogram_quantile(buckets, 0.50)),
+                _fmt_seconds(histogram_quantile(buckets, 0.90)),
+                _fmt_seconds(histogram_quantile(buckets, 0.99)),
+            ]
+        )
+    if rows:
+        lines.append("")
+        lines.extend(
+            "  " + line
+            for line in _table(
+                ("op", "count", "ok", "error", "busy", "p50", "p90", "p99"),
+                rows,
+            )
+        )
+    return lines
+
+
 def _trace_section(traces: Sequence[Mapping[str, Any]]) -> list[str]:
     roots = [
         record for record in traces if record.get("parent_id") is None
@@ -326,6 +404,7 @@ def render_health_report(
          _calibration_section(families)),
         ("query latency", _latency_section(families)),
         ("query-result cache", _cache_section(families)),
+        ("serving", _serving_section(families)),
         ("durability", _durability_section(families)),
         ("traces", _trace_section(traces if traces is not None else [])),
     ]

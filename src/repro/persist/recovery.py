@@ -246,6 +246,17 @@ class RecoveryManager:
         )
         self._segment_relations.add(relation)
 
+    def drain(self) -> None:
+        """Force every buffered WAL record to stable storage.
+
+        The serving layer's graceful-shutdown hook: with
+        ``sync_every > 1`` the group-commit buffer may hold acked-ish
+        records that are not yet durable; draining syncs them without
+        closing the segment, so the manager keeps logging if shutdown
+        is aborted.
+        """
+        self._store.wal.sync()
+
     def detach(self) -> None:
         """Unsubscribe and close the open WAL segment."""
         if self._warehouse is not None:

@@ -1,0 +1,230 @@
+"""JSON codec for queries and responses crossing the wire.
+
+Purely structural: a query dataclass maps to a tagged JSON object and
+back, a :class:`~repro.engine.responses.QueryResponse` likewise.
+Floats travel as JSON numbers, which round-trip bit-exactly through
+Python's ``repr``-based serialization -- so two byte-identical
+responses stay byte-identical after a wire round trip, the property
+the serving concurrency battery leans on.
+
+Decoding raises :class:`ValueError` on anything malformed; the server
+maps that to a ``bad-request`` protocol error.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.queries import (
+    AverageQuery,
+    CountQuery,
+    DistinctCountQuery,
+    FrequencyQuery,
+    HotListQuery,
+    JoinSizeQuery,
+    Query,
+    SelectivityQuery,
+    SumQuery,
+)
+from repro.engine.responses import QueryResponse
+from repro.estimators.intervals import ConfidenceInterval
+from repro.estimators.selectivity import Predicate
+from repro.hotlist.base import HotListAnswer, HotListEntry
+
+__all__ = [
+    "decode_query",
+    "decode_response",
+    "encode_query",
+    "encode_response",
+]
+
+_PREDICATE_QUERIES = {
+    "count": CountQuery,
+    "sum": SumQuery,
+    "average": AverageQuery,
+    "selectivity": SelectivityQuery,
+}
+
+
+def _encode_predicate(predicate: Predicate | None) -> dict[str, Any] | None:
+    if predicate is None:
+        return None
+    if predicate.equals is not None:
+        return {"equals": predicate.equals}
+    return {"low": predicate.low, "high": predicate.high}
+
+
+def _decode_predicate(payload: Any) -> Predicate | None:
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        raise ValueError("predicate must be an object or null")
+    if "equals" in payload:
+        return Predicate(equals=payload["equals"])
+    if "low" in payload or "high" in payload:
+        return Predicate(
+            low=payload.get("low"), high=payload.get("high")
+        )
+    raise ValueError("predicate needs 'equals' or 'low'/'high'")
+
+
+def encode_query(query: Query) -> dict[str, Any]:
+    """One query dataclass as a tagged JSON object."""
+    if isinstance(query, JoinSizeQuery):
+        return {
+            "type": "join_size",
+            "left_relation": query.left_relation,
+            "left_attribute": query.left_attribute,
+            "right_relation": query.right_relation,
+            "right_attribute": query.right_attribute,
+        }
+    if isinstance(query, HotListQuery):
+        return {
+            "type": "hotlist",
+            "relation": query.relation,
+            "attribute": query.attribute,
+            "k": query.k,
+        }
+    if isinstance(query, FrequencyQuery):
+        return {
+            "type": "frequency",
+            "relation": query.relation,
+            "attribute": query.attribute,
+            "value": query.value,
+        }
+    if isinstance(query, DistinctCountQuery):
+        return {
+            "type": "distinct",
+            "relation": query.relation,
+            "attribute": query.attribute,
+        }
+    for tag, query_type in _PREDICATE_QUERIES.items():
+        if isinstance(query, query_type):
+            return {
+                "type": tag,
+                "relation": query.relation,
+                "attribute": query.attribute,
+                "predicate": _encode_predicate(query.predicate),
+            }
+    raise ValueError(f"unsupported query {query!r}")
+
+
+def decode_query(payload: Any) -> Query:
+    """A tagged JSON object back into its query dataclass."""
+    if not isinstance(payload, dict):
+        raise ValueError("query must be a JSON object")
+    tag = payload.get("type")
+    if tag == "join_size":
+        return JoinSizeQuery(
+            left_relation=_string(payload, "left_relation"),
+            left_attribute=_string(payload, "left_attribute"),
+            right_relation=_string(payload, "right_relation"),
+            right_attribute=_string(payload, "right_attribute"),
+        )
+    relation = _string(payload, "relation")
+    attribute = _string(payload, "attribute")
+    if tag == "hotlist":
+        k = payload.get("k", 10)
+        if not isinstance(k, int) or k <= 0:
+            raise ValueError("hotlist 'k' must be a positive integer")
+        return HotListQuery(relation, attribute, k=k)
+    if tag == "frequency":
+        value = payload.get("value", 0)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError("frequency 'value' must be an integer")
+        return FrequencyQuery(relation, attribute, value=value)
+    if tag == "distinct":
+        return DistinctCountQuery(relation, attribute)
+    query_type = _PREDICATE_QUERIES.get(tag) if isinstance(tag, str) else None
+    if query_type is not None:
+        return query_type(
+            relation,
+            attribute,
+            predicate=_decode_predicate(payload.get("predicate")),
+        )
+    raise ValueError(f"unknown query type {tag!r}")
+
+
+def _string(payload: dict[str, Any], key: str) -> str:
+    value = payload.get(key)
+    if not isinstance(value, str) or not value:
+        raise ValueError(f"query {key!r} must be a non-empty string")
+    return value
+
+
+def _encode_interval(
+    interval: ConfidenceInterval | None,
+) -> dict[str, Any] | None:
+    if interval is None:
+        return None
+    return {
+        "low": float(interval.low),
+        "high": float(interval.high),
+        "confidence": float(interval.confidence),
+    }
+
+
+def _decode_interval(payload: Any) -> ConfidenceInterval | None:
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        raise ValueError("interval must be an object or null")
+    return ConfidenceInterval(
+        low=float(payload["low"]),
+        high=float(payload["high"]),
+        confidence=float(payload["confidence"]),
+    )
+
+
+def _encode_answer(answer: Any) -> dict[str, Any]:
+    if isinstance(answer, HotListAnswer):
+        return {
+            "kind": "hotlist",
+            "k": answer.k,
+            "entries": [
+                [int(entry.value), float(entry.estimated_count)]
+                for entry in answer.entries
+            ],
+        }
+    return {"kind": "scalar", "value": float(answer)}
+
+
+def _decode_answer(payload: Any) -> Any:
+    if not isinstance(payload, dict):
+        raise ValueError("answer must be an object")
+    kind = payload.get("kind")
+    if kind == "scalar":
+        return float(payload["value"])
+    if kind == "hotlist":
+        entries = tuple(
+            HotListEntry(int(value), float(count))
+            for value, count in payload["entries"]
+        )
+        return HotListAnswer(k=int(payload["k"]), entries=entries)
+    raise ValueError(f"unknown answer kind {kind!r}")
+
+
+def encode_response(response: QueryResponse) -> dict[str, Any]:
+    """One engine response as a JSON object."""
+    return {
+        "answer": _encode_answer(response.answer),
+        "interval": _encode_interval(response.interval),
+        "method": response.method,
+        "is_exact": bool(response.is_exact),
+        "disk_accesses": int(response.disk_accesses),
+        "exact_cost_estimate": int(response.exact_cost_estimate),
+    }
+
+
+def decode_response(payload: Any) -> QueryResponse:
+    """A JSON object back into a :class:`QueryResponse`."""
+    if not isinstance(payload, dict):
+        raise ValueError("response must be a JSON object")
+    return QueryResponse(
+        answer=_decode_answer(payload["answer"]),
+        interval=_decode_interval(payload.get("interval")),
+        method=str(payload["method"]),
+        is_exact=bool(payload["is_exact"]),
+        disk_accesses=int(payload.get("disk_accesses", 0)),
+        exact_cost_estimate=int(payload.get("exact_cost_estimate", 0)),
+    )

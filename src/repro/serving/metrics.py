@@ -1,0 +1,84 @@
+"""The server's instrument bundle.
+
+One object acquiring every ``repro_server_*`` series from a
+:class:`~repro.obs.metrics.MetricsRegistry` (the process-wide null
+registry by default, so an uninstrumented server costs nothing).
+Every name here has a documented row in ``docs/observability.md`` --
+RL014 cross-checks the two.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = ["ServerMetrics"]
+
+
+class ServerMetrics:
+    """Counters, gauges, and histograms for one server instance."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else get_registry()
+        registry = self._registry
+        self.connections_total: Counter = registry.counter(
+            "repro_server_connections_total",
+            "Client connections accepted",
+        )
+        self.sessions_total: Counter = registry.counter(
+            "repro_server_sessions_total",
+            "Sessions opened over the server's lifetime",
+        )
+        self.sessions_open: Gauge = registry.gauge(
+            "repro_server_sessions_open",
+            "Sessions currently open",
+        )
+        self.in_flight: Gauge = registry.gauge(
+            "repro_server_in_flight",
+            "Requests currently executing",
+        )
+        self.queue_depth: Gauge = registry.gauge(
+            "repro_server_queue_depth",
+            "Requests waiting in the admission queue",
+        )
+        self.busy_total: Counter = registry.counter(
+            "repro_server_busy_total",
+            "Requests rejected with server-busy backpressure",
+        )
+        self.protocol_errors_total: Counter = registry.counter(
+            "repro_server_protocol_errors_total",
+            "Connections dropped for corrupt or malformed frames",
+        )
+        self.bytes_read_total: Counter = registry.counter(
+            "repro_server_bytes_read_total",
+            "Bytes read off client sockets",
+        )
+        self.bytes_written_total: Counter = registry.counter(
+            "repro_server_bytes_written_total",
+            "Bytes written to client sockets",
+        )
+        self.queue_wait_seconds: Histogram = registry.histogram(
+            "repro_server_queue_wait_seconds",
+            "Time requests spent waiting for an admission slot",
+        )
+
+    def requests_total(self, op: str, outcome: str) -> Counter:
+        """The request counter series for one ``(op, outcome)``."""
+        return self._registry.counter(
+            "repro_server_requests_total",
+            "Requests handled, by operation and outcome",
+            {"op": op, "outcome": outcome},
+        )
+
+    def request_seconds(self, op: str) -> Histogram:
+        """The end-to-end latency histogram series for one op."""
+        return self._registry.histogram(
+            "repro_server_request_seconds",
+            "End-to-end request latency (queue wait included)",
+            {"op": op},
+        )

@@ -1,0 +1,646 @@
+"""The AQP network service: an asyncio TCP server over the warehouse.
+
+One :class:`AQPServer` owns a
+:class:`~repro.engine.warehouse.DataWarehouse` and its
+:class:`~repro.engine.engine.ApproximateAnswerEngine`; clients speak
+the CRC-framed envelope protocol of :mod:`repro.serving.protocol`.
+Connections are handled concurrently but each connection's requests
+run in order, and all synopsis/warehouse access happens on the event
+loop -- batches stay atomic with respect to queries by construction.
+
+Three contracts the test battery enforces:
+
+* **Read-snapshot isolation** -- a session's ``snapshot`` op pins a
+  :class:`~repro.engine.pinned.PinnedEngineView`; its pinned-mode
+  queries answer as of that epoch no matter how much concurrent
+  ingest lands.
+* **Bounded admission** -- at most ``max_in_flight`` heavy requests
+  (query/ingest) execute at once and at most ``max_queue`` wait;
+  beyond that the client gets a typed ``server-busy`` error
+  immediately, never a hang.
+* **Graceful shutdown** -- :meth:`shutdown` stops accepting, drains
+  in-flight requests, then syncs the WAL group-commit buffer through
+  the recovery manager's drain hook before closing connections, so
+  every acked ingest is durable.  :meth:`abort` is the crash path:
+  nothing is drained (fault-injection tests use it to model a kill).
+
+The server never reads a clock directly (RL009): timing comes from an
+injected ``clock`` callable defaulting to
+:func:`repro.obs.clock.monotonic`, and fault tests substitute a
+:class:`~repro.obs.clock.FakeClock`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.engine.answering import NoSynopsisError
+from repro.engine.engine import ApproximateAnswerEngine
+from repro.engine.relation import RelationError
+from repro.engine.warehouse import DataWarehouse
+from repro.obs import clock as obs_clock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import ActiveTrace, QueryTracer
+from repro.persist.recovery import RecoveryManager
+from repro.serving import codec
+from repro.serving.metrics import ServerMetrics
+from repro.serving.protocol import (
+    BAD_REQUEST,
+    DEFAULT_MAX_FRAME_BYTES,
+    INTERNAL,
+    NO_SESSION,
+    NO_SYNOPSIS,
+    QUERY_ERROR,
+    SERVER_BUSY,
+    SHUTTING_DOWN,
+    FrameDecoder,
+    ProtocolError,
+    encode_error,
+    encode_result,
+    parse_request,
+)
+from repro.serving.session import Session
+
+__all__ = ["AQPServer"]
+
+#: Ops that go through the bounded admission queue; everything else
+#: (hello/ping/snapshot/register/stats/bye) is cheap bookkeeping and
+#: bypasses it.
+_HEAVY_OPS = frozenset({"query", "ingest"})
+
+_READ_CHUNK = 1 << 16
+
+
+class AQPServer:
+    """Sessioned concurrent query/ingest service over one warehouse.
+
+    Parameters
+    ----------
+    warehouse, engine:
+        The owned warehouse and its engine.  The server is the only
+        writer once serving starts.
+    manager:
+        Optional :class:`~repro.persist.recovery.RecoveryManager`
+        already attached to the warehouse; graceful shutdown calls its
+        :meth:`~repro.persist.recovery.RecoveryManager.drain` so the
+        WAL group-commit buffer reaches stable storage.
+    registry:
+        Optional metrics registry for the ``repro_server_*``
+        instruments (defaults to the process registry, a no-op unless
+        observability is enabled).
+    tracer:
+        Optional :class:`~repro.obs.tracing.QueryTracer`; query
+        requests become query spans with ``queue_wait`` and
+        ``execute`` children.
+    clock:
+        Monotonic-seconds callable for latency instruments.
+    max_in_flight, max_queue:
+        The admission bound: concurrent heavy requests, and waiters
+        beyond them before ``server-busy``.
+    max_frame_bytes:
+        Largest request payload a client may frame.
+    fatal_exceptions:
+        Exception types the request loop must *not* convert into
+        ``internal`` error responses: they abort the whole server and
+        re-raise.  Fault tests pass ``(SimulatedCrash,)`` so an
+        injected WAL crash kills the process model, exactly like a
+        real power cut.
+    """
+
+    def __init__(
+        self,
+        warehouse: DataWarehouse,
+        engine: ApproximateAnswerEngine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        manager: RecoveryManager | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: QueryTracer | None = None,
+        clock: Callable[[], float] = obs_clock.monotonic,
+        max_in_flight: int = 8,
+        max_queue: int = 16,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        fatal_exceptions: tuple[type[BaseException], ...] = (),
+    ) -> None:
+        if max_in_flight <= 0:
+            raise ValueError("max_in_flight must be positive")
+        if max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        self.warehouse = warehouse
+        self.engine = engine
+        self.manager = manager
+        self.tracer = tracer
+        self.max_in_flight = max_in_flight
+        self.max_queue = max_queue
+        self.max_frame_bytes = max_frame_bytes
+        self.fatal_error: BaseException | None = None
+        self._host = host
+        self._port = port
+        self._clock = clock
+        self._fatal = tuple(fatal_exceptions)
+        self._metrics = ServerMetrics(registry)
+        self._server: asyncio.AbstractServer | None = None
+        self._admission = asyncio.Semaphore(max_in_flight)
+        self._waiting = 0
+        self._active = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self._sessions: dict[str, Session] = {}
+        self._session_counter = 0
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; valid after :meth:`start`."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not listening")
+        name = self._server.sockets[0].getsockname()
+        return name[0], name[1]
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and begin accepting; returns the listening address."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self.address
+
+    async def shutdown(self) -> None:
+        """Graceful stop: drain in-flight work, then the WAL buffer.
+
+        New heavy requests on existing connections are refused with
+        ``shutting-down`` from the moment this is called.  Safe to
+        call twice; the second call just waits again.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._drained.wait()
+        if self.manager is not None:
+            self.manager.drain()
+        await self._close_connections()
+
+    def abort(self) -> None:
+        """Crash-stop: close everything now, drain nothing.
+
+        The fault-injection model of a kill: acked-but-unsynced WAL
+        records are abandoned to whatever the filesystem made durable,
+        exactly as a power cut would.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        self._writers.clear()
+
+    async def _close_connections(self) -> None:
+        for writer in list(self._writers):
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                continue
+        self._writers.clear()
+
+    # ------------------------------------------------------------------
+    # Connection loop
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._metrics.connections_total.inc()
+        self._writers.add(writer)
+        decoder = FrameDecoder(max_frame_bytes=self.max_frame_bytes)
+        sessions: list[Session] = []
+        try:
+            await self._connection_loop(reader, writer, decoder, sessions)
+        except self._fatal:
+            # abort() already ran and fatal_error is recorded; the
+            # connection task dies quietly, exactly as the process
+            # would have.
+            pass
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            # The peer vanished mid-stream; its sessions are closed in
+            # the finally block and nothing else is affected.
+            pass
+        finally:
+            for session in sessions:
+                self._close_session(session)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _connection_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        decoder: FrameDecoder,
+        sessions: list[Session],
+    ) -> None:
+        while True:
+            data = await reader.read(_READ_CHUNK)
+            if not data:
+                return
+            self._metrics.bytes_read_total.inc(len(data))
+            try:
+                payloads = decoder.feed(data)
+            except ProtocolError as error:
+                # A torn frame can only mean the peer's stream is
+                # corrupt or hostile; answer once, typed, and hang up.
+                self._metrics.protocol_errors_total.inc()
+                await self._send(
+                    writer,
+                    encode_error(None, error.code, error.message),
+                )
+                return
+            for payload in payloads:
+                goodbye = await self._handle_request(
+                    payload, writer, sessions
+                )
+                if goodbye:
+                    return
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, data: bytes
+    ) -> None:
+        writer.write(data)
+        self._metrics.bytes_written_total.inc(len(data))
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+
+    async def _handle_request(
+        self,
+        payload: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        sessions: list[Session],
+    ) -> bool:
+        """Answer one envelope; True when the connection should close."""
+        try:
+            request_id, op, params = parse_request(payload)
+        except ProtocolError as error:
+            fallback = payload.get("id") if isinstance(payload, dict) else None
+            self._metrics.requests_total("invalid", "error").inc()
+            await self._send(
+                writer, encode_error(fallback, error.code, error.message)
+            )
+            return False
+        started = self._clock()
+        heavy = op in _HEAVY_OPS
+        if self._draining and op != "bye":
+            self._metrics.requests_total(op, "error").inc()
+            await self._send(
+                writer,
+                encode_error(
+                    request_id,
+                    SHUTTING_DOWN,
+                    "server is draining; no new requests",
+                ),
+            )
+            return False
+
+        trace: ActiveTrace | None = None
+        if op == "query" and self.tracer is not None:
+            trace = self.tracer.start_trace()
+
+        admitted = False
+        if heavy:
+            if self._waiting >= self.max_queue:
+                self._metrics.busy_total.inc()
+                self._metrics.requests_total(op, "busy").inc()
+                await self._send(
+                    writer,
+                    encode_error(
+                        request_id,
+                        SERVER_BUSY,
+                        f"admission queue full "
+                        f"({self._waiting} waiting); retry later",
+                    ),
+                )
+                return False
+            await self._admit(trace)
+            admitted = True
+
+        self._active += 1
+        self._drained.clear()
+        self._metrics.in_flight.inc()
+        try:
+            result, goodbye = await self._execute(
+                op, params, sessions, trace
+            )
+            self._metrics.requests_total(op, "ok").inc()
+            await self._send(writer, encode_result(request_id, result))
+            return goodbye
+        except ProtocolError as error:
+            self._metrics.requests_total(op, "error").inc()
+            await self._send(
+                writer,
+                encode_error(request_id, error.code, error.message),
+            )
+            return False
+        except self._fatal:
+            # A simulated crash: the server is already aborted, no
+            # error response may be written (the transport is gone).
+            raise
+        except Exception as error:
+            self._metrics.requests_total(op, "error").inc()
+            await self._send(
+                writer,
+                encode_error(
+                    request_id,
+                    INTERNAL,
+                    f"{type(error).__name__}: {error}",
+                ),
+            )
+            return False
+        finally:
+            self._metrics.request_seconds(op).observe(
+                self._clock() - started
+            )
+            self._metrics.in_flight.dec()
+            self._active -= 1
+            if self._active == 0:
+                self._drained.set()
+            if admitted:
+                self._admission.release()
+
+    async def _admit(self, trace: ActiveTrace | None) -> None:
+        """Wait for an admission slot, timing the queue wait."""
+        self._waiting += 1
+        self._metrics.queue_depth.inc()
+        wait_started = self._clock()
+        try:
+            if trace is not None and self.tracer is not None:
+                with self.tracer.child(trace, "queue_wait"):
+                    await self._admission.acquire()
+            else:
+                await self._admission.acquire()
+        finally:
+            self._waiting -= 1
+            self._metrics.queue_depth.dec()
+            self._metrics.queue_wait_seconds.observe(
+                self._clock() - wait_started
+            )
+
+    async def _execute(
+        self,
+        op: str,
+        params: dict[str, Any],
+        sessions: list[Session],
+        trace: ActiveTrace | None,
+    ) -> tuple[dict[str, Any], bool]:
+        """Run one op; returns ``(result, close_connection)``."""
+        if op == "hello":
+            return self._op_hello(sessions), False
+        if op == "ping":
+            return {"pong": True}, False
+        if op == "snapshot":
+            return self._op_snapshot(params), False
+        if op == "register":
+            return self._op_register(params), False
+        if op == "query":
+            return await self._op_query(params, trace), False
+        if op == "ingest":
+            return self._op_ingest(params), False
+        if op == "create_relation":
+            return self._op_create_relation(params), False
+        if op == "stats":
+            return self._op_stats(), False
+        if op == "bye":
+            return self._op_bye(params, sessions), True
+        raise ProtocolError(BAD_REQUEST, f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def _op_hello(self, sessions: list[Session]) -> dict[str, Any]:
+        self._session_counter += 1
+        session = Session(f"s{self._session_counter}")
+        self._sessions[session.session_id] = session
+        sessions.append(session)
+        self._metrics.sessions_total.inc()
+        self._metrics.sessions_open.inc()
+        return {
+            "session": session.session_id,
+            "server": "repro-aqp",
+            "relations": self.warehouse.relation_names(),
+        }
+
+    def _session_for(self, params: dict[str, Any]) -> Session:
+        session_id = params.get("session")
+        session = (
+            self._sessions.get(session_id)
+            if isinstance(session_id, str)
+            else None
+        )
+        if session is None:
+            raise ProtocolError(
+                NO_SESSION, f"unknown session {session_id!r}"
+            )
+        return session
+
+    def _close_session(self, session: Session) -> None:
+        if self._sessions.pop(session.session_id, None) is not None:
+            self._metrics.sessions_open.dec()
+
+    def _op_snapshot(self, params: dict[str, Any]) -> dict[str, Any]:
+        session = self._session_for(params)
+        session.pin(self.engine.pin_view())
+        return {"epochs": session.snapshot_epochs()}
+
+    def _op_register(self, params: dict[str, Any]) -> dict[str, Any]:
+        session = self._session_for(params)
+        handle = params.get("handle")
+        if not isinstance(handle, str) or not handle:
+            raise ProtocolError(
+                BAD_REQUEST, "'handle' must be a non-empty string"
+            )
+        try:
+            query = codec.decode_query(params.get("query"))
+        except ValueError as error:
+            raise ProtocolError(BAD_REQUEST, str(error)) from error
+        session.register(handle, query)
+        return {"handle": handle}
+
+    async def _op_query(
+        self, params: dict[str, Any], trace: ActiveTrace | None
+    ) -> dict[str, Any]:
+        session = self._session_for(params)
+        if "handle" in params:
+            handle = params["handle"]
+            try:
+                query = session.resolve(handle)
+            except KeyError:
+                raise ProtocolError(
+                    BAD_REQUEST, f"unregistered handle {handle!r}"
+                ) from None
+        else:
+            try:
+                query = codec.decode_query(params.get("query"))
+            except ValueError as error:
+                raise ProtocolError(BAD_REQUEST, str(error)) from error
+        exact = bool(params.get("exact", False))
+        mode = params.get("mode")
+        if mode is None:
+            mode = (
+                "pinned"
+                if session.pinned is not None and not exact
+                else "live"
+            )
+        if mode not in ("pinned", "live"):
+            raise ProtocolError(
+                BAD_REQUEST, f"mode must be pinned or live, not {mode!r}"
+            )
+        if exact and mode == "pinned":
+            raise ProtocolError(
+                BAD_REQUEST,
+                "exact queries scan live base data; use mode=live",
+            )
+        tracer = self.tracer
+        try:
+            if mode == "pinned":
+                if session.pinned is None:
+                    raise ProtocolError(
+                        BAD_REQUEST,
+                        "no snapshot pinned; send a snapshot op first",
+                    )
+                if tracer is not None and trace is not None:
+                    with tracer.child(trace, "execute"):
+                        response = session.pinned.answer(query)
+                else:
+                    response = session.pinned.answer(query)
+            else:
+                if tracer is not None and trace is not None:
+                    with tracer.child(trace, "execute"):
+                        response = self.engine.answer(query, exact=exact)
+                else:
+                    response = self.engine.answer(query, exact=exact)
+        except self._fatal as error:
+            self.fatal_error = error
+            self.abort()
+            raise
+        except NoSynopsisError as error:
+            if tracer is not None and trace is not None:
+                tracer.finish_error(
+                    trace, query, error, requested_exact=exact
+                )
+            raise ProtocolError(NO_SYNOPSIS, str(error)) from error
+        except ProtocolError:
+            raise
+        except (ValueError, RelationError) as error:
+            if tracer is not None and trace is not None:
+                tracer.finish_error(
+                    trace, query, error, requested_exact=exact
+                )
+            raise ProtocolError(QUERY_ERROR, str(error)) from error
+        if tracer is not None and trace is not None:
+            tracer.finish(trace, query, response, requested_exact=exact)
+        return {
+            "response": codec.encode_response(response),
+            "mode": mode,
+        }
+
+    def _op_ingest(self, params: dict[str, Any]) -> dict[str, Any]:
+        relation = params.get("relation")
+        if not isinstance(relation, str) or not relation:
+            raise ProtocolError(
+                BAD_REQUEST, "'relation' must be a non-empty string"
+            )
+        columns = params.get("columns")
+        if not isinstance(columns, dict) or not columns:
+            raise ProtocolError(
+                BAD_REQUEST, "'columns' must be a non-empty object"
+            )
+        arrays: dict[str, np.ndarray] = {}
+        for attribute, values in columns.items():
+            if not isinstance(values, list):
+                raise ProtocolError(
+                    BAD_REQUEST,
+                    f"column {attribute!r} must be a list of integers",
+                )
+            try:
+                arrays[attribute] = np.asarray(values, dtype=np.int64)
+            except (TypeError, ValueError, OverflowError) as error:
+                raise ProtocolError(
+                    BAD_REQUEST,
+                    f"column {attribute!r} is not integral: {error}",
+                ) from error
+        try:
+            rows = self.warehouse.load_batch(relation, arrays)
+        except self._fatal as error:
+            self.fatal_error = error
+            self.abort()
+            raise
+        except (ValueError, RelationError) as error:
+            raise ProtocolError(QUERY_ERROR, str(error)) from error
+        # The ack: load_batch returned, so the relation, every
+        # registered synopsis, and (when a recovery manager observes
+        # the warehouse) the WAL have all absorbed the batch.
+        return {"rows": rows}
+
+    def _op_create_relation(
+        self, params: dict[str, Any]
+    ) -> dict[str, Any]:
+        relation = params.get("relation")
+        attributes = params.get("attributes")
+        if not isinstance(relation, str) or not relation:
+            raise ProtocolError(
+                BAD_REQUEST, "'relation' must be a non-empty string"
+            )
+        if not isinstance(attributes, list) or not all(
+            isinstance(attribute, str) and attribute
+            for attribute in attributes
+        ):
+            raise ProtocolError(
+                BAD_REQUEST, "'attributes' must be a list of strings"
+            )
+        try:
+            self.warehouse.create_relation(relation, list(attributes))
+        except RelationError as error:
+            raise ProtocolError(QUERY_ERROR, str(error)) from error
+        return {"relation": relation}
+
+    def _op_stats(self) -> dict[str, Any]:
+        return {
+            "sessions": len(self._sessions),
+            "in_flight": self._active,
+            "queue_depth": self._waiting,
+            "draining": self._draining,
+            "relations": {
+                name: self.warehouse.relation(name).size
+                for name in self.warehouse.relation_names()
+            },
+        }
+
+    def _op_bye(
+        self, params: dict[str, Any], sessions: list[Session]
+    ) -> dict[str, Any]:
+        for session in sessions:
+            self._close_session(session)
+        sessions.clear()
+        return {"closed": True}

@@ -1,0 +1,57 @@
+"""Per-client sessions: query handles plus a pinned snapshot.
+
+A session is created by the ``hello`` op and lives until ``bye`` or
+disconnect.  It owns two things:
+
+* **handles** -- queries registered once by name and re-run by handle,
+  so a dashboard client does not re-send the query body per refresh;
+* **a pinned view** -- an epoch-stamped
+  :class:`~repro.engine.pinned.PinnedEngineView` taken by the
+  ``snapshot`` op.  Queries in ``pinned`` mode are answered from it,
+  so every answer the session sees is as-of one ingest epoch no
+  matter how much concurrent ``ingest`` traffic lands in between
+  (read-snapshot isolation).  ``live`` mode (and every exact query)
+  reads the current engine instead.
+"""
+
+from __future__ import annotations
+
+from repro.engine.pinned import PinnedEngineView
+from repro.engine.queries import Query
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One client's registered handles and snapshot pin."""
+
+    def __init__(self, session_id: str) -> None:
+        self.session_id = session_id
+        self.handles: dict[str, Query] = {}
+        self.pinned: PinnedEngineView | None = None
+
+    def register(self, handle: str, query: Query) -> None:
+        """Bind a handle name to a query (re-binding replaces)."""
+        self.handles[handle] = query
+
+    def resolve(self, handle: str) -> Query:
+        """The query bound to a handle.
+
+        Raises :class:`KeyError` when the handle was never registered;
+        the server reports that as ``bad-request``.
+        """
+        return self.handles[handle]
+
+    def pin(self, view: PinnedEngineView) -> PinnedEngineView:
+        """Adopt a freshly captured snapshot view; returns it."""
+        self.pinned = view
+        return view
+
+    def snapshot_epochs(self) -> dict[str, list[int]]:
+        """The pinned ``{relation: [ingest, synopsis]}`` epoch map."""
+        if self.pinned is None:
+            return {}
+        return {
+            name: list(self.pinned.epoch_token(name))
+            for name in self.pinned.relation_names()
+        }

@@ -25,6 +25,7 @@ _SHRINK = {
     "association_rules.py": {"BASKETS": 15_000, "CATALOGUE": 600},
     "query_optimizer.py": {"ROWS": 20_000},
     "persistence.py": {"N": 40_000, "CHECKPOINT_AT": 25_000},
+    "serving_demo.py": {"ROWS": 20_000, "DOMAIN": 1_000},
 }
 
 

@@ -88,6 +88,7 @@ class TestRenderSections:
         assert "no audit data" in report
         assert "no latency data" in report
         assert "no cache traffic" in report
+        assert "no serving data" in report
         assert "no durability data" in report
         assert "no trace data" in report
 
@@ -142,6 +143,93 @@ class TestRenderSections:
         assert "1 root span(s), 1 child span(s)" in report
         assert "slowest: CountQuery on sales.item" in report
         assert "synopsis_answer: 1 span(s)" in report
+
+
+class TestServingSection:
+    def test_summary_and_per_op_table(self):
+        metrics = {
+            "metrics": [
+                {
+                    "name": "repro_server_sessions_open",
+                    "type": "gauge",
+                    "series": [{"labels": {}, "value": 2.0}],
+                },
+                {
+                    "name": "repro_server_queue_depth",
+                    "type": "gauge",
+                    "series": [{"labels": {}, "value": 3.0}],
+                },
+                {
+                    "name": "repro_server_busy_total",
+                    "type": "counter",
+                    "series": [{"labels": {}, "value": 7.0}],
+                },
+                {
+                    "name": "repro_server_requests_total",
+                    "type": "counter",
+                    "series": [
+                        {
+                            "labels": {"op": "query", "outcome": "ok"},
+                            "value": 9.0,
+                        },
+                        {
+                            "labels": {"op": "query", "outcome": "error"},
+                            "value": 1.0,
+                        },
+                    ],
+                },
+                {
+                    "name": "repro_server_request_seconds",
+                    "type": "histogram",
+                    "series": [
+                        {
+                            "labels": {"op": "query"},
+                            "count": 10,
+                            "sum": 0.1,
+                            "buckets": [
+                                ["0.01", 5.0],
+                                ["0.1", 10.0],
+                                ["+Inf", 10.0],
+                            ],
+                        }
+                    ],
+                },
+            ]
+        }
+        report = render_health_report(metrics)
+        assert "no serving data" not in report
+        assert "open 2" in report
+        assert "queued 3" in report
+        assert "busy 7" in report
+        # query row: 10 requests, 9 ok, 1 error; the median falls on
+        # the first bucket's upper bound (cumulative 5 of 10 at 10ms).
+        lines = [line for line in report.splitlines() if "query " in line]
+        assert any(
+            line.split()[:5] == ["query", "10", "9", "1", "0"]
+            for line in lines
+        )
+        assert "10.00ms" in report
+
+    def test_live_server_workload_populates_section(self):
+        """The demo serving round feeds every summary instrument."""
+        from repro.obs.__main__ import serving_round
+
+        registry = obs.enable()
+        try:
+            serving_round(registry, rows=500, seed=13)
+            report = render_health_report(obs.render_json(registry))
+        finally:
+            obs.disable()
+        assert "no serving data" not in report
+        assert "connections 1" in report
+        assert "hello" in report and "ingest" in report
+        # The deliberately-failing query registers an error outcome.
+        query_rows = [
+            fields
+            for fields in map(str.split, report.splitlines())
+            if fields[:1] == ["query"] and len(fields) > 4 and fields[1].isdigit()
+        ]
+        assert query_rows and query_rows[0][3] == "1"
 
 
 class TestEndToEnd:

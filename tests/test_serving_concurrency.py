@@ -1,0 +1,445 @@
+"""Concurrency and snapshot-isolation battery for the AQP service.
+
+The contract under test: a session that pins a snapshot sees one
+frozen synopsis state -- every subsequent pinned answer is
+byte-identical to the serial oracle (a fresh engine fed exactly the
+batch prefix the snapshot captured), no matter how many writers ingest
+concurrently.  Torn reads are impossible: re-asking the same pinned
+query while batches stream in returns the same bytes every time.
+
+The oracle comparison goes through the wire codec on both sides --
+``json.dumps(..., sort_keys=True)`` equality of the raw response
+payloads -- so any drift (float formatting, interval bounds, hotlist
+ordering) fails loudly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    consumes,
+    precondition,
+    rule,
+)
+
+from repro.core.concise import ConciseSample
+from repro.engine import ApproximateAnswerEngine, DataWarehouse, NoSynopsisError
+from repro.engine.cache import QueryResultCache
+from repro.engine.queries import (
+    AverageQuery,
+    CountQuery,
+    DistinctCountQuery,
+    FrequencyQuery,
+    HotListQuery,
+    Query,
+    SelectivityQuery,
+    SumQuery,
+)
+from repro.estimators.selectivity import Predicate
+from repro.hotlist import CountingHotList
+from repro.obs.metrics import MetricsRegistry
+from repro.randkit import numpy_generator
+from repro.serving import AQPClient, AQPServer, NoSynopsisRemote, ServerError
+from repro.serving import codec as wire_codec
+from repro.synopses import FlajoletMartinSketch
+
+RELATION = "sales"
+ATTRIBUTE = "price"
+
+SCENARIO_TIMEOUT = 60.0
+
+
+def run_scenario(coro):
+    """``asyncio.run`` with a hard deadline: a wedged server fails the
+    test instead of hanging the shard."""
+    return asyncio.run(asyncio.wait_for(coro, SCENARIO_TIMEOUT))
+
+QUERIES: list[tuple[str, Query]] = [
+    ("count-range", CountQuery(RELATION, ATTRIBUTE, Predicate(low=5, high=30))),
+    ("count-all", CountQuery(RELATION, ATTRIBUTE, None)),
+    ("sum", SumQuery(RELATION, ATTRIBUTE, None)),
+    ("average", AverageQuery(RELATION, ATTRIBUTE, None)),
+    ("selectivity", SelectivityQuery(RELATION, ATTRIBUTE, Predicate(equals=7))),
+    ("frequency", FrequencyQuery(RELATION, ATTRIBUTE, value=3)),
+    ("distinct", DistinctCountQuery(RELATION, ATTRIBUTE)),
+    ("hotlist", HotListQuery(RELATION, ATTRIBUTE, k=5)),
+]
+
+
+def build_stack(
+    *, cache: bool = False
+) -> tuple[DataWarehouse, ApproximateAnswerEngine]:
+    """Warehouse + engine with fixed synopsis seeds.
+
+    Server and oracle both build through here, so identical batch
+    prefixes produce identical synopsis state by construction.
+    """
+    warehouse = DataWarehouse()
+    warehouse.create_relation(RELATION, [ATTRIBUTE])
+    engine = ApproximateAnswerEngine(
+        warehouse,
+        cache=QueryResultCache(registry=MetricsRegistry()) if cache else None,
+    )
+    engine.register_sample(RELATION, ATTRIBUTE, ConciseSample(128, seed=11))
+    engine.register_hotlist(RELATION, ATTRIBUTE, CountingHotList(64, seed=12))
+    engine.register_distinct(
+        RELATION, ATTRIBUTE, FlajoletMartinSketch(64, seed=13)
+    )
+    return warehouse, engine
+
+
+def batch_values(index: int) -> list[int]:
+    """Deterministic batch ``index`` of the shared ingest stream."""
+    rng = numpy_generator(1_000 + index)
+    return [int(v) for v in rng.integers(0, 50, size=120)]
+
+
+def canon(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def oracle_answer(batches: list[list[int]], query: Query) -> str:
+    """Serial oracle: fresh engine fed exactly ``batches``, pinned,
+    answered, and rendered through the same wire codec.
+
+    Raises whatever the answer path raises, so callers can also match
+    error behaviour.
+    """
+    warehouse, engine = build_stack()
+    for values in batches:
+        warehouse.load_batch(
+            RELATION, {ATTRIBUTE: np.asarray(values, dtype=np.int64)}
+        )
+    response = engine.pin_view().answer(query)
+    return canon(wire_codec.encode_response(response))
+
+
+def fresh_server(
+    *, cache: bool = False
+) -> tuple[AQPServer, DataWarehouse, ApproximateAnswerEngine]:
+    warehouse, engine = build_stack(cache=cache)
+    server = AQPServer(warehouse, engine, registry=MetricsRegistry())
+    return server, warehouse, engine
+
+
+class TestSnapshotIsolationUnderLoad:
+    def test_readers_see_frozen_bytes_while_writer_streams(self):
+        """Four readers pin snapshots at different points while a
+        writer streams six more batches; every pinned answer matches
+        the serial oracle at that reader's epoch, byte for byte, on
+        every re-ask."""
+
+        async def reader(
+            host: str, port: int
+        ) -> tuple[int, dict[str, str]]:
+            client = await AQPClient.connect(host, port)
+            try:
+                await client.hello()
+                epochs = await client.snapshot()
+                prefix = epochs[RELATION][0]
+                baseline: dict[str, str] = {}
+                for name, query in QUERIES:
+                    raw = await client.query_raw(query)
+                    assert raw["mode"] == "pinned"
+                    baseline[name] = canon(raw["response"])
+                # Re-ask everything repeatedly while the writer runs;
+                # any torn read shows up as a byte difference.
+                for _ in range(3):
+                    await asyncio.sleep(0)
+                    for name, query in QUERIES:
+                        raw = await client.query_raw(query)
+                        assert canon(raw["response"]) == baseline[name], (
+                            f"torn read on {name} at prefix {prefix}"
+                        )
+                return prefix, baseline
+            finally:
+                await client.close()
+
+        async def writer(host: str, port: int, start: int, stop: int):
+            client = await AQPClient.connect(host, port)
+            try:
+                await client.hello()
+                for index in range(start, stop):
+                    rows = await client.ingest(
+                        RELATION, {ATTRIBUTE: batch_values(index)}
+                    )
+                    assert rows == len(batch_values(index))
+                    await asyncio.sleep(0)
+            finally:
+                await client.close()
+
+        async def scenario():
+            server, _, _ = fresh_server()
+            host, port = await server.start()
+            # Seed one batch so the first snapshots have data.
+            await writer(host, port, 0, 1)
+            results = await asyncio.gather(
+                writer(host, port, 1, 7),
+                *(reader(host, port) for _ in range(4)),
+            )
+            await server.shutdown()
+            return results[1:]
+
+        outcomes = run_scenario(scenario())
+        by_prefix: dict[int, dict[str, str]] = {}
+        for prefix, baseline in outcomes:
+            assert prefix >= 1
+            expected = by_prefix.setdefault(prefix, baseline)
+            # Readers pinned at the same epoch agree exactly.
+            assert baseline == expected
+            for name, query in QUERIES:
+                assert baseline[name] == oracle_answer(
+                    [batch_values(i) for i in range(prefix)], query
+                ), f"{name} diverged from the serial oracle at {prefix}"
+
+    def test_pinned_survives_ingest_but_live_moves(self):
+        """Sanity check that the isolation is doing real work: after
+        more ingest the pinned count is frozen while the live count
+        has grown."""
+
+        async def scenario():
+            server, _, _ = fresh_server()
+            host, port = await server.start()
+            client = await AQPClient.connect(host, port)
+            await client.hello()
+            await client.ingest(RELATION, {ATTRIBUTE: batch_values(0)})
+            await client.snapshot()
+            query = CountQuery(RELATION, ATTRIBUTE, None)
+            pinned_before = canon(
+                (await client.query_raw(query))["response"]
+            )
+            for index in range(1, 5):
+                await client.ingest(
+                    RELATION, {ATTRIBUTE: batch_values(index)}
+                )
+            pinned_after = canon(
+                (await client.query_raw(query))["response"]
+            )
+            live = await client.query(query, mode="live")
+            await client.bye()
+            await server.shutdown()
+            return pinned_before, pinned_after, live.answer
+
+        pinned_before, pinned_after, live_answer = run_scenario(scenario())
+        assert pinned_before == pinned_after
+        pinned_answer = json.loads(pinned_before)["answer"]["value"]
+        assert live_answer > pinned_answer
+
+
+class TestCacheTransparency:
+    def test_cached_and_uncached_servers_answer_identically(self):
+        """Live-mode answers from a cache-backed server are
+        byte-identical to an uncached twin -- on cold misses, warm
+        hits, and after ingest invalidates the cache."""
+
+        async def drive(cache: bool) -> list[str]:
+            server, _, _ = fresh_server(cache=cache)
+            host, port = await server.start()
+            client = await AQPClient.connect(host, port)
+            await client.hello()
+            transcript: list[str] = []
+            for index in range(3):
+                await client.ingest(
+                    RELATION, {ATTRIBUTE: batch_values(index)}
+                )
+                # Two passes: the second is a cache hit on the cached
+                # server and a recompute on the uncached one.
+                for _ in range(2):
+                    for _, query in QUERIES:
+                        raw = await client.query_raw(query, mode="live")
+                        transcript.append(canon(raw["response"]))
+            await client.bye()
+            await server.shutdown()
+            return transcript
+
+        cached = run_scenario(drive(True))
+        uncached = run_scenario(drive(False))
+        assert cached == uncached
+
+
+def _raise_like_oracle(batches: list[list[int]], query: Query):
+    """Run the oracle, mapping its exceptions to the server's typed
+    error codes so properties can match behaviour, not just values."""
+    try:
+        return "ok", oracle_answer(batches, query)
+    except NoSynopsisError:
+        return "error", "no-synopsis"
+    except ValueError:
+        return "error", "query-error"
+
+
+@given(
+    initial=st.lists(
+        st.lists(st.integers(0, 40), min_size=1, max_size=30),
+        min_size=1,
+        max_size=3,
+    ),
+    extra=st.lists(
+        st.lists(st.integers(0, 40), min_size=1, max_size=30),
+        max_size=2,
+    ),
+    query_index=st.integers(0, len(QUERIES) - 1),
+)
+@settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_snapshot_isolation_property(initial, extra, query_index):
+    """The core property, 200 examples deep: pin after ``initial``
+    batches, ingest ``extra`` more, and the pinned answer still equals
+    the serial oracle over ``initial`` alone -- byte-identical results
+    and matching typed errors alike."""
+    _, query = QUERIES[query_index]
+
+    async def scenario():
+        server, _, _ = fresh_server()
+        host, port = await server.start()
+        client = await AQPClient.connect(host, port)
+        try:
+            await client.hello()
+            for values in initial:
+                await client.ingest(RELATION, {ATTRIBUTE: values})
+            epochs = await client.snapshot()
+            assert epochs[RELATION][0] == len(initial)
+            for values in extra:
+                await client.ingest(RELATION, {ATTRIBUTE: values})
+            try:
+                raw = await client.query_raw(query)
+            except NoSynopsisRemote:
+                return "error", "no-synopsis"
+            except ServerError as error:
+                return "error", error.code
+            assert raw["mode"] == "pinned"
+            return "ok", canon(raw["response"])
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    assert run_scenario(scenario()) == _raise_like_oracle(initial, query)
+
+
+class ServingMachine(RuleBasedStateMachine):
+    """Random interleavings of connect / snapshot / register / query /
+    ingest / disconnect against one live server, checked step by step
+    against the batch-prefix oracle."""
+
+    clients = Bundle("clients")
+
+    def __init__(self):
+        super().__init__()
+        self.loop = asyncio.new_event_loop()
+        server, warehouse, engine = fresh_server()
+        self.server = server
+        self.run(server.start())
+        host, port = server.address
+        self.host, self.port = host, port
+        self.batches: list[list[int]] = [batch_values(0)]
+        self.writer = self.run(AQPClient.connect(host, port))
+        self.run(self.writer.hello())
+        self.run(
+            self.writer.ingest(RELATION, {ATTRIBUTE: self.batches[0]})
+        )
+        self.open_clients = 0
+
+    def run(self, coro):
+        return self.loop.run_until_complete(
+            asyncio.wait_for(coro, SCENARIO_TIMEOUT)
+        )
+
+    @rule(target=clients)
+    def connect(self):
+        client = self.run(AQPClient.connect(self.host, self.port))
+        self.run(client.hello())
+        epochs = self.run(client.snapshot())
+        prefix = epochs[RELATION][0]
+        assert prefix == len(self.batches)
+        self.open_clients += 1
+        return {
+            "client": client,
+            "prefix": prefix,
+            "handles": {},
+            "counter": 0,
+        }
+
+    @rule(values=st.lists(st.integers(0, 40), min_size=1, max_size=20))
+    def ingest(self, values):
+        rows = self.run(
+            self.writer.ingest(RELATION, {ATTRIBUTE: values})
+        )
+        assert rows == len(values)
+        self.batches.append(values)
+
+    @rule(entry=clients, query_index=st.integers(0, len(QUERIES) - 1))
+    def register(self, entry, query_index):
+        _, query = QUERIES[query_index]
+        entry["counter"] += 1
+        handle = f"h{entry['counter']}"
+        assert (
+            self.run(entry["client"].register(handle, query)) == handle
+        )
+        entry["handles"][handle] = query
+
+    @rule(entry=clients, query_index=st.integers(0, len(QUERIES) - 1))
+    def query_pinned(self, entry, query_index):
+        _, query = QUERIES[query_index]
+        self._check(entry, query, {"query": query})
+
+    @precondition(lambda self: True)
+    @rule(entry=clients, pick=st.integers(0, 7))
+    def query_by_handle(self, entry, pick):
+        if not entry["handles"]:
+            return
+        handles = sorted(entry["handles"])
+        handle = handles[pick % len(handles)]
+        self._check(
+            entry, entry["handles"][handle], {"handle": handle}
+        )
+
+    def _check(self, entry, query, how):
+        oracle = _raise_like_oracle(
+            self.batches[: entry["prefix"]], query
+        )
+        try:
+            raw = self.run(entry["client"].query_raw(**how))
+        except NoSynopsisRemote:
+            observed = ("error", "no-synopsis")
+        except ServerError as error:
+            observed = ("error", error.code)
+        else:
+            assert raw["mode"] == "pinned"
+            observed = ("ok", canon(raw["response"]))
+        assert observed == oracle, (
+            f"session at prefix {entry['prefix']} diverged on {query}"
+        )
+
+    @rule(entry=consumes(clients))
+    def disconnect(self, entry):
+        self.run(entry["client"].bye())
+        self.open_clients -= 1
+
+    def teardown(self):
+        try:
+            self.run(self.writer.bye())
+        except (ConnectionError, RuntimeError):
+            pass
+        self.run(self.server.shutdown())
+        self.loop.close()
+
+
+ServingMachine.TestCase.settings = settings(
+    max_examples=20,
+    stateful_step_count=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TestServingMachine = ServingMachine.TestCase

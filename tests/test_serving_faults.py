@@ -1,0 +1,439 @@
+"""Fault-injection battery for the AQP service.
+
+The serving layer sits on the same durability stack the crash battery
+already proves out (WAL + checkpoint + recovery); these tests verify
+the *service-level* contract on top of it:
+
+* a storage crash mid-request kills the connection (no reply, no
+  partial ack) and a restart via :class:`RecoveryManager` reproduces
+  exactly the acknowledged ingest;
+* a crash during the shutdown drain leaves a cleanly recoverable
+  prefix -- never corruption, never phantom rows;
+* transient fsync errors under load are absorbed by the retry layer
+  and are invisible to clients;
+* synopses recovered after a served crash are statistically
+  indistinguishable from uncrashed twins (the chi-square standard of
+  ``test_recovery_statistical``).
+
+Every fault plan is deterministic (probe-then-inject on the injector's
+operation index), the server clock is a :class:`FakeClock`, and no
+test sleeps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+from repro.core.counting import CountingSample
+from repro.engine import ApproximateAnswerEngine, DataWarehouse
+from repro.faults import (
+    CRASH,
+    FSYNC_CRASH,
+    FSYNC_ERROR,
+    Fault,
+    FaultPlan,
+    FaultyFilesystem,
+    SimulatedCrash,
+)
+from repro.obs.clock import FakeClock
+from repro.obs.metrics import MetricsRegistry
+from repro.persist import CheckpointStore, LocalFileSystem, RecoveryManager
+from repro.persist.retry import RetryPolicy
+from repro.serving import AQPClient, AQPServer
+
+RELATION = "s"
+ATTRIBUTE = "v"
+M = 8  # synopsis footprint bound
+N = 40  # total stream values 0..N-1
+BATCH = 8
+STREAM_BATCHES = [
+    list(range(start, start + BATCH)) for start in range(0, N, BATCH)
+]
+ACKED = 3  # batches acknowledged before the planned mid-ingest crash
+ALPHA = 1e-4
+TRIALS = 200
+
+SCENARIO_TIMEOUT = 60.0
+
+
+def run_scenario(coro):
+    """``asyncio.run`` with a hard deadline: a wedged server fails the
+    test instead of hanging the shard."""
+    return asyncio.run(asyncio.wait_for(coro, SCENARIO_TIMEOUT))
+
+
+def build_serving_stack(
+    root: Path,
+    filesystem,
+    *,
+    sample_seed: int,
+    sync_every: int = 1,
+    retry: RetryPolicy | None = None,
+) -> tuple[AQPServer, RecoveryManager]:
+    """A served warehouse with WAL durability and a bound synopsis.
+
+    The empty checkpoint is taken up front, so recovery replays every
+    batch op-record the WAL made durable -- the group-commit path the
+    server's ack contract rides on.
+    """
+    store = CheckpointStore(
+        root,
+        filesystem,
+        sync_every=sync_every,
+        retry=retry,
+        registry=MetricsRegistry(),
+    )
+    manager = RecoveryManager(store)
+    warehouse = DataWarehouse()
+    warehouse.create_relation(RELATION, [ATTRIBUTE])
+    manager.attach(warehouse)
+    manager.bind(RELATION, ATTRIBUTE, CountingSample(M, seed=sample_seed))
+    manager.checkpoint()
+    engine = ApproximateAnswerEngine(warehouse)
+    server = AQPServer(
+        warehouse,
+        engine,
+        manager=manager,
+        registry=MetricsRegistry(),
+        clock=FakeClock(),
+        fatal_exceptions=(SimulatedCrash,),
+    )
+    return server, manager
+
+
+async def serve_batches(
+    server: AQPServer, batches: list[list[int]]
+) -> tuple[int, bool]:
+    """Ingest ``batches`` over the wire; returns (acked, crashed)."""
+    host, port = await server.start()
+    client = await AQPClient.connect(host, port)
+    acked = 0
+    crashed = False
+    try:
+        await client.hello()
+        for values in batches:
+            try:
+                rows = await client.ingest(RELATION, {ATTRIBUTE: values})
+            except ConnectionError:
+                crashed = True
+                break
+            assert rows == len(values)
+            acked += 1
+    finally:
+        await client.close()
+    return acked, crashed
+
+
+def recover(root: Path, *, seed: int):
+    return RecoveryManager(CheckpointStore(root)).recover(seed=seed)
+
+
+def probe_operation_marks(root: Path, *, sync_every: int = 1) -> list[int]:
+    """Healthy run of the full serving workload, recording the
+    injector's operation index after each ack and after shutdown.
+
+    Returns ``[after_ack_0, ..., after_ack_4, before_shutdown]`` --
+    the sweep coordinates every injected run below is planned against
+    (the workload is deterministic, so the indices transfer exactly).
+    """
+    faulty = FaultyFilesystem(LocalFileSystem(), FaultPlan.none())
+    server, _ = build_serving_stack(
+        root, faulty, sample_seed=0, sync_every=sync_every
+    )
+    marks: list[int] = []
+
+    async def scenario():
+        host, port = await server.start()
+        client = await AQPClient.connect(host, port)
+        await client.hello()
+        for values in STREAM_BATCHES:
+            await client.ingest(RELATION, {ATTRIBUTE: values})
+            marks.append(faulty.operations)
+        await client.bye()
+        marks.append(faulty.operations)
+        await server.shutdown()
+
+    run_scenario(scenario())
+    return marks
+
+
+@pytest.fixture(scope="module")
+def sync_marks(tmp_path_factory):
+    return probe_operation_marks(
+        tmp_path_factory.mktemp("serving-probe-sync")
+    )
+
+
+@pytest.fixture(scope="module")
+def buffered_marks(tmp_path_factory):
+    return probe_operation_marks(
+        tmp_path_factory.mktemp("serving-probe-buffered"),
+        sync_every=1_000,
+    )
+
+
+class TestMidRequestCrash:
+    def test_crash_kills_connection_and_recovery_matches_acks(
+        self, tmp_path, sync_marks
+    ):
+        """A WAL crash during the fourth ingest: the client never gets
+        an ack, the server dies (abort, not drain), and recovery
+        reproduces exactly the three acknowledged batches."""
+        crash_index = sync_marks[ACKED - 1]  # first op of batch 4
+        faulty = FaultyFilesystem(
+            LocalFileSystem(), FaultPlan.single(crash_index, CRASH, seed=1)
+        )
+        server, _ = build_serving_stack(
+            tmp_path, faulty, sample_seed=1
+        )
+
+        async def run():
+            address = await server.start()
+            client = await AQPClient.connect(*address)
+            acked = 0
+            crashed = False
+            try:
+                await client.hello()
+                for values in STREAM_BATCHES:
+                    try:
+                        await client.ingest(
+                            RELATION, {ATTRIBUTE: values}
+                        )
+                    except ConnectionError:
+                        crashed = True
+                        break
+                    acked += 1
+            finally:
+                await client.close()
+            # The listener died with the crash: new clients are
+            # refused, not hung.
+            if server._server is not None:
+                await server._server.wait_closed()
+            with pytest.raises(OSError):
+                await asyncio.open_connection(*address)
+            return acked, crashed
+
+        acked, crashed = run_scenario(run())
+        assert crashed
+        assert acked == ACKED
+        assert isinstance(server.fatal_error, SimulatedCrash)
+        assert server.fatal_error.operation_index == crash_index
+
+        state = recover(tmp_path, seed=101)
+        relation = state.warehouse.relation(RELATION)
+        assert relation.size == ACKED * BATCH
+        survivor = state.synopsis(RELATION, ATTRIBUTE)
+        survivor.check_invariants()
+        assert survivor.total_inserted == ACKED * BATCH
+
+    def test_unacked_batch_is_never_recovered(self, tmp_path, sync_marks):
+        """Sweep every operation of the crashing ingest: wherever the
+        crash falls inside batch 4, recovery holds exactly the acked
+        rows (the record write is atomic-or-absent under sync_every=1,
+        modulo a tolerated torn tail that replays to the same rows)."""
+        for crash_index in range(
+            sync_marks[ACKED - 1], sync_marks[ACKED]
+        ):
+            root = tmp_path / f"op{crash_index}"
+            faulty = FaultyFilesystem(
+                LocalFileSystem(),
+                FaultPlan.single(crash_index, CRASH, seed=crash_index),
+            )
+            server, _ = build_serving_stack(
+                root, faulty, sample_seed=2
+            )
+            acked, crashed = run_scenario(
+                serve_batches(server, STREAM_BATCHES)
+            )
+            state = recover(root, seed=200 + crash_index)
+            recovered_rows = state.warehouse.relation(RELATION).size
+            # The ack is the floor; the in-flight batch may or may not
+            # have reached the log before the crash point, but nothing
+            # in between and nothing beyond.
+            assert recovered_rows >= acked * BATCH
+            assert recovered_rows in (acked * BATCH, (acked + 1) * BATCH)
+            if crashed:
+                assert isinstance(server.fatal_error, SimulatedCrash)
+
+
+class TestShutdownDrainCrash:
+    def test_clean_drain_makes_every_ack_durable(self, tmp_path):
+        """Baseline: with group commit buffering 1000 records, the
+        graceful shutdown's drain is what makes the acks durable."""
+        faulty = FaultyFilesystem(LocalFileSystem(), FaultPlan.none())
+        server, _ = build_serving_stack(
+            tmp_path, faulty, sample_seed=3, sync_every=1_000
+        )
+
+        async def scenario():
+            acked, crashed = await serve_batches(server, STREAM_BATCHES)
+            await server.shutdown()
+            return acked, crashed
+
+        acked, crashed = run_scenario(scenario())
+        assert (acked, crashed) == (len(STREAM_BATCHES), False)
+        state = recover(tmp_path, seed=301)
+        assert state.warehouse.relation(RELATION).size == N
+        assert state.synopsis(RELATION, ATTRIBUTE).total_inserted == N
+
+    def test_crash_during_drain_leaves_clean_prefix(
+        self, tmp_path, buffered_marks
+    ):
+        """An fsync crash at the drain point: shutdown dies, and
+        recovery yields a whole-batch prefix of the acked stream --
+        possibly short (the group-commit window), never torn garbage,
+        never rows that were not acked."""
+        drain_index = buffered_marks[-1]
+        faulty = FaultyFilesystem(
+            LocalFileSystem(),
+            FaultPlan.single(drain_index, FSYNC_CRASH, seed=4),
+        )
+        server, _ = build_serving_stack(
+            tmp_path, faulty, sample_seed=4, sync_every=1_000
+        )
+
+        async def scenario():
+            acked, crashed = await serve_batches(server, STREAM_BATCHES)
+            assert (acked, crashed) == (len(STREAM_BATCHES), False)
+            with pytest.raises(SimulatedCrash):
+                await server.shutdown()
+
+        run_scenario(scenario())
+        state = recover(tmp_path, seed=401)
+        recovered_rows = state.warehouse.relation(RELATION).size
+        assert recovered_rows <= N
+        assert recovered_rows % BATCH == 0
+        survivor = state.synopsis(RELATION, ATTRIBUTE)
+        survivor.check_invariants()
+        assert survivor.total_inserted == recovered_rows
+
+
+class TestTransientFaults:
+    def test_fsync_errors_under_load_are_invisible_to_clients(
+        self, tmp_path, sync_marks
+    ):
+        """Three transient storage errors land mid-ingest; the retry
+        layer absorbs them, every ack arrives, the server stays
+        healthy, and recovery sees the full stream."""
+        plan = FaultPlan(
+            faults=tuple(
+                Fault(index, FSYNC_ERROR)
+                for index in (
+                    sync_marks[0],
+                    sync_marks[2],
+                    sync_marks[3],
+                )
+            ),
+            seed=5,
+        )
+        faulty = FaultyFilesystem(LocalFileSystem(), plan)
+        server, _ = build_serving_stack(
+            tmp_path,
+            faulty,
+            sample_seed=5,
+            retry=RetryPolicy(attempts=3),
+        )
+
+        async def scenario():
+            acked, crashed = await serve_batches(server, STREAM_BATCHES)
+            await server.shutdown()
+            return acked, crashed
+
+        acked, crashed = run_scenario(scenario())
+        assert (acked, crashed) == (len(STREAM_BATCHES), False)
+        assert server.fatal_error is None
+        state = recover(tmp_path, seed=501)
+        assert state.warehouse.relation(RELATION).size == N
+
+
+# ----------------------------------------------------------------------
+# Statistical equivalence of synopses recovered after a served crash
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def served_crash_ensembles(tmp_path_factory, sync_marks):
+    """TRIALS crash/recover/continue pipelines through the network
+    path, next to uncrashed in-process twins.
+
+    Each trial: serve three batches (acked), crash on the fourth,
+    recover with a trial-specific seed, then continue the stream into
+    the recovered synopsis.  The twin sees the same stream with no
+    crash.  Counters accumulate which values each survivor holds.
+    """
+    root = tmp_path_factory.mktemp("serving-crash-stats")
+    crash_index = sync_marks[ACKED - 1]
+    recovered_counts: Counter[int] = Counter()
+    twin_counts: Counter[int] = Counter()
+    for trial in range(TRIALS):
+        sub = root / f"t{trial}"
+        faulty = FaultyFilesystem(
+            LocalFileSystem(),
+            FaultPlan.single(crash_index, CRASH, seed=trial),
+        )
+        server, _ = build_serving_stack(
+            sub, faulty, sample_seed=trial
+        )
+        acked, crashed = run_scenario(
+            serve_batches(server, STREAM_BATCHES)
+        )
+        assert (acked, crashed) == (ACKED, True)
+        state = recover(sub, seed=50_000 + trial)
+        survivor = state.synopsis(RELATION, ATTRIBUTE)
+        assert survivor.total_inserted == ACKED * BATCH
+        for value in range(ACKED * BATCH, N):
+            survivor.insert(value)
+        survivor.check_invariants()
+        assert survivor.total_inserted == N
+        recovered_counts.update(survivor.as_dict().keys())
+        twin = CountingSample(M, seed=trial)
+        for value in range(N):
+            twin.insert(value)
+        twin_counts.update(twin.as_dict().keys())
+    return recovered_counts, twin_counts
+
+
+class TestServedCrashEquivalence:
+    def test_recovered_matches_uncrashed_twins(
+        self, served_crash_ensembles
+    ):
+        """Homogeneity: synopses recovered behind the server include
+        each value as often as twins that never crashed."""
+        recovered, twins = served_crash_ensembles
+        table = np.array(
+            [
+                [recovered[value] for value in range(N)],
+                [twins[value] for value in range(N)],
+            ]
+        )
+        statistic, p_value, _, _ = scipy_stats.chi2_contingency(table)
+        assert p_value > ALPHA, (
+            "served-crash recovered synopses diverge from uncrashed "
+            f"twins (chi2={statistic:.1f})"
+        )
+
+    def test_recovered_inclusion_is_uniform(self, served_crash_ensembles):
+        """No stream position is privileged by where the served crash
+        fell: acked-and-replayed values and post-recovery values are
+        included equally often."""
+        recovered, _ = served_crash_ensembles
+        observed = np.array([recovered[value] for value in range(N)])
+        statistic, p_value = scipy_stats.chisquare(observed)
+        assert p_value > ALPHA, (
+            f"recovered inclusion not uniform (chi2={statistic:.1f})"
+        )
+
+    def test_twin_baseline_is_itself_uniform(self, served_crash_ensembles):
+        """Calibration: the twins pass the same uniformity test, so a
+        failure above cannot be blamed on the harness."""
+        _, twins = served_crash_ensembles
+        observed = np.array([twins[value] for value in range(N)])
+        _, p_value = scipy_stats.chisquare(observed)
+        assert p_value > ALPHA
