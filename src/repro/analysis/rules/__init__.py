@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.analysis.rules.annotations import PublicAnnotationsRule
 from repro.analysis.rules.base import ProjectRule, Rule
 from repro.analysis.rules.clocks import InjectedClockRule
+from repro.analysis.rules.cluster_seeds import ClusterSeedDerivationRule
 from repro.analysis.rules.determinism import WallClockRule
 from repro.analysis.rules.exceptions import SwallowedExceptionRule
 from repro.analysis.rules.floats import FloatEqualityRule
@@ -36,6 +37,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ConfinedFileIORule(),
     PerRowWalAppendRule(),
     AnswerPathLoopRule(),
+    ClusterSeedDerivationRule(),
 )
 
 #: The second pass: rules that need the whole-project model.

@@ -1,0 +1,100 @@
+"""RL016: cross-process randomness is derived, never shipped.
+
+The cluster coordinator seeds worker processes.  The only sanctioned
+way to do that is :func:`repro.randkit.spawn_seeds`: derive plain
+integer seeds from the coordinator's master seed and send *those*
+across the process boundary.  Two failure shapes this rule catches in
+``repro.cluster``:
+
+* **RNG objects in the coordinator.**  A ``ReproRandom`` /
+  ``numpy_generator`` / stdlib ``Random`` constructed in cluster code
+  is an object someone will eventually pickle into a worker config or
+  ``Process`` argument -- and a pickled generator forks its stream,
+  so two processes replay identical coins (breaking Theorem 2's
+  independent-admission assumption across shards).
+* **Ad-hoc seed arithmetic.**  ``seed + shard_index`` style derivation
+  produces overlapping streams for nearby seeds (the classic
+  correlated-substream bug); ``spawn_seeds`` exists precisely so
+  derived seeds are independent draws from a master stream.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.rules.base import Rule, dotted_name
+
+__all__ = ["ClusterSeedDerivationRule"]
+
+#: Constructors that yield a live RNG object.
+_RNG_CONSTRUCTORS = frozenset(
+    {
+        "ReproRandom",
+        "numpy_generator",
+        "default_rng",
+        "Random",
+        "SystemRandom",
+        "RandomState",
+    }
+)
+
+#: Keyword arguments that carry a seed across an API boundary.
+_SEED_KEYWORDS = frozenset(
+    {"seed", "recovery_seed", "merge_seed", "master_seed"}
+)
+
+
+class ClusterSeedDerivationRule(Rule):
+    """RL016: cluster seeds come from ``spawn_seeds``, not arithmetic."""
+
+    code = "RL016"
+    title = "cluster worker seeds must derive via randkit.spawn_seeds"
+    rationale = (
+        "Per-shard admission coins must be mutually independent for "
+        "the Theorem-2/5 merges to be lossless; pickled RNG objects "
+        "fork streams and seed arithmetic correlates them, while "
+        "spawn_seeds draws independent child seeds from one master."
+    )
+    scope = ("cluster",)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._constructor_name(node.func)
+            if name is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"RNG object `{name}(...)` constructed in cluster "
+                    "code",
+                    "derive integer seeds with randkit.spawn_seeds and "
+                    "send those; construct RNGs inside the worker",
+                )
+            for keyword in node.keywords:
+                if keyword.arg not in _SEED_KEYWORDS:
+                    continue
+                if isinstance(keyword.value, (ast.BinOp, ast.UnaryOp)):
+                    yield self.finding(
+                        module,
+                        keyword.value,
+                        f"ad-hoc arithmetic in `{keyword.arg}=` "
+                        "(correlated substreams)",
+                        "derive the seed with randkit.spawn_seeds "
+                        "from the master seed",
+                    )
+
+    @staticmethod
+    def _constructor_name(func: ast.expr) -> str | None:
+        if isinstance(func, ast.Name) and func.id in _RNG_CONSTRUCTORS:
+            return func.id
+        if isinstance(func, ast.Attribute):
+            chain = dotted_name(func)
+            if chain is not None:
+                tail = chain.rsplit(".", 1)[-1]
+                if tail in _RNG_CONSTRUCTORS:
+                    return chain
+        return None

@@ -1,0 +1,40 @@
+"""Typed errors for the sharded-warehouse front."""
+
+from __future__ import annotations
+
+__all__ = ["ClusterError", "ShardCrashed", "ShardUnavailable"]
+
+
+class ClusterError(Exception):
+    """Base class for coordinator-side failures."""
+
+
+class ShardCrashed(ClusterError):
+    """A worker process died mid-conversation.
+
+    The coordinator raises this internally when a socket to a shard
+    breaks; callers normally never see it because the coordinator
+    absorbs the crash into degraded answering and (when auto-restart
+    is on) respawns the worker.
+    """
+
+    def __init__(self, shard: int, reason: str) -> None:
+        super().__init__(f"shard {shard} crashed: {reason}")
+        self.shard = shard
+        self.reason = reason
+
+
+class ShardUnavailable(ClusterError):
+    """An operation needed a shard that is down and did not recover.
+
+    Raised by operations that cannot honestly degrade -- ingest must
+    reach the partition owner, and a lossless Theorem-2/5 merge needs
+    every shard's synopsis.
+    """
+
+    def __init__(self, shard: int, operation: str) -> None:
+        super().__init__(
+            f"shard {shard} is unavailable for {operation!r}"
+        )
+        self.shard = shard
+        self.operation = operation

@@ -1,0 +1,231 @@
+"""Combining per-shard answers into one honest cluster answer.
+
+Value-hash partitioning (:mod:`repro.cluster.partition`) makes the
+coordinator's estimator algebra simple: every row -- and every
+occurrence of a given key value -- lives on exactly one shard, so
+
+* COUNT / SUM / FREQUENCY estimates are **additive**: the cluster
+  estimate is the sum of per-shard estimates, each unbiased for its
+  own partition.  Independent per-shard confidence intervals combine
+  by root-sum-of-squares of the half-widths (the variance of a sum of
+  independent estimators), at the weakest per-shard confidence.
+* AVERAGE and SELECTIVITY are **ratios of additive parts**; the
+  coordinator scatters the parts and forms the ratio, with the
+  conservative interval quotient.
+* HOT LISTS union without double counting: a value's sampled mass is
+  all on its owner shard, so per-shard reports concatenate and the
+  global top-k is the top-k of the union (the per-partition scheme of
+  the BlinkDB deployment shape).
+
+This mirrors, at the estimator level, what the Theorem-2/5 synopsis
+merges (:mod:`repro.core.merge`) do at the sample level; the
+coordinator also exposes those directly via
+:meth:`~repro.cluster.coordinator.ShardedWarehouse.merged_synopsis`.
+
+Every combined answer is wrapped in :class:`ClusterAnswer`, which
+carries ``shards_responding`` / ``shards_total``: with dead shards the
+estimate covers only the surviving partitions, and the flag is how
+that honesty reaches the client.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.responses import QueryResponse
+from repro.estimators.intervals import ConfidenceInterval
+from repro.hotlist.base import HotListAnswer, HotListEntry
+
+__all__ = [
+    "ClusterAnswer",
+    "combine_intervals",
+    "merge_hotlist_responses",
+    "merge_ratio_responses",
+    "merge_scalar_responses",
+]
+
+
+@dataclass(frozen=True)
+class ClusterAnswer:
+    """One cluster-level answer with its coverage annotation.
+
+    ``shards_responding < shards_total`` means the estimate covers
+    only the partitions of the shards that answered -- the degraded
+    mode of the failover contract.  The wrapped
+    :class:`~repro.engine.responses.QueryResponse` stays wire-codable
+    through :mod:`repro.serving.codec` unchanged.
+    """
+
+    response: QueryResponse
+    shards_responding: int
+    shards_total: int
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any configured shard is missing from the answer."""
+        return self.shards_responding < self.shards_total
+
+    @property
+    def answer(self) -> object:
+        """The combined point estimate (scalar or hot-list)."""
+        return self.response.answer
+
+    @property
+    def interval(self) -> ConfidenceInterval | None:
+        """The combined confidence interval, when every part had one."""
+        return self.response.interval
+
+
+def combine_intervals(
+    intervals: Sequence[ConfidenceInterval | None],
+    centers: Sequence[float],
+    total: float,
+) -> ConfidenceInterval | None:
+    """Interval of a sum of independent per-shard estimates.
+
+    Half-widths add in quadrature; the combined confidence is the
+    weakest shard's.  Returns ``None`` unless every responding shard
+    produced an interval (a partial interval would overstate
+    precision).
+    """
+    if not intervals or any(entry is None for entry in intervals):
+        return None
+    spread = 0.0
+    for interval, center in zip(intervals, centers, strict=True):
+        assert interval is not None
+        half = max(interval.high - center, center - interval.low)
+        spread += half * half
+    half = math.sqrt(spread)
+    confidence = min(interval.confidence for interval in intervals if interval)
+    return ConfidenceInterval(
+        low=total - half, high=total + half, confidence=confidence
+    )
+
+
+def _combined_method(responses: Sequence[QueryResponse]) -> str:
+    methods = sorted({response.method for response in responses})
+    return "cluster:" + "+".join(methods) if methods else "cluster"
+
+
+def merge_scalar_responses(
+    responses: Sequence[QueryResponse],
+    responding: int,
+    total: int,
+) -> ClusterAnswer:
+    """Sum additive scalar answers (COUNT / SUM / FREQUENCY)."""
+    centers = [float(response.answer) for response in responses]
+    combined = sum(centers)
+    interval = combine_intervals(
+        [response.interval for response in responses], centers, combined
+    )
+    return ClusterAnswer(
+        response=QueryResponse(
+            answer=combined,
+            interval=interval,
+            method=_combined_method(responses),
+            is_exact=bool(responses)
+            and all(response.is_exact for response in responses)
+            and responding == total,
+            disk_accesses=sum(r.disk_accesses for r in responses),
+            exact_cost_estimate=sum(
+                r.exact_cost_estimate for r in responses
+            ),
+        ),
+        shards_responding=responding,
+        shards_total=total,
+    )
+
+
+def merge_ratio_responses(
+    numerators: Sequence[QueryResponse],
+    denominators: Sequence[float],
+    responding: int,
+    total: int,
+    *,
+    method: str,
+) -> ClusterAnswer:
+    """A ratio of an additive estimate over an exact denominator.
+
+    AVERAGE scatters per-shard SUMs over the exact per-shard row
+    counts; SELECTIVITY scatters predicate COUNTs likewise.  The
+    denominator is exact (warehouse row counts), so the interval is
+    just the numerator's, scaled.
+    """
+    centers = [float(response.answer) for response in numerators]
+    numerator = sum(centers)
+    denominator = sum(denominators)
+    if denominator <= 0:
+        ratio, interval = 0.0, None
+    else:
+        ratio = numerator / denominator
+        summed = combine_intervals(
+            [response.interval for response in numerators],
+            centers,
+            numerator,
+        )
+        interval = (
+            None
+            if summed is None
+            else ConfidenceInterval(
+                low=summed.low / denominator,
+                high=summed.high / denominator,
+                confidence=summed.confidence,
+            )
+        )
+    return ClusterAnswer(
+        response=QueryResponse(
+            answer=ratio,
+            interval=interval,
+            method=method,
+            is_exact=False,
+            disk_accesses=sum(r.disk_accesses for r in numerators),
+            exact_cost_estimate=sum(
+                r.exact_cost_estimate for r in numerators
+            ),
+        ),
+        shards_responding=responding,
+        shards_total=total,
+    )
+
+
+def merge_hotlist_responses(
+    responses: Sequence[QueryResponse],
+    k: int,
+    responding: int,
+    total: int,
+) -> ClusterAnswer:
+    """Global top-``k`` from disjoint per-shard hot lists.
+
+    Shards own disjoint value sets, so entries concatenate; summing
+    per value is still performed defensively (it is a no-op under the
+    partitioning invariant).  Ties break toward the smaller value for
+    determinism across gather orders.
+    """
+    weights: dict[int, float] = {}
+    for response in responses:
+        answer = response.answer
+        if not isinstance(answer, HotListAnswer):
+            raise TypeError(
+                f"expected hot-list answers, got {type(answer).__name__}"
+            )
+        for entry in answer.entries:
+            weights[int(entry.value)] = (
+                weights.get(int(entry.value), 0.0)
+                + float(entry.estimated_count)
+            )
+    ranked = sorted(weights.items(), key=lambda item: (-item[1], item[0]))
+    entries = tuple(
+        HotListEntry(value, count) for value, count in ranked[:k]
+    )
+    return ClusterAnswer(
+        response=QueryResponse(
+            answer=HotListAnswer(k=k, entries=entries),
+            interval=None,
+            method=_combined_method(responses),
+            is_exact=False,
+        ),
+        shards_responding=responding,
+        shards_total=total,
+    )

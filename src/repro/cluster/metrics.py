@@ -1,0 +1,92 @@
+"""The coordinator's instrument bundle.
+
+One object acquiring every ``repro_cluster_*`` series from a
+:class:`~repro.obs.metrics.MetricsRegistry` (the process-wide null
+registry by default, so an uninstrumented cluster costs nothing).
+Worker processes keep their own registries -- their WAL/recovery
+traffic shows up as ordinary ``repro_wal_*``/``repro_recovery_*``
+series *inside* the worker; everything here is measured at the
+coordinator, including per-shard round-trip latencies.  Every name has
+a documented row in ``docs/observability.md`` -- RL014 cross-checks
+the two.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = ["ClusterMetrics"]
+
+
+class ClusterMetrics:
+    """Counters, gauges, and histograms for one coordinator."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else get_registry()
+        registry = self._registry
+        self.shards_total: Gauge = registry.gauge(
+            "repro_cluster_shards_total",
+            "Shards the coordinator was built with",
+        )
+        self.shards_up: Gauge = registry.gauge(
+            "repro_cluster_shards_up",
+            "Shards currently serving (hello received, socket healthy)",
+        )
+        self.degraded: Gauge = registry.gauge(
+            "repro_cluster_degraded",
+            "1 while any shard is down or recovering, else 0",
+        )
+        self.scatter_fanout: Gauge = registry.gauge(
+            "repro_cluster_scatter_fanout",
+            "Shards targeted by the most recent scatter",
+        )
+        self.failovers_total: Counter = registry.counter(
+            "repro_cluster_failovers_total",
+            "Shard deaths detected by the coordinator",
+        )
+        self.restarts_total: Counter = registry.counter(
+            "repro_cluster_restarts_total",
+            "Worker processes respawned after a failover",
+        )
+        self.degraded_answers_total: Counter = registry.counter(
+            "repro_cluster_degraded_answers_total",
+            "Answers produced with fewer shards than configured",
+        )
+
+    def requests_total(self, op: str, outcome: str) -> Counter:
+        """The per-op request counter series."""
+        return self._registry.counter(
+            "repro_cluster_requests_total",
+            "Coordinator operations, by op and outcome",
+            {"op": op, "outcome": outcome},
+        )
+
+    def ingest_rows_total(self, shard: int) -> Counter:
+        """Rows scattered to one shard over the cluster's lifetime."""
+        return self._registry.counter(
+            "repro_cluster_ingest_rows_total",
+            "Rows scattered to each shard",
+            {"shard": str(shard)},
+        )
+
+    def shard_ingest_seconds(self, shard: int) -> Histogram:
+        """Round-trip ingest latency of one shard, coordinator-side."""
+        return self._registry.histogram(
+            "repro_cluster_shard_ingest_seconds",
+            "Per-shard ingest round-trip latency",
+            {"shard": str(shard)},
+        )
+
+    def shard_query_seconds(self, shard: int) -> Histogram:
+        """Round-trip query latency of one shard, coordinator-side."""
+        return self._registry.histogram(
+            "repro_cluster_shard_query_seconds",
+            "Per-shard query round-trip latency",
+            {"shard": str(shard)},
+        )

@@ -83,14 +83,14 @@ class ShardedSynopsis:
         parallel: bool = True,
     ) -> "ShardedSynopsis":
         """``shards`` concise samples, each with its own footprint bound."""
-        seeds = spawn_seeds(seed, shards + 1)
+        shard_seeds, merge_seed = cls._seed_plan(seed, shards)
         return cls(
             [
                 ConciseSample(footprint_bound, seed=s, policy=policy)
-                for s in seeds[:shards]
+                for s in shard_seeds
             ],
             merge_concise,
-            merge_seed=seeds[shards],
+            merge_seed=merge_seed,
             footprint_bound=footprint_bound,
             policy=policy,
             parallel=parallel,
@@ -107,18 +107,31 @@ class ShardedSynopsis:
         parallel: bool = True,
     ) -> "ShardedSynopsis":
         """``shards`` counting samples, each with its own footprint bound."""
-        seeds = spawn_seeds(seed, shards + 1)
+        shard_seeds, merge_seed = cls._seed_plan(seed, shards)
         return cls(
             [
                 CountingSample(footprint_bound, seed=s, policy=policy)
-                for s in seeds[:shards]
+                for s in shard_seeds
             ],
             merge_counting,
-            merge_seed=seeds[shards],
+            merge_seed=merge_seed,
             footprint_bound=footprint_bound,
             policy=policy,
             parallel=parallel,
         )
+
+    @staticmethod
+    def _seed_plan(seed: int, shards: int) -> tuple[list[int], int]:
+        """Per-shard seeds plus the merge seed.
+
+        Degenerate ``shards=1`` keeps the master seed itself so the
+        lone shard is byte-identical to the unsharded synopsis built
+        with the same seed (and :meth:`merged` short-circuits to it).
+        """
+        if shards == 1:
+            return [seed], spawn_seeds(seed, 1)[0]
+        seeds = spawn_seeds(seed, shards + 1)
+        return seeds[:shards], seeds[shards]
 
     # ------------------------------------------------------------------
     # Ingest / query
@@ -172,7 +185,18 @@ class ShardedSynopsis:
                 shard.insert_array(piece)
 
     def merged(self) -> ConciseSample | CountingSample:
-        """The merged synopsis (cached until the next ingest)."""
+        """The merged synopsis (cached until the next ingest).
+
+        Degenerate single-shard instances return the shard itself:
+        there is nothing to merge, and running the Theorem-2/5
+        machinery anyway would redraw admission coins and break
+        byte-identity with the unsharded synopsis.
+        """
+        if (
+            len(self.shards) == 1
+            and self.shards[0].footprint_bound == self._footprint_bound
+        ):
+            return self.shards[0]
         if self._cached_merge is None:
             self._cached_merge = self._merge(
                 self.shards,

@@ -269,6 +269,17 @@ class ApproximateAnswerEngine:
         """Net rows the engine has observed for a relation."""
         return self._row_counts.get(relation_name, 0)
 
+    def adopt_row_counts(self) -> None:
+        """Prime population counts from the warehouse's live rows.
+
+        A fresh engine attached to a recovered warehouse has observed
+        no load events, yet sample-scaling estimators need the
+        population size; without this the engine would answer as if
+        every relation were empty until new loads arrive.
+        """
+        for name in self.warehouse.relation_names():
+            self._row_counts[name] = self.warehouse.relation(name).size
+
     # ------------------------------------------------------------------
     # Registration conveniences
     # ------------------------------------------------------------------

@@ -15,7 +15,9 @@ then renders the registry:
   ``--metrics``/``--trace`` files exported elsewhere or from a fresh
   demo workload when neither is given; ``--serving`` additionally
   drives a loopback :class:`~repro.serving.server.AQPServer` so the
-  serving section has data.
+  serving section has data, and ``--cluster`` a two-shard
+  :class:`~repro.cluster.ShardedWarehouse` (one failover included)
+  so the cluster section has data.
 """
 
 from __future__ import annotations
@@ -175,6 +177,44 @@ def serving_round(
             await server.shutdown()
 
     asyncio.run(run())
+
+
+def cluster_round(
+    registry: MetricsRegistry, rows: int, seed: int
+) -> None:
+    """Drive a small sharded-warehouse round, failover included.
+
+    Boots a two-shard :class:`~repro.cluster.ShardedWarehouse` over a
+    throwaway directory, scatters a zipf batch, answers routed and
+    scattered queries, then kills one worker and answers degraded
+    before letting the coordinator restart it -- populating every
+    ``repro_cluster_*`` series on ``registry`` for the report's
+    cluster section.
+    """
+    from repro.cluster import ShardedWarehouse
+    from repro.engine import CountQuery, FrequencyQuery, HotListQuery
+    from repro.streams import zipf_stream
+
+    directory = tempfile.mkdtemp(prefix="repro-obs-cluster-")
+    try:
+        with ShardedWarehouse(
+            2, directory, seed=seed, registry=registry
+        ) as cluster:
+            cluster.create_relation("sales", ["item"])
+            cluster.register_synopsis(
+                "sales", "item", footprint_bound=400, hotlist=True
+            )
+            items = zipf_stream(rows, 1_000, 1.25, seed=seed + 1)
+            cluster.load_batch("sales", {"item": items})
+            cluster.answer(FrequencyQuery("sales", "item", value=1))
+            cluster.answer(CountQuery("sales", "item"))
+            cluster.answer(HotListQuery("sales", "item", k=5))
+            cluster.kill_shard(0)
+            cluster.answer(CountQuery("sales", "item"))
+            cluster.wait_until_healthy(timeout=30.0)
+            cluster.answer(CountQuery("sales", "item"))
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
 
 
 def selftest(rows: int, seed: int) -> int:
@@ -360,6 +400,13 @@ def report_command(argv: list[str]) -> int:
         help="also run a loopback AQPServer workload so the serving "
         "section has data (demo mode only)",
     )
+    parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="also run a two-shard ShardedWarehouse workload (one "
+        "failover included) so the cluster section has data (demo "
+        "mode only)",
+    )
     args = parser.parse_args(argv)
 
     metrics: dict[str, Any] | None = None
@@ -380,6 +427,10 @@ def report_command(argv: list[str]) -> int:
             if args.serving:
                 serving_round(
                     registry, max(100, args.rows // 10), args.seed + 20
+                )
+            if args.cluster:
+                cluster_round(
+                    registry, max(100, args.rows // 10), args.seed + 30
                 )
             sink = workload["sink"]
             sink.drain(workload["tracer"])

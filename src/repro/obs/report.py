@@ -8,7 +8,10 @@ per-method calibration (audited coverage vs claimed confidence, with
 an ALERT verdict the moment the error budget goes negative), query
 latency percentiles recovered from histogram buckets, cache hit rate,
 serving health (sessions, admission-gate state, per-endpoint request
-latency), durability counters, and a trace digest.
+latency), cluster fleet health (shards up, failovers, per-shard
+round-trip latency), durability counters, and a trace digest.  Any
+``repro_``-prefixed family no section knows how to read is named in
+an "unrecognized series" footer rather than silently dropped.
 
 The module is pure data-shuffling: it never imports the engine or
 touches a clock, so the report can run against snapshots exported from
@@ -350,6 +353,158 @@ def _serving_section(
     return lines
 
 
+#: Cluster fleet gauges/counters surfaced on the summary line.
+_CLUSTER_SUMMARY_METRICS = (
+    ("failovers", "repro_cluster_failovers_total"),
+    ("restarts", "repro_cluster_restarts_total"),
+    ("degraded-answers", "repro_cluster_degraded_answers_total"),
+)
+
+
+def _cluster_quantiles(
+    families: Mapping[str, list[dict[str, Any]]], name: str
+) -> dict[str, tuple[int, float | None, float | None]]:
+    """Per-shard ``(count, p50, p99)`` from one latency histogram."""
+    quantiles: dict[str, tuple[int, float | None, float | None]] = {}
+    for entry in families.get(name, []):
+        shard = dict(entry.get("labels", {})).get("shard", "?")
+        buckets = [
+            (_parse_bound(bound), float(cumulative))
+            for bound, cumulative in entry.get("buckets", [])
+        ]
+        quantiles[shard] = (
+            int(entry.get("count", 0)),
+            histogram_quantile(buckets, 0.50),
+            histogram_quantile(buckets, 0.99),
+        )
+    return quantiles
+
+
+def _cluster_section(
+    families: Mapping[str, list[dict[str, Any]]],
+) -> list[str]:
+    """Cluster fleet health: failover counters plus per-shard latency.
+
+    Summarizes the ``repro_cluster_*`` family exported by
+    :class:`~repro.cluster.ShardedWarehouse`: shards up vs configured
+    (with a DEGRADED banner while any worker is down or recovering),
+    failover/restart/degraded-answer counters, and a per-shard table
+    of scattered rows with ingest and query round-trip p50/p99
+    recovered from the coordinator-side histograms.
+    """
+    totals = _series_values(families, "repro_cluster_shards_total")
+    present = bool(totals) or any(
+        families.get(name) for _, name in _CLUSTER_SUMMARY_METRICS
+    )
+    if not present:
+        return ["  no cluster data (no ShardedWarehouse metrics in snapshot)"]
+    up = sum(_series_values(families, "repro_cluster_shards_up").values())
+    total = sum(totals.values())
+    degraded = sum(
+        _series_values(families, "repro_cluster_degraded").values()
+    )
+    summary = f"  shards {up:g}/{total:g}"
+    if degraded:
+        summary += "  DEGRADED"
+    summary += "  " + "  ".join(
+        f"{label} {sum(_series_values(families, name).values()):g}"
+        for label, name in _CLUSTER_SUMMARY_METRICS
+    )
+    lines = [summary]
+    rows_by_shard = {
+        dict(labels).get("shard", "?"): value
+        for labels, value in _series_values(
+            families, "repro_cluster_ingest_rows_total"
+        ).items()
+    }
+    ingest = _cluster_quantiles(
+        families, "repro_cluster_shard_ingest_seconds"
+    )
+    query = _cluster_quantiles(
+        families, "repro_cluster_shard_query_seconds"
+    )
+    shards = sorted(
+        set(rows_by_shard) | set(ingest) | set(query),
+        key=lambda shard: (len(shard), shard),
+    )
+    table_rows = []
+    for shard in shards:
+        _, ingest_p50, ingest_p99 = ingest.get(shard, (0, None, None))
+        query_count, query_p50, query_p99 = query.get(
+            shard, (0, None, None)
+        )
+        table_rows.append(
+            [
+                shard,
+                f"{rows_by_shard.get(shard, 0.0):.0f}",
+                _fmt_seconds(ingest_p50),
+                _fmt_seconds(ingest_p99),
+                f"{query_count}",
+                _fmt_seconds(query_p50),
+                _fmt_seconds(query_p99),
+            ]
+        )
+    if table_rows:
+        lines.append("")
+        lines.extend(
+            "  " + line
+            for line in _table(
+                (
+                    "shard",
+                    "rows",
+                    "ingest-p50",
+                    "ingest-p99",
+                    "queries",
+                    "query-p50",
+                    "query-p99",
+                ),
+                table_rows,
+            )
+        )
+    return lines
+
+
+#: Every metric-name prefix a report section knows how to read.  The
+#: trailing underscore is deliberate: these are prefixes, not series
+#: names, and must not collide with the RL014 catalogue contract.
+_KNOWN_SERIES_PREFIXES = (
+    "repro_audit_",
+    "repro_checkpoint_",
+    "repro_checkpoints_",
+    "repro_cluster_",
+    "repro_cost_",
+    "repro_exact_",
+    "repro_load_",
+    "repro_queries_",
+    "repro_query_",
+    "repro_recovery_",
+    "repro_server_",
+    "repro_sharded_",
+    "repro_synopsis_",
+    "repro_trace_",
+    "repro_wal_",
+)
+
+
+def _unrecognized_series(
+    families: Mapping[str, list[dict[str, Any]]],
+) -> list[str]:
+    """Snapshot families no report section knows how to read.
+
+    A snapshot can carry series this report was not written for -- a
+    newer exporter, a renamed subsystem.  Silently dropping them makes
+    the report lie by omission, so any ``repro_``-prefixed family
+    matching none of the known subsystem prefixes is named in a
+    footer instead.
+    """
+    return sorted(
+        name
+        for name in families
+        if name.startswith("repro_")
+        and not name.startswith(_KNOWN_SERIES_PREFIXES)
+    )
+
+
 def _trace_section(traces: Sequence[Mapping[str, Any]]) -> list[str]:
     roots = [
         record for record in traces if record.get("parent_id") is None
@@ -405,6 +560,7 @@ def render_health_report(
         ("query latency", _latency_section(families)),
         ("query-result cache", _cache_section(families)),
         ("serving", _serving_section(families)),
+        ("cluster", _cluster_section(families)),
         ("durability", _durability_section(families)),
         ("traces", _trace_section(traces if traces is not None else [])),
     ]
@@ -412,5 +568,10 @@ def render_health_report(
     for title, body in sections:
         lines.append(title)
         lines.extend(body)
+        lines.append("")
+    unrecognized = _unrecognized_series(families)
+    if unrecognized:
+        lines.append("unrecognized series (no report section reads these)")
+        lines.extend("  " + name for name in unrecognized)
         lines.append("")
     return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""The scatter/gather coordinator over live worker processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterError, ShardedWarehouse
+from repro.core import ConciseSample, CountingSample
+from repro.engine import (
+    AverageQuery,
+    CountQuery,
+    DistinctCountQuery,
+    FrequencyQuery,
+    HotListQuery,
+    JoinSizeQuery,
+    SelectivityQuery,
+    SumQuery,
+)
+from repro.estimators import Predicate
+from repro.streams import zipf_stream
+
+SHARDS = 2
+ITEMS = zipf_stream(12_000, 300, 1.25, seed=77)
+QTYS = (ITEMS % 7 + 1).astype(np.int64)
+HOT_ITEM = int(np.bincount(ITEMS).argmax())
+TRUE_HOT_FREQ = int(np.count_nonzero(ITEMS == HOT_ITEM))
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cluster-coord")
+    with ShardedWarehouse(
+        SHARDS, str(directory), seed=1234, sync_every=64
+    ) as warehouse:
+        warehouse.create_relation("orders", ["item", "qty"])
+        warehouse.register_synopsis(
+            "orders", "item", footprint_bound=600, hotlist=True
+        )
+        warehouse.register_synopsis("orders", "qty", footprint_bound=600)
+        warehouse.load_batch("orders", {"item": ITEMS, "qty": QTYS})
+        warehouse.create_relation("events", ["kind"])
+        warehouse.register_synopsis(
+            "events", "kind", kind="counting-sample", footprint_bound=400
+        )
+        warehouse.load_batch("events", {"kind": ITEMS[:6_000]})
+        yield warehouse
+
+
+class TestAnswering:
+    def test_routed_frequency_has_full_coverage(self, cluster):
+        answer = cluster.answer(
+            FrequencyQuery("orders", "item", value=HOT_ITEM)
+        )
+        assert answer.shards_responding == SHARDS
+        assert answer.shards_total == SHARDS
+        assert not answer.degraded
+        assert float(answer.answer) == pytest.approx(
+            TRUE_HOT_FREQ, rel=0.15
+        )
+
+    def test_count_without_predicate_covers_every_row(self, cluster):
+        answer = cluster.answer(CountQuery("orders", "item"))
+        assert float(answer.answer) == pytest.approx(len(ITEMS))
+        assert not answer.degraded
+
+    def test_sum_average_selectivity_near_truth(self, cluster):
+        total = cluster.answer(SumQuery("orders", "qty"))
+        assert float(total.answer) == pytest.approx(
+            float(QTYS.sum()), rel=0.15
+        )
+        mean = cluster.answer(AverageQuery("orders", "qty"))
+        assert mean.response.method == "cluster:average"
+        assert float(mean.answer) == pytest.approx(
+            float(QTYS.mean()), rel=0.15
+        )
+        fraction = cluster.answer(
+            SelectivityQuery("orders", "qty", Predicate(low=1, high=3))
+        )
+        assert fraction.response.method == "cluster:selectivity"
+        true_fraction = float(np.mean((QTYS >= 1) & (QTYS <= 3)))
+        assert float(fraction.answer) == pytest.approx(
+            true_fraction, rel=0.2
+        )
+
+    def test_hot_list_unions_disjoint_partitions(self, cluster):
+        answer = cluster.answer(HotListQuery("orders", "item", k=5))
+        entries = answer.answer.entries
+        assert entries, "hot list came back empty"
+        assert entries[0].value == HOT_ITEM
+        counts = [entry.estimated_count for entry in entries]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_answer_batch_matches_individual_answers(self, cluster):
+        values = sorted(set(ITEMS[:40].tolist()))[:6]
+        queries = [
+            FrequencyQuery("orders", "item", value=value)
+            for value in values
+        ]
+        queries.append(CountQuery("orders", "item"))
+        batched = cluster.answer_batch(queries)
+        assert len(batched) == len(queries)
+        for query, answer in zip(queries, batched):
+            single = cluster.answer(query)
+            assert float(answer.answer) == pytest.approx(
+                float(single.answer)
+            )
+            assert not answer.degraded
+
+    def test_join_size_is_rejected(self, cluster):
+        with pytest.raises(ClusterError, match="join-size"):
+            cluster.answer(
+                JoinSizeQuery("orders", "item", "events", "kind")
+            )
+
+    def test_distinct_count_needs_the_partition_key(self, cluster):
+        # qty is not the orders partition key: per-shard distinct sets
+        # overlap, so shard answers cannot be combined honestly.
+        with pytest.raises(ClusterError):
+            cluster.answer(DistinctCountQuery("orders", "qty"))
+
+
+class TestMergedSynopses:
+    def test_concise_merge_invariants(self, cluster):
+        merged = cluster.merged_synopsis("orders", "item")
+        assert isinstance(merged, ConciseSample)
+        merged.check_invariants()
+        assert merged.total_inserted == len(ITEMS)
+        # The default bound is the sum of the shard bounds.
+        assert merged.footprint_bound == SHARDS * 600
+
+    def test_counting_merge_invariants(self, cluster):
+        merged = cluster.merged_synopsis("events", "kind")
+        assert isinstance(merged, CountingSample)
+        merged.check_invariants()
+        assert merged.total_inserted == 6_000
+
+    def test_explicit_bound_is_respected(self, cluster):
+        merged = cluster.merged_synopsis(
+            "orders", "item", footprint_bound=300
+        )
+        merged.check_invariants()
+        assert merged.footprint <= 300
+
+
+class TestIntrospection:
+    def test_stats_rows_sum_to_loaded(self, cluster):
+        stats = cluster.stats()
+        assert sorted(stats) == list(range(SHARDS))
+        assert (
+            sum(entry["rows"]["orders"] for entry in stats.values())
+            == len(ITEMS)
+        )
+
+    def test_shard_states_and_hello(self, cluster):
+        assert cluster.shard_states() == ["up"] * SHARDS
+        assert cluster.shards == SHARDS
+        assert cluster.shards_up == SHARDS
+        for index in range(SHARDS):
+            hello = cluster.hello_of(index)
+            assert hello is not None
+            assert hello["shard"] == index
+
+    def test_unknown_relation_load_rejected(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.load_batch("nope", {"v": ITEMS})
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_the_merged_synopsis(self, tmp_path):
+        """The whole cluster is a pure function of its master seed:
+        two fleets with equal seeds over equal streams merge to
+        byte-identical synopses."""
+        states = []
+        for run in range(2):
+            with ShardedWarehouse(
+                SHARDS, str(tmp_path / f"run{run}"), seed=99, sync_every=64
+            ) as warehouse:
+                warehouse.create_relation("s", ["v"])
+                warehouse.register_synopsis("s", "v", footprint_bound=200)
+                warehouse.load_batch("s", {"v": ITEMS[:4_000]})
+                states.append(warehouse.merged_synopsis("s", "v").to_dict())
+        assert states[0] == states[1]

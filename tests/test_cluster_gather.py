@@ -1,0 +1,167 @@
+"""Combining per-shard answers: the coordinator's estimator algebra."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster.gather import (
+    ClusterAnswer,
+    combine_intervals,
+    merge_hotlist_responses,
+    merge_ratio_responses,
+    merge_scalar_responses,
+)
+from repro.engine.responses import QueryResponse
+from repro.estimators.intervals import ConfidenceInterval
+from repro.hotlist.base import HotListAnswer, HotListEntry
+
+
+def scalar(
+    answer: float,
+    half: float | None = None,
+    confidence: float = 0.95,
+    *,
+    exact: bool = False,
+) -> QueryResponse:
+    interval = (
+        None
+        if half is None
+        else ConfidenceInterval(
+            low=answer - half, high=answer + half, confidence=confidence
+        )
+    )
+    return QueryResponse(
+        answer=answer,
+        interval=interval,
+        method="concise-sample",
+        is_exact=exact,
+        disk_accesses=1,
+        exact_cost_estimate=10,
+    )
+
+
+class TestCombineIntervals:
+    def test_half_widths_add_in_quadrature(self):
+        intervals = [
+            ConfidenceInterval(low=7.0, high=13.0, confidence=0.95),
+            ConfidenceInterval(low=16.0, high=24.0, confidence=0.99),
+        ]
+        combined = combine_intervals(intervals, [10.0, 20.0], 30.0)
+        assert combined is not None
+        assert combined.low == pytest.approx(30.0 - 5.0)
+        assert combined.high == pytest.approx(30.0 + 5.0)
+        # The weakest shard's confidence wins.
+        assert combined.confidence == 0.95
+
+    def test_any_missing_interval_suppresses_the_combined_one(self):
+        intervals = [
+            ConfidenceInterval(low=7.0, high=13.0, confidence=0.95),
+            None,
+        ]
+        assert combine_intervals(intervals, [10.0, 20.0], 30.0) is None
+        assert combine_intervals([], [], 0.0) is None
+
+
+class TestMergeScalarResponses:
+    def test_additive_estimate_and_bookkeeping(self):
+        answer = merge_scalar_responses(
+            [scalar(100.0, 4.0), scalar(40.0, 3.0)], 2, 2
+        )
+        assert isinstance(answer, ClusterAnswer)
+        assert answer.answer == pytest.approx(140.0)
+        assert answer.interval is not None
+        assert answer.interval.width == pytest.approx(2 * 5.0)
+        assert not answer.degraded
+        assert answer.response.method == "cluster:concise-sample"
+        assert answer.response.disk_accesses == 2
+        assert answer.response.exact_cost_estimate == 20
+
+    def test_partial_coverage_is_flagged(self):
+        answer = merge_scalar_responses([scalar(100.0, 4.0)], 1, 2)
+        assert answer.degraded
+        assert answer.shards_responding == 1
+        assert answer.shards_total == 2
+
+    def test_exact_only_when_all_parts_exact_and_full(self):
+        full = merge_scalar_responses(
+            [scalar(1.0, exact=True), scalar(2.0, exact=True)], 2, 2
+        )
+        assert full.response.is_exact
+        degraded = merge_scalar_responses([scalar(1.0, exact=True)], 1, 2)
+        assert not degraded.response.is_exact
+        mixed = merge_scalar_responses(
+            [scalar(1.0, exact=True), scalar(2.0)], 2, 2
+        )
+        assert not mixed.response.is_exact
+
+
+class TestMergeRatioResponses:
+    def test_ratio_of_sums_with_scaled_interval(self):
+        answer = merge_ratio_responses(
+            [scalar(30.0, 6.0), scalar(10.0, 8.0)],
+            [100.0, 100.0],
+            2,
+            2,
+            method="cluster:average",
+        )
+        assert answer.answer == pytest.approx(0.2)
+        assert answer.interval is not None
+        assert answer.interval.width == pytest.approx(
+            2 * math.hypot(6.0, 8.0) / 200.0
+        )
+        assert answer.response.method == "cluster:average"
+
+    def test_zero_denominator_degrades_to_zero(self):
+        answer = merge_ratio_responses(
+            [scalar(30.0, 6.0)], [0.0], 1, 1, method="cluster:selectivity"
+        )
+        assert answer.answer == 0.0
+        assert answer.interval is None
+
+
+def hotlist(entries: list[tuple[int, float]], k: int = 3) -> QueryResponse:
+    return QueryResponse(
+        answer=HotListAnswer(
+            k=k,
+            entries=tuple(
+                HotListEntry(value, count) for value, count in entries
+            ),
+        ),
+        interval=None,
+        method="counting-hotlist",
+        is_exact=False,
+    )
+
+
+class TestMergeHotlistResponses:
+    def test_global_top_k_of_disjoint_shards(self):
+        answer = merge_hotlist_responses(
+            [
+                hotlist([(1, 50.0), (3, 30.0)]),
+                hotlist([(2, 40.0), (4, 10.0)]),
+            ],
+            3,
+            2,
+            2,
+        )
+        result = answer.answer
+        assert isinstance(result, HotListAnswer)
+        assert [(e.value, e.estimated_count) for e in result.entries] == [
+            (1, 50.0),
+            (2, 40.0),
+            (3, 30.0),
+        ]
+
+    def test_ties_break_toward_smaller_value(self):
+        answer = merge_hotlist_responses(
+            [hotlist([(9, 20.0)]), hotlist([(2, 20.0)])], 1, 2, 2
+        )
+        result = answer.answer
+        assert isinstance(result, HotListAnswer)
+        assert result.entries[0].value == 2
+
+    def test_non_hotlist_answer_rejected(self):
+        with pytest.raises(TypeError):
+            merge_hotlist_responses([scalar(1.0)], 3, 2, 2)

@@ -1,0 +1,119 @@
+"""Value-hash partitioning: routing power without processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    partition_columns,
+    partition_keys,
+    shard_of_keys,
+    shard_of_value,
+)
+from repro.engine.composite import encode_composite_array
+from repro.streams import zipf_stream
+
+STREAM = zipf_stream(10_000, 1_000, 1.25, seed=7)
+
+
+class TestPartitionKeys:
+    def test_single_attribute_is_verbatim(self):
+        columns = {"v": STREAM, "w": STREAM + 1}
+        keys = partition_keys(columns, ["v"])
+        np.testing.assert_array_equal(keys, STREAM.astype(np.int64))
+
+    def test_pair_uses_composite_encoding(self):
+        left = np.arange(100, dtype=np.int64)
+        right = (np.arange(100, dtype=np.int64) * 3) % 17
+        columns = {"a": left, "b": right}
+        keys = partition_keys(columns, ["a", "b"])
+        np.testing.assert_array_equal(
+            keys, encode_composite_array((left, right))
+        )
+
+    def test_three_attributes_rejected(self):
+        columns = {"a": STREAM, "b": STREAM, "c": STREAM}
+        with pytest.raises(ValueError):
+            partition_keys(columns, ["a", "b", "c"])
+
+
+class TestShardOfKeys:
+    def test_one_shard_owns_everything(self):
+        owners = shard_of_keys(STREAM, 1)
+        assert (owners == 0).all()
+
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_of_keys(STREAM, 0)
+
+    def test_deterministic_and_value_pure(self):
+        """The owner of a key is a pure function of (key, shards)."""
+        owners = shard_of_keys(STREAM, 4)
+        again = shard_of_keys(STREAM, 4)
+        np.testing.assert_array_equal(owners, again)
+        for value in (0, 1, 999, -5):
+            assert shard_of_value(value, 4) == int(
+                shard_of_keys(np.array([value], dtype=np.int64), 4)[0]
+            )
+
+    def test_avalanche_spreads_consecutive_keys(self):
+        """Consecutive key values must not stripe: every shard owns a
+        healthy share of a contiguous key range."""
+        owners = shard_of_keys(np.arange(8_000, dtype=np.int64), 8)
+        counts = np.bincount(owners, minlength=8)
+        assert (counts > 0.5 * 1_000).all()
+        assert (counts < 1.5 * 1_000).all()
+
+
+class TestPartitionColumns:
+    def test_pieces_reassemble_the_batch(self):
+        columns = {"v": STREAM, "w": STREAM * 2}
+        pieces = partition_columns(columns, ["v"], 4)
+        assert len(pieces) == 4
+        gathered = np.concatenate(
+            [piece["v"] for piece in pieces if piece]
+        )
+        np.testing.assert_array_equal(
+            np.sort(gathered), np.sort(STREAM)
+        )
+
+    def test_each_value_lives_on_one_shard(self):
+        pieces = partition_columns({"v": STREAM}, ["v"], 4)
+        seen: dict[int, int] = {}
+        for shard, piece in enumerate(pieces):
+            for value in set(piece.get("v", np.array([])).tolist()):
+                assert seen.setdefault(int(value), shard) == shard
+
+    def test_rows_stay_aligned_across_columns(self):
+        columns = {"v": STREAM, "w": STREAM * 10 + 3}
+        for piece in partition_columns(columns, ["v"], 4):
+            if not piece:
+                continue
+            np.testing.assert_array_equal(
+                piece["w"], piece["v"] * 10 + 3
+            )
+
+    def test_shard_order_is_a_subsequence(self):
+        """Stable selection: each shard ingests the stream's rows in
+        original order."""
+        columns = {"v": STREAM}
+        owners = shard_of_keys(STREAM.astype(np.int64), 4)
+        for shard, piece in enumerate(partition_columns(columns, ["v"], 4)):
+            if not piece:
+                continue
+            np.testing.assert_array_equal(
+                piece["v"], STREAM[owners == shard]
+            )
+
+    def test_empty_batch_yields_empty_pieces(self):
+        pieces = partition_columns(
+            {"v": np.array([], dtype=np.int64)}, ["v"], 3
+        )
+        assert pieces == [{}, {}, {}]
+
+    def test_single_shard_passes_batch_through(self):
+        columns = {"v": STREAM}
+        pieces = partition_columns(columns, ["v"], 1)
+        assert len(pieces) == 1
+        np.testing.assert_array_equal(pieces[0]["v"], STREAM)

@@ -1,0 +1,241 @@
+"""Statistical equivalence of cluster-merged synopses (Theorems 2/5).
+
+A :class:`~repro.cluster.ShardedWarehouse` splits the stream by value
+hash across worker processes, each maintaining its own synopsis with
+independent ``spawn_seeds``-derived coins, and merges the per-shard
+states on demand.  The merge cannot be bitwise-identical to a
+single-process build -- the coins differ -- but the paper's guarantee
+is distributional: at equal *total* footprint (the merged bound
+defaults to the sum of the shard bounds), the cluster-merged synopsis
+must follow the same law as a single-process oracle over the same
+stream.  These tests compare the two over ensembles of independent
+registrations with KS / chi-square machinery, in the style of
+``tests/test_batch_equivalence``.
+
+The second half does the same across a crash: a worker is killed
+mid-stream, the coordinator answers degraded from the survivor,
+restarts the victim (WAL replay via ``RecoveryManager``), and the
+rejoined fleet finishes the stream -- the recovered merge must remain
+indistinguishable from the oracle, which is the paper's footnote-2
+recovery contract lifted to the cluster.
+
+Every trial is deterministic (all seeds derive from the coordinator's
+master seed), so these cannot flake; the significance level only
+calibrates the evidence for these seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+from repro.cluster import ShardedWarehouse
+from repro.core import ConciseSample, CountingSample
+from repro.engine import CountQuery
+from repro.streams import zipf_stream
+
+ALPHA = 1e-4  # reject only on overwhelming evidence
+SHARDS = 2
+BOUND = 60  # per-shard footprint bound
+TOTAL_BOUND = SHARDS * BOUND  # the oracle's (and merged) bound
+TRIALS = 50
+RECOVERY_TRIALS = 24
+STREAM = zipf_stream(4_000, 400, 1.25, seed=424242)
+HOT_VALUE = int(np.bincount(STREAM).argmax())
+MID_VALUE = int(np.argsort(np.bincount(STREAM))[-20])  # 20th-hottest
+HALF = len(STREAM) // 2
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cluster-stats")
+    with ShardedWarehouse(
+        SHARDS, str(directory), seed=4242, sync_every=64
+    ) as warehouse:
+        yield warehouse
+
+
+def _register_and_load(cluster, name, kind):
+    cluster.create_relation(name, ["v"])
+    cluster.register_synopsis(
+        name, "v", kind=kind, footprint_bound=BOUND
+    )
+    cluster.load_batch(name, {"v": STREAM})
+    return cluster.merged_synopsis(name, "v")
+
+
+@pytest.fixture(scope="module")
+def concise_ensemble(cluster):
+    """(size, hot, mid-present) per trial, cluster vs oracle."""
+    merged_rows, oracle_rows = [], []
+    for trial in range(TRIALS):
+        merged = _register_and_load(cluster, f"c{trial}", "concise-sample")
+        merged.check_invariants()
+        assert merged.total_inserted == len(STREAM)
+        merged_rows.append(
+            (
+                merged.sample_size,
+                merged.count_of(HOT_VALUE),
+                int(MID_VALUE in merged),
+            )
+        )
+        oracle = ConciseSample(TOTAL_BOUND, seed=8_000 + trial)
+        oracle.insert_array(STREAM)
+        oracle_rows.append(
+            (
+                oracle.sample_size,
+                oracle.count_of(HOT_VALUE),
+                int(MID_VALUE in oracle),
+            )
+        )
+    return np.asarray(merged_rows), np.asarray(oracle_rows)
+
+
+class TestConciseClusterMatchesOracle:
+    def test_sample_size_distribution(self, concise_ensemble):
+        merged, oracle = concise_ensemble
+        result = scipy_stats.ks_2samp(merged[:, 0], oracle[:, 0])
+        assert result.pvalue > ALPHA, (
+            "cluster-merged sample sizes diverge from the "
+            f"single-process oracle (KS={result.statistic:.3f})"
+        )
+
+    def test_hot_value_count_distribution(self, concise_ensemble):
+        merged, oracle = concise_ensemble
+        result = scipy_stats.ks_2samp(merged[:, 1], oracle[:, 1])
+        assert result.pvalue > ALPHA, (
+            "cluster-merged hot-value counts diverge from the oracle "
+            f"(KS={result.statistic:.3f})"
+        )
+
+    def test_mid_value_inclusion_rate(self, concise_ensemble):
+        """Chi-square: a mid-frequency value is present in the merged
+        sample as often as in the oracle."""
+        merged, oracle = concise_ensemble
+        table = np.array(
+            [
+                [merged[:, 2].sum(), TRIALS - merged[:, 2].sum()],
+                [oracle[:, 2].sum(), TRIALS - oracle[:, 2].sum()],
+            ]
+        )
+        result = scipy_stats.chi2_contingency(table + 1)  # smoothed
+        assert result.pvalue > ALPHA
+
+
+@pytest.fixture(scope="module")
+def counting_ensemble(cluster):
+    merged_rows, oracle_rows = [], []
+    for trial in range(TRIALS):
+        merged = _register_and_load(
+            cluster, f"k{trial}", "counting-sample"
+        )
+        merged.check_invariants()
+        assert merged.total_inserted == len(STREAM)  # exact ledger
+        merged_rows.append(
+            (merged.total_count, merged.count_of(HOT_VALUE))
+        )
+        oracle = CountingSample(TOTAL_BOUND, seed=18_000 + trial)
+        oracle.insert_array(STREAM)
+        oracle_rows.append(
+            (oracle.total_count, oracle.count_of(HOT_VALUE))
+        )
+    return np.asarray(merged_rows), np.asarray(oracle_rows)
+
+
+class TestCountingClusterMatchesOracle:
+    def test_total_count_distribution(self, counting_ensemble):
+        merged, oracle = counting_ensemble
+        result = scipy_stats.ks_2samp(merged[:, 0], oracle[:, 0])
+        assert result.pvalue > ALPHA, (
+            "cluster-merged total counts diverge from the oracle "
+            f"(KS={result.statistic:.3f})"
+        )
+
+    def test_hot_value_counts_concentrate(self, counting_ensemble):
+        """Hot values are admitted almost immediately on every shard,
+        so their merged tail counts concentrate tightly around the
+        oracle's (see repro.core.merge's admission-delay caveat)."""
+        merged, oracle = counting_ensemble
+        oracle_mean = oracle[:, 1].mean()
+        assert abs(merged[:, 1].mean() - oracle_mean) < 0.05 * max(
+            1.0, oracle_mean
+        )
+
+
+@pytest.fixture(scope="module")
+def recovery_ensemble(cluster):
+    """Kill a worker mid-stream each trial; compare the rejoined merge.
+
+    The victim alternates, the survivor answers a degraded count while
+    the coordinator respawns it, and the rejoined fleet (the victim's
+    state rebuilt by WAL replay with a fresh incarnation seed) ingests
+    the second half.  A checkpoint after every trial keeps each
+    replay bounded to one trial's operations.
+    """
+    merged_rows, oracle_rows = [], []
+    for trial in range(RECOVERY_TRIALS):
+        name = f"r{trial}"
+        cluster.create_relation(name, ["v"])
+        cluster.register_synopsis(
+            name, "v", kind="concise-sample", footprint_bound=BOUND
+        )
+        cluster.load_batch(name, {"v": STREAM[:HALF]})
+        cluster.kill_shard(trial % SHARDS)
+        degraded = cluster.answer(CountQuery(name, "v"))
+        assert degraded.shards_responding == SHARDS - 1
+        assert degraded.shards_total == SHARDS
+        assert cluster.wait_until_healthy(timeout=60.0)
+        cluster.load_batch(name, {"v": STREAM[HALF:]})
+        merged = cluster.merged_synopsis(name, "v")
+        merged.check_invariants()
+        assert merged.total_inserted == len(STREAM)
+        merged_rows.append(
+            (
+                merged.sample_size,
+                merged.count_of(HOT_VALUE),
+                int(MID_VALUE in merged),
+            )
+        )
+        oracle = ConciseSample(TOTAL_BOUND, seed=28_000 + trial)
+        oracle.insert_array(STREAM)
+        oracle_rows.append(
+            (
+                oracle.sample_size,
+                oracle.count_of(HOT_VALUE),
+                int(MID_VALUE in oracle),
+            )
+        )
+        cluster.checkpoint()
+    return np.asarray(merged_rows), np.asarray(oracle_rows)
+
+
+class TestRecoveredClusterMatchesOracle:
+    def test_sample_size_distribution(self, recovery_ensemble):
+        merged, oracle = recovery_ensemble
+        result = scipy_stats.ks_2samp(merged[:, 0], oracle[:, 0])
+        assert result.pvalue > ALPHA, (
+            "post-failover merged sample sizes diverge from the "
+            f"oracle (KS={result.statistic:.3f})"
+        )
+
+    def test_hot_value_count_distribution(self, recovery_ensemble):
+        merged, oracle = recovery_ensemble
+        result = scipy_stats.ks_2samp(merged[:, 1], oracle[:, 1])
+        assert result.pvalue > ALPHA, (
+            "post-failover hot-value counts diverge from the oracle "
+            f"(KS={result.statistic:.3f})"
+        )
+
+    def test_mid_value_inclusion_rate(self, recovery_ensemble):
+        merged, oracle = recovery_ensemble
+        trials = len(merged)
+        table = np.array(
+            [
+                [merged[:, 2].sum(), trials - merged[:, 2].sum()],
+                [oracle[:, 2].sum(), trials - oracle[:, 2].sum()],
+            ]
+        )
+        result = scipy_stats.chi2_contingency(table + 1)  # smoothed
+        assert result.pvalue > ALPHA

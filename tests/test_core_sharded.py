@@ -1,0 +1,137 @@
+"""ShardedSynopsis edge cases: degenerate k=1 and empty shards.
+
+The degenerate single-shard instance must be *byte-identical* to the
+unsharded synopsis built with the same seed -- running the Theorem-2/5
+merge machinery over one shard would redraw admission coins for no
+statistical benefit.  Empty shards (never fed, or emptied by deletes
+that raised the threshold) must merge without error and contribute
+nothing but their threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConciseSample,
+    CountingSample,
+    ShardedSynopsis,
+    merge_concise,
+    merge_counting,
+)
+from repro.streams import zipf_stream
+
+STREAM = zipf_stream(20_000, 500, 1.25, seed=99)
+BOUND = 100
+
+
+class TestDegenerateSingleShard:
+    @pytest.mark.parametrize("kind", ["concise", "counting"])
+    def test_k1_byte_identical_to_unsharded(self, kind):
+        factory = getattr(ShardedSynopsis, kind)
+        sharded = factory(1, BOUND, seed=1234, parallel=False)
+        if kind == "concise":
+            single = ConciseSample(BOUND, seed=1234)
+        else:
+            single = CountingSample(BOUND, seed=1234)
+        sharded.insert_array(STREAM)
+        single.insert_array(STREAM)
+        assert sharded.merged().to_dict() == single.to_dict()
+
+    def test_k1_identity_survives_continued_ingest(self):
+        sharded = ShardedSynopsis.concise(1, BOUND, seed=7, parallel=False)
+        single = ConciseSample(BOUND, seed=7)
+        for start in range(0, len(STREAM), 4096):
+            piece = STREAM[start : start + 4096]
+            sharded.insert_array(piece)
+            single.insert_array(piece)
+            # merged() is the shard itself, so it tracks every batch
+            # without a stale cache in between.
+            assert sharded.merged().to_dict() == single.to_dict()
+
+    def test_k1_merged_is_the_shard(self):
+        sharded = ShardedSynopsis.counting(1, BOUND, seed=3)
+        sharded.insert_array(STREAM)
+        assert sharded.merged() is sharded.shards[0]
+        sharded.check_invariants()
+
+    def test_k1_custom_bound_still_merges(self):
+        # A hand-built instance with a mismatched merge bound cannot
+        # alias the shard -- the merge must actually shrink.
+        shard = ConciseSample(BOUND, seed=5)
+        shard.insert_array(STREAM)
+        sharded = ShardedSynopsis(
+            [shard], merge_concise, merge_seed=6,
+            footprint_bound=BOUND // 2, policy=None,
+        )
+        merged = sharded.merged()
+        assert merged is not shard
+        assert merged.footprint <= BOUND // 2
+        merged.check_invariants()
+
+    def test_k1_seed_matches_unsharded_seed(self):
+        # The factory must hand the master seed to the lone shard, not
+        # a spawned child seed.
+        sharded = ShardedSynopsis.concise(1, BOUND, seed=42)
+        single = ConciseSample(BOUND, seed=42)
+        assert sharded.shards[0].to_dict() == single.to_dict()
+
+
+class TestEmptyShards:
+    def test_merge_with_one_empty_shard(self):
+        sharded = ShardedSynopsis.concise(3, BOUND, seed=11, parallel=False)
+        # Feed shards 0 and 1 directly; shard 2 stays empty.
+        sharded.shards[0].insert_array(STREAM[:5000])
+        sharded.shards[1].insert_array(STREAM[5000:10000])
+        merged = sharded.merged()
+        merged.check_invariants()
+        assert merged.total_inserted == 10_000
+
+    def test_merge_all_empty_shards(self):
+        for factory in (ShardedSynopsis.concise, ShardedSynopsis.counting):
+            sharded = factory(4, BOUND, seed=13, parallel=False)
+            merged = sharded.merged()
+            merged.check_invariants()
+            assert merged.total_inserted == 0
+            assert merged.footprint == 0
+
+    def test_empty_batch_is_a_noop(self):
+        sharded = ShardedSynopsis.concise(2, BOUND, seed=17, parallel=False)
+        sharded.insert_array(STREAM)
+        before = sharded.merged().to_dict()
+        sharded.insert_array(np.array([], dtype=np.int64))
+        assert sharded.merged().to_dict() == before
+
+    def test_fewer_values_than_shards(self):
+        sharded = ShardedSynopsis.counting(8, BOUND, seed=19, parallel=False)
+        sharded.insert_array(np.array([1, 2, 3], dtype=np.int64))
+        merged = sharded.merged()
+        merged.check_invariants()
+        assert merged.total_inserted == 3
+
+    def test_delete_emptied_shard_with_raised_threshold(self):
+        # A counting shard emptied by deletions can carry a raised
+        # threshold; the merge must honour it (the merged threshold is
+        # the max) without trying to subsample the empty sample.
+        emptied = CountingSample(8, seed=23)
+        values = zipf_stream(4_000, 50, 1.3, seed=29)
+        emptied.insert_array(values)
+        for value in values.tolist():
+            emptied.delete(value)
+        assert emptied.footprint == 0
+        full = CountingSample(8, seed=31)
+        full.insert_array(zipf_stream(4_000, 50, 1.3, seed=37))
+        merged = merge_counting([emptied, full], seed=41)
+        merged.check_invariants()
+        assert merged.threshold >= max(emptied.threshold, full.threshold)
+        # total_inserted is net of deletes: 4000 survive.
+        assert merged.total_inserted == 4_000
+
+    def test_concise_merge_empty_with_full(self):
+        empty = ConciseSample(BOUND, seed=43)
+        full = ConciseSample(BOUND, seed=47)
+        full.insert_array(STREAM)
+        merged = merge_concise([empty, full], seed=53)
+        merged.check_invariants()
+        assert merged.total_inserted == len(STREAM)

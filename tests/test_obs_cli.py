@@ -48,3 +48,38 @@ class TestDump:
         assert main(["--rows", "6000", "--tail", "3"]) == 0
         out = capsys.readouterr().out
         assert out.count("--- round") == 3
+
+
+class TestReport:
+    def test_demo_report_renders_all_sections(self, capsys):
+        assert main(["report", "--rows", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro health report")
+        assert "no cluster data" in out
+        assert "unrecognized series" not in out
+
+    def test_cluster_flag_populates_cluster_section(self, capsys):
+        assert main(["report", "--rows", "2000", "--cluster"]) == 0
+        out = capsys.readouterr().out
+        assert "no cluster data" not in out
+        assert "failovers 1" in out
+        assert "restarts 1" in out
+
+    def test_metrics_file_with_unknown_family_gets_footer(
+        self, capsys, tmp_path
+    ):
+        snapshot = {
+            "metrics": [
+                {
+                    "name": "repro_mystery_widgets_total",
+                    "type": "counter",
+                    "series": [{"labels": {}, "value": 1.0}],
+                }
+            ]
+        }
+        path = tmp_path / "snapshot.json"
+        path.write_text(json.dumps(snapshot))
+        assert main(["report", "--metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "unrecognized series" in out
+        assert "repro_mystery_widgets_total" in out

@@ -89,8 +89,10 @@ class TestRenderSections:
         assert "no latency data" in report
         assert "no cache traffic" in report
         assert "no serving data" in report
+        assert "no cluster data" in report
         assert "no durability data" in report
         assert "no trace data" in report
+        assert "unrecognized series" not in report
 
     def test_negative_budget_raises_alert(self):
         report = render_health_report(audit_family(-0.20))
@@ -230,6 +232,154 @@ class TestServingSection:
             if fields[:1] == ["query"] and len(fields) > 4 and fields[1].isdigit()
         ]
         assert query_rows and query_rows[0][3] == "1"
+
+
+def cluster_family(up: float, degraded: float) -> dict:
+    return {
+        "metrics": [
+            {
+                "name": "repro_cluster_shards_total",
+                "type": "gauge",
+                "series": [{"labels": {}, "value": 2.0}],
+            },
+            {
+                "name": "repro_cluster_shards_up",
+                "type": "gauge",
+                "series": [{"labels": {}, "value": up}],
+            },
+            {
+                "name": "repro_cluster_degraded",
+                "type": "gauge",
+                "series": [{"labels": {}, "value": degraded}],
+            },
+            {
+                "name": "repro_cluster_failovers_total",
+                "type": "counter",
+                "series": [{"labels": {}, "value": 1.0}],
+            },
+            {
+                "name": "repro_cluster_restarts_total",
+                "type": "counter",
+                "series": [{"labels": {}, "value": 1.0}],
+            },
+            {
+                "name": "repro_cluster_degraded_answers_total",
+                "type": "counter",
+                "series": [{"labels": {}, "value": 4.0}],
+            },
+            {
+                "name": "repro_cluster_ingest_rows_total",
+                "type": "counter",
+                "series": [
+                    {"labels": {"shard": "0"}, "value": 600.0},
+                    {"labels": {"shard": "1"}, "value": 400.0},
+                ],
+            },
+            {
+                "name": "repro_cluster_shard_query_seconds",
+                "type": "histogram",
+                "series": [
+                    {
+                        "labels": {"shard": "0"},
+                        "count": 8,
+                        "sum": 0.08,
+                        "buckets": [
+                            ["0.01", 4.0],
+                            ["0.1", 8.0],
+                            ["+Inf", 8.0],
+                        ],
+                    }
+                ],
+            },
+        ]
+    }
+
+
+class TestClusterSection:
+    def test_summary_and_per_shard_table(self):
+        report = render_health_report(cluster_family(up=1.0, degraded=1.0))
+        assert "no cluster data" not in report
+        assert "shards 1/2" in report
+        assert "DEGRADED" in report
+        assert "failovers 1" in report
+        assert "restarts 1" in report
+        assert "degraded-answers 4" in report
+        # Shard 0: 600 rows, 8 queries with the p50 on the first
+        # bucket's upper bound (cumulative 4 of 8 at 10ms); shard 1
+        # appears from its row counter alone with dashed latencies.
+        shard_rows = [
+            fields
+            for fields in map(str.split, report.splitlines())
+            if fields[:1] in (["0"], ["1"])
+        ]
+        assert ["0", "600", "-", "-", "8", "10.00ms", "98.20ms"] in shard_rows
+        assert ["1", "400", "-", "-", "0", "-", "-"] in shard_rows
+
+    def test_healthy_fleet_has_no_banner(self):
+        report = render_health_report(cluster_family(up=2.0, degraded=0.0))
+        assert "shards 2/2" in report
+        assert "DEGRADED" not in report
+
+    def test_live_cluster_round_populates_section(self):
+        """The demo cluster round feeds every summary instrument."""
+        from repro.obs.__main__ import cluster_round
+
+        registry = obs.enable()
+        try:
+            cluster_round(registry, rows=400, seed=23)
+            report = render_health_report(obs.render_json(registry))
+        finally:
+            obs.disable()
+        assert "no cluster data" not in report
+        # One shard was killed, answered around, and restarted.
+        assert "failovers 1" in report
+        assert "restarts 1" in report
+        assert "degraded-answers 1" in report
+        shard_rows = [
+            fields
+            for fields in map(str.split, report.splitlines())
+            if fields[:1] in (["0"], ["1"]) and len(fields) == 7
+        ]
+        assert len(shard_rows) == 2
+        assert sum(int(fields[1]) for fields in shard_rows) == 400
+
+
+class TestUnrecognizedFooter:
+    def test_unknown_family_is_named(self):
+        metrics = {
+            "metrics": [
+                {
+                    "name": "repro_mystery_widgets_total",
+                    "type": "counter",
+                    "series": [{"labels": {}, "value": 2.0}],
+                },
+                {
+                    "name": "repro_wal_appends_total",
+                    "type": "counter",
+                    "series": [{"labels": {}, "value": 5.0}],
+                },
+            ]
+        }
+        report = render_health_report(metrics)
+        assert "unrecognized series" in report
+        assert "repro_mystery_widgets_total" in report
+
+    def test_known_families_produce_no_footer(self):
+        report = render_health_report(audit_family(0.05))
+        assert "unrecognized series" not in report
+
+    def test_live_registry_is_fully_recognized(self):
+        """Every series the demo workload exports has a section."""
+        from repro.obs.__main__ import build_workload, ingest_round
+
+        registry = obs.enable()
+        try:
+            workload = build_workload(registry, seed=7)
+            ingest_round(workload, 5_000, seed=17)
+            report = render_health_report(obs.render_json(registry))
+        finally:
+            obs.disable()
+        assert "unrecognized series" not in report
 
 
 class TestEndToEnd:

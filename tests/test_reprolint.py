@@ -777,9 +777,9 @@ class TestInfrastructure:
         rule_codes = [
             rule.code for rule in (*ALL_RULES, *ALL_PROJECT_RULES)
         ]
-        assert len(rule_codes) == len(set(rule_codes)) == 15
+        assert len(rule_codes) == len(set(rule_codes)) == 16
         assert sorted(rule_codes) == [
-            f"RL{index:03d}" for index in range(1, 16)
+            f"RL{index:03d}" for index in range(1, 17)
         ]
 
     def test_suppressed_findings_parse(self, tmp_path: Path) -> None:
@@ -1347,3 +1347,94 @@ class TestAnswerPathLoop:
             """,
         )
         assert "RL012" not in codes(findings)
+
+
+# ----------------------------------------------------------------------
+# RL016: cluster worker seeds derive via randkit.spawn_seeds
+# ----------------------------------------------------------------------
+
+
+class TestClusterSeedDerivation:
+    def test_rng_constructor_in_cluster_fires(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/cluster/x.py",
+            """\
+            from repro.randkit import ReproRandom
+
+            def worker_rng(seed: int) -> ReproRandom:
+                return ReproRandom(seed)
+            """,
+        )
+        assert "RL016" in codes(findings)
+
+    def test_seed_arithmetic_fires(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/cluster/x.py",
+            """\
+            def configure(build, master: int, shard: int):
+                return build(seed=master + shard)
+            """,
+        )
+        assert "RL016" in codes(findings)
+
+    def test_recovery_seed_arithmetic_fires(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/cluster/x.py",
+            """\
+            def configure(build, master: int, incarnation: int):
+                return build(recovery_seed=master * incarnation)
+            """,
+        )
+        assert "RL016" in codes(findings)
+
+    def test_spawn_seeds_chain_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/cluster/x.py",
+            """\
+            from repro.randkit import spawn_seeds
+
+            def configure(build, master: int, shards: int):
+                seeds = spawn_seeds(master, shards)
+                return [
+                    build(seed=seeds[shard]) for shard in range(shards)
+                ]
+            """,
+        )
+        assert "RL016" not in codes(findings)
+
+    def test_constant_seed_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/cluster/x.py",
+            """\
+            def configure(build):
+                return build(seed=0)
+            """,
+        )
+        assert "RL016" not in codes(findings)
+
+    def test_outside_cluster_is_out_of_scope(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/core/x.py",
+            """\
+            def configure(build, master: int, shard: int):
+                return build(seed=master + shard)
+            """,
+        )
+        assert "RL016" not in codes(findings)
+
+    def test_suppression_comment(self, tmp_path: Path) -> None:
+        findings = lint_file(
+            tmp_path,
+            "repro/cluster/x.py",
+            """\
+            def configure(build, master: int, shard: int):
+                return build(seed=master + shard)  # reprolint: disable=RL016
+            """,
+        )
+        assert "RL016" not in codes(findings)
